@@ -1,0 +1,30 @@
+//! Criterion bench: the Fig. 8 checkpoint-count comparison (local optimum
+//! \[27\] vs global greedy \[15\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::model::Mapping;
+use ftes::opt::compare_checkpointing;
+use ftes_bench::{fig8_points, platform, workload};
+
+fn bench_checkpoint_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_opt");
+    group.sample_size(10);
+    for point in fig8_points().into_iter().take(2) {
+        let app = workload(point, 0);
+        let plat = platform(point.nodes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}_k{}", point.processes, point.k)),
+            &(&app, &plat, point.k),
+            |b, (app, plat, k)| {
+                b.iter(|| {
+                    let mapping = Mapping::cheapest(app, plat.architecture()).unwrap();
+                    compare_checkpointing(app, plat, mapping, *k, 32).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_opt);
+criterion_main!(benches);

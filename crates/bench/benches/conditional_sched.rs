@@ -1,0 +1,41 @@
+//! Criterion bench: conditional list scheduling of FT-CPGs (§5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+use ftes::model::{FaultModel, Mapping, Transparency};
+use ftes::sched::{schedule_ftcpg, SchedConfig};
+use ftes_bench::{platform, workload, ExperimentPoint};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conditional_sched");
+    for (n, k) in [(8, 2), (12, 2), (12, 3)] {
+        let point = ExperimentPoint { processes: n, nodes: 2, k };
+        let app = workload(point, 0);
+        let plat = platform(point.nodes);
+        let mapping = Mapping::cheapest(&app, plat.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies =
+            CopyMapping::from_base(&app, plat.architecture(), &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(k),
+            &Transparency::none(),
+            BuildConfig::default(),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}_nodes{}", cpg.node_count())),
+            &(&app, &cpg, &plat),
+            |b, (app, cpg, plat)| {
+                b.iter(|| schedule_ftcpg(app, cpg, plat, SchedConfig::default()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

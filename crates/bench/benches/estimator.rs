@@ -1,0 +1,33 @@
+//! Criterion bench: the fast schedule-length estimator at the paper's
+//! experiment sizes (20-100 processes) — this is the optimizer's inner
+//! loop, so its cost bounds the whole Fig. 7/8 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::CopyMapping;
+use ftes::model::Mapping;
+use ftes::sched::estimate_schedule_length;
+use ftes_bench::{fig7_points, platform, workload};
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    for point in fig7_points() {
+        let app = workload(point, 0);
+        let plat = platform(point.nodes);
+        let mapping = Mapping::cheapest(&app, plat.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, point.k);
+        let copies =
+            CopyMapping::from_base(&app, plat.architecture(), &mapping, &policies).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}_k{}", point.processes, point.k)),
+            &(&app, &plat, &copies, &policies, point.k),
+            |b, (app, plat, copies, policies, k)| {
+                b.iter(|| estimate_schedule_length(app, plat, copies, policies, *k).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: FT-CPG construction cost across application sizes and
+//! fault budgets (the graph of §5.1 grows with the scenario space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+use ftes::model::{FaultModel, Mapping, Transparency};
+use ftes_bench::{platform, workload, ExperimentPoint};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftcpg_build");
+    for (n, k) in [(8, 1), (8, 2), (12, 2), (16, 2), (12, 3)] {
+        let point = ExperimentPoint { processes: n, nodes: 2, k };
+        let app = workload(point, 0);
+        let plat = platform(point.nodes);
+        let mapping = Mapping::cheapest(&app, plat.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies =
+            CopyMapping::from_base(&app, plat.architecture(), &mapping, &policies).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(&app, &policies, &copies, k),
+            |b, (app, policies, copies, k)| {
+                b.iter(|| {
+                    build_ftcpg(
+                        app,
+                        policies,
+                        copies,
+                        FaultModel::new(*k),
+                        &Transparency::none(),
+                        BuildConfig::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: one MXR synthesis per Fig. 7 point (reduced search
+//! budget; the figure binary uses the full budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::opt::{synthesize, SearchConfig, Strategy};
+use ftes_bench::{fig7_points, platform, workload};
+
+fn bench_mxr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_assignment_mxr");
+    group.sample_size(10);
+    for point in fig7_points().into_iter().take(3) {
+        let app = workload(point, 0);
+        let plat = platform(point.nodes);
+        let cfg = SearchConfig { iterations: 30, neighborhood: 12, ..SearchConfig::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}_k{}", point.processes, point.k)),
+            &(&app, &plat, point.k),
+            |b, (app, plat, k)| {
+                b.iter(|| synthesize(app, plat, *k, Strategy::Mxr, cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mxr);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: calibration of the fast root-schedule estimator against the
+//! exact conditional scheduler, on instances small enough for both.
+//!
+//! The optimization loops (Fig. 7/8) rank candidate configurations with the
+//! estimator; this harness reports how its worst-case lengths relate to the
+//! exact conditional schedule lengths (ratio statistics per k).
+//!
+//! Run with: `cargo run --release -p ftes-bench --bin fig_ablation_estimator
+//! [seeds]`
+
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+use ftes::model::{FaultModel, Mapping, Transparency};
+use ftes::sched::{estimate_schedule_length, schedule_ftcpg, SchedConfig};
+use ftes_bench::{mean, platform, workload, ExperimentPoint};
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    println!("# Ablation — estimator vs exact conditional scheduler (n=8, 2 nodes)");
+    println!("{:>3} | {:>10} {:>10} {:>10}", "k", "ratio min", "ratio avg", "ratio max");
+    for k in 0..=3u32 {
+        let point = ExperimentPoint { processes: 8, nodes: 2, k };
+        let plat = platform(point.nodes);
+        let mut ratios = Vec::new();
+        for seed in 0..seeds {
+            let app = workload(point, seed);
+            let mapping = Mapping::cheapest(&app, plat.architecture()).expect("mappable");
+            let policies = PolicyAssignment::uniform_reexecution(&app, k);
+            let copies = CopyMapping::from_base(&app, plat.architecture(), &mapping, &policies)
+                .expect("placement");
+            let cpg = build_ftcpg(
+                &app,
+                &policies,
+                &copies,
+                FaultModel::new(k),
+                &Transparency::none(),
+                BuildConfig::default(),
+            )
+            .expect("small FT-CPG");
+            let exact = schedule_ftcpg(&app, &cpg, &plat, SchedConfig::default())
+                .expect("schedule")
+                .length();
+            let est = estimate_schedule_length(&app, &plat, &copies, &policies, k)
+                .expect("estimate")
+                .worst_case_length;
+            ratios.push(est.as_f64() / exact.as_f64());
+        }
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
+        println!("{k:>3} | {min:>10.3} {:>10.3} {max:>10.3}", mean(&ratios));
+    }
+    println!("# ratios near 1.0 mean the optimizer's objective tracks reality");
+}

@@ -1,0 +1,61 @@
+//! Ablation: the transparency/performance trade-off of §3.3.
+//!
+//! For small random instances (exact conditional scheduling feasible),
+//! measure worst-case schedule length and schedule-table size under three
+//! transparency settings: none, frozen messages, fully transparent.
+//! Expectation (§3.3): transparency increases the worst-case delay but
+//! shrinks the number of schedule-table entries (fewer execution
+//! alternatives to store, easier debugging).
+//!
+//! Run with: `cargo run --release -p ftes-bench --bin
+//! fig_ablation_transparency [seeds]`
+
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+use ftes::model::{FaultModel, Mapping, Transparency};
+use ftes::sched::{schedule_ftcpg, SchedConfig, ScheduleTables};
+use ftes_bench::{mean, platform, workload, ExperimentPoint};
+
+fn main() {
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let point = ExperimentPoint { processes: 10, nodes: 2, k: 2 };
+    let plat = platform(point.nodes);
+    println!("# Ablation — transparency vs performance (n={}, k={})", point.processes, point.k);
+    println!("{:<18} | {:>12} | {:>13}", "transparency", "avg length", "avg entries");
+
+    type Setting = (&'static str, Box<dyn Fn() -> Transparency>);
+    let settings: [Setting; 3] = [
+        ("none", Box::new(Transparency::none)),
+        ("frozen messages", Box::new(Transparency::frozen_messages_only)),
+        ("fully transparent", Box::new(Transparency::fully_transparent)),
+    ];
+    for (name, make) in &settings {
+        let mut lengths = Vec::new();
+        let mut entries = Vec::new();
+        for seed in 0..seeds {
+            let app = workload(point, seed);
+            let mapping = Mapping::cheapest(&app, plat.architecture()).expect("mappable");
+            let policies = PolicyAssignment::uniform_reexecution(&app, point.k);
+            let copies = CopyMapping::from_base(&app, plat.architecture(), &mapping, &policies)
+                .expect("placement");
+            let transparency = make();
+            let cpg = build_ftcpg(
+                &app,
+                &policies,
+                &copies,
+                FaultModel::new(point.k),
+                &transparency,
+                BuildConfig::default(),
+            )
+            .expect("small instances fit the node budget");
+            let schedule =
+                schedule_ftcpg(&app, &cpg, &plat, SchedConfig::default()).expect("schedule");
+            let tables =
+                ScheduleTables::new(&app, &cpg, &schedule, plat.architecture().node_count());
+            lengths.push(schedule.length().as_f64());
+            entries.push(tables.entry_count() as f64);
+        }
+        println!("{name:<18} | {:>12.1} | {:>13.1}", mean(&lengths), mean(&entries));
+    }
+    println!("# expectation: length grows downwards, entries shrink downwards (§3.3)");
+}

@@ -1,0 +1,13 @@
+//! # ftes-cli
+//!
+//! Command-line front end for the fault-tolerant embedded-system synthesis
+//! flow: parses the `.ftes` specification format (see [`parse_spec`]) and
+//! drives [`ftes::synthesize_system`]. The `ftes` binary lives in this
+//! crate; the parser is a library so tests and other tools can reuse it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spec;
+
+pub use spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};

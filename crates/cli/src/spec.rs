@@ -1,0 +1,432 @@
+//! The `.ftes` system-specification format: a small line-oriented DSL
+//! describing an application, its platform and its fault-tolerance
+//! requirements, parsed without external dependencies.
+//!
+//! ```text
+//! # cruise controller, two ECUs
+//! nodes 2
+//! slot 8
+//! deadline 400
+//! k 2
+//! strategy mxr
+//!
+//! process P1 wcet 30 30 alpha 5 mu 5 chi 5
+//! process P2 wcet 25 25
+//! process P3 wcet 25 25
+//! process P4 wcet 30 -            # "-" = cannot map on that node
+//!
+//! message m0 P1 P2 1
+//! message m1 P1 P4 1
+//!
+//! frozen process P3
+//! frozen message m1
+//! ```
+//!
+//! Lines are independent; `#` starts a comment; numbers are integer time
+//! units. Per-process options: `alpha`, `mu`, `chi`, `fixed <node>`,
+//! `release <t>`, `dlocal <t>`.
+
+use ftes::model::{
+    Application, ApplicationBuilder, FaultModel, NodeId, ProcessId, ProcessSpec, Time,
+    Transparency,
+};
+use ftes::opt::Strategy;
+use ftes::tdma::{Platform, TdmaBus};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed and validated system specification.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// The application graph.
+    pub app: Application,
+    /// The execution platform.
+    pub platform: Platform,
+    /// Transient-fault budget.
+    pub fault_model: FaultModel,
+    /// Designer transparency requirements.
+    pub transparency: Transparency,
+    /// Synthesis strategy (defaults to MXR).
+    pub strategy: Strategy,
+}
+
+/// Parse error with 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending directive (0 = file level).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// One parsed `process` directive: (line, name, wcet row, options).
+type ProcessDraft = (usize, String, Vec<Option<i64>>, HashMap<String, i64>);
+
+#[derive(Debug, Default)]
+struct Draft {
+    nodes: Option<usize>,
+    slot: Option<i64>,
+    deadline: Option<i64>,
+    period: Option<i64>,
+    k: Option<u32>,
+    strategy: Option<Strategy>,
+    processes: Vec<ProcessDraft>,
+    messages: Vec<(usize, String, String, String, i64)>,
+    frozen_processes: Vec<(usize, String)>,
+    frozen_messages: Vec<(usize, String)>,
+}
+
+/// Parses a `.ftes` specification from text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for syntax problems,
+/// unknown names, missing mandatory directives (`nodes`, `deadline`, `k`,
+/// at least one process) and model-level validation failures.
+pub fn parse_spec(text: &str) -> Result<SystemSpec, ParseError> {
+    let mut d = Draft::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("non-empty line has a first word");
+        let rest: Vec<&str> = words.collect();
+        match head {
+            "nodes" => d.nodes = Some(int(&rest, 0, line_no)? as usize),
+            "slot" => d.slot = Some(int(&rest, 0, line_no)?),
+            "deadline" => d.deadline = Some(int(&rest, 0, line_no)?),
+            "period" => d.period = Some(int(&rest, 0, line_no)?),
+            "k" => d.k = Some(int(&rest, 0, line_no)? as u32),
+            "strategy" => {
+                let s = rest
+                    .first()
+                    .ok_or_else(|| ParseError::at(line_no, "strategy needs a value"))?;
+                d.strategy = Some(match s.to_ascii_lowercase().as_str() {
+                    "mxr" => Strategy::Mxr,
+                    "mx" => Strategy::Mx,
+                    "mr" => Strategy::Mr,
+                    "sfx" => Strategy::Sfx,
+                    other => {
+                        return Err(ParseError::at(
+                            line_no,
+                            format!("unknown strategy `{other}` (mxr|mx|mr|sfx)"),
+                        ))
+                    }
+                });
+            }
+            "process" => parse_process(&rest, line_no, &mut d)?,
+            "message" => {
+                if rest.len() != 4 {
+                    return Err(ParseError::at(
+                        line_no,
+                        "message needs: message <name> <src> <dst> <transmission>",
+                    ));
+                }
+                let trans = rest[3].parse::<i64>().map_err(|_| {
+                    ParseError::at(line_no, format!("bad transmission time `{}`", rest[3]))
+                })?;
+                d.messages.push((
+                    line_no,
+                    rest[0].to_string(),
+                    rest[1].to_string(),
+                    rest[2].to_string(),
+                    trans,
+                ));
+            }
+            "frozen" => match (rest.first(), rest.get(1)) {
+                (Some(&"process"), Some(name)) => {
+                    d.frozen_processes.push((line_no, name.to_string()))
+                }
+                (Some(&"message"), Some(name)) => {
+                    d.frozen_messages.push((line_no, name.to_string()))
+                }
+                _ => {
+                    return Err(ParseError::at(
+                        line_no,
+                        "frozen needs: frozen process <name> | frozen message <name>",
+                    ))
+                }
+            },
+            other => {
+                return Err(ParseError::at(line_no, format!("unknown directive `{other}`")))
+            }
+        }
+    }
+    build(d)
+}
+
+fn int(rest: &[&str], idx: usize, line: usize) -> Result<i64, ParseError> {
+    rest.get(idx)
+        .ok_or_else(|| ParseError::at(line, "missing numeric value"))?
+        .parse::<i64>()
+        .map_err(|_| ParseError::at(line, format!("bad number `{}`", rest[idx])))
+}
+
+fn parse_process(rest: &[&str], line: usize, d: &mut Draft) -> Result<(), ParseError> {
+    let nodes = d
+        .nodes
+        .ok_or_else(|| ParseError::at(line, "declare `nodes <count>` before processes"))?;
+    let name = rest
+        .first()
+        .ok_or_else(|| ParseError::at(line, "process needs a name"))?
+        .to_string();
+    if rest.get(1) != Some(&"wcet") {
+        return Err(ParseError::at(line, "process needs: process <name> wcet <v|-> …"));
+    }
+    let mut wcet = Vec::with_capacity(nodes);
+    let mut i = 2;
+    while wcet.len() < nodes {
+        let tok = rest.get(i).ok_or_else(|| {
+            ParseError::at(line, format!("process `{name}` needs {nodes} wcet entries"))
+        })?;
+        if *tok == "-" {
+            wcet.push(None);
+        } else {
+            let v = tok
+                .parse::<i64>()
+                .map_err(|_| ParseError::at(line, format!("bad wcet `{tok}`")))?;
+            wcet.push(Some(v));
+        }
+        i += 1;
+    }
+    let mut opts = HashMap::new();
+    while i < rest.len() {
+        let key = rest[i];
+        if !matches!(key, "alpha" | "mu" | "chi" | "fixed" | "release" | "dlocal") {
+            return Err(ParseError::at(line, format!("unknown process option `{key}`")));
+        }
+        let v = int(rest, i + 1, line)?;
+        opts.insert(key.to_string(), v);
+        i += 2;
+    }
+    d.processes.push((line, name, wcet, opts));
+    Ok(())
+}
+
+fn build(d: Draft) -> Result<SystemSpec, ParseError> {
+    let nodes = d.nodes.ok_or_else(|| ParseError::at(0, "missing `nodes <count>`"))?;
+    let deadline =
+        d.deadline.ok_or_else(|| ParseError::at(0, "missing `deadline <time>`"))?;
+    let k = d.k.ok_or_else(|| ParseError::at(0, "missing `k <faults>`"))?;
+    if d.processes.is_empty() {
+        return Err(ParseError::at(0, "no processes declared"));
+    }
+
+    let mut builder = ApplicationBuilder::new(nodes);
+    let mut process_ids: HashMap<String, ProcessId> = HashMap::new();
+    for (line, name, wcet, opts) in &d.processes {
+        if process_ids.contains_key(name) {
+            return Err(ParseError::at(*line, format!("duplicate process `{name}`")));
+        }
+        let mut spec =
+            ProcessSpec::new(name.clone(), wcet.iter().map(|w| w.map(Time::new)));
+        spec = spec.overheads(
+            Time::new(*opts.get("alpha").unwrap_or(&0)),
+            Time::new(*opts.get("mu").unwrap_or(&0)),
+            Time::new(*opts.get("chi").unwrap_or(&0)),
+        );
+        if let Some(&r) = opts.get("release") {
+            spec = spec.release(Time::new(r));
+        }
+        if let Some(&dl) = opts.get("dlocal") {
+            spec = spec.local_deadline(Time::new(dl));
+        }
+        if let Some(&n) = opts.get("fixed") {
+            if n < 0 || n as usize >= nodes {
+                return Err(ParseError::at(*line, format!("fixed node {n} out of range")));
+            }
+            spec = spec.fixed_node(NodeId::new(n as usize));
+        }
+        process_ids.insert(name.clone(), builder.add_process(spec));
+    }
+
+    let mut message_ids = HashMap::new();
+    for (line, name, src, dst, trans) in &d.messages {
+        let src_id = *process_ids
+            .get(src)
+            .ok_or_else(|| ParseError::at(*line, format!("unknown process `{src}`")))?;
+        let dst_id = *process_ids
+            .get(dst)
+            .ok_or_else(|| ParseError::at(*line, format!("unknown process `{dst}`")))?;
+        let mid = builder
+            .add_message(name.clone(), src_id, dst_id, Time::new(*trans))
+            .map_err(|e| ParseError::at(*line, e.to_string()))?;
+        message_ids.insert(name.clone(), mid);
+    }
+
+    let mut builder = builder.deadline(Time::new(deadline));
+    if let Some(p) = d.period {
+        builder = builder.period(Time::new(p));
+    }
+    let app = builder.build().map_err(|e| ParseError::at(0, e.to_string()))?;
+
+    let mut transparency = Transparency::none();
+    for (line, name) in &d.frozen_processes {
+        let pid = process_ids
+            .get(name)
+            .ok_or_else(|| ParseError::at(*line, format!("unknown process `{name}`")))?;
+        transparency.freeze_process(*pid);
+    }
+    for (line, name) in &d.frozen_messages {
+        let mid = message_ids
+            .get(name)
+            .ok_or_else(|| ParseError::at(*line, format!("unknown message `{name}`")))?;
+        transparency.freeze_message(*mid);
+    }
+
+    let slot = d.slot.unwrap_or(8);
+    let bus = TdmaBus::uniform(nodes, Time::new(slot))
+        .map_err(|e| ParseError::at(0, e.to_string()))?;
+    let arch = ftes::model::Architecture::homogeneous(nodes)
+        .map_err(|e| ParseError::at(0, e.to_string()))?;
+    let platform =
+        Platform::new(arch, bus).map_err(|e| ParseError::at(0, e.to_string()))?;
+
+    Ok(SystemSpec {
+        app,
+        platform,
+        fault_model: FaultModel::new(k),
+        transparency,
+        strategy: d.strategy.unwrap_or(Strategy::Mxr),
+    })
+}
+
+/// The Fig. 5 system as a `.ftes` document — used by `--demo` and tests.
+pub const FIG5_SPEC: &str = "\
+# the paper's Fig. 5 walk-through (k = 2, P3/m2/m3 frozen)
+nodes 2
+slot 8
+deadline 400
+k 2
+strategy mxr
+
+process P1 wcet 30 30 alpha 5 mu 5 chi 5
+process P2 wcet 25 25 alpha 5 mu 5 chi 5
+process P3 wcet 25 25 alpha 5 mu 5 chi 5
+process P4 wcet 30 30 alpha 5 mu 5 chi 5
+
+message m0 P1 P2 1
+message m1 P1 P4 1
+message m2 P1 P3 1
+message m3 P2 P3 1
+
+frozen process P3
+frozen message m2
+frozen message m3
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_demo_spec() {
+        let spec = parse_spec(FIG5_SPEC).unwrap();
+        assert_eq!(spec.app.process_count(), 4);
+        assert_eq!(spec.app.message_count(), 4);
+        assert_eq!(spec.fault_model.k(), 2);
+        assert_eq!(spec.strategy, Strategy::Mxr);
+        assert!(spec.transparency.is_process_frozen(ProcessId::new(2)));
+        assert_eq!(spec.platform.architecture().node_count(), 2);
+        assert_eq!(spec.platform.bus().round_length(), Time::new(16));
+    }
+
+    #[test]
+    fn x_entries_and_options() {
+        let text = "nodes 2\ndeadline 100\nk 1\n\
+                    process a wcet 10 - alpha 1 mu 2 chi 3 fixed 0 release 5 dlocal 90\n";
+        let spec = parse_spec(text).unwrap();
+        let p = spec.app.process(ProcessId::new(0));
+        assert_eq!(p.wcet_on(NodeId::new(1)), None);
+        assert_eq!((p.alpha(), p.mu(), p.chi()), (Time::new(1), Time::new(2), Time::new(3)));
+        assert_eq!(p.fixed_node(), Some(NodeId::new(0)));
+        assert_eq!(p.release(), Time::new(5));
+        assert_eq!(p.local_deadline(), Some(Time::new(90)));
+    }
+
+    #[test]
+    fn error_reports_carry_line_numbers() {
+        let cases: [(&str, usize, &str); 7] = [
+            ("nodes 2\ndeadline 100\nk 1\nbogus x\n", 4, "unknown directive"),
+            ("nodes 2\ndeadline 100\nk 1\nprocess a wcet 10\n", 4, "needs 2 wcet entries"),
+            ("nodes 2\ndeadline 100\nk 1\nprocess a wcet 10 q\n", 4, "bad wcet"),
+            (
+                "nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9\nmessage m a b 1\n",
+                5,
+                "unknown process `b`",
+            ),
+            ("nodes 2\ndeadline 100\nk 1\nstrategy turbo\n", 4, "unknown strategy"),
+            (
+                "nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9 fixed 7\n",
+                4,
+                "out of range",
+            ),
+            (
+                "nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9\nfrozen process z\n",
+                5,
+                "unknown process `z`",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let err = parse_spec(text).unwrap_err();
+            assert_eq!(err.line, line, "{err}");
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn missing_mandatory_directives() {
+        assert!(parse_spec("deadline 10\nk 1\n").unwrap_err().message.contains("nodes"));
+        assert!(parse_spec("nodes 1\nk 1\n").unwrap_err().message.contains("deadline"));
+        assert!(parse_spec("nodes 1\ndeadline 10\n").unwrap_err().message.contains('k'));
+        assert!(parse_spec("nodes 1\ndeadline 10\nk 0\n")
+            .unwrap_err()
+            .message
+            .contains("no processes"));
+    }
+
+    #[test]
+    fn duplicate_process_rejected() {
+        let text = "nodes 1\ndeadline 10\nk 0\nprocess a wcet 5\nprocess a wcet 5\n";
+        let err = parse_spec(text).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nnodes 1 # trailing\n\ndeadline 10\nk 0\nprocess a wcet 5\n";
+        assert!(parse_spec(text).is_ok());
+    }
+
+    #[test]
+    fn model_errors_surface_with_context() {
+        // Cyclic graph flagged by the model layer.
+        let text = "nodes 1\ndeadline 10\nk 0\nprocess a wcet 5\nprocess b wcet 5\n\
+                    message m1 a b 1\nmessage m2 b a 1\n";
+        let err = parse_spec(text).unwrap_err();
+        assert!(err.message.contains("cycle"), "{err}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The end-to-end synthesis flow of the paper's §6: from an application,
+//! a platform, a fault model and transparency requirements to a system
+//! configuration ψ = <F, M, S>.
+
+use ftes_ft::PolicyAssignment;
+use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, FtCpg};
+use ftes_model::{Application, FaultModel, Mapping, Transparency};
+use ftes_opt::{synthesize, SearchConfig, Strategy, Synthesized};
+use ftes_sched::{
+    check_deadlines, schedule_ftcpg, ConditionalSchedule, Estimate, SchedConfig, ScheduleTables,
+};
+use ftes_tdma::Platform;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the end-to-end synthesis flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FtesError {
+    /// Design optimization failed.
+    Opt(ftes_opt::OptError),
+    /// FT-CPG construction failed (other than exceeding the size budget,
+    /// which degrades gracefully to an estimate-only configuration).
+    Cpg(ftes_ftcpg::CpgError),
+    /// Conditional scheduling failed.
+    Sched(ftes_sched::SchedError),
+}
+
+impl fmt::Display for FtesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtesError::Opt(e) => write!(f, "design optimization failed: {e}"),
+            FtesError::Cpg(e) => write!(f, "FT-CPG construction failed: {e}"),
+            FtesError::Sched(e) => write!(f, "conditional scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for FtesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtesError::Opt(e) => Some(e),
+            FtesError::Cpg(e) => Some(e),
+            FtesError::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<ftes_opt::OptError> for FtesError {
+    fn from(e: ftes_opt::OptError) -> Self {
+        FtesError::Opt(e)
+    }
+}
+
+impl From<ftes_ftcpg::CpgError> for FtesError {
+    fn from(e: ftes_ftcpg::CpgError) -> Self {
+        FtesError::Cpg(e)
+    }
+}
+
+impl From<ftes_sched::SchedError> for FtesError {
+    fn from(e: ftes_sched::SchedError) -> Self {
+        FtesError::Sched(e)
+    }
+}
+
+/// Options of the end-to-end flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Synthesis strategy (Fig. 7 vocabulary); MXR is the paper's approach.
+    pub strategy: Strategy,
+    /// Tabu-search tunables for the optimization phase.
+    pub search: SearchConfig,
+    /// Conditional-scheduler tunables.
+    pub sched: SchedConfig,
+    /// FT-CPG size budget; larger instances return an estimate-only
+    /// configuration (`schedule = None`).
+    pub cpg: BuildConfig,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            strategy: Strategy::Mxr,
+            search: SearchConfig::default(),
+            sched: SchedConfig::default(),
+            cpg: BuildConfig::default(),
+        }
+    }
+}
+
+/// The exact schedule-synthesis artifacts (present when the FT-CPG fits the
+/// size budget).
+#[derive(Debug, Clone)]
+pub struct ExactSchedule {
+    /// The fault-tolerant conditional process graph.
+    pub cpg: FtCpg,
+    /// Start times for every FT-CPG node plus condition broadcasts.
+    pub schedule: ConditionalSchedule,
+    /// The distributed per-node schedule tables `S` (Fig. 6).
+    pub tables: ScheduleTables,
+}
+
+/// A synthesized system configuration ψ = <F, M, S> (paper §6).
+#[derive(Debug, Clone)]
+pub struct SystemConfiguration {
+    /// Fault-tolerance policy assignment `F = <P, Q, R, X>`.
+    pub policies: PolicyAssignment,
+    /// Process mapping `M` (originals).
+    pub mapping: Mapping,
+    /// Copy placement (originals + replicas in `VR`).
+    pub copies: CopyMapping,
+    /// Fast worst-case estimate (always available).
+    pub estimate: Estimate,
+    /// Exact conditional schedule and tables, when the FT-CPG fits the
+    /// configured size budget.
+    pub exact: Option<ExactSchedule>,
+    /// `true` when the synthesized worst case meets every deadline
+    /// (judged on the exact schedule when present, else on the estimate).
+    pub schedulable: bool,
+}
+
+impl SystemConfiguration {
+    /// Worst-case schedule length: exact when available, estimated
+    /// otherwise.
+    pub fn worst_case_length(&self) -> ftes_model::Time {
+        match &self.exact {
+            Some(e) => e.schedule.length(),
+            None => self.estimate.worst_case_length,
+        }
+    }
+}
+
+/// Runs the complete synthesis flow: policy assignment + mapping
+/// optimization, FT-CPG construction, conditional scheduling and schedule
+/// table generation.
+///
+/// For instances whose FT-CPG exceeds [`BuildConfig::node_limit`] the flow
+/// degrades gracefully: `exact` is `None` and schedulability is judged on
+/// the estimator (the same regime the paper's large-scale experiments run
+/// in).
+///
+/// # Errors
+///
+/// Returns [`FtesError`] when optimization, graph construction (for reasons
+/// other than size) or scheduling fails.
+///
+/// # Examples
+///
+/// ```
+/// use ftes::{synthesize_system, FlowConfig};
+/// use ftes_model::{samples, FaultModel, Transparency};
+/// use ftes_tdma::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch, transparency) = samples::fig5();
+/// let node_count = arch.node_count();
+/// let platform = Platform::new(arch, ftes_tdma::TdmaBus::uniform(node_count, ftes_model::Time::new(8))?)?;
+/// let psi = synthesize_system(&app, &platform, FaultModel::new(2), &transparency,
+///                             FlowConfig::default())?;
+/// assert!(psi.schedulable);
+/// let exact = psi.exact.as_ref().expect("small instance gets exact tables");
+/// println!("{}", exact.tables.render(&exact.cpg));
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_system(
+    app: &Application,
+    platform: &Platform,
+    fault_model: FaultModel,
+    transparency: &Transparency,
+    config: FlowConfig,
+) -> Result<SystemConfiguration, FtesError> {
+    let k = fault_model.k();
+    let Synthesized { mapping, policies, copies, estimate } =
+        synthesize(app, platform, k, config.strategy, config.search)?;
+
+    let cpg = match build_ftcpg(app, &policies, &copies, fault_model, transparency, config.cpg) {
+        Ok(cpg) => Some(cpg),
+        Err(ftes_ftcpg::CpgError::GraphTooLarge { .. }) => None,
+        Err(e) => return Err(e.into()),
+    };
+    let exact = match cpg {
+        Some(cpg) => {
+            let schedule = schedule_ftcpg(app, &cpg, platform, config.sched)?;
+            let tables = ScheduleTables::new(
+                app,
+                &cpg,
+                &schedule,
+                platform.architecture().node_count(),
+            );
+            Some(ExactSchedule { cpg, schedule, tables })
+        }
+        None => None,
+    };
+    let schedulable = match &exact {
+        Some(e) => check_deadlines(app, &e.cpg, &e.schedule).is_empty(),
+        None => estimate.worst_case_length <= app.deadline(),
+    };
+    Ok(SystemConfiguration { policies, mapping, copies, estimate, exact, schedulable })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{samples, Time};
+
+    fn fig5_flow(config: FlowConfig) -> SystemConfiguration {
+        let (app, arch, transparency) = samples::fig5();
+        let node_count = arch.node_count();
+        let platform = Platform::new(
+            arch,
+            ftes_tdma::TdmaBus::uniform(node_count, Time::new(8)).unwrap(),
+        )
+        .unwrap();
+        synthesize_system(&app, &platform, FaultModel::new(2), &transparency, config).unwrap()
+    }
+
+    #[test]
+    fn full_flow_produces_exact_tables() {
+        let psi = fig5_flow(FlowConfig::default());
+        assert!(psi.schedulable);
+        assert!(psi.worst_case_length() <= Time::new(400));
+        psi.policies.validate(2).unwrap();
+        let exact = psi.exact.expect("fig5 is small");
+        assert!(exact.tables.entry_count() > 0);
+    }
+
+    #[test]
+    fn oversized_cpg_degrades_to_estimate() {
+        let config = FlowConfig {
+            cpg: BuildConfig { node_limit: 2 },
+            ..FlowConfig::default()
+        };
+        let psi = fig5_flow(config);
+        assert!(psi.exact.is_none());
+        assert_eq!(psi.worst_case_length(), psi.estimate.worst_case_length);
+    }
+
+    #[test]
+    fn strategies_are_selectable() {
+        for strategy in [Strategy::Mx, Strategy::Sfx] {
+            let config = FlowConfig {
+                strategy,
+                search: SearchConfig { iterations: 10, ..SearchConfig::default() },
+                ..FlowConfig::default()
+            };
+            let psi = fig5_flow(config);
+            assert!(psi.schedulable, "{strategy} must schedule fig5");
+        }
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = FtesError::from(ftes_opt::OptError::NoFeasibleConfiguration("x".into()));
+        assert!(e.to_string().contains("design optimization failed"));
+        assert!(e.source().is_some());
+    }
+}

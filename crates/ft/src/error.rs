@@ -1,0 +1,71 @@
+//! Errors reported by fault-tolerance policy construction and validation.
+
+use ftes_model::ProcessId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by recovery-scheme or policy construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtError {
+    /// A policy must have at least one copy of the process.
+    NoCopies,
+    /// A WCET or overhead is negative (or the WCET is zero).
+    InvalidDuration(&'static str),
+    /// The policy cannot tolerate the required number of faults: an
+    /// adversary can exhaust every copy (`Σ(rj + 1) ≤ k`).
+    InsufficientPolicy {
+        /// Required fault budget `k`.
+        k: u32,
+        /// Faults the policy can absorb before all copies are dead.
+        tolerated: u32,
+    },
+    /// A policy assignment is missing or excess relative to the application.
+    AssignmentArityMismatch {
+        /// Number of policies supplied.
+        got: usize,
+        /// Number of processes expected.
+        expected: usize,
+    },
+    /// A specific process's policy fails validation.
+    ProcessPolicy(ProcessId, Box<FtError>),
+}
+
+impl fmt::Display for FtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtError::NoCopies => write!(f, "a policy needs at least one copy of the process"),
+            FtError::InvalidDuration(what) => write!(f, "{what} must be non-negative"),
+            FtError::InsufficientPolicy { k, tolerated } => write!(
+                f,
+                "policy tolerates only {tolerated} faults but k={k} are required"
+            ),
+            FtError::AssignmentArityMismatch { got, expected } => write!(
+                f,
+                "policy assignment has {got} entries but the application has {expected} processes"
+            ),
+            FtError::ProcessPolicy(p, inner) => write!(f, "invalid policy for {p}: {inner}"),
+        }
+    }
+}
+
+impl Error for FtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FtError::InsufficientPolicy { k: 3, tolerated: 1 };
+        assert!(e.to_string().contains("k=3"));
+        let wrapped = FtError::ProcessPolicy(ProcessId::new(4), Box::new(e));
+        assert!(wrapped.to_string().contains("P4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<FtError>();
+    }
+}

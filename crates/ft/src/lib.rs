@@ -1,0 +1,47 @@
+//! # ftes-ft
+//!
+//! Fault-tolerance mechanisms of the DATE 2008 paper (§3–§4):
+//!
+//! * [`RecoveryScheme`] — the timing algebra of rollback recovery with
+//!   equidistant checkpointing (error-detection overhead `α`, recovery
+//!   overhead `µ`, checkpointing overhead `χ`), including the per-process
+//!   checkpoint optimum of Punnekkat et al. \[27\] used as the Fig. 8
+//!   baseline;
+//! * [`Policy`] / [`PolicyAssignment`] — the `F = <P, Q, R, X>`
+//!   fault-tolerance policy functions (checkpointing, active replication,
+//!   or both) with adversarial k-fault validity checking;
+//! * [`replication`] — closed-form active vs. passive replication timing
+//!   (Fig. 2).
+//!
+//! ## Example: Fig. 1 and Fig. 4 in code
+//!
+//! ```
+//! use ftes_ft::{Policy, RecoveryScheme};
+//! use ftes_model::Time;
+//!
+//! # fn main() -> Result<(), ftes_ft::FtError> {
+//! // P1 with C = 60, α = 10, µ = 10, χ = 5 (Fig. 1a).
+//! let scheme = RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))?;
+//! // Two checkpoints tolerate one fault in 130 time units (Fig. 1c) …
+//! assert_eq!(scheme.worst_case_time(2, 1), Time::new(130));
+//! // … while pure re-execution (X = 0) needs 140.
+//! assert_eq!(scheme.worst_case_time(0, 1), Time::new(140));
+//!
+//! // Fig. 4b: active replication for k = 2 uses three copies.
+//! let policy = Policy::replication(2);
+//! assert_eq!(policy.copies().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod policy;
+mod recovery;
+pub mod replication;
+
+pub use error::FtError;
+pub use policy::{CopyPlan, Policy, PolicyAssignment, PolicyKind};
+pub use recovery::RecoveryScheme;

@@ -1,0 +1,290 @@
+//! Rollback recovery with equidistant checkpointing (paper §3.1) and the
+//! per-process checkpoint-count optimum of Punnekkat et al. \[27\], the
+//! baseline of the paper's Fig. 8.
+
+use crate::FtError;
+use ftes_model::{Process, Time};
+
+/// Recovery-time algebra for one process execution: WCET plus the three
+/// overheads of §3/§4 — error detection `α`, recovery `µ`, checkpointing `χ`.
+///
+/// With `x ≥ 1` equidistant checkpoints (the first taken at activation, as
+/// in Fig. 1b) the process splits into `x` execution segments of `⌈C/x⌉`.
+/// `x = 0` is the un-checkpointed case (`X(Pi) = 0` in §4): one segment,
+/// recovery restarts from the initial inputs — plain re-execution. Each
+/// segment ends with error detection (`α`); each checkpoint costs `χ`; each
+/// recovery costs `µ` plus re-execution of one segment plus its detection.
+/// The detection overhead of the *final possible* recovery is not counted
+/// (once the fault budget is exhausted no further fault can occur — the
+/// accounting spelled out for Fig. 1c).
+///
+/// # Examples
+///
+/// Reproducing Fig. 1 (`C1 = 60, α = 10, µ = 10, χ = 5`):
+///
+/// ```
+/// use ftes_ft::RecoveryScheme;
+/// use ftes_model::Time;
+///
+/// # fn main() -> Result<(), ftes_ft::FtError> {
+/// let p1 = RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))?;
+/// // Fig. 1b: two checkpoints, no fault.
+/// assert_eq!(p1.fault_free_time(2), Time::new(90));
+/// // Fig. 1c: one fault hits the second segment.
+/// assert_eq!(p1.worst_case_time(2, 1), Time::new(130));
+/// // No checkpoints (re-execution granularity): C + α, as in Fig. 2.
+/// assert_eq!(p1.fault_free_time(0), Time::new(70));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryScheme {
+    wcet: Time,
+    alpha: Time,
+    mu: Time,
+    chi: Time,
+}
+
+impl RecoveryScheme {
+    /// Creates a scheme from WCET and overheads `(α, µ, χ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtError::InvalidDuration`] if the WCET is not strictly
+    /// positive or any overhead is negative.
+    pub fn new(wcet: Time, alpha: Time, mu: Time, chi: Time) -> Result<Self, FtError> {
+        if wcet <= Time::ZERO {
+            return Err(FtError::InvalidDuration("worst-case execution time"));
+        }
+        for (what, t) in [
+            ("error-detection overhead", alpha),
+            ("recovery overhead", mu),
+            ("checkpointing overhead", chi),
+        ] {
+            if t.is_negative() {
+                return Err(FtError::InvalidDuration(what));
+            }
+        }
+        Ok(RecoveryScheme { wcet, alpha, mu, chi })
+    }
+
+    /// Builds the scheme for a process mapped on a node with the given WCET,
+    /// taking overheads from the process model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RecoveryScheme::new`].
+    pub fn for_process(process: &Process, wcet: Time) -> Result<Self, FtError> {
+        RecoveryScheme::new(wcet, process.alpha(), process.mu(), process.chi())
+    }
+
+    /// The raw worst-case execution time `Ci`.
+    pub fn wcet(self) -> Time {
+        self.wcet
+    }
+
+    /// Error-detection overhead `αi`.
+    pub fn alpha(self) -> Time {
+        self.alpha
+    }
+
+    /// Recovery overhead `µi`.
+    pub fn mu(self) -> Time {
+        self.mu
+    }
+
+    /// Checkpointing overhead `χi`.
+    pub fn chi(self) -> Time {
+        self.chi
+    }
+
+    /// Number of execution segments with `x` checkpoints: `max(x, 1)`.
+    pub fn segments(self, checkpoints: u32) -> u32 {
+        checkpoints.max(1)
+    }
+
+    /// Length of the longest execution segment with `x` checkpoints
+    /// (`⌈Ci/max(x,1)⌉` — equidistant checkpointing, §4).
+    pub fn segment_length(self, checkpoints: u32) -> Time {
+        self.wcet.div_ceil(i64::from(self.segments(checkpoints)))
+    }
+
+    /// Fault-free execution length with `x` checkpoints:
+    /// `E(x) = Ci + x·χi + max(x,1)·αi`.
+    ///
+    /// `E(0) = Ci + αi` matches the replica execution time of Fig. 2;
+    /// `E(2) = 90` for Fig. 1b.
+    pub fn fault_free_time(self, checkpoints: u32) -> Time {
+        self.wcet
+            + self.chi * i64::from(checkpoints)
+            + self.alpha * i64::from(self.segments(checkpoints))
+    }
+
+    /// Worst-case execution length with `x` checkpoints under at most `h`
+    /// faults, all hitting the longest segment:
+    ///
+    /// `W(x, h) = E(x) + h·(⌈Ci/max(x,1)⌉ + µi + αi) − [h > 0]·αi`
+    ///
+    /// The subtracted `αi` is the never-needed detection after the final
+    /// possible recovery (Fig. 1c).
+    pub fn worst_case_time(self, checkpoints: u32, faults: u32) -> Time {
+        let base = self.fault_free_time(checkpoints);
+        if faults == 0 {
+            return base;
+        }
+        let per_fault = self.segment_length(checkpoints) + self.mu + self.alpha;
+        base + per_fault * i64::from(faults) - self.alpha
+    }
+
+    /// Recovery slack that must be budgeted beyond the fault-free time to
+    /// absorb `h` faults: `W(x,h) − E(x)`.
+    pub fn recovery_slack(self, checkpoints: u32, faults: u32) -> Time {
+        self.worst_case_time(checkpoints, faults) - self.fault_free_time(checkpoints)
+    }
+
+    /// Per-process optimal checkpoint count in isolation — the criterion of
+    /// Punnekkat et al. \[27\], the Fig. 8 baseline: the `x` minimizing
+    /// `W(x, h)` for this process considered alone (ties broken towards
+    /// fewer checkpoints).
+    ///
+    /// The continuous optimum is `n⁰ = √(h·Ci / (χi + αi))`; because the
+    /// equidistant segments round up (`⌈Ci/x⌉`), `W` is not exactly convex
+    /// in `x`, so the discrete argmin is found by a scan over
+    /// `0..=max_checkpoints` (exact and cheap for realistic caps).
+    pub fn optimal_checkpoints_local(self, faults: u32, max_checkpoints: u32) -> u32 {
+        if faults == 0 {
+            return 0; // no recovery => every checkpoint is pure overhead
+        }
+        (0..=max_checkpoints)
+            .min_by_key(|&x| (self.worst_case_time(x, faults), x))
+            .expect("non-empty candidate range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> RecoveryScheme {
+        RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5)).unwrap()
+    }
+
+    #[test]
+    fn fig1_fault_free_lengths() {
+        let s = fig1();
+        // X = 0 (re-execution / plain replica): C + α = 70 (Fig. 2).
+        assert_eq!(s.fault_free_time(0), Time::new(70));
+        // One checkpoint at activation: 60 + 5 + 10 = 75.
+        assert_eq!(s.fault_free_time(1), Time::new(75));
+        // Fig. 1b: two checkpoints: 60 + 10 + 20 = 90.
+        assert_eq!(s.fault_free_time(2), Time::new(90));
+    }
+
+    #[test]
+    fn fig1_single_fault_worst_case() {
+        let s = fig1();
+        // Fig. 1c: 90 + (30 + 10 + 10) - 10 = 130.
+        assert_eq!(s.worst_case_time(2, 1), Time::new(130));
+        // Re-execution: 70 + (60 + 10 + 10) - 10 = 140.
+        assert_eq!(s.worst_case_time(0, 1), Time::new(140));
+    }
+
+    #[test]
+    fn checkpointing_beats_reexecution_under_faults() {
+        let s = fig1();
+        for h in 1..=4 {
+            assert!(
+                s.worst_case_time(2, h) < s.worst_case_time(0, h),
+                "checkpointing reduces the recovery overhead (h={h})"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_monotone_in_faults() {
+        let s = fig1();
+        for x in 0..=6 {
+            let mut prev = s.worst_case_time(x, 0);
+            for h in 1..=6 {
+                let cur = s.worst_case_time(x, h);
+                assert!(cur > prev, "W(x={x},·) must increase with the fault count");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn segment_length_rounds_up() {
+        let s = RecoveryScheme::new(Time::new(61), Time::ZERO, Time::ZERO, Time::ZERO).unwrap();
+        assert_eq!(s.segment_length(0), Time::new(61));
+        assert_eq!(s.segment_length(1), Time::new(61));
+        assert_eq!(s.segment_length(2), Time::new(31));
+        assert_eq!(s.segment_length(61), Time::new(1));
+        assert_eq!(s.segments(0), 1);
+        assert_eq!(s.segments(4), 4);
+    }
+
+    #[test]
+    fn recovery_slack_is_worst_minus_fault_free() {
+        let s = fig1();
+        assert_eq!(s.recovery_slack(2, 1), Time::new(40));
+        assert_eq!(s.recovery_slack(2, 0), Time::ZERO);
+        assert_eq!(s.recovery_slack(0, 2), Time::new(150));
+    }
+
+    #[test]
+    fn invalid_durations_rejected() {
+        assert!(RecoveryScheme::new(Time::ZERO, Time::ZERO, Time::ZERO, Time::ZERO).is_err());
+        assert!(RecoveryScheme::new(Time::new(10), Time::new(-1), Time::ZERO, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn local_optimum_matches_exhaustive_scan() {
+        // Compare the closed form against brute force over a grid of cases.
+        for (c, a, m, x, h) in [
+            (60, 10, 10, 5, 1),
+            (60, 10, 10, 5, 3),
+            (100, 5, 15, 10, 2),
+            (40, 1, 1, 1, 6),
+            (500, 2, 30, 3, 4),
+            (7, 3, 2, 9, 2),
+            (1000, 1, 5, 1, 7),
+        ] {
+            let s = RecoveryScheme::new(Time::new(c), Time::new(a), Time::new(m), Time::new(x))
+                .unwrap();
+            let max_n = 64;
+            let best_scan =
+                (0..=max_n).min_by_key(|&n| (s.worst_case_time(n, h), n)).unwrap();
+            let got = s.optimal_checkpoints_local(h, max_n);
+            assert_eq!(
+                s.worst_case_time(got, h),
+                s.worst_case_time(best_scan, h),
+                "closed-form optimum must match scan for C={c} α={a} µ={m} χ={x} h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_optimum_edge_cases() {
+        let s = fig1();
+        assert_eq!(s.optimal_checkpoints_local(0, 10), 0, "no faults => no checkpoints");
+        let free =
+            RecoveryScheme::new(Time::new(60), Time::ZERO, Time::ZERO, Time::ZERO).unwrap();
+        assert_eq!(free.optimal_checkpoints_local(2, 8), 8, "free checkpoints saturate the cap");
+        // Cap of one: choose the better of {0, 1}.
+        let got = s.optimal_checkpoints_local(3, 1);
+        assert!(got <= 1);
+        assert!(s.worst_case_time(got, 3) <= s.worst_case_time(1 - got, 3));
+    }
+
+    #[test]
+    fn for_process_reads_model_overheads() {
+        let (app, _) = ftes_model::samples::fig1_process(1);
+        let p = app.process(ftes_model::ProcessId::new(0));
+        let s = RecoveryScheme::for_process(p, Time::new(60)).unwrap();
+        assert_eq!(s.alpha(), Time::new(10));
+        assert_eq!(s.mu(), Time::new(10));
+        assert_eq!(s.chi(), Time::new(5));
+        assert_eq!(s.wcet(), Time::new(60));
+    }
+}

@@ -1,0 +1,138 @@
+//! Timing comparison of active replication and passive replication
+//! (primary-backup), reproducing the scenarios of the paper's Fig. 2.
+//!
+//! These closed-form completion times are illustrative (they assume
+//! dedicated nodes per replica and no contention) and back the
+//! `replication_vs_checkpointing` example and several unit/integration
+//! tests; the real scheduling of replicas happens in `ftes-sched`.
+
+use crate::{FtError, RecoveryScheme};
+use ftes_model::Time;
+
+/// Completion time of **active replication** (Fig. 2b): all replicas run in
+/// parallel from time zero, each on its own node, each execution taking
+/// `C + α`. As long as at most `replicas − 1` replicas are hit by faults,
+/// some replica finishes at `C + α` — fault occurrences do not delay
+/// completion (the spatial-redundancy advantage of §3.2).
+///
+/// `faulty_replicas` is the number of replicas hit by a fault; the result is
+/// `None` when every replica fails (the configuration tolerates only
+/// `replicas − 1` faults).
+pub fn active_replication_completion(
+    scheme: RecoveryScheme,
+    replicas: u32,
+    faulty_replicas: u32,
+) -> Option<Time> {
+    if replicas == 0 || faulty_replicas >= replicas {
+        return None;
+    }
+    Some(scheme.wcet() + scheme.alpha())
+}
+
+/// Completion time of **primary-backup** (passive replication, Fig. 2c):
+/// the backup replica is activated only after a fault in the primary is
+/// detected, so the fault-free time equals one execution but each fault
+/// serializes another full execution:
+/// `(faults + 1)·(C + α)` for `faults < replicas`.
+///
+/// Returns `None` when the fault count reaches the replica count.
+pub fn primary_backup_completion(
+    scheme: RecoveryScheme,
+    replicas: u32,
+    faults: u32,
+) -> Option<Time> {
+    if replicas == 0 || faults >= replicas {
+        return None;
+    }
+    Some((scheme.wcet() + scheme.alpha()) * i64::from(faults + 1))
+}
+
+/// Worst-case node occupancy of active replication: every replica runs even
+/// when no fault occurs (`replicas · (C + α)` total processor time), the
+/// resource cost called out in §3.2.
+pub fn active_replication_demand(scheme: RecoveryScheme, replicas: u32) -> Time {
+    (scheme.wcet() + scheme.alpha()) * i64::from(replicas)
+}
+
+/// Fault-free node occupancy of primary-backup: only the primary runs.
+pub fn primary_backup_demand(scheme: RecoveryScheme) -> Time {
+    scheme.wcet() + scheme.alpha()
+}
+
+/// Summary row comparing both replication styles for a process; used by the
+/// Fig. 2 example binary and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationComparison {
+    /// Completion with no faults: active replication.
+    pub active_no_fault: Time,
+    /// Completion with one fault: active replication.
+    pub active_one_fault: Time,
+    /// Completion with no faults: primary-backup.
+    pub passive_no_fault: Time,
+    /// Completion with one fault: primary-backup.
+    pub passive_one_fault: Time,
+}
+
+/// Computes the Fig. 2 comparison (two replicas, zero or one fault).
+///
+/// # Errors
+///
+/// Returns [`FtError::InsufficientPolicy`] if two replicas cannot provide
+/// the requested scenarios (never happens for one fault).
+pub fn fig2_comparison(scheme: RecoveryScheme) -> Result<ReplicationComparison, FtError> {
+    let fail = |_| FtError::InsufficientPolicy { k: 1, tolerated: 1 };
+    Ok(ReplicationComparison {
+        active_no_fault: active_replication_completion(scheme, 2, 0)
+            .ok_or(())
+            .map_err(fail)?,
+        active_one_fault: active_replication_completion(scheme, 2, 1)
+            .ok_or(())
+            .map_err(fail)?,
+        passive_no_fault: primary_backup_completion(scheme, 2, 0).ok_or(()).map_err(fail)?,
+        passive_one_fault: primary_backup_completion(scheme, 2, 1).ok_or(()).map_err(fail)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_scheme() -> RecoveryScheme {
+        // Fig. 2a: C1 = 60, α = 10.
+        RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5)).unwrap()
+    }
+
+    #[test]
+    fn fig2_active_replication_is_fault_insensitive() {
+        let s = fig2_scheme();
+        assert_eq!(active_replication_completion(s, 2, 0), Some(Time::new(70)));
+        assert_eq!(active_replication_completion(s, 2, 1), Some(Time::new(70)));
+        assert_eq!(active_replication_completion(s, 2, 2), None, "both replicas dead");
+    }
+
+    #[test]
+    fn fig2_primary_backup_serializes_on_fault() {
+        let s = fig2_scheme();
+        assert_eq!(primary_backup_completion(s, 2, 0), Some(Time::new(70)));
+        assert_eq!(primary_backup_completion(s, 2, 1), Some(Time::new(140)));
+        assert_eq!(primary_backup_completion(s, 2, 2), None);
+    }
+
+    #[test]
+    fn fig2_trade_off_shape() {
+        // The §3.2 trade-off: active replication is faster under faults but
+        // costs more resources even without faults.
+        let s = fig2_scheme();
+        let cmp = fig2_comparison(s).unwrap();
+        assert!(cmp.active_one_fault < cmp.passive_one_fault);
+        assert_eq!(cmp.active_no_fault, cmp.passive_no_fault);
+        assert!(active_replication_demand(s, 2) > primary_backup_demand(s));
+    }
+
+    #[test]
+    fn zero_replicas_never_complete() {
+        let s = fig2_scheme();
+        assert_eq!(active_replication_completion(s, 0, 0), None);
+        assert_eq!(primary_backup_completion(s, 0, 0), None);
+    }
+}

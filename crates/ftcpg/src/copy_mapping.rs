@@ -1,0 +1,221 @@
+//! Mapping of every process *copy* (original + replicas) to a computation
+//! node — the extension of `M: V → N` to the replica set `VR` (paper §6,
+//! items 2 and 3 of the problem formulation).
+
+use crate::CpgError;
+use ftes_ft::PolicyAssignment;
+use ftes_model::{Application, Architecture, Mapping, NodeId, ProcessId, Time};
+
+/// Node assignment for every copy of every process.
+///
+/// Row `p` has one entry per copy of `p`'s policy (index 0 = the original
+/// process, 1.. = replicas). Validated invariants:
+///
+/// * arity matches the policy's copy count,
+/// * every copy sits on a node where the process has a WCET.
+///
+/// Replicas *prefer* pairwise distinct nodes (spatial redundancy, §3.2),
+/// but sharing is permitted: transient faults hit individual executions,
+/// not nodes, and the paper's fault model allows `k` to exceed the node
+/// count (§2, footnote 1) — pure replication then necessarily co-locates
+/// copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyMapping {
+    rows: Vec<Vec<NodeId>>,
+}
+
+impl CopyMapping {
+    /// Validates and wraps an explicit per-copy assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpgError::CopyArityMismatch`] or
+    /// [`CpgError::InfeasibleCopyMapping`] when the invariants are
+    /// violated.
+    pub fn new(
+        app: &Application,
+        policies: &PolicyAssignment,
+        rows: Vec<Vec<NodeId>>,
+    ) -> Result<Self, CpgError> {
+        if rows.len() != app.process_count() {
+            return Err(CpgError::CopyArityMismatch {
+                process: ProcessId::new(rows.len().min(app.process_count())),
+                got: rows.len(),
+                expected: app.process_count(),
+            });
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let pid = ProcessId::new(i);
+            let copies = policies.policy(pid).copies().len();
+            if row.len() != copies {
+                return Err(CpgError::CopyArityMismatch {
+                    process: pid,
+                    got: row.len(),
+                    expected: copies,
+                });
+            }
+            let proc = app.process(pid);
+            for &node in row {
+                if proc.wcet_on(node).is_none() {
+                    return Err(CpgError::InfeasibleCopyMapping(pid, node));
+                }
+            }
+        }
+        Ok(CopyMapping { rows })
+    }
+
+    /// Derives a copy mapping from a base process mapping: copy 0 follows
+    /// the base mapping; replicas are placed greedily on the feasible node
+    /// with the smallest accumulated load, preferring nodes not yet used by
+    /// this process (distinct placement when possible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpgError::CopyArityMismatch`] (unreachable for
+    /// consistent inputs).
+    pub fn from_base(
+        app: &Application,
+        arch: &Architecture,
+        base: &Mapping,
+        policies: &PolicyAssignment,
+    ) -> Result<Self, CpgError> {
+        let mut load = vec![Time::ZERO; arch.node_count()];
+        for (pid, node) in base.iter() {
+            load[node.index()] += base.wcet_of(app, pid);
+        }
+        let mut rows = Vec::with_capacity(app.process_count());
+        for (pid, proc) in app.processes() {
+            let copies = policies.policy(pid).copies().len();
+            let feasible: Vec<NodeId> = proc.candidate_nodes().collect();
+            let mut row = vec![base.node_of(pid)];
+            while row.len() < copies {
+                let next = feasible
+                    .iter()
+                    .copied()
+                    .min_by_key(|n| {
+                        let reuse = row.iter().filter(|&&r| r == *n).count();
+                        (reuse, load[n.index()], n.index())
+                    })
+                    .expect("validated processes have a feasible node");
+                load[next.index()] += proc.wcet_on(next).expect("feasible node");
+                row.push(next);
+            }
+            rows.push(row);
+        }
+        Ok(CopyMapping { rows })
+    }
+
+    /// Node of copy `copy` of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `copy` is out of range.
+    pub fn node_of(&self, p: ProcessId, copy: usize) -> NodeId {
+        self.rows[p.index()][copy]
+    }
+
+    /// All copy nodes of process `p` (index 0 = original).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn copies_of(&self, p: ProcessId) -> &[NodeId] {
+        &self.rows[p.index()]
+    }
+
+    /// The base mapping restricted to copy 0 of every process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ftes_model::ModelError`] if the restriction is somehow
+    /// infeasible (cannot happen for a validated copy mapping).
+    pub fn base_mapping(
+        &self,
+        app: &Application,
+        arch: &Architecture,
+    ) -> Result<Mapping, ftes_model::ModelError> {
+        Mapping::new(app, arch, self.rows.iter().map(|r| r[0]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::{Policy, PolicyAssignment};
+    use ftes_model::samples;
+
+    fn fig3_setup(k: u32) -> (Application, Architecture, Mapping, PolicyAssignment) {
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        (app, arch, mapping, policies)
+    }
+
+    #[test]
+    fn from_base_single_copy_follows_base() {
+        let (app, arch, mapping, policies) = fig3_setup(2);
+        let cm = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        for (pid, _) in app.processes() {
+            assert_eq!(cm.copies_of(pid), &[mapping.node_of(pid)]);
+        }
+        assert_eq!(cm.base_mapping(&app, &arch).unwrap(), mapping);
+    }
+
+    #[test]
+    fn from_base_places_replicas_on_distinct_nodes() {
+        let (app, arch, mapping, mut policies) = fig3_setup(1);
+        // Replicate P1 (id 0) once: two copies on the two nodes.
+        policies.set(ProcessId::new(0), Policy::replication(1));
+        let cm = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let copies = cm.copies_of(ProcessId::new(0));
+        assert_eq!(copies.len(), 2);
+        assert_ne!(copies[0], copies[1]);
+    }
+
+    #[test]
+    fn replication_of_restricted_process_shares_its_node() {
+        let (app, arch, mapping, mut policies) = fig3_setup(1);
+        // P3 (id 2) can only run on N1 -> both copies share it (the k >
+        // node-count regime of §2, footnote 1).
+        policies.set(ProcessId::new(2), Policy::replication(1));
+        let cm = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        assert_eq!(cm.copies_of(ProcessId::new(2)), &[NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn explicit_rows_validated() {
+        let (app, _arch, _mapping, mut policies) = fig3_setup(1);
+        policies.set(ProcessId::new(0), Policy::replication(1));
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        // Wrong arity for P1.
+        let bad = CopyMapping::new(
+            &app,
+            &policies,
+            vec![vec![n0], vec![n0], vec![n0], vec![n0], vec![n0]],
+        );
+        assert!(matches!(bad, Err(CpgError::CopyArityMismatch { .. })));
+        // Shared node for two copies is allowed.
+        CopyMapping::new(
+            &app,
+            &policies,
+            vec![vec![n0, n0], vec![n0], vec![n0], vec![n0], vec![n0]],
+        )
+        .unwrap();
+        // Infeasible node for P3 (id 2).
+        let bad = CopyMapping::new(
+            &app,
+            &policies,
+            vec![vec![n0, n1], vec![n0], vec![n1], vec![n0], vec![n0]],
+        );
+        assert!(matches!(bad, Err(CpgError::InfeasibleCopyMapping(..))));
+        // A valid one.
+        let ok = CopyMapping::new(
+            &app,
+            &policies,
+            vec![vec![n0, n1], vec![n0], vec![n0], vec![n0], vec![n0]],
+        )
+        .unwrap();
+        assert_eq!(ok.node_of(ProcessId::new(0), 1), n1);
+    }
+}

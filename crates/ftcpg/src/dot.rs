@@ -1,0 +1,105 @@
+//! Graphviz DOT export of FT-CPGs, mirroring the visual language of the
+//! paper's Fig. 5b: conditional processes are double circles, regular copies
+//! plain circles, synchronization nodes bars, and conditional edges are
+//! labelled with their condition value.
+
+use crate::{CpgNodeKind, FtCpg, Location};
+use std::fmt::Write as _;
+
+/// Renders the FT-CPG in Graphviz DOT syntax.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ftcpg::{build_ftcpg, dot, BuildConfig, CopyMapping};
+/// use ftes_ft::PolicyAssignment;
+/// use ftes_model::{samples, FaultModel, Mapping, Transparency};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch) = samples::fig1_process(1);
+/// let mapping = Mapping::cheapest(&app, &arch)?;
+/// let policies = PolicyAssignment::uniform_reexecution(&app, 1);
+/// let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// let cpg = build_ftcpg(&app, &policies, &copies, FaultModel::new(1),
+///                       &Transparency::none(), BuildConfig::default())?;
+/// let rendered = dot::ftcpg_to_dot(&cpg);
+/// assert!(rendered.contains("digraph ftcpg"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ftcpg_to_dot(cpg: &FtCpg) -> String {
+    let mut out = String::new();
+    out.push_str("digraph ftcpg {\n  rankdir=TB;\n");
+    for (id, node) in cpg.iter() {
+        let shape = match node.kind {
+            CpgNodeKind::ProcessCopy { .. } => {
+                if node.conditional {
+                    "doublecircle"
+                } else {
+                    "circle"
+                }
+            }
+            CpgNodeKind::MessageCopy { .. } => "ellipse",
+            CpgNodeKind::ProcessSync { .. } | CpgNodeKind::MessageSync { .. } => "box",
+            CpgNodeKind::ReplicaJoin { .. } => "invtriangle",
+        };
+        let loc = match node.location {
+            Location::Node(n) => format!("\\n@{n}"),
+            Location::Bus => "\\n@bus".to_string(),
+            Location::None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}{}\", shape={}, tooltip=\"{}\"];",
+            id.index(),
+            cpg.name(id),
+            loc,
+            shape,
+            cpg.node(id).guard.display_with(|c| cpg.name(c).to_string()),
+        );
+    }
+    for e in cpg.edges() {
+        let label = match e.condition {
+            Some(l) if l.fault => format!(" [label=\"F({})\", style=dashed]", cpg.name(l.cond)),
+            Some(l) => format!(" [label=\"!F({})\"]", cpg.name(l.cond)),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  n{} -> n{}{};", e.from.index(), e.to.index(), label);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_ftcpg, BuildConfig, CopyMapping};
+    use ftes_ft::PolicyAssignment;
+    use ftes_model::{samples, FaultModel, Mapping};
+
+    #[test]
+    fn renders_fig5_nodes_edges_and_styles() {
+        let (app, arch, transparency) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let dot = ftcpg_to_dot(&cpg);
+        assert!(dot.starts_with("digraph ftcpg {"));
+        assert_eq!(dot.matches("->").count(), cpg.edge_count());
+        // Sync nodes are boxes, conditional copies double circles.
+        assert!(dot.contains("P3^S"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=doublecircle"));
+        // Conditional edges are labelled.
+        assert!(dot.contains("style=dashed"));
+    }
+}

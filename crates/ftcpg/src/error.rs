@@ -1,0 +1,88 @@
+//! Errors reported by FT-CPG construction.
+
+use ftes_model::{NodeId, ProcessId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building a fault-tolerant conditional process graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpgError {
+    /// The graph would exceed the configured node budget; use the fast
+    /// schedule-length estimator (`ftes-sched`) for instances of this size.
+    GraphTooLarge {
+        /// Configured limit.
+        limit: usize,
+    },
+    /// A copy mapping row has the wrong number of entries for the process's
+    /// policy.
+    CopyArityMismatch {
+        /// Offending process.
+        process: ProcessId,
+        /// Entries supplied.
+        got: usize,
+        /// Copies required by the policy.
+        expected: usize,
+    },
+    /// A copy is mapped on a node where the process has no WCET.
+    InfeasibleCopyMapping(ProcessId, NodeId),
+    /// A model-level error surfaced during construction.
+    Model(ftes_model::ModelError),
+    /// A fault-tolerance error surfaced during construction.
+    Ft(ftes_ft::FtError),
+}
+
+impl fmt::Display for CpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpgError::GraphTooLarge { limit } => {
+                write!(f, "FT-CPG would exceed the {limit}-node budget")
+            }
+            CpgError::CopyArityMismatch { process, got, expected } => write!(
+                f,
+                "copy mapping of {process} has {got} entries but the policy has {expected} copies"
+            ),
+            CpgError::InfeasibleCopyMapping(p, n) => {
+                write!(f, "copy of {p} is mapped on {n} where it has no WCET")
+            }
+            CpgError::Model(e) => write!(f, "model error: {e}"),
+            CpgError::Ft(e) => write!(f, "fault-tolerance error: {e}"),
+        }
+    }
+}
+
+impl Error for CpgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpgError::Model(e) => Some(e),
+            CpgError::Ft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ftes_model::ModelError> for CpgError {
+    fn from(e: ftes_model::ModelError) -> Self {
+        CpgError::Model(e)
+    }
+}
+
+impl From<ftes_ft::FtError> for CpgError {
+    fn from(e: ftes_ft::FtError) -> Self {
+        CpgError::Ft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chains() {
+        let e = CpgError::from(ftes_ft::FtError::NoCopies);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("fault-tolerance"));
+        let e = CpgError::GraphTooLarge { limit: 10 };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! FT-CPG node and edge types and the graph container (paper §5.1).
+
+use crate::{Guard, Literal};
+use ftes_model::{MessageId, NodeId, ProcessId, Time};
+use std::fmt;
+
+/// Index of a node in a [`FtCpg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpgNodeId(u32);
+
+impl CpgNodeId {
+    /// Creates an id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        CpgNodeId(index as u32)
+    }
+
+    /// Dense index for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where an FT-CPG node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// On a computation node's CPU.
+    Node(NodeId),
+    /// On the shared TDMA bus.
+    Bus,
+    /// Nowhere — synchronization and join nodes take zero time (§5.1).
+    None,
+}
+
+/// The role of an FT-CPG node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CpgNodeKind {
+    /// The `m`-th execution copy `Pi^m` of a process: `copy` is the replica
+    /// index (0 = original), `attempt` the 1-based execution attempt of that
+    /// replica in its scenario context, `variant` the global display index
+    /// `m` (matching the paper's `P2^4` notation).
+    ProcessCopy {
+        /// The application process.
+        process: ProcessId,
+        /// Replica index (0 = the original).
+        copy: u32,
+        /// 1-based attempt number within the replica's recovery chain.
+        attempt: u32,
+        /// Global display index `m` of this copy.
+        variant: u32,
+    },
+    /// A copy of message `mi` carrying the output of one producer outcome.
+    MessageCopy {
+        /// The application message.
+        message: MessageId,
+        /// Global display index of this copy.
+        variant: u32,
+    },
+    /// Synchronization node `Pi^S` of a frozen process.
+    ProcessSync {
+        /// The frozen process.
+        process: ProcessId,
+    },
+    /// Synchronization node `mi^S` of a frozen message.
+    MessageSync {
+        /// The frozen message.
+        message: MessageId,
+    },
+    /// Join of the replica chains of one process in one scenario context:
+    /// completes when at least one replica is guaranteed to have delivered
+    /// (see `ftes-sched`'s adversarial join analysis).
+    ReplicaJoin {
+        /// The replicated process.
+        process: ProcessId,
+        /// Display index of the join (one per arrival context).
+        variant: u32,
+    },
+}
+
+/// One node of the FT-CPG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpgNode {
+    /// Role of the node.
+    pub kind: CpgNodeKind,
+    /// Conjunction of condition values under which the node executes.
+    pub guard: Guard,
+    /// Worst-case duration (zero for synchronization/join nodes and
+    /// node-internal messages).
+    pub duration: Time,
+    /// Execution location.
+    pub location: Location,
+    /// `true` iff the node produces a fault condition `F` (conditional
+    /// process, §5.1).
+    pub conditional: bool,
+}
+
+/// One edge of the FT-CPG. `condition` is `Some` for conditional edges
+/// (carrying the outcome literal of the producing conditional node) and
+/// `None` for simple edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpgEdge {
+    /// Source node.
+    pub from: CpgNodeId,
+    /// Target node.
+    pub to: CpgNodeId,
+    /// Outcome literal for conditional edges.
+    pub condition: Option<Literal>,
+}
+
+/// A fault-tolerant conditional process graph `G(VP ∪ VC ∪ VT, ES ∪ EC)`.
+///
+/// Nodes are stored in a topological order (construction order); edges point
+/// from earlier to later nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FtCpg {
+    pub(crate) nodes: Vec<CpgNode>,
+    pub(crate) edges: Vec<CpgEdge>,
+    pub(crate) out_edges: Vec<Vec<usize>>,
+    pub(crate) in_edges: Vec<Vec<usize>>,
+    pub(crate) names: Vec<String>,
+    /// Replica chains per join node: `joins[i] = (join, chains)` where
+    /// `chains[j]` lists the attempt nodes of replica `j` in order.
+    pub(crate) joins: Vec<(CpgNodeId, Vec<Vec<CpgNodeId>>)>,
+    pub(crate) fault_budget: u32,
+}
+
+impl FtCpg {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The global fault budget `k` the graph was built for.
+    pub fn fault_budget(&self) -> u32 {
+        self.fault_budget
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: CpgNodeId) -> &CpgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Display name of a node (e.g. `P2^4`, `m1^2`, `P3^S`, `P1(1)^2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: CpgNodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Iterator over `(CpgNodeId, &CpgNode)` in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (CpgNodeId, &CpgNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (CpgNodeId::new(i), n))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CpgEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn outgoing(&self, id: CpgNodeId) -> impl Iterator<Item = &CpgEdge> {
+        self.out_edges[id.index()].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Incoming edges of `id`.
+    pub fn incoming(&self, id: CpgNodeId) -> impl Iterator<Item = &CpgEdge> {
+        self.in_edges[id.index()].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Conditional nodes (the producers of fault conditions), in topological
+    /// order.
+    pub fn conditional_nodes(&self) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.iter().filter(|(_, n)| n.conditional).map(|(id, _)| id)
+    }
+
+    /// Synchronization nodes (frozen processes/messages), in topological
+    /// order.
+    pub fn sync_nodes(&self) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.iter()
+            .filter(|(_, n)| {
+                matches!(n.kind, CpgNodeKind::ProcessSync { .. } | CpgNodeKind::MessageSync { .. })
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// Replica-join metadata: for each join node, the attempt chains of each
+    /// replica feeding it.
+    pub fn joins(&self) -> &[(CpgNodeId, Vec<Vec<CpgNodeId>>)] {
+        &self.joins
+    }
+
+    /// Nodes with no outgoing edges.
+    pub fn leaves(&self) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.out_edges
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(i, _)| CpgNodeId::new(i))
+    }
+
+    /// All process copies of one application process, in topological order.
+    pub fn copies_of_process(&self, p: ProcessId) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.iter()
+            .filter(move |(_, n)| {
+                matches!(n.kind, CpgNodeKind::ProcessCopy { process, .. } if process == p)
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// All message copies (and the sync node, if frozen) of one message.
+    pub fn copies_of_message(&self, m: MessageId) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.iter()
+            .filter(move |(_, n)| match n.kind {
+                CpgNodeKind::MessageCopy { message, .. }
+                | CpgNodeKind::MessageSync { message } => message == m,
+                _ => false,
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// Validates structural invariants (used by tests and debug assertions):
+    /// edges go forward, guards of children imply or refine parents', and
+    /// out-edges of a conditional node carry complementary literals on its
+    /// condition.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for e in &self.edges {
+            if e.from.index() >= e.to.index() {
+                return Err(format!("edge {} -> {} is not topological", e.from, e.to));
+            }
+        }
+        for (id, n) in self.iter() {
+            if n.conditional {
+                for e in self.outgoing(id) {
+                    if let Some(lit) = e.condition {
+                        if lit.cond != id {
+                            return Err(format!(
+                                "conditional edge out of {} carries foreign condition",
+                                self.name(id)
+                            ));
+                        }
+                    }
+                }
+            }
+            if n.duration.is_negative() {
+                return Err(format!("negative duration on {}", self.name(id)));
+            }
+            if n.guard.fault_count() > self.fault_budget {
+                return Err(format!(
+                    "guard of {} exceeds the fault budget k={}",
+                    self.name(id),
+                    self.fault_budget
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let id = CpgNodeId::new(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "n5");
+    }
+
+    #[test]
+    fn empty_graph_queries() {
+        let g = FtCpg::default();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.conditional_nodes().count(), 0);
+        assert_eq!(g.leaves().count(), 0);
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Fault scenarios: consistent assignments of outcomes to the FT-CPG's
+//! conditions, bounded by the global fault budget `k` (paper §2, §5.1).
+//!
+//! A scenario is identified by the set of conditional nodes that experience
+//! a fault. A conditional node is *active* in a scenario iff its guard is
+//! satisfied by the outcomes of earlier conditions; only active nodes can
+//! fault, and at most `k` faults occur in total.
+
+use crate::{CpgError, CpgNodeId, FtCpg};
+use std::collections::BTreeSet;
+
+/// One fault scenario: the set of execution copies hit by a fault.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ftcpg::FaultScenario;
+///
+/// let s = FaultScenario::fault_free();
+/// assert_eq!(s.fault_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FaultScenario {
+    faults: BTreeSet<CpgNodeId>,
+}
+
+impl FaultScenario {
+    /// The scenario with no faults.
+    pub fn fault_free() -> Self {
+        FaultScenario::default()
+    }
+
+    /// A scenario from an explicit fault set (consistency against a graph is
+    /// checked by [`FaultScenario::is_consistent`]).
+    pub fn new(faults: impl IntoIterator<Item = CpgNodeId>) -> Self {
+        FaultScenario { faults: faults.into_iter().collect() }
+    }
+
+    /// The faulted copies.
+    pub fn faults(&self) -> impl Iterator<Item = CpgNodeId> + '_ {
+        self.faults.iter().copied()
+    }
+
+    /// Number of faults in the scenario.
+    pub fn fault_count(&self) -> u32 {
+        self.faults.len() as u32
+    }
+
+    /// Returns `true` if `node` faults in this scenario.
+    pub fn is_faulted(&self, node: CpgNodeId) -> bool {
+        self.faults.contains(&node)
+    }
+
+    /// Computes, for every FT-CPG node, whether it executes in this
+    /// scenario (its guard is satisfied by the condition outcomes).
+    ///
+    /// Returned vector is indexed by node id.
+    pub fn active_nodes(&self, cpg: &FtCpg) -> Vec<bool> {
+        let mut cond_value: Vec<Option<bool>> = vec![None; cpg.node_count()];
+        let mut active = vec![false; cpg.node_count()];
+        for (id, node) in cpg.iter() {
+            let sat = node
+                .guard
+                .evaluate(|c| cond_value[c.index()])
+                .unwrap_or(false);
+            active[id.index()] = sat;
+            if node.conditional && sat {
+                cond_value[id.index()] = Some(self.faults.contains(&id));
+            }
+        }
+        active
+    }
+
+    /// Checks that the scenario is realizable on `cpg`: every faulted node
+    /// is an active conditional node and the budget `k` is respected.
+    pub fn is_consistent(&self, cpg: &FtCpg) -> bool {
+        if self.fault_count() > cpg.fault_budget() {
+            return false;
+        }
+        let active = self.active_nodes(cpg);
+        self.faults
+            .iter()
+            .all(|f| f.index() < cpg.node_count() && active[f.index()] && cpg.node(*f).conditional)
+    }
+}
+
+/// Enumerates every consistent fault scenario of `cpg` (up to `limit`).
+///
+/// Scenarios are produced in a deterministic order starting with the
+/// fault-free scenario.
+///
+/// # Errors
+///
+/// Returns [`CpgError::GraphTooLarge`] (reusing the budget error) when more
+/// than `limit` scenarios exist — callers should fall back to sampling.
+pub fn enumerate_scenarios(cpg: &FtCpg, limit: usize) -> Result<Vec<FaultScenario>, CpgError> {
+    let conditionals: Vec<CpgNodeId> = cpg.conditional_nodes().collect();
+    let mut out = Vec::new();
+    let mut cond_value: Vec<Option<bool>> = vec![None; cpg.node_count()];
+    let mut faults: Vec<CpgNodeId> = Vec::new();
+    dfs(cpg, &conditionals, 0, &mut cond_value, &mut faults, &mut out, limit)?;
+    Ok(out)
+}
+
+fn dfs(
+    cpg: &FtCpg,
+    conds: &[CpgNodeId],
+    i: usize,
+    cond_value: &mut Vec<Option<bool>>,
+    faults: &mut Vec<CpgNodeId>,
+    out: &mut Vec<FaultScenario>,
+    limit: usize,
+) -> Result<(), CpgError> {
+    if i == conds.len() {
+        if out.len() >= limit {
+            return Err(CpgError::GraphTooLarge { limit });
+        }
+        out.push(FaultScenario::new(faults.iter().copied()));
+        return Ok(());
+    }
+    let id = conds[i];
+    let active = cpg
+        .node(id)
+        .guard
+        .evaluate(|c| cond_value[c.index()])
+        .unwrap_or(false);
+    if !active {
+        // Inactive condition: no outcome.
+        dfs(cpg, conds, i + 1, cond_value, faults, out, limit)?;
+        return Ok(());
+    }
+    // No-fault branch first => the fault-free scenario comes first.
+    cond_value[id.index()] = Some(false);
+    dfs(cpg, conds, i + 1, cond_value, faults, out, limit)?;
+    if (faults.len() as u32) < cpg.fault_budget() {
+        cond_value[id.index()] = Some(true);
+        faults.push(id);
+        dfs(cpg, conds, i + 1, cond_value, faults, out, limit)?;
+        faults.pop();
+    }
+    cond_value[id.index()] = None;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_ftcpg, BuildConfig, CopyMapping};
+    use ftes_ft::PolicyAssignment;
+    use ftes_model::{samples, FaultModel, Mapping, Transparency};
+
+    fn single_process_cpg(k: u32) -> FtCpg {
+        let (app, arch) = samples::fig1_process(1);
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(k),
+            &Transparency::none(),
+            BuildConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_process_scenario_count() {
+        // One process, k faults on a recovery chain: scenarios are "fault on
+        // the first j attempts", j = 0..=k.
+        for k in 0..4u32 {
+            let cpg = single_process_cpg(k);
+            let scenarios = enumerate_scenarios(&cpg, 1000).unwrap();
+            assert_eq!(scenarios.len(), (k + 1) as usize, "k={k}");
+            assert_eq!(scenarios[0], FaultScenario::fault_free());
+            for s in &scenarios {
+                assert!(s.is_consistent(&cpg));
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_scenarios_are_consistent_and_bounded() {
+        let (app, arch, transparency) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let scenarios = enumerate_scenarios(&cpg, 100_000).unwrap();
+        // All distinct, consistent, within budget.
+        let set: std::collections::BTreeSet<_> = scenarios.iter().cloned().collect();
+        assert_eq!(set.len(), scenarios.len());
+        for s in &scenarios {
+            assert!(s.fault_count() <= 2);
+            assert!(s.is_consistent(&cpg));
+        }
+        // With 4 processes and k = 2 there are more than a handful.
+        assert!(scenarios.len() > 10, "got {}", scenarios.len());
+    }
+
+    #[test]
+    fn active_nodes_respect_outcomes() {
+        let cpg = single_process_cpg(2);
+        let copies: Vec<_> = cpg.copies_of_process(ftes_model::ProcessId::new(0)).collect();
+        assert_eq!(copies.len(), 3);
+        // Fault-free: only the first attempt runs.
+        let active = FaultScenario::fault_free().active_nodes(&cpg);
+        assert!(active[copies[0].index()]);
+        assert!(!active[copies[1].index()]);
+        // One fault on the first attempt: attempts 1 and 2 run.
+        let active = FaultScenario::new([copies[0]]).active_nodes(&cpg);
+        assert!(active[copies[0].index()] && active[copies[1].index()]);
+        assert!(!active[copies[2].index()]);
+    }
+
+    #[test]
+    fn inconsistent_scenarios_detected() {
+        let cpg = single_process_cpg(1);
+        let copies: Vec<_> = cpg.copies_of_process(ftes_model::ProcessId::new(0)).collect();
+        // Fault on the second attempt without one on the first: inactive.
+        assert!(!FaultScenario::new([copies[1]]).is_consistent(&cpg));
+        // Budget violation.
+        let over = FaultScenario::new(copies.iter().copied());
+        assert!(!over.is_consistent(&cpg));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let cpg = single_process_cpg(3);
+        assert!(matches!(
+            enumerate_scenarios(&cpg, 2),
+            Err(CpgError::GraphTooLarge { limit: 2 })
+        ));
+    }
+}

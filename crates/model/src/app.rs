@@ -1,0 +1,659 @@
+//! The application model of the paper's §4: a directed acyclic graph of
+//! non-preemptable processes exchanging messages, annotated with per-node
+//! WCETs, fault-tolerance overheads and timing constraints.
+
+use crate::{MessageId, ModelError, NodeId, ProcessId, Time};
+
+/// A non-preemptable application process `Pi ∈ V`.
+///
+/// Besides its worst-case execution time per candidate node, every process
+/// carries the fault-tolerance overheads of §4: error-detection overhead
+/// `αi`, recovery overhead `µi` and checkpointing overhead `χi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    name: String,
+    /// WCET per architecture node; `None` encodes the `X` (cannot map)
+    /// entries of Fig. 3c.
+    wcet: Vec<Option<Time>>,
+    alpha: Time,
+    mu: Time,
+    chi: Time,
+    release: Time,
+    local_deadline: Option<Time>,
+    fixed_node: Option<NodeId>,
+}
+
+impl Process {
+    /// Returns the human-readable process name (e.g. `"P1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case execution time on `node`, or `None` if the process cannot
+    /// be mapped there.
+    pub fn wcet_on(&self, node: NodeId) -> Option<Time> {
+        self.wcet.get(node.index()).copied().flatten()
+    }
+
+    /// Iterator over the nodes this process can potentially be mapped to
+    /// (the set `N_Pi ⊆ N` of §4).
+    pub fn candidate_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.wcet
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_some())
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Error-detection overhead `αi` (§3).
+    pub fn alpha(&self) -> Time {
+        self.alpha
+    }
+
+    /// Recovery overhead `µi` (§3.1).
+    pub fn mu(&self) -> Time {
+        self.mu
+    }
+
+    /// Checkpointing overhead `χi` (§3.1).
+    pub fn chi(&self) -> Time {
+        self.chi
+    }
+
+    /// Earliest activation time (non-zero for unrolled instances of merged
+    /// periodic applications, §4).
+    pub fn release(&self) -> Time {
+        self.release
+    }
+
+    /// Local deadline `dlocal`, if the designer imposed one (§4).
+    pub fn local_deadline(&self) -> Option<Time> {
+        self.local_deadline
+    }
+
+    /// Node pre-assigned by the designer (e.g. sensor/actuator proximity,
+    /// §6), if any; such processes are not remapped during optimization.
+    pub fn fixed_node(&self) -> Option<NodeId> {
+        self.fixed_node
+    }
+}
+
+/// Specification of one process, consumed by [`ApplicationBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{ProcessSpec, Time};
+///
+/// let spec = ProcessSpec::new("P2", [Some(Time::new(40)), Some(Time::new(60))])
+///     .overheads(Time::new(10), Time::new(10), Time::new(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessSpec {
+    name: String,
+    wcet: Vec<Option<Time>>,
+    alpha: Time,
+    mu: Time,
+    chi: Time,
+    release: Time,
+    local_deadline: Option<Time>,
+    fixed_node: Option<NodeId>,
+}
+
+impl ProcessSpec {
+    /// Creates a specification with the given per-node WCET row
+    /// (`None` = cannot map, the `X` of Fig. 3c). Overheads default to zero.
+    pub fn new(name: impl Into<String>, wcet: impl IntoIterator<Item = Option<Time>>) -> Self {
+        ProcessSpec {
+            name: name.into(),
+            wcet: wcet.into_iter().collect(),
+            alpha: Time::ZERO,
+            mu: Time::ZERO,
+            chi: Time::ZERO,
+            release: Time::ZERO,
+            local_deadline: None,
+            fixed_node: None,
+        }
+    }
+
+    /// Convenience constructor for a process executable on every node with
+    /// the same WCET.
+    pub fn uniform(name: impl Into<String>, wcet: Time, node_count: usize) -> Self {
+        ProcessSpec::new(name, std::iter::repeat_n(Some(wcet), node_count))
+    }
+
+    /// Sets the fault-tolerance overheads `(αi, µi, χi)`.
+    pub fn overheads(mut self, alpha: Time, mu: Time, chi: Time) -> Self {
+        self.alpha = alpha;
+        self.mu = mu;
+        self.chi = chi;
+        self
+    }
+
+    /// Sets the earliest activation time (defaults to zero).
+    pub fn release(mut self, release: Time) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Imposes a local deadline `dlocal`.
+    pub fn local_deadline(mut self, deadline: Time) -> Self {
+        self.local_deadline = Some(deadline);
+        self
+    }
+
+    /// Pre-assigns the process to a node; design optimization will not remap
+    /// it.
+    pub fn fixed_node(mut self, node: NodeId) -> Self {
+        self.fixed_node = Some(node);
+        self
+    }
+}
+
+/// A message `mi` carried by an edge `eij ∈ E` of the application graph.
+///
+/// If sender and receiver are mapped on the same node the transmission time
+/// is accounted for inside the sender's WCET and the message never reaches
+/// the bus (§4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    name: String,
+    src: ProcessId,
+    dst: ProcessId,
+    transmission: Time,
+}
+
+impl Message {
+    /// Returns the message name (e.g. `"m1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sending process.
+    pub fn src(&self) -> ProcessId {
+        self.src
+    }
+
+    /// Receiving process.
+    pub fn dst(&self) -> ProcessId {
+        self.dst
+    }
+
+    /// Worst-case transmission time on the bus (derived from the worst-case
+    /// message size, §4).
+    pub fn transmission(&self) -> Time {
+        self.transmission
+    }
+}
+
+/// The (virtual) application `A = G(V, E)` of §4: a validated acyclic graph
+/// of processes and messages plus global timing constraints.
+///
+/// `Application` is immutable once built; construct it with
+/// [`ApplicationBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{ApplicationBuilder, ProcessSpec, Time};
+///
+/// # fn main() -> Result<(), ftes_model::ModelError> {
+/// let mut b = ApplicationBuilder::new(2);
+/// let p1 = b.add_process(ProcessSpec::new("P1", [Some(Time::new(20)), Some(Time::new(30))]));
+/// let p2 = b.add_process(ProcessSpec::new("P2", [Some(Time::new(40)), None]));
+/// b.add_message("m1", p1, p2, Time::new(5))?;
+/// let app = b.deadline(Time::new(200)).build()?;
+/// assert_eq!(app.process_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    node_count: usize,
+    deadline: Time,
+    period: Time,
+    processes: Vec<Process>,
+    messages: Vec<Message>,
+    succs: Vec<Vec<(ProcessId, MessageId)>>,
+    preds: Vec<Vec<(ProcessId, MessageId)>>,
+    topo: Vec<ProcessId>,
+}
+
+impl Application {
+    /// Number of processes `|V|`.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Number of messages `|E|`.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Number of architecture nodes the WCET table was built against.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Global hard deadline `D` (§4).
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Period `T` of the (virtual) application (§4).
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Returns the process with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn process(&self, id: ProcessId) -> &Process {
+        &self.processes[id.index()]
+    }
+
+    /// Returns the message with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn message(&self, id: MessageId) -> &Message {
+        &self.messages[id.index()]
+    }
+
+    /// Iterator over `(ProcessId, &Process)` in id order.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &Process)> {
+        self.processes.iter().enumerate().map(|(i, p)| (ProcessId::new(i), p))
+    }
+
+    /// Iterator over `(MessageId, &Message)` in id order.
+    pub fn messages(&self) -> impl Iterator<Item = (MessageId, &Message)> {
+        self.messages.iter().enumerate().map(|(i, m)| (MessageId::new(i), m))
+    }
+
+    /// Successors of `id` together with the connecting message.
+    pub fn successors(&self, id: ProcessId) -> &[(ProcessId, MessageId)] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessors of `id` together with the connecting message.
+    pub fn predecessors(&self, id: ProcessId) -> &[(ProcessId, MessageId)] {
+        &self.preds[id.index()]
+    }
+
+    /// Processes with no predecessors (application entry points).
+    pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_empty())
+            .map(|(i, _)| ProcessId::new(i))
+    }
+
+    /// Processes with no successors (application exit points).
+    pub fn sinks(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(i, _)| ProcessId::new(i))
+    }
+
+    /// A topological ordering of the processes (stable across runs).
+    pub fn topological_order(&self) -> &[ProcessId] {
+        &self.topo
+    }
+
+    /// Sum of the minimal WCETs of all processes; a lower bound on total
+    /// computation demand, used by load-balancing constructive mapping.
+    pub fn total_min_wcet(&self) -> Time {
+        self.processes
+            .iter()
+            .map(|p| p.wcet.iter().flatten().copied().min().unwrap_or(Time::ZERO))
+            .sum()
+    }
+}
+
+/// Builder assembling and validating an [`Application`].
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    node_count: usize,
+    deadline: Time,
+    period: Option<Time>,
+    processes: Vec<ProcessSpec>,
+    messages: Vec<Message>,
+}
+
+impl ApplicationBuilder {
+    /// Starts an application whose WCET rows have `node_count` columns.
+    pub fn new(node_count: usize) -> Self {
+        ApplicationBuilder {
+            node_count,
+            deadline: Time::ZERO,
+            period: None,
+            processes: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// Adds a process and returns its id.
+    pub fn add_process(&mut self, spec: ProcessSpec) -> ProcessId {
+        let id = ProcessId::new(self.processes.len());
+        self.processes.push(spec);
+        id
+    }
+
+    /// Adds a message (graph edge) from `src` to `dst` with the given
+    /// worst-case bus transmission time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownProcess`], [`ModelError::SelfMessage`] or
+    /// [`ModelError::DuplicateEdge`] for malformed edges, and
+    /// [`ModelError::NonPositiveDuration`] for a negative transmission time.
+    pub fn add_message(
+        &mut self,
+        name: impl Into<String>,
+        src: ProcessId,
+        dst: ProcessId,
+        transmission: Time,
+    ) -> Result<MessageId, ModelError> {
+        if src.index() >= self.processes.len() {
+            return Err(ModelError::UnknownProcess(src));
+        }
+        if dst.index() >= self.processes.len() {
+            return Err(ModelError::UnknownProcess(dst));
+        }
+        if src == dst {
+            return Err(ModelError::SelfMessage(src));
+        }
+        if transmission.is_negative() {
+            return Err(ModelError::NonPositiveDuration("message transmission time"));
+        }
+        if self.messages.iter().any(|m| m.src == src && m.dst == dst) {
+            return Err(ModelError::DuplicateEdge(src, dst));
+        }
+        let id = MessageId::new(self.messages.len());
+        self.messages.push(Message { name: name.into(), src, dst, transmission });
+        Ok(id)
+    }
+
+    /// Sets the global hard deadline `D`.
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the period `T` (defaults to the deadline).
+    pub fn period(mut self, period: Time) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Validates and freezes the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the graph is empty or cyclic, a WCET row
+    /// has the wrong arity, a process has no feasible node, a duration is
+    /// invalid, or the deadline/period constraints are violated.
+    pub fn build(self) -> Result<Application, ModelError> {
+        if self.processes.is_empty() {
+            return Err(ModelError::EmptyApplication);
+        }
+        if self.deadline <= Time::ZERO {
+            return Err(ModelError::BadDeadline);
+        }
+        let period = self.period.unwrap_or(self.deadline);
+        if period <= Time::ZERO || period < self.deadline {
+            return Err(ModelError::BadPeriod);
+        }
+        let n = self.processes.len();
+        let mut processes = Vec::with_capacity(n);
+        for (i, spec) in self.processes.into_iter().enumerate() {
+            let pid = ProcessId::new(i);
+            if spec.wcet.len() != self.node_count {
+                return Err(ModelError::WcetArityMismatch {
+                    process: pid,
+                    got: spec.wcet.len(),
+                    expected: self.node_count,
+                });
+            }
+            if spec.wcet.iter().all(Option::is_none) {
+                return Err(ModelError::NoFeasibleNode(pid));
+            }
+            if spec.wcet.iter().flatten().any(|w| *w <= Time::ZERO) {
+                return Err(ModelError::NonPositiveDuration("worst-case execution time"));
+            }
+            for (what, t) in
+                [("error-detection overhead", spec.alpha), ("recovery overhead", spec.mu), ("checkpointing overhead", spec.chi)]
+            {
+                if t.is_negative() {
+                    return Err(ModelError::NonPositiveDuration(what));
+                }
+            }
+            if spec.release.is_negative() {
+                return Err(ModelError::NonPositiveDuration("release time"));
+            }
+            if let Some(d) = spec.local_deadline {
+                if d <= Time::ZERO {
+                    return Err(ModelError::BadDeadline);
+                }
+            }
+            if let Some(node) = spec.fixed_node {
+                if node.index() >= self.node_count {
+                    return Err(ModelError::UnknownNode(node));
+                }
+                if spec.wcet[node.index()].is_none() {
+                    return Err(ModelError::InfeasibleFixedMapping(pid, node));
+                }
+            }
+            processes.push(Process {
+                name: spec.name,
+                wcet: spec.wcet,
+                alpha: spec.alpha,
+                mu: spec.mu,
+                chi: spec.chi,
+                release: spec.release,
+                local_deadline: spec.local_deadline,
+                fixed_node: spec.fixed_node,
+            });
+        }
+
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, m) in self.messages.iter().enumerate() {
+            let mid = MessageId::new(i);
+            succs[m.src.index()].push((m.dst, mid));
+            preds[m.dst.index()].push((m.src, mid));
+        }
+
+        let topo = topological_sort(n, &succs, &preds)?;
+
+        Ok(Application {
+            node_count: self.node_count,
+            deadline: self.deadline,
+            period,
+            processes,
+            messages: self.messages,
+            succs,
+            preds,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; deterministic (smallest ready id first).
+fn topological_sort(
+    n: usize,
+    succs: &[Vec<(ProcessId, MessageId)>],
+    preds: &[Vec<(ProcessId, MessageId)>],
+) -> Result<Vec<ProcessId>, ModelError> {
+    let mut indegree: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| std::cmp::Reverse(i))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        order.push(ProcessId::new(i));
+        for &(succ, _) in &succs[i] {
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                ready.push(std::cmp::Reverse(succ.index()));
+            }
+        }
+    }
+    if order.len() != n {
+        let culprit = indegree.iter().position(|&d| d > 0).unwrap_or(0);
+        return Err(ModelError::CyclicGraph(ProcessId::new(culprit)));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_proc_builder() -> (ApplicationBuilder, ProcessId, ProcessId) {
+        let mut b = ApplicationBuilder::new(2);
+        let p0 = b.add_process(ProcessSpec::new("P0", [Some(Time::new(20)), Some(Time::new(30))]));
+        let p1 = b.add_process(ProcessSpec::new("P1", [Some(Time::new(40)), None]));
+        (b, p0, p1)
+    }
+
+    #[test]
+    fn build_simple_chain() {
+        let (mut b, p0, p1) = two_proc_builder();
+        b.add_message("m0", p0, p1, Time::new(5)).unwrap();
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        assert_eq!(app.process_count(), 2);
+        assert_eq!(app.message_count(), 1);
+        assert_eq!(app.successors(p0), &[(p1, MessageId::new(0))]);
+        assert_eq!(app.predecessors(p1), &[(p0, MessageId::new(0))]);
+        assert_eq!(app.topological_order(), &[p0, p1]);
+        assert_eq!(app.sources().collect::<Vec<_>>(), vec![p0]);
+        assert_eq!(app.sinks().collect::<Vec<_>>(), vec![p1]);
+        assert_eq!(app.period(), app.deadline());
+    }
+
+    #[test]
+    fn rejects_empty_application() {
+        let b = ApplicationBuilder::new(1).deadline(Time::new(10));
+        assert_eq!(b.build().unwrap_err(), ModelError::EmptyApplication);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let (mut b, p0, p1) = two_proc_builder();
+        b.add_message("m0", p0, p1, Time::new(1)).unwrap();
+        b.add_message("m1", p1, p0, Time::new(1)).unwrap();
+        let err = b.deadline(Time::new(100)).build().unwrap_err();
+        assert!(matches!(err, ModelError::CyclicGraph(_)));
+    }
+
+    #[test]
+    fn rejects_self_message_and_duplicates() {
+        let (mut b, p0, p1) = two_proc_builder();
+        assert_eq!(b.add_message("m", p0, p0, Time::new(1)).unwrap_err(), ModelError::SelfMessage(p0));
+        b.add_message("m0", p0, p1, Time::new(1)).unwrap();
+        assert_eq!(
+            b.add_message("m1", p0, p1, Time::new(1)).unwrap_err(),
+            ModelError::DuplicateEdge(p0, p1)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_process_in_message() {
+        let (mut b, p0, _) = two_proc_builder();
+        let ghost = ProcessId::new(99);
+        assert_eq!(
+            b.add_message("m", p0, ghost, Time::new(1)).unwrap_err(),
+            ModelError::UnknownProcess(ghost)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_deadline_and_period() {
+        let (b, _, _) = two_proc_builder();
+        assert_eq!(b.clone().build().unwrap_err(), ModelError::BadDeadline);
+        assert_eq!(
+            b.deadline(Time::new(100)).period(Time::new(50)).build().unwrap_err(),
+            ModelError::BadPeriod
+        );
+    }
+
+    #[test]
+    fn rejects_no_feasible_node() {
+        let mut b = ApplicationBuilder::new(2);
+        b.add_process(ProcessSpec::new("P0", [None, None]));
+        let err = b.deadline(Time::new(10)).build().unwrap_err();
+        assert_eq!(err, ModelError::NoFeasibleNode(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn rejects_zero_wcet() {
+        let mut b = ApplicationBuilder::new(1);
+        b.add_process(ProcessSpec::new("P0", [Some(Time::ZERO)]));
+        let err = b.deadline(Time::new(10)).build().unwrap_err();
+        assert_eq!(err, ModelError::NonPositiveDuration("worst-case execution time"));
+    }
+
+    #[test]
+    fn rejects_wcet_arity_mismatch() {
+        let mut b = ApplicationBuilder::new(3);
+        b.add_process(ProcessSpec::new("P0", [Some(Time::new(5))]));
+        let err = b.deadline(Time::new(10)).build().unwrap_err();
+        assert!(matches!(err, ModelError::WcetArityMismatch { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_infeasible_fixed_mapping() {
+        let mut b = ApplicationBuilder::new(2);
+        b.add_process(
+            ProcessSpec::new("P0", [Some(Time::new(5)), None]).fixed_node(NodeId::new(1)),
+        );
+        let err = b.deadline(Time::new(10)).build().unwrap_err();
+        assert_eq!(err, ModelError::InfeasibleFixedMapping(ProcessId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn topological_order_is_deterministic_and_valid() {
+        let mut b = ApplicationBuilder::new(1);
+        let ps: Vec<_> = (0..5)
+            .map(|i| b.add_process(ProcessSpec::uniform(format!("P{i}"), Time::new(10), 1)))
+            .collect();
+        // Diamond: 0 -> {1, 2} -> 3, plus isolated 4.
+        b.add_message("a", ps[0], ps[1], Time::new(1)).unwrap();
+        b.add_message("b", ps[0], ps[2], Time::new(1)).unwrap();
+        b.add_message("c", ps[1], ps[3], Time::new(1)).unwrap();
+        b.add_message("d", ps[2], ps[3], Time::new(1)).unwrap();
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        let order = app.topological_order();
+        let pos = |p: ProcessId| order.iter().position(|&q| q == p).unwrap();
+        for (mid, m) in app.messages() {
+            let _ = mid;
+            assert!(pos(m.src()) < pos(m.dst()));
+        }
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn candidate_nodes_skip_x_entries() {
+        let (b, _, p1) = two_proc_builder();
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        let nodes: Vec<_> = app.process(p1).candidate_nodes().collect();
+        assert_eq!(nodes, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn total_min_wcet_sums_cheapest_rows() {
+        let (b, _, _) = two_proc_builder();
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        assert_eq!(app.total_min_wcet(), Time::new(60));
+    }
+}

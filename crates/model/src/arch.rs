@@ -1,0 +1,119 @@
+//! The hardware architecture of the paper's §2: a set of computation nodes
+//! sharing a broadcast communication channel.
+//!
+//! The TDMA bus itself (slot table, rounds) lives in the `ftes-tdma` crate;
+//! this module only captures the node set.
+
+use crate::{ModelError, NodeId};
+
+/// One computation node `Ni ∈ N`: a CPU plus communication controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    name: String,
+}
+
+impl Node {
+    /// Returns the node's display name (e.g. `"N1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The set `N` of computation nodes.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::Architecture;
+///
+/// # fn main() -> Result<(), ftes_model::ModelError> {
+/// let arch = Architecture::homogeneous(3)?;
+/// assert_eq!(arch.node_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Architecture {
+    nodes: Vec<Node>,
+}
+
+impl Architecture {
+    /// Creates an architecture from explicit node names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyArchitecture`] if no names are given.
+    pub fn new<I, S>(names: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let nodes: Vec<Node> = names.into_iter().map(|n| Node { name: n.into() }).collect();
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyArchitecture);
+        }
+        Ok(Architecture { nodes })
+    }
+
+    /// Creates `count` identically named nodes `N0..N{count-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyArchitecture`] if `count == 0`.
+    pub fn homogeneous(count: usize) -> Result<Self, ModelError> {
+        Architecture::new((0..count).map(|i| format!("N{i}")))
+    }
+
+    /// Number of computation nodes `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over `(NodeId, &Node)` in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_names_nodes() {
+        let arch = Architecture::homogeneous(2).unwrap();
+        assert_eq!(arch.node(NodeId::new(0)).name(), "N0");
+        assert_eq!(arch.node(NodeId::new(1)).name(), "N1");
+        assert_eq!(arch.node_ids().count(), 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Architecture::homogeneous(0).unwrap_err(), ModelError::EmptyArchitecture);
+        assert_eq!(
+            Architecture::new(Vec::<String>::new()).unwrap_err(),
+            ModelError::EmptyArchitecture
+        );
+    }
+
+    #[test]
+    fn explicit_names() {
+        let arch = Architecture::new(["ecu-a", "ecu-b"]).unwrap();
+        let names: Vec<_> = arch.nodes().map(|(_, n)| n.name().to_string()).collect();
+        assert_eq!(names, vec!["ecu-a", "ecu-b"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Graphviz DOT export of application graphs, for debugging and
+//! documentation.
+
+use crate::{Application, Transparency};
+use std::fmt::Write as _;
+
+/// Renders the application graph in Graphviz DOT syntax.
+///
+/// Frozen processes and messages (per `transparency`) are drawn boxed, like
+/// the rectangles of the paper's Fig. 5a.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{samples, dot};
+///
+/// let (app, _, t) = samples::fig5();
+/// let rendered = dot::application_to_dot(&app, &t);
+/// assert!(rendered.contains("digraph application"));
+/// assert!(rendered.contains("P3"));
+/// ```
+pub fn application_to_dot(app: &Application, transparency: &Transparency) -> String {
+    let mut out = String::new();
+    out.push_str("digraph application {\n  rankdir=TB;\n");
+    for (pid, p) in app.processes() {
+        let shape = if transparency.is_process_frozen(pid) { "box" } else { "ellipse" };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={shape}];",
+            node_key(pid.index()),
+            p.name()
+        );
+    }
+    for (mid, m) in app.messages() {
+        let style = if transparency.is_message_frozen(mid) { ", style=bold" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"{}];",
+            node_key(m.src().index()),
+            node_key(m.dst().index()),
+            m.name(),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_key(index: usize) -> String {
+    format!("p{index}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let (app, _, t) = samples::fig5();
+        let dot = application_to_dot(&app, &t);
+        for (_, p) in app.processes() {
+            assert!(dot.contains(p.name()));
+        }
+        for (_, m) in app.messages() {
+            assert!(dot.contains(m.name()));
+        }
+        // Frozen process P3 boxed, frozen messages bold.
+        assert!(dot.contains("\"P3\", shape=box"));
+        assert!(dot.contains("\"m2\", style=bold"));
+        // Non-frozen P1 is an ellipse.
+        assert!(dot.contains("\"P1\", shape=ellipse"));
+    }
+
+    #[test]
+    fn output_is_parseable_shape() {
+        let (app, _) = samples::fig3();
+        let dot = application_to_dot(&app, &Transparency::none());
+        assert!(dot.starts_with("digraph application {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), app.message_count());
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types reported by model construction and validation.
+
+use crate::{MessageId, NodeId, ProcessId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when an application, architecture or mapping fails
+/// validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The application graph contains no processes.
+    EmptyApplication,
+    /// The application graph contains a dependency cycle involving the given
+    /// process (the paper requires acyclic directed graphs, §4).
+    CyclicGraph(ProcessId),
+    /// A message references a process id that does not exist.
+    UnknownProcess(ProcessId),
+    /// A message connects a process to itself.
+    SelfMessage(ProcessId),
+    /// Two messages connect the same ordered pair of processes.
+    DuplicateEdge(ProcessId, ProcessId),
+    /// A process has no node it can execute on (all WCET entries are `X`).
+    NoFeasibleNode(ProcessId),
+    /// A process is pre-assigned (by the designer) to a node on which it has
+    /// no WCET entry.
+    InfeasibleFixedMapping(ProcessId, NodeId),
+    /// A WCET, overhead or transmission time is negative or a WCET is zero.
+    NonPositiveDuration(&'static str),
+    /// The global deadline or a local deadline is not strictly positive.
+    BadDeadline,
+    /// The period is not strictly positive or is smaller than the deadline.
+    BadPeriod,
+    /// A WCET table row has the wrong number of node columns.
+    WcetArityMismatch {
+        /// Offending process.
+        process: ProcessId,
+        /// Number of entries supplied.
+        got: usize,
+        /// Number of architecture nodes expected.
+        expected: usize,
+    },
+    /// A mapping assigns a process to a node where it cannot execute.
+    InfeasibleMapping(ProcessId, NodeId),
+    /// A mapping does not cover every process.
+    IncompleteMapping(ProcessId),
+    /// A mapping references a node outside the architecture.
+    UnknownNode(NodeId),
+    /// A transparency declaration references an unknown message.
+    UnknownMessage(MessageId),
+    /// The architecture has no computation nodes.
+    EmptyArchitecture,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyApplication => write!(f, "application has no processes"),
+            ModelError::CyclicGraph(p) => {
+                write!(f, "application graph has a cycle through {p}")
+            }
+            ModelError::UnknownProcess(p) => write!(f, "message references unknown process {p}"),
+            ModelError::SelfMessage(p) => write!(f, "message from {p} to itself"),
+            ModelError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate message between {a} and {b}")
+            }
+            ModelError::NoFeasibleNode(p) => {
+                write!(f, "{p} has no computation node it can execute on")
+            }
+            ModelError::InfeasibleFixedMapping(p, n) => {
+                write!(f, "{p} is pre-assigned to {n} where it has no WCET")
+            }
+            ModelError::NonPositiveDuration(what) => {
+                write!(f, "{what} must be a positive duration")
+            }
+            ModelError::BadDeadline => write!(f, "deadline must be strictly positive"),
+            ModelError::BadPeriod => {
+                write!(f, "period must be strictly positive and no smaller than the deadline")
+            }
+            ModelError::WcetArityMismatch { process, got, expected } => write!(
+                f,
+                "WCET row of {process} has {got} entries but the architecture has {expected} nodes"
+            ),
+            ModelError::InfeasibleMapping(p, n) => {
+                write!(f, "mapping places {p} on {n} where it has no WCET")
+            }
+            ModelError::IncompleteMapping(p) => write!(f, "mapping does not assign {p}"),
+            ModelError::UnknownNode(n) => write!(f, "mapping references unknown node {n}"),
+            ModelError::UnknownMessage(m) => {
+                write!(f, "transparency declaration references unknown message {m}")
+            }
+            ModelError::EmptyArchitecture => write!(f, "architecture has no computation nodes"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_unpunctuated() {
+        let samples = [
+            ModelError::EmptyApplication,
+            ModelError::CyclicGraph(ProcessId::new(2)),
+            ModelError::BadDeadline,
+            ModelError::InfeasibleMapping(ProcessId::new(0), NodeId::new(1)),
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "lowercase start: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

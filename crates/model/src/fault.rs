@@ -1,0 +1,63 @@
+//! The transient fault model of the paper's §2: at most `k` transient faults
+//! may occur *anywhere in the system* during one operation cycle.
+
+/// Maximum number of transient faults per application cycle.
+///
+/// Unlike the single-fault-per-node model of Kandasamy et al. \[19\], `k` is a
+/// global budget: several faults may hit the same processor, and `k` may
+/// exceed the number of processors (§2, footnote 1).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::FaultModel;
+///
+/// let fm = FaultModel::new(2);
+/// assert_eq!(fm.k(), 2);
+/// assert!(FaultModel::fault_free().is_fault_free());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FaultModel {
+    k: u32,
+}
+
+impl FaultModel {
+    /// Creates a fault model tolerating at most `k` transient faults.
+    pub const fn new(k: u32) -> Self {
+        FaultModel { k }
+    }
+
+    /// The degenerate model with no faults (plain static scheduling).
+    pub const fn fault_free() -> Self {
+        FaultModel { k: 0 }
+    }
+
+    /// Maximum number of transient faults per cycle.
+    pub const fn k(self) -> u32 {
+        self.k
+    }
+
+    /// Returns `true` if no faults have to be tolerated.
+    pub const fn is_fault_free(self) -> bool {
+        self.k == 0
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k={}", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(FaultModel::new(7).k(), 7);
+        assert!(!FaultModel::new(1).is_fault_free());
+        assert!(FaultModel::default().is_fault_free());
+        assert_eq!(FaultModel::new(3).to_string(), "k=3");
+    }
+}

@@ -1,0 +1,82 @@
+//! Strongly-typed identifiers for model entities.
+//!
+//! Newtypes prevent accidentally indexing a process table with a node id and
+//! similar unit-confusion bugs (the scheduling core juggles four id spaces).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a dense zero-based index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the dense zero-based index for table lookups.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an application process `Pi ∈ V` (paper §4).
+    ProcessId,
+    "P"
+);
+id_type!(
+    /// Identifier of an inter-process message `mi` (edge of the application
+    /// graph, paper §4).
+    MessageId,
+    "m"
+);
+id_type!(
+    /// Identifier of a computation node `Ni ∈ N` (paper §2).
+    NodeId,
+    "N"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(ProcessId::new(3).index(), 3);
+        assert_eq!(MessageId::new(0).index(), 0);
+        assert_eq!(NodeId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(ProcessId::new(1).to_string(), "P1");
+        assert_eq!(MessageId::new(2).to_string(), "m2");
+        assert_eq!(NodeId::new(0).to_string(), "N0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(NodeId::from(4), NodeId::new(4));
+    }
+}

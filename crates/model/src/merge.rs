@@ -1,0 +1,158 @@
+//! Merging of multiple periodic applications into the virtual hyper-period
+//! application (paper §4).
+//!
+//! Each application `Ak` with period `Tk` is unrolled `T / Tk` times, where
+//! `T = lcm(T1, …, Tn)`. Instance `j` of `Ak` is released at `j·Tk` and must
+//! complete by `j·Tk + Dk` (expressed as a local deadline on its sinks and a
+//! release time on its sources).
+
+use crate::{lcm, Application, ApplicationBuilder, ModelError, ProcessId, ProcessSpec, Time};
+
+/// Merges periodic applications into one virtual application with period
+/// `T = lcm` of all periods (paper §4).
+///
+/// Process and message names are suffixed with `#j` for instance `j` (the
+/// suffix is omitted for applications with a single instance).
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyApplication`] when `apps` is empty, or any
+/// validation error of the merged graph (e.g. mismatched node counts are
+/// reported as [`ModelError::WcetArityMismatch`]).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{merge_applications, ApplicationBuilder, ProcessSpec, Time};
+///
+/// # fn main() -> Result<(), ftes_model::ModelError> {
+/// let mut b = ApplicationBuilder::new(1);
+/// b.add_process(ProcessSpec::uniform("P0", Time::new(10), 1));
+/// let fast = b.deadline(Time::new(40)).period(Time::new(40)).build()?;
+///
+/// let mut b = ApplicationBuilder::new(1);
+/// b.add_process(ProcessSpec::uniform("Q0", Time::new(10), 1));
+/// let slow = b.deadline(Time::new(80)).period(Time::new(80)).build()?;
+///
+/// let merged = merge_applications(&[fast, slow])?;
+/// assert_eq!(merged.period(), Time::new(80));
+/// assert_eq!(merged.process_count(), 3); // 2 fast instances + 1 slow
+/// # Ok(())
+/// # }
+/// ```
+pub fn merge_applications(apps: &[Application]) -> Result<Application, ModelError> {
+    let first = apps.first().ok_or(ModelError::EmptyApplication)?;
+    let node_count = first.node_count();
+    let hyper = apps.iter().skip(1).fold(first.period(), |acc, a| lcm(acc, a.period()));
+
+    let mut builder = ApplicationBuilder::new(node_count);
+    for app in apps {
+        let instances = hyper.units() / app.period().units();
+        for j in 0..instances {
+            let offset = app.period() * j;
+            let suffix = |name: &str| {
+                if instances == 1 {
+                    name.to_string()
+                } else {
+                    format!("{name}#{j}")
+                }
+            };
+            let mut local_ids: Vec<ProcessId> = Vec::with_capacity(app.process_count());
+            for (_, p) in app.processes() {
+                let wcet: Vec<Option<Time>> =
+                    (0..node_count).map(|n| p.wcet_on(crate::NodeId::new(n))).collect();
+                let mut spec = ProcessSpec::new(suffix(p.name()), wcet)
+                    .overheads(p.alpha(), p.mu(), p.chi())
+                    .release(p.release() + offset);
+                // Every instance must finish within its own period window; a
+                // designer-imposed local deadline tightens that further.
+                let window_end = offset + app.deadline();
+                let local = match p.local_deadline() {
+                    Some(d) => (offset + d).min(window_end),
+                    None => window_end,
+                };
+                spec = spec.local_deadline(local);
+                if let Some(n) = p.fixed_node() {
+                    spec = spec.fixed_node(n);
+                }
+                local_ids.push(builder.add_process(spec));
+            }
+            for (_, m) in app.messages() {
+                builder.add_message(
+                    suffix(m.name()),
+                    local_ids[m.src().index()],
+                    local_ids[m.dst().index()],
+                    m.transmission(),
+                )?;
+            }
+        }
+    }
+    builder.deadline(hyper).period(hyper).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn periodic(name: &str, wcet: i64, period: i64) -> Application {
+        let mut b = ApplicationBuilder::new(1);
+        let p0 = b.add_process(ProcessSpec::uniform(format!("{name}0"), Time::new(wcet), 1));
+        let p1 = b.add_process(ProcessSpec::uniform(format!("{name}1"), Time::new(wcet), 1));
+        b.add_message(format!("{name}m"), p0, p1, Time::new(1)).unwrap();
+        b.deadline(Time::new(period)).period(Time::new(period)).build().unwrap()
+    }
+
+    #[test]
+    fn unrolls_to_hyperperiod() {
+        let a = periodic("a", 5, 20);
+        let b = periodic("b", 5, 30);
+        let merged = merge_applications(&[a, b]).unwrap();
+        assert_eq!(merged.period(), Time::new(60));
+        // a unrolled 3x (2 procs each), b unrolled 2x.
+        assert_eq!(merged.process_count(), 3 * 2 + 2 * 2);
+        assert_eq!(merged.message_count(), 3 + 2);
+    }
+
+    #[test]
+    fn instances_get_release_offsets_and_window_deadlines() {
+        let a = periodic("a", 5, 20);
+        let merged = merge_applications(&[a, periodic("b", 5, 40)]).unwrap();
+        // Instance #1 of `a` is released at t=20 and must finish by t=40.
+        let inst1_src = merged
+            .processes()
+            .find(|(_, p)| p.name() == "a0#1")
+            .map(|(id, _)| id)
+            .expect("instance name present");
+        assert_eq!(merged.process(inst1_src).release(), Time::new(20));
+        assert_eq!(merged.process(inst1_src).local_deadline(), Some(Time::new(40)));
+    }
+
+    #[test]
+    fn single_instance_keeps_plain_names() {
+        let a = periodic("a", 5, 20);
+        let merged = merge_applications(std::slice::from_ref(&a)).unwrap();
+        assert!(merged.processes().any(|(_, p)| p.name() == "a0"));
+        assert_eq!(merged.process_count(), a.process_count());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(merge_applications(&[]).unwrap_err(), ModelError::EmptyApplication);
+    }
+
+    #[test]
+    fn preserves_overheads_and_fixed_nodes() {
+        let mut b = ApplicationBuilder::new(2);
+        b.add_process(
+            ProcessSpec::new("P0", [Some(Time::new(10)), Some(Time::new(12))])
+                .overheads(Time::new(1), Time::new(2), Time::new(3))
+                .fixed_node(NodeId::new(1)),
+        );
+        let app = b.deadline(Time::new(50)).build().unwrap();
+        let merged = merge_applications(&[app]).unwrap();
+        let (_, p) = merged.processes().next().unwrap();
+        assert_eq!((p.alpha(), p.mu(), p.chi()), (Time::new(1), Time::new(2), Time::new(3)));
+        assert_eq!(p.fixed_node(), Some(NodeId::new(1)));
+    }
+}

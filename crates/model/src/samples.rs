@@ -1,0 +1,158 @@
+//! The worked examples from the paper, reused across tests, examples and
+//! documentation.
+
+use crate::{
+    Application, ApplicationBuilder, Architecture, ProcessSpec, Time, Transparency,
+};
+
+/// The simple application and two-node architecture of **Fig. 3**.
+///
+/// Five processes `P1..P5` (ids `P0..P4` here, zero-based), WCET table:
+///
+/// | process | N1 | N2 |
+/// |---------|----|----|
+/// | P1      | 20 | 30 |
+/// | P2      | 40 | 60 |
+/// | P3      | 60 | X  |
+/// | P4      | 40 | 60 |
+/// | P5      | 40 | 60 |
+///
+/// Edges follow Fig. 3a: `P1 → P2`, `P1 → P3`, `P2 → P4`, `P3 → P5`.
+/// Overheads default to `α = 10, µ = 10, χ = 5` (the values used in the
+/// paper's Fig. 1 running example); the deadline is set loosely to 400.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::samples;
+///
+/// let (app, arch) = samples::fig3();
+/// assert_eq!(app.process_count(), 5);
+/// assert_eq!(arch.node_count(), 2);
+/// ```
+pub fn fig3() -> (Application, Architecture) {
+    let t = |v: i64| Some(Time::new(v));
+    let mut b = ApplicationBuilder::new(2);
+    let oh = |s: ProcessSpec| s.overheads(Time::new(10), Time::new(10), Time::new(5));
+    let p1 = b.add_process(oh(ProcessSpec::new("P1", [t(20), t(30)])));
+    let p2 = b.add_process(oh(ProcessSpec::new("P2", [t(40), t(60)])));
+    let p3 = b.add_process(oh(ProcessSpec::new("P3", [t(60), None])));
+    let p4 = b.add_process(oh(ProcessSpec::new("P4", [t(40), t(60)])));
+    let p5 = b.add_process(oh(ProcessSpec::new("P5", [t(40), t(60)])));
+    b.add_message("m1", p1, p2, Time::new(5)).expect("valid edge");
+    b.add_message("m2", p1, p3, Time::new(5)).expect("valid edge");
+    b.add_message("m3", p2, p4, Time::new(5)).expect("valid edge");
+    b.add_message("m4", p3, p5, Time::new(5)).expect("valid edge");
+    let app = b.deadline(Time::new(400)).build().expect("fig3 sample is valid");
+    let arch = Architecture::new(["N1", "N2"]).expect("two nodes");
+    (app, arch)
+}
+
+/// The four-process application of **Fig. 5a** with its transparency
+/// requirements, reconstructed to match the schedule tables of Fig. 6.
+///
+/// Graph: `P1 → P2` (message `m0`, internal once both sit on `N1`),
+/// `P1 → P4` via `m1`, `P1 → P3` via `m2`, `P2 → P3` via `m3`.
+/// Frozen: process `P3` and messages `m2`, `m3` (the rectangles of
+/// Fig. 5a). `k = 2` faults are assumed in the paper's walk-through.
+///
+/// This reading reproduces the guard structure of Fig. 6: `P2`'s columns
+/// depend on `P1`'s fault conditions (internal edge), `P4`'s columns on
+/// `P1` and `P4` (bus message `m1`), while `P3`'s activation times depend
+/// only on its own conditions (its inputs `m2`/`m3` are frozen).
+///
+/// WCETs: P1 = 30, P2 = 25, P3 = 25, P4 = 30; transmissions 1;
+/// `α = 5, µ = 5, χ = 5`.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::samples;
+///
+/// let (app, arch, transparency) = samples::fig5();
+/// assert_eq!(app.process_count(), 4);
+/// assert!(transparency.is_process_frozen(ftes_model::ProcessId::new(2)));
+/// ```
+pub fn fig5() -> (Application, Architecture, Transparency) {
+    let mut b = ApplicationBuilder::new(2);
+    let oh = |s: ProcessSpec| s.overheads(Time::new(5), Time::new(5), Time::new(5));
+    let p1 = b.add_process(oh(ProcessSpec::uniform("P1", Time::new(30), 2)));
+    let p2 = b.add_process(oh(ProcessSpec::uniform("P2", Time::new(25), 2)));
+    let p3 = b.add_process(oh(ProcessSpec::uniform("P3", Time::new(25), 2)));
+    let p4 = b.add_process(oh(ProcessSpec::uniform("P4", Time::new(30), 2)));
+    b.add_message("m0", p1, p2, Time::new(1)).expect("valid edge");
+    b.add_message("m1", p1, p4, Time::new(1)).expect("valid edge");
+    let m2 = b.add_message("m2", p1, p3, Time::new(1)).expect("valid edge");
+    let m3 = b.add_message("m3", p2, p3, Time::new(1)).expect("valid edge");
+    let app = b.deadline(Time::new(400)).build().expect("fig5 sample is valid");
+    let arch = Architecture::new(["N1", "N2"]).expect("two nodes");
+    let mut t = Transparency::none();
+    t.freeze_process(p3).freeze_message(m2).freeze_message(m3);
+    (app, arch, t)
+}
+
+/// The canonical mapping used by the Fig. 6 schedule tables: `P1`, `P2` on
+/// `N1`; `P3`, `P4` on `N2`.
+pub fn fig5_mapping() -> Vec<crate::NodeId> {
+    use crate::NodeId;
+    vec![NodeId::new(0), NodeId::new(0), NodeId::new(1), NodeId::new(1)]
+}
+
+/// The single-process example of **Fig. 1 / Fig. 2 / Fig. 4**: `P1` with
+/// `C1 = 60`, `α = 10, µ = 10, χ = 5`, on an architecture of `node_count`
+/// identical nodes.
+pub fn fig1_process(node_count: usize) -> (Application, Architecture) {
+    let mut b = ApplicationBuilder::new(node_count);
+    b.add_process(
+        ProcessSpec::uniform("P1", Time::new(60), node_count).overheads(
+            Time::new(10),
+            Time::new(10),
+            Time::new(5),
+        ),
+    );
+    let app = b.deadline(Time::new(1000)).build().expect("fig1 sample is valid");
+    let arch = Architecture::homogeneous(node_count).expect("nonzero node count");
+    (app, arch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, ProcessId};
+
+    #[test]
+    fn fig3_matches_paper_table() {
+        let (app, arch) = fig3();
+        assert_eq!(arch.node_count(), 2);
+        let n1 = NodeId::new(0);
+        let n2 = NodeId::new(1);
+        assert_eq!(app.process(ProcessId::new(0)).wcet_on(n1), Some(Time::new(20)));
+        assert_eq!(app.process(ProcessId::new(0)).wcet_on(n2), Some(Time::new(30)));
+        assert_eq!(app.process(ProcessId::new(2)).wcet_on(n2), None, "P3 cannot map on N2");
+        assert_eq!(app.message_count(), 4);
+    }
+
+    #[test]
+    fn fig5_transparency_matches_paper() {
+        let (app, _, t) = fig5();
+        // Frozen: P3 (id 2), m2 (id 2), m3 (id 3).
+        assert!(t.is_process_frozen(ProcessId::new(2)));
+        assert!(t.is_message_frozen(crate::MessageId::new(2)));
+        assert!(t.is_message_frozen(crate::MessageId::new(3)));
+        assert!(!t.is_process_frozen(ProcessId::new(0)));
+        assert!(!t.is_message_frozen(crate::MessageId::new(0)));
+        assert!(!t.is_message_frozen(crate::MessageId::new(1)));
+        t.validate(&app).unwrap();
+        // The Fig. 6 mapping is feasible.
+        let arch = crate::Architecture::new(["N1", "N2"]).unwrap();
+        crate::Mapping::new(&app, &arch, fig5_mapping()).unwrap();
+    }
+
+    #[test]
+    fn fig1_overheads() {
+        let (app, _) = fig1_process(2);
+        let p = app.process(ProcessId::new(0));
+        assert_eq!(p.wcet_on(NodeId::new(0)), Some(Time::new(60)));
+        assert_eq!((p.alpha(), p.mu(), p.chi()), (Time::new(10), Time::new(10), Time::new(5)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Application statistics: the structural quantities designers inspect when
+//! judging an instance (critical path, parallelism, load) and that the
+//! workload generator's calibration is expressed in (see DESIGN.md §6a,
+//! item 8).
+
+use crate::{Application, Time};
+
+/// Structural statistics of an application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppStats {
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of messages.
+    pub messages: usize,
+    /// Length of the longest chain (number of processes on it).
+    pub depth: usize,
+    /// Critical-path length using each process's minimal WCET plus message
+    /// transmission times — a lower bound on any schedule.
+    pub critical_path: Time,
+    /// Sum of minimal WCETs — the serial computation demand.
+    pub serial_load: Time,
+    /// `serial_load / critical_path` — the average parallelism available.
+    pub parallelism: f64,
+    /// `serial_load / deadline`, per node — utilization pressure assuming
+    /// perfect balancing over `node_count` nodes.
+    pub utilization_per_node: f64,
+}
+
+/// Computes [`AppStats`] for an application.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{samples, stats};
+///
+/// let (app, _) = samples::fig3();
+/// let s = stats::app_stats(&app);
+/// assert_eq!(s.processes, 5);
+/// assert!(s.critical_path <= s.serial_load);
+/// ```
+pub fn app_stats(app: &Application) -> AppStats {
+    let n = app.process_count();
+    let min_wcet = |pid: crate::ProcessId| {
+        let p = app.process(pid);
+        p.candidate_nodes()
+            .filter_map(|c| p.wcet_on(c))
+            .min()
+            .expect("validated processes have a feasible node")
+    };
+    // Longest path by duration and by hop count, over the topological order.
+    let mut path_time = vec![Time::ZERO; n];
+    let mut path_hops = vec![0usize; n];
+    let mut critical = Time::ZERO;
+    let mut depth = 0usize;
+    for &pid in app.topological_order() {
+        let mut best_t = Time::ZERO;
+        let mut best_h = 0usize;
+        for &(pred, mid) in app.predecessors(pid) {
+            let t = path_time[pred.index()] + app.message(mid).transmission();
+            if t > best_t {
+                best_t = t;
+            }
+            best_h = best_h.max(path_hops[pred.index()]);
+        }
+        path_time[pid.index()] = best_t + min_wcet(pid);
+        path_hops[pid.index()] = best_h + 1;
+        critical = critical.max(path_time[pid.index()]);
+        depth = depth.max(path_hops[pid.index()]);
+    }
+    let serial_load: Time = (0..n).map(|i| min_wcet(crate::ProcessId::new(i))).sum();
+    let parallelism = if critical > Time::ZERO {
+        serial_load.as_f64() / critical.as_f64()
+    } else {
+        1.0
+    };
+    let utilization_per_node = if app.deadline() > Time::ZERO {
+        serial_load.as_f64() / (app.deadline().as_f64() * app.node_count() as f64)
+    } else {
+        f64::INFINITY
+    };
+    AppStats {
+        processes: n,
+        messages: app.message_count(),
+        depth,
+        critical_path: critical,
+        serial_load,
+        parallelism,
+        utilization_per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, ApplicationBuilder, ProcessSpec};
+
+    #[test]
+    fn fig3_statistics() {
+        let (app, _) = samples::fig3();
+        let s = app_stats(&app);
+        assert_eq!(s.processes, 5);
+        assert_eq!(s.messages, 4);
+        // Longest chain: P1 -> P2 -> P4 (or P1 -> P3 -> P5): 3 hops.
+        assert_eq!(s.depth, 3);
+        // Critical path: P1(20) + m(5) + P3(60) + m(5) + P5(40) = 130.
+        assert_eq!(s.critical_path, Time::new(130));
+        assert_eq!(s.serial_load, Time::new(200));
+        assert!((s.parallelism - 200.0 / 130.0).abs() < 1e-9);
+        assert!(s.utilization_per_node > 0.0);
+    }
+
+    #[test]
+    fn chain_has_parallelism_one() {
+        let mut b = ApplicationBuilder::new(1);
+        let p0 = b.add_process(ProcessSpec::uniform("a", Time::new(10), 1));
+        let p1 = b.add_process(ProcessSpec::uniform("b", Time::new(10), 1));
+        b.add_message("m", p0, p1, Time::ZERO).unwrap();
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        let s = app_stats(&app);
+        assert_eq!(s.depth, 2);
+        assert!((s.parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_processes_have_depth_one() {
+        let mut b = ApplicationBuilder::new(1);
+        for i in 0..4 {
+            b.add_process(ProcessSpec::uniform(format!("p{i}"), Time::new(10), 1));
+        }
+        let app = b.deadline(Time::new(100)).build().unwrap();
+        let s = app_stats(&app);
+        assert_eq!(s.depth, 1);
+        assert!((s.parallelism - 4.0).abs() < 1e-9);
+    }
+}

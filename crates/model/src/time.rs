@@ -1,0 +1,268 @@
+//! Discrete time values used throughout the synthesis flow.
+//!
+//! All schedule mathematics in this workspace is performed on integer time
+//! units (the paper uses milliseconds in its examples; the unit is abstract
+//! here). Keeping time integral makes schedules exactly reproducible and
+//! avoids floating-point drift in worst-case analyses.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A discrete instant or duration in abstract time units.
+///
+/// `Time` is a thin newtype over `i64`. Negative values are permitted so that
+/// differences are well-defined, but the model validation layers reject
+/// negative durations where they would be meaningless (e.g. WCETs).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::Time;
+///
+/// let wcet = Time::new(60);
+/// let overhead = Time::new(10);
+/// assert_eq!(wcet + overhead, Time::new(70));
+/// assert_eq!((wcet / 2).units(), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as "unreachable" sentinel bound.
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates a time value from raw units.
+    #[inline]
+    pub const fn new(units: i64) -> Self {
+        Time(units)
+    }
+
+    /// Returns the raw unit count.
+    #[inline]
+    pub const fn units(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if the value is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Returns the larger of two time values.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two time values.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Division rounding towards positive infinity; used for equidistant
+    /// checkpoint segment lengths (`⌈C/n⌉`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    #[inline]
+    pub fn div_ceil(self, divisor: i64) -> Time {
+        assert!(divisor != 0, "division by zero");
+        Time((self.0 + divisor - 1).div_euclid(divisor))
+    }
+
+    /// Saturating addition (never overflows past [`Time::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Converts to `f64` for statistics / reporting only.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(units: i64) -> Self {
+        Time(units)
+    }
+}
+
+impl From<Time> for i64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0.rem_euclid(rhs.0))
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+/// Least common multiple of two positive durations; used to merge periodic
+/// applications into the virtual hyper-period application (paper §4).
+///
+/// # Panics
+///
+/// Panics if either argument is not strictly positive.
+pub fn lcm(a: Time, b: Time) -> Time {
+    assert!(a.0 > 0 && b.0 > 0, "lcm requires positive periods");
+    Time(a.0 / gcd(a.0, b.0) * b.0)
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Time::new(30);
+        let b = Time::new(12);
+        assert_eq!(a + b, Time::new(42));
+        assert_eq!(a - b, Time::new(18));
+        assert_eq!(a * 2, Time::new(60));
+        assert_eq!(2 * a, Time::new(60));
+        assert_eq!(a / 3, Time::new(10));
+        assert_eq!(-b, Time::new(-12));
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(Time::new(60).div_ceil(2), Time::new(30));
+        assert_eq!(Time::new(61).div_ceil(2), Time::new(31));
+        assert_eq!(Time::new(1).div_ceil(3), Time::new(1));
+        assert_eq!(Time::ZERO.div_ceil(5), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_ceil_zero_divisor_panics() {
+        let _ = Time::new(1).div_ceil(0);
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = Time::new(5);
+        let b = Time::new(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1, 2, 3, 4].into_iter().map(Time::new).sum();
+        assert_eq!(total, Time::new(10));
+    }
+
+    #[test]
+    fn lcm_of_periods() {
+        assert_eq!(lcm(Time::new(20), Time::new(30)), Time::new(60));
+        assert_eq!(lcm(Time::new(7), Time::new(7)), Time::new(7));
+        assert_eq!(lcm(Time::new(1), Time::new(9)), Time::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive periods")]
+    fn lcm_rejects_zero() {
+        let _ = lcm(Time::ZERO, Time::new(3));
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
+    }
+}

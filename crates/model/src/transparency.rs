@@ -1,0 +1,168 @@
+//! Transparency requirements (paper §3.3, §4).
+//!
+//! The designer may declare arbitrary processes and messages *frozen*:
+//! `T(vi) = frozen` forces the scheduler to allocate the same start time for
+//! `vi` in every alternative fault-tolerant schedule, trading schedule length
+//! for fault containment and debuggability.
+
+use crate::{Application, MessageId, ModelError, ProcessId};
+use std::collections::BTreeSet;
+
+/// The transparency function `T: V ∪ E → {frozen, not_frozen}`.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{Transparency, ProcessId, MessageId};
+///
+/// let mut t = Transparency::none();
+/// t.freeze_process(ProcessId::new(2));
+/// t.freeze_message(MessageId::new(1));
+/// assert!(t.is_process_frozen(ProcessId::new(2)));
+/// assert!(!t.is_process_frozen(ProcessId::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transparency {
+    frozen_processes: BTreeSet<ProcessId>,
+    frozen_messages: BTreeSet<MessageId>,
+    all_messages_frozen: bool,
+    all_processes_frozen: bool,
+}
+
+impl Transparency {
+    /// No transparency requirements: every process and message may have
+    /// scenario-dependent start times (maximum performance, §3.3).
+    pub fn none() -> Self {
+        Transparency::default()
+    }
+
+    /// A fully transparent system: all messages **and** processes frozen
+    /// (§4: "in a fully transparent system, all messages and processes are
+    /// frozen").
+    pub fn fully_transparent() -> Self {
+        Transparency {
+            all_messages_frozen: true,
+            all_processes_frozen: true,
+            ..Transparency::default()
+        }
+    }
+
+    /// Freezes all inter-node messages but leaves processes free; this is the
+    /// common intermediate point used in the authors' experiments
+    /// (fault containment at node boundaries).
+    pub fn frozen_messages_only() -> Self {
+        Transparency { all_messages_frozen: true, ..Transparency::default() }
+    }
+
+    /// Declares one process frozen.
+    pub fn freeze_process(&mut self, p: ProcessId) -> &mut Self {
+        self.frozen_processes.insert(p);
+        self
+    }
+
+    /// Declares one message frozen.
+    pub fn freeze_message(&mut self, m: MessageId) -> &mut Self {
+        self.frozen_messages.insert(m);
+        self
+    }
+
+    /// Returns `true` if `T(p) = frozen`.
+    pub fn is_process_frozen(&self, p: ProcessId) -> bool {
+        self.all_processes_frozen || self.frozen_processes.contains(&p)
+    }
+
+    /// Returns `true` if `T(m) = frozen`.
+    pub fn is_message_frozen(&self, m: MessageId) -> bool {
+        self.all_messages_frozen || self.frozen_messages.contains(&m)
+    }
+
+    /// Returns `true` if nothing is frozen.
+    pub fn is_fully_flexible(&self) -> bool {
+        !self.all_messages_frozen
+            && !self.all_processes_frozen
+            && self.frozen_processes.is_empty()
+            && self.frozen_messages.is_empty()
+    }
+
+    /// Explicitly frozen processes (does not enumerate `all_processes_frozen`).
+    pub fn frozen_processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.frozen_processes.iter().copied()
+    }
+
+    /// Explicitly frozen messages (does not enumerate `all_messages_frozen`).
+    pub fn frozen_messages(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.frozen_messages.iter().copied()
+    }
+
+    /// Checks that every declaration references an entity of `app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownProcess`] or
+    /// [`ModelError::UnknownMessage`] for out-of-range declarations.
+    pub fn validate(&self, app: &Application) -> Result<(), ModelError> {
+        if let Some(&p) =
+            self.frozen_processes.iter().find(|p| p.index() >= app.process_count())
+        {
+            return Err(ModelError::UnknownProcess(p));
+        }
+        if let Some(&m) = self.frozen_messages.iter().find(|m| m.index() >= app.message_count()) {
+            return Err(ModelError::UnknownMessage(m));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApplicationBuilder, ProcessSpec, Time};
+
+    fn tiny_app() -> Application {
+        let mut b = ApplicationBuilder::new(1);
+        let p0 = b.add_process(ProcessSpec::uniform("P0", Time::new(10), 1));
+        let p1 = b.add_process(ProcessSpec::uniform("P1", Time::new(10), 1));
+        b.add_message("m0", p0, p1, Time::new(1)).unwrap();
+        b.deadline(Time::new(100)).build().unwrap()
+    }
+
+    #[test]
+    fn none_is_fully_flexible() {
+        assert!(Transparency::none().is_fully_flexible());
+        assert!(!Transparency::fully_transparent().is_fully_flexible());
+        assert!(!Transparency::frozen_messages_only().is_fully_flexible());
+    }
+
+    #[test]
+    fn fully_transparent_freezes_everything() {
+        let t = Transparency::fully_transparent();
+        assert!(t.is_process_frozen(ProcessId::new(41)));
+        assert!(t.is_message_frozen(MessageId::new(17)));
+    }
+
+    #[test]
+    fn selective_freezing() {
+        let mut t = Transparency::none();
+        t.freeze_process(ProcessId::new(1)).freeze_message(MessageId::new(0));
+        assert!(t.is_process_frozen(ProcessId::new(1)));
+        assert!(!t.is_process_frozen(ProcessId::new(0)));
+        assert!(t.is_message_frozen(MessageId::new(0)));
+        assert_eq!(t.frozen_processes().collect::<Vec<_>>(), vec![ProcessId::new(1)]);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let app = tiny_app();
+        let mut t = Transparency::none();
+        t.freeze_process(ProcessId::new(9));
+        assert_eq!(t.validate(&app).unwrap_err(), ModelError::UnknownProcess(ProcessId::new(9)));
+
+        let mut t = Transparency::none();
+        t.freeze_message(MessageId::new(9));
+        assert_eq!(t.validate(&app).unwrap_err(), ModelError::UnknownMessage(MessageId::new(9)));
+
+        let mut ok = Transparency::none();
+        ok.freeze_process(ProcessId::new(0)).freeze_message(MessageId::new(0));
+        assert!(ok.validate(&app).is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Alternative search engines over the same move space as the tabu search:
+//! greedy steepest descent and simulated annealing. These back the search
+//! ablation (`fig_ablation_search`): the paper commits to tabu search for
+//! MXR \[13\]; the ablation quantifies how much the choice of metaheuristic
+//! matters on our workloads.
+
+use crate::search::propose_move;
+use crate::{OptError, PolicyMoves, SearchConfig, Synthesized};
+use ftes_model::Application;
+use ftes_tdma::Platform;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Objective trace of a search: the best objective value after each
+/// iteration (worst-case schedule length units).
+pub type SearchTrace = Vec<i64>;
+
+/// Greedy steepest descent: per iteration, sample the neighborhood and take
+/// the best move only if it improves the current state; stop early when a
+/// full iteration finds no improvement.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn greedy_descent(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<(Synthesized, SearchTrace), OptError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut current = initial;
+    let mut trace = SearchTrace::with_capacity(config.iterations);
+    for _ in 0..config.iterations {
+        let mut best_move: Option<Synthesized> = None;
+        for _ in 0..config.neighborhood {
+            if let Some((cand, _)) =
+                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+            {
+                if cand.objective() < best_move.as_ref().map_or(current.objective(), |b| b.objective())
+                {
+                    best_move = Some(cand);
+                }
+            }
+        }
+        match best_move {
+            Some(next) => current = next,
+            None => {
+                trace.push(current.estimate.worst_case_length.units());
+                break;
+            }
+        }
+        trace.push(current.estimate.worst_case_length.units());
+    }
+    Ok((current, trace))
+}
+
+/// Simulated annealing over the same neighborhood: accept improving moves
+/// always, worsening moves with probability `exp(−Δ/T)`, with geometric
+/// cooling from an initial temperature proportional to the initial
+/// objective.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn simulated_annealing(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<(Synthesized, SearchTrace), OptError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut current = initial.clone();
+    let mut best = initial;
+    let mut trace = SearchTrace::with_capacity(config.iterations);
+    // Initial temperature: 5% of the initial objective; floor of 1.
+    let mut temperature =
+        (best.estimate.worst_case_length.as_f64() * 0.05).max(1.0);
+    let cooling = 0.95f64;
+    for _ in 0..config.iterations {
+        for _ in 0..config.neighborhood {
+            let Some((cand, _)) =
+                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+            else {
+                continue;
+            };
+            let delta = (cand.estimate.worst_case_length
+                - current.estimate.worst_case_length)
+                .as_f64();
+            let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
+            if accept {
+                current = cand;
+                if current.objective() < best.objective() {
+                    best = current.clone();
+                }
+            }
+        }
+        temperature = (temperature * cooling).max(1e-3);
+        trace.push(best.estimate.worst_case_length.units());
+    }
+    Ok((best, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::PolicyAssignment;
+    use ftes_gen::{generate_application, GeneratorConfig};
+    use ftes_model::{Mapping, Time};
+
+    fn setup(seed: u64) -> (Application, Platform, Synthesized) {
+        let app = generate_application(&GeneratorConfig::new(12, 3), seed).unwrap();
+        let platform = Platform::homogeneous(3, Time::new(8)).unwrap();
+        let mapping = Mapping::cheapest(&app, platform.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let initial = Synthesized::evaluate(&app, &platform, mapping, policies, 2).unwrap();
+        (app, platform, initial)
+    }
+
+    fn cfg(seed: u64) -> SearchConfig {
+        SearchConfig { iterations: 20, neighborhood: 10, seed, ..SearchConfig::default() }
+    }
+
+    #[test]
+    fn greedy_never_worsens_and_trace_is_monotone() {
+        let (app, platform, initial) = setup(0);
+        let start = initial.objective();
+        let (result, trace) =
+            greedy_descent(&app, &platform, 2, initial, PolicyMoves::Full, cfg(0)).unwrap();
+        assert!(result.objective() <= start);
+        for w in trace.windows(2) {
+            assert!(w[1] <= w[0], "greedy trace is non-increasing");
+        }
+    }
+
+    #[test]
+    fn annealing_best_never_worse_than_initial() {
+        let (app, platform, initial) = setup(1);
+        let start = initial.objective();
+        let (result, trace) =
+            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(1))
+                .unwrap();
+        assert!(result.objective() <= start);
+        assert_eq!(trace.len(), 20);
+        for w in trace.windows(2) {
+            assert!(w[1] <= w[0], "best-so-far trace is non-increasing");
+        }
+        result.policies.validate(2).unwrap();
+    }
+
+    #[test]
+    fn engines_are_deterministic_in_seed() {
+        let (app, platform, initial) = setup(2);
+        let (a, ta) = simulated_annealing(
+            &app,
+            &platform,
+            2,
+            initial.clone(),
+            PolicyMoves::Full,
+            cfg(7),
+        )
+        .unwrap();
+        let (b, tb) =
+            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(7))
+                .unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,146 @@
+//! Constructive initial mapping: a communication-aware list-mapping
+//! heuristic in the HEFT tradition, used to seed the tabu search (§6's
+//! "constructive mapping" starting point, as in Kandasamy et al. \[19\] and
+//! the authors' own flow).
+//!
+//! Processes are visited in topological order (so predecessors are placed
+//! first); each is placed on the feasible node minimizing its estimated
+//! finish time, accounting for accumulated node load and the bus cost of
+//! cross-node predecessor data.
+
+use ftes_model::{Application, Architecture, Mapping, ModelError, NodeId, Time};
+
+/// Builds a communication-aware initial mapping.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from mapping validation (only reachable for
+/// inconsistent inputs).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_model::{samples, Architecture};
+/// use ftes_opt::constructive_mapping;
+///
+/// # fn main() -> Result<(), ftes_model::ModelError> {
+/// let (app, arch) = samples::fig3();
+/// let mapping = constructive_mapping(&app, &arch)?;
+/// // P3 can only live on N1 (index 0).
+/// assert_eq!(mapping.node_of(ftes_model::ProcessId::new(2)).index(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn constructive_mapping(
+    app: &Application,
+    arch: &Architecture,
+) -> Result<Mapping, ModelError> {
+    let n = app.process_count();
+    let order = app.topological_order();
+
+    let mut load = vec![Time::ZERO; arch.node_count()];
+    let mut finish = vec![Time::ZERO; n];
+    let mut assign: Vec<NodeId> = vec![NodeId::new(0); n];
+    for &pid in order {
+        let p = app.process(pid);
+        let mut best: Option<(Time, NodeId)> = None;
+        let candidates: Vec<NodeId> = match p.fixed_node() {
+            Some(fixed) => vec![fixed],
+            None => p.candidate_nodes().collect(),
+        };
+        for node in candidates {
+            let Some(wcet) = p.wcet_on(node) else { continue };
+            let mut ready = p.release();
+            for &(pred, mid) in app.predecessors(pid) {
+                let comm = if assign[pred.index()] == node {
+                    Time::ZERO
+                } else {
+                    app.message(mid).transmission()
+                };
+                ready = ready.max(finish[pred.index()] + comm);
+            }
+            let start = ready.max(load[node.index()]);
+            let f = start + wcet;
+            if best.map(|(bf, bn)| (f, node.index()) < (bf, bn.index())).unwrap_or(true) {
+                best = Some((f, node));
+            }
+        }
+        let (f, node) = best.expect("validated processes have a feasible node");
+        assign[pid.index()] = node;
+        finish[pid.index()] = f;
+        load[node.index()] = f;
+    }
+    Mapping::new(app, arch, assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::PolicyAssignment;
+    use ftes_gen::{generate_application, GeneratorConfig};
+    use ftes_model::{samples, ProcessId};
+    use ftes_tdma::Platform;
+
+    #[test]
+    fn respects_restrictions_and_fixed_nodes() {
+        let (app, arch) = samples::fig3();
+        let m = constructive_mapping(&app, &arch).unwrap();
+        // P3 is N1-only.
+        assert_eq!(m.node_of(ProcessId::new(2)), ftes_model::NodeId::new(0));
+    }
+
+    #[test]
+    fn spreads_parallel_work() {
+        // Fig. 3: P2 and P3 are both fed by P1 and independent; a
+        // communication-aware mapper should not pile everything on one
+        // node (unlike Mapping::cheapest, which does).
+        let (app, arch) = samples::fig3();
+        let m = constructive_mapping(&app, &arch).unwrap();
+        let nodes: std::collections::BTreeSet<_> =
+            m.iter().map(|(_, n)| n.index()).collect();
+        assert!(nodes.len() > 1, "constructive mapping uses both nodes");
+    }
+
+    #[test]
+    fn beats_cheapest_on_average() {
+        // Deep graphs with cross-node traffic are where communication-aware
+        // placement pays; compare the fault-free root-schedule length (the
+        // quantity the mapper actually estimates).
+        let platform = Platform::homogeneous(3, ftes_model::Time::new(8)).unwrap();
+        let mut constructive_total = 0.0;
+        let mut cheapest_total = 0.0;
+        for seed in 0..6u64 {
+            let config = GeneratorConfig {
+                layers: Some(10),
+                edge_probability: 0.7,
+                ..GeneratorConfig::new(20, 3)
+            };
+            let app = generate_application(&config, seed).unwrap();
+            let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+            let eval = |m: Mapping| {
+                crate::Synthesized::evaluate(&app, &platform, m, policies.clone(), 2)
+                    .unwrap()
+                    .estimate
+                    .fault_free_length
+                    .as_f64()
+            };
+            constructive_total +=
+                eval(constructive_mapping(&app, platform.architecture()).unwrap());
+            cheapest_total += eval(Mapping::cheapest(&app, platform.architecture()).unwrap());
+        }
+        assert!(
+            constructive_total < cheapest_total,
+            "HEFT-style seeding beats cheapest-WCET on average: {constructive_total} vs {cheapest_total}"
+        );
+    }
+
+    #[test]
+    fn output_is_always_valid() {
+        for seed in 0..5u64 {
+            let app = generate_application(&GeneratorConfig::new(15, 4), seed).unwrap();
+            let arch = ftes_model::Architecture::homogeneous(4).unwrap();
+            // Mapping::new inside constructive_mapping validates feasibility.
+            constructive_mapping(&app, &arch).unwrap();
+        }
+    }
+}

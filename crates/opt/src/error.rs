@@ -1,0 +1,85 @@
+//! Errors reported by design optimization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while synthesizing a system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// No feasible initial configuration exists (e.g. replication demanded
+    /// on a process with too few candidate nodes under the MR strategy).
+    NoFeasibleConfiguration(String),
+    /// A scheduling evaluation failed.
+    Sched(ftes_sched::SchedError),
+    /// FT-CPG preparation failed.
+    Cpg(ftes_ftcpg::CpgError),
+    /// A model input was invalid.
+    Model(ftes_model::ModelError),
+    /// A fault-tolerance input was invalid.
+    Ft(ftes_ft::FtError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::NoFeasibleConfiguration(why) => {
+                write!(f, "no feasible configuration: {why}")
+            }
+            OptError::Sched(e) => write!(f, "schedule evaluation failed: {e}"),
+            OptError::Cpg(e) => write!(f, "FT-CPG error: {e}"),
+            OptError::Model(e) => write!(f, "model error: {e}"),
+            OptError::Ft(e) => write!(f, "fault-tolerance error: {e}"),
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Sched(e) => Some(e),
+            OptError::Cpg(e) => Some(e),
+            OptError::Model(e) => Some(e),
+            OptError::Ft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ftes_sched::SchedError> for OptError {
+    fn from(e: ftes_sched::SchedError) -> Self {
+        OptError::Sched(e)
+    }
+}
+
+impl From<ftes_ftcpg::CpgError> for OptError {
+    fn from(e: ftes_ftcpg::CpgError) -> Self {
+        OptError::Cpg(e)
+    }
+}
+
+impl From<ftes_model::ModelError> for OptError {
+    fn from(e: ftes_model::ModelError) -> Self {
+        OptError::Model(e)
+    }
+}
+
+impl From<ftes_ft::FtError> for OptError {
+    fn from(e: ftes_ft::FtError) -> Self {
+        OptError::Ft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptError::NoFeasibleConfiguration("demo".into());
+        assert!(e.to_string().contains("demo"));
+        assert!(e.source().is_none());
+        let e = OptError::from(ftes_ft::FtError::NoCopies);
+        assert!(e.source().is_some());
+    }
+}

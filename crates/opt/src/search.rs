@@ -1,0 +1,338 @@
+//! Tabu-search engine over mapping and policy-assignment moves (the MXR
+//! optimization of \[13\], §6).
+//!
+//! A candidate state is a base mapping plus one policy per process; replicas
+//! are placed by [`CopyMapping::from_base`] and the state is evaluated with
+//! the root-schedule estimator. Moves:
+//!
+//! * **remap** — move one (non-fixed) process to another feasible node;
+//! * **repolicy** — switch one process among its candidate policies
+//!   (re-execution, replication, replication+checkpointed original).
+//!
+//! Recently touched processes are tabu for `tenure` iterations unless a move
+//! beats the global best (aspiration).
+
+use crate::OptError;
+use ftes_ft::{CopyPlan, Policy, PolicyAssignment};
+use ftes_ftcpg::CopyMapping;
+use ftes_model::{Application, Mapping, NodeId, ProcessId, Time};
+use ftes_sched::{estimate_schedule_length, Estimate};
+use ftes_tdma::Platform;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Tunables of the tabu search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Total iterations.
+    pub iterations: usize,
+    /// Tabu tenure (iterations a touched process stays tabu).
+    pub tenure: usize,
+    /// Number of candidate moves sampled per iteration.
+    pub neighborhood: usize,
+    /// Cap on checkpoint counts considered by candidate policies.
+    pub max_checkpoints: u32,
+    /// Seed for the move sampler (deterministic searches).
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { iterations: 120, tenure: 8, neighborhood: 24, max_checkpoints: 16, seed: 1 }
+    }
+}
+
+/// A synthesized configuration: mapping, policies, derived copy placement
+/// and its estimated worst-case schedule length.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    /// Base process mapping `M`.
+    pub mapping: Mapping,
+    /// Fault-tolerance policy assignment `F`.
+    pub policies: PolicyAssignment,
+    /// Copy placement (original + replicas).
+    pub copies: CopyMapping,
+    /// Estimated fault-free and worst-case schedule lengths.
+    pub estimate: Estimate,
+}
+
+impl Synthesized {
+    /// Evaluates a (mapping, policies) state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator and copy-placement errors.
+    pub fn evaluate(
+        app: &Application,
+        platform: &Platform,
+        mapping: Mapping,
+        policies: PolicyAssignment,
+        k: u32,
+    ) -> Result<Self, OptError> {
+        let copies =
+            CopyMapping::from_base(app, platform.architecture(), &mapping, &policies)?;
+        let estimate = estimate_schedule_length(app, platform, &copies, &policies, k)?;
+        Ok(Synthesized { mapping, policies, copies, estimate })
+    }
+
+    /// The optimization objective: worst-case length, fault-free length as
+    /// tie-break.
+    pub fn objective(&self) -> (Time, Time) {
+        (self.estimate.worst_case_length, self.estimate.fault_free_length)
+    }
+}
+
+/// Which policies a move may assign (strategy restriction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMoves {
+    /// Policies are frozen; only remapping moves are explored.
+    None,
+    /// The full candidate set: re-execution, replication, combined.
+    Full,
+}
+
+/// Candidate policies of one process under fault budget `k`.
+pub fn candidate_policies(
+    app: &Application,
+    p: ProcessId,
+    k: u32,
+    max_checkpoints: u32,
+) -> Vec<Policy> {
+    let proc = app.process(p);
+    let mut out = vec![Policy::reexecution(k)];
+    if k == 0 {
+        return out;
+    }
+    // Checkpointed single copy with the local optimum X (a cheap, good
+    // default; the global checkpoint pass refines it).
+    let min_wcet = proc
+        .candidate_nodes()
+        .filter_map(|n| proc.wcet_on(n))
+        .min()
+        .expect("validated application");
+    if let Ok(scheme) = ftes_ft::RecoveryScheme::for_process(proc, min_wcet) {
+        let x = scheme.optimal_checkpoints_local(k, max_checkpoints);
+        if x > 0 {
+            out.push(Policy::checkpointing(k, x));
+        }
+    }
+    // Pure replication (Fig. 4b). Replicas may share nodes when the
+    // process's candidate set is small (see CopyMapping).
+    out.push(Policy::replication(k));
+    // Combined (Fig. 4c): q replicas, the original absorbs the remaining
+    // k − q faults by re-execution.
+    for q in 1..k {
+        let mut copies = vec![CopyPlan::reexecuted(k - q)];
+        copies.extend(std::iter::repeat_n(CopyPlan::plain(), q as usize));
+        out.push(Policy::from_copies(copies).expect("non-empty copy list"));
+    }
+    out
+}
+
+/// Samples one candidate move (remap or repolicy) from the neighborhood of
+/// `current`; returns `None` for degenerate samples (no-op moves, fixed or
+/// single-node processes, infeasible evaluations are skipped as `None`).
+///
+/// Shared between the tabu search and the alternative engines in
+/// [`crate::greedy_descent`] / [`crate::simulated_annealing`].
+pub(crate) fn propose_move(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    current: &Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+    rng: &mut ChaCha8Rng,
+) -> Result<Option<(Synthesized, ProcessId)>, OptError> {
+    let n = app.process_count();
+    let p = ProcessId::new(rng.gen_range(0..n));
+    let proc = app.process(p);
+    let try_policy = policy_moves == PolicyMoves::Full && rng.gen_bool(0.5);
+    let candidate = if try_policy {
+        let cands = candidate_policies(app, p, k, config.max_checkpoints);
+        let pol = cands[rng.gen_range(0..cands.len())].clone();
+        if *current.policies.policy(p) == pol {
+            return Ok(None);
+        }
+        let mut policies = current.policies.clone();
+        policies.set(p, pol);
+        Synthesized::evaluate(app, platform, current.mapping.clone(), policies, k)
+    } else {
+        if proc.fixed_node().is_some() {
+            return Ok(None);
+        }
+        let nodes: Vec<NodeId> = proc.candidate_nodes().collect();
+        if nodes.len() < 2 {
+            return Ok(None);
+        }
+        let target = nodes[rng.gen_range(0..nodes.len())];
+        if target == current.mapping.node_of(p) {
+            return Ok(None);
+        }
+        let mapping = match current.mapping.with_move(app, platform.architecture(), p, target) {
+            Ok(m) => m,
+            Err(_) => return Ok(None),
+        };
+        Synthesized::evaluate(app, platform, mapping, current.policies.clone(), k)
+    };
+    // Infeasible evaluations (e.g. a policy the bus cannot carry) are
+    // skipped rather than surfaced: the move is simply not available.
+    Ok(candidate.ok().map(|c| (c, p)))
+}
+
+/// Runs a tabu search from an initial state, minimizing the estimated
+/// worst-case schedule length.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; the initial state must be feasible.
+pub fn tabu_search(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<Synthesized, OptError> {
+    Ok(tabu_search_traced(app, platform, k, initial, policy_moves, config)?.0)
+}
+
+/// [`tabu_search`] with an objective trace (best worst-case length after
+/// each iteration), for the search ablation.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; the initial state must be feasible.
+pub fn tabu_search_traced(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<(Synthesized, Vec<i64>), OptError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n = app.process_count();
+    let mut current = initial.clone();
+    let mut best = initial;
+    let mut tabu_until = vec![0usize; n];
+    let mut trace = Vec::with_capacity(config.iterations);
+
+    for iter in 0..config.iterations {
+        let mut best_move: Option<(Synthesized, ProcessId)> = None;
+        for _ in 0..config.neighborhood {
+            let Some((candidate, p)) =
+                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+            else {
+                continue;
+            };
+            let aspiration = candidate.objective() < best.objective();
+            if tabu_until[p.index()] > iter && !aspiration {
+                continue;
+            }
+            if best_move
+                .as_ref()
+                .map(|(s, _)| candidate.objective() < s.objective())
+                .unwrap_or(true)
+            {
+                best_move = Some((candidate, p));
+            }
+        }
+        if let Some((next, p)) = best_move {
+            tabu_until[p.index()] = iter + config.tenure;
+            if next.objective() < best.objective() {
+                best = next.clone();
+            }
+            current = next;
+        }
+        trace.push(best.estimate.worst_case_length.units());
+    }
+    Ok((best, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::samples;
+
+    fn setup(k: u32) -> (Application, Platform, Synthesized) {
+        let (app, arch) = samples::fig3();
+        let node_count = arch.node_count();
+        let platform =
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(node_count, Time::new(8)).unwrap())
+                .unwrap();
+        let mapping = Mapping::cheapest(&app, platform.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let initial = Synthesized::evaluate(&app, &platform, mapping, policies, k).unwrap();
+        (app, platform, initial)
+    }
+
+    #[test]
+    fn candidate_policies_tolerate_k() {
+        let (app, _) = samples::fig3();
+        // Replication is always among the candidates (replicas may share a
+        // node); every candidate tolerates k.
+        for k in 1..=3 {
+            for (pid, _) in app.processes() {
+                let cands = candidate_policies(&app, pid, k, 16);
+                assert!(cands.iter().any(|p| p.replica_count() == k));
+                for c in cands {
+                    assert!(c.tolerates(k), "candidate must tolerate k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_has_single_candidate() {
+        let (app, _) = samples::fig3();
+        let cands = candidate_policies(&app, ProcessId::new(0), 0, 16);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0], Policy::reexecution(0));
+    }
+
+    #[test]
+    fn tabu_search_never_worsens_the_best() {
+        let (app, platform, initial) = setup(2);
+        let initial_obj = initial.objective();
+        let result = tabu_search(
+            &app,
+            &platform,
+            2,
+            initial,
+            PolicyMoves::Full,
+            SearchConfig { iterations: 40, ..SearchConfig::default() },
+        )
+        .unwrap();
+        assert!(result.objective() <= initial_obj);
+        result.policies.validate(2).unwrap();
+    }
+
+    #[test]
+    fn mapping_only_search_keeps_policies() {
+        let (app, platform, initial) = setup(1);
+        let before: Vec<_> = initial.policies.iter().map(|(_, p)| p.clone()).collect();
+        let result = tabu_search(
+            &app,
+            &platform,
+            1,
+            initial,
+            PolicyMoves::None,
+            SearchConfig { iterations: 30, ..SearchConfig::default() },
+        )
+        .unwrap();
+        let after: Vec<_> = result.policies.iter().map(|(_, p)| p.clone()).collect();
+        assert_eq!(before, after, "PolicyMoves::None must not touch policies");
+    }
+
+    #[test]
+    fn search_is_deterministic_in_seed() {
+        let (app, platform, initial) = setup(2);
+        let cfg = SearchConfig { iterations: 25, seed: 99, ..SearchConfig::default() };
+        let a = tabu_search(&app, &platform, 2, initial.clone(), PolicyMoves::Full, cfg)
+            .unwrap();
+        let b = tabu_search(&app, &platform, 2, initial, PolicyMoves::Full, cfg).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.mapping, b.mapping);
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors reported by the schedulers.
+
+use ftes_ftcpg::CpgNodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced during schedule synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A bus transmission could not be scheduled (no slot, message too
+    /// long, …).
+    Tdma(ftes_tdma::TdmaError),
+    /// An FT-CPG node that must execute on the bus has no identifiable
+    /// sender node (builder invariant violation).
+    NoSender(CpgNodeId),
+    /// FT-CPG construction failed while preparing inputs.
+    Cpg(ftes_ftcpg::CpgError),
+    /// A fault-tolerance input was invalid.
+    Ft(ftes_ft::FtError),
+    /// A model input was invalid.
+    Model(ftes_model::ModelError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Tdma(e) => write!(f, "bus scheduling failed: {e}"),
+            SchedError::NoSender(n) => {
+                write!(f, "bus node {n} has no identifiable sender")
+            }
+            SchedError::Cpg(e) => write!(f, "FT-CPG error: {e}"),
+            SchedError::Ft(e) => write!(f, "fault-tolerance error: {e}"),
+            SchedError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Tdma(e) => Some(e),
+            SchedError::Cpg(e) => Some(e),
+            SchedError::Ft(e) => Some(e),
+            SchedError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ftes_tdma::TdmaError> for SchedError {
+    fn from(e: ftes_tdma::TdmaError) -> Self {
+        SchedError::Tdma(e)
+    }
+}
+
+impl From<ftes_ftcpg::CpgError> for SchedError {
+    fn from(e: ftes_ftcpg::CpgError) -> Self {
+        SchedError::Cpg(e)
+    }
+}
+
+impl From<ftes_ft::FtError> for SchedError {
+    fn from(e: ftes_ft::FtError) -> Self {
+        SchedError::Ft(e)
+    }
+}
+
+impl From<ftes_model::ModelError> for SchedError {
+    fn from(e: ftes_model::ModelError) -> Self {
+        SchedError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::from(ftes_tdma::TdmaError::EmptySlotTable);
+        assert!(e.to_string().contains("bus scheduling failed"));
+        assert!(e.source().is_some());
+        assert!(SchedError::NoSender(CpgNodeId::new(3)).source().is_none());
+    }
+}

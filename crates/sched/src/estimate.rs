@@ -1,0 +1,359 @@
+//! Fast worst-case schedule-length estimation ("root schedule + recovery
+//! slack") for use inside the design-optimization loops (paper §6).
+//!
+//! Exact conditional scheduling explodes combinatorially for the paper's
+//! 100-process, k = 7 experiments, so — like the authors' own heuristics —
+//! the optimizer evaluates candidate configurations with a two-part bound:
+//!
+//! 1. **Root schedule**: list-schedule the fault-free scenario, with every
+//!    copy (including all active replicas) running its fault-free
+//!    checkpointed time `E(n) = C + n(χ + α)`, messages in the sender's
+//!    TDMA slots, successors starting when the *first* copy of each
+//!    predecessor has delivered.
+//! 2. **Recovery slack**: the adversary concentrates all `k` faults on one
+//!    process; the slack of a process is the extra delay it suffers when
+//!    all `k` faults hit it (for replicated processes, via the adversarial
+//!    join analysis), and that delay pushes the process's whole downstream
+//!    chain. The estimate is therefore
+//!    `max(makespan, max_i (downstream_finish_i + δ_i(k)))`, where
+//!    `downstream_finish_i` is the completion of the latest transitive
+//!    successor of `i` in the root schedule. Concentrating the budget on
+//!    one process dominates splitting it for (super)linear per-fault costs,
+//!    and slack on one processor is shared — the same argument behind the
+//!    authors' shared recovery slacks.
+//!
+//! The estimator is a *ranking heuristic* for the optimizer, not a
+//! certified bound: the exact schedule tables also pay for multi-process
+//! recovery cascades that serialize on a shared CPU, so the estimate is
+//! optimistic (increasingly so with `k`). Schedulability of the final
+//! configuration is always judged on the exact conditional schedule when
+//! one is built. Calibration is measured in `tests/` and EXPERIMENTS.md.
+
+use crate::{worst_case_delivery, ReplicaLadder, ResourceTable, SchedError};
+use ftes_ft::{CopyPlan, PolicyAssignment, RecoveryScheme};
+use ftes_ftcpg::{CopyMapping, Guard};
+use ftes_model::{Application, ProcessId, Time};
+use ftes_tdma::Platform;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of the fast schedule-length estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Makespan of the fault-free root schedule.
+    pub fault_free_length: Time,
+    /// Estimated worst-case schedule length under `k` faults.
+    pub worst_case_length: Time,
+    /// The process on which the adversary concentrates the faults.
+    pub critical_process: ProcessId,
+}
+
+impl Estimate {
+    /// The fault-tolerance overhead `FTO = (worst − fault_free) /
+    /// fault_free`, the paper's Fig. 7/8 metric, in percent.
+    pub fn fault_tolerance_overhead(&self, baseline_fault_free: Time) -> f64 {
+        if baseline_fault_free <= Time::ZERO {
+            return 0.0;
+        }
+        100.0 * (self.worst_case_length - baseline_fault_free).as_f64()
+            / baseline_fault_free.as_f64()
+    }
+}
+
+/// Estimates the worst-case schedule length of a configuration.
+///
+/// # Errors
+///
+/// Returns [`SchedError::Tdma`] when a message cannot be scheduled on the
+/// bus and [`SchedError::Ft`] when the fault budget can silence a replica
+/// set (invalid policy).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ft::PolicyAssignment;
+/// use ftes_ftcpg::CopyMapping;
+/// use ftes_model::{samples, Mapping, Time};
+/// use ftes_sched::estimate_schedule_length;
+/// use ftes_tdma::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch) = samples::fig3();
+/// let mapping = Mapping::cheapest(&app, &arch)?;
+/// let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+/// let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// let platform = Platform::homogeneous(2, Time::new(8))?;
+/// let est = estimate_schedule_length(&app, &platform, &copies, &policies, 2)?;
+/// assert!(est.worst_case_length > est.fault_free_length);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_schedule_length(
+    app: &Application,
+    platform: &Platform,
+    copies: &CopyMapping,
+    policies: &PolicyAssignment,
+    k: u32,
+) -> Result<Estimate, SchedError> {
+    policies.validate(k)?;
+    let bus = platform.bus();
+    let node_count = platform.architecture().node_count();
+    let mut cpus = vec![ResourceTable::new(); node_count];
+
+    // Downward rank on the application DAG for the list-scheduling priority.
+    let rank = app_ranks(app);
+
+    // Per process: completion time of each copy in the fault-free schedule.
+    let mut copy_end: Vec<Vec<Time>> = vec![Vec::new(); app.process_count()];
+    // Per process: earliest delivery to each consumer node (fault-free).
+    let mut indegree: Vec<usize> =
+        (0..app.process_count()).map(|i| app.predecessors(ProcessId::new(i)).len()).collect();
+    let mut ready: BinaryHeap<(Time, Reverse<usize>)> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| (rank[i], Reverse(i)))
+        .collect();
+
+    let mut makespan = Time::ZERO;
+    let mut scheduled = 0usize;
+    while let Some((_, Reverse(i))) = ready.pop() {
+        let pid = ProcessId::new(i);
+        let proc = app.process(pid);
+        scheduled += 1;
+        for (c, &cpu) in copies.copies_of(pid).iter().enumerate() {
+            let plan = policies.policy(pid).copies()[c];
+            let wcet = proc.wcet_on(cpu).expect("copy mapping is validated");
+            let scheme = RecoveryScheme::for_process(proc, wcet)?;
+            let duration = scheme.fault_free_time(plan.checkpoints);
+            // Ready when every predecessor has delivered to this CPU.
+            let mut est = proc.release();
+            for &(pred, mid) in app.predecessors(pid) {
+                let trans = app.message(mid).transmission();
+                let mut arrival = Time::MAX;
+                for (pc, &pcpu) in copies.copies_of(pred).iter().enumerate() {
+                    let end = copy_end[pred.index()][pc];
+                    let a = if pcpu == cpu {
+                        end
+                    } else {
+                        // Uncontended TDMA window (cheap bound).
+                        bus.next_window(pcpu, end, trans)?.end
+                    };
+                    arrival = arrival.min(a);
+                }
+                est = est.max(arrival);
+            }
+            let s = cpus[cpu.index()].earliest_fit(est, duration, &Guard::always());
+            cpus[cpu.index()].reserve(s, s + duration, Guard::always());
+            copy_end[i].push(s + duration);
+            makespan = makespan.max(s + duration);
+        }
+        for &(succ, _) in app.successors(pid) {
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                ready.push((rank[succ.index()], Reverse(succ.index())));
+            }
+        }
+    }
+    debug_assert_eq!(scheduled, app.process_count());
+
+    // Downstream finish per process: completion of its latest transitive
+    // successor in the root schedule (itself, for sinks).
+    let mut path_end = vec![Time::ZERO; app.process_count()];
+    for &pid in app.topological_order().iter().rev() {
+        let own = copy_end[pid.index()]
+            .iter()
+            .copied()
+            .min()
+            .expect("every process has at least one copy");
+        let down = app
+            .successors(pid)
+            .iter()
+            .map(|&(s, _)| path_end[s.index()])
+            .max()
+            .unwrap_or(Time::ZERO);
+        path_end[pid.index()] = own.max(down);
+    }
+
+    // Recovery slack: worst extra delay when all k faults hit one process,
+    // delaying everything downstream of it.
+    let mut worst_case = makespan;
+    let mut critical = ProcessId::new(0);
+    for (pid, proc) in app.processes() {
+        let policy = policies.policy(pid);
+        let ladders: Result<Vec<ReplicaLadder>, SchedError> = policy
+            .copies()
+            .iter()
+            .zip(copies.copies_of(pid))
+            .zip(&copy_end[pid.index()])
+            .map(|((plan, &cpu), &end)| {
+                let wcet = proc.wcet_on(cpu).expect("copy mapping is validated");
+                let scheme = RecoveryScheme::for_process(proc, wcet)?;
+                Ok(ladder_for(scheme, *plan, end, k))
+            })
+            .collect();
+        let ladders = ladders?;
+        let no_fault = ladders
+            .iter()
+            .map(|l| l.ladder[0])
+            .min()
+            .expect("policies have at least one copy");
+        let delivery = worst_case_delivery(&ladders, k).ok_or(SchedError::Ft(
+            ftes_ft::FtError::InsufficientPolicy { k, tolerated: 0 },
+        ))?;
+        let slack = delivery - no_fault;
+        let finish = path_end[pid.index()] + slack;
+        if finish > worst_case {
+            worst_case = finish;
+            critical = pid;
+        }
+    }
+
+    Ok(Estimate {
+        fault_free_length: makespan,
+        worst_case_length: worst_case,
+        critical_process: critical,
+    })
+}
+
+/// The completion ladder of one copy given its fault-free completion time.
+fn ladder_for(scheme: RecoveryScheme, plan: CopyPlan, fault_free_end: Time, k: u32) -> ReplicaLadder {
+    let base = scheme.fault_free_time(plan.checkpoints);
+    let max_faults = plan.recoveries.min(k);
+    let mut ladder = Vec::with_capacity(max_faults as usize + 1);
+    for f in 0..=max_faults {
+        let w = scheme.worst_case_time(plan.checkpoints, f);
+        ladder.push(fault_free_end + (w - base));
+    }
+    // The copy dies if faults can exceed its recoveries within the budget.
+    let killable = plan.recoveries < k;
+    ReplicaLadder { ladder, killable }
+}
+
+/// Longest path (minimum-WCET durations plus transmissions) from each
+/// process to any sink.
+fn app_ranks(app: &Application) -> Vec<Time> {
+    let n = app.process_count();
+    let mut rank = vec![Time::ZERO; n];
+    for &pid in app.topological_order().iter().rev() {
+        let proc = app.process(pid);
+        let dur = proc
+            .candidate_nodes()
+            .filter_map(|c| proc.wcet_on(c))
+            .min()
+            .unwrap_or(Time::ZERO);
+        let down = app
+            .successors(pid)
+            .iter()
+            .map(|&(s, m)| rank[s.index()] + app.message(m).transmission())
+            .max()
+            .unwrap_or(Time::ZERO);
+        rank[pid.index()] = dur + down;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::Policy;
+    use ftes_model::{samples, Mapping};
+
+    fn fig3_estimate(k: u32, policies: &PolicyAssignment) -> Estimate {
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, policies).unwrap();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        estimate_schedule_length(&app, &platform, &copies, policies, k).unwrap()
+    }
+
+    #[test]
+    fn fault_free_matches_no_slack() {
+        let (app, _) = samples::fig3();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 0);
+        let est = fig3_estimate(0, &policies);
+        assert_eq!(est.fault_free_length, est.worst_case_length);
+    }
+
+    #[test]
+    fn slack_grows_with_k() {
+        let (app, _) = samples::fig3();
+        let mut prev = Time::ZERO;
+        for k in 1..=4 {
+            let policies = PolicyAssignment::uniform_reexecution(&app, k);
+            let est = fig3_estimate(k, &policies);
+            let slack = est.worst_case_length - est.fault_free_length;
+            assert!(slack > prev, "slack must grow with k (k={k})");
+            prev = slack;
+        }
+    }
+
+    #[test]
+    fn checkpointing_reduces_estimated_worst_case() {
+        // Single heavy process (C = 60, α = µ = 10, χ = 5), k = 5: the
+        // checkpointed worst case W(4, 5) = 295 clearly beats re-execution
+        // W(0, 5) = 460.
+        let (app, arch) = samples::fig1_process(1);
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let platform = Platform::homogeneous(1, Time::new(8)).unwrap();
+        let k = 5;
+        let est = |policies: &PolicyAssignment| {
+            let copies = CopyMapping::from_base(&app, &arch, &mapping, policies).unwrap();
+            estimate_schedule_length(&app, &platform, &copies, policies, k).unwrap()
+        };
+        let e_re = est(&PolicyAssignment::uniform_reexecution(&app, k));
+        let e_ck = est(&PolicyAssignment::local_checkpointing(&app, k, 16).unwrap());
+        assert_eq!(e_re.worst_case_length, Time::new(460));
+        assert!(
+            e_ck.worst_case_length < e_re.worst_case_length,
+            "checkpointing shrinks recovery slack: {} vs {}",
+            e_ck.worst_case_length,
+            e_re.worst_case_length
+        );
+    }
+
+    #[test]
+    fn replication_trades_fault_free_for_slack() {
+        // Replication needs k+1 distinct nodes; with two nodes use k = 1.
+        // P3 is restricted to N1, keep re-execution there.
+        let (app, _) = samples::fig3();
+        let k = 1;
+        let mut repl = PolicyAssignment::uniform_replication(&app, k);
+        repl.set(ProcessId::new(2), Policy::reexecution(k));
+        let e_rp = fig3_estimate(k, &repl);
+        let e_re = fig3_estimate(k, &PolicyAssignment::uniform_reexecution(&app, k));
+        // Replication occupies at least as much fault-free schedule (every
+        // replica runs even without faults, §3.2) ...
+        assert!(e_rp.fault_free_length >= e_re.fault_free_length);
+        // ... but absorbs faults with no more slack than re-execution (the
+        // second replica is already running when the first dies; here the
+        // critical process is P3, which stays re-executed in both configs,
+        // so the slacks tie).
+        let slack_rp = e_rp.worst_case_length - e_rp.fault_free_length;
+        let slack_re = e_re.worst_case_length - e_re.fault_free_length;
+        assert!(
+            slack_rp <= slack_re,
+            "replication slack {slack_rp} must not exceed re-execution slack {slack_re}"
+        );
+        assert_eq!(e_rp.critical_process, ProcessId::new(2), "P3 dominates the slack");
+    }
+
+    #[test]
+    fn critical_process_is_the_most_expensive_recovery() {
+        let (app, _) = samples::fig3();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let est = fig3_estimate(2, &policies);
+        // P3 has the largest WCET (60) => largest re-execution slack.
+        assert_eq!(est.critical_process, ProcessId::new(2));
+    }
+
+    #[test]
+    fn fto_metric() {
+        let (app, _) = samples::fig3();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let est = fig3_estimate(2, &policies);
+        let nf = fig3_estimate(0, &PolicyAssignment::uniform_reexecution(&app, 0));
+        let fto = est.fault_tolerance_overhead(nf.fault_free_length);
+        assert!(fto > 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Export of schedules in machine- and human-readable formats: CSV and
+//! Markdown schedule tables (the deliverable a tool like the paper's would
+//! hand to the target's configuration loader), plus per-scenario execution
+//! timelines for Gantt-style inspection.
+
+use crate::{ConditionalSchedule, ScheduleTables};
+use ftes_ftcpg::{CpgNodeKind, FaultScenario, FtCpg, Location};
+use ftes_model::{Application, NodeId, Time};
+use std::fmt::Write as _;
+
+/// Renders the distributed schedule tables as CSV with columns
+/// `node,row,start,entity_copy,guard`.
+///
+/// # Examples
+///
+/// ```
+/// # use ftes_ft::PolicyAssignment;
+/// # use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+/// # use ftes_model::{samples, FaultModel, Mapping, Time, Transparency};
+/// # use ftes_sched::{schedule_ftcpg, ScheduleTables, SchedConfig, export};
+/// # use ftes_tdma::Platform;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let (app, arch) = samples::fig1_process(1);
+/// # let mapping = Mapping::cheapest(&app, &arch)?;
+/// # let policies = PolicyAssignment::uniform_reexecution(&app, 1);
+/// # let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// # let cpg = build_ftcpg(&app, &policies, &copies, FaultModel::new(1),
+/// #                       &Transparency::none(), BuildConfig::default())?;
+/// # let platform = Platform::homogeneous(1, Time::new(10))?;
+/// # let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default())?;
+/// let tables = ScheduleTables::new(&app, &cpg, &schedule, 1);
+/// let csv = export::tables_to_csv(&tables, &cpg);
+/// assert!(csv.starts_with("node,row,start,entity_copy,guard"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn tables_to_csv(tables: &ScheduleTables, cpg: &FtCpg) -> String {
+    let mut out = String::from("node,row,start,entity_copy,guard\n");
+    for table in &tables.nodes {
+        for row in &table.rows {
+            for e in &row.entries {
+                let _ = writeln!(
+                    out,
+                    "N{},{},{},{},\"{}\"",
+                    table.node.index(),
+                    row.label,
+                    e.start,
+                    cpg.name(e.node),
+                    e.guard.display_with(|c| cpg.name(c).to_string()),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the distributed schedule tables as a Markdown document, one
+/// section per node, one table row per entity.
+pub fn tables_to_markdown(tables: &ScheduleTables, cpg: &FtCpg) -> String {
+    let mut out = String::new();
+    for table in &tables.nodes {
+        let _ = writeln!(out, "## Schedule table of N{}\n", table.node.index());
+        out.push_str("| entity | activation times |\n|---|---|\n");
+        for row in &table.rows {
+            let entries: Vec<String> = row
+                .entries
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} ({}) if {}",
+                        e.start,
+                        cpg.name(e.node),
+                        e.guard.display_with(|c| cpg.name(c).to_string())
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "| {} | {} |", row.label, entries.join("; "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One bar of a scenario timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineBar {
+    /// Resource the bar occupies (`None` = virtual / zero-duration).
+    pub resource: Option<TimelineResource>,
+    /// Display name of the executed copy.
+    pub label: String,
+    /// Start instant.
+    pub start: Time,
+    /// End instant.
+    pub end: Time,
+}
+
+/// A timeline resource: CPU or the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimelineResource {
+    /// A computation node.
+    Cpu(NodeId),
+    /// The shared bus.
+    Bus,
+}
+
+/// Extracts the execution timeline of one fault scenario (only nodes active
+/// in that scenario, sorted by resource then start) — the rows of a Gantt
+/// chart like the paper's Fig. 1/2 timing diagrams.
+pub fn scenario_timeline(
+    cpg: &FtCpg,
+    schedule: &ConditionalSchedule,
+    scenario: &FaultScenario,
+) -> Vec<TimelineBar> {
+    let active = scenario.active_nodes(cpg);
+    let mut bars: Vec<TimelineBar> = cpg
+        .iter()
+        .filter(|(id, n)| active[id.index()] && n.duration > Time::ZERO)
+        .map(|(id, n)| TimelineBar {
+            resource: match n.location {
+                Location::Node(c) => Some(TimelineResource::Cpu(c)),
+                Location::Bus => Some(TimelineResource::Bus),
+                Location::None => None,
+            },
+            label: cpg.name(id).to_string(),
+            start: schedule.start(id),
+            end: schedule.end(id),
+        })
+        .collect();
+    bars.sort_by_key(|b| (b.resource, b.start));
+    bars
+}
+
+/// Renders a scenario timeline as fixed-width ASCII art, one row per bar.
+pub fn timeline_to_ascii(bars: &[TimelineBar], width: usize) -> String {
+    let span = bars.iter().map(|b| b.end.units()).max().unwrap_or(1).max(1);
+    let scale = width.max(10) as f64 / span as f64;
+    let mut out = String::new();
+    let mut current: Option<TimelineResource> = None;
+    for b in bars {
+        if b.resource != current {
+            let name = match b.resource {
+                Some(TimelineResource::Cpu(n)) => format!("CPU N{}", n.index()),
+                Some(TimelineResource::Bus) => "BUS".to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(out, "--- {name} ---");
+            current = b.resource;
+        }
+        let lead = (b.start.units() as f64 * scale).round() as usize;
+        let len = (((b.end - b.start).units() as f64) * scale).round().max(1.0) as usize;
+        let _ = writeln!(
+            out,
+            "{:<10} {}{} [{}..{})",
+            b.label,
+            " ".repeat(lead),
+            "#".repeat(len),
+            b.start,
+            b.end
+        );
+    }
+    out
+}
+
+/// Bus utilization of a conditional schedule: fraction of `[0, length)`
+/// covered by at least one bus reservation in the *fault-free* scenario.
+pub fn fault_free_bus_utilization(
+    app: &Application,
+    cpg: &FtCpg,
+    schedule: &ConditionalSchedule,
+) -> f64 {
+    let _ = app;
+    let active = FaultScenario::fault_free().active_nodes(cpg);
+    let mut intervals: Vec<(Time, Time)> = cpg
+        .iter()
+        .filter(|(id, n)| {
+            active[id.index()]
+                && n.location == Location::Bus
+                && matches!(
+                    n.kind,
+                    CpgNodeKind::MessageCopy { .. } | CpgNodeKind::MessageSync { .. }
+                )
+        })
+        .map(|(id, _)| (schedule.start(id), schedule.end(id)))
+        .filter(|(s, e)| e > s)
+        .collect();
+    intervals.sort();
+    let mut covered = 0i64;
+    let mut cursor = Time::new(i64::MIN);
+    for (s, e) in intervals {
+        let s = s.max(cursor);
+        if e > s {
+            covered += (e - s).units();
+            cursor = e;
+        }
+    }
+    let len = schedule.length().units().max(1);
+    covered as f64 / len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule_ftcpg, SchedConfig};
+    use ftes_ft::PolicyAssignment;
+    use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+    use ftes_model::{samples, FaultModel, Mapping};
+    use ftes_tdma::Platform;
+
+    fn fig5_artifacts() -> (Application, FtCpg, ConditionalSchedule, ScheduleTables) {
+        let (app, arch, transparency) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        let tables = ScheduleTables::new(&app, &cpg, &schedule, 2);
+        (app, cpg, schedule, tables)
+    }
+
+    #[test]
+    fn csv_has_one_line_per_entry_plus_header() {
+        let (_, cpg, _, tables) = fig5_artifacts();
+        let csv = tables_to_csv(&tables, &cpg);
+        assert_eq!(csv.lines().count(), tables.entry_count() + 1);
+        assert!(csv.lines().nth(1).unwrap().starts_with("N0,"));
+    }
+
+    #[test]
+    fn markdown_contains_every_row_label() {
+        let (_, cpg, _, tables) = fig5_artifacts();
+        let md = tables_to_markdown(&tables, &cpg);
+        for t in &tables.nodes {
+            for row in &t.rows {
+                assert!(md.contains(&format!("| {} |", row.label)), "{}", row.label);
+            }
+        }
+        assert!(md.contains("## Schedule table of N0"));
+    }
+
+    #[test]
+    fn fault_free_timeline_has_one_bar_per_process() {
+        let (_, cpg, schedule, _) = fig5_artifacts();
+        let bars = scenario_timeline(&cpg, &schedule, &FaultScenario::fault_free());
+        let cpu_bars =
+            bars.iter().filter(|b| matches!(b.resource, Some(TimelineResource::Cpu(_)))).count();
+        assert_eq!(cpu_bars, 4, "one active copy per process in the fault-free run");
+        // Bars within a resource are sorted by start.
+        for w in bars.windows(2) {
+            if w[0].resource == w[1].resource {
+                assert!(w[0].start <= w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_timeline_has_more_bars() {
+        let (_, cpg, schedule, _) = fig5_artifacts();
+        let base = scenario_timeline(&cpg, &schedule, &FaultScenario::fault_free()).len();
+        let first_cond = cpg.conditional_nodes().next().unwrap();
+        let faulty =
+            scenario_timeline(&cpg, &schedule, &FaultScenario::new([first_cond])).len();
+        assert!(faulty > base, "a recovery adds at least one bar");
+    }
+
+    #[test]
+    fn ascii_rendering_is_nonempty_and_bounded() {
+        let (_, cpg, schedule, _) = fig5_artifacts();
+        let bars = scenario_timeline(&cpg, &schedule, &FaultScenario::fault_free());
+        let art = timeline_to_ascii(&bars, 60);
+        assert!(art.contains("CPU N0"));
+        assert!(art.contains('#'));
+        assert!(art.lines().count() >= bars.len());
+    }
+
+    #[test]
+    fn bus_utilization_is_a_fraction() {
+        let (app, cpg, schedule, _) = fig5_artifacts();
+        let u = fault_free_bus_utilization(&app, &cpg, &schedule);
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u > 0.0, "fig5 sends bus messages in the fault-free run");
+    }
+}

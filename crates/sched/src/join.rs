@@ -1,0 +1,188 @@
+//! Adversarial analysis of replicated executions: by when is at least one
+//! replica of a process guaranteed to have completed, no matter how an
+//! adversary distributes the remaining fault budget?
+//!
+//! Active replication (§3.2) runs all replicas regardless of faults. A
+//! replica with `f` faults completes at its `f`-recovery completion time; a
+//! replica whose whole recovery chain is exhausted dies. The worst-case
+//! delivery time of the process output is
+//!
+//! `max over fault allocations (Σfj ≤ budget) of min over alive replicas of
+//! completion(j, fj)`
+//!
+//! which the conditional scheduler uses as the completion time of a
+//! `ReplicaJoin` node, and the estimator uses for replication slack.
+
+use ftes_model::Time;
+
+/// Completion ladder of one replica: `ladder[f]` is the completion time
+/// after absorbing `f` faults (`f < ladder.len()`), and `killable` tells
+/// whether hitting every attempt (cost `ladder.len()` faults) kills the
+/// replica for the rest of the cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaLadder {
+    /// Completion time after `f` faults, `f = 0..len`.
+    pub ladder: Vec<Time>,
+    /// `true` if `ladder.len()` faults kill the replica (its final attempt
+    /// is still at risk); `false` if the chain is budget-truncated and the
+    /// final attempt can no longer fail.
+    pub killable: bool,
+}
+
+/// Outcome of one adversary allocation over all replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Some replica survives; payload is the earliest surviving completion.
+    Delivered(Time),
+    /// Every replica is dead.
+    Silent,
+}
+
+/// Worst-case delivery time of a replicated output under `budget` faults.
+///
+/// Returns `None` if the adversary can kill **all** replicas within the
+/// budget — a policy-assignment bug for validated inputs; callers surface it
+/// as an error.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_sched::{worst_case_delivery, ReplicaLadder};
+/// use ftes_model::Time;
+///
+/// // Two plain replicas finishing at 70 and 90; one fault to spend.
+/// let ladders = vec![
+///     ReplicaLadder { ladder: vec![Time::new(70)], killable: true },
+///     ReplicaLadder { ladder: vec![Time::new(90)], killable: true },
+/// ];
+/// // The adversary kills the fast one; the slow one delivers.
+/// assert_eq!(worst_case_delivery(&ladders, 1), Some(Time::new(90)));
+/// // With no faults the fast replica delivers.
+/// assert_eq!(worst_case_delivery(&ladders, 0), Some(Time::new(70)));
+/// // Two faults kill both.
+/// assert_eq!(worst_case_delivery(&ladders, 2), None);
+/// ```
+pub fn worst_case_delivery(ladders: &[ReplicaLadder], budget: u32) -> Option<Time> {
+    if ladders.is_empty() {
+        return None;
+    }
+    match explore(ladders, budget, Time::MAX) {
+        Some(Outcome::Delivered(t)) => Some(t),
+        Some(Outcome::Silent) | None => None,
+    }
+}
+
+/// Returns the adversary-optimal outcome for replicas `ladders`, given
+/// `budget` faults and `current_min` — the minimum completion among replicas
+/// already decided alive (`Time::MAX` when none yet). `Silent` dominates any
+/// `Delivered`; among `Delivered`, larger is worse.
+fn explore(ladders: &[ReplicaLadder], budget: u32, current_min: Time) -> Option<Outcome> {
+    let Some((first, rest)) = ladders.split_first() else {
+        return Some(if current_min == Time::MAX {
+            Outcome::Silent
+        } else {
+            Outcome::Delivered(current_min)
+        });
+    };
+    let mut worst: Option<Outcome> = None;
+    let mut consider = |o: Outcome| {
+        worst = Some(match (worst, o) {
+            (None, o) => o,
+            (Some(Outcome::Silent), _) | (_, Outcome::Silent) => Outcome::Silent,
+            (Some(Outcome::Delivered(a)), Outcome::Delivered(b)) => Outcome::Delivered(a.max(b)),
+        });
+    };
+    // Option 1: delay this replica with f faults; it stays alive. The
+    // ladder is non-decreasing for well-formed inputs, so only the largest
+    // affordable f matters — but we scan all f for robustness to
+    // non-monotone ladders.
+    for f in 0..first.ladder.len() as u32 {
+        if f > budget {
+            break;
+        }
+        if let Some(o) = explore(rest, budget - f, current_min.min(first.ladder[f as usize])) {
+            consider(o);
+        }
+    }
+    // Option 2: kill it (cost = the whole chain), if affordable.
+    let kill_cost = first.ladder.len() as u32;
+    if first.killable && kill_cost <= budget {
+        if let Some(o) = explore(rest, budget - kill_cost, current_min) {
+            consider(o);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Time {
+        Time::new(v)
+    }
+
+    fn plain(completion: i64) -> ReplicaLadder {
+        ReplicaLadder { ladder: vec![t(completion)], killable: true }
+    }
+
+    #[test]
+    fn single_checkpointed_copy_walks_its_ladder() {
+        // One copy with 2 recoveries: ladder of 3 completions, not killable
+        // beyond (budget-truncated regular final attempt).
+        let l = vec![ReplicaLadder { ladder: vec![t(75), t(155), t(225)], killable: false }];
+        assert_eq!(worst_case_delivery(&l, 0), Some(t(75)));
+        assert_eq!(worst_case_delivery(&l, 1), Some(t(155)));
+        assert_eq!(worst_case_delivery(&l, 2), Some(t(225)));
+        // Extra budget cannot hurt a non-killable exhausted chain.
+        assert_eq!(worst_case_delivery(&l, 5), Some(t(225)));
+    }
+
+    #[test]
+    fn k_plus_one_plain_replicas_deliver_kth_smallest() {
+        let l = vec![plain(70), plain(80), plain(90)];
+        // Budget 2: kill the two fastest; the slowest delivers.
+        assert_eq!(worst_case_delivery(&l, 2), Some(t(90)));
+        assert_eq!(worst_case_delivery(&l, 1), Some(t(80)));
+        assert_eq!(worst_case_delivery(&l, 0), Some(t(70)));
+        assert_eq!(worst_case_delivery(&l, 3), None, "budget kills all");
+    }
+
+    #[test]
+    fn mixed_kill_and_delay() {
+        // Replica A: plain, fast. Replica B: one recovery, slow ladder.
+        let l = vec![
+            plain(50),
+            ReplicaLadder { ladder: vec![t(60), t(120)], killable: true },
+        ];
+        // Budget 2: kill A (1 fault), delay B once (1 fault) -> 120.
+        assert_eq!(worst_case_delivery(&l, 2), Some(t(120)));
+        // Budget 1: either kill A (B at 60) or delay B (A at 50): max = 60.
+        assert_eq!(worst_case_delivery(&l, 1), Some(t(60)));
+        // Budget 3: kill A and B (1 + 2) -> None.
+        assert_eq!(worst_case_delivery(&l, 3), None);
+    }
+
+    #[test]
+    fn empty_replica_set_never_delivers() {
+        assert_eq!(worst_case_delivery(&[], 0), None);
+    }
+
+    #[test]
+    fn order_of_replicas_is_irrelevant() {
+        let a = vec![plain(50), ReplicaLadder { ladder: vec![t(60), t(120)], killable: true }];
+        let b = vec![ReplicaLadder { ladder: vec![t(60), t(120)], killable: true }, plain(50)];
+        for budget in 0..4 {
+            assert_eq!(worst_case_delivery(&a, budget), worst_case_delivery(&b, budget));
+        }
+    }
+
+    #[test]
+    fn non_monotone_ladder_handled() {
+        // Degenerate input: a "recovery" that finishes earlier (can happen
+        // with zero-duration test fixtures); the adversary must still pick
+        // the max.
+        let l = vec![ReplicaLadder { ladder: vec![t(100), t(40)], killable: false }];
+        assert_eq!(worst_case_delivery(&l, 1), Some(t(100)));
+    }
+}

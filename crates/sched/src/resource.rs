@@ -1,0 +1,249 @@
+//! Guard-aware resource occupancy tables.
+//!
+//! A CPU or the bus can hold two reservations that overlap in time only when
+//! their guards are *mutually exclusive* — the intervals belong to disjoint
+//! fault scenarios (the alternative-paths property of §5.1). This is what
+//! lets the conditional scheduler pack the recovery of one process into the
+//! same physical window another process uses in the no-fault scenario.
+
+use ftes_ftcpg::Guard;
+use ftes_model::{NodeId, Time};
+use ftes_tdma::{TdmaBus, TdmaError};
+
+/// One reservation on a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    /// Start instant (inclusive).
+    pub start: Time,
+    /// End instant (exclusive).
+    pub end: Time,
+    /// Scenario guard of the occupant.
+    pub guard: Guard,
+}
+
+/// Occupancy table of one resource (a CPU or the bus channel).
+#[derive(Debug, Clone, Default)]
+pub struct ResourceTable {
+    /// Reservations sorted by start time.
+    reservations: Vec<Reservation>,
+}
+
+impl ResourceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ResourceTable::default()
+    }
+
+    /// The reservations placed so far (sorted by start).
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    /// Earliest start `t ≥ ready` at which `[t, t + duration)` conflicts
+    /// with no reservation whose guard is compatible with `guard`.
+    ///
+    /// Zero-duration requests return `ready` (synchronization artifacts).
+    pub fn earliest_fit(&self, ready: Time, duration: Time, guard: &Guard) -> Time {
+        if duration <= Time::ZERO {
+            return ready;
+        }
+        let mut t = ready;
+        // Conflicting intervals sorted by start; walk and push `t` past each
+        // conflict that overlaps [t, t + duration).
+        loop {
+            let mut moved = false;
+            for r in &self.reservations {
+                if r.start >= t + duration {
+                    break;
+                }
+                if r.end <= t {
+                    continue;
+                }
+                if !r.guard.excludes(guard) {
+                    t = r.end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// Records a reservation.
+    pub fn reserve(&mut self, start: Time, end: Time, guard: Guard) {
+        let pos = self
+            .reservations
+            .partition_point(|r| (r.start, r.end) <= (start, end));
+        self.reservations.insert(pos, Reservation { start, end, guard });
+    }
+
+    /// `true` iff `[start, end)` overlaps a reservation compatible with
+    /// `guard` (used by invariant checks).
+    pub fn conflicts(&self, start: Time, end: Time, guard: &Guard) -> bool {
+        self.reservations
+            .iter()
+            .any(|r| r.start < end && start < r.end && !r.guard.excludes(guard))
+    }
+}
+
+/// Occupancy table of the TDMA bus: combines slot-timing feasibility
+/// ([`TdmaBus::next_window`]) with guard-aware mutual exclusion.
+#[derive(Debug, Clone)]
+pub struct BusTable {
+    bus: TdmaBus,
+    table: ResourceTable,
+}
+
+impl BusTable {
+    /// Creates an empty bus occupancy table over `bus`.
+    pub fn new(bus: TdmaBus) -> Self {
+        BusTable { bus, table: ResourceTable::new() }
+    }
+
+    /// The underlying TDMA configuration.
+    pub fn bus(&self) -> &TdmaBus {
+        &self.bus
+    }
+
+    /// Reservations placed so far.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.table.reservations
+    }
+
+    /// Earliest window in which `sender` can put `duration` units on the
+    /// bus, at or after `ready`, compatible with existing reservations.
+    ///
+    /// Zero-duration requests (node-internal messages) return
+    /// `[ready, ready)` without touching the bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TdmaError`] for senders without slots or oversized
+    /// messages.
+    pub fn earliest_window(
+        &self,
+        sender: NodeId,
+        ready: Time,
+        duration: Time,
+        guard: &Guard,
+    ) -> Result<(Time, Time), TdmaError> {
+        if duration <= Time::ZERO {
+            return Ok((ready, ready));
+        }
+        let mut t = ready;
+        loop {
+            let w = self.bus.next_window(sender, t, duration)?;
+            // Find the first compatible conflict inside the window.
+            let conflict = self
+                .table
+                .reservations
+                .iter()
+                .filter(|r| r.start < w.end && w.start < r.end && !r.guard.excludes(guard))
+                .map(|r| r.end)
+                .max();
+            match conflict {
+                None => return Ok((w.start, w.end)),
+                Some(e) => t = e,
+            }
+        }
+    }
+
+    /// Records a bus reservation.
+    pub fn reserve(&mut self, start: Time, end: Time, guard: Guard) {
+        self.table.reserve(start, end, guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ftcpg::{CpgNodeId, Literal};
+
+    fn g(lits: &[(usize, bool)]) -> Guard {
+        Guard::of(lits.iter().map(|&(i, f)| Literal { cond: CpgNodeId::new(i), fault: f }))
+    }
+
+    #[test]
+    fn empty_table_fits_immediately() {
+        let t = ResourceTable::new();
+        assert_eq!(t.earliest_fit(Time::new(5), Time::new(10), &Guard::always()), Time::new(5));
+    }
+
+    #[test]
+    fn compatible_guards_serialize() {
+        let mut t = ResourceTable::new();
+        t.reserve(Time::new(0), Time::new(10), Guard::always());
+        // `always` is compatible with everything -> pushed past.
+        assert_eq!(t.earliest_fit(Time::ZERO, Time::new(5), &g(&[(0, true)])), Time::new(10));
+        assert!(t.conflicts(Time::new(3), Time::new(7), &Guard::always()));
+    }
+
+    #[test]
+    fn exclusive_guards_overlap() {
+        let mut t = ResourceTable::new();
+        t.reserve(Time::new(0), Time::new(10), g(&[(0, true)]));
+        // Complementary guard may run in the same physical window.
+        assert_eq!(t.earliest_fit(Time::ZERO, Time::new(5), &g(&[(0, false)])), Time::ZERO);
+        assert!(!t.conflicts(Time::ZERO, Time::new(5), &g(&[(0, false)])));
+        // Same-polarity guard must wait.
+        assert_eq!(
+            t.earliest_fit(Time::ZERO, Time::new(5), &g(&[(0, true), (1, false)])),
+            Time::new(10)
+        );
+    }
+
+    #[test]
+    fn gap_between_reservations_is_used() {
+        let mut t = ResourceTable::new();
+        t.reserve(Time::new(0), Time::new(4), Guard::always());
+        t.reserve(Time::new(10), Time::new(14), Guard::always());
+        assert_eq!(t.earliest_fit(Time::ZERO, Time::new(5), &Guard::always()), Time::new(4));
+        // A 7-unit job does not fit in the 6-unit gap.
+        assert_eq!(t.earliest_fit(Time::ZERO, Time::new(7), &Guard::always()), Time::new(14));
+    }
+
+    #[test]
+    fn zero_duration_is_noop() {
+        let mut t = ResourceTable::new();
+        t.reserve(Time::new(0), Time::new(10), Guard::always());
+        assert_eq!(t.earliest_fit(Time::new(3), Time::ZERO, &Guard::always()), Time::new(3));
+    }
+
+    #[test]
+    fn bus_table_combines_tdma_and_guards() {
+        // Two nodes, 10-unit slots; N1 owns [10, 20) each 20-unit round.
+        let bus = TdmaBus::uniform(2, Time::new(10)).unwrap();
+        let mut bt = BusTable::new(bus);
+        let n1 = NodeId::new(1);
+        let fault = g(&[(0, true)]);
+        let ok = g(&[(0, false)]);
+        let (s, e) = bt.earliest_window(n1, Time::ZERO, Time::new(4), &fault).unwrap();
+        assert_eq!((s, e), (Time::new(10), Time::new(14)));
+        bt.reserve(s, e, fault.clone());
+        // A same-guard transmission serializes behind it.
+        let (s2, _) = bt.earliest_window(n1, Time::ZERO, Time::new(4), &fault).unwrap();
+        assert_eq!(s2, Time::new(14));
+        // The complementary-guard transmission shares the window.
+        let (s3, e3) = bt.earliest_window(n1, Time::ZERO, Time::new(4), &ok).unwrap();
+        assert_eq!(s3, Time::new(10));
+        bt.reserve(s3, e3, ok);
+        // An unconditional transmission conflicts with both: [14, 18).
+        let (s4, e4) = bt.earliest_window(n1, Time::ZERO, Time::new(4), &Guard::always()).unwrap();
+        assert_eq!(s4, Time::new(14));
+        bt.reserve(s4, e4, Guard::always());
+        // Slot exhausted (only [18, 20) left): next round.
+        let (s5, _) = bt.earliest_window(n1, Time::ZERO, Time::new(4), &Guard::always()).unwrap();
+        assert_eq!(s5, Time::new(30));
+    }
+
+    #[test]
+    fn zero_duration_bus_request_is_internal() {
+        let bus = TdmaBus::uniform(2, Time::new(10)).unwrap();
+        let bt = BusTable::new(bus);
+        let w = bt
+            .earliest_window(NodeId::new(0), Time::new(7), Time::ZERO, &Guard::always())
+            .unwrap();
+        assert_eq!(w, (Time::new(7), Time::new(7)));
+    }
+}

@@ -1,0 +1,249 @@
+//! Distributed schedule tables (paper §5.2, Fig. 6).
+//!
+//! The conditional schedule is split into one table per computation node —
+//! the part each local run-time scheduler stores — with one row per process
+//! and message the node controls, one row per broadcast condition, and one
+//! activation-time entry per guard context.
+
+use crate::ConditionalSchedule;
+use ftes_ftcpg::{CpgNodeId, CpgNodeKind, FtCpg, Guard, Location};
+use ftes_model::{Application, NodeId, Time};
+use std::fmt::Write as _;
+
+/// One activation entry: the guard context and the start time in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Guard context (column header in Fig. 6).
+    pub guard: Guard,
+    /// Activation time in that context.
+    pub start: Time,
+    /// FT-CPG node realizing the entry (e.g. the copy `P2^4`).
+    pub node: CpgNodeId,
+}
+
+/// One row of a node's schedule table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Row label: the application process/message/condition name.
+    pub label: String,
+    /// Activation entries, in guard-context order of creation.
+    pub entries: Vec<TableEntry>,
+}
+
+/// The schedule table stored on one computation node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTable {
+    /// Owning computation node.
+    pub node: NodeId,
+    /// Rows: local processes, messages sent from here, and conditions
+    /// broadcast from here.
+    pub rows: Vec<TableRow>,
+}
+
+/// The complete set of distributed schedule tables `S` of a system
+/// configuration ψ = <F, M, S>.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTables {
+    /// One table per computation node.
+    pub nodes: Vec<NodeTable>,
+}
+
+impl ScheduleTables {
+    /// Derives the distributed tables from a conditional schedule.
+    ///
+    /// Rows appear for: every process copy executing on the node, every bus
+    /// message whose sender is on the node, and every condition the node
+    /// broadcasts.
+    pub fn new(
+        app: &Application,
+        cpg: &FtCpg,
+        schedule: &ConditionalSchedule,
+        node_count: usize,
+    ) -> Self {
+        let mut nodes: Vec<NodeTable> = (0..node_count)
+            .map(|i| NodeTable { node: NodeId::new(i), rows: Vec::new() })
+            .collect();
+
+        let mut push = |node: NodeId, label: String, entry: TableEntry| {
+            let rows = &mut nodes[node.index()].rows;
+            match rows.iter_mut().find(|r| r.label == label) {
+                Some(r) => r.entries.push(entry),
+                None => rows.push(TableRow { label, entries: vec![entry] }),
+            }
+        };
+
+        for (id, n) in cpg.iter() {
+            let entry = TableEntry { guard: n.guard.clone(), start: schedule.start(id), node: id };
+            match (&n.kind, n.location) {
+                (CpgNodeKind::ProcessCopy { process, .. }, Location::Node(cpu)) => {
+                    push(cpu, app.process(*process).name().to_string(), entry);
+                }
+                (CpgNodeKind::MessageCopy { message, .. }, Location::Bus)
+                | (CpgNodeKind::MessageSync { message }, Location::Bus) => {
+                    if let Some(sender) = sender_cpu(cpg, id) {
+                        push(sender, app.message(*message).name().to_string(), entry);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for b in schedule.broadcasts() {
+            if let Location::Node(cpu) = cpg.node(b.cond).location {
+                let label = format!("F({})", cpg.name(b.cond));
+                push(
+                    cpu,
+                    label,
+                    TableEntry {
+                        guard: cpg.node(b.cond).guard.clone(),
+                        start: b.start,
+                        node: b.cond,
+                    },
+                );
+            }
+        }
+        ScheduleTables { nodes }
+    }
+
+    /// Renders the tables as human-readable text, one block per node, one
+    /// row per entity, entries as `start (copy) if guard`.
+    pub fn render(&self, cpg: &FtCpg) -> String {
+        let mut out = String::new();
+        for table in &self.nodes {
+            let _ = writeln!(out, "== schedule table of N{} ==", table.node.index());
+            for row in &table.rows {
+                let entries: Vec<String> = row
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{} ({}) if {}",
+                            e.start,
+                            cpg.name(e.node),
+                            e.guard.display_with(|c| cpg.name(c).to_string())
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, "  {:<6} | {}", row.label, entries.join(" | "));
+            }
+        }
+        out
+    }
+
+    /// Total number of activation entries across all tables — the schedule
+    /// table *size* metric the paper trades against transparency (§5.2).
+    pub fn entry_count(&self) -> usize {
+        self.nodes.iter().flat_map(|n| &n.rows).map(|r| r.entries.len()).sum()
+    }
+}
+
+fn sender_cpu(cpg: &FtCpg, id: CpgNodeId) -> Option<NodeId> {
+    fn trace(cpg: &FtCpg, from: CpgNodeId) -> Option<NodeId> {
+        match cpg.node(from).location {
+            Location::Node(n) => Some(n),
+            _ => cpg.incoming(from).find_map(|e| trace(cpg, e.from)),
+        }
+    }
+    cpg.incoming(id).find_map(|e| trace(cpg, e.from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule_ftcpg, SchedConfig};
+    use ftes_ft::PolicyAssignment;
+    use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+    use ftes_model::{samples, FaultModel, Mapping, ProcessId};
+    use ftes_tdma::Platform;
+
+    fn fig5_tables() -> (Application, FtCpg, ScheduleTables) {
+        let (app, arch, transparency) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        let sched = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        let tables = ScheduleTables::new(&app, &cpg, &sched, 2);
+        (app, cpg, tables)
+    }
+
+    #[test]
+    fn fig6_row_structure() {
+        let (_, _, tables) = fig5_tables();
+        let labels =
+            |i: usize| tables.nodes[i].rows.iter().map(|r| r.label.as_str()).collect::<Vec<_>>();
+        // N1 (index 0) runs P1, P2 and sends m1, m2, m3 plus P1's condition
+        // broadcasts (matching the row structure of Fig. 6's first table).
+        let n1 = labels(0);
+        assert!(n1.contains(&"P1"));
+        assert!(n1.contains(&"P2"));
+        assert!(n1.contains(&"m1"));
+        assert!(n1.contains(&"m2"));
+        assert!(n1.contains(&"m3"));
+        assert!(n1.iter().any(|l| l.starts_with("F(P1^")), "P1 condition broadcasts: {n1:?}");
+        // N2 runs P3 and P4.
+        let n2 = labels(1);
+        assert!(n2.contains(&"P3"));
+        assert!(n2.contains(&"P4"));
+        assert!(!n2.contains(&"P1"));
+    }
+
+    #[test]
+    fn entry_counts_follow_copy_counts() {
+        let (_, cpg, tables) = fig5_tables();
+        let row = |i: usize, label: &str| {
+            tables.nodes[i]
+                .rows
+                .iter()
+                .find(|r| r.label == label)
+                .map(|r| r.entries.len())
+                .unwrap_or(0)
+        };
+        // P1 has 3 copies, P2 6, P3 3, P4 6 (Fig. 5b).
+        assert_eq!(row(0, "P1"), 3);
+        assert_eq!(row(0, "P2"), 6);
+        assert_eq!(row(1, "P3"), 3);
+        assert_eq!(row(1, "P4"), 6);
+        // Frozen messages have exactly one entry.
+        assert_eq!(row(0, "m2"), 1);
+        assert_eq!(row(0, "m3"), 1);
+        assert!(tables.entry_count() >= 20);
+        let _ = cpg;
+    }
+
+    #[test]
+    fn frozen_rows_are_context_independent() {
+        let (_, _, tables) = fig5_tables();
+        // The frozen message m2's single entry is unconditional.
+        let m2 = tables.nodes[0].rows.iter().find(|r| r.label == "m2").unwrap();
+        assert!(m2.entries[0].guard.is_always());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let (_, cpg, tables) = fig5_tables();
+        let text = tables.render(&cpg);
+        assert!(text.contains("== schedule table of N0 =="));
+        assert!(text.contains("P2"));
+        assert!(text.contains("if true"));
+        assert!(text.contains("if F(P1^1)") || text.contains("if !F(P1^1)"));
+    }
+
+    #[test]
+    fn unconditional_first_process_starts_at_zero() {
+        let (_, cpg, tables) = fig5_tables();
+        let p1 = tables.nodes[0].rows.iter().find(|r| r.label == "P1").unwrap();
+        let first = p1.entries.iter().find(|e| e.guard.is_always()).unwrap();
+        assert_eq!(first.start, Time::ZERO, "P1 activated unconditionally at 0 (Fig. 6)");
+        let _ = cpg;
+        let _ = ProcessId::new(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Errors reported by the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced during scenario replay or verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The injected scenario is not realizable on the FT-CPG (faults on
+    /// inactive copies or more faults than the budget `k`); payload is the
+    /// scenario's fault count.
+    InconsistentScenario(u32),
+    /// The scenario space exceeds the exhaustive-verification limit; use
+    /// sampled verification instead.
+    TooManyScenarios(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InconsistentScenario(n) => {
+                write!(f, "fault scenario with {n} faults is not realizable on this FT-CPG")
+            }
+            SimError::TooManyScenarios(limit) => {
+                write!(f, "more than {limit} fault scenarios; use sampled verification")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::InconsistentScenario(3).to_string().contains("3 faults"));
+        assert!(SimError::TooManyScenarios(10).to_string().contains("10"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Discrete-event execution of a conditional schedule under one concrete
+//! fault scenario.
+//!
+//! The distributed run-time scheduler of §5.2 is table-driven: each node
+//! activates processes and message transmissions at the table times of the
+//! guard column matching the condition values seen so far. Executing a
+//! scenario therefore amounts to replaying the FT-CPG nodes whose guards the
+//! scenario satisfies, at their scheduled times — and checking that this
+//! replay is causally and resource-wise sound.
+
+use crate::SimError;
+use ftes_ftcpg::{CpgNodeId, CpgNodeKind, FaultScenario, FtCpg, Location};
+use ftes_model::{Application, Time};
+use ftes_sched::ConditionalSchedule;
+
+/// One executed FT-CPG node in a scenario replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimEvent {
+    /// The executed node.
+    pub node: CpgNodeId,
+    /// Execution start.
+    pub start: Time,
+    /// Execution end.
+    pub end: Time,
+    /// `true` if the scenario injects a fault into this execution.
+    pub faulted: bool,
+}
+
+/// The replay of one fault scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// The injected scenario.
+    pub scenario: FaultScenario,
+    /// Events of every active node, in topological order.
+    pub events: Vec<SimEvent>,
+    /// Completion time of the last event.
+    pub makespan: Time,
+    /// `true` iff every application process produced a successful
+    /// (non-faulted) execution in this scenario.
+    pub completed: bool,
+}
+
+impl SimReport {
+    /// The event of a node, if it was active in the scenario.
+    pub fn event(&self, node: CpgNodeId) -> Option<&SimEvent> {
+        self.events.iter().find(|e| e.node == node)
+    }
+}
+
+/// Replays `scenario` against the schedule.
+///
+/// # Errors
+///
+/// Returns [`SimError::InconsistentScenario`] if the scenario is not
+/// realizable on `cpg` (inactive faults or budget violation).
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ft::PolicyAssignment;
+/// use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, FaultScenario};
+/// use ftes_model::{samples, FaultModel, Mapping, Time, Transparency};
+/// use ftes_sched::{schedule_ftcpg, SchedConfig};
+/// use ftes_sim::simulate;
+/// use ftes_tdma::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch) = samples::fig1_process(1);
+/// let mapping = Mapping::cheapest(&app, &arch)?;
+/// let policies = PolicyAssignment::uniform_reexecution(&app, 1);
+/// let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// let cpg = build_ftcpg(&app, &policies, &copies, FaultModel::new(1),
+///                       &Transparency::none(), BuildConfig::default())?;
+/// let platform = Platform::homogeneous(1, Time::new(10))?;
+/// let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default())?;
+/// let report = simulate(&app, &cpg, &schedule, FaultScenario::fault_free())?;
+/// assert!(report.completed);
+/// assert_eq!(report.makespan, Time::new(70));
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    app: &Application,
+    cpg: &FtCpg,
+    schedule: &ConditionalSchedule,
+    scenario: FaultScenario,
+) -> Result<SimReport, SimError> {
+    if !scenario.is_consistent(cpg) {
+        return Err(SimError::InconsistentScenario(scenario.fault_count()));
+    }
+    let active = scenario.active_nodes(cpg);
+    let mut events = Vec::new();
+    let mut makespan = Time::ZERO;
+    // Track whether each application process delivered a correct result.
+    let mut delivered = vec![false; app.process_count()];
+    for (id, node) in cpg.iter() {
+        if !active[id.index()] {
+            continue;
+        }
+        let (start, end) = (schedule.start(id), schedule.end(id));
+        let faulted = scenario.is_faulted(id);
+        events.push(SimEvent { node: id, start, end, faulted });
+        makespan = makespan.max(end);
+        if let CpgNodeKind::ProcessCopy { process, .. } = node.kind {
+            if !faulted {
+                delivered[process.index()] = true;
+            }
+        }
+        let _ = node.location == Location::None;
+    }
+    let completed = delivered.iter().all(|&d| d);
+    Ok(SimReport { scenario, events, makespan, completed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::PolicyAssignment;
+    use ftes_ftcpg::{build_ftcpg, enumerate_scenarios, BuildConfig, CopyMapping};
+    use ftes_model::{samples, FaultModel, Mapping, ProcessId, Transparency};
+    use ftes_sched::{schedule_ftcpg, SchedConfig};
+    use ftes_tdma::Platform;
+
+    fn single_proc(k: u32) -> (Application, FtCpg, ConditionalSchedule) {
+        let (app, arch) = samples::fig1_process(1);
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(k),
+            &Transparency::none(),
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let platform = Platform::homogeneous(1, Time::new(10)).unwrap();
+        let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        (app, cpg, schedule)
+    }
+
+    #[test]
+    fn fault_free_replay_runs_first_attempts_only() {
+        let (app, cpg, schedule) = single_proc(2);
+        let report = simulate(&app, &cpg, &schedule, FaultScenario::fault_free()).unwrap();
+        let copies: Vec<_> = cpg.copies_of_process(ProcessId::new(0)).collect();
+        assert!(report.event(copies[0]).is_some());
+        assert!(report.event(copies[1]).is_none());
+        assert!(report.completed);
+        assert_eq!(report.makespan, Time::new(70));
+    }
+
+    #[test]
+    fn every_scenario_completes_within_worst_case() {
+        let (app, cpg, schedule) = single_proc(2);
+        for s in enumerate_scenarios(&cpg, 100).unwrap() {
+            let r = simulate(&app, &cpg, &schedule, s).unwrap();
+            assert!(r.completed, "every scenario must deliver");
+            assert!(r.makespan <= schedule.length());
+        }
+    }
+
+    #[test]
+    fn worst_scenario_reaches_schedule_length() {
+        let (app, cpg, schedule) = single_proc(2);
+        let worst = enumerate_scenarios(&cpg, 100)
+            .unwrap()
+            .into_iter()
+            .map(|s| simulate(&app, &cpg, &schedule, s).unwrap().makespan)
+            .max()
+            .unwrap();
+        assert_eq!(worst, schedule.length(), "the bound is tight for a single chain");
+    }
+
+    #[test]
+    fn faulted_execution_is_marked() {
+        let (app, cpg, schedule) = single_proc(1);
+        let first = cpg.copies_of_process(ProcessId::new(0)).next().unwrap();
+        let r = simulate(&app, &cpg, &schedule, FaultScenario::new([first])).unwrap();
+        assert!(r.event(first).unwrap().faulted);
+        assert!(r.completed, "the recovery attempt still delivers");
+    }
+
+    #[test]
+    fn inconsistent_scenario_rejected() {
+        let (app, cpg, schedule) = single_proc(1);
+        let copies: Vec<_> = cpg.copies_of_process(ProcessId::new(0)).collect();
+        // Fault on the recovery attempt without one on the first.
+        let bad = FaultScenario::new([copies[1]]);
+        assert!(matches!(
+            simulate(&app, &cpg, &schedule, bad),
+            Err(SimError::InconsistentScenario(_))
+        ));
+    }
+}

@@ -1,0 +1,189 @@
+//! Scenario statistics: distribution of makespans and per-process response
+//! times across fault scenarios — the quantitative counterpart of the
+//! paper's argument that the number of execution scenarios (and their
+//! spread) is what transparency trades against performance (§3.3).
+
+use crate::{simulate, SimError};
+use ftes_ftcpg::{enumerate_scenarios, CpgNodeKind, FtCpg};
+use ftes_model::{Application, ProcessId, Time};
+use ftes_sched::ConditionalSchedule;
+
+/// Distribution summary of a set of integer time samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeDistribution {
+    /// Minimum sample.
+    pub min: Time,
+    /// Maximum sample.
+    pub max: Time,
+    /// Arithmetic mean, rounded towards zero.
+    pub mean: Time,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl TimeDistribution {
+    fn from_samples(samples: &[Time]) -> Option<Self> {
+        let (&min, &max) = (samples.iter().min()?, samples.iter().max()?);
+        let sum: i64 = samples.iter().map(|t| t.units()).sum();
+        Some(TimeDistribution {
+            min,
+            max,
+            mean: Time::new(sum / samples.len() as i64),
+            samples: samples.len(),
+        })
+    }
+}
+
+/// Per-process response-time statistics across scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessResponse {
+    /// The application process.
+    pub process: ProcessId,
+    /// Completion time of the process's *successful* execution, across all
+    /// scenarios in which it runs.
+    pub completion: TimeDistribution,
+}
+
+/// Scenario census of a schedule: makespan distribution plus per-process
+/// response-time distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Distribution of scenario makespans.
+    pub makespan: TimeDistribution,
+    /// Per-process completion distributions (indexed by process id).
+    pub responses: Vec<ProcessResponse>,
+    /// Number of scenarios with exactly 0, 1, 2, … faults.
+    pub scenarios_by_fault_count: Vec<usize>,
+}
+
+impl ScenarioStats {
+    /// Relative spread of the makespan, `(max − min) / min` — a jitter
+    /// measure: fully transparent systems approach zero spread for frozen
+    /// entities while flexible ones trade jitter for speed (§3.3).
+    pub fn makespan_spread(&self) -> f64 {
+        if self.makespan.min <= Time::ZERO {
+            return 0.0;
+        }
+        (self.makespan.max - self.makespan.min).as_f64() / self.makespan.min.as_f64()
+    }
+}
+
+/// Replays every consistent fault scenario (up to `scenario_limit`) and
+/// aggregates makespan / response-time distributions.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyScenarios`] when the census exceeds the limit
+/// and propagates replay errors.
+pub fn scenario_stats(
+    app: &Application,
+    cpg: &FtCpg,
+    schedule: &ConditionalSchedule,
+    scenario_limit: usize,
+) -> Result<ScenarioStats, SimError> {
+    let scenarios = enumerate_scenarios(cpg, scenario_limit)
+        .map_err(|_| SimError::TooManyScenarios(scenario_limit))?;
+    let mut makespans = Vec::with_capacity(scenarios.len());
+    let mut completions: Vec<Vec<Time>> = vec![Vec::new(); app.process_count()];
+    let mut by_faults = Vec::new();
+    for scenario in scenarios {
+        let fc = scenario.fault_count() as usize;
+        if by_faults.len() <= fc {
+            by_faults.resize(fc + 1, 0);
+        }
+        by_faults[fc] += 1;
+        let report = simulate(app, cpg, schedule, scenario)?;
+        makespans.push(report.makespan);
+        // The successful completion of each process in this scenario is the
+        // latest non-faulted copy end (recoveries complete the output).
+        let mut success: Vec<Option<Time>> = vec![None; app.process_count()];
+        for e in &report.events {
+            if let CpgNodeKind::ProcessCopy { process, .. } = cpg.node(e.node).kind {
+                if !e.faulted {
+                    let slot = &mut success[process.index()];
+                    *slot = Some(slot.map_or(e.end, |t: Time| t.max(e.end)));
+                }
+            }
+        }
+        for (i, s) in success.into_iter().enumerate() {
+            if let Some(t) = s {
+                completions[i].push(t);
+            }
+        }
+    }
+    let makespan =
+        TimeDistribution::from_samples(&makespans).expect("at least the fault-free scenario");
+    let responses = completions
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, samples)| {
+            TimeDistribution::from_samples(&samples).map(|completion| ProcessResponse {
+                process: ProcessId::new(i),
+                completion,
+            })
+        })
+        .collect();
+    Ok(ScenarioStats { makespan, responses, scenarios_by_fault_count: by_faults })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ft::PolicyAssignment;
+    use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+    use ftes_model::{samples, FaultModel, Mapping, Transparency};
+    use ftes_sched::{schedule_ftcpg, SchedConfig};
+    use ftes_tdma::Platform;
+
+    fn fig5_stats(transparency: &Transparency) -> ScenarioStats {
+        let (app, arch, _) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let platform = Platform::homogeneous(2, ftes_model::Time::new(8)).unwrap();
+        let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        scenario_stats(&app, &cpg, &schedule, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn census_counts_and_ordering() {
+        let (_, _, t) = samples::fig5();
+        let stats = fig5_stats(&t);
+        assert_eq!(stats.scenarios_by_fault_count[0], 1, "one fault-free scenario");
+        assert!(stats.scenarios_by_fault_count[1] > 0);
+        assert!(stats.makespan.min <= stats.makespan.mean);
+        assert!(stats.makespan.mean <= stats.makespan.max);
+        assert_eq!(stats.responses.len(), 4, "every process responds");
+        assert!(stats.makespan_spread() >= 0.0);
+    }
+
+    #[test]
+    fn fault_free_bound_is_minimum() {
+        let (_, _, t) = samples::fig5();
+        let stats = fig5_stats(&t);
+        // The fault-free scenario has the smallest makespan in this system
+        // (recoveries only ever add time).
+        assert_eq!(
+            stats.makespan.samples,
+            stats.scenarios_by_fault_count.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn transparency_reduces_makespan_spread_of_frozen_entities() {
+        let flexible = fig5_stats(&Transparency::none());
+        let frozen = fig5_stats(&Transparency::fully_transparent());
+        // Fully transparent schedules pay more in the minimum (fault-free)
+        // scenario.
+        assert!(frozen.makespan.min >= flexible.makespan.min);
+    }
+}

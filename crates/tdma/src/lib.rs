@@ -1,0 +1,406 @@
+//! # ftes-tdma
+//!
+//! A TDMA broadcast bus in the style of the Time-Triggered Protocol (TTP),
+//! the communication substrate assumed by the paper's §2: nodes share a
+//! broadcast channel and communication is statically scheduled into the
+//! sender's slots of a cyclic TDMA round.
+//!
+//! The bus model is purely temporal — it answers "when is the earliest
+//! window in which node `Ni` can put `d` time units of traffic on the bus,
+//! not earlier than `t`?". Occupancy bookkeeping under conditional guards is
+//! performed by the scheduler (`ftes-sched`), which owns the schedule
+//! tables.
+//!
+//! ```
+//! use ftes_model::{NodeId, Time};
+//! use ftes_tdma::TdmaBus;
+//!
+//! # fn main() -> Result<(), ftes_tdma::TdmaError> {
+//! // Two nodes, 10-unit slots => 20-unit rounds: N0 owns [0,10), N1 [10,20).
+//! let bus = TdmaBus::uniform(2, Time::new(10))?;
+//! let w = bus.next_window(NodeId::new(1), Time::new(3), Time::new(4))?;
+//! assert_eq!(w.start, Time::new(10));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ftes_model::{Architecture, ModelError, NodeId, Time};
+use std::error::Error;
+use std::fmt;
+
+/// One slot of the TDMA round, owned by a single sender node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// The node allowed to transmit during this slot.
+    pub node: NodeId,
+    /// Slot length in time units.
+    pub length: Time,
+}
+
+/// A half-open bus reservation `[start, start + duration)` returned by
+/// [`TdmaBus::next_window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeWindow {
+    /// Transmission start instant.
+    pub start: Time,
+    /// Transmission end instant (exclusive).
+    pub end: Time,
+}
+
+impl TimeWindow {
+    /// Duration of the window.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Errors produced by bus construction and window queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TdmaError {
+    /// The slot table is empty.
+    EmptySlotTable,
+    /// A slot has non-positive length.
+    NonPositiveSlot,
+    /// `node` owns no slot in the round, so it can never transmit.
+    NoSlotForNode(NodeId),
+    /// The requested transmission is longer than every slot of the sender,
+    /// so it can never be scheduled (messages are not fragmented, matching
+    /// the single-frame worst-case transmission time of §4).
+    MessageTooLong {
+        /// Sender that cannot fit the message.
+        node: NodeId,
+        /// Requested transmission duration.
+        duration: Time,
+        /// Longest slot owned by the sender.
+        longest_slot: Time,
+    },
+    /// The requested transmission duration is not strictly positive.
+    NonPositiveDuration,
+}
+
+impl fmt::Display for TdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdmaError::EmptySlotTable => write!(f, "TDMA round has no slots"),
+            TdmaError::NonPositiveSlot => write!(f, "TDMA slot length must be positive"),
+            TdmaError::NoSlotForNode(n) => write!(f, "{n} owns no TDMA slot"),
+            TdmaError::MessageTooLong { node, duration, longest_slot } => write!(
+                f,
+                "message of duration {duration} from {node} exceeds its longest slot {longest_slot}"
+            ),
+            TdmaError::NonPositiveDuration => {
+                write!(f, "transmission duration must be positive")
+            }
+        }
+    }
+}
+
+impl Error for TdmaError {}
+
+/// A static TDMA round: an ordered sequence of sender slots that repeats
+/// forever, starting at time zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdmaBus {
+    slots: Vec<Slot>,
+    offsets: Vec<Time>,
+    round: Time,
+}
+
+impl TdmaBus {
+    /// Builds a bus from an explicit slot sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdmaError::EmptySlotTable`] or
+    /// [`TdmaError::NonPositiveSlot`] for malformed tables.
+    pub fn new(slots: Vec<Slot>) -> Result<Self, TdmaError> {
+        if slots.is_empty() {
+            return Err(TdmaError::EmptySlotTable);
+        }
+        if slots.iter().any(|s| s.length <= Time::ZERO) {
+            return Err(TdmaError::NonPositiveSlot);
+        }
+        let mut offsets = Vec::with_capacity(slots.len());
+        let mut cursor = Time::ZERO;
+        for s in &slots {
+            offsets.push(cursor);
+            cursor += s.length;
+        }
+        Ok(TdmaBus { slots, offsets, round: cursor })
+    }
+
+    /// One equal-length slot per node, in node order — the common TTP
+    /// configuration used throughout the paper's experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdmaError::EmptySlotTable`] when `node_count == 0` or
+    /// [`TdmaError::NonPositiveSlot`] for a non-positive slot length.
+    pub fn uniform(node_count: usize, slot_length: Time) -> Result<Self, TdmaError> {
+        TdmaBus::new(
+            (0..node_count).map(|i| Slot { node: NodeId::new(i), length: slot_length }).collect(),
+        )
+    }
+
+    /// Length of the TDMA round.
+    pub fn round_length(&self) -> Time {
+        self.round
+    }
+
+    /// The slot sequence of one round.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Longest slot owned by `node`, or `None` if it owns none.
+    pub fn longest_slot(&self, node: NodeId) -> Option<Time> {
+        self.slots.iter().filter(|s| s.node == node).map(|s| s.length).max()
+    }
+
+    /// Earliest window in which `node` can transmit `duration` units, not
+    /// earlier than `ready`. Transmissions never span slot boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdmaError::NoSlotForNode`] if the node owns no slot,
+    /// [`TdmaError::MessageTooLong`] if no slot can ever fit the message and
+    /// [`TdmaError::NonPositiveDuration`] for `duration <= 0`.
+    pub fn next_window(
+        &self,
+        node: NodeId,
+        ready: Time,
+        duration: Time,
+    ) -> Result<TimeWindow, TdmaError> {
+        if duration <= Time::ZERO {
+            return Err(TdmaError::NonPositiveDuration);
+        }
+        let longest = self.longest_slot(node).ok_or(TdmaError::NoSlotForNode(node))?;
+        if duration > longest {
+            return Err(TdmaError::MessageTooLong { node, duration, longest_slot: longest });
+        }
+        let ready = ready.max(Time::ZERO);
+        // Round index containing `ready`, then scan forward. The scan always
+        // terminates: a fitting slot exists in every round.
+        let mut round_start =
+            Time::new(ready.units().div_euclid(self.round.units()) * self.round.units());
+        loop {
+            for (i, slot) in self.slots.iter().enumerate() {
+                if slot.node != node || slot.length < duration {
+                    continue;
+                }
+                let occ_start = round_start + self.offsets[i];
+                let occ_end = occ_start + slot.length;
+                let start = ready.max(occ_start);
+                if start + duration <= occ_end {
+                    return Ok(TimeWindow { start, end: start + duration });
+                }
+            }
+            round_start += self.round;
+        }
+    }
+
+    /// Worst-case latency from "message ready" to "transmission complete"
+    /// for a message of `duration` sent by `node`, over all ready instants.
+    ///
+    /// This is the bound a designer uses when budgeting end-to-end latency;
+    /// it equals the worst window over one full round of ready instants.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TdmaBus::next_window`].
+    pub fn worst_case_latency(&self, node: NodeId, duration: Time) -> Result<Time, TdmaError> {
+        // The worst ready instant is just after the latest start that would
+        // still fit a usable window; probe each such boundary plus one unit.
+        let mut worst = Time::ZERO;
+        let probes = std::iter::once(Time::ZERO).chain(
+            self.offsets
+                .iter()
+                .zip(&self.slots)
+                .map(|(off, s)| *off + s.length - duration + Time::new(1)),
+        );
+        for ready in probes {
+            let ready = ready.max(Time::ZERO);
+            let w = self.next_window(node, ready, duration)?;
+            worst = worst.max(w.end - ready);
+        }
+        Ok(worst)
+    }
+}
+
+/// A complete execution platform: computation nodes plus the shared bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Platform {
+    arch: Architecture,
+    bus: TdmaBus,
+}
+
+impl Platform {
+    /// Combines architecture and bus, checking that every node owns at least
+    /// one slot (a TTP node without a slot could never broadcast condition
+    /// values, breaking the distributed scheduler of §5.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdmaError::NoSlotForNode`] for slot-less nodes.
+    pub fn new(arch: Architecture, bus: TdmaBus) -> Result<Self, TdmaError> {
+        for node in arch.node_ids() {
+            if bus.longest_slot(node).is_none() {
+                return Err(TdmaError::NoSlotForNode(node));
+            }
+        }
+        Ok(Platform { arch, bus })
+    }
+
+    /// Convenience constructor: `node_count` homogeneous nodes with uniform
+    /// slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture and bus construction errors (as
+    /// [`TdmaError`]; an empty architecture surfaces as an empty slot table).
+    pub fn homogeneous(node_count: usize, slot_length: Time) -> Result<Self, TdmaError> {
+        let arch = Architecture::homogeneous(node_count).map_err(|e| match e {
+            ModelError::EmptyArchitecture => TdmaError::EmptySlotTable,
+            _ => unreachable!("homogeneous architecture only fails when empty"),
+        })?;
+        Platform::new(arch, TdmaBus::uniform(node_count, slot_length)?)
+    }
+
+    /// The computation nodes.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The shared TDMA bus.
+    pub fn bus(&self) -> &TdmaBus {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_bus() -> TdmaBus {
+        TdmaBus::uniform(2, Time::new(10)).unwrap()
+    }
+
+    #[test]
+    fn uniform_round_layout() {
+        let bus = two_node_bus();
+        assert_eq!(bus.round_length(), Time::new(20));
+        assert_eq!(bus.slots().len(), 2);
+        assert_eq!(bus.longest_slot(NodeId::new(1)), Some(Time::new(10)));
+        assert_eq!(bus.longest_slot(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn window_in_own_slot() {
+        let bus = two_node_bus();
+        // N0 ready at 0 can start immediately.
+        let w = bus.next_window(NodeId::new(0), Time::ZERO, Time::new(4)).unwrap();
+        assert_eq!((w.start, w.end), (Time::ZERO, Time::new(4)));
+        // N0 ready at 8 cannot fit 4 units before its slot ends at 10 -> next round.
+        let w = bus.next_window(NodeId::new(0), Time::new(8), Time::new(4)).unwrap();
+        assert_eq!(w.start, Time::new(20));
+        // N1 ready at 3 waits for its slot at 10.
+        let w = bus.next_window(NodeId::new(1), Time::new(3), Time::new(4)).unwrap();
+        assert_eq!(w.start, Time::new(10));
+    }
+
+    #[test]
+    fn window_mid_slot_start() {
+        let bus = two_node_bus();
+        let w = bus.next_window(NodeId::new(1), Time::new(15), Time::new(5)).unwrap();
+        assert_eq!((w.start, w.end), (Time::new(15), Time::new(20)));
+        assert_eq!(w.duration(), Time::new(5));
+    }
+
+    #[test]
+    fn negative_ready_treated_as_zero() {
+        let bus = two_node_bus();
+        let w = bus.next_window(NodeId::new(0), Time::new(-5), Time::new(2)).unwrap();
+        assert_eq!(w.start, Time::ZERO);
+    }
+
+    #[test]
+    fn error_cases() {
+        let bus = two_node_bus();
+        assert_eq!(
+            bus.next_window(NodeId::new(5), Time::ZERO, Time::new(1)).unwrap_err(),
+            TdmaError::NoSlotForNode(NodeId::new(5))
+        );
+        assert!(matches!(
+            bus.next_window(NodeId::new(0), Time::ZERO, Time::new(11)).unwrap_err(),
+            TdmaError::MessageTooLong { .. }
+        ));
+        assert_eq!(
+            bus.next_window(NodeId::new(0), Time::ZERO, Time::ZERO).unwrap_err(),
+            TdmaError::NonPositiveDuration
+        );
+        assert_eq!(TdmaBus::new(vec![]).unwrap_err(), TdmaError::EmptySlotTable);
+        assert_eq!(
+            TdmaBus::new(vec![Slot { node: NodeId::new(0), length: Time::ZERO }]).unwrap_err(),
+            TdmaError::NonPositiveSlot
+        );
+    }
+
+    #[test]
+    fn heterogeneous_slot_table() {
+        // N0: 5 units, N1: 15 units, round 20.
+        let bus = TdmaBus::new(vec![
+            Slot { node: NodeId::new(0), length: Time::new(5) },
+            Slot { node: NodeId::new(1), length: Time::new(15) },
+        ])
+        .unwrap();
+        // A 10-unit message from N0 can never be sent.
+        assert!(matches!(
+            bus.next_window(NodeId::new(0), Time::ZERO, Time::new(10)).unwrap_err(),
+            TdmaError::MessageTooLong { longest_slot, .. } if longest_slot == Time::new(5)
+        ));
+        // From N1 it fits at offset 5.
+        let w = bus.next_window(NodeId::new(1), Time::ZERO, Time::new(10)).unwrap();
+        assert_eq!(w.start, Time::new(5));
+    }
+
+    #[test]
+    fn node_with_two_slots_per_round() {
+        let bus = TdmaBus::new(vec![
+            Slot { node: NodeId::new(0), length: Time::new(4) },
+            Slot { node: NodeId::new(1), length: Time::new(4) },
+            Slot { node: NodeId::new(0), length: Time::new(4) },
+        ])
+        .unwrap();
+        let w = bus.next_window(NodeId::new(0), Time::new(5), Time::new(3)).unwrap();
+        assert_eq!(w.start, Time::new(8), "second slot of the round is used");
+    }
+
+    #[test]
+    fn worst_case_latency_bounds_next_window() {
+        let bus = two_node_bus();
+        let wcl = bus.worst_case_latency(NodeId::new(1), Time::new(4)).unwrap();
+        // Check the bound against a dense sweep of ready instants.
+        for r in 0..40 {
+            let ready = Time::new(r);
+            let w = bus.next_window(NodeId::new(1), ready, Time::new(4)).unwrap();
+            assert!(w.end - ready <= wcl, "latency at ready={ready} exceeds bound {wcl}");
+        }
+    }
+
+    #[test]
+    fn platform_requires_slot_per_node() {
+        let arch = Architecture::homogeneous(3).unwrap();
+        let bus = two_node_bus();
+        assert_eq!(
+            Platform::new(arch, bus).unwrap_err(),
+            TdmaError::NoSlotForNode(NodeId::new(2))
+        );
+        let p = Platform::homogeneous(2, Time::new(8)).unwrap();
+        assert_eq!(p.architecture().node_count(), 2);
+        assert_eq!(p.bus().round_length(), Time::new(16));
+    }
+}

@@ -1,0 +1,136 @@
+//! Case study: an adaptive cruise controller on three ECUs sharing a
+//! TTP-style bus — the application class the paper targets (hard real-time,
+//! safety-critical, transient-fault exposed automotive electronics).
+//!
+//! The application has 12 processes: wheel/radar/pedal sensing pinned to
+//! their ECUs, fusion and control laws free to map, and actuation pinned to
+//! the throttle/brake ECUs. The brake path is declared frozen (transparent)
+//! so that fault handling elsewhere never changes its timing — the §3.3
+//! debugability argument applied where a designer actually would.
+//!
+//! Run with: `cargo run --release --example cruise_control`
+
+use ftes::ftcpg::analysis::cpg_stats;
+use ftes::model::{
+    stats::app_stats, ApplicationBuilder, FaultModel, NodeId, ProcessSpec, Time, Transparency,
+};
+use ftes::sched::export::{scenario_timeline, timeline_to_ascii};
+use ftes::sim::{scenario_stats, verify_exhaustive};
+use ftes::tdma::{Platform, TdmaBus};
+use ftes::{synthesize_system, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ECU0: chassis (wheel sensors, brake), ECU1: front radar + fusion,
+    // ECU2: powertrain (pedal, throttle).
+    let mut b = ApplicationBuilder::new(3);
+    let oh = |s: ProcessSpec| s.overheads(Time::new(2), Time::new(3), Time::new(1));
+    let t = |v: i64| Some(Time::new(v));
+
+    let wheel = b.add_process(oh(ProcessSpec::new("wheel_spd", [t(8), None, None]))
+        .fixed_node(NodeId::new(0)));
+    let radar = b.add_process(oh(ProcessSpec::new("radar", [None, t(14), None]))
+        .fixed_node(NodeId::new(1)));
+    let pedal = b.add_process(oh(ProcessSpec::new("pedal", [None, None, t(6)]))
+        .fixed_node(NodeId::new(2)));
+    let filter_w = b.add_process(oh(ProcessSpec::new("filt_wheel", [t(10), t(12), t(12)])));
+    let track = b.add_process(oh(ProcessSpec::new("track_obj", [t(22), t(18), t(22)])));
+    let fusion = b.add_process(oh(ProcessSpec::new("fusion", [t(16), t(14), t(16)])));
+    let speed_ctl = b.add_process(oh(ProcessSpec::new("speed_ctl", [t(20), t(20), t(18)])));
+    let dist_ctl = b.add_process(oh(ProcessSpec::new("dist_ctl", [t(18), t(16), t(18)])));
+    let arbiter = b.add_process(oh(ProcessSpec::new("arbiter", [t(9), t(9), t(9)])));
+    let throttle = b.add_process(oh(ProcessSpec::new("throttle", [None, None, t(7)]))
+        .fixed_node(NodeId::new(2)));
+    let brake_calc = b.add_process(oh(ProcessSpec::new("brake_calc", [t(12), t(14), t(14)])));
+    let brake_act = b.add_process(oh(ProcessSpec::new("brake_act", [t(6), None, None]))
+        .fixed_node(NodeId::new(0)));
+
+    let mut mid = 0;
+    let mut msg = |b: &mut ApplicationBuilder, s, d| {
+        mid += 1;
+        b.add_message(format!("c{mid}"), s, d, Time::new(2)).expect("edge")
+    };
+    msg(&mut b, wheel, filter_w);
+    msg(&mut b, radar, track);
+    msg(&mut b, filter_w, fusion);
+    msg(&mut b, track, fusion);
+    msg(&mut b, pedal, speed_ctl);
+    msg(&mut b, fusion, speed_ctl);
+    msg(&mut b, fusion, dist_ctl);
+    msg(&mut b, speed_ctl, arbiter);
+    msg(&mut b, dist_ctl, arbiter);
+    msg(&mut b, arbiter, throttle);
+    let to_brake = msg(&mut b, arbiter, brake_calc);
+    let brake_cmd = msg(&mut b, brake_calc, brake_act);
+
+    let app = b.deadline(Time::new(600)).period(Time::new(600)).build()?;
+
+    // Freeze the brake path: its activation must be identical in every
+    // fault scenario of the rest of the system.
+    let mut transparency = Transparency::none();
+    transparency
+        .freeze_process(brake_calc)
+        .freeze_process(brake_act)
+        .freeze_message(to_brake)
+        .freeze_message(brake_cmd);
+
+    let s = app_stats(&app);
+    println!(
+        "cruise controller: {} processes / {} messages, depth {}, critical path {}, parallelism {:.2}",
+        s.processes, s.messages, s.depth, s.critical_path, s.parallelism
+    );
+
+    let platform = Platform::new(
+        ftes::model::Architecture::new(["chassis", "radar-ecu", "powertrain"])?,
+        TdmaBus::uniform(3, Time::new(6))?,
+    )?;
+    let fault_model = FaultModel::new(2);
+    let psi = synthesize_system(&app, &platform, fault_model, &transparency, FlowConfig::default())?;
+
+    println!("\npolicy assignment (k = {}):", fault_model.k());
+    for (pid, policy) in psi.policies.iter() {
+        println!(
+            "  {:<11} {:?} on N{}{}",
+            app.process(pid).name(),
+            policy.kind(),
+            psi.mapping.node_of(pid).index(),
+            if app.process(pid).fixed_node().is_some() { "  (pinned)" } else { "" }
+        );
+    }
+    let exact = psi.exact.as_ref().expect("12 processes fit the exact scheduler");
+    let g = cpg_stats(&exact.cpg);
+    println!(
+        "\nFT-CPG: {} nodes / {} edges, {} conditions, {} sync nodes, {} scenarios",
+        g.nodes, g.edges, g.conditionals, g.sync_nodes, g.scenarios
+    );
+    println!(
+        "worst-case length {} vs deadline {} => schedulable: {}",
+        psi.worst_case_length(),
+        app.deadline(),
+        psi.schedulable
+    );
+
+    let verdict = verify_exhaustive(&app, &exact.cpg, &exact.schedule, &transparency, 5_000_000)?;
+    println!(
+        "fault injection: {} scenarios replayed, worst makespan {}, sound: {}",
+        verdict.scenarios,
+        verdict.worst_makespan,
+        verdict.is_sound()
+    );
+    let stats = scenario_stats(&app, &exact.cpg, &exact.schedule, 5_000_000)?;
+    println!(
+        "makespan: min {} / mean {} / max {} (spread {:.0}%)",
+        stats.makespan.min,
+        stats.makespan.mean,
+        stats.makespan.max,
+        100.0 * stats.makespan_spread()
+    );
+
+    println!("\nfault-free timeline:");
+    let bars = scenario_timeline(
+        &exact.cpg,
+        &exact.schedule,
+        &ftes::ftcpg::FaultScenario::fault_free(),
+    );
+    print!("{}", timeline_to_ascii(&bars, 72));
+    Ok(())
+}

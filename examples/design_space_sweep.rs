@@ -1,0 +1,55 @@
+//! A miniature of the paper's §6 evaluation: sweep random applications,
+//! synthesize with all four strategies (MXR / MX / MR / SFX) and with the
+//! two checkpointing optimizations (local \[27\] vs global \[15\]), and print
+//! the fault-tolerance overheads. The full-scale figures are produced by
+//! the `ftes-bench` binaries.
+//!
+//! Run with: `cargo run --release --example design_space_sweep`
+
+use ftes::gen::{generate_application, GeneratorConfig};
+use ftes::model::{Mapping, Time};
+use ftes::opt::{compare_checkpointing, synthesize, SearchConfig, Strategy};
+use ftes::tdma::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 3;
+    let nodes = 3;
+    let platform = Platform::homogeneous(nodes, Time::new(8))?;
+    let search = SearchConfig { iterations: 60, ..SearchConfig::default() };
+
+    println!("== policy assignment strategies (k = {k}, {nodes} nodes) ==");
+    println!("{:>9} | {:>8} {:>8} {:>8} {:>8}", "processes", "MXR", "MX", "MR", "SFX");
+    for n in [15, 25, 35] {
+        let mut row = Vec::new();
+        for strategy in [Strategy::Mxr, Strategy::Mx, Strategy::Mr, Strategy::Sfx] {
+            let mut total = 0f64;
+            let runs = 3;
+            for seed in 0..runs {
+                let app = generate_application(&GeneratorConfig::new(n, nodes), seed)?;
+                let s = synthesize(&app, &platform, k, strategy, search)?;
+                total += s.estimate.worst_case_length.as_f64();
+            }
+            row.push(total / runs as f64);
+        }
+        println!(
+            "{n:>9} | {:>8.0} {:>8.0} {:>8.0} {:>8.0}   (avg worst-case length)",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+    println!();
+
+    println!("== checkpoint optimization: global [15] vs per-process local [27] ==");
+    println!("{:>9} | {:>12}", "processes", "improvement");
+    for n in [20, 30, 40] {
+        let mut total = 0f64;
+        let runs = 3;
+        for seed in 0..runs {
+            let app = generate_application(&GeneratorConfig::new(n, nodes), seed)?;
+            let mapping = Mapping::cheapest(&app, platform.architecture())?;
+            let cmp = compare_checkpointing(&app, &platform, mapping, k, 16)?;
+            total += cmp.improvement_percent();
+        }
+        println!("{n:>9} | {:>11.2}%", total / runs as f64);
+    }
+    Ok(())
+}

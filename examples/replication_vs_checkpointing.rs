@@ -1,0 +1,60 @@
+//! Reproduces the timing arguments of the paper's Fig. 1, Fig. 2 and
+//! Fig. 4: rollback recovery with checkpointing vs re-execution vs active
+//! replication vs primary-backup, on the running example `P1`
+//! (`C1 = 60, α = 10, µ = 10, χ = 5`).
+//!
+//! Run with: `cargo run --example replication_vs_checkpointing`
+
+use ftes::ft::replication::{
+    active_replication_completion, active_replication_demand, primary_backup_completion,
+    primary_backup_demand,
+};
+use ftes::ft::{CopyPlan, Policy, RecoveryScheme};
+use ftes::model::Time;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme =
+        RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))?;
+
+    println!("== Fig. 1: rollback recovery with checkpointing (C=60, α=10, µ=10, χ=5) ==");
+    for x in 0..=4u32 {
+        println!(
+            "  X={x}: fault-free E = {:>3}, worst case W(·,1) = {:>3}, W(·,2) = {:>3}",
+            scheme.fault_free_time(x),
+            scheme.worst_case_time(x, 1),
+            scheme.worst_case_time(x, 2),
+        );
+    }
+    println!("  (Fig. 1b: E(2) = 90; Fig. 1c: W(2,1) = 130)");
+    println!();
+
+    println!("== Fig. 2: active replication vs primary-backup (two replicas) ==");
+    let act0 = active_replication_completion(scheme, 2, 0).expect("replica survives");
+    let act1 = active_replication_completion(scheme, 2, 1).expect("replica survives");
+    let pb0 = primary_backup_completion(scheme, 2, 0).expect("replica survives");
+    let pb1 = primary_backup_completion(scheme, 2, 1).expect("replica survives");
+    println!("  active replication : no fault {act0:>3}, one fault {act1:>3}");
+    println!("  primary-backup     : no fault {pb0:>3}, one fault {pb1:>3}");
+    println!(
+        "  CPU demand         : active {} vs passive {}",
+        active_replication_demand(scheme, 2),
+        primary_backup_demand(scheme)
+    );
+    println!("  -> replication hides the fault latency; recovery saves resources");
+    println!();
+
+    println!("== Fig. 4: policy assignment combinations for k = 2 ==");
+    let a = Policy::checkpointing(2, 3);
+    let b = Policy::replication(2);
+    let c = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)])?;
+    for (name, policy) in [("4a checkpointing", &a), ("4b replication", &b), ("4c combined", &c)] {
+        println!(
+            "  {name:<17}: kind {:?}, Q = {}, slowest copy worst case = {}",
+            policy.kind(),
+            policy.replica_count(),
+            policy.worst_case_copy_time(scheme),
+        );
+        assert!(policy.tolerates(2));
+    }
+    Ok(())
+}

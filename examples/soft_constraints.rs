@@ -1,0 +1,94 @@
+//! Soft/hard time-constraint mix (the \[17\] extension): hard control
+//! processes get full k-fault guarantees; soft quality-of-service processes
+//! (diagnostics, logging, adaptive tuning) are placed into the leftover
+//! capacity to maximize utility, never interfering with hard recoveries.
+//!
+//! Run with: `cargo run --example soft_constraints`
+
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::{build_ftcpg, BuildConfig, CopyMapping};
+use ftes::model::{
+    ApplicationBuilder, Architecture, FaultModel, Mapping, ProcessSpec, Time, Transparency,
+};
+use ftes::sched::{schedule_ftcpg, SchedConfig};
+use ftes::soft::{place_soft, SoftProcess, UtilityFn};
+use ftes::tdma::{Platform, TdmaBus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let oh = |s: ProcessSpec| s.overheads(Time::new(2), Time::new(2), Time::new(1));
+
+    // The full application: a hard control chain plus three soft services.
+    let mut b = ApplicationBuilder::new(2);
+    let sense = b.add_process(oh(ProcessSpec::uniform("sense", Time::new(12), 2)));
+    let control = b.add_process(oh(ProcessSpec::uniform("control", Time::new(25), 2)));
+    let actuate = b.add_process(oh(ProcessSpec::uniform("actuate", Time::new(10), 2)));
+    let diag = b.add_process(oh(ProcessSpec::uniform("diag", Time::new(18), 2)));
+    let log = b.add_process(oh(ProcessSpec::uniform("log", Time::new(12), 2)));
+    let tune = b.add_process(oh(ProcessSpec::uniform("tune", Time::new(30), 2)));
+    b.add_message("m1", sense, control, Time::new(2))?;
+    b.add_message("m2", control, actuate, Time::new(2))?;
+    b.add_message("m3", diag, log, Time::new(2))?; // soft chain
+    let app = b.deadline(Time::new(500)).build()?;
+
+    // Hard sub-application (same structure, hard processes only).
+    let mut hb = ApplicationBuilder::new(2);
+    let h0 = hb.add_process(oh(ProcessSpec::uniform("sense", Time::new(12), 2)));
+    let h1 = hb.add_process(oh(ProcessSpec::uniform("control", Time::new(25), 2)));
+    let h2 = hb.add_process(oh(ProcessSpec::uniform("actuate", Time::new(10), 2)));
+    hb.add_message("m1", h0, h1, Time::new(2))?;
+    hb.add_message("m2", h1, h2, Time::new(2))?;
+    let hard = hb.deadline(Time::new(500)).build()?;
+
+    // Synthesize the hard part for k = 2.
+    let arch = Architecture::homogeneous(2)?;
+    let mapping = Mapping::cheapest(&hard, &arch)?;
+    let policies = PolicyAssignment::uniform_reexecution(&hard, 2);
+    let copies = CopyMapping::from_base(&hard, &arch, &mapping, &policies)?;
+    let cpg = build_ftcpg(
+        &hard,
+        &policies,
+        &copies,
+        FaultModel::new(2),
+        &Transparency::none(),
+        BuildConfig::default(),
+    )?;
+    let platform = Platform::new(arch, TdmaBus::uniform(2, Time::new(8))?)?;
+    let schedule = schedule_ftcpg(&hard, &cpg, &platform, SchedConfig::default())?;
+    println!(
+        "hard schedule: worst case {} (deadline {}), {} conditions",
+        schedule.length(),
+        hard.deadline(),
+        cpg.conditional_nodes().count()
+    );
+
+    // Soft services with utility windows.
+    let soft = vec![
+        SoftProcess { process: diag, utility: UtilityFn::new(80, Time::new(120), Time::new(400))? },
+        SoftProcess { process: log, utility: UtilityFn::new(40, Time::new(200), Time::new(450))? },
+        SoftProcess { process: tune, utility: UtilityFn::new(120, Time::new(90), Time::new(250))? },
+    ];
+
+    let out = place_soft(&app, &soft, 2, &cpg, &schedule)?;
+    println!(
+        "\nsoft placement: utility {}/{} ({:.0}%), {} placed, {} dropped",
+        out.total_utility,
+        out.max_utility,
+        100.0 * out.utility_ratio(),
+        out.placements.len(),
+        out.dropped.len()
+    );
+    for p in &out.placements {
+        println!(
+            "  {:<6} on N{} at [{}, {})  -> utility {}",
+            app.process(p.process).name(),
+            p.node.index(),
+            p.start,
+            p.end,
+            p.utility
+        );
+    }
+    for d in &out.dropped {
+        println!("  {:<6} dropped (no slot with positive utility)", app.process(*d).name());
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Integration tests of the adoption-facing layers: the `.ftes` spec
+//! format, the bus-access optimization and the soft-constraint extension
+//! running against synthesized systems.
+
+use ftes::ft::PolicyAssignment;
+use ftes::model::Mapping;
+use ftes::opt::{optimize_bus, BusOptConfig};
+use ftes::{synthesize_system, FlowConfig};
+use ftes_cli::{parse_spec, FIG5_SPEC};
+
+/// The shipped cruise-controller spec parses and synthesizes end to end.
+#[test]
+fn shipped_cruise_spec_synthesizes() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/cruise.ftes"),
+    )
+    .expect("spec file ships with the repository");
+    let spec = parse_spec(&text).expect("spec parses");
+    assert_eq!(spec.app.process_count(), 12);
+    assert_eq!(spec.app.message_count(), 12);
+    assert_eq!(spec.fault_model.k(), 2);
+    let psi = synthesize_system(
+        &spec.app,
+        &spec.platform,
+        spec.fault_model,
+        &spec.transparency,
+        FlowConfig { strategy: spec.strategy, ..FlowConfig::default() },
+    )
+    .expect("synthesis succeeds");
+    assert!(psi.schedulable, "the shipped spec must be schedulable");
+    // Pinned processes stay pinned.
+    for (pid, p) in spec.app.processes() {
+        if let Some(fixed) = p.fixed_node() {
+            assert_eq!(psi.mapping.node_of(pid), fixed);
+        }
+    }
+}
+
+/// The built-in demo spec (Fig. 5) is schedulable and its frozen entities
+/// survive into the synthesized tables.
+#[test]
+fn demo_spec_round_trips() {
+    let spec = parse_spec(FIG5_SPEC).expect("demo parses");
+    let psi = synthesize_system(
+        &spec.app,
+        &spec.platform,
+        spec.fault_model,
+        &spec.transparency,
+        FlowConfig { strategy: spec.strategy, ..FlowConfig::default() },
+    )
+    .expect("synthesis succeeds");
+    assert!(psi.schedulable);
+    let exact = psi.exact.expect("fig5 gets exact tables");
+    assert!(exact.cpg.sync_nodes().count() >= 3, "P3^S, m2^S, m3^S survive");
+}
+
+/// Bus-access optimization composes with the parsed platform.
+#[test]
+fn bus_optimization_on_parsed_spec() {
+    let spec = parse_spec(FIG5_SPEC).expect("demo parses");
+    let mapping =
+        Mapping::cheapest(&spec.app, spec.platform.architecture()).expect("mappable");
+    let policies = PolicyAssignment::uniform_reexecution(&spec.app, spec.fault_model.k());
+    let out = optimize_bus(
+        &spec.app,
+        &spec.platform,
+        mapping,
+        policies,
+        spec.fault_model.k(),
+        BusOptConfig::default(),
+    )
+    .expect("bus optimization runs");
+    assert!(out.estimate.estimate.worst_case_length <= out.initial_worst_case);
+}

@@ -1,0 +1,178 @@
+//! End-to-end reproduction of the paper's worked examples (Fig. 1–6).
+
+use ftes::ft::{CopyPlan, Policy, PolicyAssignment, RecoveryScheme};
+use ftes::ftcpg::{build_ftcpg, enumerate_scenarios, BuildConfig, CopyMapping};
+use ftes::model::{samples, FaultModel, Mapping, MessageId, ProcessId, Time};
+use ftes::sched::{schedule_ftcpg, SchedConfig, ScheduleTables};
+use ftes::sim::verify_exhaustive;
+use ftes::tdma::{Platform, TdmaBus};
+
+/// Fig. 1: rollback recovery timing on P1 (C=60, α=10, µ=10, χ=5).
+#[test]
+fn fig1_recovery_timing() {
+    let s = RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))
+        .expect("valid scheme");
+    assert_eq!(s.fault_free_time(2), Time::new(90), "Fig. 1b");
+    assert_eq!(s.worst_case_time(2, 1), Time::new(130), "Fig. 1c");
+}
+
+/// Fig. 2: active replication completes at C+α regardless of a single
+/// fault; primary-backup doubles under a fault.
+#[test]
+fn fig2_replication_timing() {
+    let s = RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))
+        .expect("valid scheme");
+    let cmp = ftes::ft::replication::fig2_comparison(s).expect("two replicas tolerate one fault");
+    assert_eq!(cmp.active_no_fault, Time::new(70));
+    assert_eq!(cmp.active_one_fault, Time::new(70));
+    assert_eq!(cmp.passive_no_fault, Time::new(70));
+    assert_eq!(cmp.passive_one_fault, Time::new(140));
+}
+
+/// Fig. 4: the three canonical policy assignments for k = 2.
+#[test]
+fn fig4_policy_combinations() {
+    let k = 2;
+    let a = Policy::checkpointing(k, 3);
+    let b = Policy::replication(k);
+    let c = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)])
+        .expect("two copies");
+    for p in [&a, &b, &c] {
+        assert!(p.tolerates(k));
+    }
+    assert_eq!(b.copies().len(), 3, "three replicas as in Fig. 4b");
+    assert_eq!(c.replica_count(), 1, "Q = 1 as in Fig. 4c");
+    assert_eq!(c.copies()[1].recoveries, 1, "R(P1(2)) = 1 as in Fig. 4c");
+}
+
+fn fig5_system() -> (
+    ftes::model::Application,
+    ftes::ftcpg::FtCpg,
+    ftes::sched::ConditionalSchedule,
+    ftes::model::Transparency,
+) {
+    let (app, arch, transparency) = samples::fig5();
+    let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).expect("paper mapping");
+    let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+    let copies =
+        CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
+    let nodes = arch.node_count();
+    let cpg = build_ftcpg(
+        &app,
+        &policies,
+        &copies,
+        FaultModel::new(2),
+        &transparency,
+        BuildConfig::default(),
+    )
+    .expect("fig5 FT-CPG");
+    let platform = Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus"))
+        .expect("platform");
+    let schedule =
+        schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).expect("schedulable");
+    (app, cpg, schedule, transparency)
+}
+
+/// Fig. 5b: the FT-CPG structure — copy counts per process, sync nodes for
+/// the frozen entities, conditional/regular split.
+#[test]
+fn fig5_ftcpg_structure() {
+    let (_, cpg, _, _) = fig5_system();
+    cpg.check_invariants().expect("structural invariants");
+    let copies = |i: usize| cpg.copies_of_process(ProcessId::new(i)).count();
+    assert_eq!((copies(0), copies(1), copies(2), copies(3)), (3, 6, 3, 6));
+    assert_eq!(cpg.sync_nodes().count(), 3, "P3^S, m2^S, m3^S");
+    // m1 (bus message from P1) has one copy per P1 outcome.
+    assert_eq!(cpg.copies_of_message(MessageId::new(1)).count(), 3);
+}
+
+/// Fig. 6: schedule-table structure — N1 owns P1/P2 and the messages, N2
+/// owns P3/P4; the first process starts unconditionally at 0; frozen rows
+/// have a single, unconditional entry.
+#[test]
+fn fig6_schedule_tables() {
+    let (app, cpg, schedule, _) = fig5_system();
+    let tables = ScheduleTables::new(&app, &cpg, &schedule, 2);
+    let row = |node: usize, label: &str| {
+        tables.nodes[node]
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("row {label} on node {node}"))
+    };
+    // P1 unconditional at t = 0 (first column of Fig. 6).
+    let p1 = row(0, "P1");
+    assert_eq!(p1.entries[0].start, Time::ZERO);
+    assert!(p1.entries[0].guard.is_always());
+    // Six P2 entries (copies P2^1..P2^6) and six P4 entries.
+    assert_eq!(row(0, "P2").entries.len(), 6);
+    assert_eq!(row(1, "P4").entries.len(), 6);
+    // Frozen message rows are single-entry and unconditional.
+    for label in ["m2", "m3"] {
+        let r = row(0, label);
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.entries[0].guard.is_always());
+    }
+    // P3's entries depend only on its own conditions: one unconditional
+    // plus recoveries.
+    let p3 = row(1, "P3");
+    assert_eq!(p3.entries.len(), 3);
+    assert!(p3.entries[0].guard.is_always());
+    // The paper's N1 table carries condition-broadcast rows for P1.
+    assert!(tables.nodes[0].rows.iter().any(|r| r.label.starts_with("F(P1^")));
+}
+
+/// The full Fig. 5/6 system survives exhaustive two-fault injection.
+#[test]
+fn fig5_survives_exhaustive_fault_injection() {
+    let (app, cpg, schedule, transparency) = fig5_system();
+    let scenarios = enumerate_scenarios(&cpg, 1_000_000).expect("bounded scenario space");
+    assert!(scenarios.len() > 10);
+    let verdict = verify_exhaustive(&app, &cpg, &schedule, &transparency, 1_000_000)
+        .expect("verification runs");
+    assert!(verdict.is_sound(), "violations: {:?}", verdict.violations);
+    assert_eq!(verdict.scenarios, scenarios.len());
+    assert!(verdict.worst_makespan <= schedule.length());
+}
+
+/// Transparency/performance trade-off (§3.3): freezing can only lengthen
+/// the worst case but shrinks the schedule tables.
+#[test]
+fn transparency_trades_length_for_table_size() {
+    let (app, arch, paper_transparency) = samples::fig5();
+    let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).expect("paper mapping");
+    let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+    let copies =
+        CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
+    let nodes = arch.node_count();
+    let platform = Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus"))
+        .expect("platform");
+
+    let build = |t: &ftes::model::Transparency| {
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            t,
+            BuildConfig::default(),
+        )
+        .expect("FT-CPG");
+        let schedule =
+            schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).expect("schedule");
+        let entries = ScheduleTables::new(&app, &cpg, &schedule, 2).entry_count();
+        (schedule.length(), entries)
+    };
+
+    let (len_flexible, entries_flexible) = build(&ftes::model::Transparency::none());
+    let (len_paper, entries_paper) = build(&paper_transparency);
+    let (len_full, entries_full) = build(&ftes::model::Transparency::fully_transparent());
+
+    assert!(len_paper >= len_flexible, "freezing never shortens the worst case");
+    assert!(len_full >= len_paper);
+    assert!(
+        entries_paper <= entries_flexible,
+        "freezing shrinks the tables: {entries_paper} vs {entries_flexible}"
+    );
+    assert!(entries_full <= entries_paper);
+}
