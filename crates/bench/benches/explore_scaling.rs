@@ -1,0 +1,64 @@
+//! Criterion bench: the parallel portfolio exploration against the serial
+//! MXR synthesis it supersedes, at matched search budgets.
+//!
+//! Three measurements per experiment point:
+//! * `serial_mxr`   — the baseline `ftes::opt::synthesize` loop;
+//! * `portfolio_t1` — the portfolio engine pinned to one thread (engine
+//!   overhead without parallelism);
+//! * `portfolio_tN` — the portfolio engine with all cores.
+//!
+//! `fig_explore_scaling` (the harness binary) prints the full thread sweep
+//! as CSV; this bench is the regression tripwire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftes::explore::{default_portfolio, explore, PortfolioConfig, WorkerSpec};
+use ftes::opt::{synthesize, SearchConfig, Strategy};
+use ftes_bench::{platform, workload, ExperimentPoint};
+
+fn bench_explore_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_scaling");
+    group.sample_size(10);
+    let point = ExperimentPoint { processes: 40, nodes: 4, k: 4 };
+    let app = workload(point, 0);
+    let plat = platform(point.nodes);
+
+    // Matched budgets: the portfolio's total iterations (workers × rounds ×
+    // iters) equal the serial search's and every worker runs the serial
+    // neighborhood width, so the comparison is evaluations against
+    // evaluations.
+    let serial =
+        SearchConfig { iterations: 96, neighborhood: 16, seed: 1, ..SearchConfig::default() };
+    let workers: Vec<WorkerSpec> = default_portfolio()
+        .into_iter()
+        .map(|w| WorkerSpec { neighborhood: serial.neighborhood, ..w })
+        .collect();
+    let portfolio = |threads: usize| PortfolioConfig {
+        workers: workers.clone(),
+        rounds: 4,
+        iterations_per_round: 6,
+        threads,
+        seed: 1,
+        ..PortfolioConfig::default()
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("serial_mxr"),
+        &(&app, &plat),
+        |b, (app, plat)| b.iter(|| synthesize(app, plat, point.k, Strategy::Mxr, serial).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("portfolio_t1"),
+        &(&app, &plat),
+        |b, (app, plat)| b.iter(|| explore(app, plat, point.k, &portfolio(1)).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("portfolio_t{cores}")),
+        &(&app, &plat),
+        |b, (app, plat)| b.iter(|| explore(app, plat, point.k, &portfolio(cores)).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore_scaling);
+criterion_main!(benches);

@@ -15,9 +15,7 @@ fn bench_mxr(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{}_k{}", point.processes, point.k)),
             &(&app, &plat, point.k),
-            |b, (app, plat, k)| {
-                b.iter(|| synthesize(app, plat, *k, Strategy::Mxr, cfg).unwrap())
-            },
+            |b, (app, plat, k)| b.iter(|| synthesize(app, plat, *k, Strategy::Mxr, cfg).unwrap()),
         );
     }
     group.finish();

@@ -13,7 +13,9 @@
 //! [seeds-per-point]`
 
 use ftes::opt::{synthesize, Strategy};
-use ftes_bench::{fault_oblivious_length, fig7_points, fto_percent, harness_search, mean, platform, workload};
+use ftes_bench::{
+    fault_oblivious_length, fig7_points, fto_percent, harness_search, mean, platform, workload,
+};
 
 fn main() {
     let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -42,8 +44,7 @@ fn main() {
             };
             let mxr = run(Strategy::Mxr);
             fto_mxr.push(mxr);
-            for (i, strategy) in
-                [Strategy::Mr, Strategy::Sfx, Strategy::Mx].into_iter().enumerate()
+            for (i, strategy) in [Strategy::Mr, Strategy::Sfx, Strategy::Mx].into_iter().enumerate()
             {
                 let fto = run(strategy);
                 // Deviation of the strategy's FTO from MXR's, relative to

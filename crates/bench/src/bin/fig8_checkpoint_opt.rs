@@ -34,8 +34,8 @@ fn main() {
             let baseline = fault_oblivious_length(&app, &plat, seed);
             let mapping = Mapping::cheapest(&app, plat.architecture())
                 .expect("generated instances are mappable");
-            let cmp = compare_checkpointing(&app, &plat, mapping, point.k, 32)
-                .expect("comparison runs");
+            let cmp =
+                compare_checkpointing(&app, &plat, mapping, point.k, 32).expect("comparison runs");
             let fto_local = fto_percent(&cmp.local, baseline);
             let fto_global = fto_percent(&cmp.global, baseline);
             local_ftos.push(fto_local);

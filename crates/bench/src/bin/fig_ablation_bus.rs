@@ -15,7 +15,10 @@ use ftes_bench::{mean, platform, workload, ExperimentPoint};
 fn main() {
     let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     println!("# Ablation — TDMA bus-access optimization (slot order + lengths)");
-    println!("{:>9} {:>5} {:>3} | {:>12} | {:>11}", "processes", "nodes", "k", "improvement", "round len");
+    println!(
+        "{:>9} {:>5} {:>3} | {:>12} | {:>11}",
+        "processes", "nodes", "k", "improvement", "round len"
+    );
     for point in [
         ExperimentPoint { processes: 16, nodes: 3, k: 2 },
         ExperimentPoint { processes: 24, nodes: 4, k: 3 },
@@ -26,11 +29,11 @@ fn main() {
         let mut rounds = Vec::new();
         for seed in 0..seeds {
             let app = workload(point, seed);
-            let mapping =
-                constructive_mapping(&app, plat.architecture()).expect("mappable");
+            let mapping = constructive_mapping(&app, plat.architecture()).expect("mappable");
             let policies = PolicyAssignment::uniform_reexecution(&app, point.k);
-            let out = optimize_bus(&app, &plat, mapping, policies, point.k, BusOptConfig::default())
-                .expect("bus optimization runs");
+            let out =
+                optimize_bus(&app, &plat, mapping, policies, point.k, BusOptConfig::default())
+                    .expect("bus optimization runs");
             gains.push(out.improvement_percent());
             rounds.push(out.bus.round_length().as_f64());
         }

@@ -12,8 +12,7 @@
 use ftes::ft::PolicyAssignment;
 use ftes::model::Mapping;
 use ftes::opt::{
-    greedy_descent, simulated_annealing, tabu_search_traced, PolicyMoves, SearchConfig,
-    Synthesized,
+    greedy_descent, simulated_annealing, tabu_search_traced, PolicyMoves, SearchConfig, Synthesized,
 };
 use ftes_bench::{mean, platform, workload, ExperimentPoint};
 
@@ -47,11 +46,8 @@ fn main() {
         ];
         for (row, (result, trace)) in rows.iter_mut().zip(runs) {
             row.1.push(result.estimate.worst_case_length.as_f64());
-            let last_improve = trace
-                .windows(2)
-                .rposition(|w| w[1] < w[0])
-                .map(|i| i + 1)
-                .unwrap_or(0);
+            let last_improve =
+                trace.windows(2).rposition(|w| w[1] < w[0]).map(|i| i + 1).unwrap_or(0);
             row.2.push(last_improve as f64);
         }
     }

@@ -130,10 +130,7 @@ mod tests {
         let b = workload(point, 0);
         assert_eq!(a, b);
         let p = platform(point.nodes);
-        assert_eq!(
-            fault_oblivious_length(&a, &p, 0),
-            fault_oblivious_length(&b, &p, 0)
-        );
+        assert_eq!(fault_oblivious_length(&a, &p, 0), fault_oblivious_length(&b, &p, 0));
     }
 
     #[test]

@@ -2,12 +2,16 @@
 //!
 //! Command-line front end for the fault-tolerant embedded-system synthesis
 //! flow: parses the `.ftes` specification format (see [`parse_spec`]) and
-//! drives [`ftes::synthesize_system`]. The `ftes` binary lives in this
-//! crate; the parser is a library so tests and other tools can reuse it.
+//! drives [`ftes::synthesize_system`]; the `explore` subcommand (see
+//! [`ExploreCommand`]) runs the parallel design-space exploration suite.
+//! The `ftes` binary lives in this crate; everything else is a library so
+//! tests and other tools can reuse it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod explore_cmd;
 mod spec;
 
+pub use explore_cmd::{ExploreCommand, ExploreFormat};
 pub use spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};

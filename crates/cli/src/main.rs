@@ -5,6 +5,7 @@
 //! USAGE:
 //!   ftes <spec.ftes> [--csv] [--markdown] [--dot] [--timeline] [--verify]
 //!   ftes --demo      [same flags]          # runs the built-in Fig. 5 spec
+//!   ftes explore …   # parallel design-space exploration (see --help)
 //! ```
 
 use ftes::sched::export::{
@@ -12,16 +13,20 @@ use ftes::sched::export::{
 };
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
-use ftes_cli::{parse_spec, SystemSpec, FIG5_SPEC};
+use ftes_cli::{parse_spec, ExploreCommand, SystemSpec, FIG5_SPEC};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explore") {
+        return run_explore(&args[1..]);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return ExitCode::SUCCESS;
     }
-    let flags: Vec<&str> = args.iter().map(String::as_str).filter(|a| a.starts_with("--")).collect();
+    let flags: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| a.starts_with("--")).collect();
     let input = args.iter().find(|a| !a.starts_with("--"));
 
     let text = if flags.contains(&"--demo") {
@@ -124,16 +129,47 @@ fn run(spec: &SystemSpec, flags: &[&str]) -> Result<bool, Box<dyn std::error::Er
     Ok(psi.schedulable)
 }
 
+fn run_explore(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match ExploreCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "ftes — synthesis of fault-tolerant embedded systems (DATE 2008 reproduction)\n\n\
-         USAGE:\n  ftes <spec.ftes> [flags]\n  ftes --demo [flags]\n\n\
+         USAGE:\n  ftes <spec.ftes> [flags]\n  ftes --demo [flags]\n  \
+         ftes explore [explore flags]\n\n\
          FLAGS:\n  --csv        print schedule tables as CSV\n  \
          --markdown   print schedule tables as Markdown\n  \
          --dot        print the FT-CPG in Graphviz DOT\n  \
          --timeline   print the fault-free Gantt timeline\n  \
          --verify     exhaustively fault-inject the synthesized schedule\n  \
          --demo       use the built-in Fig. 5 specification\n\n\
+         EXPLORE (parallel design-space exploration over a scenario grid):\n  \
+         --grid paper            the paper's §6 grid (20–100 processes, k 3–7)\n  \
+         --processes N --nodes N --k K   one custom point\n  \
+         --seeds N    workloads per point        --seed N     master seed\n  \
+         --threads N  evaluation threads         --point-par N concurrent points\n  \
+         --rounds N   portfolio rounds           --iters N    iterations/round\n  \
+         --csv | --json               machine-readable output\n  \
+         --out FILE                   also write the report to FILE\n\n\
          EXIT CODE: 0 schedulable, 2 not schedulable, 1 error"
     );
 }

@@ -27,8 +27,7 @@
 //! `release <t>`, `dlocal <t>`.
 
 use ftes::model::{
-    Application, ApplicationBuilder, FaultModel, NodeId, ProcessId, ProcessSpec, Time,
-    Transparency,
+    Application, ApplicationBuilder, FaultModel, NodeId, ProcessId, ProcessSpec, Time, Transparency,
 };
 use ftes::opt::Strategy;
 use ftes::tdma::{Platform, TdmaBus};
@@ -169,9 +168,7 @@ pub fn parse_spec(text: &str) -> Result<SystemSpec, ParseError> {
                     ))
                 }
             },
-            other => {
-                return Err(ParseError::at(line_no, format!("unknown directive `{other}`")))
-            }
+            other => return Err(ParseError::at(line_no, format!("unknown directive `{other}`"))),
         }
     }
     build(d)
@@ -185,13 +182,10 @@ fn int(rest: &[&str], idx: usize, line: usize) -> Result<i64, ParseError> {
 }
 
 fn parse_process(rest: &[&str], line: usize, d: &mut Draft) -> Result<(), ParseError> {
-    let nodes = d
-        .nodes
-        .ok_or_else(|| ParseError::at(line, "declare `nodes <count>` before processes"))?;
-    let name = rest
-        .first()
-        .ok_or_else(|| ParseError::at(line, "process needs a name"))?
-        .to_string();
+    let nodes =
+        d.nodes.ok_or_else(|| ParseError::at(line, "declare `nodes <count>` before processes"))?;
+    let name =
+        rest.first().ok_or_else(|| ParseError::at(line, "process needs a name"))?.to_string();
     if rest.get(1) != Some(&"wcet") {
         return Err(ParseError::at(line, "process needs: process <name> wcet <v|-> …"));
     }
@@ -227,8 +221,7 @@ fn parse_process(rest: &[&str], line: usize, d: &mut Draft) -> Result<(), ParseE
 
 fn build(d: Draft) -> Result<SystemSpec, ParseError> {
     let nodes = d.nodes.ok_or_else(|| ParseError::at(0, "missing `nodes <count>`"))?;
-    let deadline =
-        d.deadline.ok_or_else(|| ParseError::at(0, "missing `deadline <time>`"))?;
+    let deadline = d.deadline.ok_or_else(|| ParseError::at(0, "missing `deadline <time>`"))?;
     let k = d.k.ok_or_else(|| ParseError::at(0, "missing `k <faults>`"))?;
     if d.processes.is_empty() {
         return Err(ParseError::at(0, "no processes declared"));
@@ -240,8 +233,7 @@ fn build(d: Draft) -> Result<SystemSpec, ParseError> {
         if process_ids.contains_key(name) {
             return Err(ParseError::at(*line, format!("duplicate process `{name}`")));
         }
-        let mut spec =
-            ProcessSpec::new(name.clone(), wcet.iter().map(|w| w.map(Time::new)));
+        let mut spec = ProcessSpec::new(name.clone(), wcet.iter().map(|w| w.map(Time::new)));
         spec = spec.overheads(
             Time::new(*opts.get("alpha").unwrap_or(&0)),
             Time::new(*opts.get("mu").unwrap_or(&0)),
@@ -297,12 +289,11 @@ fn build(d: Draft) -> Result<SystemSpec, ParseError> {
     }
 
     let slot = d.slot.unwrap_or(8);
-    let bus = TdmaBus::uniform(nodes, Time::new(slot))
-        .map_err(|e| ParseError::at(0, e.to_string()))?;
+    let bus =
+        TdmaBus::uniform(nodes, Time::new(slot)).map_err(|e| ParseError::at(0, e.to_string()))?;
     let arch = ftes::model::Architecture::homogeneous(nodes)
         .map_err(|e| ParseError::at(0, e.to_string()))?;
-    let platform =
-        Platform::new(arch, bus).map_err(|e| ParseError::at(0, e.to_string()))?;
+    let platform = Platform::new(arch, bus).map_err(|e| ParseError::at(0, e.to_string()))?;
 
     Ok(SystemSpec {
         app,
@@ -378,11 +369,7 @@ mod tests {
                 "unknown process `b`",
             ),
             ("nodes 2\ndeadline 100\nk 1\nstrategy turbo\n", 4, "unknown strategy"),
-            (
-                "nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9 fixed 7\n",
-                4,
-                "out of range",
-            ),
+            ("nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9 fixed 7\n", 4, "out of range"),
             (
                 "nodes 2\ndeadline 100\nk 1\nprocess a wcet 9 9\nfrozen process z\n",
                 5,

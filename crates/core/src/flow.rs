@@ -183,12 +183,8 @@ pub fn synthesize_system(
     let exact = match cpg {
         Some(cpg) => {
             let schedule = schedule_ftcpg(app, &cpg, platform, config.sched)?;
-            let tables = ScheduleTables::new(
-                app,
-                &cpg,
-                &schedule,
-                platform.architecture().node_count(),
-            );
+            let tables =
+                ScheduleTables::new(app, &cpg, &schedule, platform.architecture().node_count());
             Some(ExactSchedule { cpg, schedule, tables })
         }
         None => None,
@@ -208,11 +204,9 @@ mod tests {
     fn fig5_flow(config: FlowConfig) -> SystemConfiguration {
         let (app, arch, transparency) = samples::fig5();
         let node_count = arch.node_count();
-        let platform = Platform::new(
-            arch,
-            ftes_tdma::TdmaBus::uniform(node_count, Time::new(8)).unwrap(),
-        )
-        .unwrap();
+        let platform =
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(node_count, Time::new(8)).unwrap())
+                .unwrap();
         synthesize_system(&app, &platform, FaultModel::new(2), &transparency, config).unwrap()
     }
 
@@ -228,10 +222,7 @@ mod tests {
 
     #[test]
     fn oversized_cpg_degrades_to_estimate() {
-        let config = FlowConfig {
-            cpg: BuildConfig { node_limit: 2 },
-            ..FlowConfig::default()
-        };
+        let config = FlowConfig { cpg: BuildConfig { node_limit: 2 }, ..FlowConfig::default() };
         let psi = fig5_flow(config);
         assert!(psi.exact.is_none());
         assert_eq!(psi.worst_case_length(), psi.estimate.worst_case_length);

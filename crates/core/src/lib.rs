@@ -30,6 +30,7 @@
 //! | [`sim`] | fault-injection replay and verification |
 //! | [`gen`] | seeded synthetic workloads (the §6 experiments) |
 //! | [`opt`] | MXR/MX/MR/SFX synthesis, checkpoint + bus optimization |
+//! | [`explore`] | parallel portfolio exploration: batched evaluation, estimate cache, Pareto archive, scenario suites |
 //! | [`soft`] | soft/hard time-constraint extension (utility scheduling, \[17\]) |
 //!
 //! ## Quickstart
@@ -59,6 +60,7 @@ mod flow;
 
 pub use flow::{synthesize_system, ExactSchedule, FlowConfig, FtesError, SystemConfiguration};
 
+pub use ftes_explore as explore;
 pub use ftes_ft as ft;
 pub use ftes_ftcpg as ftcpg;
 pub use ftes_gen as gen;

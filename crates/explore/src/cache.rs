@@ -1,0 +1,276 @@
+//! Memoized estimate cache: a sharded, lock-light map from canonical
+//! candidate-state encodings to root-schedule estimates.
+//!
+//! The portfolio workers of this crate repeatedly revisit states — tabu
+//! cycles, annealing re-acceptance, and *cross-worker* convergence on the
+//! same basins — and [`estimate_schedule_length`] is the dominant cost of
+//! every visit. The cache keys a candidate `(mapping, policies)` state by a
+//! canonical byte encoding (exact, collision-free) with a precomputed FNV
+//! hash for shard selection, so repeated states never re-run the estimator,
+//! no matter which worker or thread saw them first.
+//!
+//! A cache instance is scoped to one problem instance (one
+//! `(application, platform, k)` triple): keys encode only the candidate
+//! state, not the context.
+
+use ftes_ft::PolicyAssignment;
+use ftes_model::Mapping;
+use ftes_sched::Estimate;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canonical, collision-free key of one candidate `(mapping, policies)`
+/// state.
+///
+/// The byte encoding is exact (two states compare equal iff they are the
+/// same design point), totally ordered (used as the deterministic
+/// tie-breaker throughout this crate) and carries a precomputed 64-bit FNV
+/// hash for cheap shard selection and hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateKey {
+    bytes: Vec<u8>,
+    hash: u64,
+}
+
+impl StateKey {
+    /// Encodes a candidate state canonically.
+    pub fn encode(mapping: &Mapping, policies: &PolicyAssignment) -> Self {
+        let mut bytes = Vec::with_capacity(64);
+        for (_, node) in mapping.iter() {
+            push_u32(&mut bytes, node.index() as u32);
+        }
+        // The mapping section has fixed length (one word per process), so
+        // the encoding stays self-delimiting without separators.
+        for (_, policy) in policies.iter() {
+            push_u32(&mut bytes, policy.copies().len() as u32);
+            for copy in policy.copies() {
+                push_u32(&mut bytes, copy.recoveries);
+                push_u32(&mut bytes, copy.checkpoints);
+            }
+        }
+        let hash = fnv1a64(&bytes);
+        StateKey { bytes, hash }
+    }
+
+    /// The precomputed 64-bit FNV-1a hash of the canonical encoding.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for StateKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for StateKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StateKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bytes.cmp(&other.bytes)
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// FNV-1a over a byte slice: stable across platforms and runs (unlike the
+/// std `DefaultHasher`), dependency-free, good enough dispersion for shard
+/// selection.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hit/miss/size snapshot of an [`EstimateCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the estimator.
+    pub misses: u64,
+    /// Distinct states currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Sums two snapshots (suite-level aggregation).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+/// One cache shard: `None` values cache *infeasibility*, so known-dead
+/// states are never re-tried either.
+type Shard = Mutex<HashMap<StateKey, Option<Estimate>>>;
+
+/// Sharded memo table from [`StateKey`] to the state's estimate.
+#[derive(Debug)]
+pub struct EstimateCache {
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EstimateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EstimateCache {
+    /// A cache with the default shard count (64: enough that a dozen worker
+    /// threads rarely contend on a shard lock).
+    pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    /// A cache with an explicit shard count (rounded up to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        EstimateCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &StateKey) -> &Shard {
+        &self.shards[(key.hash64() % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the cached evaluation of `key`, or runs `compute` and caches
+    /// its result. The shard lock is **not** held while computing, so
+    /// concurrent misses on the same shard proceed in parallel (two threads
+    /// may race to compute the same state; both arrive at the same value,
+    /// and the first insert wins).
+    pub fn get_or_compute(
+        &self,
+        key: StateKey,
+        compute: impl FnOnce() -> Option<Estimate>,
+    ) -> Option<Estimate> {
+        if let Some(cached) = self.shard(&key).lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.shard(&key).lock().expect("cache shard poisoned").entry(key).or_insert(value);
+        value
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::{samples, Time};
+
+    fn fig3_state() -> (Mapping, PolicyAssignment) {
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        (mapping, policies)
+    }
+
+    #[test]
+    fn keys_are_canonical_and_distinct() {
+        let (app, arch) = samples::fig3();
+        let (mapping, policies) = fig3_state();
+        let a = StateKey::encode(&mapping, &policies);
+        let b = StateKey::encode(&mapping, &policies);
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), b.hash64());
+
+        let moved = mapping
+            .with_move(&app, &arch, ftes_model::ProcessId::new(0), ftes_model::NodeId::new(1))
+            .unwrap();
+        let c = StateKey::encode(&moved, &policies);
+        assert_ne!(a, c, "different mappings encode differently");
+
+        let mut repol = policies.clone();
+        repol.set(ftes_model::ProcessId::new(1), ftes_ft::Policy::replication(2));
+        let d = StateKey::encode(&mapping, &repol);
+        assert_ne!(a, d, "different policies encode differently");
+    }
+
+    #[test]
+    fn cache_memoizes_and_counts() {
+        let (mapping, policies) = fig3_state();
+        let key = StateKey::encode(&mapping, &policies);
+        let cache = EstimateCache::with_shards(4);
+        let est = Estimate {
+            fault_free_length: Time::new(10),
+            worst_case_length: Time::new(20),
+            critical_process: ftes_model::ProcessId::new(0),
+        };
+        let mut computed = 0;
+        for _ in 0..5 {
+            let got = cache.get_or_compute(key.clone(), || {
+                computed += 1;
+                Some(est)
+            });
+            assert_eq!(got, Some(est));
+        }
+        assert_eq!(computed, 1, "estimator runs once");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (4, 1, 1));
+        assert!(stats.hit_rate() > 0.79);
+    }
+
+    #[test]
+    fn infeasibility_is_cached_too() {
+        let (mapping, policies) = fig3_state();
+        let key = StateKey::encode(&mapping, &policies);
+        let cache = EstimateCache::new();
+        assert_eq!(cache.get_or_compute(key.clone(), || None), None);
+        // Second lookup must not recompute.
+        assert_eq!(cache.get_or_compute(key, || panic!("cached")), None);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values: the hash must never drift across platforms/runs
+        // (shard selection and report signatures rely on it).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

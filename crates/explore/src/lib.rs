@@ -1,0 +1,79 @@
+//! # ftes-explore
+//!
+//! Parallel, cache-accelerated design-space exploration for the FTES
+//! synthesis flow — the scale layer over `ftes-opt`'s serial searches.
+//!
+//! The paper's §6 synthesis evaluates one candidate `(mapping, policy)`
+//! state at a time; the 100-process / k = 7 experiment grid is therefore
+//! bounded by single-core estimator throughput. This crate lifts that
+//! limit with four cooperating pieces:
+//!
+//! * **Batched parallel neighborhood evaluation** ([`evaluate_batch`]) —
+//!   a search iteration samples its whole neighborhood first (via the
+//!   move primitives `ftes-opt` exposes), then fans all candidate
+//!   evaluations across scoped threads at once.
+//! * **Memoized estimate cache** ([`EstimateCache`]) — candidate states
+//!   are keyed by a canonical, collision-free encoding ([`StateKey`]);
+//!   any state revisited by any worker is answered without re-running the
+//!   estimator, and infeasibility is cached too.
+//! * **Pareto archive** ([`ParetoArchive`]) — every visited candidate is
+//!   offered to an order-independent non-dominated archive over the §3.3
+//!   trade-off (worst-case length, recovery slack, schedule-table size),
+//!   so one run yields the whole front.
+//! * **Portfolio of diversified searchers** ([`explore`]) — tabu /
+//!   simulated-annealing / greedy workers with distinct seeds and
+//!   tunables run concurrently, sharing the cache continuously and
+//!   incumbents at deterministic round barriers.
+//!
+//! A [scenario-suite runner](run_suite) sweeps the §6 experiment grid
+//! ([`paper_grid`]: 20–100 processes, 2–6 nodes, k = 3–7) with
+//! deterministic per-point seeds and renders [CSV](suite_to_csv) /
+//! [JSON](suite_to_json) reports.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed configuration (seed included), [`explore`] and
+//! [`run_suite`] return identical incumbents and identical Pareto
+//! archives for **any** `threads` / `point_parallelism` values. Worker
+//! trajectories never depend on thread interleaving: the cache only
+//! memoizes pure functions, archives are order-independent sets, and all
+//! cross-worker communication happens at round barriers with canonical
+//! (`StateKey`) tie-breaks.
+//!
+//! ## Example
+//!
+//! ```
+//! use ftes_explore::{explore, PortfolioConfig};
+//! use ftes_gen::{generate_application, GeneratorConfig};
+//! use ftes_model::Time;
+//! use ftes_tdma::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = generate_application(&GeneratorConfig::new(12, 3), 1)?;
+//! let platform = Platform::homogeneous(3, Time::new(8))?;
+//! let config = PortfolioConfig::quick(42);
+//! let result = explore(&app, &platform, 2, &config)?;
+//! assert!(result.best.estimate.worst_case_length >= result.best.estimate.fault_free_length);
+//! assert!(!result.archive.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+mod cache;
+mod pool;
+mod portfolio;
+mod report;
+mod suite;
+
+pub use archive::{table_cost, ArchiveEntry, Objectives, ParetoArchive};
+pub use cache::{fnv1a64, CacheStats, EstimateCache, StateKey};
+pub use pool::{evaluate_batch, evaluate_state};
+pub use portfolio::{
+    default_portfolio, explore, EngineKind, Exploration, ExploreError, PortfolioConfig, WorkerSpec,
+};
+pub use report::{suite_to_csv, suite_to_json};
+pub use suite::{paper_grid, run_suite, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome};

@@ -1,0 +1,153 @@
+//! Batched parallel evaluation on scoped threads.
+//!
+//! Two layers use the same primitive: the portfolio engine fans a worker's
+//! whole sampled neighborhood across threads per iteration, and the
+//! scenario-suite runner fans independent grid points the same way. The
+//! primitive is a deliberately simple work-queue over `std::thread::scope`
+//! — no channels, no pool object to keep alive, results returned in input
+//! order regardless of which thread computed them (the property every
+//! determinism guarantee in this crate leans on).
+
+use crate::cache::{EstimateCache, StateKey};
+use ftes_ft::PolicyAssignment;
+use ftes_ftcpg::CopyMapping;
+use ftes_model::{Application, Mapping};
+use ftes_sched::{estimate_schedule_length, Estimate};
+use ftes_tdma::Platform;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(0..n)` across up to `threads` scoped threads, returning results
+/// in index order. Work is claimed from a shared atomic counter, so uneven
+/// item costs balance automatically.
+pub(crate) fn indexed_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("evaluator thread panicked")).collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, v) in bucket {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index claimed exactly once")).collect()
+}
+
+/// Evaluates one candidate state from scratch: replica placement plus the
+/// root-schedule estimator. `None` means the state is infeasible (e.g. a
+/// policy the bus cannot carry) — the same "move unavailable" convention
+/// the serial searches in `ftes-opt` use.
+pub fn evaluate_state(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    mapping: &Mapping,
+    policies: &PolicyAssignment,
+) -> Option<Estimate> {
+    let copies = CopyMapping::from_base(app, platform.architecture(), mapping, policies).ok()?;
+    estimate_schedule_length(app, platform, &copies, policies, k).ok()
+}
+
+/// Evaluates a batch of candidate states across `threads` scoped threads,
+/// memoizing through `cache`. Results come back in input order; `None`
+/// marks infeasible states.
+///
+/// This is the "batched parallel neighborhood evaluator": a search worker
+/// samples its whole neighborhood first, then amortizes one fan-out over
+/// all candidates instead of paying the estimator serially per move.
+pub fn evaluate_batch(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    cache: &EstimateCache,
+    candidates: &[(Mapping, PolicyAssignment)],
+    threads: usize,
+) -> Vec<Option<Estimate>> {
+    evaluate_batch_keyed(app, platform, k, cache, candidates, threads)
+        .into_iter()
+        .map(|(_, estimate)| estimate)
+        .collect()
+}
+
+/// [`evaluate_batch`] returning each candidate's canonical [`StateKey`]
+/// alongside its estimate, so hot callers (the portfolio workers) never
+/// encode a state twice.
+pub(crate) fn evaluate_batch_keyed(
+    app: &Application,
+    platform: &Platform,
+    k: u32,
+    cache: &EstimateCache,
+    candidates: &[(Mapping, PolicyAssignment)],
+    threads: usize,
+) -> Vec<(StateKey, Option<Estimate>)> {
+    indexed_parallel(candidates.len(), threads, |i| {
+        let (mapping, policies) = &candidates[i];
+        let key = StateKey::encode(mapping, policies);
+        let estimate = cache
+            .get_or_compute(key.clone(), || evaluate_state(app, platform, k, mapping, policies));
+        (key, estimate)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_model::samples;
+    use ftes_model::Time;
+
+    #[test]
+    fn indexed_parallel_preserves_order() {
+        for threads in [1, 2, 7] {
+            let out = indexed_parallel(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(indexed_parallel(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_fresh_evaluation() {
+        let (app, arch) = samples::fig3();
+        let node_count = arch.node_count();
+        let platform =
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(node_count, Time::new(8)).unwrap())
+                .unwrap();
+        let mapping = Mapping::cheapest(&app, platform.architecture()).unwrap();
+        let k = 2;
+        let candidates: Vec<(Mapping, PolicyAssignment)> = vec![
+            (mapping.clone(), PolicyAssignment::uniform_reexecution(&app, k)),
+            (mapping.clone(), PolicyAssignment::local_checkpointing(&app, k, 16).unwrap()),
+            (mapping.clone(), PolicyAssignment::uniform_reexecution(&app, k)),
+        ];
+        let cache = EstimateCache::new();
+        let batched = evaluate_batch(&app, &platform, k, &cache, &candidates, 4);
+        for (result, (m, p)) in batched.iter().zip(&candidates) {
+            assert_eq!(*result, evaluate_state(&app, &platform, k, m, p));
+            assert!(result.is_some());
+        }
+        // Duplicate state in the batch: at most two estimator runs.
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

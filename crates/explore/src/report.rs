@@ -1,0 +1,137 @@
+//! Flat-file reports of a suite sweep: CSV for spreadsheets/plots, JSON
+//! for downstream tooling. Hand-rolled (the workspace is dependency-free
+//! by necessity); every emitted value is numeric, boolean or a
+//! `[a-z0-9_]` label, so no escaping is required.
+
+use crate::suite::SuiteOutcome;
+use std::fmt::Write;
+
+/// Renders a suite outcome as CSV (header + one row per grid point).
+pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
+    let mut out = String::from(
+        "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
+         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,wall_ms\n",
+    );
+    for p in &outcome.points {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{}",
+            p.point.processes,
+            p.point.nodes,
+            p.point.k,
+            p.point.seed,
+            p.fault_free.units(),
+            p.worst_case.units(),
+            p.deadline.units(),
+            p.schedulable,
+            p.slack_pct,
+            p.archive.len(),
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.hit_rate(),
+            p.wall.as_millis(),
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Renders a suite outcome as a JSON document with a `points` array, each
+/// point carrying its Pareto front, and sweep-level totals.
+pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
+    let mut out = String::from("{\n  \"points\": [");
+    for (i, p) in outcome.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "\n    {{\"label\": \"{}\", \"processes\": {}, \"nodes\": {}, \"k\": {}, \
+             \"seed\": {}, \"fault_free\": {}, \"worst_case\": {}, \"deadline\": {}, \
+             \"schedulable\": {}, \"slack_pct\": {:.2}, \"cache\": {{\"hits\": {}, \
+             \"misses\": {}, \"entries\": {}}}, \"wall_ms\": {}, \"pareto\": [",
+            p.point.label(),
+            p.point.processes,
+            p.point.nodes,
+            p.point.k,
+            p.point.seed,
+            p.fault_free.units(),
+            p.worst_case.units(),
+            p.deadline.units(),
+            p.schedulable,
+            p.slack_pct,
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.entries,
+            p.wall.as_millis(),
+        )
+        .expect("writing to String cannot fail");
+        for (j, e) in p.archive.entries().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"worst_case\": {}, \"recovery_slack\": {}, \"table_cost\": {}}}",
+                e.objectives.worst_case.units(),
+                e.objectives.recovery_slack.units(),
+                e.objectives.table_cost,
+            )
+            .expect("writing to String cannot fail");
+        }
+        out.push_str("]}");
+    }
+    let totals = outcome.total_cache();
+    write!(
+        out,
+        "\n  ],\n  \"total_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \
+         \"wall_ms\": {}\n}}\n",
+        totals.hits,
+        totals.misses,
+        totals.hit_rate(),
+        outcome.wall.as_millis(),
+    )
+    .expect("writing to String cannot fail");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_suite, ScenarioPoint, SuiteConfig};
+    use crate::PortfolioConfig;
+    use ftes_model::Time;
+
+    fn outcome() -> SuiteOutcome {
+        run_suite(&SuiteConfig {
+            points: vec![ScenarioPoint { processes: 8, nodes: 2, k: 1, seed: 0 }],
+            portfolio: PortfolioConfig::quick(1),
+            point_parallelism: 1,
+            slot: Time::new(8),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let csv = suite_to_csv(&outcome());
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("processes,nodes,k,seed"));
+        assert!(lines[1].starts_with("8,2,1,0,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = suite_to_json(&outcome());
+        // Cheap structural checks (no JSON parser in the workspace).
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"label\"").count(), 1);
+        assert!(json.contains("\"pareto\": ["));
+        assert!(json.contains("\"total_cache\""));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

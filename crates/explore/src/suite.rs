@@ -1,0 +1,247 @@
+//! Scenario-suite runner: the paper's §6 experiment grid, swept in
+//! parallel with deterministic per-point seeds.
+//!
+//! Each grid point is an independent synthesis problem — generate a random
+//! application of the requested size (seeded, so exactly reproducible),
+//! build a platform, run the portfolio exploration, and record the
+//! incumbent, the Pareto front and the cache counters. Points fan out
+//! across scoped threads; because every point derives its own seed from
+//! `(suite seed, point)` the results are identical no matter how the
+//! points are interleaved.
+
+use crate::cache::{fnv1a64, CacheStats};
+use crate::pool::indexed_parallel;
+use crate::portfolio::{explore, ExploreError, PortfolioConfig};
+use crate::ParetoArchive;
+use ftes_gen::{generate_application, GeneratorConfig};
+use ftes_model::Time;
+use ftes_tdma::Platform;
+use std::time::{Duration, Instant};
+
+/// One point of the experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioPoint {
+    /// Number of application processes (the paper sweeps 20–100).
+    pub processes: usize,
+    /// Number of computation nodes (2–6).
+    pub nodes: usize,
+    /// Fault budget `k` (3–7).
+    pub k: u32,
+    /// Workload seed (averaging dimension of the §6 experiments).
+    pub seed: u64,
+}
+
+impl ScenarioPoint {
+    /// Compact label, e.g. `p40_n4_k4_s2` (processes, nodes, k, seed).
+    pub fn label(&self) -> String {
+        format!("p{}_n{}_k{}_s{}", self.processes, self.nodes, self.k, self.seed)
+    }
+
+    fn seed_material(&self) -> [u8; 28] {
+        let mut bytes = [0u8; 28];
+        bytes[..8].copy_from_slice(&(self.processes as u64).to_le_bytes());
+        bytes[8..16].copy_from_slice(&(self.nodes as u64).to_le_bytes());
+        bytes[16..20].copy_from_slice(&self.k.to_le_bytes());
+        bytes[20..28].copy_from_slice(&self.seed.to_le_bytes());
+        bytes
+    }
+}
+
+/// The §6 sweep (20–100 processes, 2–6 nodes, k = 3–7), `seeds_per_point`
+/// workloads per size — the grid behind Fig. 7's averages.
+pub fn paper_grid(seeds_per_point: u64) -> Vec<ScenarioPoint> {
+    let base = [(20, 4, 3), (40, 4, 4), (60, 5, 5), (80, 6, 6), (100, 6, 7)];
+    let mut points = Vec::with_capacity(base.len() * seeds_per_point.max(1) as usize);
+    for (processes, nodes, k) in base {
+        for seed in 0..seeds_per_point.max(1) {
+            points.push(ScenarioPoint { processes, nodes, k, seed });
+        }
+    }
+    points
+}
+
+/// Configuration of a suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// The grid points to sweep.
+    pub points: Vec<ScenarioPoint>,
+    /// Portfolio tunables applied at every point (each point re-derives its
+    /// own seed from `portfolio.seed` and the point, so sharing the config
+    /// never correlates points).
+    pub portfolio: PortfolioConfig,
+    /// How many points run concurrently (each already parallel inside).
+    pub point_parallelism: usize,
+    /// TDMA slot length of the generated platforms.
+    pub slot: Time,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            points: paper_grid(1),
+            portfolio: PortfolioConfig::default(),
+            point_parallelism: 1,
+            slot: Time::new(8),
+        }
+    }
+}
+
+/// Outcome of one grid point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The grid point.
+    pub point: ScenarioPoint,
+    /// Fault-free root-schedule length of the incumbent.
+    pub fault_free: Time,
+    /// Estimated worst-case length of the incumbent.
+    pub worst_case: Time,
+    /// The generated application's deadline.
+    pub deadline: Time,
+    /// Whether the incumbent's estimated worst case meets the deadline.
+    pub schedulable: bool,
+    /// Recovery slack as a percentage of the fault-free length.
+    pub slack_pct: f64,
+    /// The Pareto front of the point.
+    pub archive: ParetoArchive,
+    /// Estimate-cache counters of the point.
+    pub cache: CacheStats,
+    /// Wall-clock time of the point (excluded from determinism checks).
+    pub wall: Duration,
+}
+
+/// Outcome of a whole suite sweep.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Per-point outcomes, in grid order.
+    pub points: Vec<PointOutcome>,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl SuiteOutcome {
+    /// Aggregated cache counters across all points.
+    pub fn total_cache(&self) -> CacheStats {
+        self.points.iter().fold(CacheStats::default(), |acc, p| acc.merged(p.cache))
+    }
+
+    /// Deterministic fingerprint of the whole sweep: per point, its label
+    /// plus the archive signature (wall-clock excluded by construction).
+    pub fn signature(&self) -> Vec<(String, Vec<(crate::Objectives, u64)>)> {
+        self.points.iter().map(|p| (p.point.label(), p.archive.signature())).collect()
+    }
+}
+
+/// Runs the scenario suite.
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`] (grid order) if any point fails;
+/// workload generation failures surface as
+/// [`ExploreError::BadConfig`].
+pub fn run_suite(config: &SuiteConfig) -> Result<SuiteOutcome, ExploreError> {
+    let started = Instant::now();
+    // Split the thread budget across concurrent points instead of letting
+    // every point fan out at full width (point_parallelism × threads would
+    // oversubscribe the machine).
+    let concurrent = config.point_parallelism.clamp(1, config.points.len().max(1));
+    let threads_per_point = (config.portfolio.threads / concurrent).max(1);
+    let results: Vec<Result<PointOutcome, ExploreError>> =
+        indexed_parallel(config.points.len(), config.point_parallelism, |i| {
+            run_point(config, config.points[i], threads_per_point)
+        });
+    let mut points = Vec::with_capacity(results.len());
+    for result in results {
+        points.push(result?);
+    }
+    Ok(SuiteOutcome { points, wall: started.elapsed() })
+}
+
+fn run_point(
+    config: &SuiteConfig,
+    point: ScenarioPoint,
+    threads: usize,
+) -> Result<PointOutcome, ExploreError> {
+    let started = Instant::now();
+    let gen_config = GeneratorConfig::new(point.processes, point.nodes);
+    let app = generate_application(&gen_config, point.seed)
+        .map_err(|e| ExploreError::BadConfig(format!("workload {}: {e}", point.label())))?;
+    let platform = Platform::homogeneous(point.nodes, config.slot)
+        .map_err(|e| ExploreError::BadConfig(format!("platform {}: {e}", point.label())))?;
+
+    // Per-point portfolio seed: deterministic in (suite seed, point).
+    // The thread split never affects results (see the determinism contract).
+    let portfolio = PortfolioConfig {
+        seed: config.portfolio.seed ^ fnv1a64(&point.seed_material()),
+        threads,
+        ..config.portfolio.clone()
+    };
+    let exploration = explore(&app, &platform, point.k, &portfolio)?;
+
+    let estimate = exploration.best.estimate;
+    let fault_free = estimate.fault_free_length;
+    let worst_case = estimate.worst_case_length;
+    let slack_pct = if fault_free > Time::ZERO {
+        100.0 * estimate.recovery_slack().as_f64() / fault_free.as_f64()
+    } else {
+        0.0
+    };
+    Ok(PointOutcome {
+        point,
+        fault_free,
+        worst_case,
+        deadline: app.deadline(),
+        schedulable: worst_case <= app.deadline(),
+        slack_pct,
+        archive: exploration.archive,
+        cache: exploration.cache,
+        wall: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite(point_parallelism: usize, threads: usize) -> SuiteConfig {
+        SuiteConfig {
+            points: vec![
+                ScenarioPoint { processes: 8, nodes: 2, k: 1, seed: 0 },
+                ScenarioPoint { processes: 10, nodes: 3, k: 2, seed: 1 },
+            ],
+            portfolio: PortfolioConfig { threads, ..PortfolioConfig::quick(3) },
+            point_parallelism,
+            slot: Time::new(8),
+        }
+    }
+
+    #[test]
+    fn suite_runs_all_points_in_order() {
+        let outcome = run_suite(&tiny_suite(1, 1)).unwrap();
+        assert_eq!(outcome.points.len(), 2);
+        assert_eq!(outcome.points[0].point.processes, 8);
+        assert_eq!(outcome.points[1].point.processes, 10);
+        for p in &outcome.points {
+            assert!(p.worst_case >= p.fault_free);
+            assert!(!p.archive.is_empty());
+        }
+        assert!(outcome.total_cache().misses > 0);
+    }
+
+    #[test]
+    fn paper_grid_matches_the_section6_ranges() {
+        let grid = paper_grid(2);
+        assert_eq!(grid.len(), 10);
+        for p in &grid {
+            assert!((20..=100).contains(&p.processes));
+            assert!((2..=6).contains(&p.nodes));
+            assert!((3..=7).contains(&p.k));
+        }
+    }
+
+    #[test]
+    fn point_parallelism_is_observationally_pure() {
+        let serial = run_suite(&tiny_suite(1, 1)).unwrap();
+        let parallel = run_suite(&tiny_suite(2, 4)).unwrap();
+        assert_eq!(serial.signature(), parallel.signature());
+    }
+}

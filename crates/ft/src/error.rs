@@ -36,10 +36,9 @@ impl fmt::Display for FtError {
         match self {
             FtError::NoCopies => write!(f, "a policy needs at least one copy of the process"),
             FtError::InvalidDuration(what) => write!(f, "{what} must be non-negative"),
-            FtError::InsufficientPolicy { k, tolerated } => write!(
-                f,
-                "policy tolerates only {tolerated} faults but k={k} are required"
-            ),
+            FtError::InsufficientPolicy { k, tolerated } => {
+                write!(f, "policy tolerates only {tolerated} faults but k={k} are required")
+            }
             FtError::AssignmentArityMismatch { got, expected } => write!(
                 f,
                 "policy assignment has {got} entries but the application has {expected} processes"

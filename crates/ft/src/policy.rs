@@ -173,7 +173,7 @@ impl Policy {
 
 /// The per-process policy assignment `F = <P, Q, R, X>` for a whole
 /// application (§6).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PolicyAssignment {
     policies: Vec<Policy>,
 }
@@ -288,8 +288,7 @@ mod tests {
         assert!(b.tolerates(2) && !b.tolerates(3));
 
         // Fig. 4c: two copies, R = {0, 1}.
-        let c = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)])
-            .unwrap();
+        let c = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)]).unwrap();
         assert_eq!(c.kind(), PolicyKind::ReplicationAndCheckpointing);
         assert_eq!(c.replica_count(), 1);
         assert!(c.tolerates(2));
@@ -306,14 +305,11 @@ mod tests {
     #[test]
     fn adversarial_tolerance_bound() {
         // Two copies with r = {1, 1}: adversary needs 2 faults per copy.
-        let p = Policy::from_copies(vec![CopyPlan::reexecuted(1), CopyPlan::reexecuted(1)])
-            .unwrap();
+        let p =
+            Policy::from_copies(vec![CopyPlan::reexecuted(1), CopyPlan::reexecuted(1)]).unwrap();
         assert_eq!(p.tolerated_faults(), 3);
         assert!(p.tolerates(3));
-        assert_eq!(
-            p.validate(4).unwrap_err(),
-            FtError::InsufficientPolicy { k: 4, tolerated: 3 }
-        );
+        assert_eq!(p.validate(4).unwrap_err(), FtError::InsufficientPolicy { k: 4, tolerated: 3 });
     }
 
     #[test]
@@ -324,10 +320,8 @@ mod tests {
     #[test]
     fn worst_case_copy_time_takes_slowest() {
         let scheme =
-            RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))
-                .unwrap();
-        let p = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)])
-            .unwrap();
+            RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5)).unwrap();
+        let p = Policy::from_copies(vec![CopyPlan::plain(), CopyPlan::checkpointed(1, 2)]).unwrap();
         // plain copy: E(0) = 70; checkpointed copy: W(2, 1) = 130.
         assert_eq!(p.worst_case_copy_time(scheme), Time::new(130));
     }

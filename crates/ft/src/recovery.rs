@@ -253,8 +253,7 @@ mod tests {
             let s = RecoveryScheme::new(Time::new(c), Time::new(a), Time::new(m), Time::new(x))
                 .unwrap();
             let max_n = 64;
-            let best_scan =
-                (0..=max_n).min_by_key(|&n| (s.worst_case_time(n, h), n)).unwrap();
+            let best_scan = (0..=max_n).min_by_key(|&n| (s.worst_case_time(n, h), n)).unwrap();
             let got = s.optimal_checkpoints_local(h, max_n);
             assert_eq!(
                 s.worst_case_time(got, h),
@@ -268,8 +267,7 @@ mod tests {
     fn local_optimum_edge_cases() {
         let s = fig1();
         assert_eq!(s.optimal_checkpoints_local(0, 10), 0, "no faults => no checkpoints");
-        let free =
-            RecoveryScheme::new(Time::new(60), Time::ZERO, Time::ZERO, Time::ZERO).unwrap();
+        let free = RecoveryScheme::new(Time::new(60), Time::ZERO, Time::ZERO, Time::ZERO).unwrap();
         assert_eq!(free.optimal_checkpoints_local(2, 8), 8, "free checkpoints saturate the cap");
         // Cap of one: choose the better of {0, 1}.
         let got = s.optimal_checkpoints_local(3, 1);

@@ -82,12 +82,8 @@ pub struct ReplicationComparison {
 pub fn fig2_comparison(scheme: RecoveryScheme) -> Result<ReplicationComparison, FtError> {
     let fail = |_| FtError::InsufficientPolicy { k: 1, tolerated: 1 };
     Ok(ReplicationComparison {
-        active_no_fault: active_replication_completion(scheme, 2, 0)
-            .ok_or(())
-            .map_err(fail)?,
-        active_one_fault: active_replication_completion(scheme, 2, 1)
-            .ok_or(())
-            .map_err(fail)?,
+        active_no_fault: active_replication_completion(scheme, 2, 0).ok_or(()).map_err(fail)?,
+        active_one_fault: active_replication_completion(scheme, 2, 1).ok_or(()).map_err(fail)?,
         passive_no_fault: primary_backup_completion(scheme, 2, 0).ok_or(()).map_err(fail)?,
         passive_one_fault: primary_backup_completion(scheme, 2, 1).ok_or(()).map_err(fail)?,
     })

@@ -91,11 +91,7 @@ fn count_rec(
     let Some(&id) = conds.get(i) else {
         return 1;
     };
-    let active = cpg
-        .node(id)
-        .guard
-        .evaluate(|c| cond_value[c.index()])
-        .unwrap_or(false);
+    let active = cpg.node(id).guard.evaluate(|c| cond_value[c.index()]).unwrap_or(false);
     if !active {
         return count_rec(cpg, conds, i + 1, cond_value, faults);
     }

@@ -238,11 +238,7 @@ impl Builder<'_> {
                     self.add_edge(o.source, join, o.edge_cond);
                 }
                 self.graph.joins.push((join, chains));
-                outputs.push(OutputCtx {
-                    guard: arrival.guard,
-                    source: join,
-                    edge_cond: None,
-                });
+                outputs.push(OutputCtx { guard: arrival.guard, source: join, edge_cond: None });
             }
         }
         Ok(outputs)
@@ -258,9 +254,8 @@ impl Builder<'_> {
     ) -> Result<ChainResult, CpgError> {
         let proc = self.app.process(pid);
         let exec_node = self.copies.node_of(pid, copy as usize);
-        let wcet = proc
-            .wcet_on(exec_node)
-            .ok_or(CpgError::InfeasibleCopyMapping(pid, exec_node))?;
+        let wcet =
+            proc.wcet_on(exec_node).ok_or(CpgError::InfeasibleCopyMapping(pid, exec_node))?;
         let scheme = RecoveryScheme::for_process(proc, wcet)?;
         let n = plan.checkpoints;
         let seg = scheme.segment_length(n);
@@ -350,8 +345,7 @@ impl Builder<'_> {
         // bus (conservative, §4).
         let single_ends = self.policies.policy(pid).copies().len() == 1
             && self.policies.policy(succ).copies().len() == 1;
-        let internal =
-            single_ends && self.copies.node_of(pid, 0) == self.copies.node_of(succ, 0);
+        let internal = single_ends && self.copies.node_of(pid, 0) == self.copies.node_of(succ, 0);
         let (duration, location) = if internal {
             (Time::ZERO, Location::None)
         } else {
@@ -505,9 +499,7 @@ mod tests {
         assert_eq!(cpg.conditional_nodes().count(), 0);
         // One copy per process, one copy per message.
         assert_eq!(
-            cpg.iter()
-                .filter(|(_, n)| matches!(n.kind, CpgNodeKind::ProcessCopy { .. }))
-                .count(),
+            cpg.iter().filter(|(_, n)| matches!(n.kind, CpgNodeKind::ProcessCopy { .. })).count(),
             app.process_count()
         );
         cpg.check_invariants().unwrap();
@@ -536,13 +528,8 @@ mod tests {
         // E(0) = 60 + 10 = 70; recovery = 10 + 60 + 10 = 80; final = 70.
         assert_eq!(durs, vec![70, 80, 70]);
         // Worst-case sum equals W(1, 2) from the algebra.
-        let scheme = RecoveryScheme::new(
-            Time::new(60),
-            Time::new(10),
-            Time::new(10),
-            Time::new(5),
-        )
-        .unwrap();
+        let scheme =
+            RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5)).unwrap();
         assert_eq!(Time::new(durs.iter().sum()), scheme.worst_case_time(0, 2));
     }
 
@@ -699,13 +686,8 @@ mod tests {
         // the public API is impossible; instead check infeasible copy error
         // through build_chain by a handcrafted mapping on fig3.
         let (app, arch) = samples::fig3();
-        let assign = vec![
-            NodeId::new(0),
-            NodeId::new(0),
-            NodeId::new(0),
-            NodeId::new(0),
-            NodeId::new(0),
-        ];
+        let assign =
+            vec![NodeId::new(0), NodeId::new(0), NodeId::new(0), NodeId::new(0), NodeId::new(0)];
         let mapping = Mapping::new(&app, &arch, assign).unwrap();
         let policies = PolicyAssignment::uniform_reexecution(&app, 1);
         let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();

@@ -265,11 +265,7 @@ mod tests {
 
     #[test]
     fn fault_count_counts_positive_literals() {
-        let g = Guard::of([
-            Literal::fault(c(0)),
-            Literal::no_fault(c(1)),
-            Literal::fault(c(2)),
-        ]);
+        let g = Guard::of([Literal::fault(c(0)), Literal::no_fault(c(1)), Literal::fault(c(2))]);
         assert_eq!(g.fault_count(), 2);
     }
 

@@ -47,7 +47,7 @@ mod guard;
 mod node;
 mod scenario;
 
-pub use analysis::{cpg_stats, count_scenarios, CpgStats};
+pub use analysis::{count_scenarios, cpg_stats, CpgStats};
 pub use builder::{build_ftcpg, BuildConfig};
 pub use copy_mapping::CopyMapping;
 pub use error::CpgError;

@@ -227,8 +227,9 @@ impl FtCpg {
     pub fn copies_of_message(&self, m: MessageId) -> impl Iterator<Item = CpgNodeId> + '_ {
         self.iter()
             .filter(move |(_, n)| match n.kind {
-                CpgNodeKind::MessageCopy { message, .. }
-                | CpgNodeKind::MessageSync { message } => message == m,
+                CpgNodeKind::MessageCopy { message, .. } | CpgNodeKind::MessageSync { message } => {
+                    message == m
+                }
                 _ => false,
             })
             .map(|(id, _)| id)

@@ -59,10 +59,7 @@ impl FaultScenario {
         let mut cond_value: Vec<Option<bool>> = vec![None; cpg.node_count()];
         let mut active = vec![false; cpg.node_count()];
         for (id, node) in cpg.iter() {
-            let sat = node
-                .guard
-                .evaluate(|c| cond_value[c.index()])
-                .unwrap_or(false);
+            let sat = node.guard.evaluate(|c| cond_value[c.index()]).unwrap_or(false);
             active[id.index()] = sat;
             if node.conditional && sat {
                 cond_value[id.index()] = Some(self.faults.contains(&id));
@@ -119,11 +116,7 @@ fn dfs(
         return Ok(());
     }
     let id = conds[i];
-    let active = cpg
-        .node(id)
-        .guard
-        .evaluate(|c| cond_value[c.index()])
-        .unwrap_or(false);
+    let active = cpg.node(id).guard.evaluate(|c| cond_value[c.index()]).unwrap_or(false);
     if !active {
         // Inactive condition: no outcome.
         dfs(cpg, conds, i + 1, cond_value, faults, out, limit)?;
@@ -236,9 +229,6 @@ mod tests {
     #[test]
     fn limit_is_enforced() {
         let cpg = single_process_cpg(3);
-        assert!(matches!(
-            enumerate_scenarios(&cpg, 2),
-            Err(CpgError::GraphTooLarge { limit: 2 })
-        ));
+        assert!(matches!(enumerate_scenarios(&cpg, 2), Err(CpgError::GraphTooLarge { limit: 2 })));
     }
 }

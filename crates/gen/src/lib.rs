@@ -85,9 +85,7 @@ impl GeneratorConfig {
     }
 
     fn layer_count(&self) -> usize {
-        self.layers
-            .unwrap_or_else(|| (self.process_count as f64).sqrt().ceil() as usize)
-            .max(1)
+        self.layers.unwrap_or_else(|| (self.process_count as f64).sqrt().ceil() as usize).max(1)
     }
 }
 
@@ -147,14 +145,10 @@ pub fn generate_application(
                 continue;
             }
             let adjacent = layer_of[dst] == layer_of[src] + 1;
-            let p = if adjacent {
-                config.edge_probability
-            } else {
-                config.edge_probability * 0.1
-            };
+            let p = if adjacent { config.edge_probability } else { config.edge_probability * 0.1 };
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                let trans = rng
-                    .gen_range(config.transmission_range.0..=config.transmission_range.1);
+                let trans =
+                    rng.gen_range(config.transmission_range.0..=config.transmission_range.1);
                 builder
                     .add_message(
                         format!("m{msg}"),

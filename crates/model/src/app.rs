@@ -38,11 +38,7 @@ impl Process {
     /// Iterator over the nodes this process can potentially be mapped to
     /// (the set `N_Pi ⊆ N` of §4).
     pub fn candidate_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.wcet
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.is_some())
-            .map(|(i, _)| NodeId::new(i))
+        self.wcet.iter().enumerate().filter(|(_, w)| w.is_some()).map(|(i, _)| NodeId::new(i))
     }
 
     /// Error-detection overhead `αi` (§3).
@@ -285,20 +281,12 @@ impl Application {
 
     /// Processes with no predecessors (application entry points).
     pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.preds
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.is_empty())
-            .map(|(i, _)| ProcessId::new(i))
+        self.preds.iter().enumerate().filter(|(_, p)| p.is_empty()).map(|(i, _)| ProcessId::new(i))
     }
 
     /// Processes with no successors (application exit points).
     pub fn sinks(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.succs
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_empty())
-            .map(|(i, _)| ProcessId::new(i))
+        self.succs.iter().enumerate().filter(|(_, s)| s.is_empty()).map(|(i, _)| ProcessId::new(i))
     }
 
     /// A topological ordering of the processes (stable across runs).
@@ -427,9 +415,11 @@ impl ApplicationBuilder {
             if spec.wcet.iter().flatten().any(|w| *w <= Time::ZERO) {
                 return Err(ModelError::NonPositiveDuration("worst-case execution time"));
             }
-            for (what, t) in
-                [("error-detection overhead", spec.alpha), ("recovery overhead", spec.mu), ("checkpointing overhead", spec.chi)]
-            {
+            for (what, t) in [
+                ("error-detection overhead", spec.alpha),
+                ("recovery overhead", spec.mu),
+                ("checkpointing overhead", spec.chi),
+            ] {
                 if t.is_negative() {
                     return Err(ModelError::NonPositiveDuration(what));
                 }
@@ -559,7 +549,10 @@ mod tests {
     #[test]
     fn rejects_self_message_and_duplicates() {
         let (mut b, p0, p1) = two_proc_builder();
-        assert_eq!(b.add_message("m", p0, p0, Time::new(1)).unwrap_err(), ModelError::SelfMessage(p0));
+        assert_eq!(
+            b.add_message("m", p0, p0, Time::new(1)).unwrap_err(),
+            ModelError::SelfMessage(p0)
+        );
         b.add_message("m0", p0, p1, Time::new(1)).unwrap();
         assert_eq!(
             b.add_message("m1", p0, p1, Time::new(1)).unwrap_err(),

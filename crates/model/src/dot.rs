@@ -24,12 +24,8 @@ pub fn application_to_dot(app: &Application, transparency: &Transparency) -> Str
     out.push_str("digraph application {\n  rankdir=TB;\n");
     for (pid, p) in app.processes() {
         let shape = if transparency.is_process_frozen(pid) { "box" } else { "ellipse" };
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{}\", shape={shape}];",
-            node_key(pid.index()),
-            p.name()
-        );
+        let _ =
+            writeln!(out, "  {} [label=\"{}\", shape={shape}];", node_key(pid.index()), p.name());
     }
     for (mid, m) in app.messages() {
         let style = if transparency.is_message_frozen(mid) { ", style=bold" } else { "" };

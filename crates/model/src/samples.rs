@@ -1,9 +1,7 @@
 //! The worked examples from the paper, reused across tests, examples and
 //! documentation.
 
-use crate::{
-    Application, ApplicationBuilder, Architecture, ProcessSpec, Time, Transparency,
-};
+use crate::{Application, ApplicationBuilder, Architecture, ProcessSpec, Time, Transparency};
 
 /// The simple application and two-node architecture of **Fig. 3**.
 ///
@@ -103,13 +101,11 @@ pub fn fig5_mapping() -> Vec<crate::NodeId> {
 /// identical nodes.
 pub fn fig1_process(node_count: usize) -> (Application, Architecture) {
     let mut b = ApplicationBuilder::new(node_count);
-    b.add_process(
-        ProcessSpec::uniform("P1", Time::new(60), node_count).overheads(
-            Time::new(10),
-            Time::new(10),
-            Time::new(5),
-        ),
-    );
+    b.add_process(ProcessSpec::uniform("P1", Time::new(60), node_count).overheads(
+        Time::new(10),
+        Time::new(10),
+        Time::new(5),
+    ));
     let app = b.deadline(Time::new(1000)).build().expect("fig1 sample is valid");
     let arch = Architecture::homogeneous(node_count).expect("nonzero node count");
     (app, arch)

@@ -68,11 +68,8 @@ pub fn app_stats(app: &Application) -> AppStats {
         depth = depth.max(path_hops[pid.index()]);
     }
     let serial_load: Time = (0..n).map(|i| min_wcet(crate::ProcessId::new(i))).sum();
-    let parallelism = if critical > Time::ZERO {
-        serial_load.as_f64() / critical.as_f64()
-    } else {
-        1.0
-    };
+    let parallelism =
+        if critical > Time::ZERO { serial_load.as_f64() / critical.as_f64() } else { 1.0 };
     let utilization_per_node = if app.deadline() > Time::ZERO {
         serial_load.as_f64() / (app.deadline().as_f64() * app.node_count() as f64)
     } else {

@@ -101,9 +101,7 @@ impl Transparency {
     /// Returns [`ModelError::UnknownProcess`] or
     /// [`ModelError::UnknownMessage`] for out-of-range declarations.
     pub fn validate(&self, app: &Application) -> Result<(), ModelError> {
-        if let Some(&p) =
-            self.frozen_processes.iter().find(|p| p.index() >= app.process_count())
-        {
+        if let Some(&p) = self.frozen_processes.iter().find(|p| p.index() >= app.process_count()) {
             return Err(ModelError::UnknownProcess(p));
         }
         if let Some(&m) = self.frozen_messages.iter().find(|m| m.index() >= app.message_count()) {

@@ -39,7 +39,8 @@ pub fn greedy_descent(
             if let Some((cand, _)) =
                 propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
             {
-                if cand.objective() < best_move.as_ref().map_or(current.objective(), |b| b.objective())
+                if cand.objective()
+                    < best_move.as_ref().map_or(current.objective(), |b| b.objective())
                 {
                     best_move = Some(cand);
                 }
@@ -78,8 +79,7 @@ pub fn simulated_annealing(
     let mut best = initial;
     let mut trace = SearchTrace::with_capacity(config.iterations);
     // Initial temperature: 5% of the initial objective; floor of 1.
-    let mut temperature =
-        (best.estimate.worst_case_length.as_f64() * 0.05).max(1.0);
+    let mut temperature = (best.estimate.worst_case_length.as_f64() * 0.05).max(1.0);
     let cooling = 0.95f64;
     for _ in 0..config.iterations {
         for _ in 0..config.neighborhood {
@@ -88,9 +88,8 @@ pub fn simulated_annealing(
             else {
                 continue;
             };
-            let delta = (cand.estimate.worst_case_length
-                - current.estimate.worst_case_length)
-                .as_f64();
+            let delta =
+                (cand.estimate.worst_case_length - current.estimate.worst_case_length).as_f64();
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
             if accept {
                 current = cand;
@@ -142,8 +141,7 @@ mod tests {
         let (app, platform, initial) = setup(1);
         let start = initial.objective();
         let (result, trace) =
-            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(1))
-                .unwrap();
+            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(1)).unwrap();
         assert!(result.objective() <= start);
         assert_eq!(trace.len(), 20);
         for w in trace.windows(2) {
@@ -155,18 +153,11 @@ mod tests {
     #[test]
     fn engines_are_deterministic_in_seed() {
         let (app, platform, initial) = setup(2);
-        let (a, ta) = simulated_annealing(
-            &app,
-            &platform,
-            2,
-            initial.clone(),
-            PolicyMoves::Full,
-            cfg(7),
-        )
-        .unwrap();
-        let (b, tb) =
-            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(7))
+        let (a, ta) =
+            simulated_annealing(&app, &platform, 2, initial.clone(), PolicyMoves::Full, cfg(7))
                 .unwrap();
+        let (b, tb) =
+            simulated_annealing(&app, &platform, 2, initial, PolicyMoves::Full, cfg(7)).unwrap();
         assert_eq!(a.estimate, b.estimate);
         assert_eq!(ta, tb);
     }

@@ -90,15 +90,9 @@ pub fn optimize_checkpoints_global(
                 }
                 let mut policies = best.policies.clone();
                 policies.set(pid, Policy::checkpointing(plan.recoveries, x as u32));
-                let cand = Synthesized::evaluate(
-                    app,
-                    platform,
-                    best.mapping.clone(),
-                    policies,
-                    k,
-                )?;
-                let beats_current =
-                    cand.objective() < improved.as_ref().map_or(best.objective(), |s| s.objective());
+                let cand = Synthesized::evaluate(app, platform, best.mapping.clone(), policies, k)?;
+                let beats_current = cand.objective()
+                    < improved.as_ref().map_or(best.objective(), |s| s.objective());
                 if beats_current {
                     improved = Some(cand);
                 }
@@ -187,10 +181,8 @@ mod tests {
         let k = 1;
         let mut policies = PolicyAssignment::local_checkpointing(&app, k, 8).unwrap();
         policies.set(ProcessId::new(0), Policy::replication(k));
-        let initial =
-            Synthesized::evaluate(&app, &platform, mapping, policies, k).unwrap();
-        let out =
-            optimize_checkpoints_global(&app, &platform, initial, k, 8, 16).unwrap();
+        let initial = Synthesized::evaluate(&app, &platform, mapping, policies, k).unwrap();
+        let out = optimize_checkpoints_global(&app, &platform, initial, k, 8, 16).unwrap();
         assert_eq!(out.policies.policy(ProcessId::new(0)).replica_count(), 1);
     }
 

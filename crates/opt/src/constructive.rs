@@ -31,10 +31,7 @@ use ftes_model::{Application, Architecture, Mapping, ModelError, NodeId, Time};
 /// # Ok(())
 /// # }
 /// ```
-pub fn constructive_mapping(
-    app: &Application,
-    arch: &Architecture,
-) -> Result<Mapping, ModelError> {
+pub fn constructive_mapping(app: &Application, arch: &Architecture) -> Result<Mapping, ModelError> {
     let n = app.process_count();
     let order = app.topological_order();
 
@@ -96,8 +93,7 @@ mod tests {
         // node (unlike Mapping::cheapest, which does).
         let (app, arch) = samples::fig3();
         let m = constructive_mapping(&app, &arch).unwrap();
-        let nodes: std::collections::BTreeSet<_> =
-            m.iter().map(|(_, n)| n.index()).collect();
+        let nodes: std::collections::BTreeSet<_> = m.iter().map(|(_, n)| n.index()).collect();
         assert!(nodes.len() > 1, "constructive mapping uses both nodes");
     }
 

@@ -40,15 +40,16 @@ mod error;
 mod search;
 mod strategy;
 
+pub use anneal::{greedy_descent, simulated_annealing, SearchTrace};
+pub use bus::{optimize_bus, BusOptConfig, OptimizedBus};
 pub use checkpoint::{
     checkpointing_local, compare_checkpointing, fault_tolerance_overhead,
     optimize_checkpoints_global, CheckpointComparison,
 };
-pub use anneal::{greedy_descent, simulated_annealing, SearchTrace};
-pub use bus::{optimize_bus, BusOptConfig, OptimizedBus};
 pub use constructive::constructive_mapping;
 pub use error::OptError;
 pub use search::{
-    candidate_policies, tabu_search, tabu_search_traced, PolicyMoves, SearchConfig, Synthesized,
+    apply_move, candidate_policies, sample_move, tabu_search, tabu_search_traced, CandidateMove,
+    PolicyMoves, SearchConfig, Synthesized,
 };
 pub use strategy::{synthesize, Strategy};

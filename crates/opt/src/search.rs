@@ -15,7 +15,7 @@
 use crate::OptError;
 use ftes_ft::{CopyPlan, Policy, PolicyAssignment};
 use ftes_ftcpg::CopyMapping;
-use ftes_model::{Application, Mapping, NodeId, ProcessId, Time};
+use ftes_model::{Application, Architecture, Mapping, NodeId, ProcessId, Time};
 use ftes_sched::{estimate_schedule_length, Estimate};
 use ftes_tdma::Platform;
 use rand::{Rng, SeedableRng};
@@ -69,8 +69,7 @@ impl Synthesized {
         policies: PolicyAssignment,
         k: u32,
     ) -> Result<Self, OptError> {
-        let copies =
-            CopyMapping::from_base(app, platform.architecture(), &mapping, &policies)?;
+        let copies = CopyMapping::from_base(app, platform.architecture(), &mapping, &policies)?;
         let estimate = estimate_schedule_length(app, platform, &copies, &policies, k)?;
         Ok(Synthesized { mapping, policies, copies, estimate })
     }
@@ -129,9 +128,108 @@ pub fn candidate_policies(
     out
 }
 
+/// One sampled transformation of a candidate `(mapping, policies)` state —
+/// the neighborhood vocabulary shared by every search engine (tabu,
+/// annealing, greedy descent and the parallel portfolio workers of
+/// `ftes-explore`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateMove {
+    /// Move one process to another feasible node.
+    Remap {
+        /// The process being remapped.
+        process: ProcessId,
+        /// The target node.
+        to: NodeId,
+    },
+    /// Switch one process to another candidate policy.
+    Repolicy {
+        /// The process whose policy changes.
+        process: ProcessId,
+        /// The new fault-tolerance policy.
+        policy: Policy,
+    },
+}
+
+impl CandidateMove {
+    /// The process the move touches (the unit of tabu bookkeeping).
+    pub fn process(&self) -> ProcessId {
+        match self {
+            CandidateMove::Remap { process, .. } | CandidateMove::Repolicy { process, .. } => {
+                *process
+            }
+        }
+    }
+}
+
 /// Samples one candidate move (remap or repolicy) from the neighborhood of
-/// `current`; returns `None` for degenerate samples (no-op moves, fixed or
-/// single-node processes, infeasible evaluations are skipped as `None`).
+/// the given state **without evaluating it**; returns `None` for degenerate
+/// samples (no-op moves, fixed or single-node processes).
+///
+/// Splitting sampling from evaluation lets callers batch evaluations —
+/// `ftes-explore` fans a whole neighborhood across a thread pool and a
+/// memoized estimate cache.
+pub fn sample_move(
+    app: &Application,
+    mapping: &Mapping,
+    policies: &PolicyAssignment,
+    k: u32,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+    rng: &mut ChaCha8Rng,
+) -> Option<CandidateMove> {
+    let n = app.process_count();
+    let p = ProcessId::new(rng.gen_range(0..n));
+    let proc = app.process(p);
+    let try_policy = policy_moves == PolicyMoves::Full && rng.gen_bool(0.5);
+    if try_policy {
+        let cands = candidate_policies(app, p, k, config.max_checkpoints);
+        let pol = cands[rng.gen_range(0..cands.len())].clone();
+        if *policies.policy(p) == pol {
+            return None;
+        }
+        Some(CandidateMove::Repolicy { process: p, policy: pol })
+    } else {
+        if proc.fixed_node().is_some() {
+            return None;
+        }
+        let nodes: Vec<NodeId> = proc.candidate_nodes().collect();
+        if nodes.len() < 2 {
+            return None;
+        }
+        let target = nodes[rng.gen_range(0..nodes.len())];
+        if target == mapping.node_of(p) {
+            return None;
+        }
+        Some(CandidateMove::Remap { process: p, to: target })
+    }
+}
+
+/// Applies a move to a `(mapping, policies)` state, returning the successor
+/// state or `None` when the move is infeasible (e.g. the remap violates a
+/// mapping restriction).
+pub fn apply_move(
+    app: &Application,
+    arch: &Architecture,
+    mapping: &Mapping,
+    policies: &PolicyAssignment,
+    mv: &CandidateMove,
+) -> Option<(Mapping, PolicyAssignment)> {
+    match mv {
+        CandidateMove::Remap { process, to } => {
+            let mapping = mapping.with_move(app, arch, *process, *to).ok()?;
+            Some((mapping, policies.clone()))
+        }
+        CandidateMove::Repolicy { process, policy } => {
+            let mut policies = policies.clone();
+            policies.set(*process, policy.clone());
+            Some((mapping.clone(), policies))
+        }
+    }
+}
+
+/// Samples one candidate move from the neighborhood of `current` and
+/// evaluates it; returns `None` for degenerate samples (no-op moves, fixed
+/// or single-node processes; infeasible evaluations are skipped as `None`).
 ///
 /// Shared between the tabu search and the alternative engines in
 /// [`crate::greedy_descent`] / [`crate::simulated_annealing`].
@@ -144,40 +242,20 @@ pub(crate) fn propose_move(
     config: SearchConfig,
     rng: &mut ChaCha8Rng,
 ) -> Result<Option<(Synthesized, ProcessId)>, OptError> {
-    let n = app.process_count();
-    let p = ProcessId::new(rng.gen_range(0..n));
-    let proc = app.process(p);
-    let try_policy = policy_moves == PolicyMoves::Full && rng.gen_bool(0.5);
-    let candidate = if try_policy {
-        let cands = candidate_policies(app, p, k, config.max_checkpoints);
-        let pol = cands[rng.gen_range(0..cands.len())].clone();
-        if *current.policies.policy(p) == pol {
-            return Ok(None);
-        }
-        let mut policies = current.policies.clone();
-        policies.set(p, pol);
-        Synthesized::evaluate(app, platform, current.mapping.clone(), policies, k)
-    } else {
-        if proc.fixed_node().is_some() {
-            return Ok(None);
-        }
-        let nodes: Vec<NodeId> = proc.candidate_nodes().collect();
-        if nodes.len() < 2 {
-            return Ok(None);
-        }
-        let target = nodes[rng.gen_range(0..nodes.len())];
-        if target == current.mapping.node_of(p) {
-            return Ok(None);
-        }
-        let mapping = match current.mapping.with_move(app, platform.architecture(), p, target) {
-            Ok(m) => m,
-            Err(_) => return Ok(None),
-        };
-        Synthesized::evaluate(app, platform, mapping, current.policies.clone(), k)
+    let Some(mv) =
+        sample_move(app, &current.mapping, &current.policies, k, policy_moves, config, rng)
+    else {
+        return Ok(None);
+    };
+    let p = mv.process();
+    let Some((mapping, policies)) =
+        apply_move(app, platform.architecture(), &current.mapping, &current.policies, &mv)
+    else {
+        return Ok(None);
     };
     // Infeasible evaluations (e.g. a policy the bus cannot carry) are
     // skipped rather than surfaced: the move is simply not available.
-    Ok(candidate.ok().map(|c| (c, p)))
+    Ok(Synthesized::evaluate(app, platform, mapping, policies, k).ok().map(|c| (c, p)))
 }
 
 /// Runs a tabu search from an initial state, minimizing the estimated
@@ -329,8 +407,7 @@ mod tests {
     fn search_is_deterministic_in_seed() {
         let (app, platform, initial) = setup(2);
         let cfg = SearchConfig { iterations: 25, seed: 99, ..SearchConfig::default() };
-        let a = tabu_search(&app, &platform, 2, initial.clone(), PolicyMoves::Full, cfg)
-            .unwrap();
+        let a = tabu_search(&app, &platform, 2, initial.clone(), PolicyMoves::Full, cfg).unwrap();
         let b = tabu_search(&app, &platform, 2, initial, PolicyMoves::Full, cfg).unwrap();
         assert_eq!(a.estimate, b.estimate);
         assert_eq!(a.mapping, b.mapping);

@@ -86,14 +86,12 @@ pub fn synthesize(
         }
         Strategy::Mx => {
             let policies = PolicyAssignment::uniform_reexecution(app, k);
-            let initial =
-                Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
+            let initial = Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
             tabu_search(app, platform, k, initial, PolicyMoves::None, config)
         }
         Strategy::Mr => {
             let policies = PolicyAssignment::uniform_replication(app, k);
-            let initial =
-                Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
+            let initial = Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
             tabu_search(app, platform, k, initial, PolicyMoves::None, config)
         }
         Strategy::Sfx => {
@@ -130,8 +128,7 @@ mod tests {
         let (app, arch) = samples::fig3();
         let nodes = arch.node_count();
         let platform =
-            Platform::new(arch, ftes_tdma::TdmaBus::uniform(nodes, Time::new(8)).unwrap())
-                .unwrap();
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(nodes, Time::new(8)).unwrap()).unwrap();
         let s = synthesize(&app, &platform, 1, Strategy::Mr, quick_cfg(0)).unwrap();
         s.policies.validate(1).unwrap();
         for (_, p) in s.policies.iter() {

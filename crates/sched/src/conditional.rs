@@ -216,20 +216,15 @@ impl<'a> Scheduler<'a> {
 
     fn run(mut self) -> Result<ConditionalSchedule, SchedError> {
         let n = self.cpg.node_count();
-        let mut indegree: Vec<usize> = (0..n)
-            .map(|i| self.cpg.incoming(CpgNodeId::new(i)).count())
-            .collect();
+        let mut indegree: Vec<usize> =
+            (0..n).map(|i| self.cpg.incoming(CpgNodeId::new(i)).count()).collect();
         // Max-heap ordered by (shallowest fault context, longest remaining
         // path, smallest id). Scheduling low-fault-count contexts first
         // keeps the no-fault trace compact — the quasi-static principle
         // behind the paper's schedule tables: recoveries extend the
         // schedule, they do not displace the fault-free scenario.
         let key = |s: &Self, i: usize| {
-            (
-                Reverse(s.cpg.node(CpgNodeId::new(i)).guard.fault_count()),
-                s.rank[i],
-                Reverse(i),
-            )
+            (Reverse(s.cpg.node(CpgNodeId::new(i)).guard.fault_count()), s.rank[i], Reverse(i))
         };
         let mut ready: BinaryHeap<(Reverse<u32>, Time, Reverse<usize>)> = indegree
             .iter()
@@ -311,8 +306,7 @@ impl<'a> Scheduler<'a> {
                 self.end[id.index()] = t;
             }
             (_, Location::Node(cpu)) => {
-                let s =
-                    self.cpus[cpu.index()].earliest_fit(est, node.duration, &node.guard);
+                let s = self.cpus[cpu.index()].earliest_fit(est, node.duration, &node.guard);
                 self.cpus[cpu.index()].reserve(s, s + node.duration, node.guard.clone());
                 self.start[id.index()] = s;
                 self.end[id.index()] = s + node.duration;
@@ -322,8 +316,7 @@ impl<'a> Scheduler<'a> {
             }
             (_, Location::Bus) => {
                 let sender = self.senders[id.index()].ok_or(SchedError::NoSender(id))?;
-                let (s, e) =
-                    self.bus.earliest_window(sender, est, node.duration, &node.guard)?;
+                let (s, e) = self.bus.earliest_window(sender, est, node.duration, &node.guard)?;
                 self.bus.reserve(s, e, node.guard.clone());
                 self.start[id.index()] = s;
                 self.end[id.index()] = e;
@@ -362,10 +355,7 @@ impl<'a> Scheduler<'a> {
             .iter()
             .map(|chain| ReplicaLadder {
                 ladder: chain.iter().map(|&a| self.end[a.index()]).collect(),
-                killable: self
-                    .cpg
-                    .node(*chain.last().expect("chains are non-empty"))
-                    .conditional,
+                killable: self.cpg.node(*chain.last().expect("chains are non-empty")).conditional,
             })
             .collect();
         worst_case_delivery(&ladders, budget).ok_or({
@@ -431,11 +421,7 @@ fn compute_ranks(cpg: &FtCpg) -> Vec<Time> {
     let mut rank = vec![Time::ZERO; n];
     for i in (0..n).rev() {
         let id = CpgNodeId::new(i);
-        let down = cpg
-            .outgoing(id)
-            .map(|e| rank[e.to.index()])
-            .max()
-            .unwrap_or(Time::ZERO);
+        let down = cpg.outgoing(id).map(|e| rank[e.to.index()]).max().unwrap_or(Time::ZERO);
         rank[i] = cpg.node(id).duration + down;
     }
     rank
@@ -524,8 +510,8 @@ mod tests {
                 if !same_cpu || a.duration == Time::ZERO || b.duration == Time::ZERO {
                     continue;
                 }
-                let overlap = sched.start(*ida) < sched.end(*idb)
-                    && sched.start(*idb) < sched.end(*ida);
+                let overlap =
+                    sched.start(*ida) < sched.end(*idb) && sched.start(*idb) < sched.end(*ida);
                 if overlap {
                     assert!(
                         a.guard.excludes(&b.guard),
@@ -645,10 +631,11 @@ mod tests {
         // third attempts (ending at 150 and 220) violate.
         assert!(check_deadlines(&app, &cpg, &sched).is_empty());
         let mut b = ftes_model::ApplicationBuilder::new(1);
-        b.add_process(
-            ftes_model::ProcessSpec::uniform("P1", Time::new(60), 1)
-                .overheads(Time::new(10), Time::new(10), Time::new(5)),
-        );
+        b.add_process(ftes_model::ProcessSpec::uniform("P1", Time::new(60), 1).overheads(
+            Time::new(10),
+            Time::new(10),
+            Time::new(5),
+        ));
         let tight = b.deadline(Time::new(100)).build().unwrap();
         let violations = check_deadlines(&tight, &cpg, &sched);
         assert_eq!(violations.len(), 2);
@@ -659,8 +646,7 @@ mod tests {
     fn release_times_delay_first_attempts() {
         let mut b = ftes_model::ApplicationBuilder::new(1);
         b.add_process(
-            ftes_model::ProcessSpec::uniform("P1", Time::new(10), 1)
-                .release(Time::new(50)),
+            ftes_model::ProcessSpec::uniform("P1", Time::new(10), 1).release(Time::new(50)),
         );
         let app = b.deadline(Time::new(200)).build().unwrap();
         let arch = ftes_model::Architecture::homogeneous(1).unwrap();

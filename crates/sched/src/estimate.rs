@@ -38,7 +38,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Result of the fast schedule-length estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Estimate` is a plain value type — `Copy`, `Hash`, `Ord` — so it can key
+/// memoization tables (the `ftes-explore` estimate cache) and serialize into
+/// flat CSV/JSON rows without any conversion layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Estimate {
     /// Makespan of the fault-free root schedule.
     pub fault_free_length: Time,
@@ -57,6 +61,12 @@ impl Estimate {
         }
         100.0 * (self.worst_case_length - baseline_fault_free).as_f64()
             / baseline_fault_free.as_f64()
+    }
+
+    /// The recovery slack `worst_case − fault_free`: the schedule length the
+    /// configuration reserves purely for fault handling.
+    pub fn recovery_slack(&self) -> Time {
+        self.worst_case_length - self.fault_free_length
     }
 }
 
@@ -193,14 +203,10 @@ pub fn estimate_schedule_length(
             })
             .collect();
         let ladders = ladders?;
-        let no_fault = ladders
-            .iter()
-            .map(|l| l.ladder[0])
-            .min()
-            .expect("policies have at least one copy");
-        let delivery = worst_case_delivery(&ladders, k).ok_or(SchedError::Ft(
-            ftes_ft::FtError::InsufficientPolicy { k, tolerated: 0 },
-        ))?;
+        let no_fault =
+            ladders.iter().map(|l| l.ladder[0]).min().expect("policies have at least one copy");
+        let delivery = worst_case_delivery(&ladders, k)
+            .ok_or(SchedError::Ft(ftes_ft::FtError::InsufficientPolicy { k, tolerated: 0 }))?;
         let slack = delivery - no_fault;
         let finish = path_end[pid.index()] + slack;
         if finish > worst_case {
@@ -217,7 +223,12 @@ pub fn estimate_schedule_length(
 }
 
 /// The completion ladder of one copy given its fault-free completion time.
-fn ladder_for(scheme: RecoveryScheme, plan: CopyPlan, fault_free_end: Time, k: u32) -> ReplicaLadder {
+fn ladder_for(
+    scheme: RecoveryScheme,
+    plan: CopyPlan,
+    fault_free_end: Time,
+    k: u32,
+) -> ReplicaLadder {
     let base = scheme.fault_free_time(plan.checkpoints);
     let max_faults = plan.recoveries.min(k);
     let mut ladder = Vec::with_capacity(max_faults as usize + 1);
@@ -237,11 +248,8 @@ fn app_ranks(app: &Application) -> Vec<Time> {
     let mut rank = vec![Time::ZERO; n];
     for &pid in app.topological_order().iter().rev() {
         let proc = app.process(pid);
-        let dur = proc
-            .candidate_nodes()
-            .filter_map(|c| proc.wcet_on(c))
-            .min()
-            .unwrap_or(Time::ZERO);
+        let dur =
+            proc.candidate_nodes().filter_map(|c| proc.wcet_on(c)).min().unwrap_or(Time::ZERO);
         let down = app
             .successors(pid)
             .iter()

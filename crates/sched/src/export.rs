@@ -266,8 +266,7 @@ mod tests {
         let (_, cpg, schedule, _) = fig5_artifacts();
         let base = scenario_timeline(&cpg, &schedule, &FaultScenario::fault_free()).len();
         let first_cond = cpg.conditional_nodes().next().unwrap();
-        let faulty =
-            scenario_timeline(&cpg, &schedule, &FaultScenario::new([first_cond])).len();
+        let faulty = scenario_timeline(&cpg, &schedule, &FaultScenario::new([first_cond])).len();
         assert!(faulty > base, "a recovery adds at least one bar");
     }
 

@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn mixed_kill_and_delay() {
         // Replica A: plain, fast. Replica B: one recovery, slow ladder.
-        let l = vec![
-            plain(50),
-            ReplicaLadder { ladder: vec![t(60), t(120)], killable: true },
-        ];
+        let l = vec![plain(50), ReplicaLadder { ladder: vec![t(60), t(120)], killable: true }];
         // Budget 2: kill A (1 fault), delay B once (1 fault) -> 120.
         assert_eq!(worst_case_delivery(&l, 2), Some(t(120)));
         // Budget 1: either kill A (B at 60) or delay B (A at 50): max = 60.

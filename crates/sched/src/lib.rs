@@ -47,8 +47,7 @@ mod resource;
 mod table;
 
 pub use conditional::{
-    check_deadlines, schedule_ftcpg, Broadcast, ConditionalSchedule, DeadlineViolation,
-    SchedConfig,
+    check_deadlines, schedule_ftcpg, Broadcast, ConditionalSchedule, DeadlineViolation, SchedConfig,
 };
 pub use error::SchedError;
 pub use estimate::{estimate_schedule_length, Estimate};

@@ -72,18 +72,14 @@ impl ResourceTable {
 
     /// Records a reservation.
     pub fn reserve(&mut self, start: Time, end: Time, guard: Guard) {
-        let pos = self
-            .reservations
-            .partition_point(|r| (r.start, r.end) <= (start, end));
+        let pos = self.reservations.partition_point(|r| (r.start, r.end) <= (start, end));
         self.reservations.insert(pos, Reservation { start, end, guard });
     }
 
     /// `true` iff `[start, end)` overlaps a reservation compatible with
     /// `guard` (used by invariant checks).
     pub fn conflicts(&self, start: Time, end: Time, guard: &Guard) -> bool {
-        self.reservations
-            .iter()
-            .any(|r| r.start < end && start < r.end && !r.guard.excludes(guard))
+        self.reservations.iter().any(|r| r.start < end && start < r.end && !r.guard.excludes(guard))
     }
 }
 
@@ -241,9 +237,8 @@ mod tests {
     fn zero_duration_bus_request_is_internal() {
         let bus = TdmaBus::uniform(2, Time::new(10)).unwrap();
         let bt = BusTable::new(bus);
-        let w = bt
-            .earliest_window(NodeId::new(0), Time::new(7), Time::ZERO, &Guard::always())
-            .unwrap();
+        let w =
+            bt.earliest_window(NodeId::new(0), Time::new(7), Time::ZERO, &Guard::always()).unwrap();
         assert_eq!(w, (Time::new(7), Time::new(7)));
     }
 }

@@ -60,9 +60,8 @@ impl ScheduleTables {
         schedule: &ConditionalSchedule,
         node_count: usize,
     ) -> Self {
-        let mut nodes: Vec<NodeTable> = (0..node_count)
-            .map(|i| NodeTable { node: NodeId::new(i), rows: Vec::new() })
-            .collect();
+        let mut nodes: Vec<NodeTable> =
+            (0..node_count).map(|i| NodeTable { node: NodeId::new(i), rows: Vec::new() }).collect();
 
         let mut push = |node: NodeId, label: String, entry: TableEntry| {
             let rows = &mut nodes[node.index()].rows;

@@ -117,10 +117,8 @@ pub fn scenario_stats(
         .into_iter()
         .enumerate()
         .filter_map(|(i, samples)| {
-            TimeDistribution::from_samples(&samples).map(|completion| ProcessResponse {
-                process: ProcessId::new(i),
-                completion,
-            })
+            TimeDistribution::from_samples(&samples)
+                .map(|completion| ProcessResponse { process: ProcessId::new(i), completion })
         })
         .collect();
     Ok(ScenarioStats { makespan, responses, scenarios_by_fault_count: by_faults })
@@ -172,10 +170,7 @@ mod tests {
         let stats = fig5_stats(&t);
         // The fault-free scenario has the smallest makespan in this system
         // (recoveries only ever add time).
-        assert_eq!(
-            stats.makespan.samples,
-            stats.scenarios_by_fault_count.iter().sum::<usize>()
-        );
+        assert_eq!(stats.makespan.samples, stats.scenarios_by_fault_count.iter().sum::<usize>());
     }
 
     #[test]

@@ -119,11 +119,7 @@ pub fn verify_sampled(
         let mut faults = Vec::new();
         let mut value: Vec<Option<bool>> = vec![None; cpg.node_count()];
         for &c in &conditionals {
-            let active = cpg
-                .node(c)
-                .guard
-                .evaluate(|x| value[x.index()])
-                .unwrap_or(false);
+            let active = cpg.node(c).guard.evaluate(|x| value[x.index()]).unwrap_or(false);
             if !active {
                 continue;
             }
@@ -221,9 +217,8 @@ fn verify_scenarios(
                     if let Some(lit) = edge.condition {
                         let taken = report.scenario.is_faulted(lit.cond) == lit.fault;
                         if taken && e.start < pred_end {
-                            violations.push(Violation::Causality {
-                                node: cpg.name(e.node).to_string(),
-                            });
+                            violations
+                                .push(Violation::Causality { node: cpg.name(e.node).to_string() });
                         }
                     }
                 }
@@ -243,7 +238,11 @@ fn verify_scenarios(
             for (i, &a) in events.iter().enumerate() {
                 for &b in &events[i + 1..] {
                     let (ea, eb) = (&report.events[a], &report.events[b]);
-                    if ea.start < eb.end && eb.start < ea.end && ea.end > ea.start && eb.end > eb.start {
+                    if ea.start < eb.end
+                        && eb.start < ea.end
+                        && ea.end > ea.start
+                        && eb.end > eb.start
+                    {
                         violations.push(Violation::ResourceOverlap {
                             a: cpg.name(ea.node).to_string(),
                             b: cpg.name(eb.node).to_string(),

@@ -239,11 +239,7 @@ pub fn place_soft(
     for (id, node) in cpg.iter() {
         if let Location::Node(cpu) = node.location {
             if node.duration > Time::ZERO {
-                cpus[cpu.index()].reserve(
-                    schedule.start(id),
-                    schedule.end(id),
-                    Guard::always(),
-                );
+                cpus[cpu.index()].reserve(schedule.start(id), schedule.end(id), Guard::always());
             }
         }
     }
@@ -305,7 +301,9 @@ pub fn place_soft(
             let cand = SoftPlacement { process: s.process, node, start, end, utility };
             let better = match &best {
                 None => true,
-                Some(b) => (utility, std::cmp::Reverse(end)) > (b.utility, std::cmp::Reverse(b.end)),
+                Some(b) => {
+                    (utility, std::cmp::Reverse(end)) > (b.utility, std::cmp::Reverse(b.end))
+                }
             };
             if better {
                 best = Some(cand);
@@ -420,8 +418,7 @@ mod tests {
         for p in &out.placements {
             for (id, node) in cpg.iter() {
                 if node.location == Location::Node(p.node) && node.duration > Time::ZERO {
-                    let overlap =
-                        p.start < schedule.end(id) && schedule.start(id) < p.end;
+                    let overlap = p.start < schedule.end(id) && schedule.start(id) < p.end;
                     assert!(!overlap, "soft {} overlaps hard {}", p.process, cpg.name(id));
                 }
             }

@@ -395,10 +395,7 @@ mod tests {
     fn platform_requires_slot_per_node() {
         let arch = Architecture::homogeneous(3).unwrap();
         let bus = two_node_bus();
-        assert_eq!(
-            Platform::new(arch, bus).unwrap_err(),
-            TdmaError::NoSlotForNode(NodeId::new(2))
-        );
+        assert_eq!(Platform::new(arch, bus).unwrap_err(), TdmaError::NoSlotForNode(NodeId::new(2)));
         let p = Platform::homogeneous(2, Time::new(8)).unwrap();
         assert_eq!(p.architecture().node_count(), 2);
         assert_eq!(p.bus().round_length(), Time::new(16));

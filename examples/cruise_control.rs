@@ -26,23 +26,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oh = |s: ProcessSpec| s.overheads(Time::new(2), Time::new(3), Time::new(1));
     let t = |v: i64| Some(Time::new(v));
 
-    let wheel = b.add_process(oh(ProcessSpec::new("wheel_spd", [t(8), None, None]))
-        .fixed_node(NodeId::new(0)));
-    let radar = b.add_process(oh(ProcessSpec::new("radar", [None, t(14), None]))
-        .fixed_node(NodeId::new(1)));
-    let pedal = b.add_process(oh(ProcessSpec::new("pedal", [None, None, t(6)]))
-        .fixed_node(NodeId::new(2)));
+    let wheel = b.add_process(
+        oh(ProcessSpec::new("wheel_spd", [t(8), None, None])).fixed_node(NodeId::new(0)),
+    );
+    let radar = b
+        .add_process(oh(ProcessSpec::new("radar", [None, t(14), None])).fixed_node(NodeId::new(1)));
+    let pedal =
+        b.add_process(oh(ProcessSpec::new("pedal", [None, None, t(6)])).fixed_node(NodeId::new(2)));
     let filter_w = b.add_process(oh(ProcessSpec::new("filt_wheel", [t(10), t(12), t(12)])));
     let track = b.add_process(oh(ProcessSpec::new("track_obj", [t(22), t(18), t(22)])));
     let fusion = b.add_process(oh(ProcessSpec::new("fusion", [t(16), t(14), t(16)])));
     let speed_ctl = b.add_process(oh(ProcessSpec::new("speed_ctl", [t(20), t(20), t(18)])));
     let dist_ctl = b.add_process(oh(ProcessSpec::new("dist_ctl", [t(18), t(16), t(18)])));
     let arbiter = b.add_process(oh(ProcessSpec::new("arbiter", [t(9), t(9), t(9)])));
-    let throttle = b.add_process(oh(ProcessSpec::new("throttle", [None, None, t(7)]))
-        .fixed_node(NodeId::new(2)));
+    let throttle = b.add_process(
+        oh(ProcessSpec::new("throttle", [None, None, t(7)])).fixed_node(NodeId::new(2)),
+    );
     let brake_calc = b.add_process(oh(ProcessSpec::new("brake_calc", [t(12), t(14), t(14)])));
-    let brake_act = b.add_process(oh(ProcessSpec::new("brake_act", [t(6), None, None]))
-        .fixed_node(NodeId::new(0)));
+    let brake_act = b.add_process(
+        oh(ProcessSpec::new("brake_act", [t(6), None, None])).fixed_node(NodeId::new(0)),
+    );
 
     let mut mid = 0;
     let mut msg = |b: &mut ApplicationBuilder, s, d| {
@@ -84,7 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TdmaBus::uniform(3, Time::new(6))?,
     )?;
     let fault_model = FaultModel::new(2);
-    let psi = synthesize_system(&app, &platform, fault_model, &transparency, FlowConfig::default())?;
+    let psi =
+        synthesize_system(&app, &platform, fault_model, &transparency, FlowConfig::default())?;
 
     println!("\npolicy assignment (k = {}):", fault_model.k());
     for (pid, policy) in psi.policies.iter() {
@@ -126,11 +130,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nfault-free timeline:");
-    let bars = scenario_timeline(
-        &exact.cpg,
-        &exact.schedule,
-        &ftes::ftcpg::FaultScenario::fault_free(),
-    );
+    let bars =
+        scenario_timeline(&exact.cpg, &exact.schedule, &ftes::ftcpg::FaultScenario::fault_free());
     print!("{}", timeline_to_ascii(&bars, 72));
     Ok(())
 }

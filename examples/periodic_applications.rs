@@ -15,14 +15,10 @@ fn control_loop() -> Result<ftes::model::Application, Box<dyn std::error::Error>
     // sense -> compute -> actuate, period/deadline 200.
     let mut b = ApplicationBuilder::new(2);
     let oh = |s: ProcessSpec| s.overheads(Time::new(2), Time::new(2), Time::new(1));
-    let sense = b.add_process(oh(ProcessSpec::new(
-        "sense",
-        [Some(Time::new(10)), Some(Time::new(14))],
-    )));
-    let compute = b.add_process(oh(ProcessSpec::new(
-        "compute",
-        [Some(Time::new(25)), Some(Time::new(30))],
-    )));
+    let sense =
+        b.add_process(oh(ProcessSpec::new("sense", [Some(Time::new(10)), Some(Time::new(14))])));
+    let compute =
+        b.add_process(oh(ProcessSpec::new("compute", [Some(Time::new(25)), Some(Time::new(30))])));
     let actuate = b.add_process(oh(ProcessSpec::new(
         "actuate",
         [Some(Time::new(8)), None], // the actuator driver must sit on N0

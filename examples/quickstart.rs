@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fault model: {fault_model}, deadline {}", app.deadline());
     println!();
 
-    let psi = synthesize_system(&app, &platform, fault_model, &transparency, FlowConfig::default())?;
+    let psi =
+        synthesize_system(&app, &platform, fault_model, &transparency, FlowConfig::default())?;
 
     println!("policy assignment F:");
     for (pid, policy) in psi.policies.iter() {

@@ -13,8 +13,7 @@ use ftes::ft::{CopyPlan, Policy, RecoveryScheme};
 use ftes::model::Time;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scheme =
-        RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))?;
+    let scheme = RecoveryScheme::new(Time::new(60), Time::new(10), Time::new(10), Time::new(5))?;
 
     println!("== Fig. 1: rollback recovery with checkpointing (C=60, α=10, µ=10, χ=5) ==");
     for x in 0..=4u32 {

@@ -58,8 +58,7 @@ fn demo_spec_round_trips() {
 #[test]
 fn bus_optimization_on_parsed_spec() {
     let spec = parse_spec(FIG5_SPEC).expect("demo parses");
-    let mapping =
-        Mapping::cheapest(&spec.app, spec.platform.architecture()).expect("mappable");
+    let mapping = Mapping::cheapest(&spec.app, spec.platform.architecture()).expect("mappable");
     let policies = PolicyAssignment::uniform_reexecution(&spec.app, spec.fault_model.k());
     let out = optimize_bus(
         &spec.app,

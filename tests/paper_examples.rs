@@ -54,8 +54,7 @@ fn fig5_system() -> (
     let (app, arch, transparency) = samples::fig5();
     let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).expect("paper mapping");
     let policies = PolicyAssignment::uniform_reexecution(&app, 2);
-    let copies =
-        CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
+    let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
     let nodes = arch.node_count();
     let cpg = build_ftcpg(
         &app,
@@ -66,8 +65,8 @@ fn fig5_system() -> (
         BuildConfig::default(),
     )
     .expect("fig5 FT-CPG");
-    let platform = Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus"))
-        .expect("platform");
+    let platform =
+        Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus")).expect("platform");
     let schedule =
         schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).expect("schedulable");
     (app, cpg, schedule, transparency)
@@ -142,22 +141,15 @@ fn transparency_trades_length_for_table_size() {
     let (app, arch, paper_transparency) = samples::fig5();
     let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).expect("paper mapping");
     let policies = PolicyAssignment::uniform_reexecution(&app, 2);
-    let copies =
-        CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
+    let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).expect("placement fits");
     let nodes = arch.node_count();
-    let platform = Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus"))
-        .expect("platform");
+    let platform =
+        Platform::new(arch, TdmaBus::uniform(nodes, Time::new(8)).expect("bus")).expect("platform");
 
     let build = |t: &ftes::model::Transparency| {
-        let cpg = build_ftcpg(
-            &app,
-            &policies,
-            &copies,
-            FaultModel::new(2),
-            t,
-            BuildConfig::default(),
-        )
-        .expect("FT-CPG");
+        let cpg =
+            build_ftcpg(&app, &policies, &copies, FaultModel::new(2), t, BuildConfig::default())
+                .expect("FT-CPG");
         let schedule =
             schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).expect("schedule");
         let entries = ScheduleTables::new(&app, &cpg, &schedule, 2).entry_count();

@@ -1,9 +1,7 @@
 //! Property-based tests of the core invariants, spanning crates.
 
 use ftes::ft::{PolicyAssignment, RecoveryScheme};
-use ftes::ftcpg::{
-    build_ftcpg, enumerate_scenarios, BuildConfig, CopyMapping, Guard, Literal,
-};
+use ftes::ftcpg::{build_ftcpg, enumerate_scenarios, BuildConfig, CopyMapping, Guard, Literal};
 use ftes::gen::{generate_application, GeneratorConfig};
 use ftes::model::{FaultModel, Mapping, Time, Transparency};
 use ftes::sched::{schedule_ftcpg, SchedConfig};
@@ -15,10 +13,9 @@ fn guard_strategy() -> impl Strategy<Value = Guard> {
     // Up to 5 literals over 8 condition variables, consistent by
     // construction (one polarity per variable).
     proptest::collection::btree_map(0usize..8, any::<bool>(), 0..5).prop_map(|m| {
-        Guard::of(m.into_iter().map(|(v, f)| Literal {
-            cond: ftes::ftcpg::CpgNodeId::new(v),
-            fault: f,
-        }))
+        Guard::of(
+            m.into_iter().map(|(v, f)| Literal { cond: ftes::ftcpg::CpgNodeId::new(v), fault: f }),
+        )
     })
 }
 

@@ -47,14 +47,9 @@ fn synthesized_systems_survive_exhaustive_injection() {
         )
         .expect("synthesis succeeds");
         let exact = psi.exact.as_ref().expect("small instance gets exact schedule");
-        let verdict = verify_exhaustive(
-            &app,
-            &exact.cpg,
-            &exact.schedule,
-            &transparency,
-            2_000_000,
-        )
-        .expect("verification runs");
+        let verdict =
+            verify_exhaustive(&app, &exact.cpg, &exact.schedule, &transparency, 2_000_000)
+                .expect("verification runs");
         assert!(psi.schedulable, "seed {seed} schedulable under the roomy deadline");
         assert!(verdict.is_sound(), "seed {seed}: {:?}", verdict.violations);
     }
@@ -76,7 +71,12 @@ fn replication_exact_schedule_is_conservative_but_sound() {
         &transparency,
         FlowConfig {
             strategy: Strategy::Mr,
-            search: SearchConfig { iterations: 10, neighborhood: 8, seed, ..SearchConfig::default() },
+            search: SearchConfig {
+                iterations: 10,
+                neighborhood: 8,
+                seed,
+                ..SearchConfig::default()
+            },
             ..FlowConfig::default()
         },
     )
@@ -89,10 +89,7 @@ fn replication_exact_schedule_is_conservative_but_sound() {
     let verdict = verify_exhaustive(&app, &exact.cpg, &exact.schedule, &transparency, 2_000_000)
         .expect("verification runs");
     assert!(
-        verdict
-            .violations
-            .iter()
-            .all(|v| matches!(v, Violation::DeadlineMiss { .. })),
+        verdict.violations.iter().all(|v| matches!(v, Violation::DeadlineMiss { .. })),
         "only deadline misses are acceptable: {:?}",
         verdict.violations
     );
@@ -172,13 +169,11 @@ fn fixed_mappings_are_preserved() {
             .overheads(Time::new(1), Time::new(1), Time::new(1))
             .fixed_node(NodeId::new(1)),
     );
-    let free = b.add_process(
-        ProcessSpec::uniform("worker", Time::new(30), 2).overheads(
-            Time::new(2),
-            Time::new(2),
-            Time::new(1),
-        ),
-    );
+    let free = b.add_process(ProcessSpec::uniform("worker", Time::new(30), 2).overheads(
+        Time::new(2),
+        Time::new(2),
+        Time::new(1),
+    ));
     b.add_message("m", fixed, free, Time::new(2)).expect("edge");
     let app = b.deadline(Time::new(500)).build().expect("valid app");
     let platform = Platform::homogeneous(2, Time::new(8)).expect("platform");

@@ -1,0 +1,200 @@
+//! Offline stand-in for the [`criterion`] benchmark harness.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — with straightforward wall-clock measurement
+//! (median over `sample_size` samples after one warm-up run). No plotting,
+//! no statistics beyond min/median/max; the printed medians are what the
+//! figure harnesses consume.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level handle passed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let samples = self.default_sample_size;
+        run_one(name, samples, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, &mut f);
+    }
+
+    /// Ends the group (printing is per-bench; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id that is just the parameter (criterion's `from_parameter`).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing driver handed to the benchmarked closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `requested` samples after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        for _ in 0..self.requested {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(samples), requested: samples };
+    f(&mut bencher);
+    let mut times = bencher.samples;
+    if times.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "bench {label:<48} median {:>12?}  (min {:?}, max {:?}, n={})",
+        median,
+        times[0],
+        times[times.len() - 1],
+        times.len()
+    );
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &v| {
+            b.iter(|| {
+                runs += 1;
+                v * 2
+            })
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("n20_k3").0, "n20_k3");
+    }
+}

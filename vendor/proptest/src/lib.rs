@@ -1,0 +1,345 @@
+//! Offline stand-in for the [`proptest`] crate.
+//!
+//! Provides the subset `tests/properties.rs` uses: the `proptest!` macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, range strategies,
+//! `any::<bool>()`, `Strategy::prop_map` and `collection::btree_map`.
+//! Cases are generated from a deterministic ChaCha stream seeded by the
+//! test name (set `PROPTEST_CASES` to change the case count, default 64).
+//! There is **no shrinking**: a failing case reports its index and message
+//! and the fixed seeding makes it immediately reproducible.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Error raised by a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not satisfy a `prop_assume!` precondition; skipped.
+    Reject,
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+/// Strategy combinators and range/`any` sources.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of test-case values (no shrinking in this shim).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u32, u64, i32, i64);
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+
+    /// Strategy for any value of `T` (see [`super::any`]).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Size specification accepted by [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Samples a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for a `Vec` of `size`-many elements.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for a `BTreeMap` with `size`-range many sampled pairs
+    /// (duplicate keys collapse, as in proptest).
+    pub fn btree_map<K: Ord, V, SK, SV>(
+        keys: SK,
+        values: SV,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<SK, SV>
+    where
+        SK: Strategy<Value = K>,
+        SV: Strategy<Value = V>,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<SK, SV> {
+        keys: SK,
+        values: SV,
+        size: Range<usize>,
+    }
+
+    impl<K: Ord, V, SK, SV> Strategy for BTreeMapStrategy<SK, SV>
+    where
+        SK: Strategy<Value = K>,
+        SV: Strategy<Value = V>,
+    {
+        type Value = BTreeMap<K, V>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K, V> {
+            let n = rand::Rng::gen_range(rng, self.size.clone());
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.keys.sample(rng), self.values.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, TestCaseError};
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Number of generated cases per property (env `PROPTEST_CASES`, default 64).
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Drives one property: samples cases, counts rejects, panics on failure.
+/// Called by the expansion of [`proptest!`]; not part of proptest's API.
+pub fn run_cases<F: FnMut(&mut TestRng) -> Result<(), TestCaseError>>(name: &str, mut f: F) {
+    let cases = case_count();
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let max_rejects = cases.saturating_mul(16).max(256);
+    while accepted < cases {
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property {name}: too many prop_assume! rejects \
+                         ({rejected} rejects for {accepted}/{cases} cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case {accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs (`arg in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__ptrng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __ptrng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {} ({:?} vs {:?})",
+                        stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {} ({:?} vs {:?}): {}",
+                        stringify!($left), stringify!($right), l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(a in 1i64..10, b in 0usize..=3) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 3);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "only even cases survive the assume");
+        }
+
+        #[test]
+        fn map_and_collections(m in collection::btree_map(0usize..8, any::<bool>(), 0..5)) {
+            prop_assert!(m.len() < 5);
+            prop_assert!(m.keys().all(|&k| k < 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        crate::run_cases("always_fails", |_| Err(crate::TestCaseError::Fail("boom".into())));
+    }
+
+    #[test]
+    fn seeding_is_stable_per_name() {
+        assert_eq!(super::seed_for("x"), super::seed_for("x"));
+        assert_ne!(super::seed_for("x"), super::seed_for("y"));
+    }
+}
