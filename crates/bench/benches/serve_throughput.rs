@@ -1,0 +1,60 @@
+//! Criterion bench: service-path overhead of `ftes-serve`.
+//!
+//! Three measurements over a live in-process server:
+//! * `healthz`            — pure transport + routing floor (no synthesis);
+//! * `synthesize_cached`  — the steady-state hot path: canonical-key
+//!   lookup + replayed body (what repeated production traffic pays);
+//! * `synthesize_cold`    — a unique spec every iteration, i.e. transport
+//!   plus one full Fig. 5-sized synthesis (the cache-miss ceiling).
+//!
+//! The cached/cold gap is the amortization the result cache buys; the
+//! healthz/cached gap is what the cache machinery itself costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftes::spec::FIG5_SPEC;
+use ftes_serve::{request, start, ServeConfig};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn call(addr: &str, method: &str, path: &str, body: &str) -> u16 {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let (status, _) = request(&stream, method, path, body).expect("request");
+    status
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let server = start(ServeConfig { workers: 2, cache_capacity: 1024, ..ServeConfig::default() })
+        .expect("start server");
+    let addr = server.addr().to_string();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+
+    group.bench_function("healthz", |b| {
+        b.iter(|| assert_eq!(call(&addr, "GET", "/healthz", ""), 200))
+    });
+
+    // Warm the entry once, then measure pure replay.
+    assert_eq!(call(&addr, "POST", "/synthesize", FIG5_SPEC), 200);
+    group.bench_function("synthesize_cached", |b| {
+        b.iter(|| assert_eq!(call(&addr, "POST", "/synthesize", FIG5_SPEC), 200))
+    });
+
+    // A semantically distinct deadline per iteration forces a miss (the
+    // instance stays schedulable: Fig. 5 fits in well under 400 units).
+    let mut deadline = 400u64;
+    group.bench_function("synthesize_cold", |b| {
+        b.iter(|| {
+            deadline += 1;
+            let spec = FIG5_SPEC.replace("deadline 400", &format!("deadline {deadline}"));
+            assert_eq!(call(&addr, "POST", "/synthesize", &spec), 200);
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

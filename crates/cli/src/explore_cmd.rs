@@ -20,7 +20,7 @@
 
 use ftes::explore::{
     paper_grid, run_suite, suite_to_csv, suite_to_json, PortfolioConfig, ScenarioPoint,
-    SuiteConfig, SuiteOutcome,
+    SuiteConfig, SuiteOutcome, VerifyConfig,
 };
 use ftes::model::Time;
 
@@ -63,6 +63,7 @@ impl ExploreCommand {
         let mut point_parallelism = 1usize;
         let mut format = ExploreFormat::Summary;
         let mut out = None;
+        let mut verify = None;
 
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -97,6 +98,10 @@ impl ExploreCommand {
                     }
                     i += 2;
                 }
+                "--verify" => {
+                    verify = Some(VerifyConfig::default());
+                    i += 1;
+                }
                 "--csv" => {
                     format = ExploreFormat::Csv;
                     i += 1;
@@ -127,7 +132,7 @@ impl ExploreCommand {
         };
 
         Ok(ExploreCommand {
-            suite: SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8) },
+            suite: SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify },
             format,
             out,
         })
@@ -160,13 +165,27 @@ fn summarize(outcome: &SuiteOutcome) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>8}",
-        "point", "nodes", "k", "fault-free", "worst-case", "slack%", "pareto", "cache-hit", "ms"
+        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8}",
+        "point",
+        "nodes",
+        "k",
+        "fault-free",
+        "worst-case",
+        "slack%",
+        "pareto",
+        "cache-hit",
+        "verified",
+        "ms"
     );
     for p in &outcome.points {
+        let verified = match p.verified {
+            Some(true) => "sound",
+            Some(false) => "UNSOUND",
+            None => "-",
+        };
         let _ = writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>8} {}",
+            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>9} {:>8} {}",
             p.point.label(),
             p.point.nodes,
             p.point.k,
@@ -175,6 +194,7 @@ fn summarize(outcome: &SuiteOutcome) -> String {
             p.slack_pct,
             p.archive.len(),
             100.0 * p.cache.hit_rate(),
+            verified,
             p.wall.as_millis(),
             if p.schedulable { "" } else { "  ** MISSES DEADLINE **" },
         );
@@ -230,6 +250,7 @@ mod tests {
             "--iters",
             "5",
             "--json",
+            "--verify",
         ])
         .unwrap();
         assert_eq!(cmd.suite.points.len(), 3);
@@ -237,6 +258,7 @@ mod tests {
         assert_eq!(cmd.suite.portfolio.seed, 9);
         assert_eq!(cmd.suite.portfolio.rounds, 2);
         assert_eq!(cmd.format, ExploreFormat::Json);
+        assert_eq!(cmd.suite.verify, Some(VerifyConfig::default()));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! # ftes-cli
 //!
 //! Command-line front end for the fault-tolerant embedded-system synthesis
-//! flow: parses the `.ftes` specification format (see [`parse_spec`]) and
-//! drives [`ftes::synthesize_system`]; the `explore` subcommand (see
-//! [`ExploreCommand`]) runs the parallel design-space exploration suite.
+//! flow: drives [`ftes::synthesize_system`] on parsed `.ftes`
+//! specifications (the parser lives in [`ftes::spec`] so the HTTP service
+//! can share it; this crate re-exports it), the `explore` subcommand (see
+//! [`ExploreCommand`]) runs the parallel design-space exploration suite,
+//! and the `serve` / `load` subcommands (see [`ServeCommand`] /
+//! [`LoadCommand`]) run and exercise the `ftes-serve` synthesis service.
 //! The `ftes` binary lives in this crate; everything else is a library so
 //! tests and other tools can reuse it.
 
@@ -11,7 +14,8 @@
 #![warn(missing_docs)]
 
 mod explore_cmd;
-mod spec;
+mod serve_cmd;
 
 pub use explore_cmd::{ExploreCommand, ExploreFormat};
-pub use spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
+pub use ftes::spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
+pub use serve_cmd::{LoadCommand, ServeCommand};

@@ -6,6 +6,8 @@
 //!   ftes <spec.ftes> [--csv] [--markdown] [--dot] [--timeline] [--verify]
 //!   ftes --demo      [same flags]          # runs the built-in Fig. 5 spec
 //!   ftes explore …   # parallel design-space exploration (see --help)
+//!   ftes serve …     # run the synthesis HTTP service (see --help)
+//!   ftes load …      # drive load against a running service (see --help)
 //! ```
 
 use ftes::sched::export::{
@@ -13,13 +15,16 @@ use ftes::sched::export::{
 };
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
-use ftes_cli::{parse_spec, ExploreCommand, SystemSpec, FIG5_SPEC};
+use ftes_cli::{parse_spec, ExploreCommand, LoadCommand, ServeCommand, SystemSpec, FIG5_SPEC};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("explore") {
-        return run_explore(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("explore") => return run_explore(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
+        Some("load") => return run_load_cmd(&args[1..]),
+        _ => {}
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
@@ -151,11 +156,55 @@ fn run_explore(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_serve(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match ServeCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_load_cmd(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match LoadCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "ftes — synthesis of fault-tolerant embedded systems (DATE 2008 reproduction)\n\n\
          USAGE:\n  ftes <spec.ftes> [flags]\n  ftes --demo [flags]\n  \
-         ftes explore [explore flags]\n\n\
+         ftes explore [explore flags]\n  ftes serve [serve flags]\n  \
+         ftes load [load flags]\n\n\
          FLAGS:\n  --csv        print schedule tables as CSV\n  \
          --markdown   print schedule tables as Markdown\n  \
          --dot        print the FT-CPG in Graphviz DOT\n  \
@@ -168,8 +217,16 @@ fn print_usage() {
          --seeds N    workloads per point        --seed N     master seed\n  \
          --threads N  evaluation threads         --point-par N concurrent points\n  \
          --rounds N   portfolio rounds           --iters N    iterations/round\n  \
+         --verify     fault-inject each incumbent (verified column)\n  \
          --csv | --json               machine-readable output\n  \
          --out FILE                   also write the report to FILE\n\n\
-         EXIT CODE: 0 schedulable, 2 not schedulable, 1 error"
+         SERVE (the synthesis HTTP service; prints `listening on HOST:PORT`):\n  \
+         --addr HOST:PORT | --port N  bind address (default 127.0.0.1:0)\n  \
+         --workers N   handler threads            --queue N    job-queue bound\n  \
+         --cache-entries N            result-cache capacity\n\n\
+         LOAD (closed-loop load harness against a running service):\n  \
+         --addr HOST:PORT  target (required)      --clients N  threads (8)\n  \
+         --requests N  total requests (50)        --spec FILE  mix entry (repeatable)\n\n\
+         EXIT CODE: 0 schedulable (load: all ok), 2 not (load: failures), 1 error"
     );
 }

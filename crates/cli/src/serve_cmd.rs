@@ -1,0 +1,199 @@
+//! The `ftes serve` and `ftes load` subcommands: run the synthesis
+//! service in the foreground, and drive load against a running instance.
+//!
+//! ```text
+//! USAGE:
+//!   ftes serve [--addr HOST:PORT | --port N] [--workers N]
+//!              [--queue N] [--cache-entries N]
+//!   ftes load  --addr HOST:PORT [--clients N] [--requests N]
+//!              [--spec FILE]...
+//! ```
+//!
+//! `ftes serve` prints `listening on HOST:PORT` (the resolved ephemeral
+//! port when `--port 0`) as its first output line so scripts — the CI
+//! smoke step included — can discover the address.
+
+use ftes_serve::{run_load, start, LoadConfig, ServeConfig};
+
+/// A fully parsed `ftes serve` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeCommand {
+    /// The service configuration.
+    pub config: ServeConfig,
+}
+
+impl ServeCommand {
+    /// Parses the arguments following the `serve` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut config = ServeConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            let value = args.get(i + 1).cloned().ok_or_else(|| format!("{arg} needs a value"));
+            match arg {
+                "--addr" => config.addr = value?,
+                "--port" => {
+                    let port: u16 =
+                        value?.parse().map_err(|_| format!("bad port `{}`", args[i + 1]))?;
+                    config.addr = format!("127.0.0.1:{port}");
+                }
+                "--workers" => config.workers = parse_positive(arg, &value?)?,
+                "--queue" => config.queue_capacity = parse_positive(arg, &value?)?,
+                "--cache-entries" => config.cache_capacity = parse_positive(arg, &value?)?,
+                other => return Err(format!("unknown serve flag `{other}`")),
+            }
+            i += 2;
+        }
+        Ok(ServeCommand { config })
+    }
+
+    /// Starts the service, announces the bound address on stdout and
+    /// blocks forever (foreground daemon; stop with SIGINT/SIGTERM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn execute(self) -> Result<(), Box<dyn std::error::Error>> {
+        let server = start(self.config)?;
+        println!("listening on {}", server.addr());
+        // Line-buffered stdout flushes on newline, but make the contract
+        // explicit: the address must be visible before we block.
+        use std::io::Write;
+        std::io::stdout().flush()?;
+        server.wait();
+        Ok(())
+    }
+}
+
+/// A fully parsed `ftes load` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadCommand {
+    /// The load-run configuration.
+    pub config: LoadConfig,
+}
+
+impl LoadCommand {
+    /// Parses the arguments following the `load` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, malformed
+    /// values, a missing `--addr` or an unreadable `--spec` file.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut addr: Option<String> = None;
+        let mut clients = 8usize;
+        let mut requests = 50usize;
+        let mut specs: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            let value = args.get(i + 1).cloned().ok_or_else(|| format!("{arg} needs a value"));
+            match arg {
+                "--addr" => addr = Some(value?),
+                "--clients" => clients = parse_positive(arg, &value?)?,
+                "--requests" => requests = parse_positive(arg, &value?)?,
+                "--spec" => {
+                    let path = value?;
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    specs.push(text);
+                }
+                other => return Err(format!("unknown load flag `{other}`")),
+            }
+            i += 2;
+        }
+        let addr = addr.ok_or("--addr is required (see `ftes serve` output)")?;
+        let mut config = LoadConfig::against(addr);
+        config.clients = clients;
+        config.requests = requests;
+        if !specs.is_empty() {
+            config.specs = specs;
+        }
+        Ok(LoadCommand { config })
+    }
+
+    /// Runs the load harness and prints the report. Returns `true` when
+    /// every request succeeded (drives the process exit code).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the harness.
+    pub fn execute(&self) -> Result<bool, Box<dyn std::error::Error>> {
+        let report = run_load(&self.config)?;
+        print!("{}", report.render());
+        Ok(report.failed == 0)
+    }
+}
+
+fn parse_positive(flag: &str, value: &str) -> Result<usize, String> {
+    let n: usize = value.parse().map_err(|_| format!("bad number `{value}` for {flag}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be positive"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cmd = ServeCommand::parse(&[]).unwrap();
+        assert_eq!(cmd.config.addr, "127.0.0.1:0");
+        let cmd = ServeCommand::parse(&words(&[
+            "--port",
+            "8099",
+            "--workers",
+            "3",
+            "--queue",
+            "7",
+            "--cache-entries",
+            "11",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.config.addr, "127.0.0.1:8099");
+        assert_eq!(cmd.config.workers, 3);
+        assert_eq!(cmd.config.queue_capacity, 7);
+        assert_eq!(cmd.config.cache_capacity, 11);
+        let cmd = ServeCommand::parse(&words(&["--addr", "0.0.0.0:9000"])).unwrap();
+        assert_eq!(cmd.config.addr, "0.0.0.0:9000");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(ServeCommand::parse(&words(&["--port", "banana"])).is_err());
+        assert!(ServeCommand::parse(&words(&["--workers", "0"])).is_err());
+        assert!(ServeCommand::parse(&words(&["--workers"])).is_err());
+        assert!(ServeCommand::parse(&words(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn load_requires_addr_and_accepts_specs() {
+        assert!(LoadCommand::parse(&[]).is_err());
+        let cmd = LoadCommand::parse(&words(&[
+            "--addr",
+            "127.0.0.1:1234",
+            "--clients",
+            "4",
+            "--requests",
+            "20",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.config.addr, "127.0.0.1:1234");
+        assert_eq!(cmd.config.clients, 4);
+        assert_eq!(cmd.config.requests, 20);
+        assert_eq!(cmd.config.specs.len(), 2, "default repeated-spec mix");
+        assert!(LoadCommand::parse(&words(&["--addr", "x", "--spec", "/nonexistent/path.ftes"]))
+            .is_err());
+    }
+}

@@ -33,6 +33,11 @@
 //! | [`explore`] | parallel portfolio exploration: batched evaluation, estimate cache, Pareto archive, scenario suites |
 //! | [`soft`] | soft/hard time-constraint extension (utility scheduling, \[17\]) |
 //!
+//! This crate additionally hosts the `.ftes` system-specification parser
+//! ([`spec`]) and re-exports the escaping-aware JSON writer ([`json`],
+//! from `ftes-model`) — both shared between the CLI and the `ftes-serve`
+//! HTTP service.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -57,8 +62,10 @@
 #![warn(missing_docs)]
 
 mod flow;
+pub mod spec;
 
 pub use flow::{synthesize_system, ExactSchedule, FlowConfig, FtesError, SystemConfiguration};
+pub use ftes_model::json;
 
 pub use ftes_explore as explore;
 pub use ftes_ft as ft;

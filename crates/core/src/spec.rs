@@ -26,11 +26,11 @@
 //! units. Per-process options: `alpha`, `mu`, `chi`, `fixed <node>`,
 //! `release <t>`, `dlocal <t>`.
 
-use ftes::model::{
+use ftes_model::{
     Application, ApplicationBuilder, FaultModel, NodeId, ProcessId, ProcessSpec, Time, Transparency,
 };
-use ftes::opt::Strategy;
-use ftes::tdma::{Platform, TdmaBus};
+use ftes_opt::Strategy;
+use ftes_tdma::{Platform, TdmaBus};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -48,6 +48,89 @@ pub struct SystemSpec {
     pub transparency: Transparency,
     /// Synthesis strategy (defaults to MXR).
     pub strategy: Strategy,
+}
+
+impl SystemSpec {
+    /// Canonical, collision-free byte encoding of the parsed system.
+    ///
+    /// Two `.ftes` documents that parse to the same application, platform,
+    /// fault model, transparency requirements and strategy produce
+    /// identical bytes regardless of formatting, comments or directive
+    /// order; any semantic difference changes the encoding. `ftes-serve`
+    /// keys its result cache on this encoding, so equivalent requests are
+    /// answered from cache with byte-identical bodies.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let nodes = self.platform.architecture().node_count();
+        let mut out = Vec::with_capacity(64 + 64 * self.app.process_count());
+        out.extend_from_slice(b"ftes-spec-v1");
+        push_u64(&mut out, nodes as u64);
+        let slots = self.platform.bus().slots();
+        push_u64(&mut out, slots.len() as u64);
+        for slot in slots {
+            push_u64(&mut out, slot.node.index() as u64);
+            push_i64(&mut out, slot.length.units());
+        }
+        push_u64(&mut out, self.fault_model.k() as u64);
+        push_u64(
+            &mut out,
+            match self.strategy {
+                Strategy::Mxr => 0,
+                Strategy::Mx => 1,
+                Strategy::Mr => 2,
+                Strategy::Sfx => 3,
+            },
+        );
+        push_i64(&mut out, self.app.deadline().units());
+        push_i64(&mut out, self.app.period().units());
+        push_u64(&mut out, self.app.process_count() as u64);
+        for (pid, p) in self.app.processes() {
+            push_str(&mut out, p.name());
+            for n in 0..nodes {
+                push_opt_i64(&mut out, p.wcet_on(NodeId::new(n)).map(Time::units));
+            }
+            push_i64(&mut out, p.alpha().units());
+            push_i64(&mut out, p.mu().units());
+            push_i64(&mut out, p.chi().units());
+            push_i64(&mut out, p.release().units());
+            push_opt_i64(&mut out, p.local_deadline().map(Time::units));
+            push_opt_i64(&mut out, p.fixed_node().map(|n| n.index() as i64));
+            out.push(self.transparency.is_process_frozen(pid) as u8);
+        }
+        push_u64(&mut out, self.app.message_count() as u64);
+        for (mid, m) in self.app.messages() {
+            push_str(&mut out, m.name());
+            push_u64(&mut out, m.src().index() as u64);
+            push_u64(&mut out, m.dst().index() as u64);
+            push_i64(&mut out, m.transmission().units());
+            out.push(self.transparency.is_message_frozen(mid) as u8);
+        }
+        out
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed so adjacent strings can never alias each other.
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Tag byte + value keeps `None` distinct from every `Some`.
+fn push_opt_i64(out: &mut Vec<u8>, v: Option<i64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            push_i64(out, v);
+        }
+        None => out.push(0),
+    }
 }
 
 /// Parse error with 1-based line number and message.
@@ -291,7 +374,7 @@ fn build(d: Draft) -> Result<SystemSpec, ParseError> {
     let slot = d.slot.unwrap_or(8);
     let bus =
         TdmaBus::uniform(nodes, Time::new(slot)).map_err(|e| ParseError::at(0, e.to_string()))?;
-    let arch = ftes::model::Architecture::homogeneous(nodes)
+    let arch = ftes_model::Architecture::homogeneous(nodes)
         .map_err(|e| ParseError::at(0, e.to_string()))?;
     let platform = Platform::new(arch, bus).map_err(|e| ParseError::at(0, e.to_string()))?;
 
@@ -406,6 +489,33 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let text = "\n# header\nnodes 1 # trailing\n\ndeadline 10\nk 0\nprocess a wcet 5\n";
         assert!(parse_spec(text).is_ok());
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_formatting_but_not_semantics() {
+        let base = parse_spec(FIG5_SPEC).unwrap();
+        // Reformatted: extra comments, blank lines, shuffled option-free
+        // whitespace. Same parsed system.
+        let reformatted = FIG5_SPEC.replace("k 2", "k 2   # two transient faults\n\n# pad");
+        assert_eq!(base.canonical_bytes(), parse_spec(&reformatted).unwrap().canonical_bytes());
+
+        // Any semantic change must change the encoding.
+        let variants = [
+            FIG5_SPEC.replace("k 2", "k 1"),
+            FIG5_SPEC.replace("deadline 400", "deadline 401"),
+            FIG5_SPEC.replace("strategy mxr", "strategy sfx"),
+            FIG5_SPEC.replace("process P4 wcet 30 30", "process P4 wcet 30 31"),
+            FIG5_SPEC.replace("frozen process P3\n", ""),
+            FIG5_SPEC.replace("slot 8", "slot 9"),
+            FIG5_SPEC.replace("message m0 P1 P2 1", "message m0 P1 P2 2"),
+            FIG5_SPEC.replace("P2", "Q2"),
+        ];
+        for (i, text) in variants.iter().enumerate() {
+            let spec = parse_spec(text).unwrap();
+            assert_ne!(base.canonical_bytes(), spec.canonical_bytes(), "variant {i}");
+        }
+        // The encoding is deterministic.
+        assert_eq!(base.canonical_bytes(), parse_spec(FIG5_SPEC).unwrap().canonical_bytes());
     }
 
     #[test]

@@ -76,4 +76,6 @@ pub use portfolio::{
     default_portfolio, explore, EngineKind, Exploration, ExploreError, PortfolioConfig, WorkerSpec,
 };
 pub use report::{suite_to_csv, suite_to_json};
-pub use suite::{paper_grid, run_suite, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome};
+pub use suite::{
+    paper_grid, run_suite, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome, VerifyConfig,
+};

@@ -1,21 +1,34 @@
 //! Flat-file reports of a suite sweep: CSV for spreadsheets/plots, JSON
-//! for downstream tooling. Hand-rolled (the workspace is dependency-free
-//! by necessity); every emitted value is numeric, boolean or a
-//! `[a-z0-9_]` label, so no escaping is required.
+//! for downstream tooling (including the `ftes-serve` HTTP service, which
+//! returns [`suite_to_json`] bodies verbatim). JSON goes through the shared
+//! escaping-aware writer in [`ftes_model::json`], so labels and names need
+//! no character-set convention; both formats are byte-deterministic for
+//! equal outcomes (wall-clock fields excepted).
 
 use crate::suite::SuiteOutcome;
+use ftes_model::json::JsonWriter;
 use std::fmt::Write;
+
+/// Renders `verified` for CSV: `true` / `false`, or `-` when verification
+/// was off or the point ran estimate-only.
+fn verified_csv(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "true",
+        Some(false) => "false",
+        None => "-",
+    }
+}
 
 /// Renders a suite outcome as CSV (header + one row per grid point).
 pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::from(
         "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
-         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,wall_ms\n",
+         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,wall_ms\n",
     );
     for p in &outcome.points {
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{}",
+            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{}",
             p.point.processes,
             p.point.nodes,
             p.point.k,
@@ -29,6 +42,7 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
             p.cache.hits,
             p.cache.misses,
             p.cache.hit_rate(),
+            verified_csv(p.verified),
             p.wall.as_millis(),
         )
         .expect("writing to String cannot fail");
@@ -36,102 +50,145 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
     out
 }
 
-/// Renders a suite outcome as a JSON document with a `points` array, each
-/// point carrying its Pareto front, and sweep-level totals.
+/// Renders a suite outcome as a compact JSON document with a `points`
+/// array, each point carrying its Pareto front and verification verdict,
+/// plus sweep-level totals.
 pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
-    let mut out = String::from("{\n  \"points\": [");
-    for (i, p) in outcome.points.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("points");
+    w.begin_array();
+    for p in &outcome.points {
+        w.begin_object();
+        w.key("label");
+        w.string(&p.point.label());
+        w.key("processes");
+        w.number_usize(p.point.processes);
+        w.key("nodes");
+        w.number_usize(p.point.nodes);
+        w.key("k");
+        w.number_u64(p.point.k as u64);
+        w.key("seed");
+        w.number_u64(p.point.seed);
+        w.key("fault_free");
+        w.number_i64(p.fault_free.units());
+        w.key("worst_case");
+        w.number_i64(p.worst_case.units());
+        w.key("deadline");
+        w.number_i64(p.deadline.units());
+        w.key("schedulable");
+        w.bool(p.schedulable);
+        w.key("slack_pct");
+        w.number_f64(p.slack_pct, 2);
+        w.key("verified");
+        match p.verified {
+            Some(v) => w.bool(v),
+            None => w.null(),
         }
-        write!(
-            out,
-            "\n    {{\"label\": \"{}\", \"processes\": {}, \"nodes\": {}, \"k\": {}, \
-             \"seed\": {}, \"fault_free\": {}, \"worst_case\": {}, \"deadline\": {}, \
-             \"schedulable\": {}, \"slack_pct\": {:.2}, \"cache\": {{\"hits\": {}, \
-             \"misses\": {}, \"entries\": {}}}, \"wall_ms\": {}, \"pareto\": [",
-            p.point.label(),
-            p.point.processes,
-            p.point.nodes,
-            p.point.k,
-            p.point.seed,
-            p.fault_free.units(),
-            p.worst_case.units(),
-            p.deadline.units(),
-            p.schedulable,
-            p.slack_pct,
-            p.cache.hits,
-            p.cache.misses,
-            p.cache.entries,
-            p.wall.as_millis(),
-        )
-        .expect("writing to String cannot fail");
-        for (j, e) in p.archive.entries().iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            write!(
-                out,
-                "{{\"worst_case\": {}, \"recovery_slack\": {}, \"table_cost\": {}}}",
-                e.objectives.worst_case.units(),
-                e.objectives.recovery_slack.units(),
-                e.objectives.table_cost,
-            )
-            .expect("writing to String cannot fail");
+        w.key("cache");
+        w.begin_object();
+        w.key("hits");
+        w.number_u64(p.cache.hits);
+        w.key("misses");
+        w.number_u64(p.cache.misses);
+        w.key("entries");
+        w.number_usize(p.cache.entries);
+        w.end_object();
+        w.key("wall_ms");
+        w.number_u64(p.wall.as_millis() as u64);
+        w.key("pareto");
+        w.begin_array();
+        for e in p.archive.entries() {
+            w.begin_object();
+            w.key("worst_case");
+            w.number_i64(e.objectives.worst_case.units());
+            w.key("recovery_slack");
+            w.number_i64(e.objectives.recovery_slack.units());
+            w.key("table_cost");
+            w.number_u64(e.objectives.table_cost);
+            w.end_object();
         }
-        out.push_str("]}");
+        w.end_array();
+        w.end_object();
     }
+    w.end_array();
     let totals = outcome.total_cache();
-    write!(
-        out,
-        "\n  ],\n  \"total_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \
-         \"wall_ms\": {}\n}}\n",
-        totals.hits,
-        totals.misses,
-        totals.hit_rate(),
-        outcome.wall.as_millis(),
-    )
-    .expect("writing to String cannot fail");
+    w.key("total_cache");
+    w.begin_object();
+    w.key("hits");
+    w.number_u64(totals.hits);
+    w.key("misses");
+    w.number_u64(totals.misses);
+    w.key("hit_rate");
+    w.number_f64(totals.hit_rate(), 4);
+    w.end_object();
+    w.key("wall_ms");
+    w.number_u64(outcome.wall.as_millis() as u64);
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suite::{run_suite, ScenarioPoint, SuiteConfig};
+    use crate::suite::{run_suite, ScenarioPoint, SuiteConfig, VerifyConfig};
     use crate::PortfolioConfig;
     use ftes_model::Time;
 
-    fn outcome() -> SuiteOutcome {
+    fn outcome(verify: bool) -> SuiteOutcome {
         run_suite(&SuiteConfig {
             points: vec![ScenarioPoint { processes: 8, nodes: 2, k: 1, seed: 0 }],
             portfolio: PortfolioConfig::quick(1),
             point_parallelism: 1,
             slot: Time::new(8),
+            verify: verify.then(|| VerifyConfig { samples: 8, ..VerifyConfig::default() }),
         })
         .unwrap()
     }
 
     #[test]
     fn csv_has_header_and_one_row_per_point() {
-        let csv = suite_to_csv(&outcome());
+        let csv = suite_to_csv(&outcome(false));
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("processes,nodes,k,seed"));
+        assert!(lines[0].contains(",verified,"));
         assert!(lines[1].starts_with("8,2,1,0,"));
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        // Verification off: the verified column renders as `-`.
+        assert_eq!(lines[1].split(',').nth(13), Some("-"));
+    }
+
+    #[test]
+    fn csv_verified_column_carries_the_verdict() {
+        let csv = suite_to_csv(&outcome(true));
+        let row = csv.trim_end().lines().nth(1).unwrap();
+        let verdict = row.split(',').nth(13).unwrap();
+        assert!(verdict == "true" || verdict == "false", "{row}");
     }
 
     #[test]
     fn json_is_well_formed_enough() {
-        let json = suite_to_json(&outcome());
+        let json = suite_to_json(&outcome(false));
         // Cheap structural checks (no JSON parser in the workspace).
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"label\"").count(), 1);
-        assert!(json.contains("\"pareto\": ["));
+        assert!(json.contains("\"pareto\":["));
+        assert!(json.contains("\"verified\":null"));
         assert!(json.contains("\"total_cache\""));
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_verified_field_carries_the_verdict() {
+        let json = suite_to_json(&outcome(true));
+        assert!(
+            json.contains("\"verified\":true") || json.contains("\"verified\":false"),
+            "{json}"
+        );
     }
 }

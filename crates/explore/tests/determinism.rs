@@ -24,6 +24,7 @@ fn suite(point_parallelism: usize, threads: usize, seed: u64) -> SuiteConfig {
         portfolio: PortfolioConfig { threads, ..PortfolioConfig::quick(seed) },
         point_parallelism,
         slot: Time::new(8),
+        verify: None,
     }
 }
 
@@ -103,6 +104,7 @@ fn paper_grid_end_to_end_smoke() {
         },
         point_parallelism: 1,
         slot: Time::new(8),
+        verify: None,
     };
     let outcome = run_suite(&config).unwrap();
     assert_eq!(outcome.points.len(), 1);

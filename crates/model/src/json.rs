@@ -1,0 +1,297 @@
+//! Dependency-free JSON emission with correct string escaping.
+//!
+//! The workspace hand-rolls its machine-readable output (no crates.io
+//! access), and until now every emitter leaned on a "labels are `[a-z0-9_]`
+//! by convention" assumption instead of escaping. This module replaces that
+//! convention with an actual escape function and a small streaming
+//! [`JsonWriter`] shared by `ftes-explore`'s suite reports and the
+//! `ftes-serve` HTTP service, whose responses embed arbitrary user-supplied
+//! process names and error messages.
+//!
+//! The writer emits compact JSON (no insignificant whitespace) so equal
+//! data renders to byte-identical documents — the property the service's
+//! result cache and determinism tests rely on. Floating-point values are
+//! written with an explicit fixed number of decimals for the same reason.
+//!
+//! ```
+//! use ftes_model::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("name");
+//! w.string("P1 \"primary\"");
+//! w.key("wcet");
+//! w.number_i64(30);
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"P1 \"primary\"","wcet":30}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters; everything else passes through verbatim, UTF-8 is
+/// preserved).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` escaped for inclusion inside a JSON string literal (without
+/// the surrounding quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// One open container on the writer's stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    is_object: bool,
+    items: usize,
+    key_pending: bool,
+}
+
+/// A streaming writer for compact JSON documents.
+///
+/// Commas and `key:value` separators are inserted automatically; misuse
+/// (a value in an object position without a [`key`](JsonWriter::key), or
+/// unbalanced `begin`/`end` calls) panics — emitters are internal, so a
+/// malformed document is a programming error, not an input error.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Frame>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Bookkeeping common to every value position: comma separation inside
+    /// arrays, key consumption inside objects.
+    fn before_value(&mut self) {
+        let mut needs_comma = false;
+        if let Some(frame) = self.stack.last_mut() {
+            if frame.is_object {
+                assert!(frame.key_pending, "object member written without a key");
+                frame.key_pending = false;
+            } else {
+                needs_comma = frame.items > 0;
+                frame.items += 1;
+            }
+        }
+        if needs_comma {
+            self.buf.push(',');
+        }
+    }
+
+    /// Writes an object member key (must be inside an object).
+    pub fn key(&mut self, key: &str) {
+        let frame = self.stack.last_mut().expect("key outside any container");
+        assert!(frame.is_object, "key inside an array");
+        assert!(!frame.key_pending, "two keys in a row");
+        let needs_comma = frame.items > 0;
+        frame.items += 1;
+        frame.key_pending = true;
+        if needs_comma {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.stack.push(Frame { is_object: true, items: 0, key_pending: false });
+        self.buf.push('{');
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        let frame = self.stack.pop().expect("end_object without begin_object");
+        assert!(frame.is_object && !frame.key_pending, "unbalanced object");
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.stack.push(Frame { is_object: false, items: 0, key_pending: false });
+        self.buf.push('[');
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        let frame = self.stack.pop().expect("end_array without begin_array");
+        assert!(!frame.is_object, "unbalanced array");
+        self.buf.push(']');
+    }
+
+    /// Writes an escaped string value.
+    pub fn string(&mut self, value: &str) {
+        self.before_value();
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// Writes a signed integer value.
+    pub fn number_i64(&mut self, value: i64) {
+        self.before_value();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn number_u64(&mut self, value: u64) {
+        self.before_value();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Writes a usize value.
+    pub fn number_usize(&mut self, value: usize) {
+        self.before_value();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Writes a float with a fixed number of decimals (deterministic,
+    /// locale-independent rendering; NaN/infinities become `null`, which
+    /// plain `{:.n}` formatting would render as invalid JSON).
+    pub fn number_f64(&mut self, value: f64, decimals: usize) {
+        self.before_value();
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.decimals$}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, value: bool) {
+        self.before_value();
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes a JSON `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.buf.push_str("null");
+    }
+
+    /// Writes a pre-rendered JSON fragment verbatim (caller guarantees it
+    /// is itself valid JSON — used to splice cached sub-documents).
+    pub fn raw(&mut self, fragment: &str) {
+        self.before_value();
+        self.buf.push_str(fragment);
+    }
+
+    /// Finishes the document and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if containers are still open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed containers at finish");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escaped("plain_label"), "plain_label");
+        assert_eq!(escaped(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escaped(r"a\b"), r"a\\b");
+        assert_eq!(escaped("a\nb\tc\r"), r"a\nb\tc\r");
+        assert_eq!(escaped("\u{08}\u{0C}"), r"\b\f");
+        assert_eq!(escaped("\u{01}"), "\\u0001");
+        assert_eq!(escaped("héllo ⏱"), "héllo ⏱");
+    }
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("points");
+        w.begin_array();
+        for i in 0..2 {
+            w.begin_object();
+            w.key("i");
+            w.number_usize(i);
+            w.key("ok");
+            w.bool(i == 0);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("rate");
+        w.number_f64(0.5, 4);
+        w.key("none");
+        w.null();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"points":[{"i":0,"ok":true},{"i":1,"ok":false}],"rate":0.5000,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn top_level_scalars_and_raw_fragments() {
+        let mut w = JsonWriter::new();
+        w.string("just a string");
+        assert_eq!(w.finish(), r#""just a string""#);
+
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.raw("{\"cached\":1}");
+        w.number_i64(-3);
+        w.end_array();
+        assert_eq!(w.finish(), r#"[{"cached":1},-3]"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number_f64(f64::NAN, 2);
+        w.number_f64(f64::INFINITY, 2);
+        w.number_f64(1.0 / 3.0, 2);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,0.33]");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a key")]
+    fn object_value_without_key_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.number_i64(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_container_panics_at_finish() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

@@ -41,6 +41,7 @@ pub mod dot;
 mod error;
 mod fault;
 mod ids;
+pub mod json;
 mod mapping;
 mod merge;
 pub mod samples;

@@ -1,0 +1,488 @@
+//! Endpoint handlers: routing, request-body parsing and deterministic JSON
+//! rendering.
+//!
+//! Every body a handler renders is a pure function of the parsed request —
+//! no timestamps, no host state — which is what lets the result cache
+//! replay bodies byte-identically and the determinism tests diff
+//! concurrent responses. (`/healthz` and `/metrics` report live state and
+//! are never cached.)
+
+use crate::cache::{CacheKey, Lookup};
+use crate::http::{error_body, Request};
+use crate::metrics::Endpoint;
+use crate::server::Shared;
+use ftes::explore::{
+    paper_grid, run_suite, suite_to_json, EngineKind, PortfolioConfig, ScenarioPoint, SuiteConfig,
+    VerifyConfig,
+};
+use ftes::json::JsonWriter;
+use ftes::model::Time;
+use ftes::sched::export::tables_to_csv;
+use ftes::spec::{parse_spec, SystemSpec};
+use ftes::{synthesize_system, FlowConfig, SystemConfiguration};
+use std::sync::Arc;
+
+/// A handler's verdict: status code plus rendered JSON body.
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (shared so cached bodies are not copied per request).
+    pub body: Arc<String>,
+}
+
+impl Reply {
+    fn new(status: u16, body: String) -> Self {
+        Reply { status, body: Arc::new(body) }
+    }
+
+    fn err(status: u16, message: &str) -> Self {
+        Reply::new(status, error_body(status, message))
+    }
+}
+
+/// Routes one parsed request to its handler.
+pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/synthesize") => (Endpoint::Synthesize, synthesize(shared, &req.body)),
+        ("POST", "/explore") => (Endpoint::Explore, explore(shared, &req.body)),
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(shared)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics(shared)),
+        (_, "/synthesize" | "/explore" | "/healthz" | "/metrics") => {
+            (Endpoint::Other, Reply::err(405, "method not allowed"))
+        }
+        _ => (Endpoint::Other, Reply::err(404, "no such endpoint")),
+    }
+}
+
+/// `POST /synthesize`: body is a `.ftes` document; the reply carries the
+/// schedule summary, the policy assignment and (when the FT-CPG fits the
+/// size budget) the exact schedule tables as CSV — byte-identical to the
+/// `ftes <spec> --csv` CLI output for the same spec.
+fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::err(400, "body is not UTF-8");
+    };
+    let spec = match parse_spec(text) {
+        Ok(spec) => spec,
+        Err(e) => return Reply::err(400, &format!("spec: {e}")),
+    };
+    let key = CacheKey::new("synthesize/v1", &spec.canonical_bytes());
+    // Single-flight: concurrent requests for the same (equivalent) spec
+    // wait for one synthesis instead of each running their own.
+    let guard = match shared.cache.lookup(&key) {
+        Lookup::Hit(status, body) => return Reply { status, body },
+        Lookup::Miss(guard) => guard,
+    };
+    let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
+    let reply = match synthesize_system(
+        &spec.app,
+        &spec.platform,
+        spec.fault_model,
+        &spec.transparency,
+        config,
+    ) {
+        Ok(psi) => Reply { status: 200, body: Arc::new(render_synthesis(&spec, &psi)) },
+        // A 422 is as deterministic as a success: cache it so a repeated
+        // expensive-but-infeasible spec is not a work-amplification vector.
+        Err(e) => Reply::err(422, &format!("synthesis: {e}")),
+    };
+    guard.complete(reply.status, Arc::clone(&reply.body));
+    reply
+}
+
+/// Renders the `/synthesize` response body.
+fn render_synthesis(spec: &SystemSpec, psi: &SystemConfiguration) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("strategy");
+    w.string(&spec.strategy.to_string());
+    w.key("k");
+    w.number_u64(spec.fault_model.k() as u64);
+    w.key("processes");
+    w.number_usize(spec.app.process_count());
+    w.key("nodes");
+    w.number_usize(spec.platform.architecture().node_count());
+    w.key("schedulable");
+    w.bool(psi.schedulable);
+    w.key("deadline");
+    w.number_i64(spec.app.deadline().units());
+    w.key("worst_case");
+    w.number_i64(psi.worst_case_length().units());
+    w.key("fault_free");
+    w.number_i64(psi.estimate.fault_free_length.units());
+    w.key("estimated_worst_case");
+    w.number_i64(psi.estimate.worst_case_length.units());
+    w.key("recovery_slack");
+    w.number_i64(psi.estimate.recovery_slack().units());
+    let fault_free = psi.estimate.fault_free_length;
+    w.key("slack_pct");
+    if fault_free > Time::ZERO {
+        w.number_f64(100.0 * psi.estimate.recovery_slack().as_f64() / fault_free.as_f64(), 2);
+    } else {
+        w.number_f64(0.0, 2);
+    }
+    w.key("policies");
+    w.begin_array();
+    for (pid, policy) in psi.policies.iter() {
+        w.begin_object();
+        w.key("process");
+        w.string(spec.app.process(pid).name());
+        w.key("policy");
+        w.string(&format!("{:?}", policy.kind()));
+        w.key("node");
+        w.number_usize(psi.mapping.node_of(pid).index());
+        w.key("replicas");
+        w.number_u64(policy.replica_count() as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("exact");
+    w.bool(psi.exact.is_some());
+    match psi.exact.as_ref() {
+        Some(exact) => {
+            w.key("table_entries");
+            w.number_usize(exact.tables.entry_count());
+            w.key("tables_csv");
+            w.string(&tables_to_csv(&exact.tables, &exact.cpg));
+        }
+        None => {
+            w.key("table_entries");
+            w.number_usize(0);
+            w.key("tables_csv");
+            w.null();
+        }
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// `POST /explore`: body is a whitespace-separated `key=value` list (see
+/// [`parse_explore_request`]); the reply is the `ftes-explore` suite JSON
+/// report, identical to `ftes explore --json` for the same parameters.
+fn explore(shared: &Shared, body: &[u8]) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::err(400, "body is not UTF-8");
+    };
+    let config = match parse_explore_request(text) {
+        Ok(config) => config,
+        Err(msg) => return Reply::err(400, &msg),
+    };
+    let key = CacheKey::new("explore/v1", &canonical_explore_bytes(&config));
+    let guard = match shared.cache.lookup(&key) {
+        Lookup::Hit(status, body) => return Reply { status, body },
+        Lookup::Miss(guard) => guard,
+    };
+    let reply = match run_suite(&config) {
+        Ok(outcome) => Reply { status: 200, body: Arc::new(suite_to_json(&outcome)) },
+        // Deterministic failure: cache it (see the synthesize handler).
+        Err(e) => Reply::err(422, &format!("explore: {e}")),
+    };
+    guard.complete(reply.status, Arc::clone(&reply.body));
+    reply
+}
+
+/// Upper bounds on client-controlled `/explore` parameters. The CLI
+/// trusts its operator with these knobs; the service must not — an
+/// unclamped `seeds` or `threads` lets one small request allocate or
+/// spawn without limit. The caps comfortably cover the paper grid
+/// (100 processes, 6 nodes, k = 7).
+mod limits {
+    pub const PROCESSES: u64 = 200;
+    pub const NODES: u64 = 16;
+    pub const K: u64 = 16;
+    pub const SEEDS: u64 = 64;
+    pub const ROUNDS: u64 = 64;
+    pub const ITERS: u64 = 1_000;
+    /// `run_suite` divides the thread budget across concurrent points
+    /// (`threads / point_par` each), so one request's peak OS-thread count
+    /// is ≈ `POINT_PAR + THREADS`; with a full worker pool the host sees
+    /// at most `workers ×` that, which these caps keep modest.
+    pub const THREADS: u64 = 32;
+    pub const POINT_PAR: u64 = 16;
+    /// Aggregate ceiling: Σ(point processes) × rounds × iters. Per-knob
+    /// caps alone still admit hour-scale products (64 seeds × 64 rounds ×
+    /// 1000 iters); this bounds the whole job. The default paper grid
+    /// costs 36 000 units, so the budget leaves two orders of magnitude
+    /// of headroom for legitimate sweeps.
+    pub const WORK_BUDGET: u64 = 5_000_000;
+}
+
+/// Parses an `/explore` request body: whitespace-separated `key=value`
+/// tokens mirroring the `ftes explore` flags (`grid=paper` or
+/// `processes=N nodes=N k=K`, plus `seeds`, `seed`, `rounds`, `iters`,
+/// `threads`, `point_par`, `verify=true`). Work-scaling parameters are
+/// bounded (see `limits`); out-of-range values are a client error, not a
+/// clamp, so cache keys never alias different requested configurations.
+pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
+    let mut processes: Option<usize> = None;
+    let mut nodes: Option<usize> = None;
+    let mut k: Option<u32> = None;
+    let mut seeds: u64 = 1;
+    let mut grid_paper = false;
+    let mut portfolio = PortfolioConfig::default();
+    let mut point_parallelism = 1usize;
+    let mut verify = None;
+
+    for token in text.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("expected key=value, got `{token}`"));
+        };
+        let bounded = |max: u64| -> Result<u64, String> {
+            let n: u64 = value.parse().map_err(|_| format!("bad number `{value}` for {key}"))?;
+            if n > max {
+                return Err(format!("{key}={n} exceeds the service limit of {max}"));
+            }
+            Ok(n)
+        };
+        match key {
+            "grid" => {
+                if value != "paper" {
+                    return Err(format!("unknown grid `{value}` (only `paper`)"));
+                }
+                grid_paper = true;
+            }
+            "processes" => processes = Some(bounded(limits::PROCESSES)? as usize),
+            "nodes" => nodes = Some(bounded(limits::NODES)? as usize),
+            "k" => k = Some(bounded(limits::K)? as u32),
+            "seeds" => seeds = bounded(limits::SEEDS)?.max(1),
+            "seed" => {
+                // The PRNG seed scales no work; any u64 is fine.
+                portfolio.seed =
+                    value.parse().map_err(|_| format!("bad number `{value}` for {key}"))?;
+            }
+            "threads" => portfolio.threads = (bounded(limits::THREADS)? as usize).max(1),
+            "point_par" => point_parallelism = (bounded(limits::POINT_PAR)? as usize).max(1),
+            "rounds" => portfolio.rounds = (bounded(limits::ROUNDS)? as usize).max(1),
+            "iters" => portfolio.iterations_per_round = (bounded(limits::ITERS)? as usize).max(1),
+            "verify" => {
+                verify = match value {
+                    "true" => Some(VerifyConfig::default()),
+                    "false" => None,
+                    other => return Err(format!("bad bool `{other}` for verify")),
+                }
+            }
+            other => return Err(format!("unknown explore parameter `{other}`")),
+        }
+    }
+
+    let custom = processes.is_some() || nodes.is_some() || k.is_some();
+    if grid_paper && custom {
+        return Err("grid=paper conflicts with processes/nodes/k".into());
+    }
+    let points = if custom {
+        let processes = processes.ok_or("processes is required for a custom point")?;
+        let nodes = nodes.ok_or("nodes is required for a custom point")?;
+        let k = k.ok_or("k is required for a custom point")?;
+        (0..seeds).map(|seed| ScenarioPoint { processes, nodes, k, seed }).collect()
+    } else {
+        paper_grid(seeds)
+    };
+    let work = points.iter().map(|p| p.processes as u64).sum::<u64>()
+        * portfolio.rounds as u64
+        * portfolio.iterations_per_round as u64;
+    if work > limits::WORK_BUDGET {
+        return Err(format!(
+            "request expands to {work} process-iterations, over the service budget of {} \
+             — reduce seeds, rounds or iters",
+            limits::WORK_BUDGET
+        ));
+    }
+    Ok(SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify })
+}
+
+/// Canonical encoding of the *semantic* suite parameters. `threads` and
+/// `point_parallelism` are deliberately excluded: the explore determinism
+/// contract guarantees they cannot change results, so requests differing
+/// only in parallelism share one cache entry.
+pub fn canonical_explore_bytes(config: &SuiteConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 32 * config.points.len());
+    out.extend_from_slice(b"ftes-explore-v1");
+    let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    push_u64(&mut out, config.points.len() as u64);
+    for p in &config.points {
+        push_u64(&mut out, p.processes as u64);
+        push_u64(&mut out, p.nodes as u64);
+        push_u64(&mut out, p.k as u64);
+        push_u64(&mut out, p.seed);
+    }
+    push_u64(&mut out, config.slot.units() as u64);
+    push_u64(&mut out, config.portfolio.seed);
+    push_u64(&mut out, config.portfolio.rounds as u64);
+    push_u64(&mut out, config.portfolio.iterations_per_round as u64);
+    push_u64(&mut out, config.portfolio.max_checkpoints as u64);
+    push_u64(&mut out, config.portfolio.workers.len() as u64);
+    for worker in &config.portfolio.workers {
+        let engine = match worker.engine {
+            EngineKind::Tabu => 0u64,
+            EngineKind::Anneal => 1,
+            EngineKind::Greedy => 2,
+        };
+        push_u64(&mut out, engine);
+        push_u64(&mut out, worker.seed_offset);
+        push_u64(&mut out, worker.neighborhood as u64);
+        push_u64(&mut out, worker.tenure as u64);
+    }
+    match &config.verify {
+        None => out.push(0),
+        Some(vc) => {
+            out.push(1);
+            push_u64(&mut out, vc.samples as u64);
+            push_u64(&mut out, vc.seed);
+        }
+    }
+    out
+}
+
+/// `GET /healthz`: liveness plus basic capacity facts (never cached).
+fn healthz(shared: &Shared) -> Reply {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("status");
+    w.string("ok");
+    w.key("workers");
+    w.number_usize(shared.workers);
+    w.key("queue_capacity");
+    w.number_usize(shared.queue.capacity());
+    w.key("queue_depth");
+    w.number_usize(shared.queue.depth());
+    w.end_object();
+    Reply::new(200, w.finish())
+}
+
+/// `GET /metrics`: request counters, cache accounting, queue depth and
+/// latency percentiles (never cached).
+fn metrics(shared: &Shared) -> Reply {
+    let snap = shared.metrics.snapshot();
+    let cache = shared.cache.stats();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("requests_total");
+    w.number_u64(snap.requests_total());
+    w.key("requests_by_endpoint");
+    w.begin_object();
+    for (label, count) in snap.requests_by_endpoint {
+        w.key(label);
+        w.number_u64(count);
+    }
+    w.end_object();
+    w.key("responses");
+    w.begin_object();
+    w.key("ok_2xx");
+    w.number_u64(snap.status_2xx);
+    w.key("client_error_4xx");
+    w.number_u64(snap.status_4xx);
+    w.key("server_error_5xx");
+    w.number_u64(snap.status_5xx);
+    w.key("rejected_429");
+    w.number_u64(snap.rejected_429);
+    w.end_object();
+    w.key("cache");
+    w.begin_object();
+    w.key("hits");
+    w.number_u64(cache.hits);
+    w.key("misses");
+    w.number_u64(cache.misses);
+    w.key("entries");
+    w.number_usize(cache.entries);
+    w.key("hit_rate");
+    w.number_f64(cache.hit_rate(), 4);
+    w.end_object();
+    w.key("queue_depth");
+    w.number_usize(shared.queue.depth());
+    w.key("latency_us");
+    w.begin_object();
+    w.key("p50");
+    w.number_u64(snap.p50_us);
+    w.key("p99");
+    w.number_u64(snap.p99_us);
+    w.end_object();
+    w.end_object();
+    Reply::new(200, w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_body_parsing_mirrors_the_cli() {
+        let config = parse_explore_request(
+            "processes=12 nodes=3 k=2 seeds=2 seed=9 rounds=3 iters=5 verify=true",
+        )
+        .unwrap();
+        assert_eq!(config.points.len(), 2);
+        assert!(config.points.iter().all(|p| p.processes == 12 && p.nodes == 3 && p.k == 2));
+        assert_eq!(config.portfolio.seed, 9);
+        assert_eq!(config.portfolio.rounds, 3);
+        assert_eq!(config.portfolio.iterations_per_round, 5);
+        assert!(config.verify.is_some());
+
+        let default = parse_explore_request("").unwrap();
+        assert_eq!(default.points.len(), 5, "empty body = the paper grid");
+    }
+
+    #[test]
+    fn explore_body_errors_are_reported() {
+        for bad in [
+            "processes",
+            "processes=ten",
+            "grid=fig9",
+            "grid=paper processes=10",
+            "processes=10 nodes=2",
+            "verify=maybe",
+            "bogus=1",
+        ] {
+            assert!(parse_explore_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn work_scaling_parameters_are_bounded() {
+        // One small request must not be able to allocate or spawn without
+        // limit: out-of-range values are rejected, not clamped.
+        for bad in [
+            "processes=10 nodes=2 k=1 seeds=18446744073709551615",
+            "processes=10 nodes=2 k=1 threads=1000000",
+            "processes=10 nodes=2 k=1 rounds=1000000000",
+            "processes=10 nodes=2 k=1 iters=1000000000",
+            "processes=1000 nodes=2 k=1",
+            "processes=10 nodes=999 k=1",
+            "processes=10 nodes=2 k=999",
+            "processes=10 nodes=2 k=1 point_par=1000000",
+        ] {
+            let err = parse_explore_request(bad).unwrap_err();
+            assert!(err.contains("limit") || err.contains("bad number"), "{bad}: {err}");
+        }
+        // Each knob in range, but the product is hour-scale work: the
+        // aggregate budget rejects it.
+        let err = parse_explore_request("grid=paper seeds=64 rounds=64 iters=1000").unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+        // The paper grid itself stays comfortably inside the caps.
+        assert!(parse_explore_request("grid=paper seeds=5").is_ok());
+        assert!(
+            parse_explore_request("processes=100 nodes=6 k=7 seed=18446744073709551615").is_ok()
+        );
+    }
+
+    #[test]
+    fn canonical_explore_bytes_ignore_parallelism_only() {
+        let a = parse_explore_request("processes=10 nodes=2 k=1 threads=1").unwrap();
+        let b = parse_explore_request("processes=10 nodes=2 k=1 threads=8 point_par=4").unwrap();
+        assert_eq!(canonical_explore_bytes(&a), canonical_explore_bytes(&b));
+
+        for different in [
+            "processes=11 nodes=2 k=1",
+            "processes=10 nodes=3 k=1",
+            "processes=10 nodes=2 k=2",
+            "processes=10 nodes=2 k=1 seed=2",
+            "processes=10 nodes=2 k=1 rounds=9",
+            "processes=10 nodes=2 k=1 iters=9",
+            "processes=10 nodes=2 k=1 seeds=2",
+            "processes=10 nodes=2 k=1 verify=true",
+            "grid=paper",
+        ] {
+            let c = parse_explore_request(different).unwrap();
+            assert_ne!(canonical_explore_bytes(&a), canonical_explore_bytes(&c), "{different}");
+        }
+    }
+}

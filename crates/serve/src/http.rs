@@ -1,0 +1,313 @@
+//! A deliberately small HTTP/1.1 subset: exactly what the synthesis
+//! service and its load harness need, hand-rolled over `std::io` (the
+//! workspace is dependency-free by necessity).
+//!
+//! Supported: request line + headers + `Content-Length` bodies, one
+//! request per connection (`Connection: close` on every response).
+//! Unsupported on purpose: keep-alive, chunked encoding, TLS, HTTP/2 —
+//! the service's unit of work is a whole synthesis run, so per-request
+//! connection overhead is noise.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request-body size (`.ftes` specs are small; a megabyte
+/// is three orders of magnitude above the largest spec in the repo).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string included verbatim, if any).
+    pub path: String,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+/// A request that could not be read; maps onto a 4xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or premature end of stream.
+    BadRequest(String),
+    /// A body-carrying method arrived without `Content-Length`.
+    LengthRequired,
+    /// Head or body exceeded the hard limits.
+    PayloadTooLarge,
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::PayloadTooLarge => 413,
+        }
+    }
+
+    /// Human-readable description for the JSON error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(msg) => msg.clone(),
+            HttpError::LengthRequired => "POST requires Content-Length".into(),
+            HttpError::PayloadTooLarge => "request exceeds size limits".into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] for malformed input; IO failures (including read
+/// timeouts and clients that disconnected without sending anything)
+/// surface as `Ok(None)`-like `io::Error`s to the caller, which just drops
+/// the connection.
+pub fn read_request<R: Read>(stream: R) -> Result<Result<Request, HttpError>, std::io::Error> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+
+    let line = match read_line_limited(&mut reader, MAX_HEAD_BYTES)? {
+        Ok(line) if line.is_empty() => {
+            // Client connected and closed without sending anything — a
+            // port scan or TCP health probe, not a client error. Surface
+            // it as an IO error so the server drops the connection
+            // silently instead of polluting the 4xx metrics.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a request",
+            ));
+        }
+        Ok(line) => line,
+        Err(e) => return Ok(Err(e)),
+    };
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Ok(Err(HttpError::BadRequest("malformed request line".into()))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(HttpError::BadRequest(format!("unsupported version `{version}`"))));
+    }
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = match read_line_limited(&mut reader, MAX_HEAD_BYTES - head_bytes)? {
+            Ok(line) if line.is_empty() => {
+                return Ok(Err(HttpError::BadRequest("unexpected end of headers".into())));
+            }
+            Ok(line) => line,
+            Err(e) => return Ok(Err(e)),
+        };
+        head_bytes += line.len();
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(Err(HttpError::BadRequest(format!("malformed header `{trimmed}`"))));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = Some(n),
+                Err(_) => {
+                    return Ok(Err(HttpError::BadRequest("bad Content-Length".into())));
+                }
+            }
+        }
+    }
+
+    let body = match (method.as_str(), content_length) {
+        ("POST" | "PUT" | "PATCH", None) => return Ok(Err(HttpError::LengthRequired)),
+        (_, None) => Vec::new(),
+        (_, Some(n)) if n > MAX_BODY_BYTES => return Ok(Err(HttpError::PayloadTooLarge)),
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+    Ok(Ok(Request { method, path, body }))
+}
+
+/// Reads one `\n`-terminated line, buffering at most `limit` bytes.
+///
+/// `BufRead::read_line` would buffer an arbitrarily long newline-free
+/// stream before any length check could run — a one-connection memory
+/// exhaustion vector — so this variant enforces the limit *while*
+/// consuming. An empty string means EOF before any byte.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> Result<Result<String, HttpError>, std::io::Error> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break; // EOF
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos + 1 > limit {
+                    return Ok(Err(HttpError::PayloadTooLarge));
+                }
+                line.extend_from_slice(&available[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = available.len();
+                if line.len() + n > limit {
+                    return Ok(Err(HttpError::PayloadTooLarge));
+                }
+                line.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+    match String::from_utf8(line) {
+        Ok(line) => Ok(Ok(line)),
+        Err(_) => Ok(Err(HttpError::BadRequest("request head is not UTF-8".into()))),
+    }
+}
+
+/// The standard reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response with a JSON body.
+pub fn write_response<W: Write>(
+    mut stream: W,
+    status: u16,
+    body: &str,
+) -> Result<(), std::io::Error> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Renders the canonical JSON error body for a status + message.
+pub fn error_body(status: u16, message: &str) -> String {
+    let mut w = ftes::json::JsonWriter::new();
+    w.begin_object();
+    w.key("error");
+    w.string(message);
+    w.key("status");
+    w.number_u64(status as u64);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes()).expect("in-memory reads cannot fail")
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/synthesize");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!((req.method.as_str(), req.path.as_str()), ("GET", "/healthz"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        assert_eq!(
+            parse("POST /synthesize HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::LengthRequired
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_400() {
+        assert_eq!(parse("NONSENSE\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse("GET / SPDY/3\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err().status(),
+            400
+        );
+    }
+
+    #[test]
+    fn newline_free_floods_are_cut_off_at_the_head_limit() {
+        // A client streaming an endless line must be stopped after
+        // MAX_HEAD_BYTES buffered bytes, not buffered indefinitely.
+        let flood = "a".repeat(4 * MAX_HEAD_BYTES);
+        assert_eq!(parse(&flood).unwrap_err(), HttpError::PayloadTooLarge);
+        let header_flood =
+            format!("GET / HTTP/1.1\r\nX-Huge: {}\r\n\r\n", "b".repeat(4 * MAX_HEAD_BYTES));
+        assert_eq!(parse(&header_flood).unwrap_err(), HttpError::PayloadTooLarge);
+    }
+
+    #[test]
+    fn bare_probe_connections_are_dropped_not_answered() {
+        // Connect-and-close without bytes (health probes, port scans) is
+        // an IO-level non-event: no response, no 4xx metrics noise.
+        let err = read_request(&b""[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn non_utf8_head_is_400() {
+        let raw: Vec<u8> = b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec();
+        let err = read_request(raw.as_slice()).unwrap().unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_payloads_are_413() {
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse(&huge).unwrap_err(), HttpError::PayloadTooLarge);
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            many_headers.push_str(&format!("X-Pad-{i}: aaaaaaaaaaaaaaaa\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert_eq!(parse(&many_headers).unwrap_err(), HttpError::PayloadTooLarge);
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &error_body(429, "queue full")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: "));
+        assert!(text.ends_with(r#"{"error":"queue full","status":429}"#));
+    }
+}

@@ -1,0 +1,67 @@
+//! # ftes-serve
+//!
+//! Synthesis-as-a-service: a resident, concurrent front end for the FTES
+//! synthesis flow. The CLI rebuilds all state per invocation; this crate
+//! keeps a process warm and amortizes results across requests — the
+//! service layer of the ROADMAP's "serves heavy traffic" north star.
+//!
+//! Everything is hand-rolled over `std` (the workspace is
+//! dependency-free by necessity): an HTTP/1.1 subset on
+//! `std::net::TcpListener`, an acceptor + worker thread pool, a bounded
+//! job queue whose overflow answers `429` instead of queueing unbounded
+//! latency, and a sharded LRU result cache keyed by a canonical hash of
+//! the *parsed* request — two differently-formatted but equivalent `.ftes`
+//! documents share one entry and receive byte-identical bodies.
+//!
+//! ## Endpoints
+//!
+//! | endpoint | body | reply |
+//! |----------|------|-------|
+//! | `POST /synthesize` | a `.ftes` document | schedule summary, policies, exact tables CSV |
+//! | `POST /explore` | `key=value` grid parameters | the `ftes-explore` suite JSON report |
+//! | `GET /healthz` | — | liveness + queue facts |
+//! | `GET /metrics` | — | request counts, cache hit rate, queue depth, p50/p99 latency |
+//!
+//! ## Determinism contract
+//!
+//! `/synthesize` and `/explore` bodies are pure functions of the parsed
+//! request: the same spec produces the same bytes whether computed by any
+//! worker thread or replayed from cache, and the embedded schedule tables
+//! are byte-identical to the `ftes <spec> --csv` CLI output
+//! (`tests/service.rs` locks both in).
+//!
+//! ## Example
+//!
+//! ```
+//! use ftes_serve::{start, LoadConfig, run_load, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = start(ServeConfig::default())?;
+//! let report = run_load(&LoadConfig {
+//!     requests: 4,
+//!     clients: 2,
+//!     ..LoadConfig::against(server.addr().to_string())
+//! })?;
+//! assert_eq!(report.failed, 0);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod handlers;
+pub mod http;
+mod load;
+mod metrics;
+mod queue;
+mod server;
+
+pub use cache::{CacheKey, FlightGuard, Lookup, ResultCache};
+pub use handlers::{canonical_explore_bytes, parse_explore_request};
+pub use load::{default_spec_mix, read_response, request, run_load, LoadConfig, LoadReport};
+pub use metrics::{Endpoint, Metrics, MetricsSnapshot};
+pub use queue::BoundedQueue;
+pub use server::{start, ServeConfig, Server, Shared};

@@ -1,0 +1,284 @@
+//! The load harness: a multi-threaded closed-loop client for the service.
+//!
+//! `clients` threads each own a deterministic slice of the request mix
+//! (request `i` goes to client `i % clients`, spec `i % specs.len()`), open
+//! one connection per request, and record status + latency. The default
+//! mix repeats two *equivalent* specs — the Fig. 5 document verbatim and a
+//! reformatted twin — so a healthy run both exercises concurrency and
+//! demonstrates canonical-key cache hits.
+
+use crate::http::reason_phrase;
+use ftes::spec::FIG5_SPEC;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Tunables of a load run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// The `.ftes` documents cycled through `POST /synthesize`.
+    pub specs: Vec<String>,
+    /// Per-request IO timeout.
+    pub timeout: Duration,
+}
+
+impl LoadConfig {
+    /// The default mix against `addr`: 8 clients, 50 requests, two
+    /// equivalent Fig. 5 specs (verbatim + reformatted) so repeated
+    /// requests hit the canonical-key cache.
+    pub fn against(addr: impl Into<String>) -> Self {
+        LoadConfig {
+            addr: addr.into(),
+            clients: 8,
+            requests: 50,
+            specs: default_spec_mix(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The built-in repeated-spec request mix (two equivalent documents).
+pub fn default_spec_mix() -> Vec<String> {
+    vec![
+        FIG5_SPEC.to_string(),
+        // Equivalent after parsing: comments and blank lines only.
+        format!("# reformatted twin of the Fig. 5 spec\n\n{FIG5_SPEC}\n# trailing comment\n"),
+    ]
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub sent: usize,
+    /// Responses with status 200.
+    pub ok: usize,
+    /// Everything else: non-200 statuses and transport failures.
+    pub failed: usize,
+    /// Count per received status code (0 = transport failure).
+    pub by_status: BTreeMap<u16, usize>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Median request latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.sent as f64 / secs
+    }
+
+    /// Human-readable summary (the `ftes load` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} requests in {:.2}s ({:.1} req/s): {} ok, {} failed",
+            self.sent,
+            self.wall.as_secs_f64(),
+            self.throughput_rps(),
+            self.ok,
+            self.failed,
+        );
+        for (&status, &count) in &self.by_status {
+            let reason = if status == 0 { "transport error" } else { reason_phrase(status) };
+            let _ = writeln!(out, "  {status:>3} {reason:<22} {count}");
+        }
+        let _ = writeln!(out, "  latency p50 {} us, p99 {} us", self.p50_us, self.p99_us);
+        out
+    }
+}
+
+/// Runs the load harness against a running server.
+///
+/// # Errors
+///
+/// Returns an error only for configuration problems (no specs, zero
+/// clients); individual request failures are *counted*, not propagated —
+/// the report is the deliverable.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
+    if config.specs.is_empty() {
+        return Err("load mix has no specs".into());
+    }
+    if config.clients == 0 || config.requests == 0 {
+        return Err("clients and requests must be positive".into());
+    }
+    let started = Instant::now();
+    let results: Vec<(u16, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = client;
+                    while i < config.requests {
+                        let spec = &config.specs[i % config.specs.len()];
+                        let t0 = Instant::now();
+                        // Transport failures record as status 0.
+                        let status =
+                            post_synthesize(&config.addr, spec, config.timeout).unwrap_or_default();
+                        out.push((status, t0.elapsed().as_micros() as u64));
+                        i += config.clients;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut by_status: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
+    let mut ok = 0usize;
+    for (status, micros) in &results {
+        *by_status.entry(*status).or_default() += 1;
+        latencies.push(*micros);
+        if *status == 200 {
+            ok += 1;
+        }
+    }
+    latencies.sort_unstable();
+    let pick = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    Ok(LoadReport {
+        sent: results.len(),
+        ok,
+        failed: results.len() - ok,
+        by_status,
+        wall,
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+    })
+}
+
+/// One `POST /synthesize` over a fresh connection; returns the status.
+fn post_synthesize(addr: &str, spec: &str, timeout: Duration) -> Result<u16, std::io::Error> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    request(&stream, "POST", "/synthesize", spec).map(|(status, _)| status)
+}
+
+/// Minimal HTTP/1.1 client: writes one request, reads one response.
+/// Shared by the load harness and the service tests.
+pub fn request(
+    mut stream: &TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), std::io::Error> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: ftes\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(stream)
+}
+
+/// Parses a `(status, body)` response off the wire.
+pub fn read_response<R: Read>(stream: R) -> Result<(u16, String), std::io::Error> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line `{}`", line.trim())))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("truncated response headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::other(format!("bad Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| std::io::Error::other("response body is not UTF-8"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_two_equivalent_specs() {
+        let mix = default_spec_mix();
+        assert_eq!(mix.len(), 2);
+        let a = ftes::spec::parse_spec(&mix[0]).unwrap();
+        let b = ftes::spec::parse_spec(&mix[1]).unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn report_percentiles_and_render() {
+        let report = LoadReport {
+            sent: 4,
+            ok: 3,
+            failed: 1,
+            by_status: BTreeMap::from([(200, 3), (429, 1)]),
+            wall: Duration::from_millis(200),
+            p50_us: 100,
+            p99_us: 900,
+        };
+        assert!((report.throughput_rps() - 20.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("4 requests"));
+        assert!(text.contains("429"));
+        assert!(text.contains("p50 100 us"));
+    }
+
+    #[test]
+    fn response_parser_round_trips_a_server_response() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}";
+        let (status, body) = read_response(raw.as_bytes()).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{}"));
+        assert!(read_response("garbage".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut config = LoadConfig::against("127.0.0.1:1");
+        config.specs.clear();
+        assert!(run_load(&config).is_err());
+        let mut config = LoadConfig::against("127.0.0.1:1");
+        config.clients = 0;
+        assert!(run_load(&config).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Lock-free service counters and a latency histogram.
+//!
+//! Everything is atomics so the hot path never takes a lock for
+//! accounting. Latencies land in power-of-two microsecond buckets;
+//! percentiles are answered with the upper bound of the bucket containing
+//! the requested rank — coarse (factor-of-two) but monotone, stable and
+//! allocation-free, which is what a `/metrics` endpoint needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` µs, except bucket 0 (`< 2` µs) and the last bucket
+/// (everything above ~17 minutes).
+const BUCKETS: usize = 30;
+
+/// The service endpoints tracked individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /synthesize`
+    Synthesize,
+    /// `POST /explore`
+    Explore,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404/405/parse failures).
+    Other,
+}
+
+impl Endpoint {
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Synthesize => 0,
+            Endpoint::Explore => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Other => 4,
+        }
+    }
+
+    const COUNT: usize = 5;
+
+    /// Stable label used in the `/metrics` document.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Synthesize => "synthesize",
+            Endpoint::Explore => "explore",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Atomic counters shared by every worker thread.
+pub struct Metrics {
+    requests: [AtomicU64; Endpoint::COUNT],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    rejected_429: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+    latency_count: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            status_2xx: AtomicU64::new(0),
+            status_4xx: AtomicU64::new(0),
+            status_5xx: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(micros: u64) -> usize {
+    ((64 - micros.max(1).leading_zeros()) as usize).min(BUCKETS) - 1
+}
+
+/// Upper bound (µs) of a bucket, reported as the percentile estimate.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one served request: endpoint, response status, wall time.
+    pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        match status {
+            429 => {
+                self.rejected_429.fetch_add(1, Ordering::Relaxed);
+            }
+            200..=299 => {
+                self.status_2xx.fetch_add(1, Ordering::Relaxed);
+            }
+            400..=499 => {
+                self.status_4xx.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.status_5xx.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed at the acceptor (queue full): it consumed no
+    /// worker time, so it counts toward 429s but not latency.
+    pub fn record_rejected(&self) {
+        self.requests[Endpoint::Other.index()].fetch_add(1, Ordering::Relaxed);
+        self.rejected_429.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (counters are
+    /// independently relaxed-loaded; exactness across counters is not a
+    /// goal of an operational metrics endpoint).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histogram: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = self.latency_count.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests_by_endpoint: [
+                (Endpoint::Synthesize.label(), self.requests[0].load(Ordering::Relaxed)),
+                (Endpoint::Explore.label(), self.requests[1].load(Ordering::Relaxed)),
+                (Endpoint::Healthz.label(), self.requests[2].load(Ordering::Relaxed)),
+                (Endpoint::Metrics.label(), self.requests[3].load(Ordering::Relaxed)),
+                (Endpoint::Other.label(), self.requests[4].load(Ordering::Relaxed)),
+            ],
+            status_2xx: self.status_2xx.load(Ordering::Relaxed),
+            status_4xx: self.status_4xx.load(Ordering::Relaxed),
+            status_5xx: self.status_5xx.load(Ordering::Relaxed),
+            rejected_429: self.rejected_429.load(Ordering::Relaxed),
+            p50_us: percentile(&histogram, total, 0.50),
+            p99_us: percentile(&histogram, total, 0.99),
+            served: total,
+        }
+    }
+}
+
+/// Bucket-resolution percentile: the upper bound of the bucket holding the
+/// requested rank, or 0 when nothing was recorded yet.
+fn percentile(histogram: &[u64], total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(BUCKETS - 1)
+}
+
+/// Point-in-time counter values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(label, requests)` per endpoint.
+    pub requests_by_endpoint: [(&'static str, u64); Endpoint::COUNT],
+    /// Responses with 2xx status.
+    pub status_2xx: u64,
+    /// Responses with 4xx status (excluding 429).
+    pub status_4xx: u64,
+    /// Responses with 5xx status.
+    pub status_5xx: u64,
+    /// Requests shed with 429 (acceptor backpressure included).
+    pub rejected_429: u64,
+    /// Estimated median service latency in microseconds.
+    pub p50_us: u64,
+    /// Estimated 99th-percentile service latency in microseconds.
+    pub p99_us: u64,
+    /// Requests that reached a worker (latency samples).
+    pub served: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total requests seen (served + shed).
+    pub fn requests_total(&self) -> u64 {
+        self.requests_by_endpoint.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for us in [1u64, 10, 1_000, 1_000_000, (1 << BUCKETS) - 1] {
+            let b = bucket_of(us);
+            assert!(bucket_upper(b) >= us, "{us}");
+        }
+        // Values beyond the histogram range clamp into the catch-all.
+        assert_eq!(bucket_of(1 << 40), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_track_recorded_latencies() {
+        let m = Metrics::new();
+        // 99 fast requests (~100 µs) and one slow outlier (~1 s).
+        for _ in 0..99 {
+            m.record(Endpoint::Synthesize, 200, 100);
+        }
+        m.record(Endpoint::Synthesize, 200, 1_000_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.served, 100);
+        assert!(snap.p50_us >= 100 && snap.p50_us < 256, "{}", snap.p50_us);
+        assert!(snap.p99_us < snap.p50_us * 20, "p99 excludes the outlier at rank 99");
+        assert_eq!(snap.status_2xx, 100);
+    }
+
+    #[test]
+    fn status_classes_and_rejections_count_separately() {
+        let m = Metrics::new();
+        m.record(Endpoint::Synthesize, 200, 10);
+        m.record(Endpoint::Other, 404, 10);
+        m.record(Endpoint::Synthesize, 422, 10);
+        m.record(Endpoint::Explore, 500, 10);
+        m.record_rejected();
+        let snap = m.snapshot();
+        assert_eq!(snap.status_2xx, 1);
+        assert_eq!(snap.status_4xx, 2);
+        assert_eq!(snap.status_5xx, 1);
+        assert_eq!(snap.rejected_429, 1);
+        assert_eq!(snap.requests_total(), 5);
+        assert_eq!(snap.served, 4, "shed requests carry no latency sample");
+    }
+
+    #[test]
+    fn empty_metrics_report_zero_percentiles() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!((snap.p50_us, snap.p99_us, snap.requests_total()), (0, 0, 0));
+    }
+}

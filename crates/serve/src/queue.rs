@@ -1,0 +1,128 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The acceptor thread pushes accepted connections with [`try_push`]
+//! (never blocking — a full queue is the signal to shed load with a 429),
+//! worker threads block on [`pop`]. Closing the queue wakes every worker
+//! so shutdown needs no sentinel jobs.
+//!
+//! [`try_push`]: BoundedQueue::try_push
+//! [`pop`]: BoundedQueue::pop
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between the acceptor and the worker pool.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed —
+    /// the caller turns that into a 429 (full) or drops it (closed).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (FIFO) or the queue is closed.
+    /// `None` means closed *and* drained: the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, blocked
+    /// workers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (excludes jobs already claimed by workers).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_backpressure() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(3), "full queue sheds load");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_wakes_workers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(7), "pending jobs still drain");
+        assert_eq!(q.pop(), None);
+
+        // A worker blocked in pop() wakes on close.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

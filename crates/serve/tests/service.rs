@@ -1,0 +1,249 @@
+//! End-to-end service tests against an ephemeral-port in-process server:
+//! CLI/service byte-parity, concurrent-client determinism, canonical-key
+//! cache accounting, queue-full backpressure, malformed-request 4xx paths
+//! and the load-harness acceptance run.
+
+use ftes::json::escaped;
+use ftes::sched::export::tables_to_csv;
+use ftes::spec::{parse_spec, FIG5_SPEC};
+use ftes::{synthesize_system, FlowConfig};
+use ftes_serve::{read_response, request, run_load, start, LoadConfig, ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn test_server(config: ServeConfig) -> Server {
+    start(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).expect("bind ephemeral port")
+}
+
+fn call(server: &Server, method: &str, path: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    request(&stream, method, path, body).expect("request")
+}
+
+#[test]
+fn synthesize_reply_embeds_cli_identical_tables() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let (status, body) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    assert_eq!(status, 200, "{body}");
+
+    // Derive the CLI-path result in-process: same parser, same flow, same
+    // defaults as `ftes <spec> --csv`.
+    let spec = parse_spec(FIG5_SPEC).unwrap();
+    let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
+    let psi =
+        synthesize_system(&spec.app, &spec.platform, spec.fault_model, &spec.transparency, config)
+            .unwrap();
+    let exact = psi.exact.as_ref().expect("fig5 gets exact tables");
+    let expected_csv = tables_to_csv(&exact.tables, &exact.cpg);
+
+    // The service body must embed those bytes exactly (JSON-escaped).
+    let needle = format!("\"tables_csv\":\"{}\"", escaped(&expected_csv));
+    assert!(body.contains(&needle), "service CSV diverges from the CLI path");
+    assert!(body.contains("\"schedulable\":true"));
+    assert!(body.contains("\"strategy\":\"MXR\""));
+    assert!(body.contains(&format!("\"worst_case\":{}", psi.worst_case_length().units())));
+}
+
+#[test]
+fn concurrent_clients_get_identical_bodies() {
+    let server = test_server(ServeConfig { workers: 4, ..ServeConfig::default() });
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(move || call(server, "POST", "/synthesize", FIG5_SPEC)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    assert_eq!(bodies.len(), 8);
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(body, &bodies[0].1, "all concurrent replies must be byte-identical");
+    }
+}
+
+#[test]
+fn equivalent_specs_share_a_cache_entry() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let reformatted = format!("# twin\n\n{FIG5_SPEC}\n# end\n");
+
+    let (s1, b1) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    let (s2, b2) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    let (s3, b3) = call(&server, "POST", "/synthesize", &reformatted);
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert_eq!(b1, b2, "verbatim repeat is served from cache");
+    assert_eq!(b1, b3, "equivalent spec canonicalizes onto the same entry");
+
+    let stats = server.cache_stats();
+    assert_eq!(stats.misses, 1, "one synthesis for three requests");
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.entries, 1);
+
+    // The /metrics endpoint reports the same accounting.
+    let (status, metrics) = call(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"hits\":2"), "{metrics}");
+    assert!(metrics.contains("\"misses\":1"), "{metrics}");
+}
+
+#[test]
+fn explore_endpoint_matches_direct_suite_run_and_caches() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let params = "processes=8 nodes=2 k=1 rounds=2 iters=4 seed=5";
+    let (status, body) = call(&server, "POST", "/explore", params);
+    assert_eq!(status, 200, "{body}");
+
+    // Byte-parity with the library path, wall-clock fields normalized
+    // (everything else in the report is deterministic).
+    let config = ftes_serve::parse_explore_request(params).unwrap();
+    let direct = ftes::explore::suite_to_json(&ftes::explore::run_suite(&config).unwrap());
+    fn zero_wall(s: &str) -> String {
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(pos) = rest.find("\"wall_ms\":") {
+            let (head, tail) = rest.split_at(pos + "\"wall_ms\":".len());
+            out.push_str(head);
+            out.push('0');
+            rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        out.push_str(rest);
+        out
+    }
+    assert_eq!(zero_wall(&body), zero_wall(&direct));
+
+    // Same parameters at different parallelism: answered from cache,
+    // byte-identical (wall-clock included, because it is a replay).
+    let (_, again) = call(&server, "POST", "/explore", &format!("{params} threads=4"));
+    assert_eq!(body, again);
+    assert!(server.cache_stats().hits >= 1);
+}
+
+#[test]
+fn queue_full_returns_429_and_recovers() {
+    let server = test_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        io_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    });
+
+    // Occupy the single worker and the single queue slot with idle
+    // connections (the worker blocks reading a request that never comes).
+    let idle: Vec<TcpStream> =
+        (0..2).map(|_| TcpStream::connect(server.addr()).expect("connect")).collect();
+
+    // The acceptor processes connections sequentially; retry until both
+    // idles are placed and the probe is shed with 429.
+    let mut saw_429 = false;
+    for _ in 0..100 {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        match request(&stream, "GET", "/healthz", "") {
+            Ok((429, body)) => {
+                assert!(body.contains("queue full"), "{body}");
+                saw_429 = true;
+                break;
+            }
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(saw_429, "full queue must shed load with 429");
+    assert!(server.metrics().rejected_429 >= 1);
+
+    // Dropping the idle connections frees the worker; service recovers.
+    drop(idle);
+    let mut recovered = false;
+    for _ in 0..100 {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        if let Ok((200, _)) = request(&stream, "GET", "/healthz", "") {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(recovered, "service must recover once the queue drains");
+}
+
+#[test]
+fn malformed_requests_get_4xx() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+
+    let (status, body) = call(&server, "GET", "/nope", "");
+    assert_eq!(status, 404, "{body}");
+
+    let (status, _) = call(&server, "DELETE", "/synthesize", "");
+    assert_eq!(status, 405);
+
+    let (status, body) = call(&server, "POST", "/synthesize", "nodes 2\nbogus directive\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown directive"), "{body}");
+
+    let (status, body) = call(&server, "POST", "/explore", "processes=banana");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad number"), "{body}");
+
+    // POST without Content-Length → 411 (raw request, bypassing the client
+    // helper which always sends one).
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"POST /synthesize HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let (status, _) = read_response(&stream).unwrap();
+    assert_eq!(status, 411);
+
+    // Garbage request line → 400.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"COMPLETE NONSENSE\r\n\r\n").unwrap();
+    let (status, _) = read_response(&stream).unwrap();
+    assert_eq!(status, 400);
+
+    // 4xx traffic lands in the metrics status classes.
+    assert!(server.metrics().status_4xx >= 5);
+}
+
+#[test]
+fn healthz_reports_capacity() {
+    let server =
+        test_server(ServeConfig { workers: 3, queue_capacity: 17, ..ServeConfig::default() });
+    let (status, body) = call(&server, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"workers\":3"), "{body}");
+    assert!(body.contains("\"queue_capacity\":17"), "{body}");
+}
+
+/// The ISSUE acceptance run: ≥ 8 concurrent clients, zero failures,
+/// cache hit rate > 0 on the repeated-spec mix.
+#[test]
+fn load_harness_sustains_eight_clients_with_zero_failures() {
+    let server = test_server(ServeConfig { workers: 4, ..ServeConfig::default() });
+    let report = run_load(&LoadConfig {
+        clients: 8,
+        requests: 48,
+        ..LoadConfig::against(server.addr().to_string())
+    })
+    .expect("load run");
+    assert_eq!(report.sent, 48);
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert_eq!(report.ok, 48);
+    assert!(report.p99_us >= report.p50_us);
+    assert!(report.throughput_rps() > 0.0);
+
+    let stats = server.cache_stats();
+    assert!(stats.hits > 0, "repeated-spec mix must produce cache hits: {stats:?}");
+    assert!(stats.hit_rate() > 0.0);
+    // Two equivalent specs → one canonical entry, one real synthesis
+    // (modulo a benign race when several clients miss simultaneously).
+    assert!(stats.entries <= 2, "{stats:?}");
+    // Workers record *after* replying, so the last counter tick can trail
+    // the client's read by a moment — wait it out, bounded.
+    for _ in 0..100 {
+        if server.metrics().status_2xx >= 48 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.metrics().status_2xx, 48);
+}

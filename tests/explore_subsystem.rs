@@ -92,6 +92,7 @@ fn suite_grid_points_generate_reproducible_workloads() {
         portfolio: PortfolioConfig::quick(2),
         point_parallelism: 1,
         slot: Time::new(8),
+        verify: None,
     };
     let a = run_suite(&config).expect("first run");
     let b = run_suite(&config).expect("second run");

@@ -1,0 +1,81 @@
+//! The `specs/` directory cannot rot: every `.ftes` document in it must
+//! parse, synthesize schedulably with its declared strategy, and — when
+//! the instance gets exact tables — replay soundly under exhaustive
+//! fault injection.
+
+use ftes::sim::verify_exhaustive;
+use ftes::{synthesize_system, FlowConfig};
+use ftes_cli::parse_spec;
+use std::path::PathBuf;
+
+fn spec_paths() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("specs/ directory exists")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ftes"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn every_spec_parses_synthesizes_and_verifies() {
+    let paths = spec_paths();
+    // The repo ships the cruise controller plus the two PR-2 additions;
+    // this count only ever grows.
+    assert!(paths.len() >= 3, "specs/ lost documents: {paths:?}");
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let spec = parse_spec(&text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+
+        let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
+        let psi = synthesize_system(
+            &spec.app,
+            &spec.platform,
+            spec.fault_model,
+            &spec.transparency,
+            config,
+        )
+        .unwrap_or_else(|e| panic!("{name}: synthesis: {e}"));
+        assert!(
+            psi.schedulable,
+            "{name}: worst case {} misses deadline {}",
+            psi.worst_case_length(),
+            spec.app.deadline()
+        );
+
+        // Exact instances must also replay soundly; estimate-only
+        // instances have no schedule to inject faults into.
+        if let Some(exact) = psi.exact.as_ref() {
+            let verdict = verify_exhaustive(
+                &spec.app,
+                &exact.cpg,
+                &exact.schedule,
+                &spec.transparency,
+                1_000_000,
+            )
+            .unwrap_or_else(|e| panic!("{name}: verification: {e}"));
+            assert!(
+                verdict.is_sound(),
+                "{name}: {} violations, first: {:?}",
+                verdict.violations.len(),
+                verdict.violations.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn shipped_specs_exercise_distinct_strategies_and_fault_budgets() {
+    let mut strategies = std::collections::BTreeSet::new();
+    let mut ks = std::collections::BTreeSet::new();
+    for path in spec_paths() {
+        let spec = parse_spec(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        strategies.insert(format!("{}", spec.strategy));
+        ks.insert(spec.fault_model.k());
+    }
+    assert!(strategies.len() >= 2, "spec corpus collapsed to one strategy: {strategies:?}");
+    assert!(ks.len() >= 2, "spec corpus collapsed to one fault budget: {ks:?}");
+}
