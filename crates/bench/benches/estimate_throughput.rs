@@ -1,0 +1,165 @@
+//! Criterion bench for the evaluation kernel on `specs/mixed20.ftes`:
+//! cold construct+evaluate vs reused-evaluator vs the delta path — the
+//! three regimes of the synthesis hot loop after the `SystemEvaluator`
+//! refactor.
+//!
+//! Besides the console medians, the run records its numbers to
+//! `BENCH_estimate.json` at the workspace root, starting the performance
+//! trajectory of the estimator (CI uploads the file as an artifact).
+
+use criterion::{criterion_group, Criterion};
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::CopyMapping;
+use ftes::json::JsonWriter;
+use ftes::model::{Mapping, NodeId};
+use ftes::sched::SystemEvaluator;
+use ftes::spec::{parse_spec, SystemSpec};
+use std::time::Instant;
+
+const SPEC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/mixed20.ftes");
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_estimate.json");
+
+struct Instance {
+    spec: SystemSpec,
+    policies: PolicyAssignment,
+    copies: CopyMapping,
+    moved_copies: CopyMapping,
+}
+
+fn instance() -> Instance {
+    let text = std::fs::read_to_string(SPEC_PATH).expect("specs/mixed20.ftes exists");
+    let spec = parse_spec(&text).expect("mixed20 parses");
+    let arch = spec.platform.architecture();
+    let mapping = Mapping::cheapest(&spec.app, arch).expect("mixed20 is mappable");
+    let policies = PolicyAssignment::uniform_reexecution(&spec.app, spec.fault_model.k());
+    let copies = CopyMapping::from_base(&spec.app, arch, &mapping, &policies).expect("feasible");
+    // A representative neighborhood move: remap the first movable process
+    // to a different candidate node (what `delta_evaluate` scores all day).
+    let (p, to) = spec
+        .app
+        .processes()
+        .find_map(|(p, proc)| {
+            if proc.fixed_node().is_some() {
+                return None;
+            }
+            let others: Vec<NodeId> =
+                proc.candidate_nodes().filter(|&n| n != mapping.node_of(p)).collect();
+            others.first().map(|&n| (p, n))
+        })
+        .expect("mixed20 has movable processes");
+    let moved = mapping.with_move(&spec.app, arch, p, to).expect("candidate node");
+    let moved_copies =
+        CopyMapping::from_base(&spec.app, arch, &moved, &policies).expect("feasible");
+    Instance { spec, policies, copies, moved_copies }
+}
+
+fn bench_estimate_throughput(c: &mut Criterion) {
+    let inst = instance();
+    let k = inst.spec.fault_model.k();
+    let mut group = c.benchmark_group("estimate_throughput");
+    group.sample_size(40);
+
+    group.bench_function("cold_construct_evaluate", |b| {
+        b.iter(|| {
+            SystemEvaluator::new(&inst.spec.app, &inst.spec.platform, k)
+                .evaluate(&inst.copies, &inst.policies)
+                .unwrap()
+        })
+    });
+
+    let mut reused = SystemEvaluator::new(&inst.spec.app, &inst.spec.platform, k);
+    group.bench_function("reused_evaluate", |b| {
+        b.iter(|| reused.evaluate(&inst.copies, &inst.policies).unwrap())
+    });
+
+    let mut delta = SystemEvaluator::new(&inst.spec.app, &inst.spec.platform, k);
+    delta.evaluate(&inst.copies, &inst.policies).unwrap();
+    group.bench_function("delta_evaluate", |b| {
+        b.iter(|| delta.delta_evaluate(&inst.moved_copies, &inst.policies).unwrap())
+    });
+    group.finish();
+
+    let stats = delta.stats();
+    assert!(stats.delta_evals > 0, "the bench move must exercise the delta fast path");
+}
+
+criterion_group!(benches, bench_estimate_throughput);
+
+/// Median nanoseconds per call over `iters` timed calls (one warm-up).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Re-measures the three regimes and writes `BENCH_estimate.json`.
+fn write_report() {
+    let inst = instance();
+    let k = inst.spec.fault_model.k();
+    let iters = 300;
+
+    let cold = median_ns(iters, || {
+        SystemEvaluator::new(&inst.spec.app, &inst.spec.platform, k)
+            .evaluate(&inst.copies, &inst.policies)
+            .unwrap();
+    });
+    let mut evaluator = SystemEvaluator::new(&inst.spec.app, &inst.spec.platform, k);
+    let reused = median_ns(iters, || {
+        evaluator.evaluate(&inst.copies, &inst.policies).unwrap();
+    });
+    evaluator.evaluate(&inst.copies, &inst.policies).unwrap();
+    let delta = median_ns(iters, || {
+        evaluator.delta_evaluate(&inst.moved_copies, &inst.policies).unwrap();
+    });
+    // Guard the recorded number: if the move ever degenerated into the
+    // noop/fallback path (e.g. the spec changed and the moved process now
+    // sits at position 0), the timing above would not measure suffix
+    // re-scheduling and must not be published as `delta_ns`.
+    assert!(
+        evaluator.stats().delta_evals > 0,
+        "the recorded move must exercise the delta fast path"
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("estimate_throughput");
+    w.key("spec");
+    w.string("specs/mixed20.ftes");
+    w.key("processes");
+    w.number_usize(inst.spec.app.process_count());
+    w.key("nodes");
+    w.number_usize(inst.spec.platform.architecture().node_count());
+    w.key("k");
+    w.number_u64(k as u64);
+    w.key("iters");
+    w.number_usize(iters);
+    w.key("cold_ns");
+    w.number_u64(cold);
+    w.key("reused_ns");
+    w.number_u64(reused);
+    w.key("delta_ns");
+    w.number_u64(delta);
+    w.key("speedup_reused");
+    w.number_f64(cold as f64 / reused.max(1) as f64, 2);
+    w.key("speedup_delta");
+    w.number_f64(cold as f64 / delta.max(1) as f64, 2);
+    w.end_object();
+    let mut body = w.finish();
+    body.push('\n');
+    std::fs::write(REPORT_PATH, &body).expect("write BENCH_estimate.json");
+    println!("wrote {REPORT_PATH}");
+    println!("{body}");
+}
+
+fn main() {
+    benches();
+    write_report();
+}

@@ -1,6 +1,8 @@
-//! Criterion bench: the fast schedule-length estimator at the paper's
-//! experiment sizes (20-100 processes) — this is the optimizer's inner
-//! loop, so its cost bounds the whole Fig. 7/8 sweep.
+//! Criterion bench: the one-shot `estimate_schedule_length` wrapper
+//! (construct + evaluate per call) at the paper's experiment sizes
+//! (20-100 processes). The optimization loops themselves hold a reused
+//! `SystemEvaluator` kernel — `estimate_throughput` benches that gap —
+//! so this bench tracks the *cold* baseline of the Fig. 7/8 sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftes::ft::PolicyAssignment;

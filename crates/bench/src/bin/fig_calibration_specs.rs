@@ -1,0 +1,67 @@
+//! Calibration of the fast estimator against the exact conditional
+//! schedule across every real system spec in `specs/*.ftes`: each spec is
+//! synthesized with its own strategy and default flow settings, then the
+//! incumbent's estimated worst case is compared to the exact conditional
+//! schedule length (when the FT-CPG fits the size budget).
+//!
+//! This quantifies the estimator's known optimism on *synthesized*
+//! incumbents — mixed policies, replication joins, recovery cascades — as
+//! opposed to the uniform re-execution configurations the random-workload
+//! ablation covers. The README's EXPERIMENTS calibration table is this
+//! harness's output.
+//!
+//! Run with: `cargo run --release -p ftes-bench --bin fig_calibration_specs`
+
+use ftes::spec::parse_spec;
+use ftes::{synthesize_system, FlowConfig};
+
+fn main() {
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+    let mut paths: Vec<_> = std::fs::read_dir(specs_dir)
+        .expect("specs directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ftes"))
+        .collect();
+    paths.sort();
+
+    println!("# Calibration — estimate vs exact conditional schedule, specs/*.ftes");
+    println!(
+        "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>12}",
+        "spec", "procs", "k", "deadline", "estimate", "exact", "ratio", "schedulable"
+    );
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let spec = parse_spec(&text).expect("valid spec");
+        let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
+        let psi = synthesize_system(
+            &spec.app,
+            &spec.platform,
+            spec.fault_model,
+            &spec.transparency,
+            config,
+        )
+        .expect("synthesis");
+        let est = psi.estimate.worst_case_length;
+        let (exact, ratio) = match &psi.exact {
+            Some(e) => {
+                let len = e.schedule.length();
+                (len.units().to_string(), format!("{:.2}", est.as_f64() / len.as_f64()))
+            }
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>12}",
+            name,
+            spec.app.process_count(),
+            spec.fault_model.k(),
+            spec.app.deadline().units(),
+            est.units(),
+            exact,
+            ratio,
+            psi.schedulable,
+        );
+    }
+    println!("# ratio < 1 = estimator optimism (recovery cascades it does not model);");
+    println!("# schedulability is always judged on the exact schedule when one exists.");
+}

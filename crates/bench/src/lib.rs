@@ -67,11 +67,7 @@ pub fn fig8_points() -> Vec<ExperimentPoint> {
 /// capacity, the precondition for active replication to pay off (§3.2).
 /// EXPERIMENTS.md records the calibration.
 pub fn workload(point: ExperimentPoint, seed: u64) -> Application {
-    let config = GeneratorConfig {
-        layers: Some((point.processes / 2).max(2)),
-        edge_probability: 0.7,
-        ..GeneratorConfig::new(point.processes, point.nodes)
-    };
+    let config = GeneratorConfig::chainy(point.processes, point.nodes);
     generate_application(&config, seed).expect("generator configs in the sweep are valid")
 }
 

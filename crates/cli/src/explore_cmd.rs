@@ -165,7 +165,7 @@ fn summarize(outcome: &SuiteOutcome) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8}",
+        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>8} {:>9} {:>8}",
         "point",
         "nodes",
         "k",
@@ -174,6 +174,7 @@ fn summarize(outcome: &SuiteOutcome) -> String {
         "slack%",
         "pareto",
         "cache-hit",
+        "evals/s",
         "verified",
         "ms"
     );
@@ -185,7 +186,7 @@ fn summarize(outcome: &SuiteOutcome) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>9} {:>8} {}",
+            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>8.0} {:>9} {:>8} {}",
             p.point.label(),
             p.point.nodes,
             p.point.k,
@@ -194,20 +195,27 @@ fn summarize(outcome: &SuiteOutcome) -> String {
             p.slack_pct,
             p.archive.len(),
             100.0 * p.cache.hit_rate(),
+            p.evals_per_sec(),
             verified,
             p.wall.as_millis(),
             if p.schedulable { "" } else { "  ** MISSES DEADLINE **" },
         );
     }
     let totals = outcome.total_cache();
+    let evals = outcome.total_evals();
     let _ = writeln!(
         out,
-        "{} points in {} ms; estimator calls {} (plus {} cache hits, {:.0}% hit rate)",
+        "{} points in {} ms; estimator calls {} (plus {} cache hits, {:.0}% hit rate); \
+         {} kernel evaluations from {} evaluators ({} reused, {:.0} evals/s)",
         outcome.points.len(),
         outcome.wall.as_millis(),
         totals.misses,
         totals.hits,
         100.0 * totals.hit_rate(),
+        evals.evaluations(),
+        evals.constructions,
+        evals.reused(),
+        outcome.evals_per_sec(),
     );
     out
 }

@@ -5,13 +5,15 @@
 use ftes_ft::PolicyAssignment;
 use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, FtCpg};
 use ftes_model::{Application, FaultModel, Mapping, Transparency};
-use ftes_opt::{synthesize, SearchConfig, Strategy, Synthesized};
+use ftes_opt::{synthesize_with, SearchConfig, Strategy, Synthesized};
 use ftes_sched::{
     check_deadlines, schedule_ftcpg, ConditionalSchedule, Estimate, SchedConfig, ScheduleTables,
+    SystemEvaluator,
 };
 use ftes_tdma::Platform;
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Error produced by the end-to-end synthesis flow.
 #[derive(Debug)]
@@ -171,15 +173,78 @@ pub fn synthesize_system(
     transparency: &Transparency,
     config: FlowConfig,
 ) -> Result<SystemConfiguration, FtesError> {
-    let k = fault_model.k();
-    let Synthesized { mapping, policies, copies, estimate } =
-        synthesize(app, platform, k, config.strategy, config.search)?;
+    let mut evaluator = SystemEvaluator::new(app, platform, fault_model.k());
+    synthesize_system_with(&mut evaluator, fault_model, transparency, config)
+}
 
+/// [`synthesize_system`] over a caller-provided (possibly warm) evaluator
+/// kernel: the application and platform are the ones the kernel was built
+/// for. `ftes-serve` banks evaluators per `(app, platform, k)` so repeated
+/// specs on a warm daemon skip the kernel construction entirely.
+///
+/// # Panics
+///
+/// Panics if the evaluator was built for a different fault budget than
+/// `fault_model` (a caller bug, not an input error).
+///
+/// # Errors
+///
+/// Same as [`synthesize_system`].
+pub fn synthesize_system_with(
+    evaluator: &mut SystemEvaluator,
+    fault_model: FaultModel,
+    transparency: &Transparency,
+    config: FlowConfig,
+) -> Result<SystemConfiguration, FtesError> {
+    Ok(synthesize_system_timed(evaluator, fault_model, transparency, config)?.0)
+}
+
+/// Wall-clock breakdown of one synthesis flow run, per phase — the numbers
+/// behind the `ftes-serve` `/metrics` phase counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTimings {
+    /// Design-space optimization (mapping + policy search).
+    pub optimize: Duration,
+    /// FT-CPG construction.
+    pub cpg: Duration,
+    /// Conditional scheduling + table generation.
+    pub schedule: Duration,
+}
+
+/// [`synthesize_system_with`], additionally reporting per-phase wall-clock
+/// timings so services can expose hot-path regressions live.
+///
+/// # Panics
+///
+/// Panics if the evaluator was built for a different fault budget than
+/// `fault_model`.
+///
+/// # Errors
+///
+/// Same as [`synthesize_system`].
+pub fn synthesize_system_timed(
+    evaluator: &mut SystemEvaluator,
+    fault_model: FaultModel,
+    transparency: &Transparency,
+    config: FlowConfig,
+) -> Result<(SystemConfiguration, FlowTimings), FtesError> {
+    assert_eq!(evaluator.k(), fault_model.k(), "evaluator was built for a different fault budget");
+    let mut timings = FlowTimings::default();
+    let started = Instant::now();
+    let Synthesized { mapping, policies, copies, estimate } =
+        synthesize_with(evaluator, config.strategy, config.search)?;
+    timings.optimize = started.elapsed();
+
+    let app = evaluator.app();
+    let platform = evaluator.platform();
+    let started = Instant::now();
     let cpg = match build_ftcpg(app, &policies, &copies, fault_model, transparency, config.cpg) {
         Ok(cpg) => Some(cpg),
         Err(ftes_ftcpg::CpgError::GraphTooLarge { .. }) => None,
         Err(e) => return Err(e.into()),
     };
+    timings.cpg = started.elapsed();
+    let started = Instant::now();
     let exact = match cpg {
         Some(cpg) => {
             let schedule = schedule_ftcpg(app, &cpg, platform, config.sched)?;
@@ -189,11 +254,12 @@ pub fn synthesize_system(
         }
         None => None,
     };
+    timings.schedule = started.elapsed();
     let schedulable = match &exact {
         Some(e) => check_deadlines(app, &e.cpg, &e.schedule).is_empty(),
         None => estimate.worst_case_length <= app.deadline(),
     };
-    Ok(SystemConfiguration { policies, mapping, copies, estimate, exact, schedulable })
+    Ok((SystemConfiguration { policies, mapping, copies, estimate, exact, schedulable }, timings))
 }
 
 #[cfg(test)]

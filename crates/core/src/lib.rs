@@ -64,7 +64,10 @@
 mod flow;
 pub mod spec;
 
-pub use flow::{synthesize_system, ExactSchedule, FlowConfig, FtesError, SystemConfiguration};
+pub use flow::{
+    synthesize_system, synthesize_system_timed, synthesize_system_with, ExactSchedule, FlowConfig,
+    FlowTimings, FtesError, SystemConfiguration,
+};
 pub use ftes_model::json;
 
 pub use ftes_explore as explore;

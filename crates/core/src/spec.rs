@@ -60,51 +60,82 @@ impl SystemSpec {
     /// keys its result cache on this encoding, so equivalent requests are
     /// answered from cache with byte-identical bodies.
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        let nodes = self.platform.architecture().node_count();
         let mut out = Vec::with_capacity(64 + 64 * self.app.process_count());
         out.extend_from_slice(b"ftes-spec-v1");
-        push_u64(&mut out, nodes as u64);
-        let slots = self.platform.bus().slots();
-        push_u64(&mut out, slots.len() as u64);
-        for slot in slots {
-            push_u64(&mut out, slot.node.index() as u64);
-            push_i64(&mut out, slot.length.units());
-        }
-        push_u64(&mut out, self.fault_model.k() as u64);
-        push_u64(
-            &mut out,
-            match self.strategy {
-                Strategy::Mxr => 0,
-                Strategy::Mx => 1,
-                Strategy::Mr => 2,
-                Strategy::Sfx => 3,
-            },
-        );
-        push_i64(&mut out, self.app.deadline().units());
-        push_i64(&mut out, self.app.period().units());
-        push_u64(&mut out, self.app.process_count() as u64);
-        for (pid, p) in self.app.processes() {
-            push_str(&mut out, p.name());
-            for n in 0..nodes {
-                push_opt_i64(&mut out, p.wcet_on(NodeId::new(n)).map(Time::units));
-            }
-            push_i64(&mut out, p.alpha().units());
-            push_i64(&mut out, p.mu().units());
-            push_i64(&mut out, p.chi().units());
-            push_i64(&mut out, p.release().units());
-            push_opt_i64(&mut out, p.local_deadline().map(Time::units));
-            push_opt_i64(&mut out, p.fixed_node().map(|n| n.index() as i64));
-            out.push(self.transparency.is_process_frozen(pid) as u8);
-        }
-        push_u64(&mut out, self.app.message_count() as u64);
-        for (mid, m) in self.app.messages() {
-            push_str(&mut out, m.name());
-            push_u64(&mut out, m.src().index() as u64);
-            push_u64(&mut out, m.dst().index() as u64);
-            push_i64(&mut out, m.transmission().units());
-            out.push(self.transparency.is_message_frozen(mid) as u8);
-        }
+        self.encode_system(&mut out, true);
         out
+    }
+
+    /// Canonical byte encoding of only the `(application, platform, k)`
+    /// triple — the inputs a
+    /// [`SystemEvaluator`](ftes_sched::SystemEvaluator) is constructed
+    /// from (and whose clones the synthesis flow then runs on). Two specs
+    /// with equal `evaluator_bytes` can share a warm evaluator kernel even
+    /// when they differ in strategy or transparency, which the flow passes
+    /// separately; the `ftes-serve` evaluator bank keys on this encoding.
+    pub fn evaluator_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 64 * self.app.process_count());
+        out.extend_from_slice(b"ftes-eval-v1");
+        self.encode_system(&mut out, false);
+        out
+    }
+
+    /// Shared encoder behind [`canonical_bytes`](SystemSpec::canonical_bytes)
+    /// and [`evaluator_bytes`](SystemSpec::evaluator_bytes). One body, so a
+    /// future field cannot be added to one encoding and forgotten in the
+    /// other — which would make the serve evaluator bank alias kernels of
+    /// *different* systems. `with_policy_dims` adds the fields that select
+    /// synthesis behavior beyond the evaluator's inputs: the strategy and
+    /// the per-process/per-message transparency (frozen) flags.
+    fn encode_system(&self, out: &mut Vec<u8>, with_policy_dims: bool) {
+        let nodes = self.platform.architecture().node_count();
+        push_u64(out, nodes as u64);
+        let slots = self.platform.bus().slots();
+        push_u64(out, slots.len() as u64);
+        for slot in slots {
+            push_u64(out, slot.node.index() as u64);
+            push_i64(out, slot.length.units());
+        }
+        push_u64(out, self.fault_model.k() as u64);
+        if with_policy_dims {
+            push_u64(
+                out,
+                match self.strategy {
+                    Strategy::Mxr => 0,
+                    Strategy::Mx => 1,
+                    Strategy::Mr => 2,
+                    Strategy::Sfx => 3,
+                },
+            );
+        }
+        push_i64(out, self.app.deadline().units());
+        push_i64(out, self.app.period().units());
+        push_u64(out, self.app.process_count() as u64);
+        for (pid, p) in self.app.processes() {
+            push_str(out, p.name());
+            for n in 0..nodes {
+                push_opt_i64(out, p.wcet_on(NodeId::new(n)).map(Time::units));
+            }
+            push_i64(out, p.alpha().units());
+            push_i64(out, p.mu().units());
+            push_i64(out, p.chi().units());
+            push_i64(out, p.release().units());
+            push_opt_i64(out, p.local_deadline().map(Time::units));
+            push_opt_i64(out, p.fixed_node().map(|n| n.index() as i64));
+            if with_policy_dims {
+                out.push(self.transparency.is_process_frozen(pid) as u8);
+            }
+        }
+        push_u64(out, self.app.message_count() as u64);
+        for (mid, m) in self.app.messages() {
+            push_str(out, m.name());
+            push_u64(out, m.src().index() as u64);
+            push_u64(out, m.dst().index() as u64);
+            push_i64(out, m.transmission().units());
+            if with_policy_dims {
+                out.push(self.transparency.is_message_frozen(mid) as u8);
+            }
+        }
     }
 }
 

@@ -3,8 +3,9 @@
 //!
 //! The portfolio workers of this crate repeatedly revisit states — tabu
 //! cycles, annealing re-acceptance, and *cross-worker* convergence on the
-//! same basins — and [`estimate_schedule_length`] is the dominant cost of
-//! every visit. The cache keys a candidate `(mapping, policies)` state by a
+//! same basins — and the root-schedule evaluation (now the
+//! `ftes_sched::SystemEvaluator` kernel) is the dominant cost of every
+//! visit. The cache keys a candidate `(mapping, policies)` state by a
 //! canonical byte encoding (exact, collision-free) with a precomputed FNV
 //! hash for shard selection, so repeated states never re-run the estimator,
 //! no matter which worker or thread saw them first.

@@ -71,7 +71,7 @@ mod suite;
 
 pub use archive::{table_cost, ArchiveEntry, Objectives, ParetoArchive};
 pub use cache::{fnv1a64, CacheStats, EstimateCache, StateKey};
-pub use pool::{evaluate_batch, evaluate_state};
+pub use pool::{evaluate_batch, evaluate_state, EvaluatorPool};
 pub use portfolio::{
     default_portfolio, explore, EngineKind, Exploration, ExploreError, PortfolioConfig, WorkerSpec,
 };

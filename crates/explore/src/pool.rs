@@ -7,39 +7,49 @@
 //! — no channels, no pool object to keep alive, results returned in input
 //! order regardless of which thread computed them (the property every
 //! determinism guarantee in this crate leans on).
+//!
+//! Evaluation itself goes through an [`EvaluatorPool`]: one warm
+//! [`SystemEvaluator`] kernel per evaluation thread, so the topology,
+//! recovery-scheme and resource-arena precomputation is paid once per
+//! exploration run instead of once per candidate state.
 
 use crate::cache::{EstimateCache, StateKey};
 use ftes_ft::PolicyAssignment;
 use ftes_ftcpg::CopyMapping;
 use ftes_model::{Application, Mapping};
-use ftes_sched::{estimate_schedule_length, Estimate};
+use ftes_sched::{Estimate, EvaluatorStats, SystemEvaluator};
 use ftes_tdma::Platform;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Runs `f(0..n)` across up to `threads` scoped threads, returning results
-/// in index order. Work is claimed from a shared atomic counter, so uneven
-/// item costs balance automatically.
+/// Runs `f(thread, 0..n)` across up to `threads` scoped threads, returning
+/// results in index order. Work is claimed from a shared atomic counter, so
+/// uneven item costs balance automatically; `thread` identifies the worker
+/// slot (0-based, `< threads`) so callers can check thread-affine resources
+/// (e.g. a pooled evaluator) out without contention.
 pub(crate) fn indexed_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| f(0, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|t| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        out.push((i, f(t, i)));
                     }
                     out
                 })
@@ -56,37 +66,91 @@ where
     slots.into_iter().map(|s| s.expect("every index claimed exactly once")).collect()
 }
 
-/// Evaluates one candidate state from scratch: replica placement plus the
-/// root-schedule estimator. `None` means the state is infeasible (e.g. a
-/// policy the bus cannot carry) — the same "move unavailable" convention
-/// the serial searches in `ftes-opt` use.
-pub fn evaluate_state(
-    app: &Application,
-    platform: &Platform,
+/// One warm [`SystemEvaluator`] per evaluation thread, constructed lazily:
+/// a slot's kernel is built on the slot's first evaluation, so a pool sized
+/// for the configured thread budget never pays for slots a smaller run
+/// leaves idle.
+pub struct EvaluatorPool {
+    app: Application,
+    platform: Platform,
     k: u32,
+    slots: Vec<Mutex<Option<SystemEvaluator>>>,
+}
+
+impl EvaluatorPool {
+    /// A pool with `slots` evaluator slots for one `(app, platform, k)`
+    /// problem instance.
+    pub fn new(app: &Application, platform: &Platform, k: u32, slots: usize) -> Self {
+        EvaluatorPool {
+            app: app.clone(),
+            platform: platform.clone(),
+            k,
+            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Runs `f` with a (lazily constructed) warm evaluator, preferring slot
+    /// `thread` and probing onward when it is busy — concurrent callers
+    /// (e.g. the batch fan-outs of several portfolio workers) never
+    /// serialize on one kernel as long as a slot is free. Evaluation is a
+    /// pure function of the candidate state, so *which* kernel answers is
+    /// unobservable (the determinism contract is untouched).
+    pub fn with<R>(&self, thread: usize, f: impl FnOnce(&mut SystemEvaluator) -> R) -> R {
+        let n = self.slots.len();
+        let build = || SystemEvaluator::new(&self.app, &self.platform, self.k);
+        for off in 0..n {
+            if let Ok(mut slot) = self.slots[(thread + off) % n].try_lock() {
+                return f(slot.get_or_insert_with(build));
+            }
+        }
+        // Every slot busy: wait for the preferred one.
+        let mut slot = self.slots[thread % n].lock().expect("evaluator slot poisoned");
+        f(slot.get_or_insert_with(build))
+    }
+
+    /// Work counters aggregated across every constructed slot.
+    pub fn stats(&self) -> EvaluatorStats {
+        self.slots
+            .iter()
+            .filter_map(|s| s.lock().expect("evaluator slot poisoned").as_ref().map(|e| e.stats()))
+            .fold(EvaluatorStats::default(), EvaluatorStats::merged)
+    }
+}
+
+/// Evaluates one candidate state through a warm evaluator kernel: replica
+/// placement plus the root-schedule estimator. `None` means the state is
+/// infeasible (e.g. a policy the bus cannot carry) — the same "move
+/// unavailable" convention the serial searches in `ftes-opt` use.
+pub fn evaluate_state(
+    evaluator: &mut SystemEvaluator,
     mapping: &Mapping,
     policies: &PolicyAssignment,
 ) -> Option<Estimate> {
-    let copies = CopyMapping::from_base(app, platform.architecture(), mapping, policies).ok()?;
-    estimate_schedule_length(app, platform, &copies, policies, k).ok()
+    let copies = CopyMapping::from_base(
+        evaluator.app(),
+        evaluator.platform().architecture(),
+        mapping,
+        policies,
+    )
+    .ok()?;
+    evaluator.evaluate(&copies, policies).ok()
 }
 
 /// Evaluates a batch of candidate states across `threads` scoped threads,
-/// memoizing through `cache`. Results come back in input order; `None`
-/// marks infeasible states.
+/// memoizing through `cache` and evaluating through the per-thread kernels
+/// of `pool`. Results come back in input order; `None` marks infeasible
+/// states.
 ///
 /// This is the "batched parallel neighborhood evaluator": a search worker
 /// samples its whole neighborhood first, then amortizes one fan-out over
 /// all candidates instead of paying the estimator serially per move.
 pub fn evaluate_batch(
-    app: &Application,
-    platform: &Platform,
-    k: u32,
+    pool: &EvaluatorPool,
     cache: &EstimateCache,
     candidates: &[(Mapping, PolicyAssignment)],
     threads: usize,
 ) -> Vec<Option<Estimate>> {
-    evaluate_batch_keyed(app, platform, k, cache, candidates, threads)
+    evaluate_batch_keyed(pool, cache, candidates, threads)
         .into_iter()
         .map(|(_, estimate)| estimate)
         .collect()
@@ -96,18 +160,17 @@ pub fn evaluate_batch(
 /// alongside its estimate, so hot callers (the portfolio workers) never
 /// encode a state twice.
 pub(crate) fn evaluate_batch_keyed(
-    app: &Application,
-    platform: &Platform,
-    k: u32,
+    pool: &EvaluatorPool,
     cache: &EstimateCache,
     candidates: &[(Mapping, PolicyAssignment)],
     threads: usize,
 ) -> Vec<(StateKey, Option<Estimate>)> {
-    indexed_parallel(candidates.len(), threads, |i| {
+    indexed_parallel(candidates.len(), threads, |thread, i| {
         let (mapping, policies) = &candidates[i];
         let key = StateKey::encode(mapping, policies);
-        let estimate = cache
-            .get_or_compute(key.clone(), || evaluate_state(app, platform, k, mapping, policies));
+        let estimate = cache.get_or_compute(key.clone(), || {
+            pool.with(thread, |evaluator| evaluate_state(evaluator, mapping, policies))
+        });
         (key, estimate)
     })
 }
@@ -121,10 +184,18 @@ mod tests {
     #[test]
     fn indexed_parallel_preserves_order() {
         for threads in [1, 2, 7] {
-            let out = indexed_parallel(100, threads, |i| i * i);
+            let out = indexed_parallel(100, threads, |_, i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }
-        assert!(indexed_parallel(0, 4, |i| i).is_empty());
+        assert!(indexed_parallel(0, 4, |_, i| i).is_empty());
+    }
+
+    #[test]
+    fn indexed_parallel_thread_ids_stay_in_range() {
+        for threads in [1, 3, 8] {
+            let out = indexed_parallel(64, threads, |t, _| t);
+            assert!(out.iter().all(|&t| t < threads.max(1)));
+        }
     }
 
     #[test]
@@ -142,12 +213,33 @@ mod tests {
             (mapping.clone(), PolicyAssignment::uniform_reexecution(&app, k)),
         ];
         let cache = EstimateCache::new();
-        let batched = evaluate_batch(&app, &platform, k, &cache, &candidates, 4);
+        let pool = EvaluatorPool::new(&app, &platform, k, 4);
+        let batched = evaluate_batch(&pool, &cache, &candidates, 4);
+        let mut fresh = ftes_sched::SystemEvaluator::new(&app, &platform, k);
         for (result, (m, p)) in batched.iter().zip(&candidates) {
-            assert_eq!(*result, evaluate_state(&app, &platform, k, m, p));
+            assert_eq!(*result, evaluate_state(&mut fresh, m, p));
             assert!(result.is_some());
         }
         // Duplicate state in the batch: at most two estimator runs.
         assert_eq!(cache.stats().entries, 2);
+        // Pool counters account for exactly the cache misses.
+        assert_eq!(pool.stats().evaluations(), cache.stats().misses);
+    }
+
+    #[test]
+    fn pool_constructs_slots_lazily_and_reuses_them() {
+        let (app, arch) = samples::fig3();
+        let node_count = arch.node_count();
+        let platform = Platform::homogeneous(node_count, Time::new(8)).unwrap();
+        let mapping = Mapping::cheapest(&app, platform.architecture()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 1);
+        let pool = EvaluatorPool::new(&app, &platform, 1, 8);
+        for _ in 0..5 {
+            pool.with(0, |ev| evaluate_state(ev, &mapping, &policies)).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.constructions, 1, "only the touched slot is built");
+        assert_eq!(stats.full_evals, 5);
+        assert_eq!(stats.reused(), 4);
     }
 }

@@ -27,12 +27,13 @@
 
 use crate::archive::{ArchiveEntry, ParetoArchive};
 use crate::cache::{CacheStats, EstimateCache, StateKey};
-use crate::pool::{evaluate_batch_keyed, evaluate_state, indexed_parallel};
+use crate::pool::{evaluate_batch_keyed, evaluate_state, indexed_parallel, EvaluatorPool};
 use ftes_ft::PolicyAssignment;
 use ftes_model::{Application, Mapping, Time};
 use ftes_opt::{
     apply_move, constructive_mapping, sample_move, OptError, PolicyMoves, SearchConfig, Synthesized,
 };
+use ftes_sched::EvaluatorStats;
 use ftes_tdma::Platform;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -173,6 +174,9 @@ pub struct Exploration {
     pub archive: ParetoArchive,
     /// Estimate-cache counters for the whole run.
     pub cache: CacheStats,
+    /// Evaluator-kernel counters (constructions, full/delta evaluations,
+    /// reuse) aggregated over the per-thread pool.
+    pub evals: EvaluatorStats,
 }
 
 /// A worker's private search state between rounds.
@@ -232,7 +236,10 @@ pub fn explore(
     let initial_mapping = constructive_mapping(app, platform.architecture())
         .map_err(|e| ExploreError::Infeasible(OptError::from(e)))?;
     let initial_policies = PolicyAssignment::uniform_reexecution(app, k);
-    let initial_estimate = evaluate_state(app, platform, k, &initial_mapping, &initial_policies)
+    // One warm evaluator kernel per evaluation thread for the whole run.
+    let pool = EvaluatorPool::new(app, platform, k, config.threads.max(1));
+    let initial_estimate = pool
+        .with(0, |ev| evaluate_state(ev, &initial_mapping, &initial_policies))
         .ok_or_else(|| {
             ExploreError::Infeasible(OptError::NoFeasibleConfiguration(
                 "initial re-execution configuration is infeasible".into(),
@@ -282,9 +289,9 @@ pub fn explore(
     for _ in 0..config.rounds {
         // Workers advance in parallel; each returns its round archive.
         let round_archives: Vec<ParetoArchive> =
-            indexed_parallel(worker_count, worker_threads, |i| {
+            indexed_parallel(worker_count, worker_threads, |_, i| {
                 let mut worker = workers[i].lock().expect("worker state poisoned");
-                run_round(app, platform, k, config, &cache, eval_threads, &mut worker)
+                run_round(app, platform, k, config, &cache, &pool, eval_threads, &mut worker)
             });
         for local in round_archives {
             archive.merge(local);
@@ -314,18 +321,20 @@ pub fn explore(
         .expect("portfolio is non-empty");
     // Rebuild the full synthesized configuration (replica placement) for
     // the winner; its feasibility was established when it was evaluated.
-    let best = Synthesized::evaluate(app, platform, best.mapping, best.policies, k)?;
+    let best = pool.with(0, |ev| Synthesized::evaluate_with(ev, best.mapping, best.policies))?;
 
-    Ok(Exploration { best, archive, cache: cache.stats() })
+    Ok(Exploration { best, archive, cache: cache.stats(), evals: pool.stats() })
 }
 
 /// Advances one worker by `iterations_per_round` batched iterations.
+#[allow(clippy::too_many_arguments)]
 fn run_round(
     app: &Application,
     platform: &Platform,
     k: u32,
     config: &PortfolioConfig,
     cache: &EstimateCache,
+    pool: &EvaluatorPool,
     eval_threads: usize,
     worker: &mut Worker,
 ) -> ParetoArchive {
@@ -367,7 +376,7 @@ fn run_round(
 
         // 2. One parallel, cache-backed fan-out for the whole batch; keys
         // come back alongside so candidates need no re-encoding.
-        let keyed = evaluate_batch_keyed(app, platform, k, cache, &batch, eval_threads);
+        let keyed = evaluate_batch_keyed(pool, cache, &batch, eval_threads);
 
         // 3. Feasible candidates, in sample order.
         let mut candidates: Vec<(usize, Candidate)> = Vec::with_capacity(batch.len());

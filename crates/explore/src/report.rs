@@ -23,12 +23,13 @@ fn verified_csv(v: Option<bool>) -> &'static str {
 pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::from(
         "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
-         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,wall_ms\n",
+         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,wall_ms,\
+         evaluations,evaluator_reuse,evals_per_sec\n",
     );
     for p in &outcome.points {
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{}",
+            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{},{},{},{:.0}",
             p.point.processes,
             p.point.nodes,
             p.point.k,
@@ -44,6 +45,9 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
             p.cache.hit_rate(),
             verified_csv(p.verified),
             p.wall.as_millis(),
+            p.evals.evaluations(),
+            p.evals.reused(),
+            p.evals_per_sec(),
         )
         .expect("writing to String cannot fail");
     }
@@ -94,6 +98,17 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
         w.key("entries");
         w.number_usize(p.cache.entries);
         w.end_object();
+        w.key("evals");
+        w.begin_object();
+        w.key("constructions");
+        w.number_u64(p.evals.constructions);
+        w.key("full");
+        w.number_u64(p.evals.full_evals);
+        w.key("delta");
+        w.number_u64(p.evals.delta_evals);
+        w.key("reused");
+        w.number_u64(p.evals.reused());
+        w.end_object();
         w.key("wall_ms");
         w.number_u64(p.wall.as_millis() as u64);
         w.key("pareto");
@@ -121,6 +136,21 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
     w.number_u64(totals.misses);
     w.key("hit_rate");
     w.number_f64(totals.hit_rate(), 4);
+    w.end_object();
+    // `evals_per_sec` stays out of the JSON deliberately: it derives from
+    // wall clocks, and the `ftes-serve` byte-identity contract wants equal
+    // outcomes to render equal bodies (wall_ms is already the one tolerated
+    // exception, at millisecond coarseness). Consumers derive the rate from
+    // `evaluations` and `wall_ms`; the CSV and CLI summary print it.
+    let evals = outcome.total_evals();
+    w.key("total_evals");
+    w.begin_object();
+    w.key("constructions");
+    w.number_u64(evals.constructions);
+    w.key("evaluations");
+    w.number_u64(evals.evaluations());
+    w.key("reused");
+    w.number_u64(evals.reused());
     w.end_object();
     w.key("wall_ms");
     w.number_u64(outcome.wall.as_millis() as u64);

@@ -17,7 +17,7 @@ use ftes_ftcpg::{build_ftcpg, BuildConfig, CpgError};
 use ftes_gen::{generate_application, GeneratorConfig};
 use ftes_model::{Application, FaultModel, Time, Transparency};
 use ftes_opt::Synthesized;
-use ftes_sched::{schedule_ftcpg, SchedConfig};
+use ftes_sched::{schedule_ftcpg, EvaluatorStats, SchedConfig};
 use ftes_sim::verify_sampled;
 use ftes_tdma::Platform;
 use std::time::{Duration, Instant};
@@ -134,12 +134,27 @@ pub struct PointOutcome {
     pub archive: ParetoArchive,
     /// Estimate-cache counters of the point.
     pub cache: CacheStats,
+    /// Evaluator-kernel counters of the point (constructions, evaluations,
+    /// reuse across the per-thread pool).
+    pub evals: EvaluatorStats,
     /// Fault-injection verdict of the incumbent: `Some(sound)` when
     /// [`SuiteConfig::verify`] was set and the FT-CPG fit the size budget,
     /// `None` otherwise.
     pub verified: Option<bool>,
     /// Wall-clock time of the point (excluded from determinism checks).
     pub wall: Duration,
+}
+
+impl PointOutcome {
+    /// Evaluator-kernel throughput of the point: candidate evaluations per
+    /// wall-clock second (0 when the point finished too fast to time).
+    pub fn evals_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.evals.evaluations() as f64 / secs
+    }
 }
 
 /// Outcome of a whole suite sweep.
@@ -155,6 +170,20 @@ impl SuiteOutcome {
     /// Aggregated cache counters across all points.
     pub fn total_cache(&self) -> CacheStats {
         self.points.iter().fold(CacheStats::default(), |acc, p| acc.merged(p.cache))
+    }
+
+    /// Aggregated evaluator-kernel counters across all points.
+    pub fn total_evals(&self) -> EvaluatorStats {
+        self.points.iter().fold(EvaluatorStats::default(), |acc, p| acc.merged(p.evals))
+    }
+
+    /// Sweep-level evaluator throughput (evaluations per second).
+    pub fn evals_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_evals().evaluations() as f64 / secs
     }
 
     /// Deterministic fingerprint of the whole sweep: per point, its label
@@ -179,7 +208,7 @@ pub fn run_suite(config: &SuiteConfig) -> Result<SuiteOutcome, ExploreError> {
     let concurrent = config.point_parallelism.clamp(1, config.points.len().max(1));
     let threads_per_point = (config.portfolio.threads / concurrent).max(1);
     let results: Vec<Result<PointOutcome, ExploreError>> =
-        indexed_parallel(config.points.len(), config.point_parallelism, |i| {
+        indexed_parallel(config.points.len(), config.point_parallelism, |_, i| {
             run_point(config, config.points[i], threads_per_point)
         });
     let mut points = Vec::with_capacity(results.len());
@@ -231,6 +260,7 @@ fn run_point(
         slack_pct,
         archive: exploration.archive,
         cache: exploration.cache,
+        evals: exploration.evals,
         verified,
         wall: started.elapsed(),
     })
@@ -297,6 +327,9 @@ mod tests {
             assert!(!p.archive.is_empty());
         }
         assert!(outcome.total_cache().misses > 0);
+        let evals = outcome.total_evals();
+        assert!(evals.evaluations() > 0, "points must report kernel work");
+        assert!(evals.reused() > 0, "per-thread kernels must be reused within a point");
     }
 
     #[test]

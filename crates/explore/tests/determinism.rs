@@ -12,6 +12,7 @@ use ftes_explore::{
 };
 use ftes_gen::{generate_application, GeneratorConfig};
 use ftes_model::Time;
+use ftes_sched::SystemEvaluator;
 use ftes_tdma::Platform;
 
 fn suite(point_parallelism: usize, threads: usize, seed: u64) -> SuiteConfig {
@@ -67,10 +68,11 @@ fn cached_estimates_match_fresh_computation() {
     let platform = Platform::homogeneous(3, Time::new(8)).unwrap();
     let k = 2;
     let result = explore(&app, &platform, k, &PortfolioConfig::quick(23)).unwrap();
+    let mut evaluator = SystemEvaluator::new(&app, &platform, k);
 
     // Every archived state's estimate must equal a from-scratch evaluation.
     for entry in result.archive.entries() {
-        let fresh = evaluate_state(&app, &platform, k, &entry.mapping, &entry.policies)
+        let fresh = evaluate_state(&mut evaluator, &entry.mapping, &entry.policies)
             .expect("archived states are feasible");
         assert_eq!(entry.estimate, fresh, "cache must never distort an estimate");
     }
@@ -80,7 +82,7 @@ fn cached_estimates_match_fresh_computation() {
     for entry in result.archive.entries() {
         let key = StateKey::encode(&entry.mapping, &entry.policies);
         let through = cache.get_or_compute(key.clone(), || {
-            evaluate_state(&app, &platform, k, &entry.mapping, &entry.policies)
+            evaluate_state(&mut evaluator, &entry.mapping, &entry.policies)
         });
         let again = cache.get_or_compute(key, || panic!("second lookup must hit"));
         assert_eq!(through, again);

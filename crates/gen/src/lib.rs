@@ -84,6 +84,32 @@ impl GeneratorConfig {
         }
     }
 
+    /// A chain-heavy variant: deep layering (`|V|/2` layers) with dense
+    /// consecutive-layer edges. Precedence chains leave spare processor
+    /// capacity — the replication-friendly regime of the paper's §3.2 —
+    /// and this is the shape the figure harnesses sweep (EXPERIMENTS.md
+    /// records the calibration).
+    pub fn chainy(process_count: usize, node_count: usize) -> Self {
+        GeneratorConfig {
+            layers: Some((process_count / 2).max(2)),
+            edge_probability: 0.7,
+            ..GeneratorConfig::new(process_count, node_count)
+        }
+    }
+
+    /// A wide, parallel-heavy variant: few layers, so most processes are
+    /// independent and the schedulers contend on processors rather than on
+    /// precedence — the stress shape for resource-table logic (the
+    /// evaluator equality property test mixes this with [`chainy`]
+    /// (GeneratorConfig::chainy) and the default shape).
+    pub fn wide(process_count: usize, node_count: usize) -> Self {
+        GeneratorConfig {
+            layers: Some(3.min(process_count.max(1))),
+            edge_probability: 0.4,
+            ..GeneratorConfig::new(process_count, node_count)
+        }
+    }
+
     fn layer_count(&self) -> usize {
         self.layers.unwrap_or_else(|| (self.process_count as f64).sqrt().ceil() as usize).max(1)
     }

@@ -7,6 +7,7 @@
 use crate::search::propose_move;
 use crate::{OptError, PolicyMoves, SearchConfig, Synthesized};
 use ftes_model::Application;
+use ftes_sched::SystemEvaluator;
 use ftes_tdma::Platform;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,13 +32,15 @@ pub fn greedy_descent(
     config: SearchConfig,
 ) -> Result<(Synthesized, SearchTrace), OptError> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut evaluator = SystemEvaluator::new(app, platform, k);
+    evaluator.evaluate(&initial.copies, &initial.policies)?;
     let mut current = initial;
     let mut trace = SearchTrace::with_capacity(config.iterations);
     for _ in 0..config.iterations {
         let mut best_move: Option<Synthesized> = None;
         for _ in 0..config.neighborhood {
             if let Some((cand, _)) =
-                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+                propose_move(&mut evaluator, &current, policy_moves, config, &mut rng)?
             {
                 if cand.objective()
                     < best_move.as_ref().map_or(current.objective(), |b| b.objective())
@@ -47,7 +50,11 @@ pub fn greedy_descent(
             }
         }
         match best_move {
-            Some(next) => current = next,
+            Some(next) => {
+                current = next;
+                // Re-anchor the delta base at the accepted state.
+                evaluator.evaluate(&current.copies, &current.policies)?;
+            }
             None => {
                 trace.push(current.estimate.worst_case_length.units());
                 break;
@@ -75,6 +82,8 @@ pub fn simulated_annealing(
     config: SearchConfig,
 ) -> Result<(Synthesized, SearchTrace), OptError> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut evaluator = SystemEvaluator::new(app, platform, k);
+    evaluator.evaluate(&initial.copies, &initial.policies)?;
     let mut current = initial.clone();
     let mut best = initial;
     let mut trace = SearchTrace::with_capacity(config.iterations);
@@ -84,7 +93,7 @@ pub fn simulated_annealing(
     for _ in 0..config.iterations {
         for _ in 0..config.neighborhood {
             let Some((cand, _)) =
-                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+                propose_move(&mut evaluator, &current, policy_moves, config, &mut rng)?
             else {
                 continue;
             };
@@ -93,6 +102,8 @@ pub fn simulated_annealing(
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
             if accept {
                 current = cand;
+                // Re-anchor the delta base at the accepted state.
+                evaluator.evaluate(&current.copies, &current.policies)?;
                 if current.objective() < best.objective() {
                     best = current.clone();
                 }

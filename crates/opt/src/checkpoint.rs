@@ -16,6 +16,7 @@
 use crate::{OptError, Synthesized};
 use ftes_ft::{Policy, PolicyAssignment};
 use ftes_model::{Application, Mapping};
+use ftes_sched::SystemEvaluator;
 use ftes_tdma::Platform;
 
 /// Result of the checkpoint-optimization comparison for one instance.
@@ -74,6 +75,10 @@ pub fn optimize_checkpoints_global(
     max_checkpoints: u32,
     max_iterations: usize,
 ) -> Result<Synthesized, OptError> {
+    // One kernel for the whole descent; ±1-checkpoint candidates are
+    // neighbors of the accepted state, so they take the delta path.
+    let mut evaluator = SystemEvaluator::new(app, platform, k);
+    evaluator.evaluate(&initial.copies, &initial.policies)?;
     let mut best = initial;
     for _ in 0..max_iterations {
         let mut improved: Option<Synthesized> = None;
@@ -90,7 +95,8 @@ pub fn optimize_checkpoints_global(
                 }
                 let mut policies = best.policies.clone();
                 policies.set(pid, Policy::checkpointing(plan.recoveries, x as u32));
-                let cand = Synthesized::evaluate(app, platform, best.mapping.clone(), policies, k)?;
+                let cand =
+                    Synthesized::evaluate_neighbor(&mut evaluator, best.mapping.clone(), policies)?;
                 let beats_current = cand.objective()
                     < improved.as_ref().map_or(best.objective(), |s| s.objective());
                 if beats_current {
@@ -99,7 +105,11 @@ pub fn optimize_checkpoints_global(
             }
         }
         match improved {
-            Some(next) => best = next,
+            Some(next) => {
+                best = next;
+                // Re-anchor the delta base at the accepted state.
+                evaluator.evaluate(&best.copies, &best.policies)?;
+            }
             None => break,
         }
     }

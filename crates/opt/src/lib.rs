@@ -49,7 +49,8 @@ pub use checkpoint::{
 pub use constructive::constructive_mapping;
 pub use error::OptError;
 pub use search::{
-    apply_move, candidate_policies, sample_move, tabu_search, tabu_search_traced, CandidateMove,
-    PolicyMoves, SearchConfig, Synthesized,
+    apply_move, candidate_policies, sample_move, tabu_search, tabu_search_traced,
+    tabu_search_traced_with, tabu_search_with, CandidateMove, PolicyMoves, SearchConfig,
+    Synthesized,
 };
-pub use strategy::{synthesize, Strategy};
+pub use strategy::{synthesize, synthesize_with, Strategy};

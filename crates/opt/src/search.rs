@@ -16,7 +16,7 @@ use crate::OptError;
 use ftes_ft::{CopyPlan, Policy, PolicyAssignment};
 use ftes_ftcpg::CopyMapping;
 use ftes_model::{Application, Architecture, Mapping, NodeId, ProcessId, Time};
-use ftes_sched::{estimate_schedule_length, Estimate};
+use ftes_sched::{Estimate, SystemEvaluator};
 use ftes_tdma::Platform;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -57,7 +57,11 @@ pub struct Synthesized {
 }
 
 impl Synthesized {
-    /// Evaluates a (mapping, policies) state.
+    /// Evaluates a (mapping, policies) state with a one-shot evaluator.
+    ///
+    /// Hot paths hold a [`SystemEvaluator`] and use
+    /// [`Synthesized::evaluate_with`] instead, amortizing the kernel's
+    /// construction across a whole search.
     ///
     /// # Errors
     ///
@@ -69,8 +73,50 @@ impl Synthesized {
         policies: PolicyAssignment,
         k: u32,
     ) -> Result<Self, OptError> {
-        let copies = CopyMapping::from_base(app, platform.architecture(), &mapping, &policies)?;
-        let estimate = estimate_schedule_length(app, platform, &copies, &policies, k)?;
+        let mut evaluator = SystemEvaluator::new(app, platform, k);
+        Synthesized::evaluate_with(&mut evaluator, mapping, policies)
+    }
+
+    /// Evaluates a (mapping, policies) state through a reusable evaluator
+    /// kernel, anchoring it as the kernel's delta base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator and copy-placement errors.
+    pub fn evaluate_with(
+        evaluator: &mut SystemEvaluator,
+        mapping: Mapping,
+        policies: PolicyAssignment,
+    ) -> Result<Self, OptError> {
+        let copies = CopyMapping::from_base(
+            evaluator.app(),
+            evaluator.platform().architecture(),
+            &mapping,
+            &policies,
+        )?;
+        let estimate = evaluator.evaluate(&copies, &policies)?;
+        Ok(Synthesized { mapping, policies, copies, estimate })
+    }
+
+    /// Evaluates a *neighbor* of the evaluator's anchored base state via
+    /// the delta path (falling back to a full evaluation when the dirty
+    /// region cascades — never to a wrong result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator and copy-placement errors.
+    pub fn evaluate_neighbor(
+        evaluator: &mut SystemEvaluator,
+        mapping: Mapping,
+        policies: PolicyAssignment,
+    ) -> Result<Self, OptError> {
+        let copies = CopyMapping::from_base(
+            evaluator.app(),
+            evaluator.platform().architecture(),
+            &mapping,
+            &policies,
+        )?;
+        let estimate = evaluator.delta_evaluate(&copies, &policies)?;
         Ok(Synthesized { mapping, policies, copies, estimate })
     }
 
@@ -228,34 +274,45 @@ pub fn apply_move(
 }
 
 /// Samples one candidate move from the neighborhood of `current` and
-/// evaluates it; returns `None` for degenerate samples (no-op moves, fixed
-/// or single-node processes; infeasible evaluations are skipped as `None`).
+/// scores it through the evaluator's delta path (the kernel's base is the
+/// search's current state, so most proposals re-schedule only a suffix);
+/// returns `None` for degenerate samples (no-op moves, fixed or
+/// single-node processes; infeasible evaluations are skipped as `None`).
 ///
 /// Shared between the tabu search and the alternative engines in
 /// [`crate::greedy_descent`] / [`crate::simulated_annealing`].
 pub(crate) fn propose_move(
-    app: &Application,
-    platform: &Platform,
-    k: u32,
+    evaluator: &mut SystemEvaluator,
     current: &Synthesized,
     policy_moves: PolicyMoves,
     config: SearchConfig,
     rng: &mut ChaCha8Rng,
 ) -> Result<Option<(Synthesized, ProcessId)>, OptError> {
-    let Some(mv) =
-        sample_move(app, &current.mapping, &current.policies, k, policy_moves, config, rng)
-    else {
+    let k = evaluator.k();
+    let Some(mv) = sample_move(
+        evaluator.app(),
+        &current.mapping,
+        &current.policies,
+        k,
+        policy_moves,
+        config,
+        rng,
+    ) else {
         return Ok(None);
     };
     let p = mv.process();
-    let Some((mapping, policies)) =
-        apply_move(app, platform.architecture(), &current.mapping, &current.policies, &mv)
-    else {
+    let Some((mapping, policies)) = apply_move(
+        evaluator.app(),
+        evaluator.platform().architecture(),
+        &current.mapping,
+        &current.policies,
+        &mv,
+    ) else {
         return Ok(None);
     };
     // Infeasible evaluations (e.g. a policy the bus cannot carry) are
     // skipped rather than surfaced: the move is simply not available.
-    Ok(Synthesized::evaluate(app, platform, mapping, policies, k).ok().map(|c| (c, p)))
+    Ok(Synthesized::evaluate_neighbor(evaluator, mapping, policies).ok().map(|c| (c, p)))
 }
 
 /// Runs a tabu search from an initial state, minimizing the estimated
@@ -275,6 +332,21 @@ pub fn tabu_search(
     Ok(tabu_search_traced(app, platform, k, initial, policy_moves, config)?.0)
 }
 
+/// [`tabu_search`] over a caller-provided evaluator kernel (one evaluator
+/// per search; the flow layer shares it across synthesis phases).
+///
+/// # Errors
+///
+/// Propagates evaluation errors; the initial state must be feasible.
+pub fn tabu_search_with(
+    evaluator: &mut SystemEvaluator,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<Synthesized, OptError> {
+    Ok(tabu_search_traced_with(evaluator, initial, policy_moves, config)?.0)
+}
+
 /// [`tabu_search`] with an objective trace (best worst-case length after
 /// each iteration), for the search ablation.
 ///
@@ -289,8 +361,25 @@ pub fn tabu_search_traced(
     policy_moves: PolicyMoves,
     config: SearchConfig,
 ) -> Result<(Synthesized, Vec<i64>), OptError> {
+    let mut evaluator = SystemEvaluator::new(app, platform, k);
+    tabu_search_traced_with(&mut evaluator, initial, policy_moves, config)
+}
+
+/// [`tabu_search_traced`] over a caller-provided evaluator kernel.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; the initial state must be feasible.
+pub fn tabu_search_traced_with(
+    evaluator: &mut SystemEvaluator,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+) -> Result<(Synthesized, Vec<i64>), OptError> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let n = app.process_count();
+    let n = evaluator.app().process_count();
+    // Anchor the delta base at the search's starting state.
+    evaluator.evaluate(&initial.copies, &initial.policies)?;
     let mut current = initial.clone();
     let mut best = initial;
     let mut tabu_until = vec![0usize; n];
@@ -300,7 +389,7 @@ pub fn tabu_search_traced(
         let mut best_move: Option<(Synthesized, ProcessId)> = None;
         for _ in 0..config.neighborhood {
             let Some((candidate, p)) =
-                propose_move(app, platform, k, &current, policy_moves, config, &mut rng)?
+                propose_move(evaluator, &current, policy_moves, config, &mut rng)?
             else {
                 continue;
             };
@@ -322,6 +411,8 @@ pub fn tabu_search_traced(
                 best = next.clone();
             }
             current = next;
+            // Re-anchor the delta base at the accepted state.
+            evaluator.evaluate(&current.copies, &current.policies)?;
         }
         trace.push(best.estimate.worst_case_length.units());
     }

@@ -11,9 +11,12 @@
 //!   while *ignoring* fault tolerance, then re-execution is bolted on
 //!   without re-optimizing.
 
-use crate::{constructive_mapping, tabu_search, OptError, PolicyMoves, SearchConfig, Synthesized};
+use crate::{
+    constructive_mapping, tabu_search_with, OptError, PolicyMoves, SearchConfig, Synthesized,
+};
 use ftes_ft::PolicyAssignment;
 use ftes_model::Application;
+use ftes_sched::SystemEvaluator;
 use ftes_tdma::Platform;
 use std::fmt;
 
@@ -74,34 +77,53 @@ pub fn synthesize(
     strategy: Strategy,
     config: SearchConfig,
 ) -> Result<Synthesized, OptError> {
-    let arch = platform.architecture();
-    let initial_mapping = constructive_mapping(app, arch)?;
+    let mut evaluator = SystemEvaluator::new(app, platform, k);
+    synthesize_with(&mut evaluator, strategy, config)
+}
+
+/// [`synthesize`] over a caller-provided evaluator kernel: the whole
+/// multi-phase search (e.g. MXR's MX bootstrap plus the full search)
+/// shares one evaluator, and the flow layer can hand in a warm one.
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with(
+    evaluator: &mut SystemEvaluator,
+    strategy: Strategy,
+    config: SearchConfig,
+) -> Result<Synthesized, OptError> {
+    let k = evaluator.k();
+    let initial_mapping =
+        constructive_mapping(evaluator.app(), evaluator.platform().architecture())?;
     match strategy {
         Strategy::Mxr => {
             // Phase 1: the MX solution (mapping search under re-execution)
             // seeds the full search, so MXR is never worse than MX — the
             // same bootstrapping the authors' heuristic uses.
-            let mx = synthesize(app, platform, k, Strategy::Mx, config)?;
-            tabu_search(app, platform, k, mx, PolicyMoves::Full, config)
+            let mx = synthesize_with(evaluator, Strategy::Mx, config)?;
+            tabu_search_with(evaluator, mx, PolicyMoves::Full, config)
         }
         Strategy::Mx => {
-            let policies = PolicyAssignment::uniform_reexecution(app, k);
-            let initial = Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
-            tabu_search(app, platform, k, initial, PolicyMoves::None, config)
+            let policies = PolicyAssignment::uniform_reexecution(evaluator.app(), k);
+            let initial = Synthesized::evaluate_with(evaluator, initial_mapping, policies)?;
+            tabu_search_with(evaluator, initial, PolicyMoves::None, config)
         }
         Strategy::Mr => {
-            let policies = PolicyAssignment::uniform_replication(app, k);
-            let initial = Synthesized::evaluate(app, platform, initial_mapping, policies, k)?;
-            tabu_search(app, platform, k, initial, PolicyMoves::None, config)
+            let policies = PolicyAssignment::uniform_replication(evaluator.app(), k);
+            let initial = Synthesized::evaluate_with(evaluator, initial_mapping, policies)?;
+            tabu_search_with(evaluator, initial, PolicyMoves::None, config)
         }
         Strategy::Sfx => {
-            // Phase 1: fault-oblivious mapping (k = 0 objective).
-            let no_ft = PolicyAssignment::uniform_reexecution(app, 0);
-            let initial = Synthesized::evaluate(app, platform, initial_mapping, no_ft, 0)?;
-            let tuned = tabu_search(app, platform, 0, initial, PolicyMoves::None, config)?;
+            // Phase 1: fault-oblivious mapping (k = 0 objective) — a
+            // different fault budget needs its own kernel.
+            let mut no_ft_eval = SystemEvaluator::new(evaluator.app(), evaluator.platform(), 0);
+            let no_ft = PolicyAssignment::uniform_reexecution(no_ft_eval.app(), 0);
+            let initial = Synthesized::evaluate_with(&mut no_ft_eval, initial_mapping, no_ft)?;
+            let tuned = tabu_search_with(&mut no_ft_eval, initial, PolicyMoves::None, config)?;
             // Phase 2: bolt re-execution on without re-optimizing.
-            let policies = PolicyAssignment::uniform_reexecution(app, k);
-            Synthesized::evaluate(app, platform, tuned.mapping, policies, k)
+            let policies = PolicyAssignment::uniform_reexecution(evaluator.app(), k);
+            Synthesized::evaluate_with(evaluator, tuned.mapping, policies)
         }
     }
 }

@@ -28,14 +28,16 @@
 //! optimistic (increasingly so with `k`). Schedulability of the final
 //! configuration is always judged on the exact conditional schedule when
 //! one is built. Calibration is measured in `tests/` and EXPERIMENTS.md.
+//!
+//! The implementation lives in the reusable
+//! [`SystemEvaluator`](crate::SystemEvaluator) kernel; this module keeps
+//! the [`Estimate`] value type and the one-shot compatibility wrapper.
 
-use crate::{worst_case_delivery, ReplicaLadder, ResourceTable, SchedError};
-use ftes_ft::{CopyPlan, PolicyAssignment, RecoveryScheme};
-use ftes_ftcpg::{CopyMapping, Guard};
+use crate::{SchedError, SystemEvaluator};
+use ftes_ft::PolicyAssignment;
+use ftes_ftcpg::CopyMapping;
 use ftes_model::{Application, ProcessId, Time};
 use ftes_tdma::Platform;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Result of the fast schedule-length estimation.
 ///
@@ -72,6 +74,12 @@ impl Estimate {
 
 /// Estimates the worst-case schedule length of a configuration.
 ///
+/// This is the one-shot compatibility wrapper over
+/// [`SystemEvaluator`](crate::SystemEvaluator): it constructs a fresh
+/// kernel and evaluates once. Hot callers (the optimization loops, the
+/// exploration workers, the service) hold a kernel instead and amortize the
+/// construction across thousands of evaluations.
+///
 /// # Errors
 ///
 /// Returns [`SchedError::Tdma`] when a message cannot be scheduled on the
@@ -105,160 +113,7 @@ pub fn estimate_schedule_length(
     policies: &PolicyAssignment,
     k: u32,
 ) -> Result<Estimate, SchedError> {
-    policies.validate(k)?;
-    let bus = platform.bus();
-    let node_count = platform.architecture().node_count();
-    let mut cpus = vec![ResourceTable::new(); node_count];
-
-    // Downward rank on the application DAG for the list-scheduling priority.
-    let rank = app_ranks(app);
-
-    // Per process: completion time of each copy in the fault-free schedule.
-    let mut copy_end: Vec<Vec<Time>> = vec![Vec::new(); app.process_count()];
-    // Per process: earliest delivery to each consumer node (fault-free).
-    let mut indegree: Vec<usize> =
-        (0..app.process_count()).map(|i| app.predecessors(ProcessId::new(i)).len()).collect();
-    let mut ready: BinaryHeap<(Time, Reverse<usize>)> = indegree
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| d == 0)
-        .map(|(i, _)| (rank[i], Reverse(i)))
-        .collect();
-
-    let mut makespan = Time::ZERO;
-    let mut scheduled = 0usize;
-    while let Some((_, Reverse(i))) = ready.pop() {
-        let pid = ProcessId::new(i);
-        let proc = app.process(pid);
-        scheduled += 1;
-        for (c, &cpu) in copies.copies_of(pid).iter().enumerate() {
-            let plan = policies.policy(pid).copies()[c];
-            let wcet = proc.wcet_on(cpu).expect("copy mapping is validated");
-            let scheme = RecoveryScheme::for_process(proc, wcet)?;
-            let duration = scheme.fault_free_time(plan.checkpoints);
-            // Ready when every predecessor has delivered to this CPU.
-            let mut est = proc.release();
-            for &(pred, mid) in app.predecessors(pid) {
-                let trans = app.message(mid).transmission();
-                let mut arrival = Time::MAX;
-                for (pc, &pcpu) in copies.copies_of(pred).iter().enumerate() {
-                    let end = copy_end[pred.index()][pc];
-                    let a = if pcpu == cpu {
-                        end
-                    } else {
-                        // Uncontended TDMA window (cheap bound).
-                        bus.next_window(pcpu, end, trans)?.end
-                    };
-                    arrival = arrival.min(a);
-                }
-                est = est.max(arrival);
-            }
-            let s = cpus[cpu.index()].earliest_fit(est, duration, &Guard::always());
-            cpus[cpu.index()].reserve(s, s + duration, Guard::always());
-            copy_end[i].push(s + duration);
-            makespan = makespan.max(s + duration);
-        }
-        for &(succ, _) in app.successors(pid) {
-            indegree[succ.index()] -= 1;
-            if indegree[succ.index()] == 0 {
-                ready.push((rank[succ.index()], Reverse(succ.index())));
-            }
-        }
-    }
-    debug_assert_eq!(scheduled, app.process_count());
-
-    // Downstream finish per process: completion of its latest transitive
-    // successor in the root schedule (itself, for sinks).
-    let mut path_end = vec![Time::ZERO; app.process_count()];
-    for &pid in app.topological_order().iter().rev() {
-        let own = copy_end[pid.index()]
-            .iter()
-            .copied()
-            .min()
-            .expect("every process has at least one copy");
-        let down = app
-            .successors(pid)
-            .iter()
-            .map(|&(s, _)| path_end[s.index()])
-            .max()
-            .unwrap_or(Time::ZERO);
-        path_end[pid.index()] = own.max(down);
-    }
-
-    // Recovery slack: worst extra delay when all k faults hit one process,
-    // delaying everything downstream of it.
-    let mut worst_case = makespan;
-    let mut critical = ProcessId::new(0);
-    for (pid, proc) in app.processes() {
-        let policy = policies.policy(pid);
-        let ladders: Result<Vec<ReplicaLadder>, SchedError> = policy
-            .copies()
-            .iter()
-            .zip(copies.copies_of(pid))
-            .zip(&copy_end[pid.index()])
-            .map(|((plan, &cpu), &end)| {
-                let wcet = proc.wcet_on(cpu).expect("copy mapping is validated");
-                let scheme = RecoveryScheme::for_process(proc, wcet)?;
-                Ok(ladder_for(scheme, *plan, end, k))
-            })
-            .collect();
-        let ladders = ladders?;
-        let no_fault =
-            ladders.iter().map(|l| l.ladder[0]).min().expect("policies have at least one copy");
-        let delivery = worst_case_delivery(&ladders, k)
-            .ok_or(SchedError::Ft(ftes_ft::FtError::InsufficientPolicy { k, tolerated: 0 }))?;
-        let slack = delivery - no_fault;
-        let finish = path_end[pid.index()] + slack;
-        if finish > worst_case {
-            worst_case = finish;
-            critical = pid;
-        }
-    }
-
-    Ok(Estimate {
-        fault_free_length: makespan,
-        worst_case_length: worst_case,
-        critical_process: critical,
-    })
-}
-
-/// The completion ladder of one copy given its fault-free completion time.
-fn ladder_for(
-    scheme: RecoveryScheme,
-    plan: CopyPlan,
-    fault_free_end: Time,
-    k: u32,
-) -> ReplicaLadder {
-    let base = scheme.fault_free_time(plan.checkpoints);
-    let max_faults = plan.recoveries.min(k);
-    let mut ladder = Vec::with_capacity(max_faults as usize + 1);
-    for f in 0..=max_faults {
-        let w = scheme.worst_case_time(plan.checkpoints, f);
-        ladder.push(fault_free_end + (w - base));
-    }
-    // The copy dies if faults can exceed its recoveries within the budget.
-    let killable = plan.recoveries < k;
-    ReplicaLadder { ladder, killable }
-}
-
-/// Longest path (minimum-WCET durations plus transmissions) from each
-/// process to any sink.
-fn app_ranks(app: &Application) -> Vec<Time> {
-    let n = app.process_count();
-    let mut rank = vec![Time::ZERO; n];
-    for &pid in app.topological_order().iter().rev() {
-        let proc = app.process(pid);
-        let dur =
-            proc.candidate_nodes().filter_map(|c| proc.wcet_on(c)).min().unwrap_or(Time::ZERO);
-        let down = app
-            .successors(pid)
-            .iter()
-            .map(|&(s, m)| rank[s.index()] + app.message(m).transmission())
-            .max()
-            .unwrap_or(Time::ZERO);
-        rank[pid.index()] = dur + down;
-    }
-    rank
+    SystemEvaluator::new(app, platform, k).evaluate(copies, policies)
 }
 
 #[cfg(test)]

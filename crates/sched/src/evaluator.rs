@@ -1,0 +1,759 @@
+//! The incremental evaluation kernel: a reusable [`SystemEvaluator`] that
+//! amortizes everything invariant per `(Application, Platform, k)` across
+//! the thousands of candidate evaluations a synthesis run performs.
+//!
+//! [`estimate_schedule_length`](crate::estimate_schedule_length) re-derives
+//! the list-scheduling order, recovery schemes, resource tables and
+//! transitive-successor structure from scratch on every call — fine for a
+//! one-shot estimate, wasteful inside the optimization loops where only the
+//! candidate `(mapping, policies)` state changes between calls. The kernel
+//! splits the work:
+//!
+//! * **Construction** precomputes the invariants: the exact pop order of
+//!   the root-schedule list scheduler (a pure function of the DAG and the
+//!   downward ranks, both state-independent), one [`RecoveryScheme`] per
+//!   feasible `(process, node)` pair, and reusable per-processor lane and
+//!   per-process completion buffers.
+//! * **[`evaluate`](SystemEvaluator::evaluate)** re-scores a candidate
+//!   state against those buffers with zero steady-state allocation, and
+//!   anchors the evaluator's *base state* for delta re-estimation.
+//! * **[`delta_evaluate`](SystemEvaluator::delta_evaluate)** re-scores a
+//!   neighbor of the base state by diffing copy placements and policies:
+//!   the root-schedule prefix before the first dirty process is provably
+//!   identical (the pop order is fixed and every reservation at position
+//!   `< p` derives from positions `< p` only), so only the suffix is
+//!   re-scheduled and only processes whose inputs changed re-run the
+//!   adversarial slack analysis. When the dirty region reaches position 0
+//!   the call degrades to a full evaluation — never to a wrong one.
+//!
+//! Equality with the legacy free function is bit-for-bit — including which
+//! process is reported critical and which error is reported for infeasible
+//! states — and is locked in by `tests/evaluator_equality.rs` at the
+//! workspace root.
+
+use crate::{worst_case_delivery, Estimate, ReplicaLadder, SchedError};
+use ftes_ft::{CopyPlan, FtError, PolicyAssignment, RecoveryScheme};
+use ftes_ftcpg::CopyMapping;
+use ftes_model::{Application, ProcessId, Time};
+use ftes_tdma::Platform;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Work counters of one [`SystemEvaluator`] (mergeable across a pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvaluatorStats {
+    /// Evaluator constructions (1 per [`SystemEvaluator::new`]).
+    pub constructions: u64,
+    /// Full evaluations (including delta fallbacks).
+    pub full_evals: u64,
+    /// Delta evaluations that re-scheduled only a suffix.
+    pub delta_evals: u64,
+    /// Delta calls whose state equalled the base (answered from the anchor).
+    pub delta_noops: u64,
+    /// Delta calls that fell back to a full evaluation (no base yet, or the
+    /// dirty region reached position 0).
+    pub delta_fallbacks: u64,
+}
+
+impl EvaluatorStats {
+    /// Total candidate evaluations answered.
+    pub fn evaluations(&self) -> u64 {
+        self.full_evals + self.delta_evals + self.delta_noops
+    }
+
+    /// Evaluations served by a *reused* evaluator (beyond one construction
+    /// each) — the counter the `ftes explore` summary reports.
+    pub fn reused(&self) -> u64 {
+        self.evaluations().saturating_sub(self.constructions)
+    }
+
+    /// Sums two snapshots (pool/suite aggregation).
+    pub fn merged(self, other: EvaluatorStats) -> EvaluatorStats {
+        EvaluatorStats {
+            constructions: self.constructions + other.constructions,
+            full_evals: self.full_evals + other.full_evals,
+            delta_evals: self.delta_evals + other.delta_evals,
+            delta_noops: self.delta_noops + other.delta_noops,
+            delta_fallbacks: self.delta_fallbacks + other.delta_fallbacks,
+        }
+    }
+}
+
+/// Per-`(process, node)` recovery scheme, precomputed at construction.
+///
+/// `None` = the process has no WCET on that node (a validated copy mapping
+/// never asks for it); `Some(Err)` = the scheme itself is invalid there and
+/// evaluation must surface the same [`FtError`] the legacy path would.
+type SchemeSlot = Option<Result<RecoveryScheme, FtError>>;
+
+/// The anchor state `delta_evaluate` diffs against.
+struct BaseState {
+    copies: CopyMapping,
+    policies: PolicyAssignment,
+    /// Completion time of every copy in the base root schedule.
+    copy_end: Vec<Vec<Time>>,
+    /// Per node: reservations in insertion (= schedule) order, tagged with
+    /// the position of the reserving process so prefixes can be truncated.
+    logs: Vec<Vec<(u32, Time, Time)>>,
+    /// Root-schedule makespan after each position.
+    makespan_after: Vec<Time>,
+    /// Recovery slack `delivery − no_fault` per process.
+    slack: Vec<Time>,
+    estimate: Estimate,
+}
+
+/// Reusable evaluation kernel for one `(Application, Platform, k)` problem
+/// instance.
+///
+/// The evaluator owns clones of the application and platform so it can
+/// outlive the caller's borrows (the `ftes-serve` evaluator bank keeps warm
+/// evaluators across requests). All scratch buffers are reused between
+/// calls; steady-state evaluation allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ft::PolicyAssignment;
+/// use ftes_ftcpg::CopyMapping;
+/// use ftes_model::{samples, Mapping, Time};
+/// use ftes_sched::{estimate_schedule_length, SystemEvaluator};
+/// use ftes_tdma::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch) = samples::fig3();
+/// let mapping = Mapping::cheapest(&app, &arch)?;
+/// let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+/// let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// let platform = Platform::homogeneous(2, Time::new(8))?;
+///
+/// let mut evaluator = SystemEvaluator::new(&app, &platform, 2);
+/// let fast = evaluator.evaluate(&copies, &policies)?;
+/// let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, 2)?;
+/// assert_eq!(fast, legacy);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SystemEvaluator {
+    app: Application,
+    platform: Platform,
+    k: u32,
+    /// Pop order of the root-schedule list scheduler (state-independent).
+    order: Vec<ProcessId>,
+    /// Position of each process in `order`.
+    pos_of: Vec<u32>,
+    /// `schemes[p][n]`: recovery scheme of process `p` on node `n`.
+    schemes: Vec<Vec<SchemeSlot>>,
+    // ---- per-evaluation scratch, reused across calls ----
+    copy_end: Vec<Vec<Time>>,
+    lanes: Vec<Vec<(Time, Time)>>,
+    logs: Vec<Vec<(u32, Time, Time)>>,
+    makespan_after: Vec<Time>,
+    path_end: Vec<Time>,
+    slack: Vec<Time>,
+    changed: Vec<bool>,
+    // ---- delta anchor + counters ----
+    base: Option<BaseState>,
+    stats: EvaluatorStats,
+}
+
+impl SystemEvaluator {
+    /// Precomputes the invariant structure for one `(app, platform, k)`
+    /// problem instance.
+    pub fn new(app: &Application, platform: &Platform, k: u32) -> Self {
+        let n = app.process_count();
+        let node_count = platform.architecture().node_count();
+        let order = schedule_order(app);
+        let mut pos_of = vec![0u32; n];
+        for (pos, &pid) in order.iter().enumerate() {
+            pos_of[pid.index()] = pos as u32;
+        }
+        let schemes = app
+            .processes()
+            .map(|(_, proc)| {
+                (0..node_count)
+                    .map(|node| {
+                        proc.wcet_on(ftes_model::NodeId::new(node))
+                            .map(|wcet| RecoveryScheme::for_process(proc, wcet))
+                    })
+                    .collect()
+            })
+            .collect();
+        SystemEvaluator {
+            app: app.clone(),
+            platform: platform.clone(),
+            k,
+            order,
+            pos_of,
+            schemes,
+            copy_end: vec![Vec::new(); n],
+            lanes: vec![Vec::new(); node_count],
+            logs: vec![Vec::new(); node_count],
+            makespan_after: Vec::with_capacity(n),
+            path_end: vec![Time::ZERO; n],
+            slack: vec![Time::ZERO; n],
+            changed: vec![false; n],
+            base: None,
+            stats: EvaluatorStats { constructions: 1, ..EvaluatorStats::default() },
+        }
+    }
+
+    /// The application this evaluator was built for.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The platform this evaluator was built for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The fault budget `k` this evaluator scores against.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> EvaluatorStats {
+        self.stats
+    }
+
+    /// Evaluates a candidate state from scratch (reusing all buffers) and
+    /// anchors it as the base state for subsequent
+    /// [`delta_evaluate`](SystemEvaluator::delta_evaluate) calls.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the legacy estimator's:
+    /// [`SchedError::Tdma`] when a message cannot be scheduled on the bus,
+    /// [`SchedError::Ft`] for invalid policies. A failed evaluation leaves
+    /// the previous base state in place.
+    pub fn evaluate(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Result<Estimate, SchedError> {
+        self.stats.full_evals += 1;
+        self.evaluate_inner(copies, policies)
+    }
+
+    fn evaluate_inner(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Result<Estimate, SchedError> {
+        policies.validate(self.k)?;
+        for row in &mut self.copy_end {
+            row.clear();
+        }
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        for log in &mut self.logs {
+            log.clear();
+        }
+        self.makespan_after.clear();
+        let makespan = self.schedule_suffix(copies, policies, 0, Time::ZERO)?;
+        let estimate = self.finish_estimate(copies, policies, makespan, None)?;
+        self.anchor(copies, policies, estimate);
+        Ok(estimate)
+    }
+
+    /// Re-scores a *neighbor* of the base state: only positions from the
+    /// first changed process onward are re-scheduled, and only processes
+    /// whose policy, placement or completion times changed re-run the
+    /// adversarial slack analysis. Falls back to a full evaluation (and
+    /// re-anchors) when no base exists or the dirty region reaches
+    /// position 0. The base state is left untouched otherwise, so a search
+    /// can score a whole neighborhood and re-anchor only on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`](SystemEvaluator::evaluate) — bit-for-bit, the
+    /// same inputs produce the same `Result` on both paths.
+    pub fn delta_evaluate(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Result<Estimate, SchedError> {
+        let Some(dirty_from) = self.dirty_position(copies, policies) else {
+            // No base to diff against: full evaluation.
+            self.stats.delta_fallbacks += 1;
+            self.stats.full_evals += 1;
+            return self.evaluate_inner(copies, policies);
+        };
+        policies.validate(self.k)?;
+        let n = self.app.process_count();
+        if dirty_from >= n {
+            // The candidate *is* the base state.
+            self.stats.delta_noops += 1;
+            return Ok(self.base.as_ref().expect("dirty_position requires a base").estimate);
+        }
+        if dirty_from == 0 {
+            // Dirty region cascades to the front: nothing to reuse.
+            self.stats.delta_fallbacks += 1;
+            self.stats.full_evals += 1;
+            return self.evaluate_inner(copies, policies);
+        }
+        self.stats.delta_evals += 1;
+
+        // Rebuild the (provably identical) prefix from the base state.
+        let base = self.base.as_ref().expect("dirty_position requires a base");
+        for &pid in &self.order[..dirty_from] {
+            self.copy_end[pid.index()].clone_from(&base.copy_end[pid.index()]);
+        }
+        for (lane, log) in self.lanes.iter_mut().zip(&base.logs) {
+            let cut = log.partition_point(|&(pos, _, _)| (pos as usize) < dirty_from);
+            lane.clear();
+            lane.extend(log[..cut].iter().map(|&(_, s, e)| (s, e)));
+            lane.sort_unstable();
+        }
+        let prefix_makespan = base.makespan_after[dirty_from - 1];
+        self.makespan_after.clear();
+        self.makespan_after.extend_from_slice(&base.makespan_after[..dirty_from]);
+        for log in &mut self.logs {
+            log.clear();
+        }
+
+        let makespan = self.schedule_suffix(copies, policies, dirty_from, prefix_makespan)?;
+        self.finish_estimate(copies, policies, makespan, Some(dirty_from))
+    }
+
+    /// First schedule position whose process differs (in placement or
+    /// policy) from the base state; `app.process_count()` when nothing
+    /// differs, `None` when there is no base.
+    fn dirty_position(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Option<usize> {
+        let base = self.base.as_ref()?;
+        let mut dirty = self.app.process_count();
+        for (pid, _) in self.app.processes() {
+            let changed = copies.copies_of(pid) != base.copies.copies_of(pid)
+                || policies.policy(pid) != base.policies.policy(pid);
+            self.changed[pid.index()] = changed;
+            if changed {
+                dirty = dirty.min(self.pos_of[pid.index()] as usize);
+            }
+        }
+        Some(dirty)
+    }
+
+    /// List-schedules positions `from..` of the fixed order onto the lane
+    /// scratch, extending `copy_end` and the per-node logs. Returns the
+    /// root-schedule makespan.
+    fn schedule_suffix(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+        from: usize,
+        prefix_makespan: Time,
+    ) -> Result<Time, SchedError> {
+        let bus = self.platform.bus();
+        let mut makespan = prefix_makespan;
+        for pos in from..self.order.len() {
+            let pid = self.order[pos];
+            let i = pid.index();
+            let proc = self.app.process(pid);
+            self.copy_end[i].clear();
+            for (c, &cpu) in copies.copies_of(pid).iter().enumerate() {
+                let plan = policies.policy(pid).copies()[c];
+                let scheme = scheme_at(&self.schemes, i, cpu.index())?;
+                let duration = scheme.fault_free_time(plan.checkpoints);
+                // Ready when every predecessor has delivered to this CPU.
+                let mut est = proc.release();
+                for &(pred, mid) in self.app.predecessors(pid) {
+                    let trans = self.app.message(mid).transmission();
+                    let mut arrival = Time::MAX;
+                    for (pc, &pcpu) in copies.copies_of(pred).iter().enumerate() {
+                        let end = self.copy_end[pred.index()][pc];
+                        let a = if pcpu == cpu {
+                            end
+                        } else {
+                            // Uncontended TDMA window (cheap bound).
+                            bus.next_window(pcpu, end, trans)?.end
+                        };
+                        arrival = arrival.min(a);
+                    }
+                    est = est.max(arrival);
+                }
+                let lane = &mut self.lanes[cpu.index()];
+                let s = lane_earliest_fit(lane, est, duration);
+                lane_reserve(lane, s, s + duration);
+                self.logs[cpu.index()].push((pos as u32, s, s + duration));
+                self.copy_end[i].push(s + duration);
+                makespan = makespan.max(s + duration);
+            }
+            self.makespan_after.push(makespan);
+        }
+        Ok(makespan)
+    }
+
+    /// Phases 2 + 3: downstream-finish structure and recovery slack. With
+    /// `reuse_from = Some(dirty)`, slack values of processes untouched by
+    /// the current delta (same policy, placement and completion times as
+    /// the base) are reused instead of re-running the adversarial join.
+    fn finish_estimate(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+        makespan: Time,
+        reuse_from: Option<usize>,
+    ) -> Result<Estimate, SchedError> {
+        // Downstream finish per process: completion of its latest transitive
+        // successor in the root schedule (itself, for sinks).
+        for &pid in self.app.topological_order().iter().rev() {
+            let own = self.copy_end[pid.index()]
+                .iter()
+                .copied()
+                .min()
+                .expect("every process has at least one copy");
+            let down = self
+                .app
+                .successors(pid)
+                .iter()
+                .map(|&(s, _)| self.path_end[s.index()])
+                .max()
+                .unwrap_or(Time::ZERO);
+            self.path_end[pid.index()] = own.max(down);
+        }
+
+        // Recovery slack: worst extra delay when all k faults hit one
+        // process, delaying everything downstream of it.
+        let mut worst_case = makespan;
+        let mut critical = ProcessId::new(0);
+        for (pid, _) in self.app.processes() {
+            let i = pid.index();
+            let reusable = reuse_from.is_some()
+                && !self.changed[i]
+                && self.base.as_ref().is_some_and(|b| b.copy_end[i] == self.copy_end[i]);
+            let slack = if reusable {
+                self.base.as_ref().expect("reusable implies base").slack[i]
+            } else {
+                let policy = policies.policy(pid);
+                let mut ladders = Vec::with_capacity(policy.copies().len());
+                for ((plan, &cpu), &end) in
+                    policy.copies().iter().zip(copies.copies_of(pid)).zip(&self.copy_end[i])
+                {
+                    let scheme = scheme_at(&self.schemes, i, cpu.index())?;
+                    ladders.push(ladder_for(scheme, *plan, end, self.k));
+                }
+                let no_fault = ladders
+                    .iter()
+                    .map(|l| l.ladder[0])
+                    .min()
+                    .expect("policies have at least one copy");
+                let delivery = worst_case_delivery(&ladders, self.k).ok_or(SchedError::Ft(
+                    FtError::InsufficientPolicy { k: self.k, tolerated: 0 },
+                ))?;
+                delivery - no_fault
+            };
+            self.slack[i] = slack;
+            let finish = self.path_end[i] + slack;
+            if finish > worst_case {
+                worst_case = finish;
+                critical = pid;
+            }
+        }
+
+        Ok(Estimate {
+            fault_free_length: makespan,
+            worst_case_length: worst_case,
+            critical_process: critical,
+        })
+    }
+
+    /// Stores the just-evaluated state as the delta anchor, reusing the
+    /// previous anchor's allocations.
+    fn anchor(&mut self, copies: &CopyMapping, policies: &PolicyAssignment, estimate: Estimate) {
+        match &mut self.base {
+            Some(base) => {
+                base.copies.clone_from(copies);
+                base.policies.clone_from(policies);
+                base.copy_end.clone_from(&self.copy_end);
+                base.logs.clone_from(&self.logs);
+                base.makespan_after.clone_from(&self.makespan_after);
+                base.slack.clone_from(&self.slack);
+                base.estimate = estimate;
+            }
+            None => {
+                self.base = Some(BaseState {
+                    copies: copies.clone(),
+                    policies: policies.clone(),
+                    copy_end: self.copy_end.clone(),
+                    logs: self.logs.clone(),
+                    makespan_after: self.makespan_after.clone(),
+                    slack: self.slack.clone(),
+                    estimate,
+                });
+            }
+        }
+    }
+}
+
+/// Looks up the precomputed recovery scheme of process `p` on node `node`,
+/// reproducing the legacy error/panic behavior exactly.
+fn scheme_at(
+    schemes: &[Vec<SchemeSlot>],
+    p: usize,
+    node: usize,
+) -> Result<RecoveryScheme, SchedError> {
+    match &schemes[p][node] {
+        Some(Ok(scheme)) => Ok(*scheme),
+        Some(Err(e)) => Err(SchedError::Ft(e.clone())),
+        None => panic!("copy mapping is validated"),
+    }
+}
+
+/// Earliest start `t ≥ ready` fitting `duration` into a lane of disjoint,
+/// start-sorted reservations. A single pass reaches the fixed point the
+/// generic guard-aware [`ResourceTable`](crate::ResourceTable) loop
+/// computes, because the estimator only ever reserves with the
+/// always-guard: once `t` is pushed past reservation `i`, every earlier
+/// reservation ends at or before `i`'s start and can never overlap again.
+fn lane_earliest_fit(lane: &[(Time, Time)], ready: Time, duration: Time) -> Time {
+    if duration <= Time::ZERO {
+        return ready;
+    }
+    let mut t = ready;
+    for &(start, end) in lane {
+        if start >= t + duration {
+            break;
+        }
+        if end <= t {
+            continue;
+        }
+        t = end;
+    }
+    t
+}
+
+/// Inserts a reservation keeping the lane sorted by start.
+fn lane_reserve(lane: &mut Vec<(Time, Time)>, start: Time, end: Time) {
+    let pos = lane.partition_point(|&r| r <= (start, end));
+    lane.insert(pos, (start, end));
+}
+
+/// The completion ladder of one copy given its fault-free completion time.
+pub(crate) fn ladder_for(
+    scheme: RecoveryScheme,
+    plan: CopyPlan,
+    fault_free_end: Time,
+    k: u32,
+) -> ReplicaLadder {
+    let base = scheme.fault_free_time(plan.checkpoints);
+    let max_faults = plan.recoveries.min(k);
+    let mut ladder = Vec::with_capacity(max_faults as usize + 1);
+    for f in 0..=max_faults {
+        let w = scheme.worst_case_time(plan.checkpoints, f);
+        ladder.push(fault_free_end + (w - base));
+    }
+    // The copy dies if faults can exceed its recoveries within the budget.
+    let killable = plan.recoveries < k;
+    ReplicaLadder { ladder, killable }
+}
+
+/// Longest path (minimum-WCET durations plus transmissions) from each
+/// process to any sink.
+pub(crate) fn app_ranks(app: &Application) -> Vec<Time> {
+    let n = app.process_count();
+    let mut rank = vec![Time::ZERO; n];
+    for &pid in app.topological_order().iter().rev() {
+        let proc = app.process(pid);
+        let dur =
+            proc.candidate_nodes().filter_map(|c| proc.wcet_on(c)).min().unwrap_or(Time::ZERO);
+        let down = app
+            .successors(pid)
+            .iter()
+            .map(|&(s, m)| rank[s.index()] + app.message(m).transmission())
+            .max()
+            .unwrap_or(Time::ZERO);
+        rank[pid.index()] = dur + down;
+    }
+    rank
+}
+
+/// The exact pop order of the root-schedule list scheduler: a priority
+/// topological sort by `(downward rank, lowest index)` — a pure function of
+/// the application, independent of any candidate state, which is what makes
+/// prefix reuse in `delta_evaluate` sound.
+fn schedule_order(app: &Application) -> Vec<ProcessId> {
+    let n = app.process_count();
+    let rank = app_ranks(app);
+    let mut indegree: Vec<usize> =
+        (0..n).map(|i| app.predecessors(ProcessId::new(i)).len()).collect();
+    let mut ready: BinaryHeap<(Time, Reverse<usize>)> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| (rank[i], Reverse(i)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some((_, Reverse(i))) = ready.pop() {
+        let pid = ProcessId::new(i);
+        order.push(pid);
+        for &(succ, _) in app.successors(pid) {
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                ready.push((rank[succ.index()], Reverse(succ.index())));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "validated applications are acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate_schedule_length;
+    use ftes_ft::Policy;
+    use ftes_model::{samples, Mapping};
+
+    fn fig3_instance(k: u32) -> (Application, Platform, Mapping, PolicyAssignment) {
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        (app, platform, mapping, policies)
+    }
+
+    #[test]
+    fn evaluate_matches_legacy_bit_for_bit() {
+        for k in 0..=3 {
+            let (app, platform, mapping, policies) = fig3_instance(k);
+            let copies =
+                CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+            let mut ev = SystemEvaluator::new(&app, &platform, k);
+            let fast = ev.evaluate(&copies, &policies).unwrap();
+            let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, k).unwrap();
+            assert_eq!(fast, legacy, "k={k}");
+            // A reused evaluator stays equal.
+            assert_eq!(ev.evaluate(&copies, &policies).unwrap(), legacy);
+        }
+    }
+
+    #[test]
+    fn delta_after_repolicy_matches_full() {
+        let (app, platform, mapping, policies) = fig3_instance(2);
+        let arch = platform.architecture().clone();
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 2);
+        ev.evaluate(&copies, &policies).unwrap();
+
+        for p in 0..app.process_count() {
+            let mut moved = policies.clone();
+            moved.set(ProcessId::new(p), Policy::checkpointing(2, 2));
+            let moved_copies = CopyMapping::from_base(&app, &arch, &mapping, &moved).unwrap();
+            let delta = ev.delta_evaluate(&moved_copies, &moved).unwrap();
+            let legacy =
+                estimate_schedule_length(&app, &platform, &moved_copies, &moved, 2).unwrap();
+            assert_eq!(delta, legacy, "repolicy of P{p}");
+        }
+        let stats = ev.stats();
+        assert!(stats.delta_evals + stats.delta_fallbacks > 0);
+    }
+
+    #[test]
+    fn delta_after_remap_matches_full() {
+        let (app, platform, mapping, policies) = fig3_instance(1);
+        let arch = platform.architecture().clone();
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 1);
+        ev.evaluate(&copies, &policies).unwrap();
+
+        for (pid, proc) in app.processes() {
+            if proc.fixed_node().is_some() {
+                continue;
+            }
+            for node in proc.candidate_nodes() {
+                if node == mapping.node_of(pid) {
+                    continue;
+                }
+                let Ok(moved) = mapping.with_move(&app, &arch, pid, node) else { continue };
+                let moved_copies = CopyMapping::from_base(&app, &arch, &moved, &policies).unwrap();
+                let delta = ev.delta_evaluate(&moved_copies, &policies).unwrap();
+                let legacy =
+                    estimate_schedule_length(&app, &platform, &moved_copies, &policies, 1).unwrap();
+                assert_eq!(delta, legacy, "remap of {pid:?} to {node:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_on_identical_state_is_a_noop() {
+        let (app, platform, mapping, policies) = fig3_instance(2);
+        let copies =
+            CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 2);
+        let full = ev.evaluate(&copies, &policies).unwrap();
+        assert_eq!(ev.delta_evaluate(&copies, &policies).unwrap(), full);
+        assert_eq!(ev.stats().delta_noops, 1);
+    }
+
+    #[test]
+    fn delta_without_base_falls_back_to_full() {
+        let (app, platform, mapping, policies) = fig3_instance(2);
+        let copies =
+            CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 2);
+        let delta = ev.delta_evaluate(&copies, &policies).unwrap();
+        let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, 2).unwrap();
+        assert_eq!(delta, legacy);
+        assert_eq!(ev.stats().delta_fallbacks, 1);
+    }
+
+    #[test]
+    fn invalid_policies_error_on_both_paths() {
+        let (app, platform, mapping, _) = fig3_instance(2);
+        // k = 2 budget but a policy that tolerates nothing.
+        let policies = PolicyAssignment::uniform_reexecution(&app, 0);
+        let copies =
+            CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 2);
+        let fast = ev.evaluate(&copies, &policies);
+        let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, 2);
+        assert_eq!(fast.is_err(), legacy.is_err());
+        assert!(fast.is_err());
+    }
+
+    #[test]
+    fn lane_matches_resource_table_semantics() {
+        use crate::ResourceTable;
+        use ftes_ftcpg::Guard;
+        // Randomized-ish interleavings: the lane and the generic table must
+        // agree on every placement when all guards are `always`.
+        let requests =
+            [(0i64, 5i64), (3, 4), (10, 2), (1, 1), (8, 3), (0, 7), (20, 1), (2, 6), (15, 5)];
+        let mut lane: Vec<(Time, Time)> = Vec::new();
+        let mut table = ResourceTable::new();
+        for &(ready, dur) in &requests {
+            let (ready, dur) = (Time::new(ready), Time::new(dur));
+            let a = lane_earliest_fit(&lane, ready, dur);
+            let b = table.earliest_fit(ready, dur, &Guard::always());
+            assert_eq!(a, b);
+            lane_reserve(&mut lane, a, a + dur);
+            table.reserve(b, b + dur, Guard::always());
+        }
+    }
+
+    #[test]
+    fn stats_count_reuse() {
+        let (app, platform, mapping, policies) = fig3_instance(1);
+        let copies =
+            CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 1);
+        for _ in 0..3 {
+            ev.evaluate(&copies, &policies).unwrap();
+        }
+        ev.delta_evaluate(&copies, &policies).unwrap();
+        let stats = ev.stats();
+        assert_eq!(stats.constructions, 1);
+        assert_eq!(stats.full_evals, 3);
+        assert_eq!(stats.delta_noops, 1);
+        assert_eq!(stats.evaluations(), 4);
+        assert_eq!(stats.reused(), 3);
+        let merged = stats.merged(stats);
+        assert_eq!(merged.evaluations(), 8);
+    }
+}

@@ -8,8 +8,14 @@
 //!   per FT-CPG node, guard-aware resource sharing (mutually exclusive
 //!   scenarios overlap), TDMA bus windows, condition broadcasts (§5.2);
 //! * [`ScheduleTables`] — the per-node tables of Fig. 6;
+//! * [`SystemEvaluator`] — the reusable evaluation kernel behind the
+//!   optimization loops: construction precomputes everything invariant per
+//!   `(application, platform, k)`, `evaluate` re-scores candidate states
+//!   with zero steady-state allocation, `delta_evaluate` re-schedules only
+//!   the suffix a single move can affect;
 //! * [`estimate_schedule_length`] — root schedule + shared recovery slack,
-//!   polynomial-time, for the 100-process design-space sweeps of §6;
+//!   polynomial-time, for the 100-process design-space sweeps of §6 (a
+//!   thin construct-once wrapper over the kernel);
 //! * [`worst_case_delivery`] — adversarial analysis of replicated outputs.
 //!
 //! ```
@@ -41,6 +47,7 @@
 mod conditional;
 mod error;
 mod estimate;
+mod evaluator;
 pub mod export;
 mod join;
 mod resource;
@@ -51,6 +58,7 @@ pub use conditional::{
 };
 pub use error::SchedError;
 pub use estimate::{estimate_schedule_length, Estimate};
+pub use evaluator::{EvaluatorStats, SystemEvaluator};
 pub use join::{worst_case_delivery, ReplicaLadder};
 pub use resource::{BusTable, Reservation, ResourceTable};
 pub use table::{NodeTable, ScheduleTables, TableEntry, TableRow};

@@ -1,0 +1,133 @@
+//! Warm-evaluator bank: finished requests check their
+//! [`SystemEvaluator`] kernels back in, keyed by the spec's
+//! `(application, platform, k)` encoding, so a repeated or related spec on
+//! a warm daemon skips the kernel construction (topology, recovery
+//! schemes, resource arenas) entirely.
+//!
+//! The bank is deliberately tiny: a mutexed MRU list of
+//! `(key bytes, evaluator)` pairs. Keys are compared by their full
+//! canonical bytes — a hash collision here would silently synthesize the
+//! wrong application (the evaluator owns the app the flow runs on), so no
+//! hashing shortcut is taken. Checkout *removes* the entry, which makes
+//! concurrent requests for the same spec construct their own kernels
+//! instead of fighting over one `&mut` — the single-flight response cache
+//! already collapses identical concurrent requests before they get here.
+
+use ftes::sched::SystemEvaluator;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters of an [`EvaluatorBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankStats {
+    /// Checkouts answered with a warm kernel.
+    pub hits: u64,
+    /// Checkouts that had to construct a kernel.
+    pub misses: u64,
+    /// Kernels currently banked.
+    pub banked: usize,
+}
+
+/// MRU bank of warm evaluator kernels shared by the worker pool.
+pub struct EvaluatorBank {
+    slots: Mutex<VecDeque<(Vec<u8>, SystemEvaluator)>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvaluatorBank {
+    /// A bank holding at most `capacity` kernels (0 disables banking).
+    pub fn new(capacity: usize) -> Self {
+        EvaluatorBank {
+            slots: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns the banked kernel for `key`, if any.
+    pub fn checkout(&self, key: &[u8]) -> Option<SystemEvaluator> {
+        let mut slots = self.slots.lock().expect("evaluator bank poisoned");
+        match slots.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slots.remove(i).map(|(_, ev)| ev)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a kernel to the bank (most-recently-used position), evicting
+    /// the least-recently-used entry beyond capacity.
+    pub fn checkin(&self, key: Vec<u8>, evaluator: SystemEvaluator) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut slots = self.slots.lock().expect("evaluator bank poisoned");
+        slots.push_front((key, evaluator));
+        while slots.len() > self.capacity {
+            slots.pop_back();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BankStats {
+        BankStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            banked: self.slots.lock().expect("evaluator bank poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes::model::{samples, Time};
+    use ftes::tdma::Platform;
+
+    fn kernel() -> SystemEvaluator {
+        let (app, _) = samples::fig3();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        SystemEvaluator::new(&app, &platform, 1)
+    }
+
+    #[test]
+    fn checkout_miss_then_hit_then_miss_again() {
+        let bank = EvaluatorBank::new(4);
+        assert!(bank.checkout(b"spec-a").is_none());
+        bank.checkin(b"spec-a".to_vec(), kernel());
+        assert_eq!(bank.stats().banked, 1);
+        assert!(bank.checkout(b"spec-a").is_some(), "warm kernel is returned");
+        // Checkout removes: a second concurrent checkout must construct.
+        assert!(bank.checkout(b"spec-a").is_none());
+        let stats = bank.stats();
+        assert_eq!((stats.hits, stats.misses, stats.banked), (1, 2, 0));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let bank = EvaluatorBank::new(2);
+        bank.checkin(b"a".to_vec(), kernel());
+        bank.checkin(b"b".to_vec(), kernel());
+        bank.checkin(b"c".to_vec(), kernel());
+        assert_eq!(bank.stats().banked, 2);
+        assert!(bank.checkout(b"a").is_none(), "oldest entry was evicted");
+        assert!(bank.checkout(b"c").is_some());
+        assert!(bank.checkout(b"b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_banking() {
+        let bank = EvaluatorBank::new(0);
+        bank.checkin(b"a".to_vec(), kernel());
+        assert!(bank.checkout(b"a").is_none());
+        assert_eq!(bank.stats().banked, 0);
+    }
+}

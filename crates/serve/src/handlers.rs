@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheKey, Lookup};
 use crate::http::{error_body, Request};
-use crate::metrics::Endpoint;
+use crate::metrics::{Endpoint, Phase};
 use crate::server::Shared;
 use ftes::explore::{
     paper_grid, run_suite, suite_to_json, EngineKind, PortfolioConfig, ScenarioPoint, SuiteConfig,
@@ -18,9 +18,11 @@ use ftes::explore::{
 use ftes::json::JsonWriter;
 use ftes::model::Time;
 use ftes::sched::export::tables_to_csv;
+use ftes::sched::SystemEvaluator;
 use ftes::spec::{parse_spec, SystemSpec};
-use ftes::{synthesize_system, FlowConfig, SystemConfiguration};
+use ftes::{synthesize_system_timed, FlowConfig, SystemConfiguration};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A handler's verdict: status code plus rendered JSON body.
 pub struct Reply {
@@ -59,6 +61,7 @@ pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
 /// size budget) the exact schedule tables as CSV — byte-identical to the
 /// `ftes <spec> --csv` CLI output for the same spec.
 fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
+    let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Reply::err(400, "body is not UTF-8");
     };
@@ -66,6 +69,7 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
         Ok(spec) => spec,
         Err(e) => return Reply::err(400, &format!("spec: {e}")),
     };
+    shared.metrics.record_phase(Phase::Parse, parse_started.elapsed().as_micros() as u64);
     let key = CacheKey::new("synthesize/v1", &spec.canonical_bytes());
     // Single-flight: concurrent requests for the same (equivalent) spec
     // wait for one synthesis instead of each running their own.
@@ -73,19 +77,29 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
         Lookup::Hit(status, body) => return Reply { status, body },
         Lookup::Miss(guard) => guard,
     };
+    // Evaluator bank: a repeated (app, platform, k) on a warm daemon skips
+    // the kernel construction even when strategy/transparency differ (the
+    // response cache only collapses fully identical specs).
+    let eval_key = spec.evaluator_bytes();
+    let mut evaluator = shared
+        .evaluators
+        .checkout(&eval_key)
+        .unwrap_or_else(|| SystemEvaluator::new(&spec.app, &spec.platform, spec.fault_model.k()));
     let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
-    let reply = match synthesize_system(
-        &spec.app,
-        &spec.platform,
-        spec.fault_model,
-        &spec.transparency,
-        config,
-    ) {
-        Ok(psi) => Reply { status: 200, body: Arc::new(render_synthesis(&spec, &psi)) },
-        // A 422 is as deterministic as a success: cache it so a repeated
-        // expensive-but-infeasible spec is not a work-amplification vector.
-        Err(e) => Reply::err(422, &format!("synthesis: {e}")),
-    };
+    let reply =
+        match synthesize_system_timed(&mut evaluator, spec.fault_model, &spec.transparency, config)
+        {
+            Ok((psi, timings)) => {
+                shared.metrics.record_phase(Phase::Optimize, timings.optimize.as_micros() as u64);
+                shared.metrics.record_phase(Phase::Cpg, timings.cpg.as_micros() as u64);
+                shared.metrics.record_phase(Phase::Schedule, timings.schedule.as_micros() as u64);
+                Reply { status: 200, body: Arc::new(render_synthesis(&spec, &psi)) }
+            }
+            // A 422 is as deterministic as a success: cache it so a repeated
+            // expensive-but-infeasible spec is not a work-amplification vector.
+            Err(e) => Reply::err(422, &format!("synthesis: {e}")),
+        };
+    shared.evaluators.checkin(eval_key, evaluator);
     guard.complete(reply.status, Arc::clone(&reply.body));
     reply
 }
@@ -160,6 +174,7 @@ fn render_synthesis(spec: &SystemSpec, psi: &SystemConfiguration) -> String {
 /// [`parse_explore_request`]); the reply is the `ftes-explore` suite JSON
 /// report, identical to `ftes explore --json` for the same parameters.
 fn explore(shared: &Shared, body: &[u8]) -> Reply {
+    let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Reply::err(400, "body is not UTF-8");
     };
@@ -167,6 +182,7 @@ fn explore(shared: &Shared, body: &[u8]) -> Reply {
         Ok(config) => config,
         Err(msg) => return Reply::err(400, &msg),
     };
+    shared.metrics.record_phase(Phase::Parse, parse_started.elapsed().as_micros() as u64);
     let key = CacheKey::new("explore/v1", &canonical_explore_bytes(&config));
     let guard = match shared.cache.lookup(&key) {
         Lookup::Hit(status, body) => return Reply { status, body },
@@ -395,6 +411,30 @@ fn metrics(shared: &Shared) -> Reply {
     w.number_u64(snap.p50_us);
     w.key("p99");
     w.number_u64(snap.p99_us);
+    w.end_object();
+    // Per-phase work accounting: where uncached requests actually spend
+    // their time, so hot-path regressions are visible on a live daemon.
+    w.key("phases_us");
+    w.begin_object();
+    for phase in snap.phases {
+        w.key(phase.label);
+        w.begin_object();
+        w.key("total");
+        w.number_u64(phase.total_us);
+        w.key("count");
+        w.number_u64(phase.count);
+        w.end_object();
+    }
+    w.end_object();
+    let bank = shared.evaluators.stats();
+    w.key("evaluator_bank");
+    w.begin_object();
+    w.key("hits");
+    w.number_u64(bank.hits);
+    w.key("misses");
+    w.number_u64(bank.misses);
+    w.key("banked");
+    w.number_usize(bank.banked);
     w.end_object();
     w.end_object();
     Reply::new(200, w.finish())

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod evalbank;
 mod handlers;
 pub mod http;
 mod load;
@@ -60,8 +61,9 @@ mod queue;
 mod server;
 
 pub use cache::{CacheKey, FlightGuard, Lookup, ResultCache};
+pub use evalbank::{BankStats, EvaluatorBank};
 pub use handlers::{canonical_explore_bytes, parse_explore_request};
 pub use load::{default_spec_mix, read_response, request, run_load, LoadConfig, LoadReport};
-pub use metrics::{Endpoint, Metrics, MetricsSnapshot};
+pub use metrics::{Endpoint, Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use queue::BoundedQueue;
 pub use server::{start, ServeConfig, Server, Shared};

@@ -53,6 +53,43 @@ impl Endpoint {
     }
 }
 
+/// One phase of the request hot path, timed individually so regressions
+/// are observable on a live daemon (`/metrics` exposes the totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `.ftes` / request-body parsing.
+    Parse,
+    /// Design-space optimization (mapping + policy search).
+    Optimize,
+    /// FT-CPG construction.
+    Cpg,
+    /// Conditional scheduling + table generation.
+    Schedule,
+}
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::Parse => 0,
+            Phase::Optimize => 1,
+            Phase::Cpg => 2,
+            Phase::Schedule => 3,
+        }
+    }
+
+    const COUNT: usize = 4;
+
+    /// Stable label used in the `/metrics` document.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Optimize => "optimize",
+            Phase::Cpg => "cpg",
+            Phase::Schedule => "schedule",
+        }
+    }
+}
+
 /// Atomic counters shared by every worker thread.
 pub struct Metrics {
     requests: [AtomicU64; Endpoint::COUNT],
@@ -62,6 +99,8 @@ pub struct Metrics {
     rejected_429: AtomicU64,
     latency: [AtomicU64; BUCKETS],
     latency_count: AtomicU64,
+    phase_us: [AtomicU64; Phase::COUNT],
+    phase_count: [AtomicU64; Phase::COUNT],
 }
 
 impl Default for Metrics {
@@ -74,6 +113,8 @@ impl Default for Metrics {
             rejected_429: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_count: AtomicU64::new(0),
+            phase_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_count: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -125,6 +166,14 @@ impl Metrics {
         self.rejected_429.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the wall time one hot-path phase spent on one request.
+    /// Cache hits skip the expensive phases entirely and record nothing —
+    /// the counters measure actual work, not traffic.
+    pub fn record_phase(&self, phase: Phase, micros: u64) {
+        self.phase_us[phase.index()].fetch_add(micros, Ordering::Relaxed);
+        self.phase_count[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are
     /// independently relaxed-loaded; exactness across counters is not a
     /// goal of an operational metrics endpoint).
@@ -146,8 +195,26 @@ impl Metrics {
             p50_us: percentile(&histogram, total, 0.50),
             p99_us: percentile(&histogram, total, 0.99),
             served: total,
+            phases: [Phase::Parse, Phase::Optimize, Phase::Cpg, Phase::Schedule].map(|p| {
+                PhaseSnapshot {
+                    label: p.label(),
+                    total_us: self.phase_us[p.index()].load(Ordering::Relaxed),
+                    count: self.phase_count[p.index()].load(Ordering::Relaxed),
+                }
+            }),
         }
     }
+}
+
+/// Accumulated wall time of one hot-path phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Stable phase label (`parse` / `optimize` / `cpg` / `schedule`).
+    pub label: &'static str,
+    /// Total microseconds spent in the phase across all requests.
+    pub total_us: u64,
+    /// Requests that executed (and timed) the phase.
+    pub count: u64,
 }
 
 /// Bucket-resolution percentile: the upper bound of the bucket holding the
@@ -186,6 +253,8 @@ pub struct MetricsSnapshot {
     pub p99_us: u64,
     /// Requests that reached a worker (latency samples).
     pub served: u64,
+    /// Per-phase work accounting (parse / optimize / cpg / schedule).
+    pub phases: [PhaseSnapshot; Phase::COUNT],
 }
 
 impl MetricsSnapshot {
@@ -251,5 +320,21 @@ mod tests {
     fn empty_metrics_report_zero_percentiles() {
         let snap = Metrics::new().snapshot();
         assert_eq!((snap.p50_us, snap.p99_us, snap.requests_total()), (0, 0, 0));
+        assert!(snap.phases.iter().all(|p| p.total_us == 0 && p.count == 0));
+    }
+
+    #[test]
+    fn phase_timings_accumulate_per_phase() {
+        let m = Metrics::new();
+        m.record_phase(Phase::Parse, 5);
+        m.record_phase(Phase::Parse, 7);
+        m.record_phase(Phase::Optimize, 1_000);
+        m.record_phase(Phase::Schedule, 300);
+        let snap = m.snapshot();
+        let by_label = |l: &str| snap.phases.iter().find(|p| p.label == l).unwrap();
+        assert_eq!((by_label("parse").total_us, by_label("parse").count), (12, 2));
+        assert_eq!((by_label("optimize").total_us, by_label("optimize").count), (1_000, 1));
+        assert_eq!((by_label("cpg").total_us, by_label("cpg").count), (0, 0));
+        assert_eq!((by_label("schedule").total_us, by_label("schedule").count), (300, 1));
     }
 }

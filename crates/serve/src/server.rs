@@ -18,6 +18,7 @@
 //! every thread; in-flight requests finish first.
 
 use crate::cache::ResultCache;
+use crate::evalbank::EvaluatorBank;
 use crate::handlers::route;
 use crate::http::{error_body, read_request, write_response};
 use crate::metrics::{Endpoint, Metrics, MetricsSnapshot};
@@ -67,6 +68,9 @@ pub struct Shared {
     pub queue: BoundedQueue<TcpStream>,
     /// The response cache.
     pub cache: ResultCache,
+    /// Warm evaluator kernels keyed by `(app, platform, k)` — repeated
+    /// specs on a warm daemon skip the kernel construction entirely.
+    pub evaluators: EvaluatorBank,
     /// Service counters.
     pub metrics: Metrics,
     /// Worker-pool size (reported by `/healthz`).
@@ -93,6 +97,9 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+        // A couple of kernels per worker keeps several spec families warm
+        // without letting the bank hoard application clones unboundedly.
+        evaluators: EvaluatorBank::new(config.workers.max(1) * 2),
         metrics: Metrics::new(),
         workers: config.workers.max(1),
     });

@@ -88,6 +88,36 @@ fn equivalent_specs_share_a_cache_entry() {
 }
 
 #[test]
+fn metrics_expose_phase_timings_and_the_evaluator_bank() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    // Two specs with the same (app, platform, k) but different strategies:
+    // the response cache keeps them apart, the evaluator bank shares one
+    // warm kernel between them.
+    let mx_spec = FIG5_SPEC.replace("strategy mxr", "strategy mx");
+    assert_ne!(mx_spec, FIG5_SPEC);
+    let (s1, _) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    let (s2, _) = call(&server, "POST", "/synthesize", &mx_spec);
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(server.cache_stats().misses, 2, "different strategies are distinct responses");
+
+    let (status, metrics) = call(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    // Phase counters: both uncached requests parsed, optimized, built a
+    // CPG and scheduled (fig5 fits the exact budget).
+    assert!(metrics.contains("\"phases_us\""), "{metrics}");
+    for phase in ["parse", "optimize", "cpg", "schedule"] {
+        let needle = format!("\"{phase}\":{{\"total\":");
+        assert!(metrics.contains(&needle), "missing phase {phase}: {metrics}");
+    }
+    assert!(!metrics.contains("\"optimize\":{\"total\":0,"), "optimize did real work: {metrics}");
+    // Evaluator bank: first request misses, second checks the kernel out.
+    assert!(
+        metrics.contains("\"evaluator_bank\":{\"hits\":1,\"misses\":1,\"banked\":1"),
+        "{metrics}"
+    );
+}
+
+#[test]
 fn explore_endpoint_matches_direct_suite_run_and_caches() {
     let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
     let params = "processes=8 nodes=2 k=1 rounds=2 iters=4 seed=5";

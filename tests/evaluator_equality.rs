@@ -1,0 +1,130 @@
+//! The tentpole guarantee of the evaluation kernel: on random
+//! applications, platforms and move sequences, `SystemEvaluator::evaluate`
+//! (reused, warm buffers) and `SystemEvaluator::delta_evaluate` (suffix
+//! re-scheduling off an anchored base) both equal a fresh
+//! `estimate_schedule_length` run **bit-for-bit** — same `Estimate`
+//! (including the critical process), same error on infeasible states — for
+//! every fault budget k ∈ {0..3}.
+//!
+//! Moves are enumerated deterministically from the generated seed (no RNG
+//! in the test itself), mixing remaps and repolicies exactly like the
+//! search engines' neighborhood vocabulary.
+
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::CopyMapping;
+use ftes::gen::{generate_application, GeneratorConfig};
+use ftes::model::{Application, Mapping, NodeId, ProcessId, Time};
+use ftes::opt::{apply_move, candidate_policies, CandidateMove};
+use ftes::sched::{estimate_schedule_length, SystemEvaluator};
+use ftes::tdma::Platform;
+use proptest::prelude::*;
+
+/// Deterministic move for one step of the walk: even steps remap, odd
+/// steps repolicy, indices rotated by `seed` so different cases take
+/// different trajectories.
+fn step_move(
+    app: &Application,
+    mapping: &Mapping,
+    k: u32,
+    seed: u64,
+    step: u64,
+) -> Option<CandidateMove> {
+    let n = app.process_count() as u64;
+    let p = ProcessId::new(((seed.wrapping_mul(31) + step.wrapping_mul(7)) % n) as usize);
+    if step.is_multiple_of(2) {
+        let proc = app.process(p);
+        if proc.fixed_node().is_some() {
+            return None;
+        }
+        let nodes: Vec<NodeId> = proc.candidate_nodes().collect();
+        if nodes.len() < 2 {
+            return None;
+        }
+        let to = nodes[((seed + step / 2) % nodes.len() as u64) as usize];
+        if to == mapping.node_of(p) {
+            return None;
+        }
+        Some(CandidateMove::Remap { process: p, to })
+    } else {
+        let cands = candidate_policies(app, p, k, 8);
+        let policy = cands[((seed + step) % cands.len() as u64) as usize].clone();
+        Some(CandidateMove::Repolicy { process: p, policy })
+    }
+}
+
+proptest! {
+    #[test]
+    fn full_delta_and_legacy_agree_along_random_walks(
+        seed in 0u64..1000,
+        n in 6usize..13,
+        nodes in 2usize..4,
+    ) {
+        // Rotate through graph shapes: default (√n layers), chain-heavy
+        // (deep precedence, the replication regime) and wide (parallel
+        // slack, the resource-contention regime).
+        let config = match seed % 3 {
+            0 => GeneratorConfig::new(n, nodes),
+            1 => GeneratorConfig::chainy(n, nodes),
+            _ => GeneratorConfig::wide(n, nodes),
+        };
+        let app = generate_application(&config, seed)
+            .expect("generator configs in range are valid");
+        let platform = Platform::homogeneous(nodes, Time::new(8)).expect("non-empty platform");
+        let arch = platform.architecture();
+
+        for k in 0u32..=3 {
+            let mut mapping = Mapping::cheapest(&app, arch).expect("generated apps are mappable");
+            let mut policies = PolicyAssignment::uniform_reexecution(&app, k);
+
+            // One evaluator reused for full evaluations, one driven purely
+            // through the delta path off its anchored base.
+            let mut full_eval = SystemEvaluator::new(&app, &platform, k);
+            let mut delta_eval = SystemEvaluator::new(&app, &platform, k);
+            let copies = CopyMapping::from_base(&app, arch, &mapping, &policies)
+                .expect("re-execution placement is feasible");
+            let initial = estimate_schedule_length(&app, &platform, &copies, &policies, k);
+            prop_assert_eq!(&full_eval.evaluate(&copies, &policies), &initial);
+            prop_assert_eq!(&delta_eval.evaluate(&copies, &policies), &initial);
+
+            for step in 0..10u64 {
+                let Some(mv) = step_move(&app, &mapping, k, seed, step) else { continue };
+                let Some((next_mapping, next_policies)) =
+                    apply_move(&app, arch, &mapping, &policies, &mv)
+                else {
+                    continue;
+                };
+                let Ok(copies) = CopyMapping::from_base(&app, arch, &next_mapping, &next_policies)
+                else {
+                    continue;
+                };
+
+                let legacy =
+                    estimate_schedule_length(&app, &platform, &copies, &next_policies, k);
+                let full = full_eval.evaluate(&copies, &next_policies);
+                let delta = delta_eval.delta_evaluate(&copies, &next_policies);
+                prop_assert_eq!(
+                    &full, &legacy,
+                    "reused full evaluation diverged (k={}, step={}, move={:?})", k, step, mv
+                );
+                prop_assert_eq!(
+                    &delta, &legacy,
+                    "delta evaluation diverged (k={}, step={}, move={:?})", k, step, mv
+                );
+
+                if legacy.is_ok() {
+                    // Accept the move: re-anchor the delta kernel at the
+                    // new current state, as the search engines do.
+                    mapping = next_mapping;
+                    policies = next_policies;
+                    prop_assert_eq!(&delta_eval.evaluate(&copies, &policies), &legacy);
+                }
+            }
+            // The walk must actually exercise the delta machinery.
+            let stats = delta_eval.stats();
+            prop_assert!(
+                stats.delta_evals + stats.delta_noops + stats.delta_fallbacks > 0,
+                "no delta calls happened (k={})", k
+            );
+        }
+    }
+}
