@@ -1,0 +1,175 @@
+//! Criterion bench for the exact-certification kernel on every real spec
+//! in `specs/*.ftes`: cold certify (FT-CPG construction + exact
+//! conditional scheduling) vs the memoized verdict cache, plus the
+//! certify-and-repair loop's behavior through the full synthesis flow
+//! (repair invocations, final verdict, calibration factor).
+//!
+//! Besides the console medians, the run records its numbers to
+//! `BENCH_certify.json` at the workspace root (uploaded as a CI artifact
+//! per run) — the cost trajectory of the certification subsystem.
+
+use criterion::{criterion_group, Criterion};
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::CopyMapping;
+use ftes::json::JsonWriter;
+use ftes::model::Mapping;
+use ftes::sched::{CertOutcome, Certifier, CertifyConfig};
+use ftes::spec::{parse_spec, SystemSpec};
+use ftes::{synthesize_system, Certification, FlowConfig};
+use std::time::Instant;
+
+const SPECS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_certify.json");
+
+fn specs() -> Vec<(String, SystemSpec)> {
+    let mut paths: Vec<_> = std::fs::read_dir(SPECS_DIR)
+        .expect("specs directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ftes"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let spec = parse_spec(&std::fs::read_to_string(&p).expect("readable spec"))
+                .expect("valid spec");
+            (name, spec)
+        })
+        .collect()
+}
+
+/// The uniform-re-execution baseline configuration of a spec — a cheap,
+/// always-feasible state, so the bench isolates certification cost from
+/// search cost.
+fn baseline(spec: &SystemSpec) -> (CopyMapping, PolicyAssignment) {
+    let arch = spec.platform.architecture();
+    let mapping = Mapping::cheapest(&spec.app, arch).expect("spec is mappable");
+    let policies = PolicyAssignment::uniform_reexecution(&spec.app, spec.fault_model.k());
+    let copies =
+        CopyMapping::from_base(&spec.app, arch, &mapping, &policies).expect("feasible baseline");
+    (copies, policies)
+}
+
+fn certifier(spec: &SystemSpec) -> Certifier {
+    Certifier::new(
+        &spec.app,
+        &spec.platform,
+        spec.fault_model,
+        &spec.transparency,
+        CertifyConfig::default(),
+    )
+}
+
+fn bench_certify_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certify_throughput");
+    group.sample_size(20);
+    for (name, spec) in specs() {
+        let (copies, policies) = baseline(&spec);
+        group.bench_function(format!("cold/{name}"), |b| {
+            b.iter(|| certifier(&spec).certify(&copies, &policies).unwrap())
+        });
+        let mut warm = certifier(&spec);
+        warm.certify(&copies, &policies).unwrap();
+        group.bench_function(format!("cached/{name}"), |b| {
+            b.iter(|| warm.certify(&copies, &policies).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certify_throughput);
+
+/// Median nanoseconds per call over `iters` timed calls (one warm-up).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Re-measures certification per spec and writes `BENCH_certify.json`.
+fn write_report() {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string("certify_throughput");
+    w.key("specs");
+    w.begin_array();
+    for (name, spec) in specs() {
+        let (copies, policies) = baseline(&spec);
+        let cold = median_ns(30, || {
+            certifier(&spec).certify(&copies, &policies).unwrap();
+        });
+        let mut warm = certifier(&spec);
+        warm.certify(&copies, &policies).unwrap();
+        let cached = median_ns(200, || {
+            warm.certify(&copies, &policies).unwrap();
+        });
+        // The certify-and-repair loop on the spec's own strategy: how many
+        // repair searches the flow actually runs, and the final verdict.
+        let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
+        let flow_started = Instant::now();
+        let psi = synthesize_system(
+            &spec.app,
+            &spec.platform,
+            spec.fault_model,
+            &spec.transparency,
+            config,
+        )
+        .expect("shipped specs synthesize");
+        let flow_ns = flow_started.elapsed().as_nanos() as u64;
+        assert!(
+            matches!(warm.certify(&copies, &policies).unwrap(), CertOutcome::Exact { .. }),
+            "shipped specs fit the certification budget"
+        );
+
+        w.begin_object();
+        w.key("spec");
+        w.string(&format!("specs/{name}"));
+        w.key("processes");
+        w.number_usize(spec.app.process_count());
+        w.key("k");
+        w.number_u64(spec.fault_model.k() as u64);
+        w.key("certify_cold_ns");
+        w.number_u64(cold);
+        w.key("certify_cached_ns");
+        w.number_u64(cached);
+        w.key("cache_amortization");
+        w.number_f64(cold as f64 / cached.max(1) as f64, 1);
+        w.key("flow_ns");
+        w.number_u64(flow_ns);
+        w.key("repair_rounds");
+        w.number_u64(psi.repair_rounds as u64);
+        w.key("certified");
+        w.bool(matches!(psi.certification, Certification::Certified { .. }));
+        w.key("exact_len");
+        match psi.certification.exact_len() {
+            Some(len) => w.number_i64(len.units()),
+            None => w.null(),
+        }
+        w.key("estimate");
+        w.number_i64(psi.estimate.worst_case_length.units());
+        w.key("calibration_milli");
+        w.number_u64(psi.calibration_milli);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut body = w.finish();
+    body.push('\n');
+    std::fs::write(REPORT_PATH, &body).expect("write BENCH_certify.json");
+    println!("wrote {REPORT_PATH}");
+    println!("{body}");
+}
+
+fn main() {
+    benches();
+    write_report();
+}

@@ -26,8 +26,17 @@ fn main() {
 
     println!("# Calibration — estimate vs exact conditional schedule, specs/*.ftes");
     println!(
-        "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>12}",
-        "spec", "procs", "k", "deadline", "estimate", "exact", "ratio", "schedulable"
+        "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>9} {:>7} {:>12}",
+        "spec",
+        "procs",
+        "k",
+        "deadline",
+        "estimate",
+        "exact",
+        "ratio",
+        "certified",
+        "repairs",
+        "schedulable"
     );
     for path in paths {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
@@ -43,15 +52,12 @@ fn main() {
         )
         .expect("synthesis");
         let est = psi.estimate.worst_case_length;
-        let (exact, ratio) = match &psi.exact {
-            Some(e) => {
-                let len = e.schedule.length();
-                (len.units().to_string(), format!("{:.2}", est.as_f64() / len.as_f64()))
-            }
+        let (exact, ratio) = match psi.certification.exact_len() {
+            Some(len) => (len.units().to_string(), format!("{:.2}", est.as_f64() / len.as_f64())),
             None => ("-".into(), "-".into()),
         };
         println!(
-            "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>12}",
+            "{:<20} {:>5} {:>3} {:>9} {:>10} {:>10} {:>7} {:>9} {:>7} {:>12}",
             name,
             spec.app.process_count(),
             spec.fault_model.k(),
@@ -59,9 +65,12 @@ fn main() {
             est.units(),
             exact,
             ratio,
+            psi.certification.is_certified(),
+            psi.repair_rounds,
             psi.schedulable,
         );
     }
     println!("# ratio < 1 = estimator optimism (recovery cascades it does not model);");
-    println!("# schedulability is always judged on the exact schedule when one exists.");
+    println!("# certified = the shipped incumbent is exact-schedulable (the certify-and-repair");
+    println!("# contract); schedulability is always judged on the exact schedule when one exists.");
 }

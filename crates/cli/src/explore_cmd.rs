@@ -16,11 +16,16 @@
 //! OUTPUT:
 //!   --csv | --json print machine-readable results instead of the summary
 //!   --out FILE     write the chosen format to FILE as well
+//!
+//! CERTIFICATION:
+//!   incumbents are exact-certified by default (and demoted down the
+//!   Pareto front when refuted); --no-certify reports raw estimator
+//!   winners, --verify additionally fault-injects the reported incumbent
 //! ```
 
 use ftes::explore::{
-    paper_grid, run_suite, suite_to_csv, suite_to_json, PortfolioConfig, ScenarioPoint,
-    SuiteConfig, SuiteOutcome, VerifyConfig,
+    paper_grid, run_suite, suite_to_csv, suite_to_json, CertifyVerdict, PortfolioConfig,
+    ScenarioPoint, SuiteConfig, SuiteOutcome, VerifyConfig, VerifyOutcome,
 };
 use ftes::model::Time;
 
@@ -64,6 +69,7 @@ impl ExploreCommand {
         let mut format = ExploreFormat::Summary;
         let mut out = None;
         let mut verify = None;
+        let mut certify = true;
 
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -102,6 +108,10 @@ impl ExploreCommand {
                     verify = Some(VerifyConfig::default());
                     i += 1;
                 }
+                "--no-certify" => {
+                    certify = false;
+                    i += 1;
+                }
                 "--csv" => {
                     format = ExploreFormat::Csv;
                     i += 1;
@@ -132,7 +142,14 @@ impl ExploreCommand {
         };
 
         Ok(ExploreCommand {
-            suite: SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify },
+            suite: SuiteConfig {
+                points,
+                portfolio,
+                point_parallelism,
+                slot: Time::new(8),
+                verify,
+                certify,
+            },
             format,
             out,
         })
@@ -165,7 +182,7 @@ fn summarize(outcome: &SuiteOutcome) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>8} {:>9} {:>8}",
+        "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8}",
         "point",
         "nodes",
         "k",
@@ -175,18 +192,35 @@ fn summarize(outcome: &SuiteOutcome) -> String {
         "pareto",
         "cache-hit",
         "evals/s",
+        "certified",
+        "exact",
         "verified",
         "ms"
     );
     for p in &outcome.points {
         let verified = match p.verified {
-            Some(true) => "sound",
-            Some(false) => "UNSOUND",
-            None => "-",
+            VerifyOutcome::Sound => "sound",
+            VerifyOutcome::Unsound => "UNSOUND",
+            VerifyOutcome::Skipped => "skipped",
+            VerifyOutcome::NotRequested => "-",
         };
+        let certified = match p.certified {
+            CertifyVerdict::Certified(_) => {
+                if p.demoted > 0 {
+                    "demoted"
+                } else {
+                    "yes"
+                }
+            }
+            CertifyVerdict::Refuted(_) => "REFUTED",
+            CertifyVerdict::Skipped => "skipped",
+            CertifyVerdict::NotRequested => "-",
+        };
+        let exact =
+            p.certified.exact_len().map_or_else(|| "-".to_string(), |t| t.units().to_string());
         let _ = writeln!(
             out,
-            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>8.0} {:>9} {:>8} {}",
+            "{:<12} {:>6} {:>6} {:>10} {:>10} {:>8.1} {:>7} {:>8.0}% {:>8.0} {:>9} {:>9} {:>8} {:>8} {}",
             p.point.label(),
             p.point.nodes,
             p.point.k,
@@ -196,6 +230,8 @@ fn summarize(outcome: &SuiteOutcome) -> String {
             p.archive.len(),
             100.0 * p.cache.hit_rate(),
             p.evals_per_sec(),
+            certified,
+            exact,
             verified,
             p.wall.as_millis(),
             if p.schedulable { "" } else { "  ** MISSES DEADLINE **" },
@@ -267,6 +303,14 @@ mod tests {
         assert_eq!(cmd.suite.portfolio.rounds, 2);
         assert_eq!(cmd.format, ExploreFormat::Json);
         assert_eq!(cmd.suite.verify, Some(VerifyConfig::default()));
+        assert!(cmd.suite.certify, "certification is on by default");
+    }
+
+    #[test]
+    fn no_certify_flag_disables_certification() {
+        let cmd = parse(&["--no-certify"]).unwrap();
+        assert!(!cmd.suite.certify);
+        assert!(parse(&[]).unwrap().suite.certify);
     }
 
     #[test]

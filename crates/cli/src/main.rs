@@ -85,6 +85,25 @@ fn run(spec: &SystemSpec, flags: &[&str]) -> Result<bool, Box<dyn std::error::Er
         spec.app.deadline(),
         if psi.schedulable { "SCHEDULABLE" } else { "NOT SCHEDULABLE" },
     );
+    match psi.certification {
+        ftes::Certification::Certified { exact_len } => println!(
+            "certified on the exact conditional schedule: exact {} (estimate {}, \
+             calibration {:.3}x, {} repair round{})",
+            exact_len,
+            psi.estimate.worst_case_length,
+            psi.calibration_milli as f64 / 1000.0,
+            psi.repair_rounds,
+            if psi.repair_rounds == 1 { "" } else { "s" },
+        ),
+        ftes::Certification::Refuted { exact_len } => println!(
+            "NOT CERTIFIED: exact schedule length {} refutes the estimate {} \
+             (repair exhausted after {} rounds)",
+            exact_len, psi.estimate.worst_case_length, psi.repair_rounds,
+        ),
+        ftes::Certification::Uncertifiable => {
+            println!("(FT-CPG over the size budget; certified:false, estimate-only verdict)")
+        }
+    }
     for (pid, policy) in psi.policies.iter() {
         println!(
             "  {:<12} {:?} on N{} (Q={})",
@@ -218,6 +237,7 @@ fn print_usage() {
          --threads N  evaluation threads         --point-par N concurrent points\n  \
          --rounds N   portfolio rounds           --iters N    iterations/round\n  \
          --verify     fault-inject each incumbent (verified column)\n  \
+         --no-certify skip exact certification of incumbents (on by default)\n  \
          --csv | --json               machine-readable output\n  \
          --out FILE                   also write the report to FILE\n\n\
          SERVE (the synthesis HTTP service; prints `listening on HOST:PORT`):\n  \

@@ -77,5 +77,6 @@ pub use portfolio::{
 };
 pub use report::{suite_to_csv, suite_to_json};
 pub use suite::{
-    paper_grid, run_suite, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome, VerifyConfig,
+    paper_grid, run_suite, CertifyVerdict, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome,
+    VerifyConfig, VerifyOutcome,
 };

@@ -5,17 +5,31 @@
 //! no character-set convention; both formats are byte-deterministic for
 //! equal outcomes (wall-clock fields excepted).
 
-use crate::suite::SuiteOutcome;
+use crate::suite::{CertifyVerdict, SuiteOutcome, VerifyOutcome};
 use ftes_model::json::JsonWriter;
 use std::fmt::Write;
 
-/// Renders `verified` for CSV: `true` / `false`, or `-` when verification
-/// was off or the point ran estimate-only.
-fn verified_csv(v: Option<bool>) -> &'static str {
+/// Renders `verified` for CSV: `true` / `false` when scenarios were
+/// replayed, `skipped` when verification was requested but the point ran
+/// estimate-only (nothing to replay), `-` when it was not requested. The
+/// two non-verdicts used to collapse into one `-`, which hid unverified
+/// incumbents in reports that asked for verification.
+fn verified_csv(v: VerifyOutcome) -> &'static str {
     match v {
-        Some(true) => "true",
-        Some(false) => "false",
-        None => "-",
+        VerifyOutcome::Sound => "true",
+        VerifyOutcome::Unsound => "false",
+        VerifyOutcome::Skipped => "skipped",
+        VerifyOutcome::NotRequested => "-",
+    }
+}
+
+/// Renders `certified` for CSV with the same vocabulary as `verified`.
+fn certified_csv(v: CertifyVerdict) -> &'static str {
+    match v {
+        CertifyVerdict::Certified(_) => "true",
+        CertifyVerdict::Refuted(_) => "false",
+        CertifyVerdict::Skipped => "skipped",
+        CertifyVerdict::NotRequested => "-",
     }
 }
 
@@ -23,13 +37,16 @@ fn verified_csv(v: Option<bool>) -> &'static str {
 pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::from(
         "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
-         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,wall_ms,\
+         slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,\
+         certified,exact_len,demoted,wall_ms,\
          evaluations,evaluator_reuse,evals_per_sec\n",
     );
     for p in &outcome.points {
+        let exact_len =
+            p.certified.exact_len().map_or_else(|| "-".to_string(), |t| t.units().to_string());
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{},{},{},{:.0}",
+            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{},{},{},{},{},{},{:.0}",
             p.point.processes,
             p.point.nodes,
             p.point.k,
@@ -44,6 +61,9 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
             p.cache.misses,
             p.cache.hit_rate(),
             verified_csv(p.verified),
+            certified_csv(p.certified),
+            exact_len,
+            p.demoted,
             p.wall.as_millis(),
             p.evals.evaluations(),
             p.evals.reused(),
@@ -86,9 +106,25 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
         w.number_f64(p.slack_pct, 2);
         w.key("verified");
         match p.verified {
-            Some(v) => w.bool(v),
+            VerifyOutcome::Sound => w.bool(true),
+            VerifyOutcome::Unsound => w.bool(false),
+            VerifyOutcome::Skipped => w.string("skipped"),
+            VerifyOutcome::NotRequested => w.null(),
+        }
+        w.key("certified");
+        match p.certified {
+            CertifyVerdict::Certified(_) => w.bool(true),
+            CertifyVerdict::Refuted(_) => w.bool(false),
+            CertifyVerdict::Skipped => w.string("skipped"),
+            CertifyVerdict::NotRequested => w.null(),
+        }
+        w.key("exact_len");
+        match p.certified.exact_len() {
+            Some(len) => w.number_i64(len.units()),
             None => w.null(),
         }
+        w.key("demoted");
+        w.number_u64(p.demoted as u64);
         w.key("cache");
         w.begin_object();
         w.key("hits");
@@ -113,7 +149,7 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
         w.number_u64(p.wall.as_millis() as u64);
         w.key("pareto");
         w.begin_array();
-        for e in p.archive.entries() {
+        for (i, e) in p.archive.entries().iter().enumerate() {
             w.begin_object();
             w.key("worst_case");
             w.number_i64(e.objectives.worst_case.units());
@@ -121,6 +157,14 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
             w.number_i64(e.objectives.recovery_slack.units());
             w.key("table_cost");
             w.number_u64(e.objectives.table_cost);
+            // The front admits only certified points or tags them: `true`
+            // certified, `false` refuted by the exact schedule, `null`
+            // not examined by the bounded walk.
+            w.key("certified");
+            match p.front_certified.get(i).copied().flatten() {
+                Some(v) => w.bool(v),
+                None => w.null(),
+            }
             w.end_object();
         }
         w.end_array();
@@ -167,46 +211,61 @@ mod tests {
     use crate::PortfolioConfig;
     use ftes_model::Time;
 
-    fn outcome(verify: bool) -> SuiteOutcome {
+    fn outcome_with(verify: bool, certify: bool) -> SuiteOutcome {
         run_suite(&SuiteConfig {
             points: vec![ScenarioPoint { processes: 8, nodes: 2, k: 1, seed: 0 }],
             portfolio: PortfolioConfig::quick(1),
             point_parallelism: 1,
             slot: Time::new(8),
             verify: verify.then(|| VerifyConfig { samples: 8, ..VerifyConfig::default() }),
+            certify,
         })
         .unwrap()
     }
 
-    #[test]
-    fn csv_has_header_and_one_row_per_point() {
-        let csv = suite_to_csv(&outcome(false));
-        let lines: Vec<&str> = csv.trim_end().lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("processes,nodes,k,seed"));
-        assert!(lines[0].contains(",verified,"));
-        assert!(lines[1].starts_with("8,2,1,0,"));
-        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
-        // Verification off: the verified column renders as `-`.
-        assert_eq!(lines[1].split(',').nth(13), Some("-"));
+    fn outcome(verify: bool) -> SuiteOutcome {
+        outcome_with(verify, true)
     }
 
     #[test]
-    fn csv_verified_column_carries_the_verdict() {
+    fn csv_has_header_and_one_row_per_point() {
+        let csv = suite_to_csv(&outcome_with(false, false));
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("processes,nodes,k,seed"));
+        assert!(lines[0].contains(",verified,certified,exact_len,demoted,"));
+        assert!(lines[1].starts_with("8,2,1,0,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        // Verification and certification off: both columns render as `-`.
+        assert_eq!(lines[1].split(',').nth(13), Some("-"));
+        assert_eq!(lines[1].split(',').nth(14), Some("-"));
+        assert_eq!(lines[1].split(',').nth(15), Some("-"));
+    }
+
+    #[test]
+    fn csv_verified_and_certified_columns_carry_the_verdicts() {
         let csv = suite_to_csv(&outcome(true));
         let row = csv.trim_end().lines().nth(1).unwrap();
-        let verdict = row.split(',').nth(13).unwrap();
-        assert!(verdict == "true" || verdict == "false", "{row}");
+        let verified = row.split(',').nth(13).unwrap();
+        assert!(verified == "true" || verified == "false", "{row}");
+        let certified = row.split(',').nth(14).unwrap();
+        assert!(certified == "true" || certified == "false", "{row}");
+        // A certified/refuted point carries its exact length.
+        let exact_len = row.split(',').nth(15).unwrap();
+        assert!(exact_len.parse::<i64>().is_ok(), "{row}");
     }
 
     #[test]
     fn json_is_well_formed_enough() {
-        let json = suite_to_json(&outcome(false));
+        let json = suite_to_json(&outcome_with(false, false));
         // Cheap structural checks (no JSON parser in the workspace).
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"label\"").count(), 1);
         assert!(json.contains("\"pareto\":["));
         assert!(json.contains("\"verified\":null"));
+        assert!(json.contains("\"certified\":null"));
+        assert!(json.contains("\"exact_len\":null"));
+        assert!(json.contains("\"demoted\":0"));
         assert!(json.contains("\"total_cache\""));
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -214,11 +273,49 @@ mod tests {
     }
 
     #[test]
-    fn json_verified_field_carries_the_verdict() {
+    fn json_verified_and_certified_fields_carry_the_verdicts() {
         let json = suite_to_json(&outcome(true));
         assert!(
             json.contains("\"verified\":true") || json.contains("\"verified\":false"),
             "{json}"
         );
+        assert!(
+            json.contains("\"certified\":true") || json.contains("\"certified\":false"),
+            "{json}"
+        );
+        assert!(json.contains("\"exact_len\":"), "{json}");
+        // Pareto entries are individually tagged.
+        assert!(
+            json.contains(",\"certified\":true}")
+                || json.contains(",\"certified\":false}")
+                || json.contains(",\"certified\":null}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn skipped_is_distinct_from_not_requested() {
+        // An oversized point with verification requested must render
+        // `skipped` (there was nothing to replay), never `-` (not asked).
+        // 60 processes at k=5 comfortably exceeds the FT-CPG node budget.
+        let outcome = run_suite(&SuiteConfig {
+            points: vec![ScenarioPoint { processes: 60, nodes: 4, k: 5, seed: 0 }],
+            portfolio: PortfolioConfig::quick(1),
+            point_parallelism: 1,
+            slot: Time::new(8),
+            verify: Some(VerifyConfig { samples: 4, ..VerifyConfig::default() }),
+            certify: true,
+        })
+        .unwrap();
+        let p = &outcome.points[0];
+        assert_eq!(p.verified, crate::VerifyOutcome::Skipped, "{:?}", p.verified);
+        assert_eq!(p.certified, CertifyVerdict::Skipped);
+        let csv = suite_to_csv(&outcome);
+        let row = csv.trim_end().lines().nth(1).unwrap();
+        assert_eq!(row.split(',').nth(13), Some("skipped"), "{row}");
+        assert_eq!(row.split(',').nth(14), Some("skipped"), "{row}");
+        let json = suite_to_json(&outcome);
+        assert!(json.contains("\"verified\":\"skipped\""), "{json}");
+        assert!(json.contains("\"certified\":\"skipped\""), "{json}");
     }
 }

@@ -9,15 +9,18 @@
 //! `(suite seed, point)` the results are identical no matter how the
 //! points are interleaved.
 
-use crate::cache::{fnv1a64, CacheStats};
+use crate::cache::{fnv1a64, CacheStats, StateKey};
 use crate::pool::indexed_parallel;
 use crate::portfolio::{explore, ExploreError, PortfolioConfig};
 use crate::ParetoArchive;
-use ftes_ftcpg::{build_ftcpg, BuildConfig, CpgError};
+use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, CpgError, FtCpg};
 use ftes_gen::{generate_application, GeneratorConfig};
 use ftes_model::{Application, FaultModel, Time, Transparency};
 use ftes_opt::Synthesized;
-use ftes_sched::{schedule_ftcpg, EvaluatorStats, SchedConfig};
+use ftes_sched::{
+    schedule_ftcpg, CertOutcome, Certifier, CertifyConfig, ConditionalSchedule, EvaluatorStats,
+    SchedConfig,
+};
 use ftes_sim::verify_sampled;
 use ftes_tdma::Platform;
 use std::time::{Duration, Instant};
@@ -95,12 +98,18 @@ pub struct SuiteConfig {
     pub point_parallelism: usize,
     /// TDMA slot length of the generated platforms.
     pub slot: Time,
-    /// When set, each point's incumbent is fault-injected with
-    /// [`ftes_sim::verify_sampled`]: the FT-CPG is built and conditionally
-    /// scheduled, then sampled scenarios are replayed. The outcome lands in
-    /// [`PointOutcome::verified`] (`None` when the FT-CPG exceeds the size
-    /// budget — the estimate-only regime has no schedule to verify).
+    /// When set, each point's reported incumbent is fault-injected with
+    /// [`ftes_sim::verify_sampled`]: sampled scenarios are replayed against
+    /// the exact conditional schedule. The outcome lands in
+    /// [`PointOutcome::verified`]; incumbents that verify unsound are
+    /// demoted (see [`SuiteConfig::certify`]), never reported as winners.
     pub verify: Option<VerifyConfig>,
+    /// Exact certification of reported incumbents (on by default): each
+    /// point's winner must be exact-certified schedulable, or the point
+    /// walks down its Pareto front (bounded) until a candidate certifies.
+    /// Points whose FT-CPG exceeds the size budget are tagged
+    /// [`CertifyVerdict::Skipped`] — the estimate-only regime.
+    pub certify: bool,
 }
 
 impl Default for SuiteConfig {
@@ -111,6 +120,66 @@ impl Default for SuiteConfig {
             point_parallelism: 1,
             slot: Time::new(8),
             verify: None,
+            certify: true,
+        }
+    }
+}
+
+/// Exact-certification verdict of a reported suite incumbent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyVerdict {
+    /// Certification was disabled ([`SuiteConfig::certify`] = false).
+    NotRequested,
+    /// The FT-CPG exceeded the size budget (or the certification work
+    /// budget ran out) — no exact verdict exists.
+    Skipped,
+    /// The exact conditional schedule meets every deadline.
+    Certified(Time),
+    /// The exact conditional schedule misses a deadline; the carried value
+    /// is the exact length the estimate under-priced.
+    Refuted(Time),
+}
+
+impl CertifyVerdict {
+    /// The exact schedule length, when one was computed.
+    pub fn exact_len(&self) -> Option<Time> {
+        match self {
+            CertifyVerdict::Certified(len) | CertifyVerdict::Refuted(len) => Some(*len),
+            _ => None,
+        }
+    }
+
+    /// `true` when the incumbent is exact-certified schedulable.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, CertifyVerdict::Certified(_))
+    }
+}
+
+/// Fault-injection verdict of a reported suite incumbent. Distinguishes
+/// "not requested" from "requested but there was nothing to replay"
+/// (estimate-only regime), which a plain `Option<bool>` conflated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Verification was not requested ([`SuiteConfig::verify`] unset).
+    NotRequested,
+    /// Requested, but there was nothing informative to replay: the FT-CPG
+    /// exceeded the size budget (no exact schedule exists), or the
+    /// reported winner was already exactly refuted (its deadline miss is
+    /// known without sampling).
+    Skipped,
+    /// Replayed scenarios surfaced no violation.
+    Sound,
+    /// Replayed scenarios surfaced violations.
+    Unsound,
+}
+
+impl VerifyOutcome {
+    /// The boolean verdict, when scenarios were actually replayed.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            VerifyOutcome::Sound => Some(true),
+            VerifyOutcome::Unsound => Some(false),
+            _ => None,
         }
     }
 }
@@ -137,10 +206,21 @@ pub struct PointOutcome {
     /// Evaluator-kernel counters of the point (constructions, evaluations,
     /// reuse across the per-thread pool).
     pub evals: EvaluatorStats,
-    /// Fault-injection verdict of the incumbent: `Some(sound)` when
-    /// [`SuiteConfig::verify`] was set and the FT-CPG fit the size budget,
-    /// `None` otherwise.
-    pub verified: Option<bool>,
+    /// Exact-certification verdict of the reported incumbent.
+    pub certified: CertifyVerdict,
+    /// Fault-injection verdict of the reported incumbent.
+    pub verified: VerifyOutcome,
+    /// Pareto-front candidates skipped before the reported incumbent:
+    /// `n > 0` means the first `n` candidates were refuted or unsound and
+    /// the point was demoted to the `n`-th front entry. 0 means either the
+    /// estimator's own winner was accepted, *or* every examined candidate
+    /// failed and the point ships its original winner explicitly tagged —
+    /// the `certified`/`verified` columns distinguish the two.
+    pub demoted: u32,
+    /// Per-entry certification verdicts aligned with
+    /// [`PointOutcome::archive`]`.entries()`: `Some(true)` certified,
+    /// `Some(false)` refuted, `None` not examined (or no exact schedule).
+    pub front_certified: Vec<Option<bool>>,
     /// Wall-clock time of the point (excluded from determinism checks).
     pub wall: Duration,
 }
@@ -218,6 +298,11 @@ pub fn run_suite(config: &SuiteConfig) -> Result<SuiteOutcome, ExploreError> {
     Ok(SuiteOutcome { points, wall: started.elapsed() })
 }
 
+/// Bound on the certify-and-demote walk down a point's Pareto front: the
+/// estimator's incumbent plus at most this many demotions are examined
+/// before the point gives up and ships the first candidate, tagged.
+const MAX_DEMOTIONS: usize = 4;
+
 fn run_point(
     config: &SuiteConfig,
     point: ScenarioPoint,
@@ -238,12 +323,10 @@ fn run_point(
         ..config.portfolio.clone()
     };
     let exploration = explore(&app, &platform, point.k, &portfolio)?;
-    let verified = match &config.verify {
-        None => None,
-        Some(vc) => verify_incumbent(&app, &platform, point, &exploration.best, vc)?,
-    };
+    let walk = certify_and_demote(config, &app, &platform, point, &exploration)?;
+    let reported = &walk.reported;
 
-    let estimate = exploration.best.estimate;
+    let estimate = reported.estimate;
     let fault_free = estimate.fault_free_length;
     let worst_case = estimate.worst_case_length;
     let slack_pct = if fault_free > Time::ZERO {
@@ -251,41 +334,213 @@ fn run_point(
     } else {
         0.0
     };
+    // Certified points are schedulable by the exact contract; refuted
+    // points are not, no matter what the estimate claims. Only the
+    // estimate-only regime still judges on the estimator.
+    let schedulable = match walk.certified {
+        CertifyVerdict::Certified(_) => true,
+        CertifyVerdict::Refuted(_) => false,
+        _ => worst_case <= app.deadline(),
+    };
     Ok(PointOutcome {
         point,
         fault_free,
         worst_case,
         deadline: app.deadline(),
-        schedulable: worst_case <= app.deadline(),
+        schedulable,
         slack_pct,
         archive: exploration.archive,
         cache: exploration.cache,
         evals: exploration.evals,
-        verified,
+        certified: walk.certified,
+        verified: walk.verified,
+        demoted: walk.demoted,
+        front_certified: walk.front_certified,
         wall: started.elapsed(),
     })
 }
 
-/// Builds the incumbent's FT-CPG, schedules it and replays sampled fault
-/// scenarios. `Ok(None)` means the FT-CPG exceeded the size budget (the
-/// estimate-only regime — nothing to verify); hard construction or
-/// scheduling failures surface as errors because a synthesized incumbent
-/// is supposed to be realizable.
-fn verify_incumbent(
+/// Result of the certify-and-demote walk of one grid point.
+struct WalkOutcome {
+    reported: Synthesized,
+    certified: CertifyVerdict,
+    verified: VerifyOutcome,
+    demoted: u32,
+    front_certified: Vec<Option<bool>>,
+}
+
+/// Walks the point's candidates — the exploration incumbent first, then the
+/// Pareto front in canonical order — and reports the first one with no
+/// negative exact evidence: not refuted by certification, not unsound under
+/// fault injection. Candidates with explicit negative evidence are demoted;
+/// when every examined candidate fails, the walk ships the *first* one,
+/// explicitly tagged, so a bad winner can never masquerade as sound.
+fn certify_and_demote(
+    config: &SuiteConfig,
     app: &Application,
     platform: &Platform,
     point: ScenarioPoint,
-    best: &Synthesized,
-    vc: &VerifyConfig,
-) -> Result<Option<bool>, ExploreError> {
+    exploration: &crate::Exploration,
+) -> Result<WalkOutcome, ExploreError> {
+    let label = point.label();
     let transparency = Transparency::none();
+    let bad = |e: &dyn std::fmt::Display| ExploreError::BadConfig(format!("certify {label}: {e}"));
+    let mut certifier = config.certify.then(|| {
+        Certifier::new(
+            app,
+            platform,
+            FaultModel::new(point.k),
+            &transparency,
+            CertifyConfig::default(),
+        )
+    });
+
+    // Candidate order: the incumbent, then front entries not identical to
+    // it (bounded). Fallback candidates are materialized lazily — copies
+    // are only derived once the previous candidate was actually rejected,
+    // so the common certify-first-try path pays nothing for the walk.
+    let incumbent_key = StateKey::encode(&exploration.best.mapping, &exploration.best.policies);
+    let fallbacks: Vec<&crate::ArchiveEntry> = exploration
+        .archive
+        .entries()
+        .iter()
+        .filter(|e| e.key != incumbent_key)
+        .take(MAX_DEMOTIONS)
+        .collect();
+
+    let mut first: Option<(Synthesized, CertifyVerdict, VerifyOutcome)> = None;
+    let mut accepted: Option<(usize, Synthesized, CertifyVerdict, VerifyOutcome)> = None;
+    let mut verdict_by_key: Vec<(StateKey, bool)> = Vec::new();
+    for walked in 0..=fallbacks.len() {
+        let (key, candidate) = if walked == 0 {
+            (incumbent_key.clone(), exploration.best.clone())
+        } else {
+            let entry = fallbacks[walked - 1];
+            let copies = CopyMapping::from_base(
+                app,
+                platform.architecture(),
+                &entry.mapping,
+                &entry.policies,
+            )
+            .map_err(|e| bad(&e))?;
+            (
+                entry.key.clone(),
+                Synthesized {
+                    mapping: entry.mapping.clone(),
+                    policies: entry.policies.clone(),
+                    copies,
+                    estimate: entry.estimate,
+                },
+            )
+        };
+        // 1. Exact certification (when enabled), keeping the artifacts so
+        //    fault injection replays the very schedule that was certified.
+        let (certified, artifacts) = match &mut certifier {
+            None => (CertifyVerdict::NotRequested, None),
+            Some(c) => {
+                match c.certify(&candidate.copies, &candidate.policies).map_err(|e| bad(&e))? {
+                    CertOutcome::Exact { exact_len, deadline_met } => {
+                        let verdict = if deadline_met {
+                            CertifyVerdict::Certified(exact_len)
+                        } else {
+                            CertifyVerdict::Refuted(exact_len)
+                        };
+                        verdict_by_key.push((key.clone(), deadline_met));
+                        (verdict, c.take_artifacts(&candidate.copies, &candidate.policies))
+                    }
+                    CertOutcome::OverBudget => (CertifyVerdict::Skipped, None),
+                }
+            }
+        };
+        // 2. Fault injection (when requested) on the exact schedule. An
+        //    exactly-refuted candidate skips the replay: its deadline miss
+        //    is already known exactly, the candidate is rejected either
+        //    way, and replaying a refuted schedule would only rediscover
+        //    the same miss at sampling cost.
+        let verified = match &config.verify {
+            None => VerifyOutcome::NotRequested,
+            Some(_) if matches!(certified, CertifyVerdict::Refuted(_)) => VerifyOutcome::Skipped,
+            Some(vc) => {
+                let artifacts = match artifacts {
+                    Some(a) => Some(a),
+                    // Certification off (or its artifacts already spent):
+                    // build the schedule directly for the replay.
+                    None if !matches!(certified, CertifyVerdict::Skipped) => {
+                        build_exact(app, platform, point, &candidate, &transparency)?
+                    }
+                    None => None,
+                };
+                match artifacts {
+                    None => VerifyOutcome::Skipped,
+                    Some((cpg, schedule)) => {
+                        let verdict = verify_sampled(
+                            app,
+                            &cpg,
+                            &schedule,
+                            &transparency,
+                            vc.samples,
+                            vc.seed,
+                        )
+                        .map_err(|e| bad(&e))?;
+                        if verdict.is_sound() {
+                            VerifyOutcome::Sound
+                        } else {
+                            VerifyOutcome::Unsound
+                        }
+                    }
+                }
+            }
+        };
+        if first.is_none() {
+            first = Some((candidate.clone(), certified, verified));
+        }
+        // Acceptance: demote only on explicit negative exact evidence. The
+        // estimate-only regime (Skipped) has no evidence either way and
+        // must accept — there is nothing better to walk toward.
+        let rejected =
+            matches!(certified, CertifyVerdict::Refuted(_)) || verified == VerifyOutcome::Unsound;
+        if !rejected {
+            accepted = Some((walked, candidate, certified, verified));
+            break;
+        }
+    }
+
+    let (demoted, reported, certified, verified) = match accepted {
+        Some((walked, candidate, certified, verified)) => {
+            (walked as u32, candidate, certified, verified)
+        }
+        None => {
+            let (candidate, certified, verified) =
+                first.expect("the walk examined at least the incumbent");
+            (0, candidate, certified, verified)
+        }
+    };
+    let front_certified = exploration
+        .archive
+        .entries()
+        .iter()
+        .map(|e| verdict_by_key.iter().find(|(k, _)| *k == e.key).map(|&(_, ok)| ok))
+        .collect();
+    Ok(WalkOutcome { reported, certified, verified, demoted, front_certified })
+}
+
+/// Builds one candidate's FT-CPG and exact schedule for fault injection
+/// when certification did not already provide them. `Ok(None)` = the graph
+/// exceeded the size budget (estimate-only regime — nothing to replay).
+fn build_exact(
+    app: &Application,
+    platform: &Platform,
+    point: ScenarioPoint,
+    candidate: &Synthesized,
+    transparency: &Transparency,
+) -> Result<Option<(FtCpg, ConditionalSchedule)>, ExploreError> {
     let label = point.label();
     let cpg = match build_ftcpg(
         app,
-        &best.policies,
-        &best.copies,
+        &candidate.policies,
+        &candidate.copies,
         FaultModel::new(point.k),
-        &transparency,
+        transparency,
         BuildConfig::default(),
     ) {
         Ok(cpg) => cpg,
@@ -294,9 +549,7 @@ fn verify_incumbent(
     };
     let schedule = schedule_ftcpg(app, &cpg, platform, SchedConfig::default())
         .map_err(|e| ExploreError::BadConfig(format!("verify {label}: {e}")))?;
-    let verdict = verify_sampled(app, &cpg, &schedule, &transparency, vc.samples, vc.seed)
-        .map_err(|e| ExploreError::BadConfig(format!("verify {label}: {e}")))?;
-    Ok(Some(verdict.is_sound()))
+    Ok(Some((cpg, schedule)))
 }
 
 #[cfg(test)]
@@ -313,6 +566,7 @@ mod tests {
             point_parallelism,
             slot: Time::new(8),
             verify: None,
+            certify: true,
         }
     }
 
@@ -325,11 +579,83 @@ mod tests {
         for p in &outcome.points {
             assert!(p.worst_case >= p.fault_free);
             assert!(!p.archive.is_empty());
+            // Tiny instances fit the FT-CPG budget: every reported winner
+            // is exact-certified (possibly after demotion) or refuted —
+            // never silently unexamined.
+            assert!(
+                matches!(p.certified, CertifyVerdict::Certified(_) | CertifyVerdict::Refuted(_)),
+                "{}: {:?}",
+                p.point.label(),
+                p.certified
+            );
+            if let CertifyVerdict::Certified(exact) = p.certified {
+                assert!(p.schedulable, "certified implies schedulable");
+                assert!(exact <= p.deadline, "certified exact length meets the deadline");
+            }
+            // Front tags align with the archive; entries the walk examined
+            // carry verdicts (the incumbent itself may sit outside the
+            // archive when an objective tie broke to a different key).
+            assert_eq!(p.front_certified.len(), p.archive.len());
         }
         assert!(outcome.total_cache().misses > 0);
         let evals = outcome.total_evals();
         assert!(evals.evaluations() > 0, "points must report kernel work");
         assert!(evals.reused() > 0, "per-thread kernels must be reused within a point");
+    }
+
+    #[test]
+    fn certification_off_reports_not_requested() {
+        let outcome = run_suite(&SuiteConfig { certify: false, ..tiny_suite(1, 1) }).unwrap();
+        for p in &outcome.points {
+            assert_eq!(p.certified, CertifyVerdict::NotRequested);
+            assert_eq!(p.demoted, 0);
+            assert!(p.front_certified.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn unsound_or_refuted_winners_are_demoted_not_reported() {
+        // Regression: an incumbent whose exact schedule refutes the
+        // estimate (or whose fault-injection replay is unsound) must not be
+        // reported as the point's winner while a certifiable front entry
+        // exists. Sweep a band of seeds so the test keeps pinning the
+        // behavior even as search tuning shifts which seeds exhibit the
+        // gap; every demoted point must land on a certified-sound winner
+        // or ship explicitly tagged.
+        let mut demotions = 0;
+        for seed in 0..12 {
+            let outcome = run_suite(&SuiteConfig {
+                points: vec![ScenarioPoint { processes: 10, nodes: 2, k: 2, seed }],
+                verify: Some(VerifyConfig { samples: 16, ..VerifyConfig::default() }),
+                ..tiny_suite(1, 1)
+            })
+            .unwrap();
+            let p = &outcome.points[0];
+            demotions += p.demoted;
+            if p.demoted > 0 {
+                // A demoted point landed on a front entry with no
+                // negative evidence — the headline behavior.
+                assert!(p.certified.is_certified(), "{seed}: {:?}", p.certified);
+                assert_eq!(p.verified, VerifyOutcome::Sound, "{seed}");
+            }
+            match (p.certified, p.verified) {
+                // Accepted: no negative exact evidence may remain.
+                (CertifyVerdict::Certified(_), VerifyOutcome::Sound) => {}
+                // All examined candidates failed: the point ships the
+                // estimator's winner explicitly tagged, never silently
+                // (an exactly-refuted winner's replay is skipped — its
+                // deadline miss needs no sampling).
+                (CertifyVerdict::Refuted(_), _) | (_, VerifyOutcome::Unsound) => {
+                    assert_eq!(p.demoted, 0, "a failed walk reports the tagged incumbent");
+                    assert!(!p.schedulable || p.verified == VerifyOutcome::Unsound);
+                }
+                other => panic!("unexpected verdict pair {other:?}"),
+            }
+        }
+        // The band must actually exercise demotion (seed 10 demotes by 2
+        // today); if search tuning ever makes every seed certify or fail
+        // first try, widen the band rather than weakening this.
+        assert!(demotions >= 1, "the seed band no longer exercises demotion");
     }
 
     #[test]
@@ -351,27 +677,35 @@ mod tests {
     }
 
     #[test]
-    fn verification_reports_sound_incumbents_without_perturbing_results() {
+    fn verification_reports_sound_incumbents_without_perturbing_archives() {
         let off = run_suite(&tiny_suite(1, 1)).unwrap();
         let on = run_suite(&SuiteConfig {
             verify: Some(VerifyConfig { samples: 16, ..VerifyConfig::default() }),
             ..tiny_suite(1, 1)
         })
         .unwrap();
-        // Same incumbents/archives: verification is a read-only replay.
+        // Same archives: verification only demotes *reported* winners; it
+        // never perturbs the explored front.
         assert_eq!(off.signature(), on.signature());
         for p in &off.points {
-            assert_eq!(p.verified, None);
+            assert_eq!(p.verified, VerifyOutcome::NotRequested);
         }
         for p in &on.points {
-            // Tiny instances fit the FT-CPG budget, so a verdict must be
-            // produced. `false` is a legitimate outcome: the fast
-            // estimator the exploration optimizes against is optimistic
-            // relative to the exact conditional schedule, and surfacing
-            // that gap is what the column is for.
-            assert!(p.verified.is_some(), "{}", p.point.label());
+            // Tiny instances fit the FT-CPG budget, so either scenarios
+            // were actually replayed, or the reported winner shipped
+            // exactly refuted — whose replay is skipped by design (its
+            // deadline miss is already known exactly). Never a silent
+            // non-verdict.
+            let refuted = matches!(p.certified, CertifyVerdict::Refuted(_));
+            assert!(
+                p.verified.as_bool().is_some() || (refuted && p.verified == VerifyOutcome::Skipped),
+                "{}: {:?} / {:?}",
+                p.point.label(),
+                p.certified,
+                p.verified
+            );
         }
-        // The verdict itself is deterministic.
+        // The verdict itself is deterministic across parallelism.
         let again = run_suite(&SuiteConfig {
             verify: Some(VerifyConfig { samples: 16, ..VerifyConfig::default() }),
             ..tiny_suite(2, 4)

@@ -26,6 +26,7 @@ fn suite(point_parallelism: usize, threads: usize, seed: u64) -> SuiteConfig {
         point_parallelism,
         slot: Time::new(8),
         verify: None,
+        certify: true,
     }
 }
 
@@ -107,6 +108,7 @@ fn paper_grid_end_to_end_smoke() {
         point_parallelism: 1,
         slot: Time::new(8),
         verify: None,
+        certify: true,
     };
     let outcome = run_suite(&config).unwrap();
     assert_eq!(outcome.points.len(), 1);

@@ -37,6 +37,7 @@ mod bus;
 mod checkpoint;
 mod constructive;
 mod error;
+mod repair;
 mod search;
 mod strategy;
 
@@ -48,6 +49,7 @@ pub use checkpoint::{
 };
 pub use constructive::constructive_mapping;
 pub use error::OptError;
+pub use repair::{observed_calibration, synthesize_certified, CertifiedSynthesis, RepairConfig};
 pub use search::{
     apply_move, candidate_policies, sample_move, tabu_search, tabu_search_traced,
     tabu_search_traced_with, tabu_search_with, CandidateMove, PolicyMoves, SearchConfig,

@@ -1,0 +1,279 @@
+//! The certify-and-repair loop: exact certification of search incumbents,
+//! with bounded calibrated re-search when certification refutes them.
+//!
+//! The searches in this crate optimize against the fast root-schedule
+//! estimator, which is optimistic relative to the exact conditional
+//! schedule — so an incumbent whose *estimated* worst case meets the
+//! deadline can still be unschedulable in the exact schedule tables. The
+//! loop here closes that gap:
+//!
+//! 1. synthesize an incumbent with the chosen strategy (estimator-driven,
+//!    unchanged);
+//! 2. certify it on the exact conditional schedule through a
+//!    [`Certifier`] (memoized, work-budgeted);
+//! 3. on refutation, fold the observed `exact / estimate` ratio into the
+//!    search's acceptance (see `SearchConfig::calibration_milli`) and
+//!    re-search from the refuted incumbent with a re-derived seed — the
+//!    calibrated objective now sorts configurations predicted
+//!    unschedulable *after* every predicted-schedulable one, steering the
+//!    search back toward the certified-feasible frontier;
+//! 4. repeat up to [`RepairConfig::max_rounds`] times; if no round
+//!    certifies, return the refuted incumbent with the smallest exact
+//!    length, explicitly tagged.
+//!
+//! Instances whose FT-CPG exceeds the size budget short-circuit to the
+//! estimate-only regime (the paper's large-scale experiments) — there is
+//! no exact schedule to certify against, and the outcome says so.
+
+use crate::{synthesize_with, OptError, PolicyMoves, SearchConfig, Strategy, Synthesized};
+use ftes_sched::{calibration_milli, CertOutcome, Certifier, SystemEvaluator};
+
+/// Tunables of the certify-and-repair loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// Calibrated re-searches allowed after a refuted certification. Zero
+    /// disables repair (incumbents are still certified and tagged).
+    pub max_rounds: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { max_rounds: 2 }
+    }
+}
+
+/// Result of a certified synthesis: the incumbent plus its exact verdict.
+#[derive(Debug, Clone)]
+pub struct CertifiedSynthesis {
+    /// The returned incumbent. When `outcome` is certified this is the
+    /// first configuration that passed exact certification; when refuted
+    /// it is the refuted configuration with the smallest exact length.
+    pub best: Synthesized,
+    /// The incumbent's exact verdict.
+    pub outcome: CertOutcome,
+    /// Calibrated repair searches actually run.
+    pub repair_rounds: u32,
+    /// Final calibration factor (milli-units; 1000 = estimator never
+    /// under-priced an incumbent on this instance).
+    pub calibration_milli: u64,
+}
+
+/// [`synthesize_with`](crate::synthesize_with) followed by the
+/// certify-and-repair loop: the returned incumbent is exact-certified
+/// schedulable, or explicitly tagged with its exact verdict when repair
+/// rounds (or the certifier's budget) ran out.
+///
+/// The certifier must be built for the same `(app, platform, k)` instance
+/// as the evaluator; transparency lives in the certifier.
+///
+/// # Panics
+///
+/// Panics if the certifier and evaluator disagree on the fault budget
+/// (a caller bug, not an input error).
+///
+/// # Errors
+///
+/// Propagates search errors and hard certification failures (anything but
+/// size/work-budget overruns, which degrade to
+/// [`CertOutcome::OverBudget`]).
+pub fn synthesize_certified(
+    evaluator: &mut SystemEvaluator,
+    certifier: &mut Certifier,
+    strategy: Strategy,
+    search: SearchConfig,
+    repair: RepairConfig,
+) -> Result<CertifiedSynthesis, OptError> {
+    assert_eq!(evaluator.k(), certifier.k(), "certifier built for a different fault budget");
+    let mut incumbent = synthesize_with(evaluator, strategy, search)?;
+    // Only MXR explores policies; the fixed-policy strategies repair by
+    // remapping alone, mirroring their original search space.
+    let policy_moves =
+        if strategy == Strategy::Mxr { PolicyMoves::Full } else { PolicyMoves::None };
+
+    let mut rounds = 0u32;
+    let mut best_refuted: Option<(Synthesized, ftes_model::Time)> = None;
+    loop {
+        match certifier
+            .certify(&incumbent.copies, &incumbent.policies)
+            .map_err(certify_to_opt_error)?
+        {
+            CertOutcome::Exact { exact_len, deadline_met } => {
+                certifier.record_estimate(exact_len, incumbent.estimate.worst_case_length);
+                if deadline_met {
+                    return Ok(CertifiedSynthesis {
+                        best: incumbent,
+                        outcome: CertOutcome::Exact { exact_len, deadline_met },
+                        repair_rounds: rounds,
+                        calibration_milli: certifier.calibration_milli(),
+                    });
+                }
+                let better = best_refuted.as_ref().is_none_or(|&(_, len)| exact_len < len);
+                if better {
+                    best_refuted = Some((incumbent.clone(), exact_len));
+                }
+            }
+            CertOutcome::OverBudget => {
+                // Estimate-only regime (or exhausted certifier): nothing
+                // exact to repair against; return the best refuted
+                // configuration if one was measured, else the incumbent.
+                let (best, outcome) = match best_refuted {
+                    Some((refuted, len)) => {
+                        (refuted, CertOutcome::Exact { exact_len: len, deadline_met: false })
+                    }
+                    None => (incumbent, CertOutcome::OverBudget),
+                };
+                return Ok(CertifiedSynthesis {
+                    best,
+                    outcome,
+                    repair_rounds: rounds,
+                    calibration_milli: certifier.calibration_milli(),
+                });
+            }
+        }
+        if rounds >= repair.max_rounds {
+            let (best, exact_len) = best_refuted.expect("refuted at least once to get here");
+            return Ok(CertifiedSynthesis {
+                best,
+                outcome: CertOutcome::Exact { exact_len, deadline_met: false },
+                repair_rounds: rounds,
+                calibration_milli: certifier.calibration_milli(),
+            });
+        }
+        rounds += 1;
+        // Calibrated repair search from the refuted incumbent: a fresh
+        // seed per round (golden-ratio mix keeps rounds decorrelated but
+        // deterministic), acceptance inflating estimates by the measured
+        // factor. When the refutation came from estimator under-pricing
+        // the start state is itself penalized under the calibrated
+        // objective (its inflated estimate exceeds the deadline), so any
+        // predicted-schedulable configuration displaces it. Refutations
+        // the factor cannot model — a missed *local* deadline, or the
+        // pessimistic-inversion tail where exact ≤ estimate — leave the
+        // calibration at 1, and the round repairs by reseeded
+        // diversification alone.
+        let cfg = SearchConfig {
+            seed: search.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rounds as u64),
+            calibration_milli: certifier.calibration_milli(),
+            ..search
+        };
+        // Re-anchor the evaluator's delta base at the restart state.
+        evaluator.evaluate(&incumbent.copies, &incumbent.policies)?;
+        incumbent = crate::tabu_search_with(evaluator, incumbent, policy_moves, cfg)?;
+    }
+}
+
+/// Maps hard certification failures onto [`OptError`] (graph and schedule
+/// layers already have variants there).
+fn certify_to_opt_error(e: ftes_sched::CertifyError) -> OptError {
+    match e {
+        ftes_sched::CertifyError::Cpg(e) => OptError::Cpg(e),
+        ftes_sched::CertifyError::Sched(e) => OptError::Sched(e),
+        // `CertifyError` is non-exhaustive; future variants surface as an
+        // infeasibility with the full message rather than being swallowed.
+        other => OptError::NoFeasibleConfiguration(other.to_string()),
+    }
+}
+
+/// Convenience: the calibration factor a single observation implies (see
+/// [`ftes_sched::calibration_milli`]); re-exported here because repair-loop
+/// callers reason in search vocabulary.
+pub fn observed_calibration(exact: ftes_model::Time, estimate: ftes_model::Time) -> u64 {
+    calibration_milli(exact, estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftes_ftcpg::BuildConfig;
+    use ftes_model::{samples, FaultModel, Time, Transparency};
+    use ftes_sched::{CertifyConfig, SystemEvaluator};
+    use ftes_tdma::Platform;
+
+    fn fig3_setup(k: u32) -> (SystemEvaluator, Certifier) {
+        let (app, arch) = samples::fig3();
+        let nodes = arch.node_count();
+        let platform =
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(nodes, Time::new(8)).unwrap()).unwrap();
+        let evaluator = SystemEvaluator::new(&app, &platform, k);
+        let certifier = Certifier::new(
+            &app,
+            &platform,
+            FaultModel::new(k),
+            &Transparency::none(),
+            CertifyConfig::default(),
+        );
+        (evaluator, certifier)
+    }
+
+    fn quick() -> SearchConfig {
+        SearchConfig { iterations: 20, neighborhood: 10, ..SearchConfig::default() }
+    }
+
+    #[test]
+    fn feasible_instances_certify_without_repair() {
+        let (mut evaluator, mut certifier) = fig3_setup(2);
+        let result = synthesize_certified(
+            &mut evaluator,
+            &mut certifier,
+            Strategy::Mxr,
+            quick(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+        assert!(result.outcome.is_certified(), "{:?}", result.outcome);
+        assert_eq!(result.repair_rounds, 0);
+        assert!(result.outcome.exact_len().is_some());
+        assert!(result.calibration_milli >= 1000);
+        result.best.policies.validate(2).unwrap();
+    }
+
+    #[test]
+    fn oversized_graphs_degrade_to_the_estimate_only_regime() {
+        let (mut evaluator, _) = fig3_setup(2);
+        let (app, arch) = samples::fig3();
+        let nodes = arch.node_count();
+        let platform =
+            Platform::new(arch, ftes_tdma::TdmaBus::uniform(nodes, Time::new(8)).unwrap()).unwrap();
+        let mut certifier = Certifier::new(
+            &app,
+            &platform,
+            FaultModel::new(2),
+            &Transparency::none(),
+            CertifyConfig { cpg: BuildConfig { node_limit: 2 }, ..CertifyConfig::default() },
+        );
+        let result = synthesize_certified(
+            &mut evaluator,
+            &mut certifier,
+            Strategy::Mxr,
+            quick(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(result.outcome, CertOutcome::OverBudget);
+        assert_eq!(result.repair_rounds, 0);
+        assert_eq!(result.calibration_milli, 1000);
+    }
+
+    #[test]
+    fn repair_is_bounded_and_deterministic() {
+        let (mut evaluator, mut certifier) = fig3_setup(2);
+        let repair = RepairConfig { max_rounds: 1 };
+        let a =
+            synthesize_certified(&mut evaluator, &mut certifier, Strategy::Mxr, quick(), repair)
+                .unwrap();
+        let (mut evaluator, mut certifier) = fig3_setup(2);
+        let b =
+            synthesize_certified(&mut evaluator, &mut certifier, Strategy::Mxr, quick(), repair)
+                .unwrap();
+        assert_eq!(a.best.estimate, b.best.estimate);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.repair_rounds, b.repair_rounds);
+        assert!(a.repair_rounds <= 1);
+    }
+
+    #[test]
+    fn observed_calibration_matches_the_sched_helper() {
+        assert_eq!(observed_calibration(Time::new(1041), Time::new(441)), 2361);
+        assert_eq!(observed_calibration(Time::new(100), Time::new(100)), 1000);
+    }
+}

@@ -34,11 +34,51 @@ pub struct SearchConfig {
     pub max_checkpoints: u32,
     /// Seed for the move sampler (deterministic searches).
     pub seed: u64,
+    /// Estimator calibration factor in milli-units (1000 = trust the
+    /// estimator as-is; values above 1000 inflate estimates before judging
+    /// them against the deadline). The certify-and-repair loop measures the
+    /// factor as the worst observed `exact / estimate` ratio and re-searches
+    /// with it, so acceptance stops preferring configurations whose
+    /// estimated worst case only *looks* schedulable. At the default 1000
+    /// the search behaves exactly as the uncalibrated engine.
+    pub calibration_milli: u64,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { iterations: 120, tenure: 8, neighborhood: 24, max_checkpoints: 16, seed: 1 }
+        SearchConfig {
+            iterations: 120,
+            tenure: 8,
+            neighborhood: 24,
+            max_checkpoints: 16,
+            seed: 1,
+            calibration_milli: 1000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// `true` when the estimated worst case, inflated by the calibration
+    /// factor, exceeds the deadline — the acceptance penalty flag of the
+    /// calibrated objective. Always `false` at the default factor of 1000,
+    /// so uncalibrated searches are bit-for-bit unchanged.
+    pub(crate) fn calibrated_over_deadline(&self, estimate: &Estimate, deadline: Time) -> bool {
+        self.calibration_milli > 1000
+            && (estimate.worst_case_length.units() as i128) * (self.calibration_milli as i128)
+                > (deadline.units() as i128) * 1000
+    }
+
+    /// The calibrated search objective: states predicted unschedulable
+    /// under the calibration factor sort after every predicted-schedulable
+    /// state; within a class the usual (worst-case, fault-free) order
+    /// applies.
+    pub(crate) fn calibrated_objective(
+        &self,
+        candidate: &Synthesized,
+        deadline: Time,
+    ) -> (bool, Time, Time) {
+        let (worst, fault_free) = candidate.objective();
+        (self.calibrated_over_deadline(&candidate.estimate, deadline), worst, fault_free)
     }
 }
 
@@ -378,6 +418,7 @@ pub fn tabu_search_traced_with(
 ) -> Result<(Synthesized, Vec<i64>), OptError> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let n = evaluator.app().process_count();
+    let deadline = evaluator.app().deadline();
     // Anchor the delta base at the search's starting state.
     evaluator.evaluate(&initial.copies, &initial.policies)?;
     let mut current = initial.clone();
@@ -393,13 +434,17 @@ pub fn tabu_search_traced_with(
             else {
                 continue;
             };
-            let aspiration = candidate.objective() < best.objective();
+            let aspiration = config.calibrated_objective(&candidate, deadline)
+                < config.calibrated_objective(&best, deadline);
             if tabu_until[p.index()] > iter && !aspiration {
                 continue;
             }
             if best_move
                 .as_ref()
-                .map(|(s, _)| candidate.objective() < s.objective())
+                .map(|(s, _)| {
+                    config.calibrated_objective(&candidate, deadline)
+                        < config.calibrated_objective(s, deadline)
+                })
                 .unwrap_or(true)
             {
                 best_move = Some((candidate, p));
@@ -407,7 +452,9 @@ pub fn tabu_search_traced_with(
         }
         if let Some((next, p)) = best_move {
             tabu_until[p.index()] = iter + config.tenure;
-            if next.objective() < best.objective() {
+            if config.calibrated_objective(&next, deadline)
+                < config.calibrated_objective(&best, deadline)
+            {
                 best = next.clone();
             }
             current = next;

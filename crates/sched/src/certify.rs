@@ -1,0 +1,507 @@
+//! On-demand exact certification of candidate configurations.
+//!
+//! The fast estimator the optimization loops run on is a *ranking
+//! heuristic*: it prices the adversary's concentrated `k`-fault attack but
+//! not multi-process recovery cascades that serialize on a shared CPU, so
+//! it is optimistic relative to the exact conditional schedule —
+//! increasingly so with `k` and for incumbents that mix policies. A search
+//! that only ever consults the estimator can therefore return a "best"
+//! configuration that is not actually schedulable.
+//!
+//! The [`Certifier`] closes that gap: it runs the full FT-CPG construction
+//! and exact conditional scheduler for one candidate configuration on
+//! demand, under a work budget, and memoizes the verdict behind the same
+//! canonical-key discipline as the exploration estimate cache (an exact,
+//! collision-free encoding of the `(copies, policies)` state — the two
+//! inputs that vary between candidates of one `(app, platform, k,
+//! transparency)` instance). The repair loops in `ftes-opt` and the suite
+//! runner in `ftes-explore` hold one certifier per problem instance, so a
+//! configuration revisited across repair rounds is re-certified for free.
+//!
+//! The certifier also reports a per-instance **calibration factor** —
+//! the largest `exact / estimate` ratio observed on certified incumbents —
+//! which the searches fold into acceptance (see
+//! `SearchConfig::calibration_milli` in `ftes-opt`) so the estimator stops
+//! systematically under-pricing policy mixes on instances where the gap
+//! has already been measured.
+
+use crate::{check_deadlines, schedule_ftcpg, ConditionalSchedule, SchedConfig, SchedError};
+use ftes_ft::PolicyAssignment;
+use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, CpgError, FtCpg};
+use ftes_model::{Application, FaultModel, Time, Transparency};
+use ftes_tdma::Platform;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Certifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifyConfig {
+    /// FT-CPG size budget: configurations whose graph exceeds it are
+    /// reported [`CertOutcome::OverBudget`] instead of certified (the
+    /// estimate-only regime of the paper's large-scale experiments).
+    pub cpg: BuildConfig,
+    /// Exact-scheduler tunables (condition broadcast time).
+    pub sched: SchedConfig,
+    /// Work budget: exact schedules this certifier may compute over its
+    /// lifetime. Once exhausted, uncached requests return
+    /// [`CertOutcome::OverBudget`]; memoized verdicts keep answering.
+    pub max_exact_runs: u64,
+}
+
+impl Default for CertifyConfig {
+    fn default() -> Self {
+        CertifyConfig {
+            cpg: BuildConfig::default(),
+            sched: SchedConfig::default(),
+            max_exact_runs: 64,
+        }
+    }
+}
+
+/// Verdict of one certification request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertOutcome {
+    /// The exact conditional schedule was computed.
+    Exact {
+        /// Worst-case length of the exact conditional schedule.
+        exact_len: Time,
+        /// `true` when the exact schedule meets the global deadline and
+        /// every local process deadline.
+        deadline_met: bool,
+    },
+    /// The FT-CPG exceeded the size budget, or the certifier's work budget
+    /// is exhausted — no exact verdict exists for this configuration.
+    OverBudget,
+}
+
+impl CertOutcome {
+    /// The exact schedule length, when one was computed.
+    pub fn exact_len(&self) -> Option<Time> {
+        match self {
+            CertOutcome::Exact { exact_len, .. } => Some(*exact_len),
+            CertOutcome::OverBudget => None,
+        }
+    }
+
+    /// `true` when the configuration is exact-certified schedulable.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, CertOutcome::Exact { deadline_met: true, .. })
+    }
+}
+
+/// Error produced during certification (hard failures only — budget and
+/// size overruns are [`CertOutcome::OverBudget`], not errors).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CertifyError {
+    /// FT-CPG construction failed for a reason other than size.
+    Cpg(CpgError),
+    /// Exact conditional scheduling failed.
+    Sched(SchedError),
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Cpg(e) => write!(f, "certification: FT-CPG construction failed: {e}"),
+            CertifyError::Sched(e) => write!(f, "certification: exact scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for CertifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CertifyError::Cpg(e) => Some(e),
+            CertifyError::Sched(e) => Some(e),
+        }
+    }
+}
+
+impl From<CpgError> for CertifyError {
+    fn from(e: CpgError) -> Self {
+        CertifyError::Cpg(e)
+    }
+}
+
+impl From<SchedError> for CertifyError {
+    fn from(e: SchedError) -> Self {
+        CertifyError::Sched(e)
+    }
+}
+
+/// Work counters of one [`Certifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CertifierStats {
+    /// Certification requests answered (cached or not).
+    pub requests: u64,
+    /// Requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Exact conditional schedules actually computed.
+    pub exact_runs: u64,
+    /// Requests answered [`CertOutcome::OverBudget`] because the FT-CPG
+    /// exceeded the size budget.
+    pub graph_too_large: u64,
+    /// Requests answered [`CertOutcome::OverBudget`] because the work
+    /// budget (`max_exact_runs`) was exhausted.
+    pub budget_exhausted: u64,
+    /// Wall-clock time spent inside certification (graph construction +
+    /// exact scheduling).
+    pub wall: Duration,
+}
+
+/// On-demand exact certification kernel for one
+/// `(application, platform, k, transparency)` problem instance.
+///
+/// Construction is cheap (clones of the inputs); all expensive work happens
+/// lazily per certified configuration and is memoized, so re-certifying a
+/// configuration across repair rounds costs a map lookup.
+///
+/// # Examples
+///
+/// ```
+/// use ftes_ft::PolicyAssignment;
+/// use ftes_ftcpg::CopyMapping;
+/// use ftes_model::{samples, FaultModel, Mapping, Time, Transparency};
+/// use ftes_sched::{CertOutcome, Certifier, CertifyConfig};
+/// use ftes_tdma::Platform;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (app, arch) = samples::fig3();
+/// let mapping = Mapping::cheapest(&app, &arch)?;
+/// let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+/// let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies)?;
+/// let platform = Platform::homogeneous(2, Time::new(8))?;
+/// let mut certifier = Certifier::new(
+///     &app, &platform, FaultModel::new(2), &Transparency::none(),
+///     CertifyConfig::default(),
+/// );
+/// let verdict = certifier.certify(&copies, &policies)?;
+/// assert!(matches!(verdict, CertOutcome::Exact { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Certifier {
+    app: Application,
+    platform: Platform,
+    fault_model: FaultModel,
+    transparency: Transparency,
+    config: CertifyConfig,
+    /// Memoized verdicts keyed by the canonical `(copies, policies)`
+    /// encoding. Only outcomes that cannot change are cached — a
+    /// budget-exhausted `OverBudget` is *not* cached, so raising the budget
+    /// on a fresh certifier re-answers.
+    verdicts: HashMap<Vec<u8>, CertOutcome>,
+    /// Artifacts (FT-CPG + exact schedule) of the most recently scheduled
+    /// configuration, so the flow can reuse them for table generation
+    /// instead of rebuilding the winner's graph from scratch.
+    last_artifacts: Option<(Vec<u8>, FtCpg, ConditionalSchedule)>,
+    /// Largest `exact / estimate` ratio observed so far, in milli-units
+    /// (1000 = the estimator was exact). Fed back into calibrated search
+    /// acceptance.
+    calibration_milli: u64,
+    stats: CertifierStats,
+}
+
+impl Certifier {
+    /// A certifier for one problem instance.
+    pub fn new(
+        app: &Application,
+        platform: &Platform,
+        fault_model: FaultModel,
+        transparency: &Transparency,
+        config: CertifyConfig,
+    ) -> Self {
+        Certifier {
+            app: app.clone(),
+            platform: platform.clone(),
+            fault_model,
+            transparency: transparency.clone(),
+            config,
+            verdicts: HashMap::new(),
+            last_artifacts: None,
+            calibration_milli: 1000,
+            stats: CertifierStats::default(),
+        }
+    }
+
+    /// The fault budget this certifier certifies against.
+    pub fn k(&self) -> u32 {
+        self.fault_model.k()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> CertifierStats {
+        self.stats
+    }
+
+    /// The calibration factor in milli-units: the largest
+    /// `exact / estimate` ratio observed on configurations certified
+    /// through [`Certifier::record_estimate`], never below 1000.
+    pub fn calibration_milli(&self) -> u64 {
+        self.calibration_milli
+    }
+
+    /// Folds one `(exact, estimate)` observation into the calibration
+    /// factor (ratios below 1 are clamped — a pessimistic estimate needs
+    /// no correction).
+    pub fn record_estimate(&mut self, exact: Time, estimate: Time) {
+        self.calibration_milli = self.calibration_milli.max(calibration_milli(exact, estimate));
+    }
+
+    /// Certifies one configuration: builds its FT-CPG and exact conditional
+    /// schedule (memoized; budgeted) and judges every deadline on it.
+    ///
+    /// # Errors
+    ///
+    /// Hard construction/scheduling failures only; size and work-budget
+    /// overruns are reported as [`CertOutcome::OverBudget`].
+    pub fn certify(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Result<CertOutcome, CertifyError> {
+        self.stats.requests += 1;
+        let key = config_key(&self.app, copies, policies);
+        if let Some(&verdict) = self.verdicts.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(verdict);
+        }
+        match self.schedule_uncached(&key, copies, policies)? {
+            Some(verdict) => {
+                self.verdicts.insert(key, verdict);
+                Ok(verdict)
+            }
+            None => Ok(CertOutcome::OverBudget),
+        }
+    }
+
+    /// Takes the FT-CPG and exact schedule of the most recent certification
+    /// if it was for exactly this configuration — the flow uses this to
+    /// avoid rebuilding the winner's graph for table generation.
+    pub fn take_artifacts(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Option<(FtCpg, ConditionalSchedule)> {
+        let key = config_key(&self.app, copies, policies);
+        match self.last_artifacts.take() {
+            Some((k, cpg, schedule)) if k == key => Some((cpg, schedule)),
+            other => {
+                self.last_artifacts = other;
+                None
+            }
+        }
+    }
+
+    /// Builds graph + schedule, updating counters and the artifact slot.
+    /// `Ok(None)` = work budget exhausted (not cacheable);
+    /// `Ok(Some(OverBudget))` = graph too large (cacheable — a
+    /// configuration's graph size never changes).
+    fn schedule_uncached(
+        &mut self,
+        key: &[u8],
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+    ) -> Result<Option<CertOutcome>, CertifyError> {
+        if self.stats.exact_runs >= self.config.max_exact_runs {
+            self.stats.budget_exhausted += 1;
+            return Ok(None);
+        }
+        let started = Instant::now();
+        let cpg = match build_ftcpg(
+            &self.app,
+            policies,
+            copies,
+            self.fault_model,
+            &self.transparency,
+            self.config.cpg,
+        ) {
+            Ok(cpg) => cpg,
+            Err(CpgError::GraphTooLarge { .. }) => {
+                self.stats.graph_too_large += 1;
+                self.stats.wall += started.elapsed();
+                return Ok(Some(CertOutcome::OverBudget));
+            }
+            Err(e) => {
+                self.stats.wall += started.elapsed();
+                return Err(e.into());
+            }
+        };
+        self.stats.exact_runs += 1;
+        let schedule = match schedule_ftcpg(&self.app, &cpg, &self.platform, self.config.sched) {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.wall += started.elapsed();
+                return Err(e.into());
+            }
+        };
+        let deadline_met = check_deadlines(&self.app, &cpg, &schedule).is_empty();
+        let verdict = CertOutcome::Exact { exact_len: schedule.length(), deadline_met };
+        self.last_artifacts = Some((key.to_vec(), cpg, schedule));
+        self.stats.wall += started.elapsed();
+        Ok(Some(verdict))
+    }
+}
+
+/// The `exact / estimate` ratio in milli-units, clamped to ≥ 1000 (the
+/// calibration factor only ever *inflates* estimates — a pessimistic
+/// estimator needs no correction).
+pub fn calibration_milli(exact: Time, estimate: Time) -> u64 {
+    let (e, x) = (estimate.units(), exact.units());
+    if e <= 0 || x <= e {
+        return 1000;
+    }
+    // Ceiling division keeps `estimate × factor ≥ exact` exactly.
+    ((x as u128 * 1000).div_ceil(e as u128).min(u64::MAX as u128)) as u64
+}
+
+/// Canonical, collision-free encoding of one `(copies, policies)`
+/// configuration — the certification twin of the exploration cache's
+/// `StateKey` (which encodes `(mapping, policies)`; the certifier sees the
+/// derived copy placement instead, which subsumes the mapping).
+fn config_key(app: &Application, copies: &CopyMapping, policies: &PolicyAssignment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * app.process_count());
+    for (pid, _) in app.processes() {
+        let placed = copies.copies_of(pid);
+        out.extend_from_slice(&(placed.len() as u32).to_le_bytes());
+        for &node in placed {
+            out.extend_from_slice(&(node.index() as u32).to_le_bytes());
+        }
+        let policy = policies.policy(pid);
+        out.extend_from_slice(&(policy.copies().len() as u32).to_le_bytes());
+        for plan in policy.copies() {
+            out.extend_from_slice(&plan.recoveries.to_le_bytes());
+            out.extend_from_slice(&plan.checkpoints.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate_schedule_length;
+    use ftes_model::{samples, Mapping};
+
+    fn fig3_instance(k: u32) -> (Application, Platform, CopyMapping, PolicyAssignment) {
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, k);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        (app, platform, copies, policies)
+    }
+
+    fn certifier(app: &Application, platform: &Platform, k: u32, cfg: CertifyConfig) -> Certifier {
+        Certifier::new(app, platform, FaultModel::new(k), &Transparency::none(), cfg)
+    }
+
+    #[test]
+    fn certification_matches_a_fresh_exact_schedule() {
+        let (app, platform, copies, policies) = fig3_instance(2);
+        let mut c = certifier(&app, &platform, 2, CertifyConfig::default());
+        let verdict = c.certify(&copies, &policies).unwrap();
+        let CertOutcome::Exact { exact_len, deadline_met } = verdict else {
+            panic!("fig3 fits the budget");
+        };
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &Transparency::none(),
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let schedule = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        assert_eq!(exact_len, schedule.length());
+        assert_eq!(deadline_met, check_deadlines(&app, &cpg, &schedule).is_empty());
+        // The estimator is never pessimistic here.
+        let est = estimate_schedule_length(&app, &platform, &copies, &policies, 2).unwrap();
+        assert!(est.worst_case_length <= exact_len, "{est:?} vs {exact_len}");
+    }
+
+    #[test]
+    fn verdicts_are_memoized() {
+        let (app, platform, copies, policies) = fig3_instance(1);
+        let mut c = certifier(&app, &platform, 1, CertifyConfig::default());
+        let a = c.certify(&copies, &policies).unwrap();
+        let b = c.certify(&copies, &policies).unwrap();
+        assert_eq!(a, b);
+        let stats = c.stats();
+        assert_eq!((stats.requests, stats.cache_hits, stats.exact_runs), (2, 1, 1));
+    }
+
+    #[test]
+    fn graph_size_budget_reports_over_budget() {
+        let (app, platform, copies, policies) = fig3_instance(2);
+        let cfg = CertifyConfig { cpg: BuildConfig { node_limit: 2 }, ..CertifyConfig::default() };
+        let mut c = certifier(&app, &platform, 2, cfg);
+        assert_eq!(c.certify(&copies, &policies).unwrap(), CertOutcome::OverBudget);
+        assert_eq!(c.stats().graph_too_large, 1);
+        // Size verdicts are cacheable (the graph cannot shrink).
+        assert_eq!(c.certify(&copies, &policies).unwrap(), CertOutcome::OverBudget);
+        assert_eq!(c.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn work_budget_exhaustion_is_not_cached() {
+        let (app, platform, copies, policies) = fig3_instance(1);
+        let cfg = CertifyConfig { max_exact_runs: 0, ..CertifyConfig::default() };
+        let mut c = certifier(&app, &platform, 1, cfg);
+        assert_eq!(c.certify(&copies, &policies).unwrap(), CertOutcome::OverBudget);
+        assert_eq!(c.stats().budget_exhausted, 1);
+        assert_eq!(c.stats().cache_hits, 0, "budget overruns must not poison the cache");
+    }
+
+    #[test]
+    fn artifacts_are_reusable_for_the_last_configuration() {
+        let (app, platform, copies, policies) = fig3_instance(2);
+        let mut c = certifier(&app, &platform, 2, CertifyConfig::default());
+        let verdict = c.certify(&copies, &policies).unwrap();
+        let (cpg, schedule) = c.take_artifacts(&copies, &policies).expect("just scheduled");
+        assert_eq!(Some(schedule.length()), verdict.exact_len());
+        assert!(cpg.node_count() > app.process_count());
+        // Taken once; a second take must miss.
+        assert!(c.take_artifacts(&copies, &policies).is_none());
+    }
+
+    #[test]
+    fn artifacts_do_not_alias_other_configurations() {
+        let (app, platform, copies, policies) = fig3_instance(2);
+        let mut c = certifier(&app, &platform, 2, CertifyConfig::default());
+        c.certify(&copies, &policies).unwrap();
+        let other = PolicyAssignment::uniform_reexecution(&app, 2);
+        let mut other = other;
+        other.set(ftes_model::ProcessId::new(0), ftes_ft::Policy::checkpointing(2, 2));
+        let other_copies = CopyMapping::from_base(
+            &app,
+            platform.architecture(),
+            &Mapping::cheapest(&app, platform.architecture()).unwrap(),
+            &other,
+        )
+        .unwrap();
+        assert!(c.take_artifacts(&other_copies, &other).is_none());
+        // The slot survives a mismatched take.
+        assert!(c.take_artifacts(&copies, &policies).is_some());
+    }
+
+    #[test]
+    fn calibration_factor_is_monotone_and_clamped() {
+        assert_eq!(calibration_milli(Time::new(100), Time::new(100)), 1000);
+        assert_eq!(calibration_milli(Time::new(90), Time::new(100)), 1000);
+        assert_eq!(calibration_milli(Time::new(1041), Time::new(441)), 2361);
+        assert_eq!(calibration_milli(Time::new(100), Time::ZERO), 1000);
+
+        let (app, platform, ..) = fig3_instance(1);
+        let mut c = certifier(&app, &platform, 1, CertifyConfig::default());
+        assert_eq!(c.calibration_milli(), 1000);
+        c.record_estimate(Time::new(150), Time::new(100));
+        assert_eq!(c.calibration_milli(), 1500);
+        c.record_estimate(Time::new(110), Time::new(100));
+        assert_eq!(c.calibration_milli(), 1500, "the factor never decreases");
+    }
+}

@@ -13,6 +13,10 @@
 //!   `(application, platform, k)`, `evaluate` re-scores candidate states
 //!   with zero steady-state allocation, `delta_evaluate` re-schedules only
 //!   the suffix a single move can affect;
+//! * [`Certifier`] — on-demand, memoized exact certification of candidate
+//!   configurations under a work budget: the kernel behind the
+//!   certify-and-repair loops that keep search incumbents honest against
+//!   the exact conditional schedule;
 //! * [`estimate_schedule_length`] — root schedule + shared recovery slack,
 //!   polynomial-time, for the 100-process design-space sweeps of §6 (a
 //!   thin construct-once wrapper over the kernel);
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod certify;
 mod conditional;
 mod error;
 mod estimate;
@@ -53,6 +58,9 @@ mod join;
 mod resource;
 mod table;
 
+pub use certify::{
+    calibration_milli, CertOutcome, Certifier, CertifierStats, CertifyConfig, CertifyError,
+};
 pub use conditional::{
     check_deadlines, schedule_ftcpg, Broadcast, ConditionalSchedule, DeadlineViolation, SchedConfig,
 };

@@ -20,7 +20,7 @@ use ftes::model::Time;
 use ftes::sched::export::tables_to_csv;
 use ftes::sched::SystemEvaluator;
 use ftes::spec::{parse_spec, SystemSpec};
-use ftes::{synthesize_system_timed, FlowConfig, SystemConfiguration};
+use ftes::{synthesize_system_timed, Certification, FlowConfig, SystemConfiguration};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -91,8 +91,15 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
         {
             Ok((psi, timings)) => {
                 shared.metrics.record_phase(Phase::Optimize, timings.optimize.as_micros() as u64);
+                shared.metrics.record_phase(Phase::Certify, timings.certify.as_micros() as u64);
                 shared.metrics.record_phase(Phase::Cpg, timings.cpg.as_micros() as u64);
                 shared.metrics.record_phase(Phase::Schedule, timings.schedule.as_micros() as u64);
+                let verdict = match psi.certification {
+                    Certification::Certified { .. } => Some(true),
+                    Certification::Refuted { .. } => Some(false),
+                    Certification::Uncertifiable => None,
+                };
+                shared.metrics.record_certification(verdict, psi.repair_rounds as u64);
                 Reply { status: 200, body: Arc::new(render_synthesis(&spec, &psi)) }
             }
             // A 422 is as deterministic as a success: cache it so a repeated
@@ -152,6 +159,20 @@ fn render_synthesis(spec: &SystemSpec, psi: &SystemConfiguration) -> String {
     w.end_array();
     w.key("exact");
     w.bool(psi.exact.is_some());
+    // The certify-and-repair contract: `certified:true` incumbents are
+    // exact-schedulable; everything else ships explicitly tagged with the
+    // exact length when one was computed.
+    w.key("certified");
+    w.bool(psi.certification.is_certified());
+    w.key("exact_len");
+    match psi.certification.exact_len() {
+        Some(len) => w.number_i64(len.units()),
+        None => w.null(),
+    }
+    w.key("repair_rounds");
+    w.number_u64(psi.repair_rounds as u64);
+    w.key("calibration_milli");
+    w.number_u64(psi.calibration_milli);
     match psi.exact.as_ref() {
         Some(exact) => {
             w.key("table_entries");
@@ -238,6 +259,7 @@ pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
     let mut portfolio = PortfolioConfig::default();
     let mut point_parallelism = 1usize;
     let mut verify = None;
+    let mut certify = true;
 
     for token in text.split_whitespace() {
         let Some((key, value)) = token.split_once('=') else {
@@ -277,6 +299,13 @@ pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
                     other => return Err(format!("bad bool `{other}` for verify")),
                 }
             }
+            "certify" => {
+                certify = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("bad bool `{other}` for certify")),
+                }
+            }
             other => return Err(format!("unknown explore parameter `{other}`")),
         }
     }
@@ -303,7 +332,7 @@ pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
             limits::WORK_BUDGET
         ));
     }
-    Ok(SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify })
+    Ok(SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify, certify })
 }
 
 /// Canonical encoding of the *semantic* suite parameters. `threads` and
@@ -346,6 +375,7 @@ pub fn canonical_explore_bytes(config: &SuiteConfig) -> Vec<u8> {
             push_u64(&mut out, vc.seed);
         }
     }
+    out.push(config.certify as u8);
     out
 }
 
@@ -405,6 +435,17 @@ fn metrics(shared: &Shared) -> Reply {
     w.end_object();
     w.key("queue_depth");
     w.number_usize(shared.queue.depth());
+    w.key("certification");
+    w.begin_object();
+    w.key("certified");
+    w.number_u64(snap.certification.certified);
+    w.key("refuted");
+    w.number_u64(snap.certification.refuted);
+    w.key("uncertifiable");
+    w.number_u64(snap.certification.uncertifiable);
+    w.key("repair_rounds");
+    w.number_u64(snap.certification.repair_rounds);
+    w.end_object();
     w.key("latency_us");
     w.begin_object();
     w.key("p50");
@@ -456,6 +497,8 @@ mod tests {
         assert_eq!(config.portfolio.rounds, 3);
         assert_eq!(config.portfolio.iterations_per_round, 5);
         assert!(config.verify.is_some());
+        assert!(config.certify, "certification defaults on");
+        assert!(!parse_explore_request("certify=false").unwrap().certify);
 
         let default = parse_explore_request("").unwrap();
         assert_eq!(default.points.len(), 5, "empty body = the paper grid");
@@ -470,6 +513,7 @@ mod tests {
             "grid=paper processes=10",
             "processes=10 nodes=2",
             "verify=maybe",
+            "certify=maybe",
             "bogus=1",
         ] {
             assert!(parse_explore_request(bad).is_err(), "{bad}");
@@ -519,6 +563,7 @@ mod tests {
             "processes=10 nodes=2 k=1 iters=9",
             "processes=10 nodes=2 k=1 seeds=2",
             "processes=10 nodes=2 k=1 verify=true",
+            "processes=10 nodes=2 k=1 certify=false",
             "grid=paper",
         ] {
             let c = parse_explore_request(different).unwrap();

@@ -59,8 +59,11 @@ impl Endpoint {
 pub enum Phase {
     /// `.ftes` / request-body parsing.
     Parse,
-    /// Design-space optimization (mapping + policy search).
+    /// Design-space optimization (mapping + policy search, repair rounds
+    /// included).
     Optimize,
+    /// Exact certification inside the certify-and-repair loop.
+    Certify,
     /// FT-CPG construction.
     Cpg,
     /// Conditional scheduling + table generation.
@@ -72,22 +75,28 @@ impl Phase {
         match self {
             Phase::Parse => 0,
             Phase::Optimize => 1,
-            Phase::Cpg => 2,
-            Phase::Schedule => 3,
+            Phase::Certify => 2,
+            Phase::Cpg => 3,
+            Phase::Schedule => 4,
         }
     }
 
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     /// Stable label used in the `/metrics` document.
     pub fn label(self) -> &'static str {
         match self {
             Phase::Parse => "parse",
             Phase::Optimize => "optimize",
+            Phase::Certify => "certify",
             Phase::Cpg => "cpg",
             Phase::Schedule => "schedule",
         }
     }
+
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; Phase::COUNT] =
+        [Phase::Parse, Phase::Optimize, Phase::Certify, Phase::Cpg, Phase::Schedule];
 }
 
 /// Atomic counters shared by every worker thread.
@@ -101,6 +110,10 @@ pub struct Metrics {
     latency_count: AtomicU64,
     phase_us: [AtomicU64; Phase::COUNT],
     phase_count: [AtomicU64; Phase::COUNT],
+    cert_certified: AtomicU64,
+    cert_refuted: AtomicU64,
+    cert_uncertifiable: AtomicU64,
+    cert_repair_rounds: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -115,6 +128,10 @@ impl Default for Metrics {
             latency_count: AtomicU64::new(0),
             phase_us: std::array::from_fn(|_| AtomicU64::new(0)),
             phase_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            cert_certified: AtomicU64::new(0),
+            cert_refuted: AtomicU64::new(0),
+            cert_uncertifiable: AtomicU64::new(0),
+            cert_repair_rounds: AtomicU64::new(0),
         }
     }
 }
@@ -174,6 +191,19 @@ impl Metrics {
         self.phase_count[phase.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one synthesis's certification outcome: `Some(true)` the
+    /// incumbent certified, `Some(false)` it shipped refuted, `None` the
+    /// instance was uncertifiable (estimate-only regime), plus the repair
+    /// searches the loop ran.
+    pub fn record_certification(&self, certified: Option<bool>, repair_rounds: u64) {
+        match certified {
+            Some(true) => self.cert_certified.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.cert_refuted.fetch_add(1, Ordering::Relaxed),
+            None => self.cert_uncertifiable.fetch_add(1, Ordering::Relaxed),
+        };
+        self.cert_repair_rounds.fetch_add(repair_rounds, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for reporting (counters are
     /// independently relaxed-loaded; exactness across counters is not a
     /// goal of an operational metrics endpoint).
@@ -195,15 +225,32 @@ impl Metrics {
             p50_us: percentile(&histogram, total, 0.50),
             p99_us: percentile(&histogram, total, 0.99),
             served: total,
-            phases: [Phase::Parse, Phase::Optimize, Phase::Cpg, Phase::Schedule].map(|p| {
-                PhaseSnapshot {
-                    label: p.label(),
-                    total_us: self.phase_us[p.index()].load(Ordering::Relaxed),
-                    count: self.phase_count[p.index()].load(Ordering::Relaxed),
-                }
+            phases: Phase::ALL.map(|p| PhaseSnapshot {
+                label: p.label(),
+                total_us: self.phase_us[p.index()].load(Ordering::Relaxed),
+                count: self.phase_count[p.index()].load(Ordering::Relaxed),
             }),
+            certification: CertificationSnapshot {
+                certified: self.cert_certified.load(Ordering::Relaxed),
+                refuted: self.cert_refuted.load(Ordering::Relaxed),
+                uncertifiable: self.cert_uncertifiable.load(Ordering::Relaxed),
+                repair_rounds: self.cert_repair_rounds.load(Ordering::Relaxed),
+            },
         }
     }
+}
+
+/// Certification counters of the daemon's synthesis work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CertificationSnapshot {
+    /// Incumbents that certified exact-schedulable.
+    pub certified: u64,
+    /// Incumbents that shipped explicitly refuted (repair exhausted).
+    pub refuted: u64,
+    /// Syntheses in the estimate-only regime (FT-CPG over budget).
+    pub uncertifiable: u64,
+    /// Total calibrated repair searches run.
+    pub repair_rounds: u64,
 }
 
 /// Accumulated wall time of one hot-path phase.
@@ -219,7 +266,15 @@ pub struct PhaseSnapshot {
 
 /// Bucket-resolution percentile: the upper bound of the bucket holding the
 /// requested rank, or 0 when nothing was recorded yet.
+///
+/// `total` and `histogram` are loaded from independent relaxed atomics, so
+/// they can disagree transiently (and a counter reset can leave a non-zero
+/// `total` against an emptied histogram). The effective total is therefore
+/// clamped to what the histogram actually holds — an empty histogram
+/// answers 0, never the catch-all bucket's ~17-minute upper bound.
 fn percentile(histogram: &[u64], total: u64, p: f64) -> u64 {
+    let in_histogram: u64 = histogram.iter().sum();
+    let total = total.min(in_histogram);
     if total == 0 {
         return 0;
     }
@@ -231,7 +286,8 @@ fn percentile(histogram: &[u64], total: u64, p: f64) -> u64 {
             return bucket_upper(i);
         }
     }
-    bucket_upper(BUCKETS - 1)
+    // Unreachable once rank ≤ in_histogram, kept as a safe floor.
+    0
 }
 
 /// Point-in-time counter values.
@@ -253,8 +309,11 @@ pub struct MetricsSnapshot {
     pub p99_us: u64,
     /// Requests that reached a worker (latency samples).
     pub served: u64,
-    /// Per-phase work accounting (parse / optimize / cpg / schedule).
+    /// Per-phase work accounting (parse / optimize / certify / cpg /
+    /// schedule).
     pub phases: [PhaseSnapshot; Phase::COUNT],
+    /// Certification outcome counters of the synthesis work served.
+    pub certification: CertificationSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -321,6 +380,35 @@ mod tests {
         let snap = Metrics::new().snapshot();
         assert_eq!((snap.p50_us, snap.p99_us, snap.requests_total()), (0, 0, 0));
         assert!(snap.phases.iter().all(|p| p.total_us == 0 && p.count == 0));
+        assert_eq!(snap.certification, CertificationSnapshot::default());
+    }
+
+    #[test]
+    fn empty_histogram_with_nonzero_total_reports_zero_not_the_top_bucket() {
+        // Regression: `total` and the histogram load from independent
+        // relaxed atomics, so after a reset (or mid-update) the histogram
+        // can be empty while `total > 0`. The percentile must answer 0,
+        // not the catch-all bucket's upper bound (~17 minutes).
+        let empty = vec![0u64; BUCKETS];
+        assert_eq!(percentile(&empty, 5, 0.50), 0);
+        assert_eq!(percentile(&empty, 5, 0.99), 0);
+        // And a histogram holding fewer samples than `total` clamps to
+        // what it actually has instead of falling through to the top.
+        let mut partial = vec![0u64; BUCKETS];
+        partial[3] = 2;
+        assert_eq!(percentile(&partial, 100, 0.99), bucket_upper(3));
+    }
+
+    #[test]
+    fn certification_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_certification(Some(true), 0);
+        m.record_certification(Some(true), 2);
+        m.record_certification(Some(false), 3);
+        m.record_certification(None, 0);
+        let snap = m.snapshot().certification;
+        assert_eq!((snap.certified, snap.refuted, snap.uncertifiable), (2, 1, 1));
+        assert_eq!(snap.repair_rounds, 5);
     }
 
     #[test]

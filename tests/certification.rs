@@ -1,0 +1,199 @@
+//! Regression tests for the estimator-vs-exact calibration and the
+//! certify-and-repair contract on random generated systems (k ∈ 0..3, all
+//! three generator shapes).
+//!
+//! The obvious invariant to pin here — `exact_len >= estimate` always —
+//! turns out to be **false by design**, and this file documents why with a
+//! concrete counter-example guard: the estimator and the exact conditional
+//! scheduler are both greedy list schedulers, but over different graphs
+//! (application vs FT-CPG) and different priority orders, so classic list-
+//! scheduling anomalies cut both ways. Measured on the deterministic sweep
+//! below: the estimator is *optimistic* on most states (the documented
+//! recovery-cascade under-pricing, e.g. generated incumbents with estimate
+//! 441 vs exact 1041) and *pessimistic* on a small tail (e.g. seed 76,
+//! k = 2: estimate 494 vs exact 464; seed 193, k = 0: estimate 393 vs
+//! exact 305 from a pure order anomaly). Either direction, only the exact
+//! schedule is the contract — which is exactly why the synthesis flow now
+//! certifies every incumbent instead of trusting the estimate.
+//!
+//! What *is* pinned, as hard invariants:
+//!
+//! 1. certification is deterministic and never errors on
+//!    estimator-feasible states;
+//! 2. the calibration envelope: inversions (estimate > exact) stay a
+//!    bounded, small tail, and the estimate never strays beyond measured
+//!    multiplicative bounds of the exact length — the calibration table
+//!    as a regression check, not documentation;
+//! 3. the certify-and-repair contract: every configuration
+//!    `synthesize_system` returns is exact-certified schedulable or
+//!    explicitly tagged (`Refuted` with its exact length, or
+//!    `Uncertifiable` in the estimate-only regime).
+
+use ftes::ft::PolicyAssignment;
+use ftes::ftcpg::CopyMapping;
+use ftes::gen::{generate_application, GeneratorConfig};
+use ftes::model::{FaultModel, Mapping, ProcessId, Time, Transparency};
+use ftes::opt::{apply_move, candidate_policies, CandidateMove, SearchConfig};
+use ftes::sched::{CertOutcome, Certifier, CertifyConfig, SystemEvaluator};
+use ftes::tdma::Platform;
+use ftes::{synthesize_system, Certification, FlowConfig};
+use proptest::prelude::*;
+
+fn shape(seed: u64, n: usize, nodes: usize) -> GeneratorConfig {
+    match seed % 3 {
+        0 => GeneratorConfig::new(n, nodes),
+        1 => GeneratorConfig::chainy(n, nodes),
+        _ => GeneratorConfig::wide(n, nodes),
+    }
+}
+
+/// Deterministic sweep measuring the estimate/exact ratio across random
+/// systems, fault budgets and policy-mix walks. Pins the calibration
+/// envelope: the estimator must stay a *sane ranking heuristic* — mostly
+/// optimistic, with a small pessimistic tail bounded in both rate and
+/// magnitude. A regression that widens either bound (an estimator change
+/// that silently over- or under-prices) fails here with the measured
+/// numbers in the message.
+#[test]
+fn estimator_calibration_envelope_on_random_systems() {
+    let mut cases = 0u64;
+    let mut inversions = 0u64; // estimate > exact (pessimistic tail)
+    let mut worst_pessimism_milli = 1000u64; // max estimate/exact
+    let mut worst_optimism_milli = 1000u64; // max exact/estimate
+
+    for seed in 0..60u64 {
+        let n = 4 + (seed % 5) as usize;
+        let nodes = 2 + (seed % 2) as usize;
+        let app = generate_application(&shape(seed, n, nodes), seed).unwrap();
+        let platform = Platform::homogeneous(nodes, Time::new(8)).unwrap();
+        let arch = platform.architecture();
+        let transparency = Transparency::none();
+        let mapping = Mapping::cheapest(&app, arch).unwrap();
+
+        for k in 0..=3u32 {
+            let mut evaluator = SystemEvaluator::new(&app, &platform, k);
+            let mut certifier = Certifier::new(
+                &app,
+                &platform,
+                FaultModel::new(k),
+                &transparency,
+                CertifyConfig { max_exact_runs: u64::MAX, ..CertifyConfig::default() },
+            );
+            let mut policies = PolicyAssignment::uniform_reexecution(&app, k);
+            for step in 0..4u64 {
+                if let Ok(copies) = CopyMapping::from_base(&app, arch, &mapping, &policies) {
+                    if let Ok(estimate) = evaluator.evaluate(&copies, &policies) {
+                        let verdict = certifier
+                            .certify(&copies, &policies)
+                            .expect("certification never hard-fails on estimator-feasible states");
+                        // Determinism: re-certifying answers identically
+                        // (from the memo — also proves the memo is keyed
+                        // collision-free on this walk).
+                        assert_eq!(verdict, certifier.certify(&copies, &policies).unwrap());
+                        if let CertOutcome::Exact { exact_len, .. } = verdict {
+                            cases += 1;
+                            let est = estimate.worst_case_length.units() as u128;
+                            let exact = exact_len.units() as u128;
+                            assert!(exact > 0, "exact schedules are never empty here");
+                            if est > exact {
+                                inversions += 1;
+                                worst_pessimism_milli =
+                                    worst_pessimism_milli.max((est * 1000 / exact) as u64);
+                            } else if let Some(ratio) = (exact * 1000).checked_div(est) {
+                                worst_optimism_milli = worst_optimism_milli.max(ratio as u64);
+                            }
+                        }
+                    }
+                }
+                // Deterministic policy-mix walk (no RNG): mixes are where
+                // both tails live.
+                let p = ProcessId::new(
+                    ((seed.wrapping_mul(13) + step.wrapping_mul(5)) % app.process_count() as u64)
+                        as usize,
+                );
+                let cands = candidate_policies(&app, p, k, 8);
+                let policy = cands[((seed + step) % cands.len() as u64) as usize].clone();
+                let mv = CandidateMove::Repolicy { process: p, policy };
+                if let Some((_, next)) = apply_move(&app, arch, &mapping, &policies, &mv) {
+                    policies = next;
+                }
+            }
+        }
+    }
+
+    assert!(cases > 500, "the sweep must actually certify ({cases} cases)");
+    // Measured on this sweep: ~1.6% inversions, worst pessimism ~1.3×,
+    // worst optimism ~2.4× (the README table's 0.42 ratio inverted). The
+    // bounds leave headroom but catch order-of-magnitude regressions.
+    let rate_pct = 100.0 * inversions as f64 / cases as f64;
+    assert!(
+        rate_pct <= 10.0,
+        "estimator pessimism stopped being a tail: {inversions}/{cases} = {rate_pct:.1}%"
+    );
+    assert!(
+        worst_pessimism_milli <= 2000,
+        "estimate overshot exact by more than 2x ({worst_pessimism_milli} milli)"
+    );
+    assert!(
+        worst_optimism_milli <= 8000,
+        "estimate undershot exact by more than 8x ({worst_optimism_milli} milli)"
+    );
+}
+
+proptest! {
+    /// The acceptance property of the certify-and-repair flow: every
+    /// configuration `synthesize_system` returns is exact-certified
+    /// schedulable, or explicitly tagged with an exact refutation /
+    /// the estimate-only regime — and the tag is internally consistent
+    /// with the exact schedule the flow ships.
+    #[test]
+    fn every_synthesized_incumbent_is_certified_or_tagged(
+        seed in 0u64..40,
+        n in 4usize..8,
+        nodes in 2usize..4,
+    ) {
+        let app = generate_application(&shape(seed, n, nodes), seed)
+            .expect("generator configs in range are valid");
+        let platform = Platform::homogeneous(nodes, Time::new(8)).expect("non-empty platform");
+        let transparency = Transparency::none();
+        for k in 1..=2u32 {
+            let config = FlowConfig {
+                search: SearchConfig {
+                    iterations: 12,
+                    neighborhood: 8,
+                    ..SearchConfig::default()
+                },
+                ..FlowConfig::default()
+            };
+            let psi = match synthesize_system(
+                &app,
+                &platform,
+                FaultModel::new(k),
+                &transparency,
+                config,
+            ) {
+                Ok(psi) => psi,
+                // Structurally infeasible instances are not this
+                // property's subject.
+                Err(_) => continue,
+            };
+            match psi.certification {
+                Certification::Certified { exact_len } => {
+                    prop_assert!(psi.schedulable, "certified implies schedulable");
+                    let exact = psi.exact.as_ref().expect("certified implies exact tables");
+                    prop_assert_eq!(exact_len, exact.schedule.length());
+                    prop_assert!(exact_len <= app.deadline());
+                }
+                Certification::Refuted { exact_len } => {
+                    prop_assert!(!psi.schedulable, "refuted incumbents never claim schedulability");
+                    let exact = psi.exact.as_ref().expect("refuted implies exact tables");
+                    prop_assert_eq!(exact_len, exact.schedule.length());
+                }
+                Certification::Uncertifiable => {
+                    prop_assert!(psi.exact.is_none(), "uncertifiable = estimate-only regime");
+                }
+            }
+            prop_assert!(psi.calibration_milli >= 1000);
+        }
+    }
+}

@@ -93,6 +93,7 @@ fn suite_grid_points_generate_reproducible_workloads() {
         point_parallelism: 1,
         slot: Time::new(8),
         verify: None,
+        certify: true,
     };
     let a = run_suite(&config).expect("first run");
     let b = run_suite(&config).expect("second run");

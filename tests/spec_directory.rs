@@ -1,7 +1,8 @@
 //! The `specs/` directory cannot rot: every `.ftes` document in it must
-//! parse, synthesize schedulably with its declared strategy, and — when
-//! the instance gets exact tables — replay soundly under exhaustive
-//! fault injection.
+//! parse, synthesize schedulably with its declared strategy, certify on
+//! the exact conditional schedule (no spec in the directory may ship an
+//! uncertified winner), and — when the instance gets exact tables —
+//! replay soundly under exhaustive fault injection.
 
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
@@ -45,6 +46,23 @@ fn every_spec_parses_synthesizes_and_verifies() {
             psi.worst_case_length(),
             spec.app.deadline()
         );
+        // The certify-and-repair contract: no spec in the directory ships
+        // an uncertified winner. Every shipped spec fits the FT-CPG
+        // budget, so the verdict must be a full certification — not
+        // `Uncertifiable`, and a `Refuted` winner would mean the repair
+        // loop shipped a bad incumbent while claiming schedulability.
+        match psi.certification {
+            ftes::Certification::Certified { exact_len } => {
+                assert!(
+                    exact_len <= spec.app.deadline(),
+                    "{name}: certified exact length {} misses deadline {}",
+                    exact_len,
+                    spec.app.deadline(),
+                );
+                assert!(psi.calibration_milli >= 1000, "{name}");
+            }
+            other => panic!("{name}: shipped an uncertified winner: {other:?}"),
+        }
 
         // Exact instances must also replay soundly; estimate-only
         // instances have no schedule to inject faults into.
