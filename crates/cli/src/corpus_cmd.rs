@@ -1,0 +1,533 @@
+//! The `ftes corpus` subcommand: generate the named scenario-spec
+//! families as real `.ftes` files and batch-run a corpus directory
+//! through the explore+certify pipeline.
+//!
+//! ```text
+//! USAGE:
+//!   ftes corpus list
+//!   ftes corpus generate [--family all|NAME[,NAME…]] [--seed N] [--out DIR]
+//!   ftes corpus run [--dir DIR] [--workers N] [--csv FILE] [--json FILE] [--fresh]
+//! ```
+//!
+//! `generate` emits deterministic documents: the same `(family, seed)`
+//! always produces byte-identical files. `run` is **resumable**: the CSV
+//! report is the progress state — rows are appended in corpus order as
+//! specs complete, and a re-run skips every spec that already has a row
+//! (`--fresh` starts over). Because rows carry no wall-clock fields, a
+//! finished CSV is byte-identical for any `--workers` value.
+
+use ftes::corpus::{
+    aggregate, aggregate_to_json, parse_corpus_csv, recover_corpus_csv, run_corpus, CorpusJob,
+    CorpusRunConfig, CorpusVerdict, CORPUS_CSV_HEADER,
+};
+use ftes::gen::corpus::{generate_corpus, Family, DEFAULT_CORPUS_SEED};
+use std::error::Error;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A fully parsed `ftes corpus` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusCommand {
+    /// `ftes corpus list`: print the family catalog.
+    List,
+    /// `ftes corpus generate`: emit family members as `.ftes` files.
+    Generate {
+        /// Families to generate (catalog order, deduplicated).
+        families: Vec<Family>,
+        /// Master seed.
+        seed: u64,
+        /// Output directory (created if missing).
+        out_dir: PathBuf,
+    },
+    /// `ftes corpus run`: batch-synthesize a corpus directory.
+    Run {
+        /// Directory of `.ftes` documents.
+        dir: PathBuf,
+        /// Bounded worker count.
+        workers: usize,
+        /// CSV report path (default `<dir>/corpus_results.csv`).
+        csv: PathBuf,
+        /// JSON aggregate path (default `<dir>/corpus_results.json`).
+        json: PathBuf,
+        /// Ignore an existing CSV instead of resuming onto it.
+        fresh: bool,
+    },
+}
+
+impl CorpusCommand {
+    /// Parses the arguments following the `corpus` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a missing/unknown action,
+    /// unknown flags, malformed numbers or unknown family names.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let action = args.first().map(String::as_str);
+        let rest = args.get(1..).unwrap_or(&[]);
+        let value = |i: usize, flag: &str| -> Result<String, String> {
+            rest.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match action {
+            Some("list") => {
+                if let Some(extra) = rest.first() {
+                    return Err(format!("unexpected argument `{extra}` after `list`"));
+                }
+                Ok(CorpusCommand::List)
+            }
+            Some("generate") => {
+                let mut families: Vec<Family> = Vec::new();
+                let mut seed = DEFAULT_CORPUS_SEED;
+                let mut out_dir = PathBuf::from("corpus");
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--family" => {
+                            for name in value(i, "--family")?.split(',') {
+                                if name == "all" {
+                                    families.extend(Family::ALL);
+                                } else {
+                                    families.push(Family::from_name(name).ok_or_else(|| {
+                                        format!("unknown family `{name}` (try `ftes corpus list`)")
+                                    })?);
+                                }
+                            }
+                            i += 2;
+                        }
+                        "--seed" => {
+                            let v = value(i, "--seed")?;
+                            seed = v.parse().map_err(|_| format!("bad number `{v}` for --seed"))?;
+                            i += 2;
+                        }
+                        "--out" => {
+                            out_dir = PathBuf::from(value(i, "--out")?);
+                            i += 2;
+                        }
+                        other => return Err(format!("unknown generate flag `{other}`")),
+                    }
+                }
+                if families.is_empty() {
+                    families.extend(Family::ALL);
+                }
+                // Keep catalog order, drop duplicates.
+                let mut deduped = Vec::new();
+                for f in Family::ALL {
+                    if families.contains(&f) && !deduped.contains(&f) {
+                        deduped.push(f);
+                    }
+                }
+                Ok(CorpusCommand::Generate { families: deduped, seed, out_dir })
+            }
+            Some("run") => {
+                let mut dir = PathBuf::from("corpus");
+                let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let mut csv: Option<PathBuf> = None;
+                let mut json: Option<PathBuf> = None;
+                let mut fresh = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--dir" => {
+                            dir = PathBuf::from(value(i, "--dir")?);
+                            i += 2;
+                        }
+                        "--workers" => {
+                            let v = value(i, "--workers")?;
+                            workers = v
+                                .parse::<usize>()
+                                .map_err(|_| format!("bad number `{v}` for --workers"))?
+                                .max(1);
+                            i += 2;
+                        }
+                        "--csv" => {
+                            csv = Some(PathBuf::from(value(i, "--csv")?));
+                            i += 2;
+                        }
+                        "--json" => {
+                            json = Some(PathBuf::from(value(i, "--json")?));
+                            i += 2;
+                        }
+                        "--fresh" => {
+                            fresh = true;
+                            i += 1;
+                        }
+                        other => return Err(format!("unknown run flag `{other}`")),
+                    }
+                }
+                Ok(CorpusCommand::Run {
+                    csv: csv.unwrap_or_else(|| dir.join("corpus_results.csv")),
+                    json: json.unwrap_or_else(|| dir.join("corpus_results.json")),
+                    dir,
+                    workers,
+                    fresh,
+                })
+            }
+            Some(other) => Err(format!("unknown corpus action `{other}` (list|generate|run)")),
+            None => Err("corpus needs an action: list | generate | run".to_string()),
+        }
+    }
+
+    /// Executes the command. Returns `true` for the exit-0 outcome:
+    /// `list`/`generate` always, `run` when the complete report (earlier
+    /// resumed invocations included) carries no `error` rows — refuted
+    /// rows are normal corpus output, infrastructure failures are not,
+    /// and they keep the exit non-zero until the specs actually succeed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures and a CSV/directory mismatch on resume.
+    pub fn execute(&self) -> Result<bool, Box<dyn Error>> {
+        match self {
+            CorpusCommand::List => {
+                println!("{:<12} {:>7}  description", "family", "members");
+                for family in Family::ALL {
+                    println!(
+                        "{:<12} {:>7}  {}",
+                        family.name(),
+                        family.members().len(),
+                        family.description()
+                    );
+                }
+                println!(
+                    "\ngenerate with: ftes corpus generate --family all --seed {DEFAULT_CORPUS_SEED}"
+                );
+                Ok(true)
+            }
+            CorpusCommand::Generate { families, seed, out_dir } => {
+                let corpus = generate_corpus(families, *seed)?;
+                std::fs::create_dir_all(out_dir)?;
+                for spec in &corpus {
+                    std::fs::write(out_dir.join(&spec.file_name), &spec.text)?;
+                }
+                println!(
+                    "generated {} specs ({} families, seed {}) into {}",
+                    corpus.len(),
+                    families.len(),
+                    seed,
+                    out_dir.display()
+                );
+                Ok(true)
+            }
+            CorpusCommand::Run { dir, workers, csv, json, fresh } => {
+                run_directory(dir, *workers, csv, json, *fresh)
+            }
+        }
+    }
+}
+
+/// Loads a corpus directory as jobs, in file-name order (which groups
+/// generated members by family in index order).
+fn load_jobs(dir: &Path) -> Result<Vec<CorpusJob>, Box<dyn Error>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ftes"))
+        .collect();
+    paths.sort();
+    let mut jobs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name =
+            path.file_name().expect("read_dir yields named entries").to_string_lossy().into_owned();
+        // Spec names land verbatim in CSV rows; refuse CSV-breaking file
+        // names before any synthesis runs (resume could never match the
+        // sanitized row back to the file).
+        if !CorpusJob::csv_safe(&name) {
+            return Err(format!(
+                "{}: file name contains CSV-breaking characters (comma/newline) — rename it",
+                path.display()
+            )
+            .into());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let family = CorpusJob::family_from_header(&text)
+            .map_or_else(|| "unknown".to_string(), str::to_string);
+        jobs.push(CorpusJob { name, family, text });
+    }
+    Ok(jobs)
+}
+
+/// The resumable batch run: the CSV is the progress state.
+fn run_directory(
+    dir: &Path,
+    workers: usize,
+    csv_path: &Path,
+    json_path: &Path,
+    fresh: bool,
+) -> Result<bool, Box<dyn Error>> {
+    let jobs = load_jobs(dir)?;
+    if jobs.is_empty() {
+        return Err(format!(
+            "no .ftes documents in {} (generate with `ftes corpus generate`)",
+            dir.display()
+        )
+        .into());
+    }
+
+    // Resume: rows already in the CSV are done, provided they line up
+    // with a prefix of the corpus in order. A torn tail — the previous
+    // run was killed mid-row-write — is recovered by dropping the
+    // in-flight suffix, never by refusing the whole report.
+    let completed_rows = if fresh {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(csv_path) {
+            Ok(text) => {
+                let (rows, discarded) = recover_corpus_csv(&text).map_err(|e| {
+                    format!(
+                        "{}: {e}; not a corpus report — rerun with --fresh to overwrite",
+                        csv_path.display()
+                    )
+                })?;
+                if rows.len() > jobs.len()
+                    || rows.iter().zip(&jobs).any(|(row, job)| row.spec != job.name)
+                {
+                    return Err(format!(
+                        "{}: rows do not match the corpus directory; rerun with --fresh",
+                        csv_path.display()
+                    )
+                    .into());
+                }
+                if discarded {
+                    println!(
+                        "recovered {}: a torn tail from an interrupted run was discarded",
+                        csv_path.display()
+                    );
+                }
+                rows
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(Box::new(e)),
+        }
+    };
+    let completed = completed_rows.len();
+
+    // Rewrite the report from the recovered prefix before appending:
+    // this lands every append on a clean line boundary no matter how the
+    // previous run died.
+    let mut content = String::with_capacity(128 * (completed + 1));
+    content.push_str(CORPUS_CSV_HEADER);
+    content.push('\n');
+    for row in &completed_rows {
+        content.push_str(&row.to_csv());
+        content.push('\n');
+    }
+    std::fs::write(csv_path, content)?;
+    let mut file = std::fs::OpenOptions::new().append(true).open(csv_path)?;
+    if completed > 0 {
+        println!(
+            "resuming: {completed}/{} specs already done in {}",
+            jobs.len(),
+            csv_path.display()
+        );
+    }
+
+    let total = jobs.len();
+    let remaining = &jobs[completed..];
+    // The CSV is the progress state: a row that failed to persist must
+    // fail the invocation loudly, not silently hole the report (the
+    // callback can't return an error, so the first one is carried out).
+    let mut sink_error: Option<std::io::Error> = None;
+    let outcome =
+        run_corpus(remaining, &CorpusRunConfig { workers, ..Default::default() }, |i, row| {
+            // Append + flush per row: a killed run resumes from here.
+            // One pre-formatted buffer per row (bytes + newline in a
+            // single write) keeps the torn-write window minimal.
+            if sink_error.is_none() {
+                let buf = format!("{}\n", row.to_csv());
+                let written = file.write_all(buf.as_bytes()).and_then(|()| file.flush());
+                if let Err(e) = written {
+                    sink_error = Some(e);
+                }
+            }
+            println!(
+                "[{:>3}/{}] {:<28} certified={:<7} exact={}",
+                completed + i + 1,
+                total,
+                row.spec,
+                row.certified.as_csv(),
+                row.exact_len.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            );
+        });
+    drop(file);
+    if let Some(e) = sink_error {
+        return Err(format!(
+            "{}: failed to persist a result row ({e}); the report is incomplete — \
+             re-run to resume from the last persisted row",
+            csv_path.display()
+        )
+        .into());
+    }
+    for (spec, message) in &outcome.errors {
+        eprintln!("error: {spec}: {message}");
+    }
+
+    // Aggregate over the *complete* CSV (earlier invocations included).
+    let all_rows = parse_corpus_csv(&std::fs::read_to_string(csv_path)?)?;
+    std::fs::write(json_path, aggregate_to_json(&all_rows))?;
+
+    println!();
+    println!(
+        "{:<12} {:>5} {:>10} {:>8} {:>8} {:>7} {:>13} {:>15}",
+        "family",
+        "specs",
+        "certified",
+        "refuted",
+        "skipped",
+        "errors",
+        "schedulable %",
+        "avg exact len"
+    );
+    for agg in aggregate(&all_rows) {
+        println!(
+            "{:<12} {:>5} {:>10} {:>8} {:>8} {:>7} {:>12.1}% {:>15}",
+            agg.name,
+            agg.specs,
+            agg.counters.certified,
+            agg.counters.refuted,
+            agg.counters.uncertifiable,
+            agg.errors,
+            agg.schedulable_pct(),
+            agg.avg_certified_exact_len.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+        );
+    }
+    println!(
+        "\n{} specs ({} this run, {} ms); reports: {} + {}",
+        all_rows.len(),
+        outcome.rows.len(),
+        outcome.wall.as_millis(),
+        csv_path.display(),
+        json_path.display(),
+    );
+    // Exit status covers the whole report, not just this invocation: a
+    // resumed run whose CSV carries `error` rows from an earlier attempt
+    // must keep exiting non-zero until those specs actually succeed
+    // (delete the CSV or --fresh to retry them).
+    Ok(all_rows.iter().all(|r| r.certified != CorpusVerdict::Error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CorpusCommand, String> {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        CorpusCommand::parse(&args)
+    }
+
+    #[test]
+    fn parse_covers_the_three_actions() {
+        assert_eq!(parse(&["list"]).unwrap(), CorpusCommand::List);
+        let gen = parse(&["generate", "--family", "automotive,util", "--seed", "9", "--out", "x"])
+            .unwrap();
+        assert_eq!(
+            gen,
+            CorpusCommand::Generate {
+                families: vec![Family::Automotive, Family::Util],
+                seed: 9,
+                out_dir: PathBuf::from("x"),
+            }
+        );
+        let run = parse(&["run", "--dir", "d", "--workers", "3", "--fresh"]).unwrap();
+        match run {
+            CorpusCommand::Run { dir, workers, csv, json, fresh } => {
+                assert_eq!(dir, PathBuf::from("d"));
+                assert_eq!(workers, 3);
+                assert_eq!(csv, PathBuf::from("d/corpus_results.csv"));
+                assert_eq!(json, PathBuf::from("d/corpus_results.json"));
+                assert!(fresh);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_defaults_to_all_families_and_dedups() {
+        match parse(&["generate"]).unwrap() {
+            CorpusCommand::Generate { families, seed, out_dir } => {
+                assert_eq!(families, Family::ALL.to_vec());
+                assert_eq!(seed, DEFAULT_CORPUS_SEED);
+                assert_eq!(out_dir, PathBuf::from("corpus"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["generate", "--family", "all,automotive"]).unwrap() {
+            CorpusCommand::Generate { families, .. } => {
+                assert_eq!(families, Family::ALL.to_vec(), "duplicates collapse");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_invocations_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["prune"]).is_err());
+        assert!(parse(&["list", "extra"]).is_err());
+        assert!(parse(&["generate", "--family", "bogus"]).is_err());
+        assert!(parse(&["generate", "--seed", "x"]).is_err());
+        assert!(parse(&["generate", "--bogus"]).is_err());
+        assert!(parse(&["run", "--workers", "x"]).is_err());
+        assert!(parse(&["run", "--bogus"]).is_err());
+    }
+
+    /// End-to-end resume: a killed run's CSV prefix is honored and the
+    /// finished report is byte-identical to an uninterrupted run.
+    #[test]
+    fn run_resumes_from_a_truncated_csv() {
+        let dir = std::env::temp_dir().join(format!(
+            "ftes-corpus-cmd-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, deadline) in [("a.ftes", 300), ("b.ftes", 320), ("c.ftes", 340)] {
+            std::fs::write(
+                dir.join(name),
+                format!(
+                    "nodes 2\nslot 8\ndeadline {deadline}\nk 1\nstrategy mxr\n\
+                     process A wcet 10 12 alpha 1 mu 1 chi 1\n\
+                     process B wcet 8 8 alpha 1 mu 1 chi 1\n\
+                     message m0 A B 1\n"
+                ),
+            )
+            .unwrap();
+        }
+        let csv = dir.join("corpus_results.csv");
+        let json = dir.join("corpus_results.json");
+
+        assert!(run_directory(&dir, 2, &csv, &json, false).unwrap());
+        let full = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(full.lines().count(), 4, "header + one row per spec:\n{full}");
+        assert!(std::fs::read_to_string(&json).unwrap().contains("\"specs\":3"));
+
+        // Kill after the first row: keep header + row 0, resume.
+        let prefix: Vec<&str> = full.lines().take(2).collect();
+        std::fs::write(&csv, format!("{}\n", prefix.join("\n"))).unwrap();
+        assert!(run_directory(&dir, 1, &csv, &json, false).unwrap());
+        assert_eq!(std::fs::read_to_string(&csv).unwrap(), full, "resume reproduces the report");
+
+        // Kill between a row's bytes and its newline: the unterminated
+        // final row is discarded (its newline never hit disk) and the
+        // resume still converges on the identical report.
+        std::fs::write(&csv, full.trim_end_matches('\n')).unwrap();
+        assert!(run_directory(&dir, 1, &csv, &json, false).unwrap());
+        assert_eq!(std::fs::read_to_string(&csv).unwrap(), full, "torn newline recovered");
+
+        // Kill mid-row: the partial line is dropped, the rest re-runs.
+        std::fs::write(&csv, format!("{}\n{}", prefix.join("\n"), "test,b.ftes,2,2")).unwrap();
+        assert!(run_directory(&dir, 1, &csv, &json, false).unwrap());
+        assert_eq!(std::fs::read_to_string(&csv).unwrap(), full, "torn row recovered");
+
+        // A CSV that does not match the directory refuses to resume…
+        std::fs::write(
+            &csv,
+            format!("{CORPUS_CSV_HEADER}\nx,zz.ftes,2,2,1,mxr,1,1,-,true,0,1000,true\n"),
+        )
+        .unwrap();
+        assert!(run_directory(&dir, 1, &csv, &json, false).is_err());
+        // …and --fresh overwrites it.
+        assert!(run_directory(&dir, 1, &csv, &json, true).unwrap());
+        assert_eq!(std::fs::read_to_string(&csv).unwrap(), full);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

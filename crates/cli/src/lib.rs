@@ -5,17 +5,21 @@
 //! specifications (the parser lives in [`ftes::spec`] so the HTTP service
 //! can share it; this crate re-exports it), the `explore` subcommand (see
 //! [`ExploreCommand`]) runs the parallel design-space exploration suite,
-//! and the `serve` / `load` subcommands (see [`ServeCommand`] /
-//! [`LoadCommand`]) run and exercise the `ftes-serve` synthesis service.
-//! The `ftes` binary lives in this crate; everything else is a library so
-//! tests and other tools can reuse it.
+//! the `corpus` subcommand (see [`CorpusCommand`]) generates and
+//! batch-runs the scenario-spec families, and the `serve` / `load`
+//! subcommands (see [`ServeCommand`] / [`LoadCommand`]) run and exercise
+//! the `ftes-serve` synthesis service. The `ftes` binary lives in this
+//! crate; everything else is a library so tests and other tools can
+//! reuse it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corpus_cmd;
 mod explore_cmd;
 mod serve_cmd;
 
+pub use corpus_cmd::CorpusCommand;
 pub use explore_cmd::{ExploreCommand, ExploreFormat};
 pub use ftes::spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
 pub use serve_cmd::{LoadCommand, ServeCommand};

@@ -6,6 +6,7 @@
 //!   ftes <spec.ftes> [--csv] [--markdown] [--dot] [--timeline] [--verify]
 //!   ftes --demo      [same flags]          # runs the built-in Fig. 5 spec
 //!   ftes explore …   # parallel design-space exploration (see --help)
+//!   ftes corpus …    # generate + batch-run scenario-spec families (see --help)
 //!   ftes serve …     # run the synthesis HTTP service (see --help)
 //!   ftes load …      # drive load against a running service (see --help)
 //! ```
@@ -15,13 +16,16 @@ use ftes::sched::export::{
 };
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
-use ftes_cli::{parse_spec, ExploreCommand, LoadCommand, ServeCommand, SystemSpec, FIG5_SPEC};
+use ftes_cli::{
+    parse_spec, CorpusCommand, ExploreCommand, LoadCommand, ServeCommand, SystemSpec, FIG5_SPEC,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("explore") => return run_explore(&args[1..]),
+        Some("corpus") => return run_corpus_cmd(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("load") => return run_load_cmd(&args[1..]),
         _ => {}
@@ -175,6 +179,28 @@ fn run_explore(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_corpus_cmd(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match CorpusCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_serve(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
@@ -222,8 +248,8 @@ fn print_usage() {
     println!(
         "ftes — synthesis of fault-tolerant embedded systems (DATE 2008 reproduction)\n\n\
          USAGE:\n  ftes <spec.ftes> [flags]\n  ftes --demo [flags]\n  \
-         ftes explore [explore flags]\n  ftes serve [serve flags]\n  \
-         ftes load [load flags]\n\n\
+         ftes explore [explore flags]\n  ftes corpus <action> [corpus flags]\n  \
+         ftes serve [serve flags]\n  ftes load [load flags]\n\n\
          FLAGS:\n  --csv        print schedule tables as CSV\n  \
          --markdown   print schedule tables as Markdown\n  \
          --dot        print the FT-CPG in Graphviz DOT\n  \
@@ -240,6 +266,14 @@ fn print_usage() {
          --no-certify skip exact certification of incumbents (on by default)\n  \
          --csv | --json               machine-readable output\n  \
          --out FILE                   also write the report to FILE\n\n\
+         CORPUS (scenario-spec families + batch synthesis driver):\n  \
+         list                         print the family catalog\n  \
+         generate [--family all|NAME[,NAME]] [--seed N] [--out DIR]\n  \
+         \u{20}            emit deterministic .ftes files (default: all families, seed 7)\n  \
+         run [--dir DIR] [--workers N] [--csv FILE] [--json FILE] [--fresh]\n  \
+         \u{20}            batch-run a corpus through explore+certify; the CSV is\n  \
+         \u{20}            the resumable progress state and is byte-identical for\n  \
+         \u{20}            any worker count\n\n\
          SERVE (the synthesis HTTP service; prints `listening on HOST:PORT`):\n  \
          --addr HOST:PORT | --port N  bind address (default 127.0.0.1:0)\n  \
          --workers N   handler threads            --queue N    job-queue bound\n  \

@@ -28,20 +28,24 @@
 //! | [`ftcpg`] | fault-tolerant conditional process graphs (Fig. 5) |
 //! | [`sched`] | conditional scheduler, schedule tables, fast estimator |
 //! | [`sim`] | fault-injection replay and verification |
-//! | [`gen`] | seeded synthetic workloads (the §6 experiments) |
+//! | [`gen`] | seeded synthetic workloads + the named corpus families (the §6 experiments) |
 //! | [`opt`] | MXR/MX/MR/SFX synthesis, checkpoint + bus optimization |
 //! | [`explore`] | parallel portfolio exploration: batched evaluation, estimate cache, Pareto archive, scenario suites |
 //! | [`soft`] | soft/hard time-constraint extension (utility scheduling, \[17\]) |
 //!
 //! This crate additionally hosts the `.ftes` system-specification parser
-//! ([`spec`]) and re-exports the escaping-aware JSON writer ([`json`],
-//! from `ftes-model`) — both shared between the CLI and the `ftes-serve`
+//! ([`spec`]), the resumable corpus batch driver ([`corpus`]) and
+//! re-exports the escaping-aware JSON writer ([`json`], from
+//! `ftes-model`) — all shared between the CLI and the `ftes-serve`
 //! HTTP service.
 //!
 //! ## Quickstart
 //!
+//! The whole pipeline in one example (this is the tested twin of
+//! `examples/quickstart.rs` — `cargo test --doc` runs it):
+//!
 //! ```
-//! use ftes::{synthesize_system, FlowConfig};
+//! use ftes::{synthesize_system, Certification, FlowConfig};
 //! use ftes::model::{samples, FaultModel, Time};
 //! use ftes::tdma::{Platform, TdmaBus};
 //!
@@ -53,7 +57,31 @@
 //!
 //! let psi = synthesize_system(&app, &platform, FaultModel::new(2),
 //!                             &transparency, FlowConfig::default())?;
+//!
+//! // F: every process got a fault-tolerance policy…
+//! assert_eq!(psi.policies.iter().count(), app.process_count());
+//! for (pid, policy) in psi.policies.iter() {
+//!     println!("{:<4} {:?} on N{} (Q={})",
+//!              app.process(pid).name(), policy.kind(),
+//!              psi.mapping.node_of(pid).index(), policy.replica_count());
+//! }
+//!
+//! // …and the shipped configuration is exact-certified schedulable, not
+//! // just estimated so (the certify-and-repair contract): `Certified`
+//! // carries the exact conditional schedule length.
 //! assert!(psi.schedulable);
+//! match psi.certification {
+//!     Certification::Certified { exact_len } => {
+//!         assert!(exact_len <= app.deadline());
+//!         assert_eq!(psi.worst_case_length(), exact_len);
+//!     }
+//!     other => panic!("Fig. 5 certifies, got {other:?}"),
+//! }
+//!
+//! // S: small instances also get the distributed schedule tables (Fig. 6).
+//! let exact = psi.exact.as_ref().expect("Fig. 5 fits the FT-CPG budget");
+//! assert!(exact.tables.entry_count() > 0);
+//! println!("{}", exact.tables.render(&exact.cpg));
 //! # Ok(())
 //! # }
 //! ```
@@ -61,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 mod flow;
 pub mod spec;
 

@@ -1,0 +1,484 @@
+//! The scenario corpus: named, parameterized spec families.
+//!
+//! The paper's §6 sweeps whole *families* of synthetic applications —
+//! chain-heavy control paths, wide parallel stages, policy-mixing
+//! overhead profiles, bus-dominated systems, utilization sweeps — while
+//! the repo used to ship three hand-written `.ftes` documents. This
+//! module turns the generator into a corpus engine: each [`Family`]
+//! names a workload class, describes its members as complete
+//! [`GeneratorConfig`]s plus platform/strategy parameters, and emits
+//! every member as a real `.ftes` document ([`render_ftes`]) that the
+//! ordinary `ftes::spec` parser round-trips losslessly.
+//!
+//! Generation is deterministic in `(family, master seed)`: member seeds
+//! derive from an FNV mix of the family name, the member index and the
+//! master seed, so `ftes corpus generate --family all --seed 7` produces
+//! byte-identical files on every machine, forever (the determinism tests
+//! in `tests/corpus.rs` pin this, and `specs/corpus_*.ftes` check one
+//! exemplar per family into the repository).
+
+use crate::{generate_application, GeneratorConfig};
+use ftes_model::{Application, ModelError, NodeId, ProcessId, Time};
+use std::fmt::Write as _;
+
+/// The master seed behind the pinned corpus: the checked-in exemplars,
+/// the `fig_paper_tables` harness and the CI smoke run all use it.
+pub const DEFAULT_CORPUS_SEED: u64 = 7;
+
+/// One of the built-in corpus families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Chain-heavy control paths (deep layering, frozen actuator): the
+    /// automotive regime of §3.2 where precedence chains leave spare
+    /// processor capacity and replication competes with re-execution.
+    Automotive,
+    /// Wide, parallel-heavy stage graphs synthesized with pure
+    /// replication (strategy MR): the avionics regime where independent
+    /// processes contend on processors rather than on precedence.
+    Avionics,
+    /// Overhead profiles alternating cheap and expensive checkpoints so
+    /// MXR synthesis genuinely mixes policies within one application.
+    Mixed,
+    /// Message-heavy graphs on slow, long-slot TDMA buses: communication
+    /// dominates, stressing bus windows and condition broadcasts.
+    Tdma,
+    /// One fixed application shape swept across deadline slack factors,
+    /// from near-infeasible to comfortable — the schedulability-percentage
+    /// dimension of the paper's comparison tables.
+    Util,
+}
+
+impl Family {
+    /// Every built-in family, in catalog order.
+    pub const ALL: [Family; 5] =
+        [Family::Automotive, Family::Avionics, Family::Mixed, Family::Tdma, Family::Util];
+
+    /// Stable lowercase name (CLI argument, file-name prefix, CSV value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Automotive => "automotive",
+            Family::Avionics => "avionics",
+            Family::Mixed => "mixed",
+            Family::Tdma => "tdma",
+            Family::Util => "util",
+        }
+    }
+
+    /// One-line description shown by `ftes corpus list` and the
+    /// `GET /corpus` catalog.
+    pub fn description(self) -> &'static str {
+        match self {
+            Family::Automotive => {
+                "chain-heavy control paths with a frozen actuator (replication-friendly regime)"
+            }
+            Family::Avionics => {
+                "wide parallel stage graphs under pure replication (MR, processor-contended)"
+            }
+            Family::Mixed => {
+                "overhead profiles alternating cheap/expensive checkpoints so MXR mixes policies"
+            }
+            Family::Tdma => "message-heavy graphs on long-slot TDMA buses (bus-dominated)",
+            Family::Util => "one shape swept across deadline slack factors (tight to comfortable)",
+        }
+    }
+
+    /// Parses a family name as accepted by the CLI (`automotive`, …).
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// The family's member parameter sets, in index order. Everything that
+    /// distinguishes one member from another lives here; the random draw
+    /// itself is fixed by the member seed.
+    pub fn members(self) -> Vec<MemberParams> {
+        match self {
+            Family::Automotive => (0..5)
+                .map(|i| {
+                    let processes = 8 + 2 * i;
+                    let nodes = 2 + i / 2;
+                    MemberParams {
+                        index: i,
+                        config: GeneratorConfig {
+                            deadline_factor: 5.0,
+                            ..GeneratorConfig::chainy(processes, nodes)
+                        },
+                        k: 1 + (i as u32) % 2,
+                        slot: 8,
+                        strategy: "mxr",
+                        frozen_sinks: 1,
+                    }
+                })
+                .collect(),
+            Family::Avionics => (0..5)
+                .map(|i| {
+                    let processes = 8 + 2 * i;
+                    let nodes = 3 + i / 2;
+                    MemberParams {
+                        index: i,
+                        config: GeneratorConfig {
+                            deadline_factor: 6.0,
+                            ..GeneratorConfig::wide(processes, nodes)
+                        },
+                        k: 1 + (i as u32) % 2,
+                        slot: 8,
+                        strategy: "mr",
+                        frozen_sinks: 0,
+                    }
+                })
+                .collect(),
+            Family::Mixed => (0..5)
+                .map(|i| {
+                    let processes = 10 + 2 * i;
+                    // Alternate overhead profiles: even members make
+                    // checkpointing nearly free, odd members make it
+                    // expensive enough that replication wins — MXR then
+                    // mixes policies inside each synthesized system.
+                    let (chi, mu) = if i % 2 == 0 {
+                        ((0.01, 0.03), (0.03, 0.08))
+                    } else {
+                        ((0.15, 0.25), (0.15, 0.30))
+                    };
+                    MemberParams {
+                        index: i,
+                        config: GeneratorConfig {
+                            chi_fraction: chi,
+                            mu_fraction: mu,
+                            deadline_factor: 5.0,
+                            ..GeneratorConfig::new(processes, 3 + i / 2)
+                        },
+                        k: 2,
+                        slot: 8,
+                        strategy: "mxr",
+                        frozen_sinks: 0,
+                    }
+                })
+                .collect(),
+            Family::Tdma => (0..5)
+                .map(|i| {
+                    let processes = 8 + 2 * i;
+                    MemberParams {
+                        index: i,
+                        config: GeneratorConfig {
+                            edge_probability: 0.5,
+                            transmission_range: (4, 12),
+                            deadline_factor: 6.0,
+                            ..GeneratorConfig::new(processes, 2 + i.div_ceil(2))
+                        },
+                        k: 1,
+                        slot: 12 + 4 * i as i64,
+                        strategy: "mxr",
+                        frozen_sinks: 0,
+                    }
+                })
+                .collect(),
+            Family::Util => [2.0, 3.0, 4.5, 6.0, 8.0]
+                .into_iter()
+                .enumerate()
+                .map(|(i, deadline_factor)| MemberParams {
+                    index: i,
+                    config: GeneratorConfig { deadline_factor, ..GeneratorConfig::new(12, 3) },
+                    k: 2,
+                    slot: 8,
+                    strategy: "mxr",
+                    frozen_sinks: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Complete parameter set of one family member: the generator
+/// configuration plus the platform and synthesis parameters the `.ftes`
+/// document carries. The member seed is *not* part of this — it derives
+/// from `(family, index, master seed)` at generation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberParams {
+    /// Member index within the family (0-based).
+    pub index: usize,
+    /// Application-generator configuration (shape, overheads, deadline
+    /// slack). `config.node_count` is the platform size.
+    pub config: GeneratorConfig,
+    /// Fault budget `k` of the emitted spec.
+    pub k: u32,
+    /// TDMA slot length of the emitted spec.
+    pub slot: i64,
+    /// Synthesis strategy directive (`mxr` / `mx` / `mr` / `sfx`).
+    pub strategy: &'static str,
+    /// How many sink processes the emitted spec freezes (transparency).
+    pub frozen_sinks: usize,
+}
+
+/// One generated corpus member: identity plus the rendered document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// The family this member belongs to.
+    pub family: Family,
+    /// Member index within the family.
+    pub index: usize,
+    /// The master seed the corpus was generated with.
+    pub master_seed: u64,
+    /// The derived member seed the application was drawn with.
+    pub member_seed: u64,
+    /// Suggested file name, e.g. `automotive_02_s7.ftes` — sorting file
+    /// names groups members by family in index order, which is the
+    /// canonical corpus-run order.
+    pub file_name: String,
+    /// Process count of the generated application.
+    pub processes: usize,
+    /// Node count of the generated platform.
+    pub nodes: usize,
+    /// Fault budget.
+    pub k: u32,
+    /// Strategy directive.
+    pub strategy: &'static str,
+    /// The complete `.ftes` document.
+    pub text: String,
+}
+
+/// FNV-1a over the member identity: the per-member seed derivation.
+/// Stable across platforms and releases — changing it would re-draw every
+/// pinned corpus, so it is fixed here rather than shared with other
+/// hashers in the workspace.
+fn member_seed(family: Family, index: usize, master_seed: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(family.name().as_bytes());
+    eat(&(index as u64).to_le_bytes());
+    eat(&master_seed.to_le_bytes());
+    hash
+}
+
+/// Generates every member of one family. Deterministic in
+/// `(family, master_seed)`: same inputs, byte-identical documents.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from application validation (unreachable for
+/// the built-in member parameter sets, which are all non-degenerate).
+pub fn generate_family(family: Family, master_seed: u64) -> Result<Vec<CorpusSpec>, ModelError> {
+    family
+        .members()
+        .into_iter()
+        .map(|m| {
+            let seed = member_seed(family, m.index, master_seed);
+            let app = generate_application(&m.config, seed)?;
+            let frozen = frozen_sinks(&app, m.frozen_sinks);
+            let header = format!(
+                "# corpus: family={} index={} seed={}\n# {}\n\
+                 # generated by `ftes corpus generate`; do not edit by hand\n",
+                family.name(),
+                m.index,
+                master_seed,
+                family.description(),
+            );
+            let text = render_ftes(&app, m.slot, m.k, m.strategy, &frozen, &header);
+            Ok(CorpusSpec {
+                family,
+                index: m.index,
+                master_seed,
+                member_seed: seed,
+                file_name: format!("{}_{:02}_s{}.ftes", family.name(), m.index, master_seed),
+                processes: app.process_count(),
+                nodes: app.node_count(),
+                k: m.k,
+                strategy: m.strategy,
+                text,
+            })
+        })
+        .collect()
+}
+
+/// Generates the members of several families (typically [`Family::ALL`]),
+/// concatenated in catalog order.
+///
+/// # Errors
+///
+/// Propagates the first [`ModelError`] (see [`generate_family`]).
+pub fn generate_corpus(
+    families: &[Family],
+    master_seed: u64,
+) -> Result<Vec<CorpusSpec>, ModelError> {
+    let mut out = Vec::new();
+    for &family in families {
+        out.extend(generate_family(family, master_seed)?);
+    }
+    Ok(out)
+}
+
+/// The first `count` sink processes (no successors) in id order — the
+/// deterministic choice of frozen processes for families that exercise
+/// transparency.
+fn frozen_sinks(app: &Application, count: usize) -> Vec<ProcessId> {
+    app.sinks().take(count).collect()
+}
+
+/// Renders an application + platform parameters as a `.ftes` document the
+/// `ftes::spec` parser round-trips losslessly: parsing the output yields
+/// an application equal to `app` (same names, WCET rows, overheads,
+/// releases, local deadlines, fixed nodes, messages, deadline and period)
+/// on a homogeneous `nodes`-node platform with a uniform `slot`-length
+/// TDMA bus.
+pub fn render_ftes(
+    app: &Application,
+    slot: i64,
+    k: u32,
+    strategy: &str,
+    frozen: &[ProcessId],
+    header: &str,
+) -> String {
+    let nodes = app.node_count();
+    let mut out = String::with_capacity(256 + 64 * app.process_count());
+    out.push_str(header);
+    let _ = writeln!(out, "nodes {nodes}");
+    let _ = writeln!(out, "slot {slot}");
+    let _ = writeln!(out, "deadline {}", app.deadline().units());
+    if app.period() != app.deadline() {
+        let _ = writeln!(out, "period {}", app.period().units());
+    }
+    let _ = writeln!(out, "k {k}");
+    let _ = writeln!(out, "strategy {strategy}");
+    out.push('\n');
+    for (_, p) in app.processes() {
+        let _ = write!(out, "process {} wcet", p.name());
+        for node in 0..nodes {
+            match p.wcet_on(NodeId::new(node)) {
+                Some(w) => {
+                    let _ = write!(out, " {}", w.units());
+                }
+                None => out.push_str(" -"),
+            }
+        }
+        if p.alpha() != Time::ZERO || p.mu() != Time::ZERO || p.chi() != Time::ZERO {
+            let _ = write!(
+                out,
+                " alpha {} mu {} chi {}",
+                p.alpha().units(),
+                p.mu().units(),
+                p.chi().units()
+            );
+        }
+        if p.release() != Time::ZERO {
+            let _ = write!(out, " release {}", p.release().units());
+        }
+        if let Some(dl) = p.local_deadline() {
+            let _ = write!(out, " dlocal {}", dl.units());
+        }
+        if let Some(node) = p.fixed_node() {
+            let _ = write!(out, " fixed {}", node.index());
+        }
+        out.push('\n');
+    }
+    if app.message_count() > 0 {
+        out.push('\n');
+    }
+    for (_, m) in app.messages() {
+        let _ = writeln!(
+            out,
+            "message {} {} {} {}",
+            m.name(),
+            app.process(m.src()).name(),
+            app.process(m.dst()).name(),
+            m.transmission().units()
+        );
+    }
+    if !frozen.is_empty() {
+        out.push('\n');
+    }
+    for &pid in frozen {
+        let _ = writeln!(out, "frozen process {}", app.process(pid).name());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        for family in Family::ALL {
+            assert_eq!(Family::from_name(family.name()), Some(family));
+            assert!(!family.description().is_empty());
+            assert!(family.members().len() >= 5, "{}", family.name());
+        }
+        assert_eq!(Family::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_family_and_seed() {
+        for family in Family::ALL {
+            let a = generate_family(family, 7).unwrap();
+            let b = generate_family(family, 7).unwrap();
+            assert_eq!(a, b, "{}", family.name());
+            let c = generate_family(family, 8).unwrap();
+            assert_ne!(
+                a.iter().map(|s| &s.text).collect::<Vec<_>>(),
+                c.iter().map(|s| &s.text).collect::<Vec<_>>(),
+                "{}: master seed must reach the draw",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn member_seeds_do_not_collide_across_families() {
+        let mut seeds = std::collections::HashSet::new();
+        for family in Family::ALL {
+            for m in family.members() {
+                assert!(
+                    seeds.insert(member_seed(family, m.index, DEFAULT_CORPUS_SEED)),
+                    "seed collision at {}[{}]",
+                    family.name(),
+                    m.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_spans_the_advertised_families_and_size() {
+        let corpus = generate_corpus(&Family::ALL, DEFAULT_CORPUS_SEED).unwrap();
+        assert!(corpus.len() >= 25, "default corpus has {} specs", corpus.len());
+        let families: std::collections::HashSet<_> = corpus.iter().map(|s| s.family).collect();
+        assert_eq!(families.len(), 5);
+        // File names are unique and sort into family/index order.
+        let mut names: Vec<_> = corpus.iter().map(|s| s.file_name.clone()).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+        let grouped: Vec<_> = corpus.iter().map(|s| s.file_name.clone()).collect();
+        assert_eq!(sorted, {
+            let mut g = grouped.clone();
+            g.sort();
+            g
+        });
+    }
+
+    #[test]
+    fn rendered_documents_carry_the_member_identity_header() {
+        let corpus = generate_family(Family::Automotive, 7).unwrap();
+        for spec in &corpus {
+            let first = spec.text.lines().next().unwrap();
+            assert_eq!(first, format!("# corpus: family=automotive index={} seed=7", spec.index));
+            assert!(spec.text.contains("strategy mxr"));
+            assert!(spec.text.contains("frozen process"), "automotive freezes a sink");
+        }
+    }
+
+    #[test]
+    fn render_ftes_emits_dash_for_unmappable_nodes() {
+        let config = GeneratorConfig { mappable_fraction: 0.0, ..GeneratorConfig::new(6, 3) };
+        let app = generate_application(&config, 3).unwrap();
+        let text = render_ftes(&app, 8, 1, "mxr", &[], "");
+        assert!(text.contains(" -"), "home-node-only processes render X entries:\n{text}");
+    }
+}

@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
+
 use ftes_model::{Application, ApplicationBuilder, ModelError, ProcessSpec, Time};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -100,8 +102,8 @@ impl GeneratorConfig {
     /// A wide, parallel-heavy variant: few layers, so most processes are
     /// independent and the schedulers contend on processors rather than on
     /// precedence — the stress shape for resource-table logic (the
-    /// evaluator equality property test mixes this with [`chainy`]
-    /// (GeneratorConfig::chainy) and the default shape).
+    /// evaluator equality property test mixes this with
+    /// [`chainy`](GeneratorConfig::chainy) and the default shape).
     pub fn wide(process_count: usize, node_count: usize) -> Self {
         GeneratorConfig {
             layers: Some(3.min(process_count.max(1))),

@@ -59,7 +59,8 @@ mod resource;
 mod table;
 
 pub use certify::{
-    calibration_milli, CertOutcome, Certifier, CertifierStats, CertifyConfig, CertifyError,
+    calibration_milli, CertOutcome, CertificationCounters, Certifier, CertifierStats,
+    CertifyConfig, CertifyError,
 };
 pub use conditional::{
     check_deadlines, schedule_ftcpg, Broadcast, ConditionalSchedule, DeadlineViolation, SchedConfig,

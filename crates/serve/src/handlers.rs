@@ -47,9 +47,10 @@ pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/synthesize") => (Endpoint::Synthesize, synthesize(shared, &req.body)),
         ("POST", "/explore") => (Endpoint::Explore, explore(shared, &req.body)),
+        ("GET", "/corpus") => (Endpoint::Corpus, corpus_catalog()),
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(shared)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(shared)),
-        (_, "/synthesize" | "/explore" | "/healthz" | "/metrics") => {
+        (_, "/synthesize" | "/explore" | "/corpus" | "/healthz" | "/metrics") => {
             (Endpoint::Other, Reply::err(405, "method not allowed"))
         }
         _ => (Endpoint::Other, Reply::err(404, "no such endpoint")),
@@ -377,6 +378,50 @@ pub fn canonical_explore_bytes(config: &SuiteConfig) -> Vec<u8> {
     }
     out.push(config.certify as u8);
     out
+}
+
+/// `GET /corpus`: the built-in scenario-family catalog — every family
+/// `ftes corpus generate` knows, with its per-member parameters, so a
+/// client can discover the corpus without shelling out to the CLI. Pure
+/// static metadata (no generation runs), rendered deterministically.
+fn corpus_catalog() -> Reply {
+    use ftes::gen::corpus::{Family, DEFAULT_CORPUS_SEED};
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("default_seed");
+    w.number_u64(DEFAULT_CORPUS_SEED);
+    w.key("families");
+    w.begin_array();
+    for family in Family::ALL {
+        w.begin_object();
+        w.key("name");
+        w.string(family.name());
+        w.key("description");
+        w.string(family.description());
+        w.key("members");
+        w.begin_array();
+        for m in family.members() {
+            w.begin_object();
+            w.key("index");
+            w.number_usize(m.index);
+            w.key("processes");
+            w.number_usize(m.config.process_count);
+            w.key("nodes");
+            w.number_usize(m.config.node_count);
+            w.key("k");
+            w.number_u64(m.k as u64);
+            w.key("slot");
+            w.number_i64(m.slot);
+            w.key("strategy");
+            w.string(m.strategy);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Reply::new(200, w.finish())
 }
 
 /// `GET /healthz`: liveness plus basic capacity facts (never cached).

@@ -6,6 +6,7 @@
 //! the requested rank — coarse (factor-of-two) but monotone, stable and
 //! allocation-free, which is what a `/metrics` endpoint needs.
 
+use ftes::sched::CertificationCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
@@ -20,6 +21,8 @@ pub enum Endpoint {
     Synthesize,
     /// `POST /explore`
     Explore,
+    /// `GET /corpus`
+    Corpus,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -33,19 +36,21 @@ impl Endpoint {
         match self {
             Endpoint::Synthesize => 0,
             Endpoint::Explore => 1,
-            Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Corpus => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
         }
     }
 
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     /// Stable label used in the `/metrics` document.
     pub fn label(self) -> &'static str {
         match self {
             Endpoint::Synthesize => "synthesize",
             Endpoint::Explore => "explore",
+            Endpoint::Corpus => "corpus",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -214,9 +219,10 @@ impl Metrics {
             requests_by_endpoint: [
                 (Endpoint::Synthesize.label(), self.requests[0].load(Ordering::Relaxed)),
                 (Endpoint::Explore.label(), self.requests[1].load(Ordering::Relaxed)),
-                (Endpoint::Healthz.label(), self.requests[2].load(Ordering::Relaxed)),
-                (Endpoint::Metrics.label(), self.requests[3].load(Ordering::Relaxed)),
-                (Endpoint::Other.label(), self.requests[4].load(Ordering::Relaxed)),
+                (Endpoint::Corpus.label(), self.requests[2].load(Ordering::Relaxed)),
+                (Endpoint::Healthz.label(), self.requests[3].load(Ordering::Relaxed)),
+                (Endpoint::Metrics.label(), self.requests[4].load(Ordering::Relaxed)),
+                (Endpoint::Other.label(), self.requests[5].load(Ordering::Relaxed)),
             ],
             status_2xx: self.status_2xx.load(Ordering::Relaxed),
             status_4xx: self.status_4xx.load(Ordering::Relaxed),
@@ -230,7 +236,7 @@ impl Metrics {
                 total_us: self.phase_us[p.index()].load(Ordering::Relaxed),
                 count: self.phase_count[p.index()].load(Ordering::Relaxed),
             }),
-            certification: CertificationSnapshot {
+            certification: CertificationCounters {
                 certified: self.cert_certified.load(Ordering::Relaxed),
                 refuted: self.cert_refuted.load(Ordering::Relaxed),
                 uncertifiable: self.cert_uncertifiable.load(Ordering::Relaxed),
@@ -238,19 +244,6 @@ impl Metrics {
             },
         }
     }
-}
-
-/// Certification counters of the daemon's synthesis work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CertificationSnapshot {
-    /// Incumbents that certified exact-schedulable.
-    pub certified: u64,
-    /// Incumbents that shipped explicitly refuted (repair exhausted).
-    pub refuted: u64,
-    /// Syntheses in the estimate-only regime (FT-CPG over budget).
-    pub uncertifiable: u64,
-    /// Total calibrated repair searches run.
-    pub repair_rounds: u64,
 }
 
 /// Accumulated wall time of one hot-path phase.
@@ -312,8 +305,9 @@ pub struct MetricsSnapshot {
     /// Per-phase work accounting (parse / optimize / certify / cpg /
     /// schedule).
     pub phases: [PhaseSnapshot; Phase::COUNT],
-    /// Certification outcome counters of the synthesis work served.
-    pub certification: CertificationSnapshot,
+    /// Certification outcome counters of the synthesis work served (the
+    /// shared corpus-level shape from `ftes-sched`).
+    pub certification: CertificationCounters,
 }
 
 impl MetricsSnapshot {
@@ -380,7 +374,7 @@ mod tests {
         let snap = Metrics::new().snapshot();
         assert_eq!((snap.p50_us, snap.p99_us, snap.requests_total()), (0, 0, 0));
         assert!(snap.phases.iter().all(|p| p.total_us == 0 && p.count == 0));
-        assert_eq!(snap.certification, CertificationSnapshot::default());
+        assert_eq!(snap.certification, CertificationCounters::default());
     }
 
     #[test]

@@ -244,6 +244,30 @@ fn healthz_reports_capacity() {
     assert!(body.contains("\"queue_capacity\":17"), "{body}");
 }
 
+#[test]
+fn corpus_catalog_lists_every_builtin_family() {
+    use ftes::gen::corpus::Family;
+    let server = test_server(ServeConfig::default());
+    let (status, body) = call(&server, "GET", "/corpus", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"default_seed\":7"), "{body}");
+    for family in Family::ALL {
+        assert!(body.contains(&format!("\"name\":\"{}\"", family.name())), "{body}");
+    }
+    // Member parameters are machine-usable (the documented catalog shape).
+    assert!(body.contains("\"processes\":"), "{body}");
+    assert!(body.contains("\"strategy\":\"mr\""), "{body}");
+    // The catalog is static: repeated requests are byte-identical.
+    let (_, again) = call(&server, "GET", "/corpus", "");
+    assert_eq!(body, again);
+    // Wrong method is a 405, like every other endpoint.
+    let (status, _) = call(&server, "POST", "/corpus", "x=1");
+    assert_eq!(status, 405);
+    // And the per-endpoint request counter tracks it.
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    assert!(metrics.contains("\"corpus\":2"), "{metrics}");
+}
+
 /// The ISSUE acceptance run: ≥ 8 concurrent clients, zero failures,
 /// cache hit rate > 0 on the repeated-spec mix.
 #[test]

@@ -1,11 +1,15 @@
 //! Quickstart: synthesize a fault-tolerant system for the paper's Fig. 5
 //! application and print the distributed schedule tables.
 //!
+//! The crate-root documentation of `ftes` carries the tested twin of this
+//! walk-through (`cargo test --doc` runs it), so the two cannot drift
+//! apart silently.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use ftes::model::{samples, FaultModel, Time};
 use ftes::tdma::{Platform, TdmaBus};
-use ftes::{synthesize_system, FlowConfig};
+use ftes::{synthesize_system, Certification, FlowConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Fig. 5 application: four processes, messages m0..m3, with P3, m2
@@ -53,6 +57,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.deadline(),
         psi.schedulable
     );
+    // The certify-and-repair contract (PR 4): what ships is certified on
+    // the exact conditional schedule or explicitly tagged.
+    match psi.certification {
+        Certification::Certified { exact_len } => println!(
+            "certification: exact schedule length {exact_len} meets the deadline \
+             ({} repair rounds, calibration {:.3}x)",
+            psi.repair_rounds,
+            psi.calibration_milli as f64 / 1000.0,
+        ),
+        Certification::Refuted { exact_len } => {
+            println!("certification: REFUTED — exact schedule length {exact_len}")
+        }
+        Certification::Uncertifiable => {
+            println!("certification: skipped (FT-CPG over the size budget; estimate-only)")
+        }
+    }
     println!();
     println!("{}", exact.tables.render(&exact.cpg));
     Ok(())
