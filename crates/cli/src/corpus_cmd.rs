@@ -17,13 +17,16 @@
 //! finished CSV is byte-identical for any `--workers` value.
 
 use ftes::corpus::{
-    aggregate, aggregate_to_json, parse_corpus_csv, recover_corpus_csv, run_corpus, CorpusJob,
-    CorpusRunConfig, CorpusVerdict, CORPUS_CSV_HEADER,
+    aggregate, aggregate_to_json, parse_corpus_csv, recover_corpus_csv, CorpusJob, CorpusVerdict,
+    CORPUS_CSV_HEADER,
 };
 use ftes::gen::corpus::{generate_corpus, Family, DEFAULT_CORPUS_SEED};
+use ftes_jobs::{drive_corpus, JobInterrupt};
 use std::error::Error;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 /// A fully parsed `ftes corpus` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -321,32 +324,40 @@ fn run_directory(
     }
 
     let total = jobs.len();
-    let remaining = &jobs[completed..];
-    // The CSV is the progress state: a row that failed to persist must
-    // fail the invocation loudly, not silently hole the report (the
-    // callback can't return an error, so the first one is carried out).
+    let started = Instant::now();
+    // The batch runs through the same driver the serve daemon's job
+    // executor uses (`ftes-jobs`): one streaming-row contract, one resume
+    // contract, whichever front end drives it. The CSV is the progress
+    // state: a row that failed to persist must fail the invocation
+    // loudly, not silently hole the report (the callback can't return an
+    // error, so the first one is carried out).
     let mut sink_error: Option<std::io::Error> = None;
-    let outcome =
-        run_corpus(remaining, &CorpusRunConfig { workers, ..Default::default() }, |i, row| {
-            // Append + flush per row: a killed run resumes from here.
-            // One pre-formatted buffer per row (bytes + newline in a
-            // single write) keeps the torn-write window minimal.
-            if sink_error.is_none() {
-                let buf = format!("{}\n", row.to_csv());
-                let written = file.write_all(buf.as_bytes()).and_then(|()| file.flush());
-                if let Err(e) = written {
-                    sink_error = Some(e);
-                }
+    let never_cancelled = AtomicBool::new(false);
+    let outcome = drive_corpus(&jobs, workers, &completed_rows, &never_cancelled, |i, row| {
+        // Append + flush per row: a killed run resumes from here.
+        // One pre-formatted buffer per row (bytes + newline in a
+        // single write) keeps the torn-write window minimal.
+        if sink_error.is_none() {
+            let buf = format!("{}\n", row.to_csv());
+            let written = file.write_all(buf.as_bytes()).and_then(|()| file.flush());
+            if let Err(e) = written {
+                sink_error = Some(e);
             }
-            println!(
-                "[{:>3}/{}] {:<28} certified={:<7} exact={}",
-                completed + i + 1,
-                total,
-                row.spec,
-                row.certified.as_csv(),
-                row.exact_len.map_or_else(|| "-".to_string(), |v| v.to_string()),
-            );
-        });
+        }
+        println!(
+            "[{:>3}/{}] {:<28} certified={:<7} exact={}",
+            i + 1,
+            total,
+            row.spec,
+            row.certified.as_csv(),
+            row.exact_len.map_or_else(|| "-".to_string(), |v| v.to_string()),
+        );
+    })
+    .map_err(|interrupt| match interrupt {
+        JobInterrupt::Failed(message) => message,
+        JobInterrupt::Cancelled => unreachable!("the CLI never sets the cancel flag"),
+    })?;
+    let wall = started.elapsed();
     drop(file);
     if let Some(e) = sink_error {
         return Err(format!(
@@ -392,8 +403,8 @@ fn run_directory(
     println!(
         "\n{} specs ({} this run, {} ms); reports: {} + {}",
         all_rows.len(),
-        outcome.rows.len(),
-        outcome.wall.as_millis(),
+        outcome.rows.len() - completed,
+        wall.as_millis(),
         csv_path.display(),
         json_path.display(),
     );

@@ -24,10 +24,12 @@
 //! ```
 
 use ftes::explore::{
-    paper_grid, run_suite, suite_to_csv, suite_to_json, CertifyVerdict, PortfolioConfig,
-    ScenarioPoint, SuiteConfig, SuiteOutcome, VerifyConfig, VerifyOutcome,
+    paper_grid, suite_to_csv, suite_to_json, CertifyVerdict, PortfolioConfig, ScenarioPoint,
+    SuiteConfig, SuiteOutcome, VerifyConfig, VerifyOutcome,
 };
 use ftes::model::Time;
+use ftes_jobs::{drive_suite, JobInterrupt};
+use std::sync::atomic::AtomicBool;
 
 /// Output format of the subcommand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +164,19 @@ impl ExploreCommand {
     ///
     /// Propagates exploration failures and output-file IO errors.
     pub fn execute(&self) -> Result<bool, Box<dyn std::error::Error>> {
-        let outcome = run_suite(&self.suite)?;
+        // The CLI is a thin client of the same suite driver the serve
+        // daemon's job executor runs (watermark 0, cancellation never
+        // requested): one code path computes every explore report.
+        let never_cancelled = AtomicBool::new(false);
+        let outcome =
+            drive_suite(&self.suite, 0, &never_cancelled, |_, _| {}).map_err(|interrupt| {
+                match interrupt {
+                    JobInterrupt::Failed(message) => message,
+                    JobInterrupt::Cancelled => {
+                        unreachable!("the CLI never sets the cancel flag")
+                    }
+                }
+            })?;
         let rendered = match self.format {
             ExploreFormat::Summary => summarize(&outcome),
             ExploreFormat::Csv => suite_to_csv(&outcome),

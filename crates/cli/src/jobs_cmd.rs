@@ -1,0 +1,477 @@
+//! The `ftes jobs` subcommand: a thin HTTP client for the serve daemon's
+//! asynchronous job API.
+//!
+//! ```text
+//! USAGE:
+//!   ftes jobs submit --addr HOST:PORT (--spec FILE | --demo |
+//!                    --explore "PARAMS" |
+//!                    --corpus-family NAME [--seed N] [--workers N]) [--wait]
+//!   ftes jobs list   --addr HOST:PORT
+//!   ftes jobs status --addr HOST:PORT ID [--wait] [--result]
+//!   ftes jobs cancel --addr HOST:PORT ID
+//! ```
+//!
+//! `submit` prints `job N queued` (the id on its own parseable line);
+//! `--wait` polls the job to a terminal state. `status --result` prints
+//! only the raw terminal result bytes — the deterministic payload the CI
+//! kill-resume smoke compares byte-for-byte between a crashed-and-resumed
+//! daemon and an uninterrupted one.
+
+use ftes::spec::FIG5_SPEC;
+use ftes_serve::request;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long `--wait` polls before giving up on a terminal state.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// What a `submit` invocation sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitPayload {
+    /// `POST /jobs`: an asynchronous synthesis of one `.ftes` document.
+    Synthesize(String),
+    /// `POST /explore`: an asynchronous suite run (`key=value` params).
+    Explore(String),
+    /// `POST /corpus/run`: an asynchronous generated-corpus batch.
+    Corpus {
+        /// Family name (or `all`).
+        family: String,
+        /// Master seed (server default when `None`).
+        seed: Option<u64>,
+        /// Bounded worker count (server default when `None`).
+        workers: Option<usize>,
+    },
+}
+
+/// A fully parsed `ftes jobs` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobsCommand {
+    /// `ftes jobs submit`: enqueue one job, optionally wait for it.
+    Submit {
+        /// Daemon address.
+        addr: String,
+        /// What to submit.
+        payload: SubmitPayload,
+        /// Poll the job to a terminal state before exiting.
+        wait: bool,
+    },
+    /// `ftes jobs list`: print the daemon's job summaries.
+    List {
+        /// Daemon address.
+        addr: String,
+    },
+    /// `ftes jobs status`: print one job's snapshot.
+    Status {
+        /// Daemon address.
+        addr: String,
+        /// Job id.
+        id: u64,
+        /// Poll to a terminal state first.
+        wait: bool,
+        /// Print only the raw terminal result bytes.
+        result_only: bool,
+    },
+    /// `ftes jobs cancel`: request cancellation at the next row boundary.
+    Cancel {
+        /// Daemon address.
+        addr: String,
+        /// Job id.
+        id: u64,
+    },
+}
+
+impl JobsCommand {
+    /// Parses the arguments following the `jobs` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a missing/unknown action,
+    /// unknown flags, malformed values or a missing `--addr`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let action = args.first().map(String::as_str);
+        let rest = args.get(1..).unwrap_or(&[]);
+        match action {
+            Some("submit") => parse_submit(rest),
+            Some("list") => {
+                let (addr, extras) = parse_common(rest)?;
+                reject_extras(&extras, "list")?;
+                Ok(JobsCommand::List { addr })
+            }
+            Some("status") => {
+                let (addr, extras) = parse_common(rest)?;
+                let mut id: Option<u64> = None;
+                let mut wait = false;
+                let mut result_only = false;
+                for extra in extras {
+                    match extra.as_str() {
+                        "--wait" => wait = true,
+                        "--result" => result_only = true,
+                        word => id = Some(parse_id(word, id)?),
+                    }
+                }
+                Ok(JobsCommand::Status {
+                    addr,
+                    id: id.ok_or("status needs a job id")?,
+                    wait,
+                    result_only,
+                })
+            }
+            Some("cancel") => {
+                let (addr, extras) = parse_common(rest)?;
+                let mut id: Option<u64> = None;
+                for extra in extras {
+                    id = Some(parse_id(&extra, id)?);
+                }
+                Ok(JobsCommand::Cancel { addr, id: id.ok_or("cancel needs a job id")? })
+            }
+            Some(other) => {
+                Err(format!("unknown jobs action `{other}` (submit|list|status|cancel)"))
+            }
+            None => Err("jobs needs an action: submit | list | status | cancel".to_string()),
+        }
+    }
+
+    /// Executes the command. Returns `true` for the exit-0 outcome: the
+    /// daemon answered, and — when a terminal state was observed via
+    /// `--wait` — the job completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and non-2xx daemon replies.
+    pub fn execute(&self) -> Result<bool, Box<dyn std::error::Error>> {
+        match self {
+            JobsCommand::Submit { addr, payload, wait } => {
+                let (path, body) = match payload {
+                    SubmitPayload::Synthesize(spec) => ("/jobs", spec.clone()),
+                    SubmitPayload::Explore(params) => ("/explore", params.clone()),
+                    SubmitPayload::Corpus { family, seed, workers } => {
+                        let mut body = format!("family={family}");
+                        if let Some(seed) = seed {
+                            body.push_str(&format!(" seed={seed}"));
+                        }
+                        if let Some(workers) = workers {
+                            body.push_str(&format!(" workers={workers}"));
+                        }
+                        ("/corpus/run", body)
+                    }
+                };
+                let (status, reply) = http(addr, "POST", path, &body)?;
+                if status != 202 {
+                    return Err(format!("submit rejected ({status}): {reply}").into());
+                }
+                let id = parse_job_id(&reply)
+                    .ok_or_else(|| format!("no job id in the reply: {reply}"))?;
+                println!("job {id} queued");
+                if !wait {
+                    return Ok(true);
+                }
+                let snapshot = poll_terminal(addr, id)?;
+                println!("{snapshot}");
+                Ok(is_completed(&snapshot))
+            }
+            JobsCommand::List { addr } => {
+                let (status, reply) = http(addr, "GET", "/jobs", "")?;
+                if status != 200 {
+                    return Err(format!("list failed ({status}): {reply}").into());
+                }
+                println!("{reply}");
+                Ok(true)
+            }
+            JobsCommand::Status { addr, id, wait, result_only } => {
+                let snapshot = if *wait {
+                    poll_terminal(addr, *id)?
+                } else {
+                    let (status, reply) = http(addr, "GET", &format!("/jobs/{id}"), "")?;
+                    if status != 200 {
+                        return Err(format!("status failed ({status}): {reply}").into());
+                    }
+                    reply
+                };
+                if *result_only {
+                    let result = extract_result(&snapshot)
+                        .ok_or_else(|| format!("job {id} has no result (snapshot: {snapshot})"))?;
+                    println!("{result}");
+                } else {
+                    println!("{snapshot}");
+                }
+                // Without --wait a still-running job is a healthy answer;
+                // with it, anything short of `completed` exits non-zero.
+                Ok(!*wait || is_completed(&snapshot))
+            }
+            JobsCommand::Cancel { addr, id } => {
+                let (status, reply) = http(addr, "DELETE", &format!("/jobs/{id}"), "")?;
+                if status != 200 {
+                    return Err(format!("cancel failed ({status}): {reply}").into());
+                }
+                println!("{reply}");
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Parses `submit` flags: exactly one payload selector plus `--wait`.
+fn parse_submit(rest: &[String]) -> Result<JobsCommand, String> {
+    let mut addr: Option<String> = None;
+    let mut payload: Option<SubmitPayload> = None;
+    let mut seed: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut wait = false;
+    let set = |slot: &mut Option<SubmitPayload>, value: SubmitPayload| -> Result<(), String> {
+        if slot.is_some() {
+            return Err(
+                "submit takes exactly one of --spec/--demo/--explore/--corpus-family".to_string()
+            );
+        }
+        *slot = Some(value);
+        Ok(())
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        let value = |flag: &str| -> Result<String, String> {
+            rest.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg {
+            "--addr" => {
+                addr = Some(value(arg)?);
+                i += 2;
+            }
+            "--spec" => {
+                let path = value(arg)?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                set(&mut payload, SubmitPayload::Synthesize(text))?;
+                i += 2;
+            }
+            "--demo" => {
+                set(&mut payload, SubmitPayload::Synthesize(FIG5_SPEC.to_string()))?;
+                i += 1;
+            }
+            "--explore" => {
+                set(&mut payload, SubmitPayload::Explore(value(arg)?))?;
+                i += 2;
+            }
+            "--corpus-family" => {
+                set(
+                    &mut payload,
+                    SubmitPayload::Corpus { family: value(arg)?, seed: None, workers: None },
+                )?;
+                i += 2;
+            }
+            "--seed" => {
+                let v = value(arg)?;
+                seed = Some(v.parse().map_err(|_| format!("bad number `{v}` for --seed"))?);
+                i += 2;
+            }
+            "--workers" => {
+                let v = value(arg)?;
+                workers = Some(v.parse().map_err(|_| format!("bad number `{v}` for --workers"))?);
+                i += 2;
+            }
+            "--wait" => {
+                wait = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown submit flag `{other}`")),
+        }
+    }
+    let mut payload =
+        payload.ok_or("submit needs one of --spec/--demo/--explore/--corpus-family")?;
+    match &mut payload {
+        SubmitPayload::Corpus { seed: s, workers: w, .. } => {
+            *s = seed;
+            *w = workers;
+        }
+        _ if seed.is_some() || workers.is_some() => {
+            return Err("--seed/--workers only apply to --corpus-family".to_string());
+        }
+        _ => {}
+    }
+    Ok(JobsCommand::Submit {
+        addr: addr.ok_or("--addr is required (see `ftes serve` output)")?,
+        payload,
+        wait,
+    })
+}
+
+/// Pulls `--addr` out of an argument list; everything else comes back as
+/// leftovers for the action-specific parser.
+fn parse_common(rest: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr: Option<String> = None;
+    let mut extras = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--addr" {
+            addr =
+                Some(rest.get(i + 1).cloned().ok_or_else(|| "--addr needs a value".to_string())?);
+            i += 2;
+        } else {
+            extras.push(rest[i].clone());
+            i += 1;
+        }
+    }
+    Ok((addr.ok_or("--addr is required (see `ftes serve` output)")?, extras))
+}
+
+fn reject_extras(extras: &[String], action: &str) -> Result<(), String> {
+    match extras.first() {
+        Some(extra) => Err(format!("unexpected argument `{extra}` after `{action}`")),
+        None => Ok(()),
+    }
+}
+
+fn parse_id(word: &str, already: Option<u64>) -> Result<u64, String> {
+    if already.is_some() {
+        return Err(format!("unexpected extra argument `{word}`"));
+    }
+    word.parse().map_err(|_| format!("bad job id `{word}`"))
+}
+
+/// One request over a fresh connection to the daemon.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    request(&stream, method, path, body).map_err(|e| format!("{addr}: {e}"))
+}
+
+/// Polls `GET /jobs/<id>` until the state is terminal.
+fn poll_terminal(addr: &str, id: u64) -> Result<String, String> {
+    let deadline = Instant::now() + WAIT_TIMEOUT;
+    loop {
+        let (status, reply) = http(addr, "GET", &format!("/jobs/{id}"), "")?;
+        if status != 200 {
+            return Err(format!("status failed ({status}): {reply}"));
+        }
+        for terminal in ["completed", "failed", "cancelled"] {
+            if reply.contains(&format!("\"state\":\"{terminal}\"")) {
+                return Ok(reply);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {id} did not reach a terminal state in {WAIT_TIMEOUT:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Extracts the job id out of a `202` submission body.
+fn parse_job_id(body: &str) -> Option<u64> {
+    let rest = body.split("\"job\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn is_completed(snapshot: &str) -> bool {
+    snapshot.contains("\"state\":\"completed\"")
+}
+
+/// Slices the spliced `result` value out of a status body (`None` while
+/// the job is non-terminal or after a failure).
+fn extract_result(snapshot: &str) -> Option<&str> {
+    let start = snapshot.find("\"result\":")? + "\"result\":".len();
+    let end = snapshot.rfind(",\"error\":")?;
+    let result = &snapshot[start..end];
+    if result == "null" {
+        return None;
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<JobsCommand, String> {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        JobsCommand::parse(&args)
+    }
+
+    #[test]
+    fn parse_covers_the_four_actions() {
+        let cmd = parse(&["submit", "--addr", "a:1", "--demo", "--wait"]).unwrap();
+        assert_eq!(
+            cmd,
+            JobsCommand::Submit {
+                addr: "a:1".into(),
+                payload: SubmitPayload::Synthesize(FIG5_SPEC.to_string()),
+                wait: true,
+            }
+        );
+        let cmd = parse(&["submit", "--addr", "a:1", "--explore", "processes=8"]).unwrap();
+        assert_eq!(
+            cmd,
+            JobsCommand::Submit {
+                addr: "a:1".into(),
+                payload: SubmitPayload::Explore("processes=8".into()),
+                wait: false,
+            }
+        );
+        let cmd = parse(&[
+            "submit",
+            "--addr",
+            "a:1",
+            "--corpus-family",
+            "automotive",
+            "--seed",
+            "7",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            JobsCommand::Submit {
+                addr: "a:1".into(),
+                payload: SubmitPayload::Corpus {
+                    family: "automotive".into(),
+                    seed: Some(7),
+                    workers: Some(2),
+                },
+                wait: false,
+            }
+        );
+        assert_eq!(
+            parse(&["list", "--addr", "a:1"]).unwrap(),
+            JobsCommand::List { addr: "a:1".into() }
+        );
+        assert_eq!(
+            parse(&["status", "--addr", "a:1", "3", "--wait", "--result"]).unwrap(),
+            JobsCommand::Status { addr: "a:1".into(), id: 3, wait: true, result_only: true }
+        );
+        assert_eq!(
+            parse(&["cancel", "--addr", "a:1", "9"]).unwrap(),
+            JobsCommand::Cancel { addr: "a:1".into(), id: 9 }
+        );
+    }
+
+    #[test]
+    fn malformed_invocations_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["purge"]).is_err());
+        assert!(parse(&["submit", "--addr", "a:1"]).is_err(), "no payload");
+        assert!(parse(&["submit", "--demo"]).is_err(), "no addr");
+        assert!(parse(&["submit", "--addr", "a:1", "--demo", "--explore", "x"]).is_err());
+        assert!(parse(&["submit", "--addr", "a:1", "--demo", "--seed", "3"]).is_err());
+        assert!(
+            parse(&["submit", "--addr", "a:1", "--corpus-family", "all", "--seed", "x"]).is_err()
+        );
+        assert!(parse(&["list", "--addr", "a:1", "extra"]).is_err());
+        assert!(parse(&["status", "--addr", "a:1"]).is_err(), "no id");
+        assert!(parse(&["status", "--addr", "a:1", "x"]).is_err());
+        assert!(parse(&["cancel", "--addr", "a:1", "1", "2"]).is_err());
+    }
+
+    #[test]
+    fn reply_helpers_parse_daemon_bodies() {
+        assert_eq!(parse_job_id(r#"{"job":12,"state":"queued"}"#), Some(12));
+        assert_eq!(parse_job_id(r#"{"error":"full"}"#), None);
+        assert!(is_completed(r#"{"state":"completed"}"#));
+        assert!(!is_completed(r#"{"state":"running"}"#));
+        let snapshot = r#"{"job":1,"rows":[],"result":{"specs":2},"error":null}"#;
+        assert_eq!(extract_result(snapshot), Some(r#"{"specs":2}"#));
+        let pending = r#"{"job":1,"rows":[],"result":null,"error":null}"#;
+        assert_eq!(extract_result(pending), None);
+    }
+}

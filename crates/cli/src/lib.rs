@@ -6,20 +6,23 @@
 //! can share it; this crate re-exports it), the `explore` subcommand (see
 //! [`ExploreCommand`]) runs the parallel design-space exploration suite,
 //! the `corpus` subcommand (see [`CorpusCommand`]) generates and
-//! batch-runs the scenario-spec families, and the `serve` / `load`
+//! batch-runs the scenario-spec families, the `serve` / `load`
 //! subcommands (see [`ServeCommand`] / [`LoadCommand`]) run and exercise
-//! the `ftes-serve` synthesis service. The `ftes` binary lives in this
-//! crate; everything else is a library so tests and other tools can
-//! reuse it.
+//! the `ftes-serve` synthesis service, and the `jobs` subcommand (see
+//! [`JobsCommand`]) is a thin client for the daemon's asynchronous,
+//! crash-safe job API. The `ftes` binary lives in this crate; everything
+//! else is a library so tests and other tools can reuse it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod corpus_cmd;
 mod explore_cmd;
+mod jobs_cmd;
 mod serve_cmd;
 
 pub use corpus_cmd::CorpusCommand;
 pub use explore_cmd::{ExploreCommand, ExploreFormat};
 pub use ftes::spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
+pub use jobs_cmd::{JobsCommand, SubmitPayload};
 pub use serve_cmd::{LoadCommand, ServeCommand};

@@ -9,6 +9,7 @@
 //!   ftes corpus …    # generate + batch-run scenario-spec families (see --help)
 //!   ftes serve …     # run the synthesis HTTP service (see --help)
 //!   ftes load …      # drive load against a running service (see --help)
+//!   ftes jobs …      # submit/poll/cancel asynchronous daemon jobs (see --help)
 //! ```
 
 use ftes::sched::export::{
@@ -17,7 +18,8 @@ use ftes::sched::export::{
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
 use ftes_cli::{
-    parse_spec, CorpusCommand, ExploreCommand, LoadCommand, ServeCommand, SystemSpec, FIG5_SPEC,
+    parse_spec, CorpusCommand, ExploreCommand, JobsCommand, LoadCommand, ServeCommand, SystemSpec,
+    FIG5_SPEC,
 };
 use std::process::ExitCode;
 
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
         Some("corpus") => return run_corpus_cmd(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("load") => return run_load_cmd(&args[1..]),
+        Some("jobs") => return run_jobs_cmd(&args[1..]),
         _ => {}
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -244,6 +247,28 @@ fn run_load_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_jobs_cmd(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match JobsCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "ftes — synthesis of fault-tolerant embedded systems (DATE 2008 reproduction)\n\n\
@@ -276,11 +301,20 @@ fn print_usage() {
          \u{20}            any worker count\n\n\
          SERVE (the synthesis HTTP service; prints `listening on HOST:PORT`):\n  \
          --addr HOST:PORT | --port N  bind address (default 127.0.0.1:0)\n  \
-         --workers N   handler threads            --queue N    job-queue bound\n  \
-         --cache-entries N            result-cache capacity\n\n\
+         --workers N   handler threads            --queue N    connection-queue bound\n  \
+         --cache-entries N            result-cache capacity\n  \
+         --journal DIR crash-safe job journal (killed daemon resumes on restart)\n  \
+         --job-queue N job-queue bound (16)       --job-workers N  job threads (1)\n\n\
          LOAD (closed-loop load harness against a running service):\n  \
          --addr HOST:PORT  target (required)      --clients N  threads (8)\n  \
-         --requests N  total requests (50)        --spec FILE  mix entry (repeatable)\n\n\
+         --requests N  total requests (50)        --spec FILE  mix entry (repeatable)\n  \
+         --jobs N      async submit->poll->result round trips on top of the mix\n\n\
+         JOBS (thin client for the daemon's asynchronous job API):\n  \
+         submit --addr A (--spec FILE | --demo | --explore \"PARAMS\" |\n  \
+         \u{20}                --corpus-family NAME [--seed N] [--workers N]) [--wait]\n  \
+         list   --addr A              id-ordered job summaries\n  \
+         status --addr A ID [--wait] [--result]   snapshot / raw result bytes\n  \
+         cancel --addr A ID           cancel at the next row boundary\n\n\
          EXIT CODE: 0 schedulable (load: all ok), 2 not (load: failures), 1 error"
     );
 }

@@ -5,9 +5,17 @@
 //! USAGE:
 //!   ftes serve [--addr HOST:PORT | --port N] [--workers N]
 //!              [--queue N] [--cache-entries N]
+//!              [--journal DIR] [--job-queue N] [--job-workers N]
 //!   ftes load  --addr HOST:PORT [--clients N] [--requests N]
-//!              [--spec FILE]...
+//!              [--jobs N] [--spec FILE]...
 //! ```
+//!
+//! `--journal DIR` makes the daemon's job executor crash-safe: accepted
+//! jobs, progress rows and terminal results are journaled, and a killed
+//! daemon restarted on the same directory resumes incomplete jobs.
+//! `ftes load --jobs N` adds N asynchronous submit→poll→result round
+//! trips on top of the synchronous mix and reports their
+//! submit-to-terminal latency percentiles.
 //!
 //! `ftes serve` prints `listening on HOST:PORT` (the resolved ephemeral
 //! port when `--port 0`) as its first output line so scripts — the CI
@@ -45,6 +53,9 @@ impl ServeCommand {
                 "--workers" => config.workers = parse_positive(arg, &value?)?,
                 "--queue" => config.queue_capacity = parse_positive(arg, &value?)?,
                 "--cache-entries" => config.cache_capacity = parse_positive(arg, &value?)?,
+                "--journal" => config.journal_dir = Some(std::path::PathBuf::from(value?)),
+                "--job-queue" => config.job_queue_capacity = parse_positive(arg, &value?)?,
+                "--job-workers" => config.job_workers = parse_positive(arg, &value?)?,
                 other => return Err(format!("unknown serve flag `{other}`")),
             }
             i += 2;
@@ -88,6 +99,7 @@ impl LoadCommand {
         let mut addr: Option<String> = None;
         let mut clients = 8usize;
         let mut requests = 50usize;
+        let mut jobs_requests = 0usize;
         let mut specs: Vec<String> = Vec::new();
         let mut i = 0;
         while i < args.len() {
@@ -97,6 +109,7 @@ impl LoadCommand {
                 "--addr" => addr = Some(value?),
                 "--clients" => clients = parse_positive(arg, &value?)?,
                 "--requests" => requests = parse_positive(arg, &value?)?,
+                "--jobs" => jobs_requests = parse_positive(arg, &value?)?,
                 "--spec" => {
                     let path = value?;
                     let text = std::fs::read_to_string(&path)
@@ -111,6 +124,7 @@ impl LoadCommand {
         let mut config = LoadConfig::against(addr);
         config.clients = clients;
         config.requests = requests;
+        config.jobs_requests = jobs_requests;
         if !specs.is_empty() {
             config.specs = specs;
         }
@@ -126,7 +140,7 @@ impl LoadCommand {
     pub fn execute(&self) -> Result<bool, Box<dyn std::error::Error>> {
         let report = run_load(&self.config)?;
         print!("{}", report.render());
-        Ok(report.failed == 0)
+        Ok(report.failed == 0 && report.jobs.as_ref().is_none_or(|jobs| jobs.failed == 0))
     }
 }
 
@@ -167,6 +181,18 @@ mod tests {
         assert_eq!(cmd.config.cache_capacity, 11);
         let cmd = ServeCommand::parse(&words(&["--addr", "0.0.0.0:9000"])).unwrap();
         assert_eq!(cmd.config.addr, "0.0.0.0:9000");
+        let cmd = ServeCommand::parse(&words(&[
+            "--journal",
+            "journal_dir",
+            "--job-queue",
+            "5",
+            "--job-workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.config.journal_dir, Some(std::path::PathBuf::from("journal_dir")));
+        assert_eq!(cmd.config.job_queue_capacity, 5);
+        assert_eq!(cmd.config.job_workers, 2);
     }
 
     #[test]
@@ -193,6 +219,9 @@ mod tests {
         assert_eq!(cmd.config.clients, 4);
         assert_eq!(cmd.config.requests, 20);
         assert_eq!(cmd.config.specs.len(), 2, "default repeated-spec mix");
+        assert_eq!(cmd.config.jobs_requests, 0, "jobs mode is opt-in");
+        let cmd = LoadCommand::parse(&words(&["--addr", "a:1", "--jobs", "6"])).unwrap();
+        assert_eq!(cmd.config.jobs_requests, 6);
         assert!(LoadCommand::parse(&words(&["--addr", "x", "--spec", "/nonexistent/path.ftes"]))
             .is_err());
     }

@@ -29,7 +29,7 @@ use crate::spec::parse_spec;
 use crate::{synthesize_system, Certification, FlowConfig};
 use ftes_model::json::JsonWriter;
 use ftes_sched::CertificationCounters;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -321,6 +321,26 @@ pub fn run_corpus<F>(jobs: &[CorpusJob], config: &CorpusRunConfig, on_row: F) ->
 where
     F: FnMut(usize, &CorpusRow) + Send,
 {
+    run_corpus_cancellable(jobs, config, None, on_row).0
+}
+
+/// Cancellable form of [`run_corpus`]: when the flag is observed set,
+/// workers stop claiming jobs at the next row boundary (jobs already in
+/// flight finish but are not delivered past the cancelled prefix). The
+/// returned outcome then covers exactly the rows `on_row` saw — a
+/// contiguous prefix of the job list — and the boolean reports whether
+/// the run was cut short. A cancelled run is resumable: re-running the
+/// undelivered suffix yields the rows an uninterrupted run would have
+/// produced, byte-identically.
+pub fn run_corpus_cancellable<F>(
+    jobs: &[CorpusJob],
+    config: &CorpusRunConfig,
+    cancel: Option<&AtomicBool>,
+    on_row: F,
+) -> (CorpusOutcome, bool)
+where
+    F: FnMut(usize, &CorpusRow) + Send,
+{
     let started = Instant::now();
     let workers = config.workers.clamp(1, jobs.len().max(1));
 
@@ -337,6 +357,9 @@ where
             let flusher = &flusher;
             let next_job = &next_job;
             scope.spawn(move || loop {
+                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    break;
+                }
                 let i = next_job.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -355,12 +378,17 @@ where
         }
     });
 
-    let slots = flusher.into_inner().expect("corpus flusher poisoned").slots;
-    let mut rows = Vec::with_capacity(jobs.len());
+    let mut inner = flusher.into_inner().expect("corpus flusher poisoned");
+    // Only the delivered prefix counts: rows computed out of order past a
+    // cancelled gap were never handed to `on_row`, and the outcome must
+    // match what the caller's sink (CSV, journal) actually saw.
+    let delivered = inner.next;
+    let cancelled = delivered < jobs.len();
+    let mut rows = Vec::with_capacity(delivered);
     let mut counters = CertificationCounters::default();
     let mut errors = Vec::new();
-    for slot in slots {
-        let (row, error) = slot.expect("every job produced a row");
+    for slot in inner.slots.drain(..delivered) {
+        let (row, error) = slot.expect("delivered slots are filled");
         match row.certification_outcome() {
             Some(outcome) => counters.record(outcome, row.repair_rounds as u64),
             None => errors
@@ -368,7 +396,7 @@ where
         }
         rows.push(row);
     }
-    CorpusOutcome { rows, counters, errors, wall: started.elapsed() }
+    (CorpusOutcome { rows, counters, errors, wall: started.elapsed() }, cancelled)
 }
 
 /// Replaces CSV-breaking characters so even a mislabeled job's error row
@@ -652,6 +680,46 @@ mod tests {
         let rows = parse_corpus_csv(&serial).unwrap();
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].to_csv(), serial.lines().nth(1).unwrap());
+    }
+
+    #[test]
+    fn cancellation_cuts_the_run_at_a_row_boundary_and_stays_resumable() {
+        let jobs: Vec<CorpusJob> =
+            (0..5).map(|i| tiny_job(&format!("t{i}.ftes"), 200 + i)).collect();
+        // A pre-set flag cancels before any work.
+        let cancel = AtomicBool::new(true);
+        let mut delivered = 0usize;
+        let (outcome, cancelled) =
+            run_corpus_cancellable(&jobs, &CorpusRunConfig::default(), Some(&cancel), |_, _| {
+                delivered += 1;
+            });
+        assert!(cancelled);
+        assert_eq!((outcome.rows.len(), delivered), (0, 0));
+        assert_eq!(outcome.counters.total(), 0);
+
+        // Cancelling after the second row: the outcome is exactly the
+        // delivered prefix, and re-running the suffix reproduces the
+        // uninterrupted run byte-identically.
+        let full = run_corpus(&jobs, &CorpusRunConfig::default(), |_, _| {});
+        let cancel = AtomicBool::new(false);
+        let mut prefix = Vec::new();
+        let (outcome, cancelled) =
+            run_corpus_cancellable(&jobs, &CorpusRunConfig::default(), Some(&cancel), |i, row| {
+                prefix.push(row.to_csv());
+                if i == 1 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            });
+        assert!(cancelled);
+        assert!(outcome.rows.len() < jobs.len());
+        assert_eq!(outcome.rows.len(), prefix.len());
+        let skip = outcome.rows.len();
+        let (resumed, resumed_cancelled) =
+            run_corpus_cancellable(&jobs[skip..], &CorpusRunConfig::default(), None, |_, _| {});
+        assert!(!resumed_cancelled);
+        let merged: Vec<String> =
+            outcome.rows.iter().chain(resumed.rows.iter()).map(CorpusRow::to_csv).collect();
+        assert_eq!(merged, full.rows.iter().map(CorpusRow::to_csv).collect::<Vec<_>>());
     }
 
     #[test]

@@ -77,6 +77,6 @@ pub use portfolio::{
 };
 pub use report::{suite_to_csv, suite_to_json};
 pub use suite::{
-    paper_grid, run_suite, CertifyVerdict, PointOutcome, ScenarioPoint, SuiteConfig, SuiteOutcome,
-    VerifyConfig, VerifyOutcome,
+    paper_grid, run_suite, run_suite_streaming, CertifyVerdict, PointOutcome, ScenarioPoint,
+    SuiteConfig, SuiteOutcome, VerifyConfig, VerifyOutcome,
 };

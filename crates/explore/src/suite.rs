@@ -10,7 +10,6 @@
 //! points are interleaved.
 
 use crate::cache::{fnv1a64, CacheStats, StateKey};
-use crate::pool::indexed_parallel;
 use crate::portfolio::{explore, ExploreError, PortfolioConfig};
 use crate::ParetoArchive;
 use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, CpgError, FtCpg};
@@ -23,6 +22,8 @@ use ftes_sched::{
 };
 use ftes_sim::verify_sampled;
 use ftes_tdma::Platform;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One point of the experiment grid.
@@ -281,21 +282,89 @@ impl SuiteOutcome {
 /// workload generation failures surface as
 /// [`ExploreError::BadConfig`].
 pub fn run_suite(config: &SuiteConfig) -> Result<SuiteOutcome, ExploreError> {
+    Ok(run_suite_streaming(config, None, |_, _| {})?.expect("no cancel flag was provided"))
+}
+
+/// Streaming, cancellable form of [`run_suite`]: `on_point(index, point)`
+/// fires **in grid order** — point `i` is delivered only after points
+/// `0..i` — as soon as that prefix is complete, the same in-order
+/// callback contract the corpus runner uses. Passing a cancel flag stops
+/// the sweep at the next point boundary (points already in flight finish
+/// but are not delivered past the cancelled prefix).
+///
+/// Returns `Ok(None)` when the cancel flag was observed set, otherwise
+/// `Ok(Some(outcome))` with every point, identical to [`run_suite`].
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`] (grid order) if any point fails;
+/// points that error are never delivered to `on_point`.
+pub fn run_suite_streaming<F>(
+    config: &SuiteConfig,
+    cancel: Option<&AtomicBool>,
+    on_point: F,
+) -> Result<Option<SuiteOutcome>, ExploreError>
+where
+    F: FnMut(usize, &PointOutcome) + Send,
+{
     let started = Instant::now();
     // Split the thread budget across concurrent points instead of letting
     // every point fan out at full width (point_parallelism × threads would
     // oversubscribe the machine).
     let concurrent = config.point_parallelism.clamp(1, config.points.len().max(1));
     let threads_per_point = (config.portfolio.threads / concurrent).max(1);
-    let results: Vec<Result<PointOutcome, ExploreError>> =
-        indexed_parallel(config.points.len(), config.point_parallelism, |_, i| {
-            run_point(config, config.points[i], threads_per_point)
-        });
-    let mut points = Vec::with_capacity(results.len());
-    for result in results {
-        points.push(result?);
+
+    struct Flusher<F> {
+        slots: Vec<Option<Result<PointOutcome, ExploreError>>>,
+        next: usize,
+        on_point: F,
     }
-    Ok(SuiteOutcome { points, wall: started.elapsed() })
+    let flusher = Mutex::new(Flusher {
+        slots: (0..config.points.len()).map(|_| None).collect(),
+        next: 0,
+        on_point,
+    });
+    let next_point = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..concurrent {
+            let flusher = &flusher;
+            let next_point = &next_point;
+            scope.spawn(move || loop {
+                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    break;
+                }
+                let i = next_point.fetch_add(1, Ordering::Relaxed);
+                if i >= config.points.len() {
+                    break;
+                }
+                let result = run_point(config, config.points[i], threads_per_point);
+                let mut f = flusher.lock().expect("suite flusher poisoned");
+                f.slots[i] = Some(result);
+                // Deliver the completed error-free prefix in order; an
+                // errored point stops the stream (the caller sees the
+                // error from the return value instead).
+                while f.next < f.slots.len() && matches!(f.slots[f.next], Some(Ok(_))) {
+                    let at = f.next;
+                    let slot = f.slots[at].take().expect("checked above");
+                    if let Ok(point) = &slot {
+                        (f.on_point)(at, point);
+                    }
+                    f.slots[at] = Some(slot);
+                    f.next += 1;
+                }
+            });
+        }
+    });
+
+    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        return Ok(None);
+    }
+    let slots = flusher.into_inner().expect("suite flusher poisoned").slots;
+    let mut points = Vec::with_capacity(slots.len());
+    for slot in slots {
+        points.push(slot.expect("every point ran to completion")?);
+    }
+    Ok(Some(SuiteOutcome { points, wall: started.elapsed() }))
 }
 
 /// Bound on the certify-and-demote walk down a point's Pareto front: the
@@ -656,6 +725,35 @@ mod tests {
         // today); if search tuning ever makes every seed certify or fail
         // first try, widen the band rather than weakening this.
         assert!(demotions >= 1, "the seed band no longer exercises demotion");
+    }
+
+    #[test]
+    fn streaming_delivers_points_in_order_and_matches_run_suite() {
+        let config = tiny_suite(2, 4);
+        let mut streamed = Vec::new();
+        let outcome = run_suite_streaming(&config, None, |i, p| {
+            streamed.push((i, p.point.label(), p.archive.signature()));
+        })
+        .unwrap()
+        .expect("no cancel flag was provided");
+        assert_eq!(streamed.len(), outcome.points.len());
+        for (at, (i, label, signature)) in streamed.iter().enumerate() {
+            assert_eq!(at, *i, "callbacks fire in grid order");
+            assert_eq!(*label, outcome.points[at].point.label());
+            assert_eq!(*signature, outcome.points[at].archive.signature());
+        }
+        // Streaming is observationally the plain runner.
+        assert_eq!(outcome.signature(), run_suite(&config).unwrap().signature());
+    }
+
+    #[test]
+    fn a_pre_set_cancel_flag_stops_the_sweep_before_any_point() {
+        let cancel = std::sync::atomic::AtomicBool::new(true);
+        let mut delivered = 0usize;
+        let outcome =
+            run_suite_streaming(&tiny_suite(1, 1), Some(&cancel), |_, _| delivered += 1).unwrap();
+        assert!(outcome.is_none(), "a cancelled sweep returns no outcome");
+        assert_eq!(delivered, 0);
     }
 
     #[test]

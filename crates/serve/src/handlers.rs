@@ -11,16 +11,11 @@ use crate::cache::{CacheKey, Lookup};
 use crate::http::{error_body, Request};
 use crate::metrics::{Endpoint, Phase};
 use crate::server::Shared;
-use ftes::explore::{
-    paper_grid, run_suite, suite_to_json, EngineKind, PortfolioConfig, ScenarioPoint, SuiteConfig,
-    VerifyConfig,
-};
 use ftes::json::JsonWriter;
-use ftes::model::Time;
-use ftes::sched::export::tables_to_csv;
 use ftes::sched::SystemEvaluator;
-use ftes::spec::{parse_spec, SystemSpec};
-use ftes::{synthesize_system_timed, Certification, FlowConfig, SystemConfiguration};
+use ftes::spec::parse_spec;
+use ftes::{synthesize_system_timed, Certification, FlowConfig};
+use ftes_jobs::{parse_explore_request, render_synthesis, JobRequest, SubmitError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,11 +25,18 @@ pub struct Reply {
     pub status: u16,
     /// JSON body (shared so cached bodies are not copied per request).
     pub body: Arc<String>,
+    /// `Retry-After` seconds for `429` replies (rendered as a response
+    /// header so well-behaved clients back off instead of hammering).
+    pub retry_after: Option<u64>,
 }
 
 impl Reply {
     fn new(status: u16, body: String) -> Self {
-        Reply { status, body: Arc::new(body) }
+        Reply { status, body: Arc::new(body), retry_after: None }
+    }
+
+    fn cached(status: u16, body: Arc<String>) -> Self {
+        Reply { status, body, retry_after: None }
     }
 
     fn err(status: u16, message: &str) -> Self {
@@ -44,16 +46,45 @@ impl Reply {
 
 /// Routes one parsed request to its handler.
 pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
-    match (req.method.as_str(), req.path.as_str()) {
+    let method = req.method.as_str();
+    let path = req.path.as_str();
+    if let Some(rest) = path.strip_prefix("/jobs") {
+        if rest.is_empty() || rest.starts_with('/') {
+            return (Endpoint::Jobs, jobs_route(shared, method, rest, &req.body));
+        }
+    }
+    match (method, path) {
         ("POST", "/synthesize") => (Endpoint::Synthesize, synthesize(shared, &req.body)),
-        ("POST", "/explore") => (Endpoint::Explore, explore(shared, &req.body)),
+        ("POST", "/explore") => (Endpoint::Explore, submit_explore(shared, &req.body)),
         ("GET", "/corpus") => (Endpoint::Corpus, corpus_catalog()),
+        ("POST", "/corpus/run") => (Endpoint::Corpus, submit_corpus_run(shared, &req.body)),
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(shared)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(shared)),
-        (_, "/synthesize" | "/explore" | "/corpus" | "/healthz" | "/metrics") => {
+        (_, "/synthesize" | "/explore" | "/corpus" | "/corpus/run" | "/healthz" | "/metrics") => {
             (Endpoint::Other, Reply::err(405, "method not allowed"))
         }
         _ => (Endpoint::Other, Reply::err(404, "no such endpoint")),
+    }
+}
+
+/// Routes the `/jobs` family: `POST /jobs` (submit a synthesize job),
+/// `GET /jobs` (list), `GET /jobs/<id>` (status + accumulated progress
+/// rows), `DELETE /jobs/<id>` (cancel at the next row boundary).
+fn jobs_route(shared: &Shared, method: &str, rest: &str, body: &[u8]) -> Reply {
+    match (method, rest) {
+        ("POST", "") => submit_synthesize_job(shared, body),
+        ("GET", "") => jobs_list(shared),
+        (_, "") => Reply::err(405, "method not allowed"),
+        _ => {
+            let Ok(id) = rest[1..].parse::<u64>() else {
+                return Reply::err(404, "no such job");
+            };
+            match method {
+                "GET" => job_status(shared, id),
+                "DELETE" => job_cancel(shared, id),
+                _ => Reply::err(405, "method not allowed"),
+            }
+        }
     }
 }
 
@@ -75,7 +106,7 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
     // Single-flight: concurrent requests for the same (equivalent) spec
     // wait for one synthesis instead of each running their own.
     let guard = match shared.cache.lookup(&key) {
-        Lookup::Hit(status, body) => return Reply { status, body },
+        Lookup::Hit(status, body) => return Reply::cached(status, body),
         Lookup::Miss(guard) => guard,
     };
     // Evaluator bank: a repeated (app, platform, k) on a warm daemon skips
@@ -101,7 +132,7 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
                     Certification::Uncertifiable => None,
                 };
                 shared.metrics.record_certification(verdict, psi.repair_rounds as u64);
-                Reply { status: 200, body: Arc::new(render_synthesis(&spec, &psi)) }
+                Reply::new(200, render_synthesis(&spec, &psi))
             }
             // A 422 is as deterministic as a success: cache it so a repeated
             // expensive-but-infeasible spec is not a work-amplification vector.
@@ -112,272 +143,210 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
     reply
 }
 
-/// Renders the `/synthesize` response body.
-fn render_synthesis(spec: &SystemSpec, psi: &SystemConfiguration) -> String {
-    let mut w = JsonWriter::new();
-    w.begin_object();
-    w.key("strategy");
-    w.string(&spec.strategy.to_string());
-    w.key("k");
-    w.number_u64(spec.fault_model.k() as u64);
-    w.key("processes");
-    w.number_usize(spec.app.process_count());
-    w.key("nodes");
-    w.number_usize(spec.platform.architecture().node_count());
-    w.key("schedulable");
-    w.bool(psi.schedulable);
-    w.key("deadline");
-    w.number_i64(spec.app.deadline().units());
-    w.key("worst_case");
-    w.number_i64(psi.worst_case_length().units());
-    w.key("fault_free");
-    w.number_i64(psi.estimate.fault_free_length.units());
-    w.key("estimated_worst_case");
-    w.number_i64(psi.estimate.worst_case_length.units());
-    w.key("recovery_slack");
-    w.number_i64(psi.estimate.recovery_slack().units());
-    let fault_free = psi.estimate.fault_free_length;
-    w.key("slack_pct");
-    if fault_free > Time::ZERO {
-        w.number_f64(100.0 * psi.estimate.recovery_slack().as_f64() / fault_free.as_f64(), 2);
-    } else {
-        w.number_f64(0.0, 2);
-    }
-    w.key("policies");
-    w.begin_array();
-    for (pid, policy) in psi.policies.iter() {
-        w.begin_object();
-        w.key("process");
-        w.string(spec.app.process(pid).name());
-        w.key("policy");
-        w.string(&format!("{:?}", policy.kind()));
-        w.key("node");
-        w.number_usize(psi.mapping.node_of(pid).index());
-        w.key("replicas");
-        w.number_u64(policy.replica_count() as u64);
-        w.end_object();
-    }
-    w.end_array();
-    w.key("exact");
-    w.bool(psi.exact.is_some());
-    // The certify-and-repair contract: `certified:true` incumbents are
-    // exact-schedulable; everything else ships explicitly tagged with the
-    // exact length when one was computed.
-    w.key("certified");
-    w.bool(psi.certification.is_certified());
-    w.key("exact_len");
-    match psi.certification.exact_len() {
-        Some(len) => w.number_i64(len.units()),
-        None => w.null(),
-    }
-    w.key("repair_rounds");
-    w.number_u64(psi.repair_rounds as u64);
-    w.key("calibration_milli");
-    w.number_u64(psi.calibration_milli);
-    match psi.exact.as_ref() {
-        Some(exact) => {
-            w.key("table_entries");
-            w.number_usize(exact.tables.entry_count());
-            w.key("tables_csv");
-            w.string(&tables_to_csv(&exact.tables, &exact.cpg));
-        }
-        None => {
-            w.key("table_entries");
-            w.number_usize(0);
-            w.key("tables_csv");
-            w.null();
-        }
-    }
-    w.end_object();
-    w.finish()
-}
-
-/// `POST /explore`: body is a whitespace-separated `key=value` list (see
-/// [`parse_explore_request`]); the reply is the `ftes-explore` suite JSON
-/// report, identical to `ftes explore --json` for the same parameters.
-fn explore(shared: &Shared, body: &[u8]) -> Reply {
+/// `POST /explore`, asynchronous: the body is validated exactly like the
+/// old synchronous endpoint (same `key=value` grammar, same limits — a
+/// malformed body is still a `400` at submit time), then enqueued as an
+/// `ExploreSuite` job. The reply is `202` with the job id; poll
+/// `GET /jobs/<id>` for progress rows and the final suite JSON report,
+/// which is byte-identical to `ftes explore --json` for the same
+/// parameters.
+fn submit_explore(shared: &Shared, body: &[u8]) -> Reply {
     let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Reply::err(400, "body is not UTF-8");
     };
-    let config = match parse_explore_request(text) {
-        Ok(config) => config,
-        Err(msg) => return Reply::err(400, &msg),
-    };
+    if let Err(msg) = parse_explore_request(text) {
+        return Reply::err(400, &msg);
+    }
     shared.metrics.record_phase(Phase::Parse, parse_started.elapsed().as_micros() as u64);
-    let key = CacheKey::new("explore/v1", &canonical_explore_bytes(&config));
-    let guard = match shared.cache.lookup(&key) {
-        Lookup::Hit(status, body) => return Reply { status, body },
-        Lookup::Miss(guard) => guard,
-    };
-    let reply = match run_suite(&config) {
-        Ok(outcome) => Reply { status: 200, body: Arc::new(suite_to_json(&outcome)) },
-        // Deterministic failure: cache it (see the synthesize handler).
-        Err(e) => Reply::err(422, &format!("explore: {e}")),
-    };
-    guard.complete(reply.status, Arc::clone(&reply.body));
-    reply
+    submit_job(shared, JobRequest::ExploreSuite { params: text.to_string() })
 }
 
-/// Upper bounds on client-controlled `/explore` parameters. The CLI
-/// trusts its operator with these knobs; the service must not — an
-/// unclamped `seeds` or `threads` lets one small request allocate or
-/// spawn without limit. The caps comfortably cover the paper grid
-/// (100 processes, 6 nodes, k = 7).
-mod limits {
-    pub const PROCESSES: u64 = 200;
-    pub const NODES: u64 = 16;
-    pub const K: u64 = 16;
-    pub const SEEDS: u64 = 64;
-    pub const ROUNDS: u64 = 64;
-    pub const ITERS: u64 = 1_000;
-    /// `run_suite` divides the thread budget across concurrent points
-    /// (`threads / point_par` each), so one request's peak OS-thread count
-    /// is ≈ `POINT_PAR + THREADS`; with a full worker pool the host sees
-    /// at most `workers ×` that, which these caps keep modest.
-    pub const THREADS: u64 = 32;
-    pub const POINT_PAR: u64 = 16;
-    /// Aggregate ceiling: Σ(point processes) × rounds × iters. Per-knob
-    /// caps alone still admit hour-scale products (64 seeds × 64 rounds ×
-    /// 1000 iters); this bounds the whole job. The default paper grid
-    /// costs 36 000 units, so the budget leaves two orders of magnitude
-    /// of headroom for legitimate sweeps.
-    pub const WORK_BUDGET: u64 = 5_000_000;
+/// `POST /corpus/run`: body is a whitespace-separated `key=value` list
+/// (`family=<name>|all`, `seed=N`, `workers=N`) selecting a generated
+/// corpus; the reply is `202` with a job id whose progress rows are the
+/// corpus CSV rows and whose terminal result carries the full CSV plus
+/// the deterministic aggregate JSON — byte-identical to an uninterrupted
+/// `ftes corpus run` over the same corpus.
+fn submit_corpus_run(shared: &Shared, body: &[u8]) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::err(400, "body is not UTF-8");
+    };
+    match parse_corpus_run(text) {
+        Ok(request) => submit_job(shared, request),
+        Err(msg) => Reply::err(400, &msg),
+    }
 }
 
-/// Parses an `/explore` request body: whitespace-separated `key=value`
-/// tokens mirroring the `ftes explore` flags (`grid=paper` or
-/// `processes=N nodes=N k=K`, plus `seeds`, `seed`, `rounds`, `iters`,
-/// `threads`, `point_par`, `verify=true`). Work-scaling parameters are
-/// bounded (see `limits`); out-of-range values are a client error, not a
-/// clamp, so cache keys never alias different requested configurations.
-pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
-    let mut processes: Option<usize> = None;
-    let mut nodes: Option<usize> = None;
-    let mut k: Option<u32> = None;
-    let mut seeds: u64 = 1;
-    let mut grid_paper = false;
-    let mut portfolio = PortfolioConfig::default();
-    let mut point_parallelism = 1usize;
-    let mut verify = None;
-    let mut certify = true;
-
+/// Parses a `/corpus/run` request body into a `CorpusRun` job request.
+/// Generation is deterministic in `(family, seed)`, so the job's CSV is a
+/// pure function of the parsed body.
+fn parse_corpus_run(text: &str) -> Result<JobRequest, String> {
+    use ftes::gen::corpus::{generate_corpus, Family, DEFAULT_CORPUS_SEED};
+    let mut families: Vec<Family> = Family::ALL.to_vec();
+    let mut seed = DEFAULT_CORPUS_SEED;
+    let mut workers = 1usize;
     for token in text.split_whitespace() {
         let Some((key, value)) = token.split_once('=') else {
             return Err(format!("expected key=value, got `{token}`"));
         };
-        let bounded = |max: u64| -> Result<u64, String> {
-            let n: u64 = value.parse().map_err(|_| format!("bad number `{value}` for {key}"))?;
-            if n > max {
-                return Err(format!("{key}={n} exceeds the service limit of {max}"));
-            }
-            Ok(n)
-        };
         match key {
-            "grid" => {
-                if value != "paper" {
-                    return Err(format!("unknown grid `{value}` (only `paper`)"));
+            "family" => {
+                if value != "all" {
+                    families = vec![Family::from_name(value)
+                        .ok_or_else(|| format!("unknown corpus family `{value}`"))?];
                 }
-                grid_paper = true;
             }
-            "processes" => processes = Some(bounded(limits::PROCESSES)? as usize),
-            "nodes" => nodes = Some(bounded(limits::NODES)? as usize),
-            "k" => k = Some(bounded(limits::K)? as u32),
-            "seeds" => seeds = bounded(limits::SEEDS)?.max(1),
             "seed" => {
-                // The PRNG seed scales no work; any u64 is fine.
-                portfolio.seed =
-                    value.parse().map_err(|_| format!("bad number `{value}` for {key}"))?;
+                seed = value.parse().map_err(|_| format!("bad number `{value}` for seed"))?;
             }
-            "threads" => portfolio.threads = (bounded(limits::THREADS)? as usize).max(1),
-            "point_par" => point_parallelism = (bounded(limits::POINT_PAR)? as usize).max(1),
-            "rounds" => portfolio.rounds = (bounded(limits::ROUNDS)? as usize).max(1),
-            "iters" => portfolio.iterations_per_round = (bounded(limits::ITERS)? as usize).max(1),
-            "verify" => {
-                verify = match value {
-                    "true" => Some(VerifyConfig::default()),
-                    "false" => None,
-                    other => return Err(format!("bad bool `{other}` for verify")),
+            "workers" => {
+                let n: usize =
+                    value.parse().map_err(|_| format!("bad number `{value}` for workers"))?;
+                if n == 0 || n as u64 > ftes_jobs::limits::CORPUS_WORKERS {
+                    return Err(format!(
+                        "workers={n} outside 1..={}",
+                        ftes_jobs::limits::CORPUS_WORKERS
+                    ));
                 }
+                workers = n;
             }
-            "certify" => {
-                certify = match value {
-                    "true" => true,
-                    "false" => false,
-                    other => return Err(format!("bad bool `{other}` for certify")),
-                }
-            }
-            other => return Err(format!("unknown explore parameter `{other}`")),
+            other => return Err(format!("unknown corpus parameter `{other}`")),
         }
     }
-
-    let custom = processes.is_some() || nodes.is_some() || k.is_some();
-    if grid_paper && custom {
-        return Err("grid=paper conflicts with processes/nodes/k".into());
-    }
-    let points = if custom {
-        let processes = processes.ok_or("processes is required for a custom point")?;
-        let nodes = nodes.ok_or("nodes is required for a custom point")?;
-        let k = k.ok_or("k is required for a custom point")?;
-        (0..seeds).map(|seed| ScenarioPoint { processes, nodes, k, seed }).collect()
-    } else {
-        paper_grid(seeds)
-    };
-    let work = points.iter().map(|p| p.processes as u64).sum::<u64>()
-        * portfolio.rounds as u64
-        * portfolio.iterations_per_round as u64;
-    if work > limits::WORK_BUDGET {
-        return Err(format!(
-            "request expands to {work} process-iterations, over the service budget of {} \
-             — reduce seeds, rounds or iters",
-            limits::WORK_BUDGET
-        ));
-    }
-    Ok(SuiteConfig { points, portfolio, point_parallelism, slot: Time::new(8), verify, certify })
+    let specs = generate_corpus(&families, seed).map_err(|e| format!("corpus: {e}"))?;
+    let jobs = specs
+        .into_iter()
+        .map(|s| ftes::corpus::CorpusJob {
+            name: s.file_name,
+            family: s.family.name().to_string(),
+            text: s.text,
+        })
+        .collect();
+    Ok(JobRequest::CorpusRun { jobs, workers })
 }
 
-/// Canonical encoding of the *semantic* suite parameters. `threads` and
-/// `point_parallelism` are deliberately excluded: the explore determinism
-/// contract guarantees they cannot change results, so requests differing
-/// only in parallelism share one cache entry.
-pub fn canonical_explore_bytes(config: &SuiteConfig) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + 32 * config.points.len());
-    out.extend_from_slice(b"ftes-explore-v1");
-    let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
-    push_u64(&mut out, config.points.len() as u64);
-    for p in &config.points {
-        push_u64(&mut out, p.processes as u64);
-        push_u64(&mut out, p.nodes as u64);
-        push_u64(&mut out, p.k as u64);
-        push_u64(&mut out, p.seed);
-    }
-    push_u64(&mut out, config.slot.units() as u64);
-    push_u64(&mut out, config.portfolio.seed);
-    push_u64(&mut out, config.portfolio.rounds as u64);
-    push_u64(&mut out, config.portfolio.iterations_per_round as u64);
-    push_u64(&mut out, config.portfolio.max_checkpoints as u64);
-    push_u64(&mut out, config.portfolio.workers.len() as u64);
-    for worker in &config.portfolio.workers {
-        let engine = match worker.engine {
-            EngineKind::Tabu => 0u64,
-            EngineKind::Anneal => 1,
-            EngineKind::Greedy => 2,
-        };
-        push_u64(&mut out, engine);
-        push_u64(&mut out, worker.seed_offset);
-        push_u64(&mut out, worker.neighborhood as u64);
-        push_u64(&mut out, worker.tenure as u64);
-    }
-    match &config.verify {
-        None => out.push(0),
-        Some(vc) => {
-            out.push(1);
-            push_u64(&mut out, vc.samples as u64);
-            push_u64(&mut out, vc.seed);
+/// Submits one typed job to the shared executor: `202` with the job id,
+/// `429` + `Retry-After` when the bounded job queue is full (the body
+/// carries the current queue depth so clients can back off
+/// proportionally), `400` for requests that fail submit-time validation.
+fn submit_job(shared: &Shared, request: JobRequest) -> Reply {
+    match shared.jobs.submit(request) {
+        Ok(id) => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("job");
+            w.number_u64(id);
+            w.key("state");
+            w.string("queued");
+            w.end_object();
+            Reply::new(202, w.finish())
         }
+        Err(SubmitError::QueueFull { depth }) => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("error");
+            w.string("job queue full, retry later");
+            w.key("status");
+            w.number_u64(429);
+            w.key("queue_depth");
+            w.number_usize(depth);
+            w.end_object();
+            Reply { status: 429, body: Arc::new(w.finish()), retry_after: Some(1) }
+        }
+        Err(SubmitError::Invalid(msg)) => Reply::err(400, &msg),
+        Err(SubmitError::Journal(msg)) => Reply::err(500, &msg),
     }
-    out.push(config.certify as u8);
-    out
+}
+
+/// `POST /jobs`: body is a `.ftes` document, submitted as an asynchronous
+/// `Synthesize` job whose terminal result is byte-identical to the
+/// synchronous `POST /synthesize` body for the same spec.
+fn submit_synthesize_job(shared: &Shared, body: &[u8]) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::err(400, "body is not UTF-8");
+    };
+    submit_job(shared, JobRequest::Synthesize { spec: text.to_string() })
+}
+
+/// `GET /jobs`: id-ordered summaries of every job the executor knows
+/// (journal-replayed jobs included).
+fn jobs_list(shared: &Shared) -> Reply {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("jobs");
+    w.begin_array();
+    for job in shared.jobs.list() {
+        w.begin_object();
+        w.key("job");
+        w.number_u64(job.id);
+        w.key("kind");
+        w.string(job.kind.label());
+        w.key("state");
+        w.string(job.state.label());
+        w.key("rows_done");
+        w.number_usize(job.rows_done);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Reply::new(200, w.finish())
+}
+
+/// `GET /jobs/<id>`: the full snapshot — state, accumulated progress rows
+/// in order, and the terminal result (spliced verbatim, so a completed
+/// job's `result` field carries exactly the bytes the equivalent
+/// synchronous endpoint would have returned) or error message.
+fn job_status(shared: &Shared, id: u64) -> Reply {
+    let Some(snap) = shared.jobs.status(id) else {
+        return Reply::err(404, "no such job");
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job");
+    w.number_u64(snap.id);
+    w.key("kind");
+    w.string(snap.kind.label());
+    w.key("state");
+    w.string(snap.state.label());
+    w.key("resumed");
+    w.bool(snap.resumed);
+    w.key("rows_done");
+    w.number_usize(snap.rows.len());
+    w.key("rows");
+    w.begin_array();
+    for row in &snap.rows {
+        w.string(row);
+    }
+    w.end_array();
+    w.key("result");
+    match &snap.result {
+        Some(result) => w.raw(result.trim_end()),
+        None => w.null(),
+    }
+    w.key("error");
+    match &snap.error {
+        Some(error) => w.string(error),
+        None => w.null(),
+    }
+    w.end_object();
+    Reply::new(200, w.finish())
+}
+
+/// `DELETE /jobs/<id>`: requests cancellation at the next row boundary.
+/// `cancelled:false` means the job was already terminal.
+fn job_cancel(shared: &Shared, id: u64) -> Reply {
+    let Some(cancelled) = shared.jobs.cancel(id) else {
+        return Reply::err(404, "no such job");
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job");
+    w.number_u64(id);
+    w.key("cancelled");
+    w.bool(cancelled);
+    w.end_object();
+    Reply::new(200, w.finish())
 }
 
 /// `GET /corpus`: the built-in scenario-family catalog — every family
@@ -480,6 +449,32 @@ fn metrics(shared: &Shared) -> Reply {
     w.end_object();
     w.key("queue_depth");
     w.number_usize(shared.queue.depth());
+    // Job-executor accounting: queue pressure, lifecycle counters and the
+    // crash-safety journal's size + resume/replay counters.
+    let jobs = shared.jobs.stats();
+    w.key("jobs");
+    w.begin_object();
+    w.key("queue_depth");
+    w.number_usize(jobs.queue_depth);
+    w.key("queue_capacity");
+    w.number_usize(jobs.queue_capacity);
+    w.key("queued");
+    w.number_u64(jobs.queued);
+    w.key("running");
+    w.number_u64(jobs.running);
+    w.key("completed");
+    w.number_u64(jobs.completed);
+    w.key("failed");
+    w.number_u64(jobs.failed);
+    w.key("cancelled");
+    w.number_u64(jobs.cancelled);
+    w.key("resumed");
+    w.number_u64(jobs.resumed);
+    w.key("replayed");
+    w.number_u64(jobs.replayed);
+    w.key("journal_bytes");
+    w.number_u64(jobs.journal_bytes);
+    w.end_object();
     w.key("certification");
     w.begin_object();
     w.key("certified");
@@ -529,90 +524,58 @@ fn metrics(shared: &Shared) -> Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftes_jobs::JobRequest;
 
     #[test]
-    fn explore_body_parsing_mirrors_the_cli() {
-        let config = parse_explore_request(
-            "processes=12 nodes=3 k=2 seeds=2 seed=9 rounds=3 iters=5 verify=true",
-        )
-        .unwrap();
-        assert_eq!(config.points.len(), 2);
-        assert!(config.points.iter().all(|p| p.processes == 12 && p.nodes == 3 && p.k == 2));
-        assert_eq!(config.portfolio.seed, 9);
-        assert_eq!(config.portfolio.rounds, 3);
-        assert_eq!(config.portfolio.iterations_per_round, 5);
-        assert!(config.verify.is_some());
-        assert!(config.certify, "certification defaults on");
-        assert!(!parse_explore_request("certify=false").unwrap().certify);
+    fn corpus_run_bodies_parse_with_defaults() {
+        // Empty body: every family at the default seed, one worker.
+        let JobRequest::CorpusRun { jobs, workers } = parse_corpus_run("").unwrap() else {
+            panic!("corpus body must parse to a CorpusRun request");
+        };
+        assert_eq!(workers, 1);
+        let families: std::collections::BTreeSet<_> =
+            jobs.iter().map(|j| j.family.as_str()).collect();
+        assert_eq!(families.len(), ftes::gen::corpus::Family::ALL.len());
 
-        let default = parse_explore_request("").unwrap();
-        assert_eq!(default.points.len(), 5, "empty body = the paper grid");
+        // A single family filters the spec set and keeps its generated text.
+        let JobRequest::CorpusRun { jobs, workers } =
+            parse_corpus_run("family=automotive workers=4 seed=11").unwrap()
+        else {
+            panic!("corpus body must parse to a CorpusRun request");
+        };
+        assert_eq!(workers, 4);
+        assert!(!jobs.is_empty());
+        assert!(jobs.iter().all(|j| j.family == "automotive"));
+        assert!(jobs.iter().all(|j| !j.text.is_empty()));
     }
 
     #[test]
-    fn explore_body_errors_are_reported() {
-        for bad in [
-            "processes",
-            "processes=ten",
-            "grid=fig9",
-            "grid=paper processes=10",
-            "processes=10 nodes=2",
-            "verify=maybe",
-            "certify=maybe",
-            "bogus=1",
-        ] {
-            assert!(parse_explore_request(bad).is_err(), "{bad}");
-        }
-    }
-
-    #[test]
-    fn work_scaling_parameters_are_bounded() {
-        // One small request must not be able to allocate or spawn without
-        // limit: out-of-range values are rejected, not clamped.
-        for bad in [
-            "processes=10 nodes=2 k=1 seeds=18446744073709551615",
-            "processes=10 nodes=2 k=1 threads=1000000",
-            "processes=10 nodes=2 k=1 rounds=1000000000",
-            "processes=10 nodes=2 k=1 iters=1000000000",
-            "processes=1000 nodes=2 k=1",
-            "processes=10 nodes=999 k=1",
-            "processes=10 nodes=2 k=999",
-            "processes=10 nodes=2 k=1 point_par=1000000",
-        ] {
-            let err = parse_explore_request(bad).unwrap_err();
-            assert!(err.contains("limit") || err.contains("bad number"), "{bad}: {err}");
-        }
-        // Each knob in range, but the product is hour-scale work: the
-        // aggregate budget rejects it.
-        let err = parse_explore_request("grid=paper seeds=64 rounds=64 iters=1000").unwrap_err();
-        assert!(err.contains("budget"), "{err}");
-        // The paper grid itself stays comfortably inside the caps.
-        assert!(parse_explore_request("grid=paper seeds=5").is_ok());
-        assert!(
-            parse_explore_request("processes=100 nodes=6 k=7 seed=18446744073709551615").is_ok()
+    fn corpus_run_generation_is_deterministic_in_its_parameters() {
+        let a = parse_corpus_run("family=automotive seed=7").unwrap();
+        let b = parse_corpus_run("family=automotive seed=7").unwrap();
+        let (JobRequest::CorpusRun { jobs: ja, .. }, JobRequest::CorpusRun { jobs: jb, .. }) =
+            (a, b)
+        else {
+            panic!("corpus bodies must parse to CorpusRun requests");
+        };
+        assert_eq!(
+            ja.iter().map(|j| (&j.name, &j.text)).collect::<Vec<_>>(),
+            jb.iter().map(|j| (&j.name, &j.text)).collect::<Vec<_>>()
         );
     }
 
     #[test]
-    fn canonical_explore_bytes_ignore_parallelism_only() {
-        let a = parse_explore_request("processes=10 nodes=2 k=1 threads=1").unwrap();
-        let b = parse_explore_request("processes=10 nodes=2 k=1 threads=8 point_par=4").unwrap();
-        assert_eq!(canonical_explore_bytes(&a), canonical_explore_bytes(&b));
-
-        for different in [
-            "processes=11 nodes=2 k=1",
-            "processes=10 nodes=3 k=1",
-            "processes=10 nodes=2 k=2",
-            "processes=10 nodes=2 k=1 seed=2",
-            "processes=10 nodes=2 k=1 rounds=9",
-            "processes=10 nodes=2 k=1 iters=9",
-            "processes=10 nodes=2 k=1 seeds=2",
-            "processes=10 nodes=2 k=1 verify=true",
-            "processes=10 nodes=2 k=1 certify=false",
-            "grid=paper",
+    fn corpus_run_bodies_reject_malformed_input() {
+        for bad in [
+            "family",
+            "family=westeros",
+            "seed=banana",
+            "workers=0",
+            "workers=33",
+            "workers=ten",
+            "bogus=1",
         ] {
-            let c = parse_explore_request(different).unwrap();
-            assert_ne!(canonical_explore_bytes(&a), canonical_explore_bytes(&c), "{different}");
+            assert!(parse_corpus_run(bad).is_err(), "{bad}");
         }
     }
 }

@@ -179,6 +179,7 @@ fn read_line_limited<R: BufRead>(
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -192,17 +193,29 @@ pub fn reason_phrase(status: u16) -> &'static str {
 }
 
 /// Writes a complete `Connection: close` response with a JSON body.
-pub fn write_response<W: Write>(
+pub fn write_response<W: Write>(stream: W, status: u16, body: &str) -> Result<(), std::io::Error> {
+    write_response_with(stream, status, &[], body)
+}
+
+/// [`write_response`] with extra response headers (each a complete
+/// `Name: value` pair, no CRLF) — how `429` replies carry `Retry-After`.
+pub fn write_response_with<W: Write>(
     mut stream: W,
     status: u16,
+    extra_headers: &[String],
     body: &str,
 ) -> Result<(), std::io::Error> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason_phrase(status),
         body.len(),
     );
+    for header in extra_headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

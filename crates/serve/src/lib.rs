@@ -18,17 +18,35 @@
 //! | endpoint | body | reply |
 //! |----------|------|-------|
 //! | `POST /synthesize` | a `.ftes` document | schedule summary, policies, exact tables CSV |
-//! | `POST /explore` | `key=value` grid parameters | the `ftes-explore` suite JSON report |
+//! | `POST /explore` | `key=value` grid parameters | `202` + job id (async suite run) |
+//! | `POST /corpus/run` | `family=…` `seed=…` `workers=…` | `202` + job id (async corpus run) |
+//! | `GET /corpus` | — | the built-in scenario-family catalog |
+//! | `POST /jobs` | a `.ftes` document | `202` + job id (async synthesis) |
+//! | `GET /jobs` | — | id-ordered job summaries |
+//! | `GET /jobs/<id>` | — | state, progress rows, terminal result |
+//! | `DELETE /jobs/<id>` | — | cancel at the next row boundary |
 //! | `GET /healthz` | — | liveness + queue facts |
-//! | `GET /metrics` | — | request counts, cache hit rate, queue depth, p50/p99 latency |
+//! | `GET /metrics` | — | request counts, cache hit rate, queue + job-executor stats, p50/p99 latency |
+//!
+//! Long-running work (`/explore`, `/corpus/run`, `POST /jobs`) goes
+//! through a single journaled [`ftes_jobs::JobExecutor`]: submissions
+//! return `202` immediately, progress streams into `GET /jobs/<id>` one
+//! row at a time, and a `kill -9`'d daemon restarted on the same
+//! `--journal` directory resumes incomplete jobs and replays completed
+//! ones byte-identically. A full job queue answers `429` with a
+//! `Retry-After` header and the current depth in the body.
 //!
 //! ## Determinism contract
 //!
-//! `/synthesize` and `/explore` bodies are pure functions of the parsed
-//! request: the same spec produces the same bytes whether computed by any
-//! worker thread or replayed from cache, and the embedded schedule tables
-//! are byte-identical to the `ftes <spec> --csv` CLI output
-//! (`tests/service.rs` locks both in).
+//! `/synthesize` bodies are pure functions of the parsed request: the
+//! same spec produces the same bytes whether computed by any worker
+//! thread or replayed from cache, and the embedded schedule tables are
+//! byte-identical to the `ftes <spec> --csv` CLI output
+//! (`tests/service.rs` locks both in). Job results inherit the same
+//! contract: a completed `/explore` job's `result` is byte-identical to
+//! `ftes explore --json`, and a `/corpus/run` job's CSV matches an
+//! uninterrupted `ftes corpus run` — whether computed fresh, resumed
+//! after a crash, or replayed from the journal.
 //!
 //! ## Example
 //!
@@ -62,8 +80,11 @@ mod server;
 
 pub use cache::{CacheKey, FlightGuard, Lookup, ResultCache};
 pub use evalbank::{BankStats, EvaluatorBank};
-pub use handlers::{canonical_explore_bytes, parse_explore_request};
-pub use load::{default_spec_mix, read_response, request, run_load, LoadConfig, LoadReport};
+pub use ftes_jobs::{canonical_explore_bytes, parse_explore_request};
+pub use load::{
+    default_spec_mix, read_response, read_response_full, request, run_load, JobsReport, LoadConfig,
+    LoadReport,
+};
 pub use metrics::{Endpoint, Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
 pub use queue::BoundedQueue;
 pub use server::{start, ServeConfig, Server, Shared};

@@ -6,6 +6,14 @@
 //! mix repeats two *equivalent* specs — the Fig. 5 document verbatim and a
 //! reformatted twin — so a healthy run both exercises concurrency and
 //! demonstrates canonical-key cache hits.
+//!
+//! `429` responses are not hard failures: the harness honors the server's
+//! `Retry-After` header with bounded backoff and counts the retries, so an
+//! overloaded-but-recovering daemon scores as slow, not broken. With
+//! `jobs_requests > 0` the harness additionally exercises the asynchronous
+//! path end-to-end — submit via `POST /jobs`, poll `GET /jobs/<id>` to a
+//! terminal state — and reports submit-to-terminal latency percentiles
+//! alongside the synchronous mix.
 
 use crate::http::reason_phrase;
 use ftes::spec::FIG5_SPEC;
@@ -13,6 +21,13 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// Maximum resubmission attempts after a `429` before the request counts
+/// as failed.
+const MAX_RETRIES: usize = 5;
+/// Upper bound on one `Retry-After` sleep (a misconfigured server must
+/// not be able to stall the harness for minutes per request).
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
 
 /// Tunables of a load run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +38,10 @@ pub struct LoadConfig {
     pub clients: usize,
     /// Total requests across all clients.
     pub requests: usize,
+    /// Asynchronous jobs submitted on top of the synchronous mix: each is
+    /// a `POST /jobs` submit followed by `GET /jobs/<id>` polling until
+    /// the job reaches a terminal state.
+    pub jobs_requests: usize,
     /// The `.ftes` documents cycled through `POST /synthesize`.
     pub specs: Vec<String>,
     /// Per-request IO timeout.
@@ -32,12 +51,13 @@ pub struct LoadConfig {
 impl LoadConfig {
     /// The default mix against `addr`: 8 clients, 50 requests, two
     /// equivalent Fig. 5 specs (verbatim + reformatted) so repeated
-    /// requests hit the canonical-key cache.
+    /// requests hit the canonical-key cache. No asynchronous jobs.
     pub fn against(addr: impl Into<String>) -> Self {
         LoadConfig {
             addr: addr.into(),
             clients: 8,
             requests: 50,
+            jobs_requests: 0,
             specs: default_spec_mix(),
             timeout: Duration::from_secs(30),
         }
@@ -53,6 +73,22 @@ pub fn default_spec_mix() -> Vec<String> {
     ]
 }
 
+/// Submit-to-terminal accounting for the asynchronous job slice of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsReport {
+    /// Jobs whose submission was accepted (`202`).
+    pub submitted: usize,
+    /// Jobs observed in the `completed` state.
+    pub completed: usize,
+    /// Everything else: rejected submissions, failed or cancelled jobs,
+    /// polls that timed out.
+    pub failed: usize,
+    /// Median submit-to-terminal latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile submit-to-terminal latency (µs).
+    pub p99_us: u64,
+}
+
 /// Outcome of one load run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadReport {
@@ -62,7 +98,10 @@ pub struct LoadReport {
     pub ok: usize,
     /// Everything else: non-200 statuses and transport failures.
     pub failed: usize,
-    /// Count per received status code (0 = transport failure).
+    /// `429` responses that were retried after honoring `Retry-After`
+    /// (each counted request reports only its final status).
+    pub retried: usize,
+    /// Count per received final status code (0 = transport failure).
     pub by_status: BTreeMap<u16, usize>,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
@@ -70,6 +109,8 @@ pub struct LoadReport {
     pub p50_us: u64,
     /// 99th-percentile request latency (µs).
     pub p99_us: u64,
+    /// The asynchronous job slice (`None` when `jobs_requests` was 0).
+    pub jobs: Option<JobsReport>,
 }
 
 impl LoadReport {
@@ -99,7 +140,22 @@ impl LoadReport {
             let reason = if status == 0 { "transport error" } else { reason_phrase(status) };
             let _ = writeln!(out, "  {status:>3} {reason:<22} {count}");
         }
+        if self.retried > 0 {
+            let _ = writeln!(out, "  retried after 429 (Retry-After honored): {}", self.retried);
+        }
         let _ = writeln!(out, "  latency p50 {} us, p99 {} us", self.p50_us, self.p99_us);
+        if let Some(jobs) = &self.jobs {
+            let _ = writeln!(
+                out,
+                "  jobs: {} submitted, {} completed, {} failed",
+                jobs.submitted, jobs.completed, jobs.failed,
+            );
+            let _ = writeln!(
+                out,
+                "  job submit-to-terminal p50 {} us, p99 {} us",
+                jobs.p50_us, jobs.p99_us,
+            );
+        }
         out
     }
 }
@@ -119,7 +175,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         return Err("clients and requests must be positive".into());
     }
     let started = Instant::now();
-    let results: Vec<(u16, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(u16, u64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
             .map(|client| {
                 let config = &config;
@@ -130,9 +186,9 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                         let spec = &config.specs[i % config.specs.len()];
                         let t0 = Instant::now();
                         // Transport failures record as status 0.
-                        let status =
-                            post_synthesize(&config.addr, spec, config.timeout).unwrap_or_default();
-                        out.push((status, t0.elapsed().as_micros() as u64));
+                        let (status, retries) =
+                            post_synthesize(&config.addr, spec, config.timeout).unwrap_or((0, 0));
+                        out.push((status, t0.elapsed().as_micros() as u64, retries));
                         i += config.clients;
                     }
                     out
@@ -141,43 +197,173 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
     });
+
+    let jobs = if config.jobs_requests > 0 { Some(run_jobs_slice(config)) } else { None };
     let wall = started.elapsed();
 
     let mut by_status: BTreeMap<u16, usize> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
     let mut ok = 0usize;
-    for (status, micros) in &results {
+    let mut retried = 0usize;
+    for (status, micros, retries) in &results {
         *by_status.entry(*status).or_default() += 1;
         latencies.push(*micros);
+        retried += retries;
         if *status == 200 {
             ok += 1;
         }
     }
     latencies.sort_unstable();
-    let pick = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
-    };
     Ok(LoadReport {
         sent: results.len(),
         ok,
         failed: results.len() - ok,
+        retried,
         by_status,
         wall,
-        p50_us: pick(0.50),
-        p99_us: pick(0.99),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        jobs,
     })
 }
 
-/// One `POST /synthesize` over a fresh connection; returns the status.
-fn post_synthesize(addr: &str, spec: &str, timeout: Duration) -> Result<u16, std::io::Error> {
+/// The `p`-quantile of an ascending-sorted latency list (0 when empty).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The asynchronous slice of a load run: submit `jobs_requests` synthesis
+/// jobs (same client-thread slicing as the synchronous mix), poll each to
+/// a terminal state, record submit-to-terminal latency.
+fn run_jobs_slice(config: &LoadConfig) -> JobsReport {
+    let outcomes: Vec<Option<(bool, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = client;
+                    while i < config.jobs_requests {
+                        let spec = &config.specs[i % config.specs.len()];
+                        out.push(submit_and_await(&config.addr, spec, config.timeout));
+                        i += config.clients;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let submitted = outcomes.iter().filter(|o| o.is_some()).count();
+    let completed = outcomes.iter().filter(|o| matches!(o, Some((true, _)))).count();
+    let mut latencies: Vec<u64> =
+        outcomes.iter().filter_map(|o| o.map(|(_, micros)| micros)).collect();
+    latencies.sort_unstable();
+    JobsReport {
+        submitted,
+        completed,
+        failed: outcomes.len() - completed,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+/// One end-to-end job: `POST /jobs`, then `GET /jobs/<id>` until terminal.
+/// `None` means the submission itself never got a `202` (after backoff);
+/// otherwise `(reached_completed, submit_to_terminal_micros)`.
+fn submit_and_await(addr: &str, spec: &str, timeout: Duration) -> Option<(bool, u64)> {
+    let t0 = Instant::now();
+    let mut attempt = 0;
+    let (status, body) = loop {
+        let reply = one_request(addr, "POST", "/jobs", spec, timeout).ok()?;
+        if reply.0 != 429 || attempt >= MAX_RETRIES {
+            break (reply.0, reply.2);
+        }
+        attempt += 1;
+        std::thread::sleep(backoff(reply.1));
+    };
+    if status != 202 {
+        return None;
+    }
+    let id = parse_job_id(&body)?;
+    let path = format!("/jobs/{id}");
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = one_request(addr, "GET", &path, "", timeout).ok()?;
+        if status == 200 {
+            for terminal in ["\"completed\"", "\"failed\"", "\"cancelled\""] {
+                if body.contains(&format!("\"state\":{terminal}")) {
+                    let done = terminal == "\"completed\"";
+                    return Some((done, t0.elapsed().as_micros() as u64));
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Extracts the `"job":<id>` field from a submission body.
+fn parse_job_id(body: &str) -> Option<u64> {
+    let rest = body.split("\"job\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The sleep for one `429` retry: the server's `Retry-After` when present,
+/// bounded by [`MAX_BACKOFF`]; a short fixed pause otherwise.
+fn backoff(retry_after: Option<u64>) -> Duration {
+    match retry_after {
+        Some(secs) => Duration::from_secs(secs).min(MAX_BACKOFF),
+        None => Duration::from_millis(100),
+    }
+}
+
+/// One `POST /synthesize` over a fresh connection; honors `Retry-After`
+/// backoff on `429` up to [`MAX_RETRIES`] times. Returns the final status
+/// and how many retries were spent.
+fn post_synthesize(
+    addr: &str,
+    spec: &str,
+    timeout: Duration,
+) -> Result<(u16, usize), std::io::Error> {
+    let mut retries = 0;
+    loop {
+        let (status, retry_after, _) = one_request(addr, "POST", "/synthesize", spec, timeout)?;
+        if status != 429 || retries >= MAX_RETRIES {
+            return Ok((status, retries));
+        }
+        retries += 1;
+        std::thread::sleep(backoff(retry_after));
+    }
+}
+
+/// One request over a fresh connection: `(status, retry_after, body)`.
+fn one_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, Option<u64>, String), std::io::Error> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    request(&stream, "POST", "/synthesize", spec).map(|(status, _)| status)
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: ftes\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    let mut w = &stream;
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    read_response_full(&stream)
 }
 
 /// Minimal HTTP/1.1 client: writes one request, reads one response.
@@ -200,6 +386,14 @@ pub fn request(
 
 /// Parses a `(status, body)` response off the wire.
 pub fn read_response<R: Read>(stream: R) -> Result<(u16, String), std::io::Error> {
+    read_response_full(stream).map(|(status, _, body)| (status, body))
+}
+
+/// Parses a `(status, retry_after, body)` response off the wire — the
+/// `Retry-After` header (integer seconds) drives the harness's backoff.
+pub fn read_response_full<R: Read>(
+    stream: R,
+) -> Result<(u16, Option<u64>, String), std::io::Error> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -209,6 +403,7 @@ pub fn read_response<R: Read>(stream: R) -> Result<(u16, String), std::io::Error
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::other(format!("bad status line `{}`", line.trim())))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -223,6 +418,8 @@ pub fn read_response<R: Read>(stream: R) -> Result<(u16, String), std::io::Error
                 content_length = value.trim().parse().map_err(|_| {
                     std::io::Error::other(format!("bad Content-Length `{}`", value.trim()))
                 })?;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -230,7 +427,7 @@ pub fn read_response<R: Read>(stream: R) -> Result<(u16, String), std::io::Error
     reader.read_exact(&mut body)?;
     let body =
         String::from_utf8(body).map_err(|_| std::io::Error::other("response body is not UTF-8"))?;
-    Ok((status, body))
+    Ok((status, retry_after, body))
 }
 
 #[cfg(test)]
@@ -252,16 +449,27 @@ mod tests {
             sent: 4,
             ok: 3,
             failed: 1,
+            retried: 2,
             by_status: BTreeMap::from([(200, 3), (429, 1)]),
             wall: Duration::from_millis(200),
             p50_us: 100,
             p99_us: 900,
+            jobs: Some(JobsReport {
+                submitted: 2,
+                completed: 2,
+                failed: 0,
+                p50_us: 1500,
+                p99_us: 2500,
+            }),
         };
         assert!((report.throughput_rps() - 20.0).abs() < 1e-9);
         let text = report.render();
         assert!(text.contains("4 requests"));
         assert!(text.contains("429"));
         assert!(text.contains("p50 100 us"));
+        assert!(text.contains("retried after 429"));
+        assert!(text.contains("jobs: 2 submitted, 2 completed, 0 failed"));
+        assert!(text.contains("job submit-to-terminal p50 1500 us"));
     }
 
     #[test]
@@ -270,6 +478,21 @@ mod tests {
         let (status, body) = read_response(raw.as_bytes()).unwrap();
         assert_eq!((status, body.as_str()), (200, "{}"));
         assert!(read_response("garbage".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn retry_after_header_is_parsed_case_insensitively() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nretry-after: 3\r\nContent-Length: 2\r\n\r\n{}";
+        let (status, retry_after, _) = read_response_full(raw.as_bytes()).unwrap();
+        assert_eq!((status, retry_after), (429, Some(3)));
+        assert_eq!(backoff(Some(100)), MAX_BACKOFF, "backoff is bounded");
+        assert_eq!(backoff(None), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn job_ids_parse_out_of_submission_bodies() {
+        assert_eq!(parse_job_id(r#"{"job":17,"state":"queued"}"#), Some(17));
+        assert_eq!(parse_job_id(r#"{"error":"nope"}"#), None);
     }
 
     #[test]

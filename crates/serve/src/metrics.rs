@@ -21,8 +21,10 @@ pub enum Endpoint {
     Synthesize,
     /// `POST /explore`
     Explore,
-    /// `GET /corpus`
+    /// `GET /corpus` and `POST /corpus/run`
     Corpus,
+    /// The `/jobs` family (`POST`/`GET`/`DELETE`)
+    Jobs,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -37,13 +39,14 @@ impl Endpoint {
             Endpoint::Synthesize => 0,
             Endpoint::Explore => 1,
             Endpoint::Corpus => 2,
-            Endpoint::Healthz => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Jobs => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
         }
     }
 
-    const COUNT: usize = 6;
+    const COUNT: usize = 7;
 
     /// Stable label used in the `/metrics` document.
     pub fn label(self) -> &'static str {
@@ -51,6 +54,7 @@ impl Endpoint {
             Endpoint::Synthesize => "synthesize",
             Endpoint::Explore => "explore",
             Endpoint::Corpus => "corpus",
+            Endpoint::Jobs => "jobs",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -220,9 +224,10 @@ impl Metrics {
                 (Endpoint::Synthesize.label(), self.requests[0].load(Ordering::Relaxed)),
                 (Endpoint::Explore.label(), self.requests[1].load(Ordering::Relaxed)),
                 (Endpoint::Corpus.label(), self.requests[2].load(Ordering::Relaxed)),
-                (Endpoint::Healthz.label(), self.requests[3].load(Ordering::Relaxed)),
-                (Endpoint::Metrics.label(), self.requests[4].load(Ordering::Relaxed)),
-                (Endpoint::Other.label(), self.requests[5].load(Ordering::Relaxed)),
+                (Endpoint::Jobs.label(), self.requests[3].load(Ordering::Relaxed)),
+                (Endpoint::Healthz.label(), self.requests[4].load(Ordering::Relaxed)),
+                (Endpoint::Metrics.label(), self.requests[5].load(Ordering::Relaxed)),
+                (Endpoint::Other.label(), self.requests[6].load(Ordering::Relaxed)),
             ],
             status_2xx: self.status_2xx.load(Ordering::Relaxed),
             status_4xx: self.status_4xx.load(Ordering::Relaxed),

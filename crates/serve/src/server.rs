@@ -20,12 +20,14 @@
 use crate::cache::ResultCache;
 use crate::evalbank::EvaluatorBank;
 use crate::handlers::route;
-use crate::http::{error_body, read_request, write_response};
+use crate::http::{error_body, read_request, write_response, write_response_with};
 use crate::metrics::{Endpoint, Metrics, MetricsSnapshot};
 use crate::queue::BoundedQueue;
 use ftes::explore::CacheStats;
+use ftes_jobs::{JobExecutor, JobExecutorConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -47,6 +49,15 @@ pub struct ServeConfig {
     /// Per-connection read/write timeout (slow or silent clients cannot
     /// pin a worker forever).
     pub io_timeout: Duration,
+    /// Bounded capacity of the asynchronous job queue (`POST /jobs`,
+    /// `POST /explore`, `POST /corpus/run`); submissions beyond it get
+    /// `429` + `Retry-After`.
+    pub job_queue_capacity: usize,
+    /// Job-executor worker threads (each runs one job at a time).
+    pub job_workers: usize,
+    /// Directory for the crash-safety job journal; `None` keeps jobs
+    /// in-memory only (no resume across restarts).
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +69,9 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             cache_shards: 8,
             io_timeout: Duration::from_secs(10),
+            job_queue_capacity: 16,
+            job_workers: 1,
+            journal_dir: None,
         }
     }
 }
@@ -75,6 +89,9 @@ pub struct Shared {
     pub metrics: Metrics,
     /// Worker-pool size (reported by `/healthz`).
     pub workers: usize,
+    /// The asynchronous job executor behind `/jobs`, `/explore` and
+    /// `/corpus/run` — journaled, so jobs survive a daemon restart.
+    pub jobs: JobExecutor,
 }
 
 /// A running service instance.
@@ -94,6 +111,14 @@ pub struct Server {
 pub fn start(config: ServeConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // The executor replays its journal before the listener serves anything,
+    // so a restarted daemon never answers `GET /jobs/<id>` with a 404 for a
+    // job its previous life accepted.
+    let jobs = JobExecutor::new(&JobExecutorConfig {
+        queue_capacity: config.job_queue_capacity,
+        workers: config.job_workers.max(1),
+        journal_dir: config.journal_dir.clone(),
+    })?;
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         cache: ResultCache::new(config.cache_capacity, config.cache_shards),
@@ -102,6 +127,7 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
         evaluators: EvaluatorBank::new(config.workers.max(1) * 2),
         metrics: Metrics::new(),
         workers: config.workers.max(1),
+        jobs,
     });
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -154,8 +180,19 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared, stop: &AtomicBool, io_
         if let Err(stream) = shared.queue.try_push(stream) {
             // Backpressure: reply 429 inline and move on. Write errors are
             // ignored — the client is gone, there is nothing to free up.
+            // `Retry-After` + the depth in the body let well-behaved
+            // clients back off instead of hammering a saturated daemon.
             shared.metrics.record_rejected();
-            let _ = write_response(&stream, 429, &error_body(429, "job queue full, retry later"));
+            let mut w = ftes::json::JsonWriter::new();
+            w.begin_object();
+            w.key("error");
+            w.string("job queue full, retry later");
+            w.key("status");
+            w.number_u64(429);
+            w.key("queue_depth");
+            w.number_usize(shared.queue.depth());
+            w.end_object();
+            let _ = write_response_with(&stream, 429, &["Retry-After: 1".to_string()], &w.finish());
         }
     }
 }
@@ -197,8 +234,10 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) -> Option<(Endpoint, u1
         Err(_) => return None,
     };
     let (endpoint, reply) = route(shared, &request);
+    let extra: Vec<String> =
+        reply.retry_after.iter().map(|secs| format!("Retry-After: {secs}")).collect();
     // A failed write still records: the work was done, the client left.
-    let _ = write_response(stream, reply.status, &reply.body);
+    let _ = write_response_with(stream, reply.status, &extra, &reply.body);
     Some((endpoint, reply.status))
 }
 
@@ -249,6 +288,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Jobs cancel at their next row boundary; the journal has already
+        // recorded everything delivered, so a restart resumes them.
+        self.shared.jobs.shutdown();
     }
 }
 

@@ -7,10 +7,12 @@ use ftes::json::escaped;
 use ftes::sched::export::tables_to_csv;
 use ftes::spec::{parse_spec, FIG5_SPEC};
 use ftes::{synthesize_system, FlowConfig};
-use ftes_serve::{read_response, request, run_load, start, LoadConfig, ServeConfig, Server};
+use ftes_serve::{
+    read_response, read_response_full, request, run_load, start, LoadConfig, ServeConfig, Server,
+};
 use std::io::Write;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn test_server(config: ServeConfig) -> Server {
     start(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).expect("bind ephemeral port")
@@ -20,6 +22,49 @@ fn call(server: &Server, method: &str, path: &str, body: &str) -> (u16, String) 
     let stream = TcpStream::connect(server.addr()).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     request(&stream, method, path, body).expect("request")
+}
+
+/// `call` that also surfaces the `Retry-After` header.
+fn call_full(server: &Server, method: &str, path: &str, body: &str) -> (u16, Option<u64>, String) {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: ftes\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    read_response_full(&stream).expect("response")
+}
+
+/// Extracts the job id out of a `202` submission body.
+fn job_id(body: &str) -> u64 {
+    let rest = body.split("\"job\":").nth(1).unwrap_or_else(|| panic!("no job id in {body}"));
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("job id")
+}
+
+/// Polls `GET /jobs/<id>` until the job reaches a terminal state.
+fn poll_job(server: &Server, id: u64, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = call(server, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        for terminal in ["completed", "failed", "cancelled"] {
+            if body.contains(&format!("\"state\":\"{terminal}\"")) {
+                return body;
+            }
+        }
+        assert!(Instant::now() < deadline, "job {id} never reached a terminal state: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Slices the spliced terminal `result` value out of a status body.
+fn extract_result(body: &str) -> &str {
+    let start =
+        body.find("\"result\":").expect("status body has a result field") + "\"result\":".len();
+    let end = body.rfind(",\"error\":").expect("status body has an error field");
+    &body[start..end]
 }
 
 #[test]
@@ -118,11 +163,16 @@ fn metrics_expose_phase_timings_and_the_evaluator_bank() {
 }
 
 #[test]
-fn explore_endpoint_matches_direct_suite_run_and_caches() {
+fn explore_jobs_complete_with_the_direct_suite_report() {
     let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
     let params = "processes=8 nodes=2 k=1 rounds=2 iters=4 seed=5";
     let (status, body) = call(&server, "POST", "/explore", params);
-    assert_eq!(status, 200, "{body}");
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"state\":\"queued\""), "{body}");
+    let id = job_id(&body);
+    let done = poll_job(&server, id, Duration::from_secs(300));
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert!(done.contains("\"rows_done\":1"), "one grid point streams one row: {done}");
 
     // Byte-parity with the library path, wall-clock fields normalized
     // (everything else in the report is deterministic).
@@ -140,13 +190,12 @@ fn explore_endpoint_matches_direct_suite_run_and_caches() {
         out.push_str(rest);
         out
     }
-    assert_eq!(zero_wall(&body), zero_wall(&direct));
+    assert_eq!(zero_wall(extract_result(&done)), zero_wall(direct.trim_end()));
 
-    // Same parameters at different parallelism: answered from cache,
-    // byte-identical (wall-clock included, because it is a replay).
-    let (_, again) = call(&server, "POST", "/explore", &format!("{params} threads=4"));
-    assert_eq!(body, again);
-    assert!(server.cache_stats().hits >= 1);
+    // A malformed body is still rejected at submit time, like the old
+    // synchronous endpoint.
+    let (status, body) = call(&server, "POST", "/explore", "processes=banana");
+    assert_eq!(status, 400, "{body}");
 }
 
 #[test]
@@ -266,6 +315,117 @@ fn corpus_catalog_lists_every_builtin_family() {
     // And the per-endpoint request counter tracks it.
     let (_, metrics) = call(&server, "GET", "/metrics", "");
     assert!(metrics.contains("\"corpus\":2"), "{metrics}");
+}
+
+#[test]
+fn synthesize_jobs_match_the_synchronous_endpoint_byte_for_byte() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let (status, sync_body) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    assert_eq!(status, 200);
+
+    let (status, body) = call(&server, "POST", "/jobs", FIG5_SPEC);
+    assert_eq!(status, 202, "{body}");
+    let id = job_id(&body);
+    let done = poll_job(&server, id, Duration::from_secs(120));
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert_eq!(
+        extract_result(&done),
+        sync_body.trim_end(),
+        "async result must carry exactly the synchronous bytes"
+    );
+
+    // The listing knows the job; unknown ids are 404.
+    let (status, list) = call(&server, "GET", "/jobs", "");
+    assert_eq!(status, 200);
+    assert!(list.contains(&format!("\"job\":{id}")), "{list}");
+    assert!(list.contains("\"kind\":\"synthesize\""), "{list}");
+    let (status, _) = call(&server, "GET", "/jobs/999", "");
+    assert_eq!(status, 404);
+
+    // Cancelling a terminal job is a no-op, reported as such.
+    let (status, cancel) = call(&server, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 200);
+    assert!(cancel.contains("\"cancelled\":false"), "{cancel}");
+
+    // The executor's lifecycle counters surface on /metrics.
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    assert!(metrics.contains("\"jobs\":{"), "{metrics}");
+    assert!(metrics.contains("\"completed\":1"), "{metrics}");
+}
+
+#[test]
+fn full_job_queue_sheds_submissions_with_retry_after() {
+    let server = test_server(ServeConfig {
+        workers: 2,
+        job_workers: 1,
+        job_queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    // One slow suite occupies the single job worker, the next fills the
+    // one-slot queue; a submission after that must shed with 429.
+    let params = "processes=8 nodes=2 k=1 rounds=2 iters=6 seeds=2";
+    let mut shed = None;
+    for _ in 0..16 {
+        let (status, retry_after, body) = call_full(&server, "POST", "/explore", params);
+        if status == 429 {
+            shed = Some((retry_after, body));
+            break;
+        }
+        assert_eq!(status, 202, "{body}");
+    }
+    let (retry_after, body) = shed.expect("a bounded job queue must shed submissions");
+    assert_eq!(retry_after, Some(1), "429 carries Retry-After for client backoff");
+    assert!(body.contains("\"queue_depth\":"), "{body}");
+    assert!(body.contains("queue full"), "{body}");
+}
+
+#[test]
+fn corpus_run_submissions_validate_and_cancel_at_row_boundaries() {
+    let server = test_server(ServeConfig::default());
+    let (status, body) = call(&server, "POST", "/corpus/run", "family=westeros");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown corpus family"), "{body}");
+    let (status, _) = call(&server, "POST", "/corpus/run", "workers=0");
+    assert_eq!(status, 400);
+
+    let (status, body) = call(&server, "POST", "/corpus/run", "family=automotive workers=2");
+    assert_eq!(status, 202, "{body}");
+    let id = job_id(&body);
+    // Cancel right away: the worker stops at its next row boundary (or the
+    // job slipped through to completion first — both are healthy ends).
+    let (status, cancel) = call(&server, "DELETE", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 200, "{cancel}");
+    let done = poll_job(&server, id, Duration::from_secs(300));
+    assert!(!done.contains("\"state\":\"failed\""), "{done}");
+}
+
+#[test]
+fn a_restarted_daemon_replays_terminal_jobs_from_its_journal() {
+    let dir = std::env::temp_dir().join(format!("ftes-serve-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config =
+        ServeConfig { workers: 2, journal_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let (id, first) = {
+        let server = test_server(config.clone());
+        let (status, body) = call(&server, "POST", "/jobs", FIG5_SPEC);
+        assert_eq!(status, 202, "{body}");
+        let id = job_id(&body);
+        let done = poll_job(&server, id, Duration::from_secs(120));
+        assert!(done.contains("\"state\":\"completed\""), "{done}");
+        server.shutdown();
+        (id, done)
+    };
+
+    // Same journal directory: the job is back, terminal, byte-identical —
+    // without re-running any synthesis.
+    let server = test_server(config);
+    let replayed = poll_job(&server, id, Duration::from_secs(10));
+    assert!(replayed.contains("\"state\":\"completed\""), "{replayed}");
+    assert_eq!(extract_result(&replayed), extract_result(&first));
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    assert!(metrics.contains("\"replayed\":1"), "{metrics}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The ISSUE acceptance run: ≥ 8 concurrent clients, zero failures,
