@@ -1,0 +1,50 @@
+//! CI checker for the Prometheus exposition of `GET
+//! /metrics?format=prometheus`: validates the scraped text with the
+//! workspace's own format checker ([`ftes_serve::validate_prometheus`])
+//! and (optionally) requires a set of metric families to be present.
+//!
+//! Run with: `cargo run --release -p ftes-bench --bin check_prometheus
+//! <scrape.txt> [required-family]...`
+//!
+//! Exit code 0 when the exposition is well-formed and every required
+//! family appears; 1 otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: check_prometheus <scrape.txt> [required-family]...");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("check_prometheus: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let families = match ftes_serve::validate_prometheus(&text) {
+        Ok(families) => families,
+        Err(e) => {
+            eprintln!("check_prometheus: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} metric families", families.len());
+    for family in &families {
+        println!("  {family}");
+    }
+    let mut ok = true;
+    for required in args {
+        if !families.contains(&required) {
+            eprintln!("check_prometheus: required family `{required}` missing");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,58 @@
+//! CI checker for Chrome trace artifacts: parses a trace file with the
+//! workspace's own validator ([`ftes::obs::validate`]), requires
+//! balanced/properly-nested spans, and (optionally) requires a set of
+//! span or counter names to be present.
+//!
+//! Run with: `cargo run --release -p ftes-bench --bin check_trace
+//! <trace.json> [required-name]...`
+//!
+//! Exit code 0 when the trace is well-formed and every required name
+//! appears; 1 otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: check_trace <trace.json> [required-name]...");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("check_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match ftes::obs::validate::validate_chrome_trace(&text) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("check_trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} events, {} completed spans, {} still open",
+        summary.events, summary.spans_completed, summary.open_spans
+    );
+    println!("  spans: {}", summary.span_names.iter().cloned().collect::<Vec<_>>().join(", "));
+    let counters: Vec<String> =
+        summary.counters.iter().map(|(name, total)| format!("{name}={total}")).collect();
+    if !counters.is_empty() {
+        println!("  counters: {}", counters.join(", "));
+    }
+    let mut ok = true;
+    for required in args {
+        let present =
+            summary.span_names.contains(&required) || summary.counters.contains_key(&required);
+        if !present {
+            eprintln!("check_trace: required name `{required}` not in the trace");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

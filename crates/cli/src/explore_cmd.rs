@@ -51,6 +51,9 @@ pub struct ExploreCommand {
     pub format: ExploreFormat,
     /// Optional output file for the formatted report.
     pub out: Option<String>,
+    /// Trace outputs (`--trace FILE` / `--folded FILE`): per-iteration
+    /// search events and certification spans from the whole suite run.
+    pub trace: crate::TraceCapture,
 }
 
 impl ExploreCommand {
@@ -61,6 +64,9 @@ impl ExploreCommand {
     /// Returns a human-readable message for unknown flags, malformed
     /// numbers or contradictory grid selections.
     pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut args = args.to_vec();
+        let trace = crate::TraceCapture::take_from(&mut args)?;
+        let args = &args[..];
         let mut processes: Option<usize> = None;
         let mut nodes: Option<usize> = None;
         let mut k: Option<u32> = None;
@@ -154,6 +160,7 @@ impl ExploreCommand {
             },
             format,
             out,
+            trace,
         })
     }
 
@@ -168,15 +175,18 @@ impl ExploreCommand {
         // daemon's job executor runs (watermark 0, cancellation never
         // requested): one code path computes every explore report.
         let never_cancelled = AtomicBool::new(false);
-        let outcome =
-            drive_suite(&self.suite, 0, &never_cancelled, |_, _| {}).map_err(|interrupt| {
-                match interrupt {
-                    JobInterrupt::Failed(message) => message,
-                    JobInterrupt::Cancelled => {
-                        unreachable!("the CLI never sets the cancel flag")
-                    }
-                }
-            })?;
+        self.trace.begin();
+        let outcome = drive_suite(&self.suite, 0, &never_cancelled, |_, _| {});
+        // Drain even a failed run's events — partial traces are exactly
+        // what diagnoses the failure (stderr + side files only, so the
+        // stdout report contract is untouched).
+        self.trace.finish()?;
+        let outcome = outcome.map_err(|interrupt| match interrupt {
+            JobInterrupt::Failed(message) => message,
+            JobInterrupt::Cancelled => {
+                unreachable!("the CLI never sets the cancel flag")
+            }
+        })?;
         let rendered = match self.format {
             ExploreFormat::Summary => summarize(&outcome),
             ExploreFormat::Csv => suite_to_csv(&outcome),

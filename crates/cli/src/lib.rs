@@ -20,9 +20,11 @@ mod corpus_cmd;
 mod explore_cmd;
 mod jobs_cmd;
 mod serve_cmd;
+mod trace_cmd;
 
 pub use corpus_cmd::CorpusCommand;
 pub use explore_cmd::{ExploreCommand, ExploreFormat};
 pub use ftes::spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
 pub use jobs_cmd::{JobsCommand, SubmitPayload};
 pub use serve_cmd::{LoadCommand, ServeCommand};
+pub use trace_cmd::{spawn_trace_flusher, take_value_flag, TraceCapture};

@@ -19,12 +19,12 @@ use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
 use ftes_cli::{
     parse_spec, CorpusCommand, ExploreCommand, JobsCommand, LoadCommand, ServeCommand, SystemSpec,
-    FIG5_SPEC,
+    TraceCapture, FIG5_SPEC,
 };
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("explore") => return run_explore(&args[1..]),
         Some("corpus") => return run_corpus_cmd(&args[1..]),
@@ -37,6 +37,15 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::SUCCESS;
     }
+    // Value-carrying flags come out first; everything `--` that remains
+    // is a boolean flag.
+    let capture = match TraceCapture::take_from(&mut args) {
+        Ok(capture) => capture,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let flags: Vec<&str> =
         args.iter().map(String::as_str).filter(|a| a.starts_with("--")).collect();
     let input = args.iter().find(|a| !a.starts_with("--"));
@@ -57,6 +66,7 @@ fn main() -> ExitCode {
         }
     };
 
+    capture.begin();
     let spec = match parse_spec(&text) {
         Ok(s) => s,
         Err(e) => {
@@ -64,7 +74,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&spec, &flags) {
+    let verdict = run(&spec, &flags);
+    if let Err(e) = capture.finish() {
+        eprintln!("error: writing trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    match verdict {
         Ok(schedulable) => {
             if schedulable {
                 ExitCode::SUCCESS
@@ -280,7 +295,9 @@ fn print_usage() {
          --dot        print the FT-CPG in Graphviz DOT\n  \
          --timeline   print the fault-free Gantt timeline\n  \
          --verify     exhaustively fault-inject the synthesized schedule\n  \
-         --demo       use the built-in Fig. 5 specification\n\n\
+         --demo       use the built-in Fig. 5 specification\n  \
+         --trace FILE   write a Chrome trace of the run (chrome://tracing)\n  \
+         --folded FILE  write folded stacks of the run (flamegraph input)\n\n\
          EXPLORE (parallel design-space exploration over a scenario grid):\n  \
          --grid paper            the paper's §6 grid (20–100 processes, k 3–7)\n  \
          --processes N --nodes N --k K   one custom point\n  \
@@ -290,7 +307,8 @@ fn print_usage() {
          --verify     fault-inject each incumbent (verified column)\n  \
          --no-certify skip exact certification of incumbents (on by default)\n  \
          --csv | --json               machine-readable output\n  \
-         --out FILE                   also write the report to FILE\n\n\
+         --out FILE                   also write the report to FILE\n  \
+         --trace FILE | --folded FILE trace the suite run (side files)\n\n\
          CORPUS (scenario-spec families + batch synthesis driver):\n  \
          list                         print the family catalog\n  \
          generate [--family all|NAME[,NAME]] [--seed N] [--out DIR]\n  \
@@ -304,7 +322,8 @@ fn print_usage() {
          --workers N   handler threads            --queue N    connection-queue bound\n  \
          --cache-entries N            result-cache capacity\n  \
          --journal DIR crash-safe job journal (killed daemon resumes on restart)\n  \
-         --job-queue N job-queue bound (16)       --job-workers N  job threads (1)\n\n\
+         --job-queue N job-queue bound (16)       --job-workers N  job threads (1)\n  \
+         --trace-dir DIR  stream a Chrome trace to DIR/trace.json (~1s flush)\n\n\
          LOAD (closed-loop load harness against a running service):\n  \
          --addr HOST:PORT  target (required)      --clients N  threads (8)\n  \
          --requests N  total requests (50)        --spec FILE  mix entry (repeatable)\n  \

@@ -6,6 +6,7 @@
 //!   ftes serve [--addr HOST:PORT | --port N] [--workers N]
 //!              [--queue N] [--cache-entries N]
 //!              [--journal DIR] [--job-queue N] [--job-workers N]
+//!              [--trace-dir DIR]
 //!   ftes load  --addr HOST:PORT [--clients N] [--requests N]
 //!              [--jobs N] [--spec FILE]...
 //! ```
@@ -28,6 +29,11 @@ use ftes_serve::{run_load, start, LoadConfig, ServeConfig};
 pub struct ServeCommand {
     /// The service configuration.
     pub config: ServeConfig,
+    /// `--trace-dir DIR`: stream request/synthesis trace events into
+    /// `DIR/trace.json`, flushed about once a second. The file is a
+    /// Chrome trace array that loads without its closing bracket, so it
+    /// survives however the daemon dies.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl ServeCommand {
@@ -39,12 +45,14 @@ impl ServeCommand {
     /// values.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut config = ServeConfig::default();
+        let mut trace_dir = None;
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].as_str();
             let value = args.get(i + 1).cloned().ok_or_else(|| format!("{arg} needs a value"));
             match arg {
                 "--addr" => config.addr = value?,
+                "--trace-dir" => trace_dir = Some(std::path::PathBuf::from(value?)),
                 "--port" => {
                     let port: u16 =
                         value?.parse().map_err(|_| format!("bad port `{}`", args[i + 1]))?;
@@ -60,7 +68,7 @@ impl ServeCommand {
             }
             i += 2;
         }
-        Ok(ServeCommand { config })
+        Ok(ServeCommand { config, trace_dir })
     }
 
     /// Starts the service, announces the bound address on stdout and
@@ -68,8 +76,12 @@ impl ServeCommand {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures and trace-sink setup failures.
     pub fn execute(self) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(dir) = &self.trace_dir {
+            let path = crate::spawn_trace_flusher(dir)?;
+            eprintln!("tracing to {}", path.display());
+        }
         let server = start(self.config)?;
         println!("listening on {}", server.addr());
         // Line-buffered stdout flushes on newline, but make the contract
@@ -193,6 +205,9 @@ mod tests {
         assert_eq!(cmd.config.journal_dir, Some(std::path::PathBuf::from("journal_dir")));
         assert_eq!(cmd.config.job_queue_capacity, 5);
         assert_eq!(cmd.config.job_workers, 2);
+        assert_eq!(cmd.trace_dir, None, "tracing is opt-in");
+        let cmd = ServeCommand::parse(&words(&["--trace-dir", "traces"])).unwrap();
+        assert_eq!(cmd.trace_dir, Some(std::path::PathBuf::from("traces")));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Trace-capture plumbing shared by the CLI subcommands.
+//!
+//! Tracing is a side channel by contract: every trace artifact goes to a
+//! file the user named and every status line about it goes to stderr, so
+//! the deterministic stdout contracts (CSV tables, JSON reports) hold
+//! with tracing on. One-shot commands capture with [`TraceCapture`]
+//! (enable → run → drain once → write); the resident `ftes serve` daemon
+//! streams through [`spawn_trace_flusher`] instead, appending to an
+//! incrementally-loadable Chrome trace about once a second so a
+//! `kill -9`'d daemon still leaves a readable file behind.
+
+use ftes::obs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Removes `flag VALUE` from `args`, returning the value.
+///
+/// Used for the root command, whose remaining `--` arguments are plain
+/// boolean flags — a value-carrying flag must be extracted first or its
+/// value would be mistaken for the input file.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a value.
+pub fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+/// One-shot trace capture: the whole command runs traced, then the
+/// buffers are drained once and written out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCapture {
+    /// Chrome-trace-event JSON output path (`--trace FILE`).
+    pub chrome: Option<String>,
+    /// Folded-stack text output path (`--folded FILE`), one
+    /// `root;child;leaf <self-µs>` line per stack — flamegraph input.
+    pub folded: Option<String>,
+}
+
+impl TraceCapture {
+    /// Extracts `--trace FILE` and `--folded FILE` from `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when either flag is present without a value.
+    pub fn take_from(args: &mut Vec<String>) -> Result<Self, String> {
+        Ok(TraceCapture {
+            chrome: take_value_flag(args, "--trace")?,
+            folded: take_value_flag(args, "--folded")?,
+        })
+    }
+
+    /// Whether any output was requested.
+    pub fn active(&self) -> bool {
+        self.chrome.is_some() || self.folded.is_some()
+    }
+
+    /// Turns the global trace gate on when any output was requested.
+    pub fn begin(&self) {
+        if self.active() {
+            obs::set_enabled(true);
+        }
+    }
+
+    /// Drains the captured events and writes the requested artifacts,
+    /// reporting each file on stderr.
+    ///
+    /// # Errors
+    ///
+    /// Propagates output-file IO errors.
+    pub fn finish(&self) -> io::Result<()> {
+        if !self.active() {
+            return Ok(());
+        }
+        obs::set_enabled(false);
+        let events = obs::drain();
+        let dropped = obs::dropped_events();
+        if let Some(path) = &self.chrome {
+            std::fs::write(path, obs::chrome::chrome_trace_json(&events))?;
+            eprintln!("trace: {} events -> {path} (chrome trace)", events.len());
+        }
+        if let Some(path) = &self.folded {
+            std::fs::write(path, obs::folded::folded_stacks(&events))?;
+            eprintln!("trace: folded stacks -> {path}");
+        }
+        if dropped > 0 {
+            eprintln!("trace: {dropped} events dropped on full ring buffers");
+        }
+        Ok(())
+    }
+}
+
+/// Enables tracing and spawns the daemon's trace flusher: a detached
+/// thread draining the ring buffers into `<dir>/trace.json` about once a
+/// second. Every append flushes, and the Chrome trace array format stays
+/// loadable without its closing bracket, so the trace survives however
+/// the daemon dies.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-open failures.
+pub fn spawn_trace_flusher(dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("trace.json");
+    let file = std::fs::File::create(&path)?;
+    let mut writer = obs::chrome::ChromeTraceWriter::new(file)?;
+    obs::set_enabled(true);
+    std::thread::Builder::new().name("ftes-trace-flush".into()).spawn(move || loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let events = obs::drain();
+        if !events.is_empty() && writer.append(&events).is_err() {
+            // Sink gone (disk full, deleted directory): stop tracing
+            // rather than spin on a dead file.
+            obs::set_enabled(false);
+            return;
+        }
+    })?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn value_flags_are_extracted_with_their_values() {
+        let mut args = words(&["--csv", "--trace", "out.json", "spec.ftes"]);
+        assert_eq!(take_value_flag(&mut args, "--trace").unwrap().as_deref(), Some("out.json"));
+        assert_eq!(args, words(&["--csv", "spec.ftes"]));
+        assert_eq!(take_value_flag(&mut args, "--trace").unwrap(), None);
+        let mut args = words(&["--trace"]);
+        assert!(take_value_flag(&mut args, "--trace").is_err());
+    }
+
+    #[test]
+    fn capture_parses_both_outputs_and_reports_activity() {
+        let mut args = words(&["--trace", "t.json", "--folded", "f.txt", "--demo"]);
+        let capture = TraceCapture::take_from(&mut args).unwrap();
+        assert_eq!(capture.chrome.as_deref(), Some("t.json"));
+        assert_eq!(capture.folded.as_deref(), Some("f.txt"));
+        assert!(capture.active());
+        assert_eq!(args, words(&["--demo"]));
+        assert!(!TraceCapture::default().active());
+    }
+}

@@ -295,6 +295,7 @@ pub fn synthesize_system_timed(
     config: FlowConfig,
 ) -> Result<(SystemConfiguration, FlowTimings), FtesError> {
     assert_eq!(evaluator.k(), fault_model.k(), "evaluator was built for a different fault budget");
+    let _flow_span = ftes_obs::span(ftes_obs::names::SYNTHESIZE);
     let mut timings = FlowTimings::default();
     let started = Instant::now();
     let mut certifier = Certifier::new(
@@ -304,14 +305,18 @@ pub fn synthesize_system_timed(
         transparency,
         CertifyConfig { cpg: config.cpg, sched: config.sched, ..CertifyConfig::default() },
     );
-    let CertifiedSynthesis { best, outcome: _, repair_rounds, calibration_milli } =
-        synthesize_certified(
-            evaluator,
-            &mut certifier,
-            config.strategy,
-            config.search,
-            config.repair,
-        )?;
+    // The optimize span covers the certify-and-repair loop, so certify /
+    // cpg / schedule spans emitted by the certifier nest inside it.
+    let optimize_span = ftes_obs::span(ftes_obs::names::OPTIMIZE);
+    let certified = synthesize_certified(
+        evaluator,
+        &mut certifier,
+        config.strategy,
+        config.search,
+        config.repair,
+    );
+    drop(optimize_span);
+    let CertifiedSynthesis { best, outcome: _, repair_rounds, calibration_milli } = certified?;
     let Synthesized { mapping, policies, copies, estimate } = best;
     timings.certify = certifier.stats().wall;
     timings.optimize = started.elapsed().saturating_sub(timings.certify);
@@ -322,6 +327,7 @@ pub fn synthesize_system_timed(
     // last configuration it certified (the common path); otherwise rebuild.
     let reused = certifier.take_artifacts(&copies, &policies);
     let started = Instant::now();
+    let cpg_span = ftes_obs::span(ftes_obs::names::CPG);
     let built = match reused {
         Some((cpg, schedule)) => Some((cpg, Some(schedule))),
         None => match build_ftcpg(app, &policies, &copies, fault_model, transparency, config.cpg) {
@@ -330,8 +336,10 @@ pub fn synthesize_system_timed(
             Err(e) => return Err(e.into()),
         },
     };
+    drop(cpg_span);
     timings.cpg = started.elapsed();
     let started = Instant::now();
+    let schedule_span = ftes_obs::span(ftes_obs::names::SCHEDULE);
     let exact = match built {
         Some((cpg, schedule)) => {
             let schedule = match schedule {
@@ -344,6 +352,7 @@ pub fn synthesize_system_timed(
         }
         None => None,
     };
+    drop(schedule_span);
     timings.schedule = started.elapsed();
     // The certification verdict is re-derived from the final exact build so
     // it can never disagree with `schedulable` (same deterministic inputs).

@@ -104,6 +104,7 @@ pub use ftes_ft as ft;
 pub use ftes_ftcpg as ftcpg;
 pub use ftes_gen as gen;
 pub use ftes_model as model;
+pub use ftes_obs as obs;
 pub use ftes_opt as opt;
 pub use ftes_sched as sched;
 pub use ftes_sim as sim;

@@ -216,6 +216,7 @@ struct Draft {
 /// unknown names, missing mandatory directives (`nodes`, `deadline`, `k`,
 /// at least one process) and model-level validation failures.
 pub fn parse_spec(text: &str) -> Result<SystemSpec, ParseError> {
+    let _span = ftes_obs::span(ftes_obs::names::PARSE);
     let mut d = Draft::default();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;

@@ -177,9 +177,11 @@ impl EstimateCache {
     ) -> Option<Estimate> {
         if let Some(cached) = self.shard(&key).lock().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_HIT, 1);
             return *cached;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_MISS, 1);
         let value = compute();
         self.shard(&key).lock().expect("cache shard poisoned").entry(key).or_insert(value);
         value

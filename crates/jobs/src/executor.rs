@@ -142,6 +142,12 @@ pub struct ExecutorStats {
     pub replayed: u64,
     /// Current journal size in bytes (0 without a journal).
     pub journal_bytes: u64,
+    /// Records appended (and flushed) by this process (0 without a
+    /// journal; replayed records don't count).
+    pub journal_appends: u64,
+    /// Cumulative microseconds spent appending + flushing journal
+    /// records — the daemon's journal fsync-path budget.
+    pub journal_append_us: u64,
 }
 
 /// Why a submission was rejected.
@@ -278,6 +284,7 @@ impl JobExecutor {
         );
         state.pending.push_back(id);
         drop(state);
+        ftes_obs::counter(ftes_obs::names::JOB_QUEUED, 1);
         self.inner.ready.notify_one();
         Ok(id)
     }
@@ -342,6 +349,8 @@ impl JobExecutor {
             resumed: state.resumed,
             replayed: state.replayed,
             journal_bytes: state.journal.as_ref().map_or(0, Journal::bytes),
+            journal_appends: state.journal.as_ref().map_or(0, Journal::appends),
+            journal_append_us: state.journal.as_ref().map_or(0, Journal::append_micros),
             ..ExecutorStats::default()
         };
         for entry in state.jobs.values() {
@@ -456,6 +465,7 @@ fn finish(state: &mut ExecState, id: u64, terminal: JobState, payload: String) {
     }
     let entry = state.jobs.get_mut(&id).expect("finished job exists");
     entry.state = terminal;
+    ftes_obs::counter(ftes_obs::names::JOB_TERMINAL, 1);
     match terminal {
         JobState::Completed => entry.result = Some(payload),
         JobState::Failed => entry.error = Some(payload),
@@ -487,7 +497,9 @@ fn worker_loop(inner: &Inner) {
         };
         // Execute without holding the lock; each emitted row takes it
         // briefly to journal-then-publish.
+        let _job_span = ftes_obs::span(ftes_obs::names::JOB_RUN);
         let emit = |index: usize, row: &str| {
+            ftes_obs::counter(ftes_obs::names::JOB_ROW, 1);
             let mut state = inner.state.lock().expect("executor state poisoned");
             if let Some(journal) = state.journal.as_mut() {
                 let _ = journal.append(&JournalRecord::Row {

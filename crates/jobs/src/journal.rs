@@ -211,6 +211,8 @@ impl JournalRecord {
 pub struct Journal {
     file: File,
     bytes: u64,
+    appends: u64,
+    append_nanos: u64,
 }
 
 impl Journal {
@@ -242,7 +244,7 @@ impl Journal {
             file.write_all(JOURNAL_MAGIC)?;
             file.flush()?;
             let bytes = JOURNAL_MAGIC.len() as u64;
-            return Ok((Journal { file, bytes }, Vec::new(), false));
+            return Ok((Journal { file, bytes, appends: 0, append_nanos: 0 }, Vec::new(), false));
         }
         if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
             return Err(foreign_file(path));
@@ -278,7 +280,7 @@ impl Journal {
             file.set_len(at as u64)?;
         }
         file.seek(SeekFrom::Start(at as u64))?;
-        Ok((Journal { file, bytes: at as u64 }, records, truncated))
+        Ok((Journal { file, bytes: at as u64, appends: 0, append_nanos: 0 }, records, truncated))
     }
 
     /// Appends one record and flushes it to the OS. A `kill -9` after
@@ -290,6 +292,8 @@ impl Journal {
     ///
     /// Propagates write failures (disk full, journal directory removed).
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let _span = ftes_obs::span(ftes_obs::names::JOURNAL_APPEND);
+        let started = std::time::Instant::now();
         let payload = record.encode();
         let mut frame = Vec::with_capacity(12 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -298,6 +302,9 @@ impl Journal {
         self.file.write_all(&frame)?;
         self.file.flush()?;
         self.bytes += frame.len() as u64;
+        self.appends += 1;
+        self.append_nanos += started.elapsed().as_nanos() as u64;
+        ftes_obs::counter(ftes_obs::names::JOURNAL_BYTES, frame.len() as u64);
         Ok(())
     }
 
@@ -305,6 +312,20 @@ impl Journal {
     /// appended record).
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Records appended (and flushed) through this handle's lifetime.
+    /// Replayed records don't count — only writes this process paid for.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Cumulative microseconds spent inside [`append`](Journal::append) —
+    /// encode, frame, `write_all` and the flush to the OS. With
+    /// [`appends`](Journal::appends) this yields the mean append (fsync
+    /// path) latency for `/metrics`.
+    pub fn append_micros(&self) -> u64 {
+        self.append_nanos / 1_000
     }
 }
 

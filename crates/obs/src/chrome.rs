@@ -1,0 +1,220 @@
+//! Chrome-trace-event export.
+//!
+//! Emits the [Trace Event Format] JSON array understood by
+//! `chrome://tracing`, Perfetto and speedscope: `"B"`/`"E"` duration events
+//! for spans (the viewers nest them per thread), `"C"` counter events with
+//! running totals, and `"M"` metadata events naming each thread.
+//!
+//! Two entry points:
+//!
+//! - [`chrome_trace_json`] renders one drained batch into a complete,
+//!   well-terminated array — the CLI `--trace out.json` path.
+//! - [`ChromeTraceWriter`] appends batches incrementally to an
+//!   `io::Write`. It never writes the closing `]` until
+//!   [`ChromeTraceWriter::finish`], exploiting the format's documented
+//!   tolerance for an unterminated array: a daemon killed mid-run (the
+//!   serve `--trace-dir` flusher) still leaves a loadable trace behind.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{EventKind, TraceEvent};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a single-line JSON object (no trailing comma).
+fn render_event(e: &TraceEvent, counters: &mut HashMap<(u32, &'static str), u64>) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"name\":\"");
+    escape_json(e.name, &mut s);
+    s.push_str("\",\"ph\":\"");
+    s.push_str(match e.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Count => "C",
+    });
+    // Trace-event timestamps are microseconds; keep sub-µs precision with
+    // a fixed three decimals.
+    s.push_str(&format!(
+        "\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+        e.ts_ns / 1_000,
+        e.ts_ns % 1_000,
+        e.tid
+    ));
+    if e.kind == EventKind::Count {
+        // Counter tracks plot running totals, not deltas.
+        let total = counters.entry((e.tid, e.name)).or_insert(0);
+        *total += e.value;
+        s.push_str(",\"args\":{\"");
+        escape_json(e.name, &mut s);
+        s.push_str(&format!("\":{total}}}"));
+    }
+    s.push('}');
+    s
+}
+
+/// Renders the `"M"` thread-name metadata event for a tid.
+fn render_thread_meta(tid: u32, thread_name: &str) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str(&format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+    ));
+    escape_json(if thread_name.is_empty() { "unnamed" } else { thread_name }, &mut s);
+    s.push_str("\"}}");
+    s
+}
+
+/// Renders a drained batch as one complete Chrome trace (a terminated JSON
+/// array, one event per line).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut counters = HashMap::new();
+    let mut named: HashSet<u32> = HashSet::new();
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for e in events {
+        if named.insert(e.tid) {
+            if !first {
+                out.push_str(",\n");
+            }
+            out.push_str(&render_thread_meta(e.tid, &e.thread_name));
+            first = false;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        out.push_str(&render_event(e, &mut counters));
+        first = false;
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Incremental trace writer for long-running processes.
+///
+/// Opens the array on construction and appends events batch by batch; the
+/// file stays loadable even if the process dies before
+/// [`ChromeTraceWriter::finish`] because trace viewers accept an
+/// unterminated top-level array.
+pub struct ChromeTraceWriter<W: Write> {
+    sink: W,
+    counters: HashMap<(u32, &'static str), u64>,
+    named: HashSet<u32>,
+    wrote_any: bool,
+}
+
+impl<W: Write> ChromeTraceWriter<W> {
+    /// Starts a trace: writes the opening `[`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the sink.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(b"[\n")?;
+        Ok(ChromeTraceWriter {
+            sink,
+            counters: HashMap::new(),
+            named: HashSet::new(),
+            wrote_any: false,
+        })
+    }
+
+    /// Appends a drained batch and flushes, so the bytes survive a kill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the sink.
+    pub fn append(&mut self, events: &[TraceEvent]) -> io::Result<()> {
+        let mut chunk = String::new();
+        for e in events {
+            if self.named.insert(e.tid) {
+                if self.wrote_any {
+                    chunk.push_str(",\n");
+                }
+                chunk.push_str(&render_thread_meta(e.tid, &e.thread_name));
+                self.wrote_any = true;
+            }
+            if self.wrote_any {
+                chunk.push_str(",\n");
+            }
+            chunk.push_str(&render_event(e, &mut self.counters));
+            self.wrote_any = true;
+        }
+        self.sink.write_all(chunk.as_bytes())?;
+        self.sink.flush()
+    }
+
+    /// Terminates the array. Optional — the trace loads without it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the sink.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.sink.write_all(b"\n]\n")?;
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, kind: EventKind, name: &'static str, value: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent { tid, thread_name: format!("t{tid}"), kind, name, value, ts_ns }
+    }
+
+    #[test]
+    fn complete_trace_has_metadata_and_counter_totals() {
+        let events = vec![
+            ev(1, EventKind::Begin, "optimize", 0, 1_000),
+            ev(1, EventKind::Count, "search.accept", 2, 2_000),
+            ev(1, EventKind::Count, "search.accept", 3, 3_000),
+            ev(1, EventKind::End, "optimize", 0, 4_000),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"thread_name\""));
+        // Running total: 2 then 5, not the raw deltas.
+        assert!(json.contains("{\"search.accept\":2}"));
+        assert!(json.contains("{\"search.accept\":5}"));
+    }
+
+    #[test]
+    fn incremental_writer_is_loadable_without_finish() {
+        let mut sink = Vec::new();
+        {
+            let mut w = ChromeTraceWriter::new(&mut sink).unwrap();
+            w.append(&[ev(1, EventKind::Begin, "job.run", 0, 10)]).unwrap();
+            w.append(&[ev(1, EventKind::End, "job.run", 0, 20)]).unwrap();
+            // No finish(): simulates a killed daemon.
+        }
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(!text.trim_end().ends_with(']'));
+        // The validator still accepts it (unterminated arrays are legal).
+        crate::validate::validate_chrome_trace(&text).unwrap();
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,123 @@
+//! Folded-stack export for flamegraph tooling.
+//!
+//! Converts a drained span stream into the `folded` text format consumed
+//! by `flamegraph.pl`, inferno and speedscope: one line per unique span
+//! stack, `root;child;grandchild <weight>`, where the weight is the
+//! stack's **self time in microseconds** (time inside the span but outside
+//! any child span). Summing a subtree therefore reproduces inclusive time,
+//! exactly as flamegraph viewers expect.
+//!
+//! Stacks are reconstructed per thread from `Begin`/`End` nesting; counter
+//! events are ignored. Spans left open at drain time (a daemon snapshot
+//! mid-request) contribute nothing — only completed spans are charged.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One live stack frame during reconstruction.
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    /// Nanoseconds already attributed to completed children.
+    child_ns: u64,
+}
+
+/// Renders a drained event stream as folded-stack text.
+pub fn folded_stacks(events: &[TraceEvent]) -> String {
+    // BTreeMap keeps the output deterministic for a given event stream.
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stacks: BTreeMap<u32, Vec<Frame>> = BTreeMap::new();
+    for e in events {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.kind {
+            EventKind::Begin => {
+                stack.push(Frame { name: e.name, start_ns: e.ts_ns, child_ns: 0 });
+            }
+            EventKind::End => {
+                // Tolerate mismatched ends (a drain raced a span open):
+                // pop only when the end matches the top of the stack.
+                let matches = stack.last().is_some_and(|f| f.name == e.name);
+                if !matches {
+                    continue;
+                }
+                let frame = stack.pop().expect("matched above");
+                let total_ns = e.ts_ns.saturating_sub(frame.start_ns);
+                let self_ns = total_ns.saturating_sub(frame.child_ns);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += total_ns;
+                }
+                let mut path = String::new();
+                for f in stack.iter() {
+                    path.push_str(f.name);
+                    path.push(';');
+                }
+                path.push_str(frame.name);
+                *weights.entry(path).or_insert(0) += self_ns / 1_000;
+            }
+            EventKind::Count => {}
+        }
+    }
+    let mut out = String::new();
+    for (path, micros) in &weights {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, kind: EventKind, name: &'static str, ts_us: u64) -> TraceEvent {
+        TraceEvent { tid, thread_name: String::new(), kind, name, value: 0, ts_ns: ts_us * 1_000 }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        // optimize [0, 100µs) containing certify [10, 40µs).
+        let events = vec![
+            ev(1, EventKind::Begin, "optimize", 0),
+            ev(1, EventKind::Begin, "certify", 10),
+            ev(1, EventKind::End, "certify", 40),
+            ev(1, EventKind::End, "optimize", 100),
+        ];
+        let folded = folded_stacks(&events);
+        assert_eq!(folded, "optimize 70\noptimize;certify 30\n");
+    }
+
+    #[test]
+    fn threads_do_not_share_stacks() {
+        let events = vec![
+            ev(1, EventKind::Begin, "optimize", 0),
+            ev(2, EventKind::Begin, "certify", 5),
+            ev(2, EventKind::End, "certify", 15),
+            ev(1, EventKind::End, "optimize", 20),
+        ];
+        let folded = folded_stacks(&events);
+        // certify on thread 2 is a root, not a child of thread 1's span.
+        assert_eq!(folded, "certify 10\noptimize 20\n");
+    }
+
+    #[test]
+    fn unbalanced_tail_is_dropped_not_miscounted() {
+        let events = vec![
+            ev(1, EventKind::Begin, "optimize", 0),
+            ev(1, EventKind::Begin, "certify", 10),
+            // Drain happened here: no End events.
+        ];
+        assert_eq!(folded_stacks(&events), "");
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate() {
+        let mut events = Vec::new();
+        for i in 0..3 {
+            events.push(ev(1, EventKind::Begin, "certify", i * 100));
+            events.push(ev(1, EventKind::End, "certify", i * 100 + 7));
+        }
+        assert_eq!(folded_stacks(&events), "certify 21\n");
+    }
+}

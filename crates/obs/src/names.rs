@@ -1,0 +1,78 @@
+//! The span and counter taxonomy.
+//!
+//! Every instrumented site in the workspace names its events from this one
+//! module, so traces from different entry points (CLI synthesis, explore
+//! suites, corpus jobs, the serve daemon) speak the same vocabulary and the
+//! docs (`docs/observability.md`) can enumerate it exhaustively. Names are
+//! `&'static str` so recording an event stores a pointer, not bytes.
+//!
+//! Dotted prefixes group related events: `search.*` for per-iteration
+//! search introspection, `certify.*` for the exact-certification pipeline,
+//! `eval.*` for the estimator kernel, `cache.*` for the estimate cache,
+//! `job.*`/`journal.*` for the job subsystem and `serve.*` for the daemon.
+
+// ---- synthesis flow spans (nested: parse > synthesize > optimize, with
+// certify/cpg/schedule nested under the search wherever the certifier runs)
+
+/// Spec text → application + platform model.
+pub const PARSE: &str = "parse";
+/// The whole synthesis flow for one spec (search + certification).
+pub const SYNTHESIZE: &str = "synthesize";
+/// Design-space search (tabu / anneal / greedy portfolio member).
+pub const OPTIMIZE: &str = "optimize";
+/// One exact certification of a candidate (memoized; see `certify.memo_hit`).
+pub const CERTIFY: &str = "certify";
+/// FT-CPG construction inside an uncached certification.
+pub const CPG: &str = "cpg";
+/// Exact conditional scheduling of the built FT-CPG.
+pub const SCHEDULE: &str = "schedule";
+
+// ---- search iteration counters (one event per decision, recorded from
+// the inner loop — cheap: the disabled path is a load-and-branch)
+
+/// A search iteration finished (any strategy).
+pub const SEARCH_ITER: &str = "search.iter";
+/// The iteration's best move was accepted (incumbent or aspiration).
+pub const SEARCH_ACCEPT: &str = "search.accept";
+/// The iteration's best move was rejected / only diversified.
+pub const SEARCH_REJECT: &str = "search.reject";
+/// A certify-and-repair round ran after the search refuted an estimate.
+pub const REPAIR_ROUND: &str = "certify.repair_round";
+/// Certification answered from the verdict memo instead of scheduling.
+pub const CERTIFY_MEMO_HIT: &str = "certify.memo_hit";
+
+// ---- estimator kernel counters (the delta-evaluate hot path)
+
+/// Incremental (suffix-only) evaluation served the neighbor.
+pub const EVAL_DELTA: &str = "eval.delta";
+/// The delta path fell back to a full evaluation.
+pub const EVAL_FALLBACK: &str = "eval.fallback";
+/// A full (non-delta) evaluation ran.
+pub const EVAL_FULL: &str = "eval.full";
+
+// ---- estimate-cache counters (`ftes-explore`)
+
+/// Estimate cache returned a memoized cost.
+pub const ESTIMATE_CACHE_HIT: &str = "cache.estimate_hit";
+/// Estimate cache missed; the evaluator ran.
+pub const ESTIMATE_CACHE_MISS: &str = "cache.estimate_miss";
+
+// ---- job lifecycle (`ftes-jobs`): queued → running → row* → terminal
+
+/// A job was accepted into the bounded queue.
+pub const JOB_QUEUED: &str = "job.queued";
+/// A worker picked the job up (span: covers the whole run).
+pub const JOB_RUN: &str = "job.run";
+/// The job streamed one result row.
+pub const JOB_ROW: &str = "job.row";
+/// The job reached a terminal state (done / failed / cancelled).
+pub const JOB_TERMINAL: &str = "job.terminal";
+/// One journal append, frame + flush (span; see also `journal.bytes`).
+pub const JOURNAL_APPEND: &str = "journal.append";
+/// Bytes appended to the journal (counter delta per append).
+pub const JOURNAL_BYTES: &str = "journal.bytes";
+
+// ---- serve daemon
+
+/// One HTTP request, read → route → write (span, worker thread).
+pub const SERVE_REQUEST: &str = "serve.request";

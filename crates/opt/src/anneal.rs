@@ -49,13 +49,16 @@ pub fn greedy_descent(
                 }
             }
         }
+        ftes_obs::counter(ftes_obs::names::SEARCH_ITER, 1);
         match best_move {
             Some(next) => {
+                ftes_obs::counter(ftes_obs::names::SEARCH_ACCEPT, 1);
                 current = next;
                 // Re-anchor the delta base at the accepted state.
                 evaluator.evaluate(&current.copies, &current.policies)?;
             }
             None => {
+                ftes_obs::counter(ftes_obs::names::SEARCH_REJECT, 1);
                 trace.push(current.estimate.worst_case_length.units());
                 break;
             }
@@ -100,6 +103,15 @@ pub fn simulated_annealing(
             let delta =
                 (cand.estimate.worst_case_length - current.estimate.worst_case_length).as_f64();
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
+            ftes_obs::counter(ftes_obs::names::SEARCH_ITER, 1);
+            ftes_obs::counter(
+                if accept {
+                    ftes_obs::names::SEARCH_ACCEPT
+                } else {
+                    ftes_obs::names::SEARCH_REJECT
+                },
+                1,
+            );
             if accept {
                 current = cand;
                 // Re-anchor the delta base at the accepted state.

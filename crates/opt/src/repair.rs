@@ -140,6 +140,7 @@ pub fn synthesize_certified(
             });
         }
         rounds += 1;
+        ftes_obs::counter(ftes_obs::names::REPAIR_ROUND, 1);
         // Calibrated repair search from the refuted incumbent: a fresh
         // seed per round (golden-ratio mix keeps rounds decorrelated but
         // deterministic), acceptance inflating estimates by the measured

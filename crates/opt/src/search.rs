@@ -450,7 +450,9 @@ pub fn tabu_search_traced_with(
                 best_move = Some((candidate, p));
             }
         }
+        ftes_obs::counter(ftes_obs::names::SEARCH_ITER, 1);
         if let Some((next, p)) = best_move {
+            ftes_obs::counter(ftes_obs::names::SEARCH_ACCEPT, 1);
             tabu_until[p.index()] = iter + config.tenure;
             if config.calibrated_objective(&next, deadline)
                 < config.calibrated_objective(&best, deadline)
@@ -460,6 +462,8 @@ pub fn tabu_search_traced_with(
             current = next;
             // Re-anchor the delta base at the accepted state.
             evaluator.evaluate(&current.copies, &current.policies)?;
+        } else {
+            ftes_obs::counter(ftes_obs::names::SEARCH_REJECT, 1);
         }
         trace.push(best.estimate.worst_case_length.units());
     }

@@ -347,9 +347,11 @@ impl Certifier {
         policies: &PolicyAssignment,
     ) -> Result<CertOutcome, CertifyError> {
         self.stats.requests += 1;
+        let _span = ftes_obs::span(ftes_obs::names::CERTIFY);
         let key = config_key(&self.app, copies, policies);
         if let Some(&verdict) = self.verdicts.get(&key) {
             self.stats.cache_hits += 1;
+            ftes_obs::counter(ftes_obs::names::CERTIFY_MEMO_HIT, 1);
             return Ok(verdict);
         }
         match self.schedule_uncached(&key, copies, policies)? {
@@ -394,14 +396,18 @@ impl Certifier {
             return Ok(None);
         }
         let started = Instant::now();
-        let cpg = match build_ftcpg(
-            &self.app,
-            policies,
-            copies,
-            self.fault_model,
-            &self.transparency,
-            self.config.cpg,
-        ) {
+        let built = {
+            let _span = ftes_obs::span(ftes_obs::names::CPG);
+            build_ftcpg(
+                &self.app,
+                policies,
+                copies,
+                self.fault_model,
+                &self.transparency,
+                self.config.cpg,
+            )
+        };
+        let cpg = match built {
             Ok(cpg) => cpg,
             Err(CpgError::GraphTooLarge { .. }) => {
                 self.stats.graph_too_large += 1;
@@ -414,7 +420,11 @@ impl Certifier {
             }
         };
         self.stats.exact_runs += 1;
-        let schedule = match schedule_ftcpg(&self.app, &cpg, &self.platform, self.config.sched) {
+        let scheduled = {
+            let _span = ftes_obs::span(ftes_obs::names::SCHEDULE);
+            schedule_ftcpg(&self.app, &cpg, &self.platform, self.config.sched)
+        };
+        let schedule = match scheduled {
             Ok(s) => s,
             Err(e) => {
                 self.stats.wall += started.elapsed();

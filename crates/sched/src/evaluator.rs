@@ -233,6 +233,7 @@ impl SystemEvaluator {
         policies: &PolicyAssignment,
     ) -> Result<Estimate, SchedError> {
         self.stats.full_evals += 1;
+        ftes_obs::counter(ftes_obs::names::EVAL_FULL, 1);
         self.evaluate_inner(copies, policies)
     }
 
@@ -279,6 +280,7 @@ impl SystemEvaluator {
             // No base to diff against: full evaluation.
             self.stats.delta_fallbacks += 1;
             self.stats.full_evals += 1;
+            ftes_obs::counter(ftes_obs::names::EVAL_FALLBACK, 1);
             return self.evaluate_inner(copies, policies);
         };
         policies.validate(self.k)?;
@@ -292,9 +294,11 @@ impl SystemEvaluator {
             // Dirty region cascades to the front: nothing to reuse.
             self.stats.delta_fallbacks += 1;
             self.stats.full_evals += 1;
+            ftes_obs::counter(ftes_obs::names::EVAL_FALLBACK, 1);
             return self.evaluate_inner(copies, policies);
         }
         self.stats.delta_evals += 1;
+        ftes_obs::counter(ftes_obs::names::EVAL_DELTA, 1);
 
         // Rebuild the (provably identical) prefix from the base state.
         let base = self.base.as_ref().expect("dirty_position requires a base");

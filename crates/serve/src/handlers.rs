@@ -19,24 +19,39 @@ use ftes_jobs::{parse_explore_request, render_synthesis, JobRequest, SubmitError
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A handler's verdict: status code plus rendered JSON body.
+/// A handler's verdict: status code plus rendered body.
 pub struct Reply {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body (shared so cached bodies are not copied per request).
+    /// Response body (shared so cached bodies are not copied per request).
     pub body: Arc<String>,
     /// `Retry-After` seconds for `429` replies (rendered as a response
     /// header so well-behaved clients back off instead of hammering).
     pub retry_after: Option<u64>,
+    /// `Content-Type` header value. Everything is JSON except the
+    /// Prometheus text exposition of `/metrics`.
+    pub content_type: &'static str,
 }
+
+/// The Prometheus text exposition format version we render.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 impl Reply {
     fn new(status: u16, body: String) -> Self {
-        Reply { status, body: Arc::new(body), retry_after: None }
+        Reply { status, body: Arc::new(body), retry_after: None, content_type: "application/json" }
     }
 
     fn cached(status: u16, body: Arc<String>) -> Self {
-        Reply { status, body, retry_after: None }
+        Reply { status, body, retry_after: None, content_type: "application/json" }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        Reply {
+            status,
+            body: Arc::new(body),
+            retry_after: None,
+            content_type: PROMETHEUS_CONTENT_TYPE,
+        }
     }
 
     fn err(status: u16, message: &str) -> Self {
@@ -44,10 +59,18 @@ impl Reply {
     }
 }
 
+/// Splits a request target into path and (optional) query string.
+fn split_query(target: &str) -> (&str, Option<&str>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    }
+}
+
 /// Routes one parsed request to its handler.
 pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
     let method = req.method.as_str();
-    let path = req.path.as_str();
+    let (path, query) = split_query(req.path.as_str());
     if let Some(rest) = path.strip_prefix("/jobs") {
         if rest.is_empty() || rest.starts_with('/') {
             return (Endpoint::Jobs, jobs_route(shared, method, rest, &req.body));
@@ -59,7 +82,7 @@ pub fn route(shared: &Shared, req: &Request) -> (Endpoint, Reply) {
         ("GET", "/corpus") => (Endpoint::Corpus, corpus_catalog()),
         ("POST", "/corpus/run") => (Endpoint::Corpus, submit_corpus_run(shared, &req.body)),
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(shared)),
-        ("GET", "/metrics") => (Endpoint::Metrics, metrics(shared)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics(shared, query)),
         (_, "/synthesize" | "/explore" | "/corpus" | "/corpus/run" | "/healthz" | "/metrics") => {
             (Endpoint::Other, Reply::err(405, "method not allowed"))
         }
@@ -252,7 +275,12 @@ fn submit_job(shared: &Shared, request: JobRequest) -> Reply {
             w.key("queue_depth");
             w.number_usize(depth);
             w.end_object();
-            Reply { status: 429, body: Arc::new(w.finish()), retry_after: Some(1) }
+            Reply {
+                status: 429,
+                body: Arc::new(w.finish()),
+                retry_after: Some(1),
+                content_type: "application/json",
+            }
         }
         Err(SubmitError::Invalid(msg)) => Reply::err(400, &msg),
         Err(SubmitError::Journal(msg)) => Reply::err(500, &msg),
@@ -410,8 +438,20 @@ fn healthz(shared: &Shared) -> Reply {
 }
 
 /// `GET /metrics`: request counters, cache accounting, queue depth and
-/// latency percentiles (never cached).
-fn metrics(shared: &Shared) -> Reply {
+/// latency percentiles (never cached). `?format=prometheus` selects the
+/// text exposition format; the default (and `?format=json`) is JSON.
+fn metrics(shared: &Shared, query: Option<&str>) -> Reply {
+    match query {
+        Some(q) if q.split('&').any(|kv| kv == "format=prometheus") => {
+            return Reply::text(200, crate::prometheus::render_prometheus(shared));
+        }
+        Some(q)
+            if q.split('&').any(|kv| kv.strip_prefix("format=").is_some_and(|v| v != "json")) =>
+        {
+            return Reply::err(400, "unknown metrics format (want json or prometheus)");
+        }
+        _ => {}
+    }
     let snap = shared.metrics.snapshot();
     let cache = shared.cache.stats();
     let mut w = JsonWriter::new();
@@ -474,6 +514,10 @@ fn metrics(shared: &Shared) -> Reply {
     w.number_u64(jobs.replayed);
     w.key("journal_bytes");
     w.number_u64(jobs.journal_bytes);
+    w.key("journal_appends");
+    w.number_u64(jobs.journal_appends);
+    w.key("journal_append_us");
+    w.number_u64(jobs.journal_append_us);
     w.end_object();
     w.key("certification");
     w.begin_object();
@@ -490,8 +534,33 @@ fn metrics(shared: &Shared) -> Reply {
     w.begin_object();
     w.key("p50");
     w.number_u64(snap.p50_us);
+    w.key("p90");
+    w.number_u64(snap.p90_us);
     w.key("p99");
     w.number_u64(snap.p99_us);
+    w.end_object();
+    // Per-endpoint latency: the pooled percentiles above hide a slow
+    // endpoint behind a chatty fast one; this breakdown does not.
+    w.key("latency_by_endpoint");
+    w.begin_object();
+    for ep in &snap.latency_by_endpoint {
+        if ep.served == 0 {
+            continue;
+        }
+        w.key(ep.label);
+        w.begin_object();
+        w.key("served");
+        w.number_u64(ep.served);
+        w.key("sum_us");
+        w.number_u64(ep.sum_us);
+        w.key("p50");
+        w.number_u64(ep.p50_us);
+        w.key("p90");
+        w.number_u64(ep.p90_us);
+        w.key("p99");
+        w.number_u64(ep.p99_us);
+        w.end_object();
+    }
     w.end_object();
     // Per-phase work accounting: where uncached requests actually spend
     // their time, so hot-path regressions are visible on a live daemon.

@@ -194,21 +194,25 @@ pub fn reason_phrase(status: u16) -> &'static str {
 
 /// Writes a complete `Connection: close` response with a JSON body.
 pub fn write_response<W: Write>(stream: W, status: u16, body: &str) -> Result<(), std::io::Error> {
-    write_response_with(stream, status, &[], body)
+    write_response_with(stream, status, "application/json", &[], body)
 }
 
-/// [`write_response`] with extra response headers (each a complete
-/// `Name: value` pair, no CRLF) — how `429` replies carry `Retry-After`.
+/// [`write_response`] with an explicit `Content-Type` (the Prometheus
+/// exposition of `/metrics` is `text/plain`) and extra response headers
+/// (each a complete `Name: value` pair, no CRLF) — how `429` replies
+/// carry `Retry-After`.
 pub fn write_response_with<W: Write>(
     mut stream: W,
     status: u16,
+    content_type: &str,
     extra_headers: &[String],
     body: &str,
 ) -> Result<(), std::io::Error> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason_phrase(status),
+        content_type,
         body.len(),
     );
     for header in extra_headers {

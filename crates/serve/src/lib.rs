@@ -26,7 +26,8 @@
 //! | `GET /jobs/<id>` | — | state, progress rows, terminal result |
 //! | `DELETE /jobs/<id>` | — | cancel at the next row boundary |
 //! | `GET /healthz` | — | liveness + queue facts |
-//! | `GET /metrics` | — | request counts, cache hit rate, queue + job-executor stats, p50/p99 latency |
+//! | `GET /metrics` | — | request counts, cache hit rate, queue + job-executor stats, p50/p90/p99 latency (overall and per endpoint) |
+//! | `GET /metrics?format=prometheus` | — | the same snapshot in Prometheus text exposition format |
 //!
 //! Long-running work (`/explore`, `/corpus/run`, `POST /jobs`) goes
 //! through a single journaled [`ftes_jobs::JobExecutor`]: submissions
@@ -75,16 +76,19 @@ mod handlers;
 pub mod http;
 mod load;
 mod metrics;
+mod prometheus;
 mod queue;
 mod server;
 
 pub use cache::{CacheKey, FlightGuard, Lookup, ResultCache};
 pub use evalbank::{BankStats, EvaluatorBank};
 pub use ftes_jobs::{canonical_explore_bytes, parse_explore_request};
+pub use handlers::PROMETHEUS_CONTENT_TYPE;
 pub use load::{
-    default_spec_mix, read_response, read_response_full, request, run_load, JobsReport, LoadConfig,
-    LoadReport,
+    default_spec_mix, read_response, read_response_full, request, run_load, EndpointDelta,
+    JobsReport, LoadConfig, LoadReport,
 };
-pub use metrics::{Endpoint, Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
+pub use metrics::{Endpoint, EndpointLatency, Metrics, MetricsSnapshot, Phase, PhaseSnapshot};
+pub use prometheus::{render_prometheus, validate_prometheus};
 pub use queue::BoundedQueue;
 pub use server::{start, ServeConfig, Server, Shared};

@@ -89,6 +89,30 @@ pub struct JobsReport {
     pub p99_us: u64,
 }
 
+/// One endpoint's server-side accounting over a load run, computed as the
+/// difference between a `/metrics` scrape before the run and one after.
+///
+/// The percentiles are the server's lifetime histogram percentiles at the
+/// closing scrape (histograms only accumulate), while `requests`,
+/// `served` and `mean_us` are true deltas attributable to this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointDelta {
+    /// Endpoint label as reported by `/metrics` (e.g. `synthesize`).
+    pub label: String,
+    /// Requests routed to the endpoint during the run.
+    pub requests: u64,
+    /// Responses measured by the latency histogram during the run.
+    pub served: u64,
+    /// Mean server-side latency of this run's responses (µs).
+    pub mean_us: u64,
+    /// Server-side median latency (µs, lifetime histogram).
+    pub p50_us: u64,
+    /// Server-side 90th percentile latency (µs, lifetime histogram).
+    pub p90_us: u64,
+    /// Server-side 99th percentile latency (µs, lifetime histogram).
+    pub p99_us: u64,
+}
+
 /// Outcome of one load run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadReport {
@@ -111,6 +135,10 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// The asynchronous job slice (`None` when `jobs_requests` was 0).
     pub jobs: Option<JobsReport>,
+    /// Server-side per-endpoint accounting from `/metrics` scraped before
+    /// and after the run (empty when either scrape failed). Client-side
+    /// percentiles above include connect + transfer time; these do not.
+    pub endpoints: Vec<EndpointDelta>,
 }
 
 impl LoadReport {
@@ -144,6 +172,16 @@ impl LoadReport {
             let _ = writeln!(out, "  retried after 429 (Retry-After honored): {}", self.retried);
         }
         let _ = writeln!(out, "  latency p50 {} us, p99 {} us", self.p50_us, self.p99_us);
+        if !self.endpoints.is_empty() {
+            let _ = writeln!(out, "  per-endpoint (server-side, /metrics delta):");
+            for ep in &self.endpoints {
+                let _ = writeln!(
+                    out,
+                    "    {:<11} {} requests, {} served, mean {} us, p50 {} us, p90 {} us, p99 {} us",
+                    ep.label, ep.requests, ep.served, ep.mean_us, ep.p50_us, ep.p90_us, ep.p99_us,
+                );
+            }
+        }
         if let Some(jobs) = &self.jobs {
             let _ = writeln!(
                 out,
@@ -174,6 +212,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
     if config.clients == 0 || config.requests == 0 {
         return Err("clients and requests must be positive".into());
     }
+    let before = scrape_metrics(&config.addr, config.timeout);
     let started = Instant::now();
     let results: Vec<(u16, u64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
@@ -200,6 +239,24 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
 
     let jobs = if config.jobs_requests > 0 { Some(run_jobs_slice(config)) } else { None };
     let wall = started.elapsed();
+    // Workers record a request *after* replying to it, so the closing
+    // scrape can race the final counter ticks — retry briefly until the
+    // run's own requests are all visible.
+    let sent = results.len() as u64;
+    let endpoints = before
+        .and_then(|before| {
+            let deadline = Instant::now() + Duration::from_millis(500);
+            loop {
+                let after = scrape_metrics(&config.addr, config.timeout)?;
+                let deltas = endpoint_deltas(&before, &after);
+                let counted: u64 = deltas.iter().map(|d| d.requests).sum();
+                if counted > sent || Instant::now() >= deadline {
+                    return Some(deltas);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+        .unwrap_or_default();
 
     let mut by_status: BTreeMap<u16, usize> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
@@ -224,7 +281,76 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         jobs,
+        endpoints,
     })
+}
+
+/// One endpoint's numbers out of a parsed `/metrics` scrape.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct EndpointScrape {
+    requests: u64,
+    served: u64,
+    sum_us: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+/// `GET /metrics` parsed into per-endpoint numbers; `None` on any
+/// transport or parse failure (the run proceeds without the breakdown).
+fn scrape_metrics(addr: &str, timeout: Duration) -> Option<BTreeMap<String, EndpointScrape>> {
+    let (status, _, body) = one_request(addr, "GET", "/metrics", "", timeout).ok()?;
+    if status != 200 {
+        return None;
+    }
+    let json = ftes::obs::validate::parse_json(&body).ok()?;
+    let mut out: BTreeMap<String, EndpointScrape> = BTreeMap::new();
+    if let Some(ftes::obs::validate::Json::Obj(requests)) = json.get("requests_by_endpoint") {
+        for (label, count) in requests {
+            out.entry(label.clone()).or_default().requests = count.as_num()? as u64;
+        }
+    }
+    if let Some(ftes::obs::validate::Json::Obj(latency)) = json.get("latency_by_endpoint") {
+        for (label, stats) in latency {
+            let field = |key: &str| stats.get(key).and_then(|v| v.as_num()).map(|v| v as u64);
+            let entry = out.entry(label.clone()).or_default();
+            entry.served = field("served")?;
+            entry.sum_us = field("sum_us")?;
+            entry.p50_us = field("p50")?;
+            entry.p90_us = field("p90")?;
+            entry.p99_us = field("p99")?;
+        }
+    }
+    Some(out)
+}
+
+/// Differences two `/metrics` scrapes into the per-endpoint report rows
+/// (endpoints untouched by the run are dropped; `/metrics` itself shows
+/// up with at least the closing scrape's own request).
+fn endpoint_deltas(
+    before: &BTreeMap<String, EndpointScrape>,
+    after: &BTreeMap<String, EndpointScrape>,
+) -> Vec<EndpointDelta> {
+    let mut out = Vec::new();
+    for (label, now) in after {
+        let base = before.get(label).cloned().unwrap_or_default();
+        let requests = now.requests.saturating_sub(base.requests);
+        let served = now.served.saturating_sub(base.served);
+        if requests == 0 && served == 0 {
+            continue;
+        }
+        let sum = now.sum_us.saturating_sub(base.sum_us);
+        out.push(EndpointDelta {
+            label: label.clone(),
+            requests,
+            served,
+            mean_us: sum.checked_div(served).unwrap_or(0),
+            p50_us: now.p50_us,
+            p90_us: now.p90_us,
+            p99_us: now.p99_us,
+        });
+    }
+    out
 }
 
 /// The `p`-quantile of an ascending-sorted latency list (0 when empty).
@@ -461,6 +587,15 @@ mod tests {
                 p50_us: 1500,
                 p99_us: 2500,
             }),
+            endpoints: vec![EndpointDelta {
+                label: "synthesize".to_string(),
+                requests: 3,
+                served: 3,
+                mean_us: 450,
+                p50_us: 100,
+                p90_us: 700,
+                p99_us: 900,
+            }],
         };
         assert!((report.throughput_rps() - 20.0).abs() < 1e-9);
         let text = report.render();
@@ -468,6 +603,8 @@ mod tests {
         assert!(text.contains("429"));
         assert!(text.contains("p50 100 us"));
         assert!(text.contains("retried after 429"));
+        assert!(text.contains("per-endpoint (server-side, /metrics delta):"));
+        assert!(text.contains("synthesize  3 requests, 3 served, mean 450 us"));
         assert!(text.contains("jobs: 2 submitted, 2 completed, 0 failed"));
         assert!(text.contains("job submit-to-terminal p50 1500 us"));
     }

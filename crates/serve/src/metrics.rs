@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` µs, except bucket 0 (`< 2` µs) and the last bucket
 /// (everything above ~17 minutes).
-const BUCKETS: usize = 30;
+pub(crate) const BUCKETS: usize = 30;
 
 /// The service endpoints tracked individually.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,17 @@ impl Endpoint {
     }
 
     const COUNT: usize = 7;
+
+    /// All endpoints, in reporting order (matches `index()`).
+    pub const ALL: [Endpoint; Endpoint::COUNT] = [
+        Endpoint::Synthesize,
+        Endpoint::Explore,
+        Endpoint::Corpus,
+        Endpoint::Jobs,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
 
     /// Stable label used in the `/metrics` document.
     pub fn label(self) -> &'static str {
@@ -109,14 +120,20 @@ impl Phase {
 }
 
 /// Atomic counters shared by every worker thread.
+///
+/// Latencies are histogrammed **per endpoint** — one pooled histogram
+/// would let `/healthz` probes drown cold-synthesis samples and render
+/// mixed-load percentiles meaningless. The pooled summary in the snapshot
+/// is recomputed by summing the per-endpoint buckets.
 pub struct Metrics {
     requests: [AtomicU64; Endpoint::COUNT],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
     rejected_429: AtomicU64,
-    latency: [AtomicU64; BUCKETS],
-    latency_count: AtomicU64,
+    latency: [[AtomicU64; BUCKETS]; Endpoint::COUNT],
+    latency_count: [AtomicU64; Endpoint::COUNT],
+    latency_sum_us: [AtomicU64; Endpoint::COUNT],
     phase_us: [AtomicU64; Phase::COUNT],
     phase_count: [AtomicU64; Phase::COUNT],
     cert_certified: AtomicU64,
@@ -133,8 +150,9 @@ impl Default for Metrics {
             status_4xx: AtomicU64::new(0),
             status_5xx: AtomicU64::new(0),
             rejected_429: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_count: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            latency_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: std::array::from_fn(|_| AtomicU64::new(0)),
             phase_us: std::array::from_fn(|_| AtomicU64::new(0)),
             phase_count: std::array::from_fn(|_| AtomicU64::new(0)),
             cert_certified: AtomicU64::new(0),
@@ -150,7 +168,7 @@ fn bucket_of(micros: u64) -> usize {
 }
 
 /// Upper bound (µs) of a bucket, reported as the percentile estimate.
-fn bucket_upper(bucket: usize) -> u64 {
+pub(crate) fn bucket_upper(bucket: usize) -> u64 {
     if bucket + 1 >= 64 {
         u64::MAX
     } else {
@@ -181,8 +199,10 @@ impl Metrics {
                 self.status_5xx.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.latency[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        let e = endpoint.index();
+        self.latency[e][bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.latency_count[e].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us[e].fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Records a request shed at the acceptor (queue full): it consumed no
@@ -217,25 +237,43 @@ impl Metrics {
     /// independently relaxed-loaded; exactness across counters is not a
     /// goal of an operational metrics endpoint).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let histogram: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = self.latency_count.load(Ordering::Relaxed);
+        let by_endpoint = Endpoint::ALL.map(|endpoint| {
+            let e = endpoint.index();
+            let histogram: Vec<u64> =
+                self.latency[e].iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            let served = self.latency_count[e].load(Ordering::Relaxed);
+            EndpointLatency {
+                label: endpoint.label(),
+                served,
+                sum_us: self.latency_sum_us[e].load(Ordering::Relaxed),
+                p50_us: percentile(&histogram, served, 0.50),
+                p90_us: percentile(&histogram, served, 0.90),
+                p99_us: percentile(&histogram, served, 0.99),
+                histogram,
+            }
+        });
+        // Pooled summary: sum the per-endpoint buckets back together.
+        let mut pooled = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        for lat in &by_endpoint {
+            total += lat.served;
+            for (sum, &count) in pooled.iter_mut().zip(&lat.histogram) {
+                *sum += count;
+            }
+        }
         MetricsSnapshot {
-            requests_by_endpoint: [
-                (Endpoint::Synthesize.label(), self.requests[0].load(Ordering::Relaxed)),
-                (Endpoint::Explore.label(), self.requests[1].load(Ordering::Relaxed)),
-                (Endpoint::Corpus.label(), self.requests[2].load(Ordering::Relaxed)),
-                (Endpoint::Jobs.label(), self.requests[3].load(Ordering::Relaxed)),
-                (Endpoint::Healthz.label(), self.requests[4].load(Ordering::Relaxed)),
-                (Endpoint::Metrics.label(), self.requests[5].load(Ordering::Relaxed)),
-                (Endpoint::Other.label(), self.requests[6].load(Ordering::Relaxed)),
-            ],
+            requests_by_endpoint: Endpoint::ALL.map(|endpoint| {
+                (endpoint.label(), self.requests[endpoint.index()].load(Ordering::Relaxed))
+            }),
             status_2xx: self.status_2xx.load(Ordering::Relaxed),
             status_4xx: self.status_4xx.load(Ordering::Relaxed),
             status_5xx: self.status_5xx.load(Ordering::Relaxed),
             rejected_429: self.rejected_429.load(Ordering::Relaxed),
-            p50_us: percentile(&histogram, total, 0.50),
-            p99_us: percentile(&histogram, total, 0.99),
+            p50_us: percentile(&pooled, total, 0.50),
+            p90_us: percentile(&pooled, total, 0.90),
+            p99_us: percentile(&pooled, total, 0.99),
             served: total,
+            latency_by_endpoint: by_endpoint,
             phases: Phase::ALL.map(|p| PhaseSnapshot {
                 label: p.label(),
                 total_us: self.phase_us[p.index()].load(Ordering::Relaxed),
@@ -254,7 +292,8 @@ impl Metrics {
 /// Accumulated wall time of one hot-path phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    /// Stable phase label (`parse` / `optimize` / `cpg` / `schedule`).
+    /// Stable phase label (`parse` / `optimize` / `certify` / `cpg` /
+    /// `schedule`).
     pub label: &'static str,
     /// Total microseconds spent in the phase across all requests.
     pub total_us: u64,
@@ -301,12 +340,17 @@ pub struct MetricsSnapshot {
     pub status_5xx: u64,
     /// Requests shed with 429 (acceptor backpressure included).
     pub rejected_429: u64,
-    /// Estimated median service latency in microseconds.
+    /// Estimated median service latency in microseconds (all endpoints).
     pub p50_us: u64,
+    /// Estimated 90th-percentile service latency in microseconds.
+    pub p90_us: u64,
     /// Estimated 99th-percentile service latency in microseconds.
     pub p99_us: u64,
     /// Requests that reached a worker (latency samples).
     pub served: u64,
+    /// Per-endpoint latency accounting — the pooled percentiles above mix
+    /// healthz probes with cold synthesis; these don't.
+    pub latency_by_endpoint: [EndpointLatency; Endpoint::COUNT],
     /// Per-phase work accounting (parse / optimize / certify / cpg /
     /// schedule).
     pub phases: [PhaseSnapshot; Phase::COUNT],
@@ -320,6 +364,26 @@ impl MetricsSnapshot {
     pub fn requests_total(&self) -> u64 {
         self.requests_by_endpoint.iter().map(|(_, n)| n).sum()
     }
+}
+
+/// One endpoint's latency accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointLatency {
+    /// Stable endpoint label (matches `requests_by_endpoint`).
+    pub label: &'static str,
+    /// Latency samples recorded for the endpoint.
+    pub served: u64,
+    /// Sum of all recorded latencies, microseconds (the Prometheus
+    /// histogram `_sum`).
+    pub sum_us: u64,
+    /// Estimated median latency, microseconds.
+    pub p50_us: u64,
+    /// Estimated 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// Estimated 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Power-of-two bucket counts (bucket `i` ends at `2^(i+1) - 1` µs).
+    pub histogram: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -396,6 +460,32 @@ mod tests {
         let mut partial = vec![0u64; BUCKETS];
         partial[3] = 2;
         assert_eq!(percentile(&partial, 100, 0.99), bucket_upper(3));
+    }
+
+    #[test]
+    fn per_endpoint_histograms_isolate_mixed_load() {
+        let m = Metrics::new();
+        // 90 fast healthz probes pooled with 10 slow cold syntheses: the
+        // pooled p90 sees the probes; the per-endpoint views don't mix.
+        for _ in 0..90 {
+            m.record(Endpoint::Healthz, 200, 10);
+        }
+        for _ in 0..10 {
+            m.record(Endpoint::Synthesize, 200, 100_000);
+        }
+        let snap = m.snapshot();
+        let by = |l: &str| snap.latency_by_endpoint.iter().find(|e| e.label == l).unwrap();
+        assert_eq!(by("healthz").served, 90);
+        assert_eq!(by("synthesize").served, 10);
+        assert!(by("healthz").p99_us < 64, "{}", by("healthz").p99_us);
+        assert!(by("synthesize").p50_us >= 100_000, "{}", by("synthesize").p50_us);
+        assert_eq!(by("synthesize").sum_us, 1_000_000);
+        assert_eq!(by("explore").served, 0);
+        // Pooled percentiles are monotone and still answer for the mix.
+        assert_eq!(snap.served, 100);
+        assert!(snap.p50_us <= snap.p90_us && snap.p90_us <= snap.p99_us);
+        assert!(snap.p90_us < 64, "pooled p90 lands in the probe buckets");
+        assert!(snap.p99_us >= 100_000, "pooled p99 reaches the synthesis tail");
     }
 
     #[test]

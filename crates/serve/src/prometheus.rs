@@ -1,0 +1,362 @@
+//! Prometheus text exposition (format 0.0.4) for `GET
+//! /metrics?format=prometheus`.
+//!
+//! Renders the same live snapshot as the JSON `/metrics` body — request
+//! and response counters, per-endpoint latency histograms, phase totals,
+//! cache and evaluator-bank accounting, job-executor state and journal
+//! counters — as `# HELP`/`# TYPE`-annotated metric families with the
+//! `ftes_` prefix. The module also hosts [`validate_prometheus`], a
+//! from-scratch format checker used by the test suite and the CI smoke
+//! scrape (the workspace has no client library to lean on).
+
+use crate::metrics::bucket_upper;
+use crate::server::Shared;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Escapes a label value: `\` `"` and newline per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Writes one `# HELP` + `# TYPE` header pair.
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one sample with a single label.
+fn sample1(out: &mut String, name: &str, label: &str, value: &str, v: u64) {
+    let _ = writeln!(out, "{name}{{{label}=\"{}\"}} {v}", escape_label(value));
+}
+
+/// Writes one unlabelled sample.
+fn sample(out: &mut String, name: &str, v: u64) {
+    let _ = writeln!(out, "{name} {v}");
+}
+
+/// Renders the full exposition from the live shared state.
+///
+/// Families are emitted in a fixed order and label sets are drawn from
+/// static enums, so two scrapes of an idle daemon are byte-identical —
+/// which is what lets the tests pin the metric-name set exactly.
+pub fn render_prometheus(shared: &Shared) -> String {
+    let snap = shared.metrics.snapshot();
+    let cache = shared.cache.stats();
+    let bank = shared.evaluators.stats();
+    let jobs = shared.jobs.stats();
+    let mut out = String::with_capacity(16 * 1024);
+
+    family(&mut out, "ftes_requests_total", "Requests routed, by endpoint.", "counter");
+    for (label, count) in snap.requests_by_endpoint {
+        sample1(&mut out, "ftes_requests_total", "endpoint", label, count);
+    }
+
+    family(&mut out, "ftes_responses_total", "Responses sent, by status class.", "counter");
+    for (class, count) in [
+        ("2xx", snap.status_2xx),
+        ("4xx", snap.status_4xx),
+        ("5xx", snap.status_5xx),
+        ("429", snap.rejected_429),
+    ] {
+        sample1(&mut out, "ftes_responses_total", "class", class, count);
+    }
+
+    family(
+        &mut out,
+        "ftes_request_duration_microseconds",
+        "Request latency histogram, by endpoint (power-of-two buckets).",
+        "histogram",
+    );
+    for ep in &snap.latency_by_endpoint {
+        let label = escape_label(ep.label);
+        let mut cumulative = 0u64;
+        for (i, count) in ep.histogram.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "ftes_request_duration_microseconds_bucket{{endpoint=\"{label}\",le=\"{}\"}} {cumulative}",
+                bucket_upper(i)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ftes_request_duration_microseconds_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {}",
+            ep.served
+        );
+        let _ = writeln!(
+            out,
+            "ftes_request_duration_microseconds_sum{{endpoint=\"{label}\"}} {}",
+            ep.sum_us
+        );
+        let _ = writeln!(
+            out,
+            "ftes_request_duration_microseconds_count{{endpoint=\"{label}\"}} {}",
+            ep.served
+        );
+    }
+
+    family(
+        &mut out,
+        "ftes_phase_microseconds_total",
+        "Cumulative time in each synthesis phase.",
+        "counter",
+    );
+    for phase in &snap.phases {
+        sample1(&mut out, "ftes_phase_microseconds_total", "phase", phase.label, phase.total_us);
+    }
+    family(&mut out, "ftes_phase_runs_total", "Runs of each synthesis phase.", "counter");
+    for phase in &snap.phases {
+        sample1(&mut out, "ftes_phase_runs_total", "phase", phase.label, phase.count);
+    }
+
+    family(&mut out, "ftes_cache_hits_total", "Result-cache hits.", "counter");
+    sample(&mut out, "ftes_cache_hits_total", cache.hits);
+    family(&mut out, "ftes_cache_misses_total", "Result-cache misses.", "counter");
+    sample(&mut out, "ftes_cache_misses_total", cache.misses);
+    family(&mut out, "ftes_cache_entries", "Result-cache resident entries.", "gauge");
+    sample(&mut out, "ftes_cache_entries", cache.entries as u64);
+
+    family(&mut out, "ftes_evaluator_bank_hits_total", "Evaluator-bank checkout hits.", "counter");
+    sample(&mut out, "ftes_evaluator_bank_hits_total", bank.hits);
+    family(
+        &mut out,
+        "ftes_evaluator_bank_misses_total",
+        "Evaluator-bank checkout misses.",
+        "counter",
+    );
+    sample(&mut out, "ftes_evaluator_bank_misses_total", bank.misses);
+    family(&mut out, "ftes_evaluator_bank_banked", "Evaluator kernels currently banked.", "gauge");
+    sample(&mut out, "ftes_evaluator_bank_banked", bank.banked as u64);
+
+    family(&mut out, "ftes_queue_depth", "Connections waiting in the accept queue.", "gauge");
+    sample(&mut out, "ftes_queue_depth", shared.queue.depth() as u64);
+
+    family(
+        &mut out,
+        "ftes_jobs",
+        "Jobs by lifecycle state (terminal states are cumulative).",
+        "gauge",
+    );
+    for (state, count) in [
+        ("queued", jobs.queued),
+        ("running", jobs.running),
+        ("completed", jobs.completed),
+        ("failed", jobs.failed),
+        ("cancelled", jobs.cancelled),
+    ] {
+        sample1(&mut out, "ftes_jobs", "state", state, count);
+    }
+    family(&mut out, "ftes_jobs_queue_depth", "Jobs waiting in the bounded job queue.", "gauge");
+    sample(&mut out, "ftes_jobs_queue_depth", jobs.queue_depth as u64);
+    family(&mut out, "ftes_jobs_queue_capacity", "Job queue capacity.", "gauge");
+    sample(&mut out, "ftes_jobs_queue_capacity", jobs.queue_capacity as u64);
+    family(&mut out, "ftes_jobs_resumed_total", "Jobs resumed from the journal.", "counter");
+    sample(&mut out, "ftes_jobs_resumed_total", jobs.resumed);
+    family(
+        &mut out,
+        "ftes_jobs_replayed_total",
+        "Completed jobs replayed from the journal.",
+        "counter",
+    );
+    sample(&mut out, "ftes_jobs_replayed_total", jobs.replayed);
+
+    family(&mut out, "ftes_journal_bytes_total", "Bytes appended to the job journal.", "counter");
+    sample(&mut out, "ftes_journal_bytes_total", jobs.journal_bytes);
+    family(
+        &mut out,
+        "ftes_journal_appends_total",
+        "Frames appended to the job journal.",
+        "counter",
+    );
+    sample(&mut out, "ftes_journal_appends_total", jobs.journal_appends);
+    family(
+        &mut out,
+        "ftes_journal_append_microseconds_total",
+        "Cumulative wall time spent appending (including fsync).",
+        "counter",
+    );
+    sample(&mut out, "ftes_journal_append_microseconds_total", jobs.journal_append_us);
+
+    family(&mut out, "ftes_certifications_total", "Certification verdicts.", "counter");
+    for (verdict, count) in [
+        ("certified", snap.certification.certified),
+        ("refuted", snap.certification.refuted),
+        ("uncertifiable", snap.certification.uncertifiable),
+    ] {
+        sample1(&mut out, "ftes_certifications_total", "verdict", verdict, count);
+    }
+    family(&mut out, "ftes_repair_rounds_total", "Certify-and-repair rounds run.", "counter");
+    sample(&mut out, "ftes_repair_rounds_total", snap.certification.repair_rounds);
+
+    family(
+        &mut out,
+        "ftes_trace_events_dropped_total",
+        "Trace events dropped on full per-thread ring buffers.",
+        "counter",
+    );
+    sample(&mut out, "ftes_trace_events_dropped_total", ftes_obs::dropped_events());
+
+    out
+}
+
+/// One parsed sample line: family name (with `_bucket`/`_sum`/`_count`
+/// suffixes stripped back to the family), labels untouched.
+fn sample_family(name: &str, typed: &BTreeSet<(String, String)>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if typed.contains(&(base.to_string(), "histogram".to_string())) {
+                return base.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+/// Checks exposition-format well-formedness and returns the family names.
+///
+/// Enforced: every sample belongs to a family announced by `# TYPE`
+/// before its first sample; metric names are legal; sample lines parse as
+/// `name[{labels}] value`; histogram families carry an `le="+Inf"` bucket
+/// whose value equals the family's `_count` for the same label set.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<BTreeSet<String>, String> {
+    fn legal_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+            })
+    }
+
+    let mut typed: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut families = BTreeSet::new();
+    // (family, endpoint-ish label prefix) → (+Inf bucket value, count value)
+    let mut inf_buckets: Vec<(String, String, u64)> = Vec::new();
+    let mut counts: Vec<(String, String, u64)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().ok_or_else(|| format!("line {n}: TYPE without a kind"))?;
+            if !legal_name(name) {
+                return Err(format!("line {n}: illegal metric name `{name}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {n}: unknown TYPE `{kind}`"));
+            }
+            typed.insert((name.to_string(), kind.to_string()));
+            families.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !legal_name(name) {
+                return Err(format!("line {n}: illegal metric name `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample: name[{labels}] value
+        let (name_labels, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let value: f64 =
+            value.parse().map_err(|_| format!("line {n}: bad sample value `{value}`"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, labels)
+            }
+            None => (name_labels, ""),
+        };
+        if !legal_name(name) {
+            return Err(format!("line {n}: illegal metric name `{name}`"));
+        }
+        let fam = sample_family(name, &typed);
+        if !families.contains(&fam) {
+            return Err(format!("line {n}: sample `{name}` precedes its # TYPE"));
+        }
+        if name.ends_with("_bucket") && labels.contains("le=\"+Inf\"") {
+            let rest = labels.replace("le=\"+Inf\"", "");
+            inf_buckets.push((fam.clone(), rest.trim_matches(',').to_string(), value as u64));
+        }
+        if typed.contains(&(fam.clone(), "histogram".to_string())) && name.ends_with("_count") {
+            counts.push((fam.clone(), labels.to_string(), value as u64));
+        }
+    }
+    for (fam, labels, inf) in &inf_buckets {
+        let matched = counts
+            .iter()
+            .find(|(f, l, _)| f == fam && l == labels)
+            .ok_or_else(|| format!("histogram `{fam}` has a +Inf bucket but no _count"))?;
+        if matched.2 != *inf {
+            return Err(format!("histogram `{fam}`: +Inf bucket {} != _count {}", inf, matched.2));
+        }
+    }
+    if families.is_empty() {
+        return Err("no metric families".to_string());
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping_covers_backslash_quote_newline() {
+        assert_eq!(escape_label(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        assert_eq!(escape_label("plain"), "plain");
+    }
+
+    #[test]
+    fn validator_accepts_a_minimal_exposition() {
+        let text = "# HELP x_total Things.\n# TYPE x_total counter\nx_total{k=\"v\"} 3\n";
+        let families = validate_prometheus(text).unwrap();
+        assert!(families.contains("x_total"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        // Sample before its TYPE header.
+        assert!(validate_prometheus("x_total 3\n").is_err());
+        // Bad value.
+        assert!(validate_prometheus("# TYPE x_total counter\nx_total three\n").is_err());
+        // Unterminated label set.
+        assert!(validate_prometheus("# TYPE x_total counter\nx_total{k=\"v\" 3\n").is_err());
+        // Illegal name.
+        assert!(validate_prometheus("# TYPE 9x counter\n9x 3\n").is_err());
+        // Histogram whose +Inf bucket disagrees with _count.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        assert!(validate_prometheus(bad).is_err());
+    }
+
+    #[test]
+    fn histogram_inf_bucket_must_match_count() {
+        let good = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 4\n";
+        validate_prometheus(good).unwrap();
+    }
+}

@@ -192,7 +192,13 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared, stop: &AtomicBool, io_
             w.key("queue_depth");
             w.number_usize(shared.queue.depth());
             w.end_object();
-            let _ = write_response_with(&stream, 429, &["Retry-After: 1".to_string()], &w.finish());
+            let _ = write_response_with(
+                &stream,
+                429,
+                "application/json",
+                &["Retry-After: 1".to_string()],
+                &w.finish(),
+            );
         }
     }
 }
@@ -233,11 +239,12 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) -> Option<(Endpoint, u1
         // Read timeout / disconnect: drop silently.
         Err(_) => return None,
     };
+    let _span = ftes::obs::span(ftes::obs::names::SERVE_REQUEST);
     let (endpoint, reply) = route(shared, &request);
     let extra: Vec<String> =
         reply.retry_after.iter().map(|secs| format!("Retry-After: {secs}")).collect();
     // A failed write still records: the work was done, the client left.
-    let _ = write_response_with(stream, reply.status, &extra, &reply.body);
+    let _ = write_response_with(stream, reply.status, reply.content_type, &extra, &reply.body);
     Some((endpoint, reply.status))
 }
 

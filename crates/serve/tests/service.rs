@@ -163,6 +163,95 @@ fn metrics_expose_phase_timings_and_the_evaluator_bank() {
 }
 
 #[test]
+fn metrics_json_carries_p90_and_the_per_endpoint_breakdown() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let (status, _) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    assert_eq!(status, 200);
+    let (status, metrics) = call(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"p90\":"), "{metrics}");
+    assert!(
+        metrics.contains("\"latency_by_endpoint\":{\"synthesize\":{\"served\":1,"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"journal_appends\":"), "{metrics}");
+    // `?format=json` is the explicit spelling of the default.
+    let (status, same_shape) = call(&server, "GET", "/metrics?format=json", "");
+    assert_eq!(status, 200);
+    assert!(same_shape.contains("\"latency_by_endpoint\""), "{same_shape}");
+    // Unknown formats are a client error, not a silent JSON fallback.
+    let (status, body) = call(&server, "GET", "/metrics?format=xml", "");
+    assert_eq!(status, 400, "{body}");
+}
+
+#[test]
+fn prometheus_exposition_is_valid_and_pins_the_family_set() {
+    let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let (status, _) = call(&server, "POST", "/synthesize", FIG5_SPEC);
+    assert_eq!(status, 200);
+
+    // Raw read: the exposition must go out as text/plain, not JSON.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+        .write_all(
+            b"GET /metrics?format=prometheus HTTP/1.1\r\nHost: ftes\r\n\
+              Content-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = String::new();
+    use std::io::Read as _;
+    (&stream).read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    assert!(
+        raw.contains(&format!("Content-Type: {}\r\n", ftes_serve::PROMETHEUS_CONTENT_TYPE)),
+        "{raw}"
+    );
+    let body = raw.split("\r\n\r\n").nth(1).expect("body");
+
+    // The format checker enforces HELP/TYPE ordering, sample syntax and
+    // histogram bucket/count consistency; the golden set below is the
+    // scrape contract — extending it is fine, renaming a family is not.
+    let families = ftes_serve::validate_prometheus(body).unwrap_or_else(|e| panic!("{e}\n{body}"));
+    let expected: std::collections::BTreeSet<String> = [
+        "ftes_cache_entries",
+        "ftes_cache_hits_total",
+        "ftes_cache_misses_total",
+        "ftes_certifications_total",
+        "ftes_evaluator_bank_banked",
+        "ftes_evaluator_bank_hits_total",
+        "ftes_evaluator_bank_misses_total",
+        "ftes_jobs",
+        "ftes_jobs_queue_capacity",
+        "ftes_jobs_queue_depth",
+        "ftes_jobs_replayed_total",
+        "ftes_jobs_resumed_total",
+        "ftes_journal_append_microseconds_total",
+        "ftes_journal_appends_total",
+        "ftes_journal_bytes_total",
+        "ftes_phase_microseconds_total",
+        "ftes_phase_runs_total",
+        "ftes_queue_depth",
+        "ftes_repair_rounds_total",
+        "ftes_request_duration_microseconds",
+        "ftes_requests_total",
+        "ftes_responses_total",
+        "ftes_trace_events_dropped_total",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(families, expected);
+
+    // The one synthesize request this test made shows up in the scrape.
+    assert!(body.contains("ftes_requests_total{endpoint=\"synthesize\"} 1"), "{body}");
+    assert!(
+        body.contains("ftes_request_duration_microseconds_count{endpoint=\"synthesize\"} 1"),
+        "{body}"
+    );
+}
+
+#[test]
 fn explore_jobs_complete_with_the_direct_suite_report() {
     let server = test_server(ServeConfig { workers: 2, ..ServeConfig::default() });
     let params = "processes=8 nodes=2 k=1 rounds=2 iters=4 seed=5";
@@ -451,13 +540,28 @@ fn load_harness_sustains_eight_clients_with_zero_failures() {
     // Two equivalent specs → one canonical entry, one real synthesis
     // (modulo a benign race when several clients miss simultaneously).
     assert!(stats.entries <= 2, "{stats:?}");
-    // Workers record *after* replying, so the last counter tick can trail
-    // the client's read by a moment — wait it out, bounded.
+    // 48 synthesize requests + the harness's own before/after /metrics
+    // scrapes. Workers record *after* replying, so the last counter tick
+    // can trail the client's read by a moment — wait it out, bounded.
+    // A lower bound, not equality: the harness's closing scrape retries
+    // (each one a /metrics request) whenever that same lag is visible to
+    // it, so the exact 2xx count depends on scheduling.
     for _ in 0..100 {
-        if server.metrics().status_2xx >= 48 {
+        if server.metrics().status_2xx >= 50 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    assert_eq!(server.metrics().status_2xx, 48);
+    assert!(server.metrics().status_2xx >= 50, "{:?}", server.metrics());
+
+    // The before/after scrape delta attributes this run's requests to
+    // their endpoints, with server-side latency.
+    let synth = report
+        .endpoints
+        .iter()
+        .find(|ep| ep.label == "synthesize")
+        .expect("per-endpoint breakdown present: {report:?}");
+    assert_eq!(synth.requests, 48);
+    assert_eq!(synth.served, 48);
+    assert!(synth.p99_us >= synth.p50_us);
 }
