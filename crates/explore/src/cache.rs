@@ -126,9 +126,34 @@ impl CacheStats {
     }
 }
 
-/// One cache shard: `None` values cache *infeasibility*, so known-dead
-/// states are never re-tried either.
-type Shard = Mutex<HashMap<StateKey, Option<Estimate>>>;
+/// One cached slot. `Ready(None)` caches *infeasibility*, so known-dead
+/// states are never re-tried; `Pending` reserves a key whose first prober
+/// is still computing it, which pins the miss accounting: exactly one miss
+/// per unique key, no matter how probes interleave across workers.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Pending,
+    Ready(Option<Estimate>),
+}
+
+/// What a [`probe_or_reserve`](EstimateCache::probe_or_reserve) found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The key is cached (`None` = cached infeasibility). Counted as a hit.
+    Ready(Option<Estimate>),
+    /// Another prober reserved the key and is still computing it. Counted
+    /// as a hit (sequentially the reserver would have finished first); the
+    /// caller computes the value itself rather than waiting — both arrive
+    /// at the same value, and the first
+    /// [`resolve`](EstimateCache::resolve) wins.
+    Pending,
+    /// The key was absent; this call reserved it. Counted as the key's one
+    /// miss — the caller must compute and [`resolve`](EstimateCache::resolve).
+    Reserved,
+}
+
+/// One cache shard.
+type Shard = Mutex<HashMap<StateKey, Slot>>;
 
 /// Sharded memo table from [`StateKey`] to the state's estimate.
 #[derive(Debug)]
@@ -166,25 +191,63 @@ impl EstimateCache {
     }
 
     /// Returns the cached evaluation of `key`, or runs `compute` and caches
-    /// its result. The shard lock is **not** held while computing, so
-    /// concurrent misses on the same shard proceed in parallel (two threads
-    /// may race to compute the same state; both arrive at the same value,
-    /// and the first insert wins).
+    /// its result. The shard lock is **not** held while computing; the
+    /// pending-slot reservation makes the hit/miss accounting
+    /// interleaving-independent (a racing prober counts a hit and computes
+    /// the — identical — value itself rather than waiting).
     pub fn get_or_compute(
         &self,
         key: StateKey,
         compute: impl FnOnce() -> Option<Estimate>,
     ) -> Option<Estimate> {
-        if let Some(cached) = self.shard(&key).lock().expect("cache shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_HIT, 1);
-            return *cached;
+        match self.probe_or_reserve(&key) {
+            Probe::Ready(value) => return value,
+            Probe::Pending | Probe::Reserved => {}
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_MISS, 1);
         let value = compute();
-        self.shard(&key).lock().expect("cache shard poisoned").entry(key).or_insert(value);
+        self.resolve(key, value);
         value
+    }
+
+    /// Looks `key` up without computing anything, reserving it on a miss.
+    /// The batch path probes all candidates first, batch-evaluates only
+    /// the [`Probe::Reserved`]/[`Probe::Pending`] ones, and
+    /// [`resolve`](EstimateCache::resolve)s the results. The reservation
+    /// is what keeps the hit/miss counters deterministic for any thread
+    /// count: each unique key misses exactly once — on the probe that
+    /// reserved it — and every later probe is a hit, however the workers'
+    /// probe→resolve windows interleave.
+    pub fn probe_or_reserve(&self, key: &StateKey) -> Probe {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(Slot::Ready(value)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_HIT, 1);
+                Probe::Ready(*value)
+            }
+            Some(Slot::Pending) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_HIT, 1);
+                Probe::Pending
+            }
+            None => {
+                shard.insert(key.clone(), Slot::Pending);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                ftes_obs::counter(ftes_obs::names::ESTIMATE_CACHE_MISS, 1);
+                Probe::Reserved
+            }
+        }
+    }
+
+    /// Publishes a computed evaluation, completing a reservation. The
+    /// first resolve of a key wins; later ones (racing probers that saw
+    /// [`Probe::Pending`] and computed the same value) are no-ops.
+    pub fn resolve(&self, key: StateKey, value: Option<Estimate>) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let slot = shard.entry(key).or_insert(Slot::Pending);
+        if matches!(slot, Slot::Pending) {
+            *slot = Slot::Ready(value);
+        }
     }
 
     /// Current hit/miss/size counters.

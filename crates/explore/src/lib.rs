@@ -8,10 +8,13 @@
 //! bounded by single-core estimator throughput. This crate lifts that
 //! limit with four cooperating pieces:
 //!
-//! * **Batched parallel neighborhood evaluation** ([`evaluate_batch`]) —
-//!   a search iteration samples its whole neighborhood first (via the
-//!   move primitives `ftes-opt` exposes), then fans all candidate
-//!   evaluations across scoped threads at once.
+//! * **Batched neighborhood evaluation** ([`evaluate_batch`]) — a search
+//!   iteration samples its whole neighborhood first (via the move
+//!   primitives `ftes-opt` exposes), probes the cache for every candidate,
+//!   then scores all misses in one cache-warm pass of the SoA evaluator
+//!   kernel (`SystemEvaluator::evaluate_batch`), sharing the schedule
+//!   prefix across the neighborhood; workers parallelize above it on
+//!   scoped threads.
 //! * **Memoized estimate cache** ([`EstimateCache`]) — candidate states
 //!   are keyed by a canonical, collision-free encoding ([`StateKey`]);
 //!   any state revisited by any worker is answered without re-running the
@@ -70,7 +73,7 @@ mod report;
 mod suite;
 
 pub use archive::{table_cost, ArchiveEntry, Objectives, ParetoArchive};
-pub use cache::{fnv1a64, CacheStats, EstimateCache, StateKey};
+pub use cache::{fnv1a64, CacheStats, EstimateCache, Probe, StateKey};
 pub use pool::{evaluate_batch, evaluate_state, EvaluatorPool};
 pub use portfolio::{
     default_portfolio, explore, EngineKind, Exploration, ExploreError, PortfolioConfig, WorkerSpec,

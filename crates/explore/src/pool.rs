@@ -1,24 +1,28 @@
-//! Batched parallel evaluation on scoped threads.
+//! Batched neighborhood evaluation over a pool of warm kernels.
 //!
-//! Two layers use the same primitive: the portfolio engine fans a worker's
-//! whole sampled neighborhood across threads per iteration, and the
-//! scenario-suite runner fans independent grid points the same way. The
-//! primitive is a deliberately simple work-queue over `std::thread::scope`
-//! — no channels, no pool object to keep alive, results returned in input
-//! order regardless of which thread computed them (the property every
-//! determinism guarantee in this crate leans on).
+//! Parallelism lives at the *worker* level: the portfolio engine fans its
+//! search workers across scoped threads, and the scenario-suite runner
+//! fans independent grid points the same way, both through a deliberately
+//! simple work-queue over `std::thread::scope` — no channels, no pool
+//! object to keep alive, results returned in input order regardless of
+//! which thread computed them (the property every determinism guarantee in
+//! this crate leans on).
 //!
-//! Evaluation itself goes through an [`EvaluatorPool`]: one warm
-//! [`SystemEvaluator`] kernel per evaluation thread, so the topology,
-//! recovery-scheme and resource-arena precomputation is paid once per
-//! exploration run instead of once per candidate state.
+//! Within a worker, a whole sampled neighborhood is scored by **one** warm
+//! kernel in a single [`SystemEvaluator::evaluate_batch`] pass: the cache
+//! is probed for every candidate first, only the misses reach the kernel,
+//! and the batch shares the schedule prefix across the neighborhood. The
+//! [`EvaluatorPool`] keeps one lazily built kernel per worker slot, so the
+//! topology, recovery-scheme and resource-arena precomputation is paid
+//! once per exploration run instead of once per candidate state.
 
-use crate::cache::{EstimateCache, StateKey};
+use crate::cache::{EstimateCache, Probe, StateKey};
 use ftes_ft::PolicyAssignment;
 use ftes_ftcpg::CopyMapping;
 use ftes_model::{Application, Mapping};
 use ftes_sched::{Estimate, EvaluatorStats, SystemEvaluator};
 use ftes_tdma::Platform;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -136,21 +140,22 @@ pub fn evaluate_state(
     evaluator.evaluate(&copies, policies).ok()
 }
 
-/// Evaluates a batch of candidate states across `threads` scoped threads,
-/// memoizing through `cache` and evaluating through the per-thread kernels
-/// of `pool`. Results come back in input order; `None` marks infeasible
-/// states.
+/// Evaluates a batch of candidate states through one warm evaluator kernel,
+/// memoizing through `cache`: every candidate is probed against the cache
+/// first, only the misses run — in a single
+/// [`SystemEvaluator::evaluate_batch`] pass that shares the schedule prefix
+/// across the whole neighborhood — and the results are published back.
+/// Results come back in input order; `None` marks infeasible states.
 ///
-/// This is the "batched parallel neighborhood evaluator": a search worker
-/// samples its whole neighborhood first, then amortizes one fan-out over
+/// This is the batched neighborhood evaluator: a search worker samples its
+/// whole neighborhood first, then amortizes one cache-warm kernel pass over
 /// all candidates instead of paying the estimator serially per move.
 pub fn evaluate_batch(
     pool: &EvaluatorPool,
     cache: &EstimateCache,
     candidates: &[(Mapping, PolicyAssignment)],
-    threads: usize,
 ) -> Vec<Option<Estimate>> {
-    evaluate_batch_keyed(pool, cache, candidates, threads)
+    evaluate_batch_keyed(pool, cache, None, candidates, 0)
         .into_iter()
         .map(|(_, estimate)| estimate)
         .collect()
@@ -159,20 +164,88 @@ pub fn evaluate_batch(
 /// [`evaluate_batch`] returning each candidate's canonical [`StateKey`]
 /// alongside its estimate, so hot callers (the portfolio workers) never
 /// encode a state twice.
+///
+/// `anchor`, when given, is evaluated first (through the same kernel) to
+/// pin the batch's delta base at the worker's current state — maximizing
+/// shared-prefix reuse and making the kernel's delta/full split
+/// deterministic regardless of which pooled kernel answers. `thread` picks
+/// the preferred pool slot (portfolio workers pass their worker-thread id,
+/// so concurrent workers never serialize on one kernel).
 pub(crate) fn evaluate_batch_keyed(
     pool: &EvaluatorPool,
     cache: &EstimateCache,
+    anchor: Option<(&Mapping, &PolicyAssignment)>,
     candidates: &[(Mapping, PolicyAssignment)],
-    threads: usize,
+    thread: usize,
 ) -> Vec<(StateKey, Option<Estimate>)> {
-    indexed_parallel(candidates.len(), threads, |thread, i| {
-        let (mapping, policies) = &candidates[i];
+    // Phase 1: probe the cache for every candidate, in input order,
+    // reserving the misses. A key sampled twice in the same neighborhood
+    // is scored once (the repeat probe hits this batch's own reservation
+    // and forwards the first occurrence's result); a key another worker is
+    // concurrently computing counts as the hit it would be sequentially,
+    // and is scored locally rather than waited on.
+    let mut out: Vec<(StateKey, Option<Estimate>)> = Vec::with_capacity(candidates.len());
+    let mut miss_idx: Vec<usize> = Vec::new();
+    let mut first_at: HashMap<StateKey, usize> = HashMap::new();
+    let mut dup_of: Vec<(usize, usize)> = Vec::new();
+    for (i, (mapping, policies)) in candidates.iter().enumerate() {
         let key = StateKey::encode(mapping, policies);
-        let estimate = cache.get_or_compute(key.clone(), || {
-            pool.with(thread, |evaluator| evaluate_state(evaluator, mapping, policies))
+        if let Some(&src) = first_at.get(&key) {
+            let _ = cache.probe_or_reserve(&key);
+            dup_of.push((i, src));
+            out.push((key, None));
+            continue;
+        }
+        first_at.insert(key.clone(), i);
+        match cache.probe_or_reserve(&key) {
+            Probe::Ready(value) => out.push((key, value)),
+            Probe::Pending | Probe::Reserved => {
+                miss_idx.push(i);
+                out.push((key, None));
+            }
+        }
+    }
+    if miss_idx.is_empty() {
+        return out;
+    }
+    // Phase 2: derive copy placements for the misses. Infeasible placements
+    // cache as `None` without ever reaching the kernel (the same "move
+    // unavailable" convention as `evaluate_state`).
+    let arch = pool.platform.architecture();
+    let mut placed: Vec<(usize, CopyMapping)> = Vec::with_capacity(miss_idx.len());
+    for &i in &miss_idx {
+        let (mapping, policies) = &candidates[i];
+        if let Ok(copies) = CopyMapping::from_base(&pool.app, arch, mapping, policies) {
+            placed.push((i, copies));
+        }
+    }
+    // Phase 3: one warm kernel scores every remaining miss in a single
+    // batch pass.
+    if !placed.is_empty() {
+        let results = pool.with(thread, |evaluator| {
+            if let Some((mapping, policies)) = anchor {
+                if let Ok(copies) = CopyMapping::from_base(&pool.app, arch, mapping, policies) {
+                    let _ = evaluator.evaluate(&copies, policies);
+                }
+            }
+            let refs: Vec<(&CopyMapping, &PolicyAssignment)> =
+                placed.iter().map(|&(i, ref copies)| (copies, &candidates[i].1)).collect();
+            evaluator.evaluate_batch(&refs)
         });
-        (key, estimate)
-    })
+        for (&(i, _), result) in placed.iter().zip(results) {
+            out[i].1 = result.ok();
+        }
+    }
+    // Phase 4: publish the scored results, completing this batch's
+    // reservations (`resolve` never overwrites a value another worker got
+    // there first with), then forward within-batch duplicates.
+    for &i in &miss_idx {
+        cache.resolve(out[i].0.clone(), out[i].1);
+    }
+    for &(dup, src) in &dup_of {
+        out[dup].1 = out[src].1;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -214,15 +287,16 @@ mod tests {
         ];
         let cache = EstimateCache::new();
         let pool = EvaluatorPool::new(&app, &platform, k, 4);
-        let batched = evaluate_batch(&pool, &cache, &candidates, 4);
+        let batched = evaluate_batch(&pool, &cache, &candidates);
         let mut fresh = ftes_sched::SystemEvaluator::new(&app, &platform, k);
         for (result, (m, p)) in batched.iter().zip(&candidates) {
             assert_eq!(*result, evaluate_state(&mut fresh, m, p));
             assert!(result.is_some());
         }
-        // Duplicate state in the batch: at most two estimator runs.
+        // Duplicate state in the batch: two distinct states cached.
         assert_eq!(cache.stats().entries, 2);
-        // Pool counters account for exactly the cache misses.
+        // Pool counters account for exactly the cache misses (every miss is
+        // scored by the kernel, even the in-batch duplicate).
         assert_eq!(pool.stats().evaluations(), cache.stats().misses);
     }
 

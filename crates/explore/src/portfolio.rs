@@ -8,9 +8,10 @@
 //! advances independently — its trajectory depends only on its own seeded
 //! RNG, its engine (tabu / simulated annealing / greedy descent, reusing
 //! the move vocabulary `ftes-opt` exposes) and the round-start incumbent.
-//! Workers run on scoped threads and fan each sampled neighborhood through
-//! the [batched evaluator](crate::evaluate_batch) and the shared
-//! [`EstimateCache`]. At the round barrier the per-worker archives merge
+//! Workers run on scoped threads and score each sampled neighborhood in
+//! one pass through the [batched evaluator](crate::evaluate_batch) — the
+//! shared [`EstimateCache`] is probed first, only misses reach the warm
+//! kernel. At the round barrier the per-worker archives merge
 //! (order-independent, see [`ParetoArchive`]), the global incumbent is
 //! recomputed with a canonical tie-break, and workers whose current state
 //! is worse than the incumbent adopt it.
@@ -130,7 +131,9 @@ pub struct PortfolioConfig {
     pub rounds: usize,
     /// Search iterations each worker runs per round.
     pub iterations_per_round: usize,
-    /// Total threads the engine may occupy (workers × evaluator fan-out).
+    /// Total threads the engine may occupy (bounds how many workers run
+    /// concurrently; each worker scores its neighborhoods through one warm
+    /// kernel, so there is no per-candidate fan-out below the workers).
     pub threads: usize,
     /// Cap on checkpoint counts in candidate policies.
     pub max_checkpoints: u32,
@@ -253,7 +256,6 @@ pub fn explore(
 
     let worker_count = config.workers.len();
     let worker_threads = config.threads.clamp(1, worker_count);
-    let eval_threads = (config.threads / worker_threads).max(1);
 
     let workers: Vec<Mutex<Worker>> = config
         .workers
@@ -289,9 +291,9 @@ pub fn explore(
     for _ in 0..config.rounds {
         // Workers advance in parallel; each returns its round archive.
         let round_archives: Vec<ParetoArchive> =
-            indexed_parallel(worker_count, worker_threads, |_, i| {
+            indexed_parallel(worker_count, worker_threads, |thread, i| {
                 let mut worker = workers[i].lock().expect("worker state poisoned");
-                run_round(app, platform, k, config, &cache, &pool, eval_threads, &mut worker)
+                run_round(app, platform, k, config, &cache, &pool, thread, &mut worker)
             });
         for local in round_archives {
             archive.merge(local);
@@ -327,6 +329,9 @@ pub fn explore(
 }
 
 /// Advances one worker by `iterations_per_round` batched iterations.
+/// `thread` is the worker's scoped-thread slot, passed through as the
+/// preferred evaluator-pool slot so concurrent workers keep their own warm
+/// kernel.
 #[allow(clippy::too_many_arguments)]
 fn run_round(
     app: &Application,
@@ -335,7 +340,7 @@ fn run_round(
     config: &PortfolioConfig,
     cache: &EstimateCache,
     pool: &EvaluatorPool,
-    eval_threads: usize,
+    thread: usize,
     worker: &mut Worker,
 ) -> ParetoArchive {
     let search = SearchConfig {
@@ -374,9 +379,11 @@ fn run_round(
             }
         }
 
-        // 2. One parallel, cache-backed fan-out for the whole batch; keys
-        // come back alongside so candidates need no re-encoding.
-        let keyed = evaluate_batch_keyed(pool, cache, &batch, eval_threads);
+        // 2. One cache-backed kernel batch pass for the whole neighborhood,
+        // anchored at the worker's current state; keys come back alongside
+        // so candidates need no re-encoding.
+        let anchor = (&worker.current.mapping, &worker.current.policies);
+        let keyed = evaluate_batch_keyed(pool, cache, Some(anchor), &batch, thread);
 
         // 3. Feasible candidates, in sample order.
         let mut candidates: Vec<(usize, Candidate)> = Vec::with_capacity(batch.len());

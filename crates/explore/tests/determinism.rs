@@ -44,6 +44,13 @@ fn suite_is_deterministic_across_thread_counts() {
             assert_eq!(a.worst_case, b.worst_case);
             assert_eq!(a.fault_free, b.fault_free);
             assert_eq!(a.schedulable, b.schedulable);
+            // The cache accounting is part of the deterministic report
+            // surface (CSV columns), not just the trajectories: the
+            // probe-side reservation guarantees one miss per unique key
+            // regardless of how worker probe→resolve windows interleave.
+            assert_eq!(a.cache.hits, b.cache.hits, "cache hits must not depend on parallelism");
+            assert_eq!(a.cache.misses, b.cache.misses);
+            assert_eq!(a.cache.entries, b.cache.entries);
         }
     }
 }

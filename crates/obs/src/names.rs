@@ -49,6 +49,10 @@ pub const EVAL_DELTA: &str = "eval.delta";
 pub const EVAL_FALLBACK: &str = "eval.fallback";
 /// A full (non-delta) evaluation ran.
 pub const EVAL_FULL: &str = "eval.full";
+/// One batched neighborhood evaluation ran (`evaluate_batch` call).
+pub const EVAL_BATCH: &str = "eval.batch";
+/// Candidates scored by a batched evaluation (counter delta per batch).
+pub const EVAL_BATCH_CANDIDATES: &str = "eval.batch_candidates";
 
 // ---- estimate-cache counters (`ftes-explore`)
 

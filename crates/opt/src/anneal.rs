@@ -4,7 +4,7 @@
 //! MXR \[13\]; the ablation quantifies how much the choice of metaheuristic
 //! matters on our workloads.
 
-use crate::search::propose_move;
+use crate::search::{sample_neighborhood, score_neighborhood};
 use crate::{OptError, PolicyMoves, SearchConfig, Synthesized};
 use ftes_model::Application;
 use ftes_sched::SystemEvaluator;
@@ -37,16 +37,14 @@ pub fn greedy_descent(
     let mut current = initial;
     let mut trace = SearchTrace::with_capacity(config.iterations);
     for _ in 0..config.iterations {
+        // Sample the whole neighborhood, then score it in one batch pass.
+        let proposals = sample_neighborhood(&evaluator, &current, policy_moves, config, &mut rng);
+        let candidates = score_neighborhood(&mut evaluator, proposals);
         let mut best_move: Option<Synthesized> = None;
-        for _ in 0..config.neighborhood {
-            if let Some((cand, _)) =
-                propose_move(&mut evaluator, &current, policy_moves, config, &mut rng)?
+        for (cand, _) in candidates {
+            if cand.objective() < best_move.as_ref().map_or(current.objective(), |b| b.objective())
             {
-                if cand.objective()
-                    < best_move.as_ref().map_or(current.objective(), |b| b.objective())
-                {
-                    best_move = Some(cand);
-                }
+                best_move = Some(cand);
             }
         }
         ftes_obs::counter(ftes_obs::names::SEARCH_ITER, 1);
@@ -73,6 +71,12 @@ pub fn greedy_descent(
 /// cooling from an initial temperature proportional to the initial
 /// objective.
 ///
+/// Like the portfolio workers in `ftes-explore`, each outer iteration
+/// samples its whole neighborhood from the iteration-start state, scores
+/// it in one batch pass, then walks the candidates sequentially applying
+/// the Metropolis acceptance rule (so `Δ` is measured against the evolving
+/// current state).
+///
 /// # Errors
 ///
 /// Propagates evaluation errors.
@@ -94,12 +98,12 @@ pub fn simulated_annealing(
     let mut temperature = (best.estimate.worst_case_length.as_f64() * 0.05).max(1.0);
     let cooling = 0.95f64;
     for _ in 0..config.iterations {
-        for _ in 0..config.neighborhood {
-            let Some((cand, _)) =
-                propose_move(&mut evaluator, &current, policy_moves, config, &mut rng)?
-            else {
-                continue;
-            };
+        // Sample and batch-score the neighborhood of the iteration-start
+        // state, then apply the acceptance walk over the scored candidates.
+        let proposals = sample_neighborhood(&evaluator, &current, policy_moves, config, &mut rng);
+        let candidates = score_neighborhood(&mut evaluator, proposals);
+        let mut accepted = false;
+        for (cand, _) in candidates {
             let delta =
                 (cand.estimate.worst_case_length - current.estimate.worst_case_length).as_f64();
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0));
@@ -114,12 +118,16 @@ pub fn simulated_annealing(
             );
             if accept {
                 current = cand;
-                // Re-anchor the delta base at the accepted state.
-                evaluator.evaluate(&current.copies, &current.policies)?;
+                accepted = true;
                 if current.objective() < best.objective() {
                     best = current.clone();
                 }
             }
+        }
+        if accepted {
+            // Re-anchor the delta base at the walk's final state so the
+            // next iteration's batch diffs against it.
+            evaluator.evaluate(&current.copies, &current.policies)?;
         }
         temperature = (temperature * cooling).max(1e-3);
         trace.push(best.estimate.worst_case_length.units());

@@ -313,46 +313,85 @@ pub fn apply_move(
     }
 }
 
-/// Samples one candidate move from the neighborhood of `current` and
-/// scores it through the evaluator's delta path (the kernel's base is the
-/// search's current state, so most proposals re-schedule only a suffix);
-/// returns `None` for degenerate samples (no-op moves, fixed or
-/// single-node processes; infeasible evaluations are skipped as `None`).
+/// One sampled-and-applied (but not yet scored) neighbor of a search's
+/// current state, ready for the evaluator's batch path.
+pub(crate) struct Proposal {
+    /// The process the originating move touches (tabu bookkeeping unit).
+    pub(crate) process: ProcessId,
+    pub(crate) mapping: Mapping,
+    pub(crate) policies: PolicyAssignment,
+    pub(crate) copies: CopyMapping,
+}
+
+/// Samples a whole neighborhood of `current` — up to `config.neighborhood`
+/// candidate moves — applying each move and deriving its copy placement,
+/// but **without scoring**. Degenerate samples (no-op moves, fixed or
+/// single-node processes) and infeasible applications are skipped, exactly
+/// like the sequential proposal loop did; the RNG stream is consumed
+/// identically (scoring never drew from it).
 ///
 /// Shared between the tabu search and the alternative engines in
 /// [`crate::greedy_descent`] / [`crate::simulated_annealing`].
-pub(crate) fn propose_move(
-    evaluator: &mut SystemEvaluator,
+pub(crate) fn sample_neighborhood(
+    evaluator: &SystemEvaluator,
     current: &Synthesized,
     policy_moves: PolicyMoves,
     config: SearchConfig,
     rng: &mut ChaCha8Rng,
-) -> Result<Option<(Synthesized, ProcessId)>, OptError> {
+) -> Vec<Proposal> {
     let k = evaluator.k();
-    let Some(mv) = sample_move(
-        evaluator.app(),
-        &current.mapping,
-        &current.policies,
-        k,
-        policy_moves,
-        config,
-        rng,
-    ) else {
-        return Ok(None);
-    };
-    let p = mv.process();
-    let Some((mapping, policies)) = apply_move(
-        evaluator.app(),
-        evaluator.platform().architecture(),
-        &current.mapping,
-        &current.policies,
-        &mv,
-    ) else {
-        return Ok(None);
-    };
-    // Infeasible evaluations (e.g. a policy the bus cannot carry) are
-    // skipped rather than surfaced: the move is simply not available.
-    Ok(Synthesized::evaluate_neighbor(evaluator, mapping, policies).ok().map(|c| (c, p)))
+    let app = evaluator.app();
+    let arch = evaluator.platform().architecture();
+    let mut proposals = Vec::with_capacity(config.neighborhood);
+    for _ in 0..config.neighborhood {
+        let Some(mv) =
+            sample_move(app, &current.mapping, &current.policies, k, policy_moves, config, rng)
+        else {
+            continue;
+        };
+        let process = mv.process();
+        let Some((mapping, policies)) =
+            apply_move(app, arch, &current.mapping, &current.policies, &mv)
+        else {
+            continue;
+        };
+        // Infeasible copy placements are skipped rather than surfaced: the
+        // move is simply not available (same as the sequential path).
+        let Ok(copies) = CopyMapping::from_base(app, arch, &mapping, &policies) else { continue };
+        proposals.push(Proposal { process, mapping, policies, copies });
+    }
+    proposals
+}
+
+/// Scores a sampled neighborhood through one [`evaluate_batch`] pass
+/// (the kernel's base is the search's current state, so most candidates
+/// re-schedule only a shared-prefix suffix). Candidates whose evaluation
+/// fails (e.g. a policy the bus cannot carry) are dropped, mirroring the
+/// sequential path's skip; survivors come back in proposal order.
+///
+/// [`evaluate_batch`]: SystemEvaluator::evaluate_batch
+pub(crate) fn score_neighborhood(
+    evaluator: &mut SystemEvaluator,
+    proposals: Vec<Proposal>,
+) -> Vec<(Synthesized, ProcessId)> {
+    let refs: Vec<(&CopyMapping, &PolicyAssignment)> =
+        proposals.iter().map(|pr| (&pr.copies, &pr.policies)).collect();
+    let results = evaluator.evaluate_batch(&refs);
+    drop(refs);
+    proposals
+        .into_iter()
+        .zip(results)
+        .filter_map(|(pr, res)| {
+            let estimate = res.ok()?;
+            let synthesized = Synthesized {
+                mapping: pr.mapping,
+                policies: pr.policies,
+                copies: pr.copies,
+                estimate,
+            };
+            Some((synthesized, pr.process))
+        })
+        .collect()
 }
 
 /// Runs a tabu search from an initial state, minimizing the estimated
@@ -427,13 +466,11 @@ pub fn tabu_search_traced_with(
     let mut trace = Vec::with_capacity(config.iterations);
 
     for iter in 0..config.iterations {
+        // Sample the whole neighborhood, then score it in one batch pass.
+        let proposals = sample_neighborhood(evaluator, &current, policy_moves, config, &mut rng);
+        let candidates = score_neighborhood(evaluator, proposals);
         let mut best_move: Option<(Synthesized, ProcessId)> = None;
-        for _ in 0..config.neighborhood {
-            let Some((candidate, p)) =
-                propose_move(evaluator, &current, policy_moves, config, &mut rng)?
-            else {
-                continue;
-            };
+        for (candidate, p) in candidates {
             let aspiration = config.calibrated_objective(&candidate, deadline)
                 < config.calibrated_objective(&best, deadline);
             if tabu_until[p.index()] > iter && !aspiration {

@@ -30,8 +30,12 @@
 //! one is built. Calibration is measured in `tests/` and EXPERIMENTS.md.
 //!
 //! The implementation lives in the reusable
-//! [`SystemEvaluator`](crate::SystemEvaluator) kernel; this module keeps
-//! the [`Estimate`] value type and the one-shot compatibility wrapper.
+//! [`SystemEvaluator`](crate::SystemEvaluator) kernel and its three
+//! scoring tiers — full (`evaluate`, anchors the delta base), suffix-only
+//! (`delta_evaluate`) and batched neighborhood (`evaluate_batch`, shares
+//! one schedule-prefix image across all candidates); this module keeps the
+//! [`Estimate`] value type and the one-shot compatibility wrapper, which
+//! constructs a throwaway kernel and runs a single full pass.
 
 use crate::{SchedError, SystemEvaluator};
 use ftes_ft::PolicyAssignment;

@@ -7,29 +7,55 @@
 //! transitive-successor structure from scratch on every call — fine for a
 //! one-shot estimate, wasteful inside the optimization loops where only the
 //! candidate `(mapping, policies)` state changes between calls. The kernel
-//! splits the work:
+//! splits the work into a **three-tier contract**:
 //!
 //! * **Construction** precomputes the invariants: the exact pop order of
 //!   the root-schedule list scheduler (a pure function of the DAG and the
 //!   downward ranks, both state-independent), one [`RecoveryScheme`] per
 //!   feasible `(process, node)` pair, and reusable per-processor lane and
 //!   per-process completion buffers.
-//! * **[`evaluate`](SystemEvaluator::evaluate)** re-scores a candidate
-//!   state against those buffers with zero steady-state allocation, and
-//!   anchors the evaluator's *base state* for delta re-estimation.
-//! * **[`delta_evaluate`](SystemEvaluator::delta_evaluate)** re-scores a
-//!   neighbor of the base state by diffing copy placements and policies:
-//!   the root-schedule prefix before the first dirty process is provably
-//!   identical (the pop order is fixed and every reservation at position
-//!   `< p` derives from positions `< p` only), so only the suffix is
-//!   re-scheduled and only processes whose inputs changed re-run the
-//!   adversarial slack analysis. When the dirty region reaches position 0
-//!   the call degrades to a full evaluation — never to a wrong one.
+//! * **[`evaluate`](SystemEvaluator::evaluate)** — tier 1, full — re-scores
+//!   a candidate state against those buffers with zero steady-state
+//!   allocation, and anchors the evaluator's *base state* for delta
+//!   re-estimation.
+//! * **[`delta_evaluate`](SystemEvaluator::delta_evaluate)** — tier 2,
+//!   incremental — re-scores a neighbor of the base state by diffing copy
+//!   placements and policies: the root-schedule prefix before the first
+//!   dirty process is provably identical (the pop order is fixed and every
+//!   reservation at position `< p` derives from positions `< p` only), so
+//!   only the suffix is re-scheduled and only processes whose inputs
+//!   changed re-run the adversarial slack analysis. When the dirty region
+//!   reaches position 0 the call degrades to a full evaluation — never to
+//!   a wrong one.
+//! * **[`evaluate_batch`](SystemEvaluator::evaluate_batch)** — tier 3,
+//!   neighborhood — scores a whole set of neighbors in one pass: candidates
+//!   are sorted by first-dirty pop position (stably; results come back in
+//!   input order), the shared schedule prefix is materialized incrementally
+//!   as a sorted per-lane reservation image, and each candidate forks its
+//!   suffix off that image with flat `memcpy` restores instead of per-call
+//!   partition-and-sort work. The batch never moves the base state.
+//!
+//! ## SoA layout
+//!
+//! All per-evaluation state lives in contiguous structure-of-arrays
+//! buffers, which is what makes shared-prefix forking sound *and* cheap:
+//!
+//! * copy completion times are one flat `Vec<Time>` in **pop-position
+//!   order** with a `Vec<u32>` offset table (`copy_off[pos]..copy_off[pos +
+//!   1]` is position `pos`'s row), so "restore the prefix before position
+//!   `d`" is a single `memcpy` of `copy_end[..copy_off[d]]` — the prefix of
+//!   the flat array *is* the prefix of the schedule;
+//! * recovery schemes are one flat slice with a node-count stride;
+//! * per-node reservation logs are tagged with the reserving pop position
+//!   and appended in pop order, so any prefix image is a cursor walk, and
+//!   per-process slack, downstream-finish, and changed flags are flat
+//!   arrays indexed by process id.
 //!
 //! Equality with the legacy free function is bit-for-bit — including which
 //! process is reported critical and which error is reported for infeasible
 //! states — and is locked in by `tests/evaluator_equality.rs` at the
-//! workspace root.
+//! workspace root, which also pins `evaluate_batch` to the sequential
+//! delta path result-for-result and error-for-error, in input order.
 
 use crate::{worst_case_delivery, Estimate, ReplicaLadder, SchedError};
 use ftes_ft::{CopyPlan, FtError, PolicyAssignment, RecoveryScheme};
@@ -53,6 +79,13 @@ pub struct EvaluatorStats {
     /// Delta calls that fell back to a full evaluation (no base yet, or the
     /// dirty region reached position 0).
     pub delta_fallbacks: u64,
+    /// Batched neighborhood evaluations
+    /// ([`SystemEvaluator::evaluate_batch`] invocations).
+    pub batch_evals: u64,
+    /// Candidates scored through the batch path (each also counted in the
+    /// full/delta/noop buckets above, so [`EvaluatorStats::evaluations`]
+    /// needs no extra term).
+    pub batch_candidates: u64,
 }
 
 impl EvaluatorStats {
@@ -75,6 +108,8 @@ impl EvaluatorStats {
             delta_evals: self.delta_evals + other.delta_evals,
             delta_noops: self.delta_noops + other.delta_noops,
             delta_fallbacks: self.delta_fallbacks + other.delta_fallbacks,
+            batch_evals: self.batch_evals + other.batch_evals,
+            batch_candidates: self.batch_candidates + other.batch_candidates,
         }
     }
 }
@@ -86,14 +121,21 @@ impl EvaluatorStats {
 /// evaluation must surface the same [`FtError`] the legacy path would.
 type SchemeSlot = Option<Result<RecoveryScheme, FtError>>;
 
-/// The anchor state `delta_evaluate` diffs against.
+/// The anchor state `delta_evaluate` and `evaluate_batch` diff against.
+///
+/// Mirrors the evaluator's flat SoA scratch: `copy_end`/`copy_off` store the
+/// base root schedule pop-position-major, so any schedule prefix restores
+/// with two `memcpy`s.
 struct BaseState {
     copies: CopyMapping,
     policies: PolicyAssignment,
-    /// Completion time of every copy in the base root schedule.
-    copy_end: Vec<Vec<Time>>,
-    /// Per node: reservations in insertion (= schedule) order, tagged with
-    /// the position of the reserving process so prefixes can be truncated.
+    /// Completion time of every copy, flat in pop-position order.
+    copy_end: Vec<Time>,
+    /// Row offsets into `copy_end` (`copy_off[pos]..copy_off[pos + 1]`).
+    copy_off: Vec<u32>,
+    /// Per node: reservations in insertion (= pop) order, tagged with the
+    /// position of the reserving process so prefixes can be truncated (and,
+    /// in the batch path, extended incrementally with a cursor).
     logs: Vec<Vec<(u32, Time, Time)>>,
     /// Root-schedule makespan after each position.
     makespan_after: Vec<Time>,
@@ -130,6 +172,10 @@ struct BaseState {
 /// let fast = evaluator.evaluate(&copies, &policies)?;
 /// let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, 2)?;
 /// assert_eq!(fast, legacy);
+///
+/// // A whole neighborhood in one pass, results in input order.
+/// let batch = evaluator.evaluate_batch(&[(&copies, &policies)]);
+/// assert_eq!(batch[0].as_ref().unwrap(), &legacy);
 /// # Ok(())
 /// # }
 /// ```
@@ -141,16 +187,37 @@ pub struct SystemEvaluator {
     order: Vec<ProcessId>,
     /// Position of each process in `order`.
     pos_of: Vec<u32>,
-    /// `schemes[p][n]`: recovery scheme of process `p` on node `n`.
-    schemes: Vec<Vec<SchemeSlot>>,
-    // ---- per-evaluation scratch, reused across calls ----
-    copy_end: Vec<Vec<Time>>,
+    /// Recovery scheme of process `p` on node `n` at `p * node_count + n`.
+    schemes: Vec<SchemeSlot>,
+    node_count: usize,
+    // ---- per-evaluation scratch (SoA), reused across calls ----
+    /// Copy completion times, flat in pop-position order.
+    copy_end: Vec<Time>,
+    /// Row offsets into `copy_end`.
+    copy_off: Vec<u32>,
     lanes: Vec<Vec<(Time, Time)>>,
     logs: Vec<Vec<(u32, Time, Time)>>,
     makespan_after: Vec<Time>,
     path_end: Vec<Time>,
     slack: Vec<Time>,
     changed: Vec<bool>,
+    /// Replica ladders of the process under the slack join (inner `Vec`s
+    /// reused so the hot loop never allocates).
+    ladders: Vec<ReplicaLadder>,
+    /// Memoized bus-arrival time per predecessor copy of the position being
+    /// scheduled (the TDMA window scan is consumer-independent, so each
+    /// consumer copy after the first reads it back).
+    arrival_memo: Vec<Option<Time>>,
+    // ---- batch scratch ----
+    /// Sorted per-node image of the base reservations before the current
+    /// batch candidate's dirty position (grown incrementally, never rebuilt).
+    prefix_lanes: Vec<Vec<(Time, Time)>>,
+    /// Per-node cursor into the base logs backing `prefix_lanes`.
+    prefix_cursor: Vec<usize>,
+    /// `(dirty position, input index)` sort keys of the current batch.
+    batch_order: Vec<(u32, u32)>,
+    /// Per-candidate changed flags, `candidate * n + process` indexed.
+    batch_changed: Vec<bool>,
     // ---- delta anchor + counters ----
     base: Option<BaseState>,
     stats: EvaluatorStats,
@@ -169,13 +236,11 @@ impl SystemEvaluator {
         }
         let schemes = app
             .processes()
-            .map(|(_, proc)| {
-                (0..node_count)
-                    .map(|node| {
-                        proc.wcet_on(ftes_model::NodeId::new(node))
-                            .map(|wcet| RecoveryScheme::for_process(proc, wcet))
-                    })
-                    .collect()
+            .flat_map(|(_, proc)| {
+                (0..node_count).map(|node| {
+                    proc.wcet_on(ftes_model::NodeId::new(node))
+                        .map(|wcet| RecoveryScheme::for_process(proc, wcet))
+                })
             })
             .collect();
         SystemEvaluator {
@@ -185,13 +250,21 @@ impl SystemEvaluator {
             order,
             pos_of,
             schemes,
-            copy_end: vec![Vec::new(); n],
+            node_count,
+            copy_end: Vec::new(),
+            copy_off: Vec::with_capacity(n + 1),
             lanes: vec![Vec::new(); node_count],
             logs: vec![Vec::new(); node_count],
             makespan_after: Vec::with_capacity(n),
             path_end: vec![Time::ZERO; n],
             slack: vec![Time::ZERO; n],
             changed: vec![false; n],
+            ladders: Vec::new(),
+            arrival_memo: Vec::new(),
+            prefix_lanes: vec![Vec::new(); node_count],
+            prefix_cursor: vec![0; node_count],
+            batch_order: Vec::new(),
+            batch_changed: Vec::new(),
             base: None,
             stats: EvaluatorStats { constructions: 1, ..EvaluatorStats::default() },
         }
@@ -242,21 +315,36 @@ impl SystemEvaluator {
         copies: &CopyMapping,
         policies: &PolicyAssignment,
     ) -> Result<Estimate, SchedError> {
+        let estimate = self.full_pass(copies, policies, true)?;
+        self.anchor(copies, policies, estimate);
+        Ok(estimate)
+    }
+
+    /// A full from-scratch evaluation without anchoring: the shared body of
+    /// the full tier and the batch path's fallback candidates. Position
+    /// logs (consumed only by [`anchor`](SystemEvaluator::anchor)) are
+    /// recorded only when the caller is about to anchor.
+    fn full_pass(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+        record_logs: bool,
+    ) -> Result<Estimate, SchedError> {
         policies.validate(self.k)?;
-        for row in &mut self.copy_end {
-            row.clear();
-        }
+        self.copy_end.clear();
+        self.copy_off.clear();
+        self.copy_off.push(0);
         for lane in &mut self.lanes {
             lane.clear();
         }
-        for log in &mut self.logs {
-            log.clear();
+        if record_logs {
+            for log in &mut self.logs {
+                log.clear();
+            }
         }
         self.makespan_after.clear();
-        let makespan = self.schedule_suffix(copies, policies, 0, Time::ZERO)?;
-        let estimate = self.finish_estimate(copies, policies, makespan, None)?;
-        self.anchor(copies, policies, estimate);
-        Ok(estimate)
+        let makespan = self.schedule_suffix(copies, policies, 0, Time::ZERO, record_logs)?;
+        self.finish_estimate(copies, policies, makespan, None)
     }
 
     /// Re-scores a *neighbor* of the base state: only positions from the
@@ -300,11 +388,14 @@ impl SystemEvaluator {
         self.stats.delta_evals += 1;
         ftes_obs::counter(ftes_obs::names::EVAL_DELTA, 1);
 
-        // Rebuild the (provably identical) prefix from the base state.
+        // Rebuild the (provably identical) prefix from the base state: the
+        // flat pop-position-major layout makes it two memcpys.
         let base = self.base.as_ref().expect("dirty_position requires a base");
-        for &pid in &self.order[..dirty_from] {
-            self.copy_end[pid.index()].clone_from(&base.copy_end[pid.index()]);
-        }
+        let cut = base.copy_off[dirty_from] as usize;
+        self.copy_end.clear();
+        self.copy_end.extend_from_slice(&base.copy_end[..cut]);
+        self.copy_off.clear();
+        self.copy_off.extend_from_slice(&base.copy_off[..=dirty_from]);
         for (lane, log) in self.lanes.iter_mut().zip(&base.logs) {
             let cut = log.partition_point(|&(pos, _, _)| (pos as usize) < dirty_from);
             lane.clear();
@@ -314,12 +405,155 @@ impl SystemEvaluator {
         let prefix_makespan = base.makespan_after[dirty_from - 1];
         self.makespan_after.clear();
         self.makespan_after.extend_from_slice(&base.makespan_after[..dirty_from]);
-        for log in &mut self.logs {
-            log.clear();
+
+        let makespan =
+            self.schedule_suffix(copies, policies, dirty_from, prefix_makespan, false)?;
+        self.finish_estimate(copies, policies, makespan, Some(dirty_from))
+    }
+
+    /// Scores a whole neighborhood of the base state in one pass, returning
+    /// one `Result` per candidate **in input order** — each bit-for-bit
+    /// equal (estimate *and* error) to what a sequential
+    /// [`delta_evaluate`](SystemEvaluator::delta_evaluate) call would
+    /// return for the same candidate.
+    ///
+    /// Candidates are processed in ascending first-dirty pop position
+    /// (stable on ties), so the shared schedule prefix is materialized
+    /// once, incrementally: per node, a sorted reservation image of the
+    /// base prefix grows by a cursor walk over the position-tagged base
+    /// logs, and every candidate forks its suffix off flat `memcpy`
+    /// restores of that image. The base state is never moved — not even
+    /// for candidates that fall back to a full pass — because estimates
+    /// are pure functions of the candidate state, so batch results cannot
+    /// depend on evaluation order or on the anchor's drift.
+    ///
+    /// With no base anchored yet, every candidate runs a full pass (the
+    /// same fallback the sequential path takes). A failed candidate never
+    /// contaminates its successors: each restore starts from the base
+    /// image, not from the previous candidate's scratch.
+    pub fn evaluate_batch(
+        &mut self,
+        candidates: &[(&CopyMapping, &PolicyAssignment)],
+    ) -> Vec<Result<Estimate, SchedError>> {
+        let m = candidates.len();
+        let n = self.app.process_count();
+        self.stats.batch_evals += 1;
+        self.stats.batch_candidates += m as u64;
+        ftes_obs::counter(ftes_obs::names::EVAL_BATCH, 1);
+        ftes_obs::counter(ftes_obs::names::EVAL_BATCH_CANDIDATES, m as u64);
+
+        // Pass 1: diff every candidate against the base once, recording the
+        // first-dirty position (sort key) and the per-process changed flags
+        // (consumed by the slack memoization when the candidate is scored).
+        self.batch_order.clear();
+        self.batch_changed.resize(m * n, false);
+        for (idx, (copies, policies)) in candidates.iter().enumerate() {
+            let dirty = match self.base.as_ref() {
+                Some(base) => diff_against_base(
+                    base,
+                    &self.app,
+                    &self.pos_of,
+                    copies,
+                    policies,
+                    &mut self.batch_changed[idx * n..(idx + 1) * n],
+                ),
+                None => 0,
+            };
+            self.batch_order.push((dirty as u32, idx as u32));
+        }
+        // Ascending dirty position; ties keep input order (the index is the
+        // tie-break), so the prefix image only ever grows.
+        self.batch_order.sort_unstable();
+
+        for lane in &mut self.prefix_lanes {
+            lane.clear();
+        }
+        self.prefix_cursor.iter_mut().for_each(|c| *c = 0);
+
+        let has_base = self.base.is_some();
+        let mut out: Vec<Option<Result<Estimate, SchedError>>> = (0..m).map(|_| None).collect();
+        let batch_order = std::mem::take(&mut self.batch_order);
+        for &(dirty, idx) in &batch_order {
+            let idx = idx as usize;
+            let (copies, policies) = candidates[idx];
+            out[idx] = Some(self.score_candidate(copies, policies, dirty as usize, has_base, idx));
+        }
+        self.batch_order = batch_order;
+        out.into_iter().map(|r| r.expect("every candidate is scored exactly once")).collect()
+    }
+
+    /// Scores one batch candidate, mirroring the sequential tiers' counter
+    /// and error behavior exactly (minus any anchoring).
+    fn score_candidate(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+        dirty: usize,
+        has_base: bool,
+        idx: usize,
+    ) -> Result<Estimate, SchedError> {
+        let n = self.app.process_count();
+        if !has_base {
+            self.stats.delta_fallbacks += 1;
+            self.stats.full_evals += 1;
+            ftes_obs::counter(ftes_obs::names::EVAL_FALLBACK, 1);
+            return self.full_pass(copies, policies, false);
+        }
+        policies.validate(self.k)?;
+        if dirty >= n {
+            self.stats.delta_noops += 1;
+            return Ok(self.base.as_ref().expect("has_base").estimate);
+        }
+        if dirty == 0 {
+            self.stats.delta_fallbacks += 1;
+            self.stats.full_evals += 1;
+            ftes_obs::counter(ftes_obs::names::EVAL_FALLBACK, 1);
+            return self.full_pass(copies, policies, false);
+        }
+        self.stats.delta_evals += 1;
+        ftes_obs::counter(ftes_obs::names::EVAL_DELTA, 1);
+
+        {
+            let (changed, batch_changed) = (&mut self.changed, &self.batch_changed);
+            changed[..n].copy_from_slice(&batch_changed[idx * n..(idx + 1) * n]);
+        }
+        self.advance_prefix(dirty);
+
+        // Fork the candidate's suffix off the shared prefix image: flat
+        // memcpys of the base arrays, lane clones of the sorted image.
+        let base = self.base.as_ref().expect("has_base");
+        let cut = base.copy_off[dirty] as usize;
+        self.copy_end.clear();
+        self.copy_end.extend_from_slice(&base.copy_end[..cut]);
+        self.copy_off.clear();
+        self.copy_off.extend_from_slice(&base.copy_off[..=dirty]);
+        let prefix_makespan = base.makespan_after[dirty - 1];
+        self.makespan_after.clear();
+        self.makespan_after.extend_from_slice(&base.makespan_after[..dirty]);
+        for (lane, image) in self.lanes.iter_mut().zip(&self.prefix_lanes) {
+            lane.clone_from(image);
         }
 
-        let makespan = self.schedule_suffix(copies, policies, dirty_from, prefix_makespan)?;
-        self.finish_estimate(copies, policies, makespan, Some(dirty_from))
+        let makespan = self.schedule_suffix(copies, policies, dirty, prefix_makespan, false)?;
+        self.finish_estimate(copies, policies, makespan, Some(dirty))
+    }
+
+    /// Extends the sorted per-node prefix-lane image to cover every base
+    /// reservation before pop position `depth`. Depths are non-decreasing
+    /// within a batch (candidates are sorted), so each base reservation is
+    /// binary-inserted exactly once per batch; the resulting sequence is
+    /// identical to the sort the sequential delta path performs per call.
+    fn advance_prefix(&mut self, depth: usize) {
+        let Some(base) = self.base.as_ref() else { return };
+        for (node, log) in base.logs.iter().enumerate() {
+            let mut cursor = self.prefix_cursor[node];
+            while cursor < log.len() && (log[cursor].0 as usize) < depth {
+                let (_, s, e) = log[cursor];
+                lane_reserve(&mut self.prefix_lanes[node], s, e);
+                cursor += 1;
+            }
+            self.prefix_cursor[node] = cursor;
+        }
     }
 
     /// First schedule position whose process differs (in placement or
@@ -331,63 +565,77 @@ impl SystemEvaluator {
         policies: &PolicyAssignment,
     ) -> Option<usize> {
         let base = self.base.as_ref()?;
-        let mut dirty = self.app.process_count();
-        for (pid, _) in self.app.processes() {
-            let changed = copies.copies_of(pid) != base.copies.copies_of(pid)
-                || policies.policy(pid) != base.policies.policy(pid);
-            self.changed[pid.index()] = changed;
-            if changed {
-                dirty = dirty.min(self.pos_of[pid.index()] as usize);
-            }
-        }
-        Some(dirty)
+        Some(diff_against_base(base, &self.app, &self.pos_of, copies, policies, &mut self.changed))
     }
 
     /// List-schedules positions `from..` of the fixed order onto the lane
-    /// scratch, extending `copy_end` and the per-node logs. Returns the
-    /// root-schedule makespan.
+    /// scratch, extending the flat `copy_end`/`copy_off` arrays and the
+    /// per-node logs (the caller has restored them to the prefix before
+    /// `from`). Returns the root-schedule makespan.
     fn schedule_suffix(
         &mut self,
         copies: &CopyMapping,
         policies: &PolicyAssignment,
         from: usize,
         prefix_makespan: Time,
+        record_logs: bool,
     ) -> Result<Time, SchedError> {
+        debug_assert_eq!(self.copy_off.len(), from + 1, "caller restores the prefix");
         let bus = self.platform.bus();
         let mut makespan = prefix_makespan;
         for pos in from..self.order.len() {
             let pid = self.order[pos];
             let i = pid.index();
             let proc = self.app.process(pid);
-            self.copy_end[i].clear();
+            // The TDMA window of a predecessor copy is the same for every
+            // consumer copy on a foreign node; memoize it per position.
+            // Filled lazily so a candidate whose consumer copies are all
+            // co-located with a predecessor never runs the window scan —
+            // exactly where the sequential path would skip it (the scan can
+            // fail, and errors must surface identically).
+            self.arrival_memo.clear();
             for (c, &cpu) in copies.copies_of(pid).iter().enumerate() {
                 let plan = policies.policy(pid).copies()[c];
-                let scheme = scheme_at(&self.schemes, i, cpu.index())?;
+                let scheme = scheme_at(&self.schemes, self.node_count, i, cpu.index())?;
                 let duration = scheme.fault_free_time(plan.checkpoints);
                 // Ready when every predecessor has delivered to this CPU.
                 let mut est = proc.release();
+                let mut memo_at = 0;
                 for &(pred, mid) in self.app.predecessors(pid) {
                     let trans = self.app.message(mid).transmission();
+                    // Predecessors pop earlier, so their row is present.
+                    let poff = self.copy_off[self.pos_of[pred.index()] as usize] as usize;
                     let mut arrival = Time::MAX;
                     for (pc, &pcpu) in copies.copies_of(pred).iter().enumerate() {
-                        let end = self.copy_end[pred.index()][pc];
+                        if memo_at + pc >= self.arrival_memo.len() {
+                            self.arrival_memo.push(None);
+                        }
+                        let end = self.copy_end[poff + pc];
                         let a = if pcpu == cpu {
                             end
+                        } else if let Some(t) = self.arrival_memo[memo_at + pc] {
+                            t
                         } else {
                             // Uncontended TDMA window (cheap bound).
-                            bus.next_window(pcpu, end, trans)?.end
+                            let t = bus.next_window(pcpu, end, trans)?.end;
+                            self.arrival_memo[memo_at + pc] = Some(t);
+                            t
                         };
                         arrival = arrival.min(a);
                     }
+                    memo_at += copies.copies_of(pred).len();
                     est = est.max(arrival);
                 }
                 let lane = &mut self.lanes[cpu.index()];
                 let s = lane_earliest_fit(lane, est, duration);
                 lane_reserve(lane, s, s + duration);
-                self.logs[cpu.index()].push((pos as u32, s, s + duration));
-                self.copy_end[i].push(s + duration);
+                if record_logs {
+                    self.logs[cpu.index()].push((pos as u32, s, s + duration));
+                }
+                self.copy_end.push(s + duration);
                 makespan = makespan.max(s + duration);
             }
+            self.copy_off.push(self.copy_end.len() as u32);
             self.makespan_after.push(makespan);
         }
         Ok(makespan)
@@ -407,7 +655,7 @@ impl SystemEvaluator {
         // Downstream finish per process: completion of its latest transitive
         // successor in the root schedule (itself, for sinks).
         for &pid in self.app.topological_order().iter().rev() {
-            let own = self.copy_end[pid.index()]
+            let own = row(&self.copy_end, &self.copy_off, self.pos_of[pid.index()] as usize)
                 .iter()
                 .copied()
                 .min()
@@ -428,26 +676,41 @@ impl SystemEvaluator {
         let mut critical = ProcessId::new(0);
         for (pid, _) in self.app.processes() {
             let i = pid.index();
-            let reusable = reuse_from.is_some()
-                && !self.changed[i]
-                && self.base.as_ref().is_some_and(|b| b.copy_end[i] == self.copy_end[i]);
+            let pos = self.pos_of[i] as usize;
+            // Prefix rows are memcpy'd from the base, so equality is
+            // structural there; suffix rows must be compared.
+            let reusable = reuse_from.is_some_and(|d| pos < d)
+                || (reuse_from.is_some()
+                    && !self.changed[i]
+                    && self.base.as_ref().is_some_and(|b| {
+                        row(&b.copy_end, &b.copy_off, pos)
+                            == row(&self.copy_end, &self.copy_off, pos)
+                    }));
             let slack = if reusable {
                 self.base.as_ref().expect("reusable implies base").slack[i]
             } else {
                 let policy = policies.policy(pid);
-                let mut ladders = Vec::with_capacity(policy.copies().len());
-                for ((plan, &cpu), &end) in
-                    policy.copies().iter().zip(copies.copies_of(pid)).zip(&self.copy_end[i])
-                {
-                    let scheme = scheme_at(&self.schemes, i, cpu.index())?;
-                    ladders.push(ladder_for(scheme, *plan, end, self.k));
+                let count = policy.copies().len();
+                while self.ladders.len() < count {
+                    self.ladders.push(ReplicaLadder { ladder: Vec::new(), killable: false });
                 }
+                for (slot, ((plan, &cpu), &end)) in policy
+                    .copies()
+                    .iter()
+                    .zip(copies.copies_of(pid))
+                    .zip(row(&self.copy_end, &self.copy_off, pos))
+                    .enumerate()
+                {
+                    let scheme = scheme_at(&self.schemes, self.node_count, i, cpu.index())?;
+                    fill_ladder(scheme, *plan, end, self.k, &mut self.ladders[slot]);
+                }
+                let ladders = &self.ladders[..count];
                 let no_fault = ladders
                     .iter()
                     .map(|l| l.ladder[0])
                     .min()
                     .expect("policies have at least one copy");
-                let delivery = worst_case_delivery(&ladders, self.k).ok_or(SchedError::Ft(
+                let delivery = worst_case_delivery(ladders, self.k).ok_or(SchedError::Ft(
                     FtError::InsufficientPolicy { k: self.k, tolerated: 0 },
                 ))?;
                 delivery - no_fault
@@ -475,6 +738,7 @@ impl SystemEvaluator {
                 base.copies.clone_from(copies);
                 base.policies.clone_from(policies);
                 base.copy_end.clone_from(&self.copy_end);
+                base.copy_off.clone_from(&self.copy_off);
                 base.logs.clone_from(&self.logs);
                 base.makespan_after.clone_from(&self.makespan_after);
                 base.slack.clone_from(&self.slack);
@@ -485,6 +749,7 @@ impl SystemEvaluator {
                     copies: copies.clone(),
                     policies: policies.clone(),
                     copy_end: self.copy_end.clone(),
+                    copy_off: self.copy_off.clone(),
                     logs: self.logs.clone(),
                     makespan_after: self.makespan_after.clone(),
                     slack: self.slack.clone(),
@@ -495,14 +760,45 @@ impl SystemEvaluator {
     }
 }
 
-/// Looks up the precomputed recovery scheme of process `p` on node `node`,
-/// reproducing the legacy error/panic behavior exactly.
+/// Position `pos`'s completion-time row of a flat pop-position-major array.
+#[inline]
+fn row<'a>(copy_end: &'a [Time], copy_off: &[u32], pos: usize) -> &'a [Time] {
+    &copy_end[copy_off[pos] as usize..copy_off[pos + 1] as usize]
+}
+
+/// Diffs a candidate against the base, filling per-process changed flags
+/// and returning the first dirty pop position (`process_count` when the
+/// candidate equals the base).
+fn diff_against_base(
+    base: &BaseState,
+    app: &Application,
+    pos_of: &[u32],
+    copies: &CopyMapping,
+    policies: &PolicyAssignment,
+    changed: &mut [bool],
+) -> usize {
+    let mut dirty = app.process_count();
+    for (pid, _) in app.processes() {
+        let differs = copies.copies_of(pid) != base.copies.copies_of(pid)
+            || policies.policy(pid) != base.policies.policy(pid);
+        changed[pid.index()] = differs;
+        if differs {
+            dirty = dirty.min(pos_of[pid.index()] as usize);
+        }
+    }
+    dirty
+}
+
+/// Looks up the precomputed recovery scheme of process `p` on node `node`
+/// in the flat stride-`node_count` slice, reproducing the legacy
+/// error/panic behavior exactly.
 fn scheme_at(
-    schemes: &[Vec<SchemeSlot>],
+    schemes: &[SchemeSlot],
+    node_count: usize,
     p: usize,
     node: usize,
 ) -> Result<RecoveryScheme, SchedError> {
-    match &schemes[p][node] {
+    match &schemes[p * node_count + node] {
         Some(Ok(scheme)) => Ok(*scheme),
         Some(Err(e)) => Err(SchedError::Ft(e.clone())),
         None => panic!("copy mapping is validated"),
@@ -520,7 +816,11 @@ fn lane_earliest_fit(lane: &[(Time, Time)], ready: Time, duration: Time) -> Time
         return ready;
     }
     let mut t = ready;
-    for &(start, end) in lane {
+    // Reservations never overlap (positive durations, earliest-fit
+    // placement), so the start-sorted lane is end-sorted too and every
+    // entry ending at or before `ready` can be skipped in one jump.
+    let from = lane.partition_point(|&(_, end)| end <= t);
+    for &(start, end) in &lane[from..] {
         if start >= t + duration {
             break;
         }
@@ -538,23 +838,26 @@ fn lane_reserve(lane: &mut Vec<(Time, Time)>, start: Time, end: Time) {
     lane.insert(pos, (start, end));
 }
 
-/// The completion ladder of one copy given its fault-free completion time.
-pub(crate) fn ladder_for(
+/// The completion ladder of one copy given its fault-free completion time,
+/// written into a reusable slot (the slack join runs once per process per
+/// candidate — allocating here would dominate the batch path).
+pub(crate) fn fill_ladder(
     scheme: RecoveryScheme,
     plan: CopyPlan,
     fault_free_end: Time,
     k: u32,
-) -> ReplicaLadder {
+    out: &mut ReplicaLadder,
+) {
     let base = scheme.fault_free_time(plan.checkpoints);
     let max_faults = plan.recoveries.min(k);
-    let mut ladder = Vec::with_capacity(max_faults as usize + 1);
+    out.ladder.clear();
+    out.ladder.reserve(max_faults as usize + 1);
     for f in 0..=max_faults {
         let w = scheme.worst_case_time(plan.checkpoints, f);
-        ladder.push(fault_free_end + (w - base));
+        out.ladder.push(fault_free_end + (w - base));
     }
     // The copy dies if faults can exceed its recoveries within the budget.
-    let killable = plan.recoveries < k;
-    ReplicaLadder { ladder, killable }
+    out.killable = plan.recoveries < k;
 }
 
 /// Longest path (minimum-WCET durations plus transmissions) from each
@@ -580,7 +883,7 @@ pub(crate) fn app_ranks(app: &Application) -> Vec<Time> {
 /// The exact pop order of the root-schedule list scheduler: a priority
 /// topological sort by `(downward rank, lowest index)` — a pure function of
 /// the application, independent of any candidate state, which is what makes
-/// prefix reuse in `delta_evaluate` sound.
+/// prefix reuse in `delta_evaluate` and `evaluate_batch` sound.
 fn schedule_order(app: &Application) -> Vec<ProcessId> {
     let n = app.process_count();
     let rank = app_ranks(app);
@@ -759,5 +1062,68 @@ mod tests {
         assert_eq!(stats.reused(), 3);
         let merged = stats.merged(stats);
         assert_eq!(merged.evaluations(), 8);
+    }
+
+    #[test]
+    fn batch_matches_sequential_delta_in_input_order() {
+        let (app, platform, mapping, policies) = fig3_instance(2);
+        let arch = platform.architecture().clone();
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+
+        // A mixed neighborhood: repolicies, the base itself (noop), and an
+        // invalid policy (validate error) — in deliberately shuffled order.
+        let mut neighborhood: Vec<(CopyMapping, PolicyAssignment)> = Vec::new();
+        for p in (0..app.process_count()).rev() {
+            let mut moved = policies.clone();
+            moved.set(ProcessId::new(p), Policy::checkpointing(2, 2));
+            let moved_copies = CopyMapping::from_base(&app, &arch, &mapping, &moved).unwrap();
+            neighborhood.push((moved_copies, moved));
+        }
+        neighborhood.insert(1, (copies.clone(), policies.clone()));
+        let bad = PolicyAssignment::uniform_reexecution(&app, 0);
+        let bad_copies = CopyMapping::from_base(&app, &arch, &mapping, &bad).unwrap();
+        neighborhood.insert(3, (bad_copies, bad));
+
+        let mut batch_ev = SystemEvaluator::new(&app, &platform, 2);
+        batch_ev.evaluate(&copies, &policies).unwrap();
+        let refs: Vec<(&CopyMapping, &PolicyAssignment)> =
+            neighborhood.iter().map(|(c, p)| (c, p)).collect();
+        let batch = batch_ev.evaluate_batch(&refs);
+
+        let mut seq_ev = SystemEvaluator::new(&app, &platform, 2);
+        seq_ev.evaluate(&copies, &policies).unwrap();
+        for (i, (c, p)) in neighborhood.iter().enumerate() {
+            assert_eq!(batch[i], seq_ev.delta_evaluate(c, p), "candidate {i}");
+        }
+
+        let stats = batch_ev.stats();
+        assert_eq!(stats.batch_evals, 1);
+        assert_eq!(stats.batch_candidates, neighborhood.len() as u64);
+        assert_eq!(stats.delta_noops, 1, "the base candidate answers from the anchor");
+        // The batch never moves the base: a noop still answers instantly.
+        assert_eq!(batch_ev.delta_evaluate(&copies, &policies).unwrap(), batch[1].clone().unwrap());
+    }
+
+    #[test]
+    fn batch_without_base_runs_full_passes() {
+        let (app, platform, mapping, policies) = fig3_instance(1);
+        let copies =
+            CopyMapping::from_base(&app, platform.architecture(), &mapping, &policies).unwrap();
+        let mut ev = SystemEvaluator::new(&app, &platform, 1);
+        let batch = ev.evaluate_batch(&[(&copies, &policies), (&copies, &policies)]);
+        let legacy = estimate_schedule_length(&app, &platform, &copies, &policies, 1).unwrap();
+        assert_eq!(batch[0].as_ref().unwrap(), &legacy);
+        assert_eq!(batch[1].as_ref().unwrap(), &legacy);
+        assert_eq!(ev.stats().delta_fallbacks, 2, "no base: every candidate is a fallback");
+        assert_eq!(ev.stats().evaluations(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_noop() {
+        let (app, platform, _, _) = fig3_instance(1);
+        let mut ev = SystemEvaluator::new(&app, &platform, 1);
+        assert!(ev.evaluate_batch(&[]).is_empty());
+        assert_eq!(ev.stats().batch_evals, 1);
+        assert_eq!(ev.stats().evaluations(), 0);
     }
 }

@@ -9,10 +9,15 @@
 //!   scenarios overlap), TDMA bus windows, condition broadcasts (§5.2);
 //! * [`ScheduleTables`] — the per-node tables of Fig. 6;
 //! * [`SystemEvaluator`] — the reusable evaluation kernel behind the
-//!   optimization loops: construction precomputes everything invariant per
-//!   `(application, platform, k)`, `evaluate` re-scores candidate states
-//!   with zero steady-state allocation, `delta_evaluate` re-schedules only
-//!   the suffix a single move can affect;
+//!   optimization loops, a three-tier contract over flat
+//!   structure-of-arrays state: construction precomputes everything
+//!   invariant per `(application, platform, k)`, `evaluate` (tier 1)
+//!   re-scores candidate states with zero steady-state allocation and
+//!   anchors the delta base, `delta_evaluate` (tier 2) re-schedules only
+//!   the suffix a single move can affect, and `evaluate_batch` (tier 3)
+//!   scores a whole search neighborhood in one pass off a shared,
+//!   incrementally grown prefix image — bit-for-bit equal to sequential
+//!   scoring, in input order;
 //! * [`Certifier`] — on-demand, memoized exact certification of candidate
 //!   configurations under a work budget: the kernel behind the
 //!   certify-and-repair loops that keep search incumbents honest against

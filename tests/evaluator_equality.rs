@@ -9,6 +9,11 @@
 //! Moves are enumerated deterministically from the generated seed (no RNG
 //! in the test itself), mixing remaps and repolicies exactly like the
 //! search engines' neighborhood vocabulary.
+//!
+//! A second property extends the same discipline to the batch tier:
+//! `SystemEvaluator::evaluate_batch` over random neighborhoods must equal
+//! sequential `delta_evaluate` calls bit-for-bit — results and errors, in
+//! input order — with and without an anchored base.
 
 use ftes::ft::PolicyAssignment;
 use ftes::ftcpg::CopyMapping;
@@ -125,6 +130,100 @@ proptest! {
                 stats.delta_evals + stats.delta_noops + stats.delta_fallbacks > 0,
                 "no delta calls happened (k={})", k
             );
+        }
+    }
+
+    /// Batch-path guarantee: `evaluate_batch` over a random neighborhood is
+    /// bit-for-bit equal — results *and* errors, in input order — to
+    /// sequential `delta_evaluate` calls on an identically anchored kernel.
+    /// The neighborhood deliberately mixes remaps, repolicies, the base
+    /// state itself (a noop) and, when k > 0, an invalid policy assignment
+    /// (a validate error), so every batch code path is compared.
+    #[test]
+    fn batch_equals_sequential_delta_on_random_neighborhoods(
+        seed in 0u64..1000,
+        n in 6usize..13,
+        nodes in 2usize..4,
+    ) {
+        let config = match seed % 3 {
+            0 => GeneratorConfig::new(n, nodes),
+            1 => GeneratorConfig::chainy(n, nodes),
+            _ => GeneratorConfig::wide(n, nodes),
+        };
+        let app = generate_application(&config, seed)
+            .expect("generator configs in range are valid");
+        let platform = Platform::homogeneous(nodes, Time::new(8)).expect("non-empty platform");
+        let arch = platform.architecture();
+
+        for k in 0u32..=3 {
+            let mapping = Mapping::cheapest(&app, arch).expect("generated apps are mappable");
+            let policies = PolicyAssignment::uniform_reexecution(&app, k);
+            let base_copies = CopyMapping::from_base(&app, arch, &mapping, &policies)
+                .expect("re-execution placement is feasible");
+
+            // Build the neighborhood from the same deterministic move
+            // vocabulary as the walk test.
+            let mut neighborhood: Vec<(CopyMapping, PolicyAssignment)> = Vec::new();
+            for step in 0..12u64 {
+                let Some(mv) = step_move(&app, &mapping, k, seed, step) else { continue };
+                let Some((m, p)) = apply_move(&app, arch, &mapping, &policies, &mv) else {
+                    continue;
+                };
+                let Ok(copies) = CopyMapping::from_base(&app, arch, &m, &p) else { continue };
+                neighborhood.push((copies, p));
+            }
+            // The base state itself: the batch must answer it as a noop.
+            neighborhood.insert(neighborhood.len() / 2, (base_copies.clone(), policies.clone()));
+            if k > 0 {
+                // An invalid assignment (tolerates 0 < k faults): both
+                // paths must surface the same validate error.
+                let bad = PolicyAssignment::uniform_reexecution(&app, 0);
+                let bad_copies = CopyMapping::from_base(&app, arch, &mapping, &bad)
+                    .expect("re-execution placement is feasible");
+                neighborhood.insert(1, (bad_copies, bad));
+            }
+
+            // Anchored batch kernel vs. an identically anchored sequential
+            // kernel (whose base may drift through fallback re-anchoring —
+            // estimates are pure functions of the candidate state, so the
+            // batch must still match it value-for-value).
+            let mut batch_eval = SystemEvaluator::new(&app, &platform, k);
+            let mut seq_eval = SystemEvaluator::new(&app, &platform, k);
+            prop_assert_eq!(
+                &batch_eval.evaluate(&base_copies, &policies),
+                &seq_eval.evaluate(&base_copies, &policies)
+            );
+
+            let refs: Vec<(&CopyMapping, &PolicyAssignment)> =
+                neighborhood.iter().map(|(c, p)| (c, p)).collect();
+            let batch = batch_eval.evaluate_batch(&refs);
+            prop_assert_eq!(batch.len(), neighborhood.len());
+
+            for (i, (copies, pols)) in neighborhood.iter().enumerate() {
+                let sequential = seq_eval.delta_evaluate(copies, pols);
+                prop_assert_eq!(
+                    &batch[i], &sequential,
+                    "batch diverged from sequential delta (k={}, candidate={})", k, i
+                );
+            }
+
+            // A no-base batch must equal the sequential fallback path too.
+            let mut cold_batch = SystemEvaluator::new(&app, &platform, k);
+            let cold = cold_batch.evaluate_batch(&refs);
+            for (i, (copies, pols)) in neighborhood.iter().enumerate() {
+                // Fresh kernel per candidate: the cold batch never anchors,
+                // so each sequential comparison starts from no base as well.
+                let mut fresh = SystemEvaluator::new(&app, &platform, k);
+                prop_assert_eq!(
+                    &cold[i], &fresh.delta_evaluate(copies, pols),
+                    "cold batch diverged from no-base fallback (k={}, candidate={})", k, i
+                );
+            }
+
+            // The batch must exercise the batch counters.
+            let stats = batch_eval.stats();
+            prop_assert_eq!(stats.batch_evals, 1);
+            prop_assert_eq!(stats.batch_candidates, neighborhood.len() as u64);
         }
     }
 }
