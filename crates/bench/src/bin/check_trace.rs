@@ -4,19 +4,43 @@
 //! span or counter names to be present.
 //!
 //! Run with: `cargo run --release -p ftes-bench --bin check_trace
-//! <trace.json> [required-name]...`
+//! <trace.json> [--pipeline] [--folded <file> <stack>] [required-name]...`
 //!
-//! Exit code 0 when the trace is well-formed and every required name
-//! appears; 1 otherwise.
+//! `--pipeline` requires every name in
+//! [`ftes::obs::names::SYNTHESIS_PIPELINE`] — the taxonomy's own
+//! definition of a complete traced synthesis — so the CI gate cannot
+//! drift from the taxonomy. `--folded <file> <stack>` additionally
+//! requires the folded-stack export at `<file>` to contain the
+//! `;`-separated frame sequence `<stack>` (flamegraph input sanity).
+//!
+//! Exit code 0 when the trace is well-formed and every requirement
+//! holds; 1 otherwise.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: check_trace <trace.json> [required-name]...");
+        eprintln!("usage: check_trace <trace.json> [--pipeline] [--folded <file> <stack>] [required-name]...");
         return ExitCode::FAILURE;
     };
+    let mut required: Vec<String> = Vec::new();
+    let mut folded: Option<(String, String)> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pipeline" => {
+                required.extend(ftes::obs::names::SYNTHESIS_PIPELINE.iter().map(|s| s.to_string()));
+            }
+            "--folded" => {
+                let (Some(file), Some(stack)) = (args.next(), args.next()) else {
+                    eprintln!("check_trace: --folded takes <file> <stack>");
+                    return ExitCode::FAILURE;
+                };
+                folded = Some((file, stack));
+            }
+            _ => required.push(arg),
+        }
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
@@ -42,12 +66,27 @@ fn main() -> ExitCode {
         println!("  counters: {}", counters.join(", "));
     }
     let mut ok = true;
-    for required in args {
+    for required in required {
         let present =
             summary.span_names.contains(&required) || summary.counters.contains_key(&required);
         if !present {
             eprintln!("check_trace: required name `{required}` not in the trace");
             ok = false;
+        }
+    }
+    if let Some((file, stack)) = folded {
+        match std::fs::read_to_string(&file) {
+            Ok(text) if text.lines().any(|line| line.contains(stack.as_str())) => {
+                println!("{file}: contains stack `{stack}`");
+            }
+            Ok(_) => {
+                eprintln!("check_trace: folded export {file} lacks stack `{stack}`");
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("check_trace: cannot read {file}: {e}");
+                ok = false;
+            }
         }
     }
     if ok {

@@ -10,8 +10,10 @@
 //! subcommands (see [`ServeCommand`] / [`LoadCommand`]) run and exercise
 //! the `ftes-serve` synthesis service, and the `jobs` subcommand (see
 //! [`JobsCommand`]) is a thin client for the daemon's asynchronous,
-//! crash-safe job API. The `ftes` binary lives in this crate; everything
-//! else is a library so tests and other tools can reuse it.
+//! crash-safe job API, and the `lint` subcommand (see [`LintCommand`])
+//! runs the `ftes-lint` workspace invariant analyzer. The `ftes` binary
+//! lives in this crate; everything else is a library so tests and other
+//! tools can reuse it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@
 mod corpus_cmd;
 mod explore_cmd;
 mod jobs_cmd;
+mod lint_cmd;
 mod serve_cmd;
 mod trace_cmd;
 
@@ -26,5 +29,6 @@ pub use corpus_cmd::CorpusCommand;
 pub use explore_cmd::{ExploreCommand, ExploreFormat};
 pub use ftes::spec::{parse_spec, ParseError, SystemSpec, FIG5_SPEC};
 pub use jobs_cmd::{JobsCommand, SubmitPayload};
+pub use lint_cmd::LintCommand;
 pub use serve_cmd::{LoadCommand, ServeCommand};
 pub use trace_cmd::{spawn_trace_flusher, take_value_flag, TraceCapture};

@@ -1,0 +1,103 @@
+//! `ftes lint` — run the workspace invariant analyzer (`ftes-lint`).
+//!
+//! ```text
+//! ftes lint [--json] [--rule <name>] [--root DIR] [--out FILE]
+//! ```
+//!
+//! Exit code 0 when the tree is clean, 2 when any diagnostic fired, 1 on
+//! usage or I/O errors — mirroring the synthesis exit-code convention
+//! (0 schedulable / 2 not / 1 error).
+
+use std::path::PathBuf;
+
+/// Parsed `ftes lint` invocation.
+pub struct LintCommand {
+    /// Workspace root (defaults to the nearest ancestor with `Cargo.toml`
+    /// and `crates/`).
+    root: PathBuf,
+    /// Emit the machine-readable JSON report instead of text lines.
+    json: bool,
+    /// Restrict to one rule.
+    rule: Option<String>,
+    /// Also write the JSON report to this file (for CI artifacts).
+    out: Option<PathBuf>,
+}
+
+impl LintCommand {
+    /// Parse `ftes lint` arguments.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut json = false;
+        let mut rule = None;
+        let mut out = None;
+        let mut root = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--rule" => {
+                    let name =
+                        it.next().ok_or_else(|| "--rule requires a rule name".to_string())?;
+                    if !ftes_lint::is_rule(name) {
+                        return Err(format!(
+                            "unknown rule `{name}` (known: {})",
+                            ftes_lint::rules::RULES
+                                .iter()
+                                .map(|(n, _)| *n)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    rule = Some(name.clone());
+                }
+                "--out" => {
+                    out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--out requires a path".to_string())?,
+                    ));
+                }
+                "--root" => {
+                    root = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--root requires a path".to_string())?,
+                    ));
+                }
+                other => return Err(format!("unknown lint flag `{other}`")),
+            }
+        }
+        let root = match root {
+            Some(r) => r,
+            None => {
+                let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+                ftes_lint::workspace::find_root(&cwd).ok_or_else(|| {
+                    "not inside the ftes workspace (no ancestor with Cargo.toml + crates/); \
+                     pass --root DIR"
+                        .to_string()
+                })?
+            }
+        };
+        Ok(LintCommand { root, json, rule, out })
+    }
+
+    /// Run the analyzer; `Ok(true)` means the tree is clean.
+    pub fn execute(&self) -> Result<bool, Box<dyn std::error::Error>> {
+        let diags = ftes_lint::lint_workspace(&self.root, self.rule.as_deref())?;
+        if let Some(path) = &self.out {
+            std::fs::write(path, ftes_lint::to_json(&diags))?;
+        }
+        if self.json {
+            print!("{}", ftes_lint::to_json(&diags));
+        } else {
+            for d in &diags {
+                println!("{d}");
+            }
+            let scope = match &self.rule {
+                Some(r) => format!("rule {r}"),
+                None => format!("{} rules", ftes_lint::rules::RULES.len()),
+            };
+            eprintln!(
+                "ftes lint: {} diagnostic{} ({scope})",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" },
+            );
+        }
+        Ok(diags.is_empty())
+    }
+}

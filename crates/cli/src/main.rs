@@ -10,7 +10,10 @@
 //!   ftes serve …     # run the synthesis HTTP service (see --help)
 //!   ftes load …      # drive load against a running service (see --help)
 //!   ftes jobs …      # submit/poll/cancel asynchronous daemon jobs (see --help)
+//!   ftes lint …      # run the workspace invariant analyzer (see --help)
 //! ```
+
+#![forbid(unsafe_code)]
 
 use ftes::sched::export::{
     scenario_timeline, tables_to_csv, tables_to_markdown, timeline_to_ascii,
@@ -18,8 +21,8 @@ use ftes::sched::export::{
 use ftes::sim::verify_exhaustive;
 use ftes::{synthesize_system, FlowConfig};
 use ftes_cli::{
-    parse_spec, CorpusCommand, ExploreCommand, JobsCommand, LoadCommand, ServeCommand, SystemSpec,
-    TraceCapture, FIG5_SPEC,
+    parse_spec, CorpusCommand, ExploreCommand, JobsCommand, LintCommand, LoadCommand, ServeCommand,
+    SystemSpec, TraceCapture, FIG5_SPEC,
 };
 use std::process::ExitCode;
 
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         Some("serve") => return run_serve(&args[1..]),
         Some("load") => return run_load_cmd(&args[1..]),
         Some("jobs") => return run_jobs_cmd(&args[1..]),
+        Some("lint") => return run_lint_cmd(&args[1..]),
         _ => {}
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -284,6 +288,28 @@ fn run_jobs_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_lint_cmd(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match LintCommand::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.execute() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "ftes — synthesis of fault-tolerant embedded systems (DATE 2008 reproduction)\n\n\
@@ -334,6 +360,13 @@ fn print_usage() {
          list   --addr A              id-ordered job summaries\n  \
          status --addr A ID [--wait] [--result]   snapshot / raw result bytes\n  \
          cancel --addr A ID           cancel at the next row boundary\n\n\
-         EXIT CODE: 0 schedulable (load: all ok), 2 not (load: failures), 1 error"
+         LINT (the ftes-lint workspace invariant analyzer; see docs/lints.md):\n  \
+         --json        machine-readable JSON diagnostics on stdout\n  \
+         --rule NAME   run one rule (determinism, byte-identity, atomics-policy,\n  \
+         \u{20}             panic-freedom, forbid-unsafe, taxonomy, allow-syntax)\n  \
+         --out FILE    also write the JSON report to FILE (CI artifact)\n  \
+         --root DIR    workspace root (default: nearest Cargo.toml + crates/)\n\n\
+         EXIT CODE: 0 schedulable (load: all ok; lint: clean), 2 not\n  \
+         (load: failures; lint: diagnostics), 1 error"
     );
 }

@@ -341,6 +341,7 @@ pub fn run_corpus_cancellable<F>(
 where
     F: FnMut(usize, &CorpusRow) + Send,
 {
+    // ftes-lint: allow(determinism, byte-identity) reason="wall-clock feeds the wall_ms diagnostics column, excluded from byte comparisons"
     let started = Instant::now();
     let workers = config.workers.clamp(1, jobs.len().max(1));
 
@@ -357,7 +358,7 @@ where
             let flusher = &flusher;
             let next_job = &next_job;
             scope.spawn(move || loop {
-                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
                     break;
                 }
                 let i = next_job.fetch_add(1, Ordering::Relaxed);

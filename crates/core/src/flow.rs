@@ -297,6 +297,7 @@ pub fn synthesize_system_timed(
     assert_eq!(evaluator.k(), fault_model.k(), "evaluator was built for a different fault budget");
     let _flow_span = ftes_obs::span(ftes_obs::names::SYNTHESIZE);
     let mut timings = FlowTimings::default();
+    // ftes-lint: allow(determinism) reason="phase timings feed FlowTimings diagnostics and /metrics, never result bytes"
     let started = Instant::now();
     let mut certifier = Certifier::new(
         evaluator.app(),
@@ -326,6 +327,7 @@ pub fn synthesize_system_timed(
     // Reuse the certifier's FT-CPG + exact schedule when the winner was the
     // last configuration it certified (the common path); otherwise rebuild.
     let reused = certifier.take_artifacts(&copies, &policies);
+    // ftes-lint: allow(determinism) reason="phase timings feed FlowTimings diagnostics and /metrics, never result bytes"
     let started = Instant::now();
     let cpg_span = ftes_obs::span(ftes_obs::names::CPG);
     let built = match reused {
@@ -338,6 +340,7 @@ pub fn synthesize_system_timed(
     };
     drop(cpg_span);
     timings.cpg = started.elapsed();
+    // ftes-lint: allow(determinism) reason="phase timings feed FlowTimings diagnostics and /metrics, never result bytes"
     let started = Instant::now();
     let schedule_span = ftes_obs::span(ftes_obs::names::SCHEDULE);
     let exact = match built {

@@ -31,6 +31,7 @@ use ftes_model::{
 };
 use ftes_opt::Strategy;
 use ftes_tdma::{Platform, TdmaBus};
+// ftes-lint: allow(determinism) reason="keyed lookup during validation only; iteration order never reaches results"
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;

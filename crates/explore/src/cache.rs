@@ -17,6 +17,7 @@
 use ftes_ft::PolicyAssignment;
 use ftes_model::Mapping;
 use ftes_sched::Estimate;
+// ftes-lint: allow(determinism) reason="hash-keyed estimate lookup only; entries are never iterated into results"
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};

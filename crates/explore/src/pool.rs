@@ -22,6 +22,7 @@ use ftes_ftcpg::CopyMapping;
 use ftes_model::{Application, Mapping};
 use ftes_sched::{Estimate, EvaluatorStats, SystemEvaluator};
 use ftes_tdma::Platform;
+// ftes-lint: allow(determinism) reason="keyed evaluator checkout only; entries are never iterated into results"
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -36,6 +36,7 @@ fn certified_csv(v: CertifyVerdict) -> &'static str {
 /// Renders a suite outcome as CSV (header + one row per grid point).
 pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::from(
+        // ftes-lint: allow(byte-identity) reason="wall_ms is the documented wall-clock diagnostics column, excluded from byte comparisons"
         "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
          slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,\
          certified,exact_len,demoted,wall_ms,\
@@ -145,6 +146,7 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
         w.key("reused");
         w.number_u64(p.evals.reused());
         w.end_object();
+        // ftes-lint: allow(byte-identity) reason="wall_ms is the documented wall-clock diagnostics column, excluded from byte comparisons"
         w.key("wall_ms");
         w.number_u64(p.wall.as_millis() as u64);
         w.key("pareto");
@@ -196,6 +198,7 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
     w.key("reused");
     w.number_u64(evals.reused());
     w.end_object();
+    // ftes-lint: allow(byte-identity) reason="wall_ms is the documented wall-clock diagnostics column, excluded from byte comparisons"
     w.key("wall_ms");
     w.number_u64(outcome.wall.as_millis() as u64);
     w.end_object();

@@ -307,6 +307,7 @@ pub fn run_suite_streaming<F>(
 where
     F: FnMut(usize, &PointOutcome) + Send,
 {
+    // ftes-lint: allow(determinism) reason="wall-clock feeds the wall_ms diagnostics column, excluded from byte comparisons"
     let started = Instant::now();
     // Split the thread budget across concurrent points instead of letting
     // every point fan out at full width (point_parallelism × threads would
@@ -330,7 +331,7 @@ where
             let flusher = &flusher;
             let next_point = &next_point;
             scope.spawn(move || loop {
-                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
                     break;
                 }
                 let i = next_point.fetch_add(1, Ordering::Relaxed);
@@ -356,7 +357,7 @@ where
         }
     });
 
-    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+    if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
         return Ok(None);
     }
     let slots = flusher.into_inner().expect("suite flusher poisoned").slots;
@@ -377,6 +378,7 @@ fn run_point(
     point: ScenarioPoint,
     threads: usize,
 ) -> Result<PointOutcome, ExploreError> {
+    // ftes-lint: allow(determinism) reason="wall-clock feeds the wall_ms diagnostics column, excluded from byte comparisons"
     let started = Instant::now();
     let gen_config = GeneratorConfig::new(point.processes, point.nodes);
     let app = generate_application(&gen_config, point.seed)

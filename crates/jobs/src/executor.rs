@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Tunables of the executor.
@@ -238,15 +238,28 @@ impl JobExecutor {
             stop: AtomicBool::new(false),
             capacity: config.queue_capacity.max(1),
         });
-        let handles = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("ftes-jobs-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawning a job worker thread")
-            })
-            .collect();
+        let workers = config.workers.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ftes-jobs-worker-{i}"))
+                .spawn(move || worker_loop(&worker_inner));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool: a half-spawned executor
+                    // would strand accepted jobs, so fail construction
+                    // whole and leave the journal as the source of truth.
+                    inner.stop.store(true, Ordering::Release);
+                    inner.ready.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(JobExecutor { inner, handles: Mutex::new(handles) })
     }
 
@@ -295,16 +308,17 @@ impl JobExecutor {
     /// the next row boundary.
     pub fn cancel(&self, id: u64) -> Option<bool> {
         let mut state = self.lock();
-        let entry_state = state.jobs.get(&id)?.state;
+        let entry = state.jobs.get(&id)?;
+        let (entry_state, cancel) = (entry.state, Arc::clone(&entry.cancel));
         match entry_state {
             JobState::Completed | JobState::Failed | JobState::Cancelled => Some(false),
             JobState::Running => {
-                state.jobs.get(&id).expect("checked above").cancel.store(true, Ordering::Release);
+                cancel.store(true, Ordering::Release);
                 Some(true)
             }
             JobState::Queued => {
                 state.pending.retain(|&p| p != id);
-                finish(&mut state, id, JobState::Cancelled, String::new());
+                finish(&mut state, id, TerminalStatus::Cancelled, String::new());
                 Some(true)
             }
         }
@@ -374,15 +388,27 @@ impl JobExecutor {
             return;
         }
         self.inner.ready.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
         for handle in handles {
             let _ = handle.join();
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, ExecState> {
-        self.inner.state.lock().expect("executor state poisoned")
+        lock_state(&self.inner)
     }
+}
+
+/// Lock the executor state, recovering from a poisoned mutex. The
+/// critical sections guarded by this lock contain no panicking
+/// operations (enforced by ftes-lint's panic-freedom rule), so poisoning
+/// is already next to impossible; if it ever happens anyway, refusing
+/// the lock forever would turn one panic into a permanently wedged
+/// daemon, while the journal keeps the durable state consistent either
+/// way — recovery is strictly better than propagation here.
+fn lock_state(inner: &Inner) -> MutexGuard<'_, ExecState> {
+    inner.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Drop for JobExecutor {
@@ -449,27 +475,30 @@ fn replay(state: &mut ExecState, records: Vec<JournalRecord>) {
     }
 }
 
-/// Journals and applies one terminal transition. Journal append failures
-/// are swallowed deliberately: the in-memory state must still advance (a
-/// wedged journal must not wedge the daemon), and on restart the job
-/// simply re-runs — resume-too-much is safe, forget is not.
-fn finish(state: &mut ExecState, id: u64, terminal: JobState, payload: String) {
-    let status = match terminal {
-        JobState::Completed => TerminalStatus::Completed,
-        JobState::Failed => TerminalStatus::Failed,
-        JobState::Cancelled => TerminalStatus::Cancelled,
-        _ => unreachable!("finish() takes terminal states only"),
-    };
+/// Journals and applies one terminal transition. Taking [`TerminalStatus`]
+/// (not [`JobState`]) makes non-terminal arguments unrepresentable —
+/// no runtime "terminal states only" check to get wrong. Journal append
+/// failures are swallowed deliberately: the in-memory state must still
+/// advance (a wedged journal must not wedge the daemon), and on restart
+/// the job simply re-runs — resume-too-much is safe, forget is not.
+fn finish(state: &mut ExecState, id: u64, status: TerminalStatus, payload: String) {
     if let Some(journal) = state.journal.as_mut() {
         let _ = journal.append(&JournalRecord::Done { id, status, result: payload.clone() });
     }
-    let entry = state.jobs.get_mut(&id).expect("finished job exists");
-    entry.state = terminal;
+    // A missing entry means the id was never accepted (a bookkeeping bug,
+    // caught by tests): nothing observable to update, and panicking in a
+    // worker would be strictly worse than dropping the transition.
+    let Some(entry) = state.jobs.get_mut(&id) else { return };
+    entry.state = match status {
+        TerminalStatus::Completed => JobState::Completed,
+        TerminalStatus::Failed => JobState::Failed,
+        TerminalStatus::Cancelled => JobState::Cancelled,
+    };
     ftes_obs::counter(ftes_obs::names::JOB_TERMINAL, 1);
-    match terminal {
-        JobState::Completed => entry.result = Some(payload),
-        JobState::Failed => entry.error = Some(payload),
-        _ => {}
+    match status {
+        TerminalStatus::Completed => entry.result = Some(payload),
+        TerminalStatus::Failed => entry.error = Some(payload),
+        TerminalStatus::Cancelled => {}
     }
 }
 
@@ -477,22 +506,25 @@ fn worker_loop(inner: &Inner) {
     loop {
         // Claim the next pending job (or exit on shutdown).
         let (id, request, prior_rows, cancel) = {
-            let mut state = inner.state.lock().expect("executor state poisoned");
+            let mut state = lock_state(inner);
             loop {
                 if inner.stop.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(id) = state.pending.pop_front() {
-                    let entry = state.jobs.get_mut(&id).expect("pending job exists");
+                let claimed = state.pending.pop_front().and_then(|id| {
+                    let entry = state.jobs.get_mut(&id)?;
                     entry.state = JobState::Running;
-                    break (
-                        id,
-                        entry.request.clone(),
-                        entry.rows.clone(),
-                        Arc::clone(&entry.cancel),
-                    );
+                    Some((id, entry.request.clone(), entry.rows.clone(), Arc::clone(&entry.cancel)))
+                });
+                // A pending id without an entry would be a bookkeeping
+                // bug; the `?` above drops it instead of killing the
+                // worker, and the loop claims the next job.
+                if let Some(claimed) = claimed {
+                    break claimed;
                 }
-                state = inner.ready.wait(state).expect("executor state poisoned");
+                if state.pending.is_empty() {
+                    state = inner.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
             }
         };
         // Execute without holding the lock; each emitted row takes it
@@ -500,7 +532,7 @@ fn worker_loop(inner: &Inner) {
         let _job_span = ftes_obs::span(ftes_obs::names::JOB_RUN);
         let emit = |index: usize, row: &str| {
             ftes_obs::counter(ftes_obs::names::JOB_ROW, 1);
-            let mut state = inner.state.lock().expect("executor state poisoned");
+            let mut state = lock_state(inner);
             if let Some(journal) = state.journal.as_mut() {
                 let _ = journal.append(&JournalRecord::Row {
                     id,
@@ -508,18 +540,19 @@ fn worker_loop(inner: &Inner) {
                     row: row.to_string(),
                 });
             }
-            let entry = state.jobs.get_mut(&id).expect("running job exists");
-            debug_assert_eq!(entry.rows.len(), index, "rows stream densely in order");
-            entry.rows.push(row.to_string());
+            if let Some(entry) = state.jobs.get_mut(&id) {
+                debug_assert_eq!(entry.rows.len(), index, "rows stream densely in order");
+                entry.rows.push(row.to_string());
+            }
         };
         let outcome = execute_request(&request, &prior_rows, &cancel, emit);
-        let (terminal, payload) = match outcome {
-            Ok(result) => (JobState::Completed, result),
-            Err(JobInterrupt::Cancelled) => (JobState::Cancelled, String::new()),
-            Err(JobInterrupt::Failed(message)) => (JobState::Failed, message),
+        let (status, payload) = match outcome {
+            Ok(result) => (TerminalStatus::Completed, result),
+            Err(JobInterrupt::Cancelled) => (TerminalStatus::Cancelled, String::new()),
+            Err(JobInterrupt::Failed(message)) => (TerminalStatus::Failed, message),
         };
-        let mut state = inner.state.lock().expect("executor state poisoned");
-        finish(&mut state, id, terminal, payload);
+        let mut state = lock_state(inner);
+        finish(&mut state, id, status, payload);
     }
 }
 

@@ -122,23 +122,19 @@ fn take_str(bytes: &[u8], at: &mut usize) -> Result<String, String> {
 }
 
 fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
-    let end = *at + 4;
-    if end > bytes.len() {
-        return Err("truncated u32".to_string());
-    }
-    let v = u32::from_le_bytes(bytes[*at..end].try_into().expect("4 bytes"));
+    let end = at.checked_add(4).ok_or("truncated u32")?;
+    let arr: [u8; 4] =
+        bytes.get(*at..end).and_then(|s| s.try_into().ok()).ok_or("truncated u32")?;
     *at = end;
-    Ok(v)
+    Ok(u32::from_le_bytes(arr))
 }
 
 fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
-    let end = *at + 8;
-    if end > bytes.len() {
-        return Err("truncated u64".to_string());
-    }
-    let v = u64::from_le_bytes(bytes[*at..end].try_into().expect("8 bytes"));
+    let end = at.checked_add(8).ok_or("truncated u64")?;
+    let arr: [u8; 8] =
+        bytes.get(*at..end).and_then(|s| s.try_into().ok()).ok_or("truncated u64")?;
     *at = end;
-    Ok(v)
+    Ok(u64::from_le_bytes(arr))
 }
 
 impl JournalRecord {
@@ -254,12 +250,18 @@ impl Journal {
         // records; everything after it is a torn tail from a crash.
         let mut records = Vec::new();
         let mut at = JOURNAL_MAGIC.len();
-        while let Some(header_end) = at.checked_add(12).filter(|&e| e <= bytes.len()) {
-            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        while at.checked_add(12).filter(|&e| e <= bytes.len()).is_some() {
+            let mut cursor = at;
+            let Ok(len) = take_u32(&bytes, &mut cursor) else {
+                break;
+            };
             if len > MAX_RECORD_BYTES {
                 break;
             }
-            let checksum = u64::from_le_bytes(bytes[at + 4..header_end].try_into().expect("8"));
+            let Ok(checksum) = take_u64(&bytes, &mut cursor) else {
+                break;
+            };
+            let header_end = cursor;
             let Some(end) = header_end.checked_add(len as usize).filter(|&e| e <= bytes.len())
             else {
                 break;
@@ -293,6 +295,7 @@ impl Journal {
     /// Propagates write failures (disk full, journal directory removed).
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let _span = ftes_obs::span(ftes_obs::names::JOURNAL_APPEND);
+        // ftes-lint: allow(determinism) reason="append-latency metric feeds /metrics only, never result bytes"
         let started = std::time::Instant::now();
         let payload = record.encode();
         let mut frame = Vec::with_capacity(12 + payload.len());

@@ -66,11 +66,11 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
 }
 
 fn take_str(bytes: &[u8], at: &mut usize) -> Result<String, String> {
-    if *at + 4 > bytes.len() {
-        return Err("truncated string length".to_string());
-    }
-    let len = u32::from_le_bytes(bytes[*at..*at + 4].try_into().expect("4 bytes")) as usize;
-    *at += 4;
+    let len_end = at.checked_add(4).ok_or("truncated string length")?;
+    let arr: [u8; 4] =
+        bytes.get(*at..len_end).and_then(|s| s.try_into().ok()).ok_or("truncated string length")?;
+    let len = u32::from_le_bytes(arr) as usize;
+    *at = len_end;
     let end = at.checked_add(len).filter(|&e| e <= bytes.len()).ok_or("string overruns request")?;
     let s = std::str::from_utf8(&bytes[*at..end]).map_err(|_| "string is not UTF-8")?;
     *at = end;
@@ -78,12 +78,11 @@ fn take_str(bytes: &[u8], at: &mut usize) -> Result<String, String> {
 }
 
 fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
-    if *at + 8 > bytes.len() {
-        return Err("truncated u64".to_string());
-    }
-    let v = u64::from_le_bytes(bytes[*at..*at + 8].try_into().expect("8 bytes"));
-    *at += 8;
-    Ok(v)
+    let end = at.checked_add(8).ok_or("truncated u64")?;
+    let arr: [u8; 8] =
+        bytes.get(*at..end).and_then(|s| s.try_into().ok()).ok_or("truncated u64")?;
+    *at = end;
+    Ok(u64::from_le_bytes(arr))
 }
 
 const REQ_SYNTHESIZE: u8 = 1;

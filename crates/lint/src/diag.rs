@@ -1,0 +1,113 @@
+//! Diagnostics: the one output type every pass produces, with text and
+//! JSON renderings. Ordering is fully deterministic (path, line, rule,
+//! message) so lint output is byte-stable run to run — the analyzer holds
+//! itself to the invariant it enforces.
+
+use std::fmt;
+
+/// One finding: `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line (0 for whole-file findings).
+    pub line: u32,
+    /// The rule that fired (stable machine name, e.g. `determinism`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Sort diagnostics into the canonical (path, line, rule, message) order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Render diagnostics as a JSON array (machine-readable `--json` output).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\"file\":\"");
+        escape_into(&d.path, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"rule\":\"");
+        escape_into(d.rule, &mut out);
+        out.push_str("\",\"message\":\"");
+        escape_into(&d.message, &mut out);
+        out.push_str("\"}");
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic {
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: "determinism",
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/a.rs:7: determinism: m");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let diags = vec![Diagnostic {
+            path: "a.rs".into(),
+            line: 1,
+            rule: "determinism",
+            message: "a \"quoted\" \\ message".into(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains(r#""message":"a \"quoted\" \\ message""#), "{json}");
+    }
+
+    #[test]
+    fn sort_is_total() {
+        let mut diags = vec![
+            Diagnostic { path: "b.rs".into(), line: 1, rule: "x", message: "m".into() },
+            Diagnostic { path: "a.rs".into(), line: 9, rule: "x", message: "m".into() },
+            Diagnostic { path: "a.rs".into(), line: 2, rule: "x", message: "m".into() },
+        ];
+        sort(&mut diags);
+        assert_eq!(diags[0].path, "a.rs");
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[2].path, "b.rs");
+    }
+}

@@ -1,0 +1,440 @@
+//! Per-file analysis context: lexed tokens, `ftes-lint` allow directives,
+//! and `#[cfg(test)]` region masking.
+//!
+//! ## Allow-directive grammar
+//!
+//! ```text
+//! // ftes-lint: allow(rule-a, rule-b) reason="why this is sound"
+//! // ftes-lint: allow-file(rule-a) reason="why for the whole file"
+//! ```
+//!
+//! `allow(…)` is line-scoped: it covers the directive's own line and — when
+//! the comment stands alone on its line — the next line, so it can sit
+//! directly above the code it excuses. `allow-file(…)` covers the whole
+//! file. The `reason="…"` clause is **mandatory**: an allow without a
+//! reason (or any malformed `ftes-lint:` comment) is itself a diagnostic
+//! (`allow-syntax`), as is an allow that excuses nothing (when all rules
+//! run, so a `--rule` subset never flags another rule's allows as unused).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One parsed allow directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// Rules this directive excuses.
+    pub rules: Vec<String>,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// Last line the directive covers (`u32::MAX` for `allow-file`).
+    pub last_line: u32,
+    /// Set when some rule consulted and honored this allow.
+    pub used: bool,
+}
+
+/// A lexed source file plus everything the passes need to walk it.
+pub struct SourceFile<'a> {
+    /// Workspace-relative path with `/` separators (diagnostic key).
+    pub path: &'a str,
+    /// The crate the file belongs to (`lint`, `serve`, … or `ftes-repro`).
+    pub crate_name: &'a str,
+    /// The raw source text.
+    pub text: &'a str,
+    /// The lexer output.
+    pub lexed: Lexed,
+    /// `is_test[i]` — token `i` is inside `#[cfg(test)]`/`#[test]` code.
+    pub is_test: Vec<bool>,
+    /// Parsed allow directives, in source order.
+    pub allows: Vec<Allow>,
+    /// Diagnostics found while parsing directives (`allow-syntax`).
+    pub directive_diags: Vec<Diagnostic>,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lex and preprocess one file.
+    pub fn new(path: &'a str, crate_name: &'a str, text: &'a str) -> Self {
+        let lexed = lex(text);
+        let is_test = mask_test_regions(text, &lexed.tokens);
+        let mut allows = Vec::new();
+        let mut directive_diags = Vec::new();
+        for comment in &lexed.comments {
+            parse_directive(comment, path, &mut allows, &mut directive_diags);
+        }
+        SourceFile { path, crate_name, text, lexed, is_test, allows, directive_diags }
+    }
+
+    /// True when `rule` is excused at `line`; marks the matching allow used.
+    pub fn allowed(&mut self, rule: &str, line: u32) -> bool {
+        for allow in &mut self.allows {
+            if line >= allow.line
+                && line <= allow.last_line
+                && allow.rules.iter().any(|r| r == rule)
+            {
+                allow.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emit `diag` unless an allow covers it; pushes into `out`.
+    pub fn report(
+        &mut self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: u32,
+        message: String,
+    ) {
+        if !self.allowed(rule, line) {
+            out.push(Diagnostic { path: self.path.to_string(), line, rule, message });
+        }
+    }
+
+    /// Diagnostics for allows no rule ever consulted. Only meaningful
+    /// after *all* rules ran over the file.
+    pub fn unused_allow_diags(&self, out: &mut Vec<Diagnostic>) {
+        for allow in &self.allows {
+            if !allow.used {
+                out.push(Diagnostic {
+                    path: self.path.to_string(),
+                    line: allow.line,
+                    rule: "allow-syntax",
+                    message: format!(
+                        "unused allow({}): nothing on the covered lines trips the rule",
+                        allow.rules.join(",")
+                    ),
+                });
+            }
+        }
+    }
+
+    /// The token stream.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Shorthand: token `i`'s text.
+    pub fn tok_text(&self, i: usize) -> &str {
+        self.lexed.tokens[i].text(self.text)
+    }
+
+    /// True when tokens `i..` match `pattern`, where each pattern element
+    /// is matched against ident text or a single punct char (e.g.
+    /// `&["Instant", ":", ":", "now"]`).
+    pub fn match_seq(&self, i: usize, pattern: &[&str]) -> bool {
+        let toks = &self.lexed.tokens;
+        if i + pattern.len() > toks.len() {
+            return false;
+        }
+        pattern.iter().enumerate().all(|(k, want)| {
+            let tok = &toks[i + k];
+            match tok.kind {
+                TokKind::Ident => tok.text(self.text) == *want,
+                TokKind::Punct(c) => want.len() == 1 && want.as_bytes()[0] as char == c,
+                _ => false,
+            }
+        })
+    }
+}
+
+/// Parse one comment for a `ftes-lint:` directive.
+fn parse_directive(
+    comment: &crate::lexer::Comment,
+    path: &str,
+    allows: &mut Vec<Allow>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Doc comments are prose (and may quote directive examples); only
+    // plain `//` / `/* */` comments can carry directives.
+    if comment.doc {
+        return;
+    }
+    let text = comment.text.trim();
+    let Some(rest) = text.strip_prefix("ftes-lint:") else {
+        // Catch near-miss placements (a directive buried after prose, as
+        // in `NOTE <directive>`) so a typo can't silently disable nothing
+        // — the allow the author thought they wrote.
+        if text.contains("ftes-lint:") {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: comment.line,
+                rule: "allow-syntax",
+                message: "malformed directive: expected `ftes-lint: allow(<rules>) \
+                          reason=\"…\"`"
+                    .to_string(),
+            });
+        }
+        return;
+    };
+    let rest = rest.trim_start();
+    let (file_scoped, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: comment.line,
+            rule: "allow-syntax",
+            message: "malformed directive: expected `allow(…)` or `allow-file(…)`".to_string(),
+        });
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some((list, after)) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) else {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: comment.line,
+            rule: "allow-syntax",
+            message: "malformed directive: missing `(<rule list>)`".to_string(),
+        });
+        return;
+    };
+    let rules: Vec<String> =
+        list.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: comment.line,
+            rule: "allow-syntax",
+            message: "malformed directive: empty rule list".to_string(),
+        });
+        return;
+    }
+    // Unknown names are typos: report each once and drop it from the
+    // directive (a dropped name excuses nothing, and keeping it would
+    // add a redundant unused-allow diagnostic for the same mistake).
+    let (rules, unknown): (Vec<String>, Vec<String>) = rules
+        .into_iter()
+        .partition(|rule| crate::rules::RULES.iter().any(|(name, _)| name == rule));
+    for rule in &unknown {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: comment.line,
+            rule: "allow-syntax",
+            message: format!("unknown rule `{rule}` in allow directive"),
+        });
+    }
+    if rules.is_empty() {
+        return;
+    }
+    // The reason clause: non-empty quoted string, mandatory.
+    let after = after.trim_start();
+    let reason_ok = after
+        .strip_prefix("reason=\"")
+        .and_then(|r| r.split_once('"'))
+        .is_some_and(|(reason, _)| !reason.trim().is_empty());
+    if !reason_ok {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: comment.line,
+            rule: "allow-syntax",
+            message: "allow directive requires a non-empty reason=\"…\" clause".to_string(),
+        });
+        return;
+    }
+    let last_line = if file_scoped {
+        u32::MAX
+    } else if comment.own_line {
+        comment.line + 1
+    } else {
+        comment.line
+    };
+    allows.push(Allow { rules, line: comment.line, last_line, used: false });
+}
+
+/// Compute the `#[cfg(test)]` / `#[test]` mask over the token stream.
+///
+/// Strategy: find `#[…]` attribute groups whose bracket contents mention
+/// `test` under `cfg(…)` (covers `#[cfg(test)]` and `#[cfg(all(test, …))]`)
+/// or that are exactly `#[test]`, then skip the item that follows — to the
+/// matching `}` when a `{` opens first, else to the terminating `;`.
+fn mask_test_regions(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#[` or `#![` — inner attributes never gate items, skip them.
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].kind == TokKind::Punct('!') {
+            i = j + 1;
+            continue;
+        }
+        if j >= tokens.len() || tokens[j].kind != TokKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Find the closing `]` (attributes can nest brackets: `#[cfg(any(..))]`).
+        let attr_start = j + 1;
+        let mut depth = 1i32;
+        j += 1;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j.saturating_sub(1); // index of `]`
+        if !attr_is_test(src, &tokens[attr_start..attr_end]) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item, then the item.
+        let mut k = j;
+        while k < tokens.len() && tokens[k].kind == TokKind::Punct('#') {
+            let mut d = 0i32;
+            k += 1;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Walk to the item end: matching `}` if a brace opens before a
+        // top-level `;`, else the `;`.
+        let mut brace = 0i32;
+        let mut saw_brace = false;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct('{') => {
+                    brace += 1;
+                    saw_brace = true;
+                }
+                TokKind::Punct('}') => {
+                    brace -= 1;
+                    if saw_brace && brace == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if !saw_brace => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = (k + 1).min(tokens.len());
+        for m in mask.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Does this attribute token slice denote test-only code?
+fn attr_is_test(src: &str, attr: &[Token]) -> bool {
+    // `#[test]`
+    if attr.len() == 1 && attr[0].kind == TokKind::Ident && attr[0].text(src) == "test" {
+        return true;
+    }
+    // `#[cfg(… test …)]` — any `test` ident inside a cfg attribute.
+    if attr.first().is_some_and(|t| t.kind == TokKind::Ident && t.text(src) == "cfg") {
+        return attr[1..].iter().any(|t| t.kind == TokKind::Ident && t.text(src) == "test");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn inner() { x.unwrap(); }\n}\nfn after() {}";
+        let f = SourceFile::new("a.rs", "x", src);
+        let toks = f.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            let text = t.text(src);
+            if text == "unwrap" || text == "inner" {
+                assert!(f.is_test[i], "{text} should be masked");
+            }
+            if text == "live" || text == "after" {
+                assert!(!f.is_test[i], "{text} should not be masked");
+            }
+        }
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn live() {}";
+        let f = SourceFile::new("a.rs", "x", src);
+        for (i, t) in f.tokens().iter().enumerate() {
+            if t.text(src) == "unwrap" {
+                assert!(f.is_test[i]);
+            }
+            if t.text(src) == "live" {
+                assert!(!f.is_test[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_attribute_does_not_mask() {
+        let src = "#![forbid(unsafe_code)]\nfn live() {}";
+        let f = SourceFile::new("a.rs", "x", src);
+        assert!(f.is_test.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn allow_directive_parses_and_scopes() {
+        let src = "// ftes-lint: allow(determinism) reason=\"wall clock feeds metrics only\"\nlet t = 1;\nlet u = 2;";
+        let mut f = SourceFile::new("a.rs", "x", src);
+        assert!(f.directive_diags.is_empty(), "{:?}", f.directive_diags);
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allowed("determinism", 2), "own-line allow covers the next line");
+        assert!(!f.allowed("determinism", 3));
+        assert!(!f.allowed("panic-freedom", 2));
+    }
+
+    #[test]
+    fn trailing_allow_covers_only_its_line() {
+        let src = "let t = now(); // ftes-lint: allow(determinism) reason=\"r\"\nlet u = 2;";
+        let mut f = SourceFile::new("a.rs", "x", src);
+        assert!(f.allowed("determinism", 1));
+        assert!(!f.allowed("determinism", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_diagnostic() {
+        let src = "// ftes-lint: allow(determinism)\nlet t = 1;";
+        let f = SourceFile::new("a.rs", "x", src);
+        assert_eq!(f.directive_diags.len(), 1);
+        assert_eq!(f.directive_diags[0].rule, "allow-syntax");
+        assert!(f.allows.is_empty(), "a reasonless allow must not excuse anything");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_diagnostic() {
+        let src = "// ftes-lint: allow(no-such-rule) reason=\"r\"\n";
+        let f = SourceFile::new("a.rs", "x", src);
+        assert!(f.directive_diags.iter().any(|d| d.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// example: `// ftes-lint: allow(determinism)`\n//! ftes-lint: allow(determinism)\nfn f() {}";
+        let f = SourceFile::new("a.rs", "x", src);
+        assert!(f.allows.is_empty());
+        assert!(f.directive_diags.is_empty(), "{:?}", f.directive_diags);
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let src = "// ftes-lint: allow-file(determinism) reason=\"r\"\n\n\nlet t = 1;";
+        let mut f = SourceFile::new("a.rs", "x", src);
+        assert!(f.allowed("determinism", 4000));
+    }
+}

@@ -1,0 +1,500 @@
+//! A small, dependency-free Rust token lexer.
+//!
+//! The lint passes need just enough lexical structure to be sound: they
+//! must never mistake the contents of a string literal or a comment for
+//! code (`"Instant::now"` in a doc string is not a violation), and they
+//! must read comments precisely enough to honor `// ftes-lint: allow(…)`
+//! directives. A full parser is deliberately out of scope — every rule is
+//! expressible over the token stream plus a little context.
+//!
+//! The classic lexical traps are handled head-on:
+//!
+//! - strings with escapes (`"a \" b"`), possibly spanning lines;
+//! - raw strings with any hash depth (`r#"…"#`, `r##"…"##`) and raw
+//!   identifiers (`r#type`);
+//! - byte strings / byte chars (`b"…"`, `b'x'`, `br#"…"#`);
+//! - nested block comments (`/* outer /* inner */ still comment */`);
+//! - lifetimes vs char literals (`&'a str` vs `'a'` vs `'\n'`).
+
+/// What a token is; the payload lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// A char or byte-char literal, quotes included.
+    Char,
+    /// A string, byte-string, or raw-string literal, delimiters included.
+    Str,
+    /// An integer or float literal.
+    Number,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// For `Str` tokens: the literal's contents with delimiters (and any
+    /// `b`/`r`/hash prefix) stripped. Escape sequences are left as-is —
+    /// the rules only compare against escape-free names.
+    pub fn str_contents<'a>(&self, src: &'a str) -> &'a str {
+        let t = self.text(src);
+        let t = t.strip_prefix('b').unwrap_or(t);
+        let t = match t.strip_prefix('r') {
+            Some(rest) => rest.trim_matches('#'),
+            None => t,
+        };
+        t.strip_prefix('"').and_then(|t| t.strip_suffix('"')).unwrap_or(t)
+    }
+}
+
+/// A comment (line or block) with its text and starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True for `//…` comments that are the only content on their line
+    /// (nothing but whitespace before them) — an allow directive in such
+    /// a comment covers the *next* line.
+    pub own_line: bool,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`): documentation
+    /// prose, never lint directives.
+    pub doc: bool,
+}
+
+/// The lexer's output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments (doc comments included — they are still comments).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. The lexer is error-tolerant: anything unrecognizable is
+/// emitted as a `Punct` token so the passes keep going.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Whether only whitespace has appeared since the last newline; used
+    // to classify `//` comments as own-line or trailing.
+    let mut line_blank = true;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_blank = true;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                    own_line: line_blank,
+                    doc: text.starts_with('/') || text.starts_with('!'),
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let text_start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text_end = i.saturating_sub(2).max(text_start);
+                let text = &src[text_start..text_end];
+                out.comments.push(Comment {
+                    text: text.to_string(),
+                    line: start_line,
+                    own_line: false,
+                    doc: text.starts_with('*') || text.starts_with('!'),
+                });
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) => {
+                if let Some(tok) = lex_raw_string(src, i, &mut line) {
+                    i = tok.end;
+                    out.tokens.push(tok);
+                    line_blank = false;
+                } else {
+                    // `r#ident` raw identifier (or a stray `r#`).
+                    let (tok, next) = lex_ident(src, i, line);
+                    i = next;
+                    out.tokens.push(tok);
+                    line_blank = false;
+                }
+            }
+            b'b' if matches!(bytes.get(i + 1), Some(b'"') | Some(b'\'')) => {
+                let tok = if bytes[i + 1] == b'"' {
+                    lex_string(src, i, i + 1, &mut line)
+                } else {
+                    lex_char(src, i, i + 1, line)
+                };
+                i = tok.end;
+                out.tokens.push(tok);
+                line_blank = false;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'r')
+                && matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')) =>
+            {
+                if let Some(tok) = lex_raw_string(src, i, &mut line) {
+                    i = tok.end;
+                    out.tokens.push(tok);
+                } else {
+                    let (tok, next) = lex_ident(src, i, line);
+                    i = next;
+                    out.tokens.push(tok);
+                }
+                line_blank = false;
+            }
+            b'"' => {
+                let tok = lex_string(src, i, i, &mut line);
+                i = tok.end;
+                out.tokens.push(tok);
+                line_blank = false;
+            }
+            b'\'' => {
+                let tok = lex_quote(src, i, line);
+                i = tok.end;
+                out.tokens.push(tok);
+                line_blank = false;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    let digit_dot = b == b'.'
+                        && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && bytes[i - 1] != b'.';
+                    if b.is_ascii_alphanumeric() || b == b'_' || digit_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token { kind: TokKind::Number, start, end: i, line });
+                line_blank = false;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let (tok, next) = lex_ident(src, i, line);
+                i = next;
+                out.tokens.push(tok);
+                line_blank = false;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    start: i,
+                    end: i + 1,
+                    line,
+                });
+                i += 1;
+                line_blank = false;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex an identifier starting at `i` (handles the `r#ident` prefix).
+fn lex_ident(src: &str, i: usize, line: u32) -> (Token, usize) {
+    let bytes = src.as_bytes();
+    let start = i;
+    let mut j = i;
+    if bytes[j] == b'r' && bytes.get(j + 1) == Some(&b'#') {
+        j += 2;
+    }
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    if j == start {
+        // Lone `r#` with nothing attachable: consume the `r` as an ident.
+        j = start + 1;
+    }
+    (Token { kind: TokKind::Ident, start, end: j, line }, j)
+}
+
+/// Lex a `"…"` (or `b"…"`) string whose opening quote is at `quote`.
+/// `start` is where the token (prefix included) begins.
+fn lex_string(src: &str, start: usize, quote: usize, line: &mut u32) -> Token {
+    let bytes = src.as_bytes();
+    let tok_line = *line;
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    Token { kind: TokKind::Str, start, end: i.min(bytes.len()), line: tok_line }
+}
+
+/// Lex a raw (possibly byte-) string starting at `start` (`r`/`br`).
+/// Returns `None` when the hashes are not followed by a quote — the
+/// caller then re-lexes as a raw identifier.
+fn lex_raw_string(src: &str, start: usize, line: &mut u32) -> Option<Token> {
+    let bytes = src.as_bytes();
+    let tok_line = *line;
+    let mut i = start + 1; // past `r`
+    if bytes.get(i) == Some(&b'r') {
+        i += 1; // `br`
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') {
+            i += 1 + hashes;
+            *line += newlines;
+            return Some(Token { kind: TokKind::Str, start, end: i, line: tok_line });
+        } else {
+            i += 1;
+        }
+    }
+    *line += newlines;
+    Some(Token { kind: TokKind::Str, start, end: bytes.len(), line: tok_line })
+}
+
+/// Lex a char or byte-char literal whose quote is at `quote`.
+fn lex_char(src: &str, start: usize, quote: usize, line: u32) -> Token {
+    let bytes = src.as_bytes();
+    let mut i = quote + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+        // Multi-char escapes: `\x41`, `\u{1F600}`.
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+    } else if i < bytes.len() {
+        // One char, possibly multi-byte UTF-8.
+        i += utf8_len(bytes[i]);
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    Token { kind: TokKind::Char, start, end: i.min(bytes.len()), line }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        _ if b < 0x80 => 1,
+        _ if b >> 5 == 0b110 => 2,
+        _ if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+/// Disambiguate `'` at `start`: lifetime (`'a`), char (`'a'`, `'\n'`).
+fn lex_quote(src: &str, start: usize, line: u32) -> Token {
+    let bytes = src.as_bytes();
+    match bytes.get(start + 1) {
+        Some(b'\\') => lex_char(src, start, start, line),
+        Some(&c) if is_ident_byte(c) || c == b' ' => {
+            // `'a'` is a char; `'a` (next non-ident byte is not `'`) is a
+            // lifetime. Scan the ident run and look at what follows.
+            let mut j = start + 1;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') && j > start + 1 {
+                Token { kind: TokKind::Char, start, end: j + 1, line }
+            } else if j == start + 1 {
+                // `' '` (space char) or stray quote.
+                lex_char(src, start, start, line)
+            } else {
+                Token { kind: TokKind::Lifetime, start: start + 1, end: j, line }
+            }
+        }
+        _ => lex_char(src, start, start, line),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("let x = a::b;");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct('='), "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct(':'), ":".into()),
+                (TokKind::Punct(':'), ":".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct(';'), ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let src = r#"let s = "Instant::now() \" quoted"; done"#;
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Str && t.contains("Instant")));
+        assert!(!got.iter().any(|(k, t)| *k == TokKind::Ident && t == "Instant"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r###"let s = r#"a "quoted" b"#; let t = r##"x"#y"##;"###;
+        let got = kinds(src);
+        let strs: Vec<_> = got.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].1, r##"r#"a "quoted" b"#"##);
+        assert_eq!(strs[1].1, r###"r##"x"#y"##"###);
+    }
+
+    #[test]
+    fn raw_string_contents() {
+        let src = r##"r#"hello"#"##;
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].str_contents(src), "hello");
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let got = kinds("let r#type = 1;");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let got = kinds(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let chars: Vec<_> = got.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0].1, r"'\n'");
+        assert_eq!(chars[1].1, r"'\''");
+        assert_eq!(chars[2].1, r"'\u{1F600}'");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still */ b");
+        let idents: Vec<_> = lexed.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(idents, vec![TokKind::Ident, TokKind::Ident]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_and_own_line_flag() {
+        let lexed = lex("x; // trailing\n  // own line\ny;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].text, " trailing");
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn doc_comments_are_tagged() {
+        let lexed =
+            lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/* plain block */");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let got = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Str && t == "b\"bytes\""));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let got = kinds("0..n; 1.max(2); 3.5;");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Number && t == "3.5"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+}

@@ -1,0 +1,73 @@
+//! `ftes-lint` — the workspace invariant analyzer.
+//!
+//! The four pinned invariants (ARCHITECTURE.md) — any-thread-count
+//! determinism, serve byte-identity, certified-or-tagged results, journal
+//! crash-safety — were enforced only dynamically, by whichever tests
+//! happened to exercise them. This crate proves the lexically provable
+//! parts at the source level: a dependency-free Rust token lexer
+//! ([`lexer`]) feeds invariant-derived passes ([`rules`], [`taxonomy`])
+//! that walk every first-party crate and fail CI on a violation.
+//!
+//! The rule catalog lives in `docs/lints.md`; deliberate exceptions carry
+//! `// ftes-lint: allow(<rule>) reason="…"` directives ([`mod@file`]), which
+//! themselves must be well-formed, reasoned, and actually used.
+//!
+//! Run it as `ftes lint [--json] [--rule <name>]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod file;
+pub mod lexer;
+pub mod rules;
+pub mod taxonomy;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use diag::{sort, to_json, Diagnostic};
+
+/// Lint the workspace rooted at `root`. `filter` restricts to one rule
+/// (`--rule`); `None` runs everything, including the unused-allow sweep
+/// (which is only meaningful when every rule has had its chance to use
+/// each allow).
+pub fn lint_workspace(root: &Path, filter: Option<&str>) -> io::Result<Vec<Diagnostic>> {
+    let sources = workspace::load_sources(root)?;
+    let mut files: Vec<file::SourceFile<'_>> =
+        sources.iter().map(|s| file::SourceFile::new(&s.rel, &s.crate_name, &s.text)).collect();
+    let mut out = Vec::new();
+    for f in &mut files {
+        rules::check_file(f, filter, &mut out);
+    }
+    if filter.is_none() || filter == Some("taxonomy") {
+        taxonomy::check(root, &mut files, &mut out);
+    }
+    if filter.is_none() {
+        for f in &files {
+            f.unused_allow_diags(&mut out);
+        }
+    }
+    diag::sort(&mut out);
+    Ok(out)
+}
+
+/// Lint a single source text as if it lived at `path` (workspace-relative,
+/// `/`-separated). This is the golden-test entry point: fixtures exercise
+/// path-scoped rules without touching the filesystem. The taxonomy pass
+/// (which needs the whole workspace) does not run here.
+pub fn lint_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    let crate_name = workspace::crate_of(path);
+    let mut f = file::SourceFile::new(path, crate_name, text);
+    let mut out = Vec::new();
+    rules::check_file(&mut f, None, &mut out);
+    f.unused_allow_diags(&mut out);
+    diag::sort(&mut out);
+    out
+}
+
+/// True when `name` is a known rule (for `--rule` validation).
+pub fn is_rule(name: &str) -> bool {
+    rules::RULES.iter().any(|(n, _)| *n == name)
+}

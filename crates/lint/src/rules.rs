@@ -1,0 +1,554 @@
+//! The per-file invariant passes.
+//!
+//! Each pass is a walk over one file's token stream, scoped by path/crate
+//! according to the tables below. The scoping *is* the rule: `Instant::now`
+//! is fine in the serve daemon's latency metrics and a violation in the
+//! scheduler, because the pinned invariants (ARCHITECTURE.md) draw exactly
+//! that line — observability is a sanctioned wall-clock side channel,
+//! result bytes are not.
+
+use crate::diag::Diagnostic;
+use crate::file::SourceFile;
+use crate::lexer::TokKind;
+
+/// Every rule the analyzer knows, with a one-line summary. The names are
+/// the vocabulary of `--rule` and of `allow(…)` directives; docs/lints.md
+/// is the long-form catalog.
+pub const RULES: &[(&str, &str)] = &[
+    ("determinism", "no wall clocks, ambient rng, or hash-order collections in result-byte crates"),
+    ("byte-identity", "no wall-clock or host-derived fields in serve/corpus/jobs result emitters"),
+    ("atomics-policy", "every Ordering:: use conforms to the per-crate policy table"),
+    ("panic-freedom", "no unwrap/expect/panic paths in serve handlers and jobs workers"),
+    ("forbid-unsafe", "crate roots carry #![forbid(unsafe_code)]; unsafe only in obs::ring"),
+    ("taxonomy", "obs names, call sites, docs table, and CI check_trace agree"),
+    ("allow-syntax", "allow directives are well-formed, reasoned, and earn their keep"),
+];
+
+/// Crates whose output is (or feeds) result bytes: synthesis models, the
+/// schedulers, the search, the generators, the job executor. A wall clock
+/// or hash-order iteration here can change what the user sees.
+const RESULT_BYTE_CRATES: &[&str] = &[
+    "model", "tdma", "ft", "ftcpg", "sched", "sim", "gen", "opt", "explore", "soft", "core", "jobs",
+];
+
+/// The files that serialize results (JSON/CSV emitters). The byte-identity
+/// invariant says: same request, same bytes — forever, from any replica.
+const EMIT_FILES: &[&str] = &[
+    "crates/serve/src/handlers.rs",
+    "crates/explore/src/report.rs",
+    "crates/core/src/corpus.rs",
+    "crates/jobs/src/driver.rs",
+    "crates/sched/src/export.rs",
+];
+
+/// Field names that smell like wall-clock or host state when they appear
+/// as string literals in an emit file (JSON keys, CSV headers).
+const EMIT_DENYLIST: &[&str] = &[
+    "wall_ms",
+    "wall_us",
+    "elapsed",
+    "elapsed_ms",
+    "elapsed_us",
+    "timestamp",
+    "duration_ms",
+    "duration_us",
+    "hostname",
+    "pid",
+    "uptime",
+    "started_at",
+    "finished_at",
+];
+
+/// Request-path files where a panic is an outage: serve's daemon side
+/// (everything but the load-test client) and the jobs executor stack.
+fn panic_free_scope(path: &str) -> bool {
+    (path.starts_with("crates/serve/src/") && path != "crates/serve/src/load.rs")
+        || path.starts_with("crates/jobs/src/")
+}
+
+/// The atomic orderings a crate may use. SeqCst is banned workspace-wide:
+/// nothing here needs a single total order, and SeqCst tends to paper over
+/// unclear pairings.
+fn allowed_orderings(path: &str) -> &'static [&'static str] {
+    if path == "crates/obs/src/lib.rs" {
+        // The global tracing gate: a Relaxed load-and-branch is the whole
+        // overhead budget. Anything stronger here is a perf bug.
+        &["Relaxed"]
+    } else if path.starts_with("crates/jobs/src/") {
+        // Executor/journal state transitions publish data between threads;
+        // Relaxed would be a correctness bug, not an optimization.
+        &["Acquire", "Release", "AcqRel"]
+    } else {
+        &["Relaxed", "Acquire", "Release", "AcqRel"]
+    }
+}
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Idents that look like cross-thread control flags. A `Relaxed` load or
+/// store on one of these pairs with nothing and synchronizes nothing.
+const SYNC_FLAG_HINTS: &[&str] = &["cancel", "stop", "closed", "shutdown"];
+
+/// Panicking method and macro names forbidden in request paths
+/// (`debug_assert*` stays legal: compiled out of release builds).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] =
+    &["panic", "todo", "unimplemented", "unreachable", "assert", "assert_eq", "assert_ne"];
+
+fn rule_on(filter: Option<&str>, rule: &str) -> bool {
+    filter.is_none_or(|f| f == rule)
+}
+
+/// Run every per-file pass over `file`, honoring `filter` (`--rule`).
+pub fn check_file(file: &mut SourceFile<'_>, filter: Option<&str>, out: &mut Vec<Diagnostic>) {
+    if rule_on(filter, "allow-syntax") {
+        out.extend(file.directive_diags.clone());
+    }
+    // Collect findings first (immutable walk), then report them through
+    // the allow filter (which mutates allow-usage state).
+    let mut found: Vec<(&'static str, u32, String)> = Vec::new();
+    if rule_on(filter, "determinism") && RESULT_BYTE_CRATES.contains(&file.crate_name) {
+        determinism(file, &mut found);
+    }
+    if rule_on(filter, "byte-identity") && EMIT_FILES.contains(&file.path) {
+        byte_identity(file, &mut found);
+    }
+    if rule_on(filter, "atomics-policy") {
+        atomics_policy(file, &mut found);
+    }
+    if rule_on(filter, "panic-freedom") && panic_free_scope(file.path) {
+        panic_freedom(file, &mut found);
+    }
+    if rule_on(filter, "forbid-unsafe") {
+        forbid_unsafe(file, &mut found);
+    }
+    for (rule, line, message) in found {
+        file.report(out, rule, line, message);
+    }
+}
+
+fn determinism(f: &SourceFile<'_>, out: &mut Vec<(&'static str, u32, String)>) {
+    let toks = f.tokens();
+    let mut in_use_decl = false;
+    for (i, tok) in toks.iter().enumerate() {
+        if f.is_test[i] {
+            continue;
+        }
+        match tok.kind {
+            TokKind::Ident => {}
+            TokKind::Punct(';') => {
+                in_use_decl = false;
+                continue;
+            }
+            _ => continue,
+        }
+        let text = f.tok_text(i);
+        let line = tok.line;
+        match text {
+            "use" => in_use_decl = true,
+            "Instant" | "SystemTime" if f.match_seq(i + 1, &[":", ":", "now"]) => {
+                out.push((
+                    "determinism",
+                    line,
+                    format!(
+                        "{text}::now() in a result-byte crate: wall clocks must never \
+                         influence result bytes (route timings through ftes-obs instead)"
+                    ),
+                ));
+            }
+            "thread_rng" | "from_entropy" => {
+                out.push((
+                    "determinism",
+                    line,
+                    format!(
+                        "{text} draws ambient entropy: all randomness must come from an \
+                         explicit caller-provided seed"
+                    ),
+                ));
+            }
+            "HashMap" | "HashSet" => {
+                let qualified = i >= 3 && f.match_seq(i - 3, &["collections", ":", ":"]);
+                if in_use_decl || qualified {
+                    out.push((
+                        "determinism",
+                        line,
+                        format!(
+                            "{text} in a result-byte crate: iteration order varies run to \
+                             run; use BTreeMap/BTreeSet or prove no iteration reaches \
+                             result bytes"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn byte_identity(f: &SourceFile<'_>, out: &mut Vec<(&'static str, u32, String)>) {
+    let toks = f.tokens();
+    for (i, tok) in toks.iter().enumerate() {
+        if f.is_test[i] {
+            continue;
+        }
+        let line = tok.line;
+        match tok.kind {
+            TokKind::Ident => {
+                let text = f.tok_text(i);
+                if (text == "Instant" || text == "SystemTime")
+                    && f.match_seq(i + 1, &[":", ":", "now"])
+                {
+                    out.push((
+                        "byte-identity",
+                        line,
+                        format!(
+                            "{text}::now() in a result emitter: wall-clock state must not \
+                             be live while result bytes are rendered"
+                        ),
+                    ));
+                }
+            }
+            TokKind::Str => {
+                let contents = tok.str_contents(f.text);
+                let hit = EMIT_DENYLIST.contains(&contents)
+                    || (contents.contains("wall_ms") && contents.len() > "wall_ms".len());
+                if hit {
+                    out.push((
+                        "byte-identity",
+                        line,
+                        format!(
+                            "literal \"{}\" names a wall-clock/host-derived field in a \
+                             result emitter: such fields break replica byte-identity",
+                            contents.escape_default()
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn atomics_policy(f: &SourceFile<'_>, out: &mut Vec<(&'static str, u32, String)>) {
+    let toks = f.tokens();
+    let allowed = allowed_orderings(f.path);
+    for i in 0..toks.len() {
+        if f.is_test[i] || toks[i].kind != TokKind::Ident || f.tok_text(i) != "Ordering" {
+            continue;
+        }
+        if !f.match_seq(i + 1, &[":", ":"]) || i + 3 >= toks.len() {
+            continue;
+        }
+        let variant = f.tok_text(i + 3);
+        if !ATOMIC_ORDERINGS.contains(&variant) {
+            continue; // `std::cmp::Ordering::Less` and friends
+        }
+        let line = toks[i].line;
+        if !allowed.contains(&variant) {
+            out.push((
+                "atomics-policy",
+                line,
+                format!(
+                    "Ordering::{variant} is outside this file's policy (allowed: {})",
+                    allowed.join(", ")
+                ),
+            ));
+            continue;
+        }
+        if variant == "Relaxed" {
+            if let Some(flag) = relaxed_sync_flag(f, i) {
+                out.push((
+                    "atomics-policy",
+                    line,
+                    format!(
+                        "`{flag}` looks like a cross-thread control flag but is accessed \
+                         with Ordering::Relaxed, which synchronizes nothing; use \
+                         Acquire/Release"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// For a `Relaxed` at token `i` (`Ordering`): if the nearest preceding
+/// `load`/`store`/`swap` call's receiver chain names a control flag,
+/// return that name. Both scans stop at statement boundaries so a flag on
+/// a previous line can't contaminate an unrelated atomic.
+fn relaxed_sync_flag(f: &SourceFile<'_>, i: usize) -> Option<String> {
+    let toks = f.tokens();
+    let mut j = i;
+    let mut op = None;
+    for _ in 0..6 {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        match toks[j].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return None,
+            TokKind::Ident if matches!(f.tok_text(j), "load" | "store" | "swap") => {
+                op = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let op = op?;
+    let mut k = op;
+    for _ in 0..10 {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        match toks[k].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return None,
+            TokKind::Ident => {
+                let text = f.tok_text(k);
+                let lower = text.to_ascii_lowercase();
+                if SYNC_FLAG_HINTS.iter().any(|h| lower.contains(h)) {
+                    return Some(text.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn panic_freedom(f: &SourceFile<'_>, out: &mut Vec<(&'static str, u32, String)>) {
+    let toks = f.tokens();
+    for i in 0..toks.len() {
+        if f.is_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let text = f.tok_text(i);
+        let line = toks[i].line;
+        let is_method_call = i > 0
+            && toks[i - 1].kind == TokKind::Punct('.')
+            && PANIC_METHODS.contains(&text)
+            && matches!(toks.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('(')));
+        if is_method_call {
+            out.push((
+                "panic-freedom",
+                line,
+                format!(
+                    ".{text}() in a request path: a panic here kills a worker or wedges \
+                     a request; handle the failure or recover explicitly"
+                ),
+            ));
+            continue;
+        }
+        if PANIC_MACROS.contains(&text)
+            && matches!(toks.get(i + 1).map(|t| t.kind), Some(TokKind::Punct('!')))
+        {
+            out.push((
+                "panic-freedom",
+                line,
+                format!("{text}! in a request path: return an error instead of panicking"),
+            ));
+        }
+    }
+}
+
+fn forbid_unsafe(f: &SourceFile<'_>, out: &mut Vec<(&'static str, u32, String)>) {
+    // (a) The `unsafe` keyword is confined to the one audited SPSC ring.
+    if f.path != "crates/obs/src/ring.rs" {
+        let toks = f.tokens();
+        for (i, tok) in toks.iter().enumerate() {
+            if !f.is_test[i] && tok.kind == TokKind::Ident && f.tok_text(i) == "unsafe" {
+                out.push((
+                    "forbid-unsafe",
+                    tok.line,
+                    "unsafe code outside crates/obs/src/ring.rs (the one audited unsafe \
+                     module in the workspace)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // (b) Crate roots must pin the guarantee with the attribute, so a
+    // future `unsafe` fails at compile time, not only at lint time. The
+    // obs root is exempt: it hosts ring.rs and cannot forbid.
+    let is_crate_root = (f.path.starts_with("crates/")
+        && (f.path.ends_with("/src/lib.rs") || f.path.ends_with("/src/main.rs")))
+        || f.path == "src/lib.rs";
+    if is_crate_root && f.path != "crates/obs/src/lib.rs" {
+        let toks = f.tokens();
+        let has_attr = (0..toks.len())
+            .any(|i| f.match_seq(i, &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]));
+        if !has_attr {
+            out.push((
+                "forbid-unsafe",
+                1,
+                "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let crate_name = crate::workspace::crate_of(path);
+        let mut f = SourceFile::new(path, crate_name, src);
+        let mut out = Vec::new();
+        check_file(&mut f, None, &mut out);
+        f.unused_allow_diags(&mut out);
+        out
+    }
+
+    #[test]
+    fn instant_now_flagged_in_result_crate_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let hits = run("crates/sched/src/x.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "determinism"), "{hits:?}");
+        // serve is not a result-byte crate; same code is clean there
+        // (handlers.rs, the emit file, is a different rule's scope).
+        let hits = run("crates/serve/src/metrics.rs", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src =
+            "// ftes-lint: allow(determinism) reason=\"feeds obs only\"\nlet t = Instant::now();";
+        let hits = run("crates/sched/src/x.rs", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn hashmap_use_flagged_btreemap_not() {
+        let hits = run("crates/opt/src/x.rs", "use std::collections::HashMap;\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "determinism");
+        let hits = run("crates/opt/src/x.rs", "use std::collections::BTreeMap;\n");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_not_flagged() {
+        let src = "// HashMap would be wrong here\nlet s = \"HashMap\";\n";
+        assert!(run("crates/opt/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_banned_everywhere() {
+        let src = "fn f(a: &AtomicBool) { a.load(Ordering::SeqCst); }";
+        let hits = run("crates/serve/src/x.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "atomics-policy"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic() {
+        let src = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }";
+        assert!(run("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_cancel_flag_flagged() {
+        let src = "fn f(cancel: &AtomicBool) { if cancel.load(Ordering::Relaxed) {} }";
+        let hits = run("crates/explore/src/x.rs", src);
+        assert!(
+            hits.iter().any(|d| d.rule == "atomics-policy" && d.message.contains("cancel")),
+            "{hits:?}"
+        );
+        let src = "fn f(cancel: &AtomicBool) { if cancel.load(Ordering::Acquire) {} }";
+        assert!(run("crates/explore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_counter_not_a_flag() {
+        let src = "fn f(hits: &AtomicU64) { hits.fetch_add(1, Ordering::Relaxed); }";
+        assert!(run("crates/serve/src/metrics2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn jobs_crate_forbids_relaxed() {
+        let src = "fn f(n: &AtomicU64) { n.load(Ordering::Relaxed); }";
+        let hits = run("crates/jobs/src/x.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "atomics-policy"));
+    }
+
+    #[test]
+    fn unwrap_flagged_in_request_paths_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run("crates/serve/src/h.rs", src).iter().any(|d| d.rule == "panic-freedom"));
+        assert!(run("crates/jobs/src/h.rs", src).iter().any(|d| d.rule == "panic-freedom"));
+        assert!(run("crates/serve/src/load.rs", src).is_empty(), "client harness is exempt");
+        assert!(run("crates/opt/src/h.rs", src).is_empty(), "library code is exempt");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap_or_else(|e| e.into_inner()) }";
+        assert!(run("crates/serve/src/h.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_freedom() {
+        let src = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) { x.unwrap(); } }";
+        assert!(run("crates/serve/src/h.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panicking_macros_flagged() {
+        for m in ["panic!(\"boom\")", "todo!()", "unreachable!()", "assert!(x)"] {
+            let src = format!("fn f(x: bool) {{ {m}; }}");
+            let hits = run("crates/jobs/src/h.rs", &src);
+            assert!(hits.iter().any(|d| d.rule == "panic-freedom"), "{m}: {hits:?}");
+        }
+        // debug_assert compiles out of release builds.
+        let src = "fn f(x: bool) { debug_assert!(x); }";
+        assert!(run("crates/jobs/src/h.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_literal_flagged_in_emit_file() {
+        let src = "fn f(w: &mut W) { w.key(\"timestamp\"); }";
+        let hits = run("crates/jobs/src/driver.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "byte-identity"), "{hits:?}");
+        // The same literal in a non-emit file is out of scope.
+        assert!(run("crates/serve/src/metrics3.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_ms_inside_csv_header_flagged() {
+        let src = "const H: &str = \"spec,cost,wall_ms,verified\";";
+        let hits = run("crates/explore/src/report.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "byte-identity"), "{hits:?}");
+    }
+
+    #[test]
+    fn missing_forbid_attr_flagged_on_crate_roots() {
+        let hits = run("crates/sim/src/lib.rs", "//! docs\npub fn f() {}\n");
+        assert!(hits.iter().any(|d| d.rule == "forbid-unsafe"), "{hits:?}");
+        let ok = run("crates/sim/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        // Non-root files don't need the attribute.
+        assert!(run("crates/sim/src/other.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_ring_flagged() {
+        let src =
+            "#![forbid(unsafe_code)]\nfn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        let hits = run("crates/sim/src/lib.rs", src);
+        assert!(hits.iter().any(|d| d.rule == "forbid-unsafe"));
+        // ring.rs is the audited exception.
+        let hits = run("crates/obs/src/ring.rs", "fn f() { unsafe { x() } }");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// ftes-lint: allow(determinism) reason=\"nothing here\"\nlet x = 1;";
+        let hits = run("crates/sched/src/x.rs", src);
+        assert!(
+            hits.iter().any(|d| d.rule == "allow-syntax" && d.message.contains("unused")),
+            "{hits:?}"
+        );
+    }
+}

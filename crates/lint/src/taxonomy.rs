@@ -1,0 +1,247 @@
+//! Taxonomy coherence: the `ftes_obs::names` constants, their call sites,
+//! the `docs/observability.md` table, and CI's `check_trace` required set
+//! must agree — by construction, checked here.
+//!
+//! Four failure modes are errors:
+//!
+//! 1. **defined-but-unused** — a name constant no instrumented site emits;
+//! 2. **used-but-undefined** — a string-literal `span("…")`/`counter("…")`
+//!    call outside `ftes-obs` (bypassing the taxonomy entirely);
+//! 3. **undocumented** — a name missing from docs/observability.md;
+//! 4. **CI drift** — a `check_trace` argument in `.github/workflows/ci.yml`
+//!    that is not a taxonomy name (folded-stack args are split on `;` and
+//!    each frame checked).
+
+use std::fs;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+use crate::file::SourceFile;
+use crate::lexer::TokKind;
+
+const NAMES_FILE: &str = "crates/obs/src/names.rs";
+const DOCS_FILE: &str = "docs/observability.md";
+const CI_FILE: &str = ".github/workflows/ci.yml";
+
+/// Run the workspace-level taxonomy pass.
+pub fn check(root: &Path, files: &mut [SourceFile<'_>], out: &mut Vec<Diagnostic>) {
+    // 1. Parse the taxonomy: `pub const IDENT: &str = "value";` in names.rs.
+    let Some(names_file) = files.iter().position(|f| f.path == NAMES_FILE) else {
+        out.push(Diagnostic {
+            path: NAMES_FILE.to_string(),
+            line: 0,
+            rule: "taxonomy",
+            message: "taxonomy source file is missing".to_string(),
+        });
+        return;
+    };
+    let consts = parse_name_consts(&files[names_file]);
+
+    // 2. Every constant is emitted (referenced as `names::IDENT`) somewhere
+    //    outside ftes-obs.
+    for (ident, value, line) in &consts {
+        let used = files.iter().any(|f| {
+            f.crate_name != "obs"
+                && (0..f.tokens().len()).any(|i| {
+                    f.match_seq(i, &["names", ":", ":"])
+                        && f.tokens()
+                            .get(i + 3)
+                            .is_some_and(|t| t.kind == TokKind::Ident && t.text(f.text) == *ident)
+                })
+        });
+        if !used {
+            out.push(Diagnostic {
+                path: NAMES_FILE.to_string(),
+                line: *line,
+                rule: "taxonomy",
+                message: format!(
+                    "`{ident}` (\"{value}\") is defined but no site outside ftes-obs \
+                     emits it"
+                ),
+            });
+        }
+    }
+
+    // 3. Every constant's value is documented (backticked) in the docs table.
+    match fs::read_to_string(root.join(DOCS_FILE)) {
+        Ok(docs) => {
+            for (ident, value, line) in &consts {
+                if !docs.contains(&format!("`{value}`")) {
+                    out.push(Diagnostic {
+                        path: NAMES_FILE.to_string(),
+                        line: *line,
+                        rule: "taxonomy",
+                        message: format!(
+                            "`{ident}` (\"{value}\") is not documented in {DOCS_FILE}"
+                        ),
+                    });
+                }
+            }
+        }
+        Err(_) => out.push(Diagnostic {
+            path: DOCS_FILE.to_string(),
+            line: 0,
+            rule: "taxonomy",
+            message: "taxonomy documentation file is missing".to_string(),
+        }),
+    }
+
+    // 4. No literal-named span/counter calls outside ftes-obs: every event
+    //    must come from the taxonomy, or the docs/CI checks above are
+    //    checking the wrong universe.
+    let mut literal_calls: Vec<(usize, u32, String)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.crate_name == "obs" {
+            continue;
+        }
+        let toks = f.tokens();
+        for i in 0..toks.len() {
+            if f.is_test[i] || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let text = f.tok_text(i);
+            if (text == "span" || text == "counter")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct('('))
+                && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+            {
+                literal_calls.push((
+                    fi,
+                    toks[i].line,
+                    format!(
+                        "{text}({}) names its event with a string literal; use a \
+                         `ftes_obs::names` constant so docs and CI stay coherent",
+                        f.tok_text(i + 2)
+                    ),
+                ));
+            }
+        }
+    }
+    for (fi, line, message) in literal_calls {
+        files[fi].report(out, "taxonomy", line, message);
+    }
+
+    // 5. CI's check_trace required-name sets are taxonomy names.
+    let values: Vec<&str> = consts.iter().map(|(_, v, _)| v.as_str()).collect();
+    match fs::read_to_string(root.join(CI_FILE)) {
+        Ok(ci) => check_ci(&ci, &values, out),
+        Err(_) => out.push(Diagnostic {
+            path: CI_FILE.to_string(),
+            line: 0,
+            rule: "taxonomy",
+            message: "CI workflow file is missing".to_string(),
+        }),
+    }
+}
+
+/// Extract `(ident, value, line)` for each `pub const X: &str = "…";`.
+fn parse_name_consts(f: &SourceFile<'_>) -> Vec<(String, String, u32)> {
+    let toks = f.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if f.match_seq(i, &["pub", "const"])
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && f.match_seq(i + 3, &[":", "&", "str", "="])
+            && toks.get(i + 7).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            out.push((
+                f.tok_text(i + 2).to_string(),
+                toks[i + 7].str_contents(f.text).to_string(),
+                toks[i + 2].line,
+            ));
+        }
+    }
+    out
+}
+
+/// Validate every `check_trace` invocation's bare-name arguments.
+fn check_ci(ci: &str, values: &[&str], out: &mut Vec<Diagnostic>) {
+    // Join backslash-continued lines, remembering each joined line's start.
+    let mut joined: Vec<(u32, String)> = Vec::new();
+    let mut pending: Option<(u32, String)> = None;
+    for (idx, raw) in ci.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (cont, text) = match raw.trim_end().strip_suffix('\\') {
+            Some(t) => (true, t.to_string()),
+            None => (false, raw.to_string()),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(text.trim_start());
+                if cont {
+                    pending = Some((start, acc));
+                } else {
+                    joined.push((start, acc));
+                }
+            }
+            None => {
+                if cont {
+                    pending = Some((line_no, text));
+                } else {
+                    joined.push((line_no, text));
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        joined.push(p);
+    }
+
+    for (line_no, text) in &joined {
+        let Some(pos) = text.find("check_trace") else { continue };
+        for word in text[pos + "check_trace".len()..].split_whitespace() {
+            let word = word.trim_matches(|c| c == '"' || c == '\'');
+            if word.starts_with('-')
+                || word.contains('$')
+                || word.contains('/')
+                || word.ends_with(".json")
+                || word.ends_with(".folded")
+                || word.is_empty()
+            {
+                continue;
+            }
+            // A folded-stack argument names a frame path: check each frame.
+            for frame in word.split(';') {
+                if !values.contains(&frame) {
+                    out.push(Diagnostic {
+                        path: CI_FILE.to_string(),
+                        line: *line_no,
+                        rule: "taxonomy",
+                        message: format!(
+                            "check_trace argument `{frame}` is not a name in \
+                             ftes_obs::names — CI would accept a trace the taxonomy \
+                             does not describe"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_consts() {
+        let src = "/// doc\npub const PARSE: &str = \"parse\";\npub const GROUP: &[&str] = &[PARSE];\npub const N: usize = 3;";
+        let f = SourceFile::new("crates/obs/src/names.rs", "obs", src);
+        let consts = parse_name_consts(&f);
+        assert_eq!(consts.len(), 1);
+        assert_eq!(consts[0].0, "PARSE");
+        assert_eq!(consts[0].1, "parse");
+    }
+
+    #[test]
+    fn ci_args_checked_with_continuations_and_folded_stacks() {
+        let ci = "run: |\n  check_trace t.json \\\n    parse synthesize \\\n    \"synthesize;optimize\" --pipeline\n";
+        let mut out = Vec::new();
+        check_ci(ci, &["parse", "synthesize", "optimize"], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let mut out = Vec::new();
+        check_ci(ci, &["parse", "synthesize"], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`optimize`"));
+    }
+}

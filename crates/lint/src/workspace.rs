@@ -1,0 +1,96 @@
+//! Workspace walking: which files are first-party, and what crate each
+//! belongs to. The walk is deterministic (sorted directory order) so lint
+//! output is byte-stable — the analyzer obeys its own determinism rule.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One first-party source file, loaded.
+pub struct LoadedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Short crate name (`sched`, `serve`, …; `ftes-repro` for the root).
+    pub crate_name: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// The short crate name a workspace-relative path belongs to.
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("ftes-repro")
+}
+
+/// Load every first-party `.rs` file: `crates/*/src/**` (bin targets
+/// included) plus the root facade `src/**`. Vendored shims (`vendor/`)
+/// and the `tests/`/`benches/` trees are out of scope — the invariants
+/// the passes prove are about shipped library/binary code, and tests
+/// assert wall-clock/panic behavior on purpose.
+pub fn load_sources(root: &Path) -> io::Result<Vec<LoadedFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(root, &src, &mut out)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(root, &root_src, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Ascend from `start` to the workspace root (the directory holding both
+/// `Cargo.toml` and `crates/`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<LoadedFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let crate_name = crate_of(&rel).to_string();
+            let text = fs::read_to_string(&path)?;
+            out.push(LoadedFile { rel, crate_name, text });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/sched/src/certify.rs"), "sched");
+        assert_eq!(crate_of("crates/serve/src/bin/x.rs"), "serve");
+        assert_eq!(crate_of("src/lib.rs"), "ftes-repro");
+    }
+}

@@ -1,0 +1,197 @@
+//! Golden-diagnostic tests: fixture sources with known violations must
+//! produce exactly the expected `path:line: rule` triples, and their
+//! allow-annotated twins must produce none. This pins both halves of the
+//! analyzer's contract — it fires on true violations and stays silent
+//! once a reasoned exception is recorded.
+
+use ftes_lint::lint_source;
+
+/// The `(line, rule)` pairs of every diagnostic for `text` at `path`.
+fn fired(path: &str, text: &str) -> Vec<(u32, &'static str)> {
+    lint_source(path, text).into_iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn determinism_catches_wall_clocks_and_hashed_containers() {
+    let text = "\
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn stamp() -> std::time::Instant {
+    let t = Instant::now();
+    let _s = std::time::SystemTime::now();
+    t
+}
+";
+    assert_eq!(
+        fired("crates/core/src/bad.rs", text),
+        vec![(1, "determinism"), (5, "determinism"), (6, "determinism"),]
+    );
+}
+
+#[test]
+fn determinism_ignores_non_result_crates_and_tests() {
+    let text = "\
+use std::time::Instant;
+fn stamp() -> Instant {
+    Instant::now()
+}
+";
+    // `ftes-obs` is the sanctioned wall-clock side channel.
+    assert_eq!(fired("crates/obs/src/clock.rs", text), vec![]);
+
+    let masked = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing() {
+        let _t = std::time::Instant::now();
+    }
+}
+";
+    assert_eq!(fired("crates/core/src/ok.rs", masked), vec![]);
+}
+
+#[test]
+fn byte_identity_catches_wall_clock_fields_in_emit_files() {
+    let text = "\
+fn render(w: &mut JsonWriter) {
+    w.key(\"timestamp\");
+    w.key(\"result\");
+}
+";
+    assert_eq!(fired("crates/serve/src/handlers.rs", text), vec![(2, "byte-identity")]);
+}
+
+#[test]
+fn atomics_policy_is_per_crate() {
+    let relaxed = "\
+fn gate(x: &std::sync::atomic::AtomicBool) -> bool {
+    x.load(Ordering::Relaxed)
+}
+";
+    // The obs gate is Relaxed-only: Relaxed passes there...
+    assert_eq!(fired("crates/obs/src/lib.rs", relaxed), vec![]);
+
+    let acquire = "\
+fn gate(x: &std::sync::atomic::AtomicBool) -> bool {
+    x.load(Ordering::Acquire)
+}
+";
+    // ...and anything stronger is flagged.
+    assert_eq!(fired("crates/obs/src/lib.rs", acquire), vec![(2, "atomics-policy")]);
+
+    // The journaled executor must publish with Acquire/Release: a Relaxed
+    // load of a cancel-style flag is the historical bug shape.
+    let jobs = "\
+fn cancelled(cancel: &std::sync::atomic::AtomicBool) -> bool {
+    cancel.load(Ordering::Relaxed)
+}
+";
+    assert_eq!(fired("crates/jobs/src/executor.rs", jobs), vec![(2, "atomics-policy")]);
+
+    // SeqCst is banned workspace-wide.
+    let seqcst = "\
+fn bump(n: &std::sync::atomic::AtomicU64) {
+    n.fetch_add(1, Ordering::SeqCst);
+}
+";
+    assert_eq!(fired("crates/model/src/counter.rs", seqcst), vec![(2, "atomics-policy")]);
+}
+
+#[test]
+fn panic_freedom_covers_serve_handlers_and_jobs() {
+    let text = "\
+fn handle(lock: &std::sync::Mutex<u32>) -> u32 {
+    let v = *lock.lock().unwrap();
+    if v > 9000 {
+        panic!(\"overload\");
+    }
+    v
+}
+";
+    assert_eq!(
+        fired("crates/serve/src/handlers.rs", text),
+        vec![(2, "panic-freedom"), (4, "panic-freedom")]
+    );
+    // The same text in a crate off the request path is fine.
+    assert_eq!(fired("crates/model/src/handlers.rs", text), vec![]);
+
+    // The poison-recovery idiom is the sanctioned replacement.
+    let recovered = "\
+fn handle(lock: &std::sync::Mutex<u32>) -> u32 {
+    *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+";
+    assert_eq!(fired("crates/serve/src/handlers.rs", recovered), vec![]);
+}
+
+#[test]
+fn forbid_unsafe_requires_the_attribute_and_bans_the_keyword() {
+    let root_without = "//! A crate.\npub fn f() {}\n";
+    assert_eq!(fired("crates/model/src/lib.rs", root_without), vec![(1, "forbid-unsafe")]);
+
+    let root_with = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert_eq!(fired("crates/model/src/lib.rs", root_with), vec![]);
+
+    let uses_unsafe = "\
+#![forbid(unsafe_code)]
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+    assert_eq!(fired("crates/model/src/lib.rs", uses_unsafe), vec![(3, "forbid-unsafe")]);
+}
+
+#[test]
+fn allows_suppress_with_a_reason_and_are_audited() {
+    let allowed = "\
+fn stamp() {
+    // ftes-lint: allow(determinism) reason=\"latency metric only, never result bytes\"
+    let _t = std::time::Instant::now();
+}
+";
+    assert_eq!(fired("crates/core/src/timed.rs", allowed), vec![]);
+
+    // No reason: the directive itself is a diagnostic and suppresses nothing.
+    let reasonless = "\
+fn stamp() {
+    // ftes-lint: allow(determinism)
+    let _t = std::time::Instant::now();
+}
+";
+    assert_eq!(
+        fired("crates/core/src/timed.rs", reasonless),
+        vec![(2, "allow-syntax"), (3, "determinism")]
+    );
+
+    // An allow that suppresses nothing is itself flagged — stale
+    // exceptions cannot linger after the violation is fixed.
+    let unused = "\
+// ftes-lint: allow(determinism) reason=\"left over after a refactor\"
+pub fn f() {}
+";
+    assert_eq!(fired("crates/core/src/timed.rs", unused), vec![(1, "allow-syntax")]);
+
+    // Unknown rule names in a directive are typos, not silent no-ops.
+    let unknown = "\
+// ftes-lint: allow(determinsm) reason=\"typo\"
+pub fn f() {}
+";
+    assert_eq!(fired("crates/core/src/timed.rs", unknown), vec![(1, "allow-syntax")]);
+}
+
+#[test]
+fn diagnostics_render_as_path_line_rule() {
+    let text = "use std::collections::HashMap;\n";
+    let diags = lint_source("crates/core/src/bad.rs", text);
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/bad.rs:1: determinism: "),
+        "unexpected rendering: {rendered}"
+    );
+    let json = ftes_lint::to_json(&diags);
+    assert!(json.contains("\"rule\":\"determinism\""), "{json}");
+    assert!(json.contains("\"line\":1"), "{json}");
+}

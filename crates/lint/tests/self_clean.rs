@@ -1,0 +1,18 @@
+//! The workspace must pass its own analyzer: `cargo test` proves the
+//! shipped tree lint-clean without needing the CI step, so a violation
+//! fails the fastest loop a contributor runs.
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let diags = ftes_lint::lint_workspace(&root, None).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "the shipped tree must be lint-clean:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

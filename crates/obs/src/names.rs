@@ -80,3 +80,12 @@ pub const JOURNAL_BYTES: &str = "journal.bytes";
 
 /// One HTTP request, read → route → write (span, worker thread).
 pub const SERVE_REQUEST: &str = "serve.request";
+
+// ---- derived groups
+
+/// The names every traced end-to-end synthesis must emit, in pipeline
+/// order. CI's `check_trace --pipeline` gate asserts exactly this list,
+/// so the gate and the taxonomy cannot drift apart: adding a pipeline
+/// stage here tightens CI in the same commit.
+pub const SYNTHESIS_PIPELINE: &[&str] =
+    &[PARSE, SYNTHESIZE, OPTIMIZE, CERTIFY, CPG, SCHEDULE, SEARCH_ITER, EVAL_DELTA, EVAL_BATCH];

@@ -16,6 +16,7 @@
 //! use-stamp; shards are small (capacity / shards entries), so the O(cap)
 //! eviction scan is noise next to a synthesis run.
 
+use crate::sync;
 use ftes::explore::{fnv1a64, CacheStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,9 +110,9 @@ impl FlightGuard<'_> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        let flight = self.cache.inflight.lock().expect("inflight table poisoned").remove(&self.key);
+        let flight = sync::lock(&self.cache.inflight).remove(&self.key);
         if let Some(flight) = flight {
-            *flight.done.lock().expect("inflight flag poisoned") = true;
+            *sync::lock(&flight.done) = true;
             flight.cv.notify_all();
         }
     }
@@ -140,7 +141,7 @@ impl ResultCache {
     /// here so the hit rate reflects lookups, not insertions.
     pub fn get(&self, key: &CacheKey) -> Option<(u16, Arc<String>)> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = sync::lock(self.shard(key));
         match shard.get_mut(key) {
             Some(entry) => {
                 entry.last_used = stamp;
@@ -157,11 +158,7 @@ impl ResultCache {
     /// Lock-and-look without touching counters or recency (used for the
     /// single-flight re-check, which must not distort hit/miss stats).
     fn peek(&self, key: &CacheKey) -> Option<(u16, Arc<String>)> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .map(|entry| (entry.status, Arc::clone(&entry.body)))
+        sync::lock(self.shard(key)).get(key).map(|entry| (entry.status, Arc::clone(&entry.body)))
     }
 
     /// Inserts a computed body, evicting the shard's least-recently-used
@@ -170,7 +167,7 @@ impl ResultCache {
     /// write wins without consequence.
     pub fn insert(&self, key: CacheKey, status: u16, body: Arc<String>) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = sync::lock(self.shard(&key));
         if !shard.contains_key(&key) && shard.len() >= self.capacity_per_shard {
             if let Some(evict) =
                 shard.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
@@ -191,7 +188,7 @@ impl ResultCache {
                 return Lookup::Hit(status, body);
             }
             let flight = {
-                let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+                let mut inflight = sync::lock(&self.inflight);
                 // Re-check under the table lock: a leader completing
                 // between our miss and this point first inserts, then
                 // releases its flight — so a peek here is exact and no
@@ -209,9 +206,9 @@ impl ResultCache {
             };
             // Follower: wait for the leader, then loop — normally the next
             // `get` hits; if the leader failed, one follower takes over.
-            let mut done = flight.done.lock().expect("inflight flag poisoned");
+            let mut done = sync::lock(&flight.done);
             while !*done {
-                done = flight.cv.wait(done).expect("inflight flag poisoned");
+                done = sync::wait(&flight.cv, done);
             }
         }
     }
@@ -222,11 +219,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").len())
-                .sum(),
+            entries: self.shards.iter().map(|s| sync::lock(s).len()).sum(),
         }
     }
 }

@@ -13,6 +13,7 @@
 //! instead of fighting over one `&mut` — the single-flight response cache
 //! already collapses identical concurrent requests before they get here.
 
+use crate::sync;
 use ftes::sched::SystemEvaluator;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,7 +51,7 @@ impl EvaluatorBank {
 
     /// Removes and returns the banked kernel for `key`, if any.
     pub fn checkout(&self, key: &[u8]) -> Option<SystemEvaluator> {
-        let mut slots = self.slots.lock().expect("evaluator bank poisoned");
+        let mut slots = sync::lock(&self.slots);
         match slots.iter().position(|(k, _)| k == key) {
             Some(i) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -69,7 +70,7 @@ impl EvaluatorBank {
         if self.capacity == 0 {
             return;
         }
-        let mut slots = self.slots.lock().expect("evaluator bank poisoned");
+        let mut slots = sync::lock(&self.slots);
         slots.push_front((key, evaluator));
         while slots.len() > self.capacity {
             slots.pop_back();
@@ -81,7 +82,7 @@ impl EvaluatorBank {
         BankStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            banked: self.slots.lock().expect("evaluator bank poisoned").len(),
+            banked: sync::lock(&self.slots).len(),
         }
     }
 }

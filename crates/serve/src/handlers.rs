@@ -116,6 +116,7 @@ fn jobs_route(shared: &Shared, method: &str, rest: &str, body: &[u8]) -> Reply {
 /// size budget) the exact schedule tables as CSV — byte-identical to the
 /// `ftes <spec> --csv` CLI output for the same spec.
 fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
+    // ftes-lint: allow(byte-identity) reason="parse-phase latency feeds /metrics only, never the response body"
     let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Reply::err(400, "body is not UTF-8");
@@ -174,6 +175,7 @@ fn synthesize(shared: &Shared, body: &[u8]) -> Reply {
 /// which is byte-identical to `ftes explore --json` for the same
 /// parameters.
 fn submit_explore(shared: &Shared, body: &[u8]) -> Reply {
+    // ftes-lint: allow(byte-identity) reason="parse-phase latency feeds /metrics only, never the response body"
     let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Reply::err(400, "body is not UTF-8");

@@ -79,6 +79,7 @@ mod metrics;
 mod prometheus;
 mod queue;
 mod server;
+mod sync;
 
 pub use cache::{CacheKey, FlightGuard, Lookup, ResultCache};
 pub use evalbank::{BankStats, EvaluatorBank};

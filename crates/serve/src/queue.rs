@@ -8,6 +8,7 @@
 //! [`try_push`]: BoundedQueue::try_push
 //! [`pop`]: BoundedQueue::pop
 
+use crate::sync;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -36,7 +37,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues `item`, or returns it when the queue is full or closed —
     /// the caller turns that into a 429 (full) or drops it (closed).
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = sync::lock(&self.state);
         if state.closed || state.items.len() >= self.capacity {
             return Err(item);
         }
@@ -49,7 +50,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until a job is available (FIFO) or the queue is closed.
     /// `None` means closed *and* drained: the worker should exit.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = sync::lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -57,20 +58,20 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue poisoned");
+            state = sync::wait(&self.ready, state);
         }
     }
 
     /// Closes the queue: pending jobs still drain, new pushes fail, blocked
     /// workers wake up.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        sync::lock(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     /// Jobs currently waiting (excludes jobs already claimed by workers).
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        sync::lock(&self.state).items.len()
     }
 
     /// The configured capacity.

@@ -131,15 +131,19 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
     });
     let stop = Arc::new(AtomicBool::new(false));
 
-    let workers = (0..config.workers.max(1))
-        .map(|i| {
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let spawned = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("ftes-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
-                .expect("spawning a worker thread")
-        })
-        .collect();
+        };
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => return Err(abort_start(&shared, workers, e)),
+        }
+    }
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -148,10 +152,26 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
         std::thread::Builder::new()
             .name("ftes-serve-acceptor".into())
             .spawn(move || acceptor_loop(&listener, &shared, &stop, io_timeout))
-            .expect("spawning the acceptor thread")
+    };
+    let acceptor = match acceptor {
+        Ok(handle) => handle,
+        Err(e) => return Err(abort_start(&shared, workers, e)),
     };
 
     Ok(Server { addr, shared, stop, acceptor: Some(acceptor), workers })
+}
+
+/// Unwinds a partially-started pool when a thread fails to spawn (fd or
+/// thread exhaustion): closes the queue so spawned workers exit, joins
+/// them, stops the job executor, and hands the caller the error. A
+/// half-alive service would accept connections nobody drains.
+fn abort_start(shared: &Shared, workers: Vec<JoinHandle<()>>, error: io::Error) -> io::Error {
+    shared.queue.close();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    shared.jobs.shutdown();
+    error
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Shared, stop: &AtomicBool, io_timeout: Duration) {

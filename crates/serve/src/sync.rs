@@ -1,0 +1,25 @@
+//! Poison-tolerant locking for the request path.
+//!
+//! A poisoned mutex means some thread panicked while holding the lock.
+//! For the service's shared structures (response cache, job queue,
+//! evaluator bank) every lock-held section is a short sequence of
+//! container operations that cannot leave the data half-updated in a way
+//! later readers would misread — worst case a stale LRU stamp or a lost
+//! cache entry, both of which the system already tolerates. Propagating
+//! the poison as a second panic would instead let one bad request take
+//! down every worker thread that touches the structure afterwards, so
+//! the handlers recover the guard and keep serving. The `ftes-lint`
+//! panic-freedom rule bans `unwrap`/`expect` in this crate to force lock
+//! sites through these helpers.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard from a poisoned lock.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the guard from a poisoned lock.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,1 +1,3 @@
+//! Facade crate: re-exports the `ftes` workspace API at the repo root.
+#![forbid(unsafe_code)]
 pub use ftes::*;
