@@ -1,19 +1,34 @@
 //! Criterion bench for the exact-certification kernel on every real spec
-//! in `specs/*.ftes`: cold certify (FT-CPG construction + exact
-//! conditional scheduling) vs the memoized verdict cache, plus the
-//! certify-and-repair loop's behavior through the full synthesis flow
-//! (repair invocations, final verdict, calibration factor).
+//! in `specs/*.ftes`, across the three regimes the incremental certifier
+//! distinguishes:
+//!
+//! * **cold** — first certification: full FT-CPG construction + exact
+//!   conditional scheduling, nothing memoized;
+//! * **anchored delta** — a warm certifier re-certifies a chain of
+//!   1-move mapping variants: every state is a verdict-cache miss, but
+//!   the FT-CPG rebuilds incrementally against the anchor and the
+//!   fault-scenario subtree memo answers unchanged subtrees;
+//! * **pruned refutation** — bounded certification against a bound the
+//!   configuration cannot meet, exiting at the first scenario branch
+//!   that provably exceeds it.
+//!
+//! Plus the memoized verdict cache (`cached`) and the certify-and-repair
+//! loop's behavior through the full synthesis flow (repair invocations,
+//! final verdict, calibration factor).
 //!
 //! Besides the console medians, the run records its numbers to
 //! `BENCH_certify.json` at the workspace root (uploaded as a CI artifact
-//! per run) — the cost trajectory of the certification subsystem.
+//! per run) — the cost trajectory of the certification subsystem. The
+//! run itself asserts `certify_incremental_ns <= certify_cold_ns` per
+//! spec, and CI re-checks the recorded ratios from the JSON (within-run
+//! ratios only — absolute nanoseconds vary across runners).
 
 use criterion::{criterion_group, Criterion};
 use ftes::ft::PolicyAssignment;
 use ftes::ftcpg::CopyMapping;
 use ftes::json::JsonWriter;
-use ftes::model::Mapping;
-use ftes::sched::{CertOutcome, Certifier, CertifyConfig};
+use ftes::model::{Mapping, NodeId, ProcessId, Time};
+use ftes::sched::{BoundedCert, CertOutcome, Certifier, CertifyConfig};
 use ftes::spec::{parse_spec, SystemSpec};
 use ftes::{synthesize_system, Certification, FlowConfig};
 use std::time::Instant;
@@ -49,6 +64,37 @@ fn baseline(spec: &SystemSpec) -> (CopyMapping, PolicyAssignment) {
     let copies =
         CopyMapping::from_base(&spec.app, arch, &mapping, &policies).expect("feasible baseline");
     (copies, policies)
+}
+
+/// The anchored-delta chain of a spec: an active-replication baseline
+/// plus every feasible 1-move variant of its mapping (one process moved
+/// to one different node, policies unchanged). Replication is what makes
+/// the chain exercise the whole incremental machinery: replica joins are
+/// the nodes whose worst-case delivery DP the fault-scenario subtree
+/// memo answers, and a 1-move delta leaves most joins' ladders (and so
+/// their memo keys) untouched. Re-execution states have no joins at all
+/// — a chain of them would only measure the anchored graph rebuild.
+fn delta_chain(
+    spec: &SystemSpec,
+) -> ((CopyMapping, PolicyAssignment), Vec<(CopyMapping, PolicyAssignment)>) {
+    let arch = spec.platform.architecture();
+    let mapping = Mapping::cheapest(&spec.app, arch).expect("spec is mappable");
+    let policies = PolicyAssignment::uniform_replication(&spec.app, spec.fault_model.k());
+    let base = CopyMapping::from_base(&spec.app, arch, &mapping, &policies)
+        .expect("feasible replication baseline");
+    let mut variants = Vec::new();
+    for p in (0..spec.app.process_count()).map(ProcessId::new) {
+        for n in (0..arch.node_count()).map(NodeId::new) {
+            if n == mapping.node_of(p) {
+                continue;
+            }
+            let Ok(moved) = mapping.with_move(&spec.app, arch, p, n) else { continue };
+            if let Ok(copies) = CopyMapping::from_base(&spec.app, arch, &moved, &policies) {
+                variants.push((copies, policies.clone()));
+            }
+        }
+    }
+    ((base, policies), variants)
 }
 
 fn certifier(spec: &SystemSpec) -> Certifier {
@@ -112,6 +158,75 @@ fn write_report() {
         let cached = median_ns(200, || {
             warm.certify(&copies, &policies).unwrap();
         });
+
+        // Anchored-delta regime: the in-search workload. A search loop
+        // probes each neighbor state once and then re-probes it across
+        // iterations (tabu re-expansion, accept/revert oscillation), so
+        // the walk interleaves one *fresh* 1-move delta with three
+        // revisits of recently certified states. The same walk runs
+        // twice — once memoless (a fresh certifier per call: what a
+        // monolithic certifier pays inside the loop) and once on a
+        // single warm certifier (anchored rebuilds + the verdict memo +
+        // the shared fault-scenario subtree memo). Identical state
+        // sequences make the ratio a pure within-run measure of the
+        // incremental machinery.
+        let ((base_copies, base_policies), variants) = delta_chain(&spec);
+        assert!(!variants.is_empty(), "shipped specs admit 1-move variants");
+        let fresh_count = variants.len().min(10);
+        let mut walk = Vec::with_capacity(4 * fresh_count);
+        for f in 0..fresh_count {
+            walk.push(f); // the fresh 1-move delta…
+            walk.push(f.saturating_sub(1)); // …then tabu-style re-probes
+            walk.push(f.saturating_sub(2));
+            walk.push(f);
+        }
+        let walk_iters = walk.len() - 1; // median_ns warm-up consumes walk[0]
+        let mut cold_cursor = 0usize;
+        let delta_cold = median_ns(walk_iters, || {
+            let (copies, policies) = &variants[walk[cold_cursor % walk.len()]];
+            cold_cursor += 1;
+            certifier(&spec).certify(copies, policies).unwrap();
+        });
+        let mut inc = certifier(&spec);
+        let base_verdict = inc.certify(&base_copies, &base_policies).unwrap(); // plant the anchor
+        let mut cursor = 0usize;
+        let incremental = median_ns(walk_iters, || {
+            let (copies, policies) = &variants[walk[cursor % walk.len()]];
+            cursor += 1;
+            inc.certify(copies, policies).unwrap();
+        });
+        let incremental_builds = inc.stats().incremental_builds;
+        assert!(
+            incremental <= delta_cold,
+            "anchored-delta certify must not be slower than a memoless walk \
+             of the same chain ({name}: incremental {incremental} ns vs cold \
+             {delta_cold} ns)"
+        );
+
+        // Pruned-refutation regime: bounded certification against half
+        // the chain baseline's exact length — a bound these states cannot
+        // meet, so the exact scheduler exits at the first scenario branch
+        // that provably exceeds it. Distinct variants on a distinct
+        // certifier keep every call memo-fresh.
+        let CertOutcome::Exact { exact_len, .. } = base_verdict else {
+            panic!("shipped specs certify exactly");
+        };
+        let prune_bound = Time::new(exact_len.units() / 2);
+        let pruned_iters = variants.len().saturating_sub(1).clamp(1, 30);
+        let mut pruner = certifier(&spec);
+        pruner.certify(&base_copies, &base_policies).unwrap(); // plant the anchor
+        let mut pruned_cursor = 0usize;
+        let mut pruned_runs = 0u64;
+        let pruned = median_ns(pruned_iters, || {
+            let (copies, policies) = &variants[pruned_cursor % variants.len()];
+            pruned_cursor += 1;
+            if let BoundedCert::Pruned { .. } =
+                pruner.certify_bounded(copies, policies, prune_bound).unwrap()
+            {
+                pruned_runs += 1;
+            }
+        });
+
         // The certify-and-repair loop on the spec's own strategy: how many
         // repair searches the flow actually runs, and the final verdict.
         let config = FlowConfig { strategy: spec.strategy, ..FlowConfig::default() };
@@ -141,6 +256,18 @@ fn write_report() {
         w.number_u64(cold);
         w.key("certify_cached_ns");
         w.number_u64(cached);
+        w.key("certify_delta_cold_ns");
+        w.number_u64(delta_cold);
+        w.key("certify_incremental_ns");
+        w.number_u64(incremental);
+        w.key("incremental_speedup");
+        w.number_f64(delta_cold as f64 / incremental.max(1) as f64, 1);
+        w.key("incremental_builds");
+        w.number_u64(incremental_builds);
+        w.key("certify_pruned_ns");
+        w.number_u64(pruned);
+        w.key("pruned_runs");
+        w.number_u64(pruned_runs);
         w.key("cache_amortization");
         w.number_f64(cold as f64 / cached.max(1) as f64, 1);
         w.key("flow_ns");

@@ -20,7 +20,10 @@
 //! CERTIFICATION:
 //!   incumbents are exact-certified by default (and demoted down the
 //!   Pareto front when refuted); --no-certify reports raw estimator
-//!   winners, --verify additionally fault-injects the reported incumbent
+//!   winners, --verify additionally fault-injects the reported incumbent,
+//!   --certify-guided moves certification inside the search loop (an
+//!   incumbent must survive an incremental exact run before it becomes
+//!   best; refuted states are demoted during search, not after)
 //! ```
 
 use ftes::explore::{
@@ -118,6 +121,10 @@ impl ExploreCommand {
                 }
                 "--no-certify" => {
                     certify = false;
+                    i += 1;
+                }
+                "--certify-guided" => {
+                    portfolio.certify_guided = true;
                     i += 1;
                 }
                 "--csv" => {
@@ -335,6 +342,13 @@ mod tests {
         let cmd = parse(&["--no-certify"]).unwrap();
         assert!(!cmd.suite.certify);
         assert!(parse(&[]).unwrap().suite.certify);
+    }
+
+    #[test]
+    fn certify_guided_flag_enables_in_loop_certification() {
+        let cmd = parse(&["--certify-guided"]).unwrap();
+        assert!(cmd.suite.portfolio.certify_guided);
+        assert!(!parse(&[]).unwrap().suite.portfolio.certify_guided, "guided is opt-in");
     }
 
     #[test]

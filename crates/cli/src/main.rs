@@ -332,6 +332,8 @@ fn print_usage() {
          --rounds N   portfolio rounds           --iters N    iterations/round\n  \
          --verify     fault-inject each incumbent (verified column)\n  \
          --no-certify skip exact certification of incumbents (on by default)\n  \
+         --certify-guided  certify incumbents inside the search loop (demote\n  \
+         \u{20}            refuted states during search, not after)\n  \
          --csv | --json               machine-readable output\n  \
          --out FILE                   also write the report to FILE\n  \
          --trace FILE | --folded FILE trace the suite run (side files)\n\n\

@@ -6,7 +6,8 @@ use ftes_ft::PolicyAssignment;
 use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, FtCpg};
 use ftes_model::{Application, FaultModel, Mapping, Time, Transparency};
 use ftes_opt::{
-    synthesize_certified, CertifiedSynthesis, RepairConfig, SearchConfig, Strategy, Synthesized,
+    synthesize_certified_mode, CertifiedSynthesis, CertifyMode, RepairConfig, SearchConfig,
+    Strategy, Synthesized,
 };
 use ftes_sched::{
     check_deadlines, schedule_ftcpg, Certifier, CertifyConfig, ConditionalSchedule, Estimate,
@@ -84,6 +85,11 @@ pub struct FlowConfig {
     /// run when the exact conditional schedule refutes an incumbent the
     /// estimator accepted.
     pub repair: RepairConfig,
+    /// When exact certification runs relative to the search: `PostHoc`
+    /// certifies the finished incumbent (the classic loop), `Guided`
+    /// incrementally certifies incumbents *during* the search and demotes
+    /// refuted states on the spot.
+    pub certify: CertifyMode,
 }
 
 impl Default for FlowConfig {
@@ -94,6 +100,7 @@ impl Default for FlowConfig {
             sched: SchedConfig::default(),
             cpg: BuildConfig::default(),
             repair: RepairConfig::default(),
+            certify: CertifyMode::default(),
         }
     }
 }
@@ -309,12 +316,13 @@ pub fn synthesize_system_timed(
     // The optimize span covers the certify-and-repair loop, so certify /
     // cpg / schedule spans emitted by the certifier nest inside it.
     let optimize_span = ftes_obs::span(ftes_obs::names::OPTIMIZE);
-    let certified = synthesize_certified(
+    let certified = synthesize_certified_mode(
         evaluator,
         &mut certifier,
         config.strategy,
         config.search,
         config.repair,
+        config.certify,
     );
     drop(optimize_span);
     let CertifiedSynthesis { best, outcome: _, repair_rounds, calibration_milli } = certified?;
@@ -444,6 +452,15 @@ mod tests {
             }
             other => panic!("fig5 must certify, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn guided_certification_is_selectable_and_certifies() {
+        let config = FlowConfig { certify: CertifyMode::Guided, ..FlowConfig::default() };
+        let psi = fig5_flow(config);
+        assert!(psi.schedulable);
+        assert!(psi.certification.is_certified());
+        assert_eq!(psi.repair_rounds, 0, "guided incumbents are already certified");
     }
 
     #[test]

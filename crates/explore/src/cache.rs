@@ -265,6 +265,112 @@ impl EstimateCache {
     }
 }
 
+/// One cached certify-admit slot (see [`CertifyCache`]).
+#[derive(Debug, Clone, Copy)]
+enum AdmitSlot {
+    Pending,
+    Ready(bool),
+}
+
+/// What a [`probe_or_reserve`](CertifyCache::probe_or_reserve) found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyProbe {
+    /// The key's admit verdict is cached. Counted as a hit.
+    Ready(bool),
+    /// Another prober reserved the key and is still certifying it. Counted
+    /// as a hit; the caller certifies the state itself — verdicts are pure
+    /// facts of the state, so both arrive at the same answer and the first
+    /// [`resolve`](CertifyCache::resolve) wins.
+    Pending,
+    /// The key was absent; this call reserved it. Counted as the key's one
+    /// miss — the caller must certify and
+    /// [`resolve`](CertifyCache::resolve).
+    Reserved,
+}
+
+/// Sharded memo table from [`StateKey`] to a certify-guided admit verdict
+/// (`true` = the state may become a worker's best, `false` = demoted).
+///
+/// Same pending-reservation discipline as [`EstimateCache`], for the same
+/// reason: each unique key misses exactly once no matter how worker
+/// probe→resolve windows interleave, so the hit/miss counters — part of
+/// the deterministic report surface — never depend on thread count.
+/// Verdicts must be pure facts of the keyed state (certifiers run
+/// unbudgeted in guided mode precisely so a racing prober re-derives the
+/// identical answer).
+#[derive(Debug)]
+pub struct CertifyCache {
+    shards: Box<[Mutex<HashMap<StateKey, AdmitSlot>>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CertifyCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CertifyCache {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        let shards = 64;
+        CertifyCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &StateKey) -> &Mutex<HashMap<StateKey, AdmitSlot>> {
+        &self.shards[(key.hash64() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up without certifying anything, reserving it on a miss.
+    pub fn probe_or_reserve(&self, key: &StateKey) -> CertifyProbe {
+        let mut shard = self.shard(key).lock().expect("certify cache shard poisoned");
+        match shard.get(key) {
+            Some(AdmitSlot::Ready(admit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CertifyProbe::Ready(*admit)
+            }
+            Some(AdmitSlot::Pending) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CertifyProbe::Pending
+            }
+            None => {
+                shard.insert(key.clone(), AdmitSlot::Pending);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CertifyProbe::Reserved
+            }
+        }
+    }
+
+    /// Publishes an admit verdict, completing a reservation. The first
+    /// resolve of a key wins; later ones (racing probers that derived the
+    /// same verdict) are no-ops.
+    pub fn resolve(&self, key: StateKey, admit: bool) {
+        let mut shard = self.shard(&key).lock().expect("certify cache shard poisoned");
+        let slot = shard.entry(key).or_insert(AdmitSlot::Pending);
+        if matches!(slot, AdmitSlot::Pending) {
+            *slot = AdmitSlot::Ready(admit);
+        }
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("certify cache shard poisoned").len())
+                .sum(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +436,24 @@ mod tests {
         assert_eq!(cache.get_or_compute(key.clone(), || None), None);
         // Second lookup must not recompute.
         assert_eq!(cache.get_or_compute(key, || panic!("cached")), None);
+    }
+
+    #[test]
+    fn certify_cache_reserves_once_and_counts_deterministically() {
+        let (mapping, policies) = fig3_state();
+        let key = StateKey::encode(&mapping, &policies);
+        let cache = CertifyCache::new();
+        // First probe is the key's one miss; it reserves.
+        assert_eq!(cache.probe_or_reserve(&key), CertifyProbe::Reserved);
+        // A racing prober sees the pending reservation as a hit and
+        // certifies on its own.
+        assert_eq!(cache.probe_or_reserve(&key), CertifyProbe::Pending);
+        cache.resolve(key.clone(), false);
+        // The racer's later (identical) verdict is a no-op: first wins.
+        cache.resolve(key.clone(), false);
+        assert_eq!(cache.probe_or_reserve(&key), CertifyProbe::Ready(false));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
     }
 
     #[test]

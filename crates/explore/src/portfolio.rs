@@ -27,14 +27,15 @@
 //! `tests/determinism.rs` locks in.
 
 use crate::archive::{ArchiveEntry, ParetoArchive};
-use crate::cache::{CacheStats, EstimateCache, StateKey};
+use crate::cache::{CacheStats, CertifyCache, CertifyProbe, EstimateCache, StateKey};
 use crate::pool::{evaluate_batch_keyed, evaluate_state, indexed_parallel, EvaluatorPool};
 use ftes_ft::PolicyAssignment;
-use ftes_model::{Application, Mapping, Time};
+use ftes_ftcpg::CopyMapping;
+use ftes_model::{Application, Architecture, FaultModel, Mapping, Time, Transparency};
 use ftes_opt::{
     apply_move, constructive_mapping, sample_move, OptError, PolicyMoves, SearchConfig, Synthesized,
 };
-use ftes_sched::EvaluatorStats;
+use ftes_sched::{BoundedCert, CertOutcome, Certifier, CertifyConfig, EvaluatorStats};
 use ftes_tdma::Platform;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -139,6 +140,13 @@ pub struct PortfolioConfig {
     pub max_checkpoints: u32,
     /// Master seed; worker seeds derive from it and their `seed_offset`.
     pub seed: u64,
+    /// Certify-guided incumbents: candidates that would become a worker's
+    /// best under the estimate are incrementally exact-certified against
+    /// the deadline first (bounded, memo-backed), and refuted states are
+    /// demoted *during* the search instead of post hoc. Worker certifiers
+    /// run unbudgeted and verdicts are shared through a pending-reserving
+    /// cache, so trajectories and counters stay thread-count-deterministic.
+    pub certify_guided: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -150,6 +158,7 @@ impl Default for PortfolioConfig {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             max_checkpoints: 16,
             seed: 1,
+            certify_guided: false,
         }
     }
 }
@@ -180,6 +189,10 @@ pub struct Exploration {
     /// Evaluator-kernel counters (constructions, full/delta evaluations,
     /// reuse) aggregated over the per-thread pool.
     pub evals: EvaluatorStats,
+    /// Certify-guided admit-cache counters (all zero when
+    /// [`PortfolioConfig::certify_guided`] is off). Deterministic for any
+    /// thread count, like the estimate-cache counters.
+    pub certify: CacheStats,
 }
 
 /// A worker's private search state between rounds.
@@ -212,6 +225,66 @@ impl Candidate {
     /// the final deterministic tie-break.
     fn objective(&self) -> (Time, Time, &StateKey) {
         (self.estimate.worst_case_length, self.estimate.fault_free_length, &self.key)
+    }
+}
+
+/// The certify-guided admission gate of one worker: an incremental
+/// [`Certifier`] (anchored FT-CPG rebuilds + subtree memo, unbudgeted so
+/// verdicts are pure facts of the state) behind the shared admit cache.
+struct Guard<'a> {
+    certifier: &'a mut Certifier,
+    cache: &'a CertifyCache,
+    app: &'a Application,
+    arch: &'a Architecture,
+    deadline: Time,
+}
+
+impl Guard<'_> {
+    /// Whether `candidate` may become a worker's best. Demotes (returns
+    /// `false`) only on explicit negative exact evidence: a bounded run
+    /// that pruned past the deadline, or an exact schedule that misses it.
+    fn admits(&mut self, candidate: &Candidate) -> bool {
+        // The estimate already prices the candidate past the deadline:
+        // certifying cannot improve the verdict the ranking gives it, so
+        // admit untested (mirrors the repair-loop guard in `ftes-opt`).
+        if candidate.estimate.worst_case_length > self.deadline {
+            return true;
+        }
+        match self.cache.probe_or_reserve(&candidate.key) {
+            CertifyProbe::Ready(admit) => admit,
+            CertifyProbe::Pending | CertifyProbe::Reserved => {
+                let admit = self.certify(candidate);
+                self.cache.resolve(candidate.key.clone(), admit);
+                admit
+            }
+        }
+    }
+
+    fn certify(&mut self, candidate: &Candidate) -> bool {
+        let copies = match CopyMapping::from_base(
+            self.app,
+            self.arch,
+            &candidate.mapping,
+            &candidate.policies,
+        ) {
+            Ok(copies) => copies,
+            // Candidates reached here evaluated feasible; a placement
+            // failure means no exact evidence either way — admit.
+            Err(_) => return true,
+        };
+        match self.certifier.certify_bounded(&copies, &candidate.policies, self.deadline) {
+            Ok(BoundedCert::Verdict(CertOutcome::Exact { exact_len, deadline_met })) => {
+                self.certifier.record_estimate(exact_len, candidate.estimate.worst_case_length);
+                deadline_met
+            }
+            // Estimate-only regime (FT-CPG over the size budget): no exact
+            // evidence — admit, exactly like the post-hoc walk would.
+            Ok(BoundedCert::Verdict(CertOutcome::OverBudget)) => true,
+            Ok(BoundedCert::Pruned { .. }) => false,
+            // Hard construction/scheduling failures degrade to the
+            // estimate-only regime rather than aborting the search.
+            Err(_) => true,
+        }
     }
 }
 
@@ -288,12 +361,42 @@ pub fn explore(
         initial.estimate,
     ));
 
+    // Certify-guided mode: one incremental certifier per worker (anchors
+    // and subtree memos are worker-local and stay warm across rounds), one
+    // shared admit cache. The work budget is unlimited on purpose — a
+    // budget would make verdicts depend on which worker certified first,
+    // breaking the thread-count determinism contract.
+    let certify_cache = CertifyCache::new();
+    let certifiers: Option<Vec<Mutex<Certifier>>> = config.certify_guided.then(|| {
+        (0..worker_count)
+            .map(|_| {
+                Mutex::new(Certifier::new(
+                    app,
+                    platform,
+                    FaultModel::new(k),
+                    &Transparency::none(),
+                    CertifyConfig { max_exact_runs: u64::MAX, ..CertifyConfig::default() },
+                ))
+            })
+            .collect()
+    });
+
     for _ in 0..config.rounds {
         // Workers advance in parallel; each returns its round archive.
         let round_archives: Vec<ParetoArchive> =
             indexed_parallel(worker_count, worker_threads, |thread, i| {
                 let mut worker = workers[i].lock().expect("worker state poisoned");
-                run_round(app, platform, k, config, &cache, &pool, thread, &mut worker)
+                let mut certifier = certifiers
+                    .as_ref()
+                    .map(|slots| slots[i].lock().expect("worker certifier poisoned"));
+                let guard = certifier.as_mut().map(|certifier| Guard {
+                    certifier,
+                    cache: &certify_cache,
+                    app,
+                    arch: platform.architecture(),
+                    deadline: app.deadline(),
+                });
+                run_round(app, platform, k, config, &cache, &pool, thread, &mut worker, guard)
             });
         for local in round_archives {
             archive.merge(local);
@@ -325,7 +428,13 @@ pub fn explore(
     // the winner; its feasibility was established when it was evaluated.
     let best = pool.with(0, |ev| Synthesized::evaluate_with(ev, best.mapping, best.policies))?;
 
-    Ok(Exploration { best, archive, cache: cache.stats(), evals: pool.stats() })
+    Ok(Exploration {
+        best,
+        archive,
+        cache: cache.stats(),
+        evals: pool.stats(),
+        certify: certify_cache.stats(),
+    })
 }
 
 /// Advances one worker by `iterations_per_round` batched iterations.
@@ -342,6 +451,7 @@ fn run_round(
     pool: &EvaluatorPool,
     thread: usize,
     worker: &mut Worker,
+    mut guard: Option<Guard<'_>>,
 ) -> ParetoArchive {
     let search = SearchConfig {
         neighborhood: worker.spec.neighborhood,
@@ -403,23 +513,33 @@ fn run_round(
 
         // 4. Engine-specific acceptance.
         match worker.spec.engine {
-            EngineKind::Tabu => accept_tabu(worker, &moves, candidates),
-            EngineKind::Greedy => accept_greedy(worker, candidates),
-            EngineKind::Anneal => accept_anneal(worker, candidates),
+            EngineKind::Tabu => accept_tabu(worker, &mut guard, &moves, candidates),
+            EngineKind::Greedy => accept_greedy(worker, &mut guard, candidates),
+            EngineKind::Anneal => accept_anneal(worker, &mut guard, candidates),
         }
         worker.iteration += 1;
     }
     local_archive
 }
 
-fn touch_best(worker: &mut Worker, candidate: &Candidate) {
+/// Promotes `candidate` to the worker's best if it wins the objective and —
+/// in certify-guided mode — survives the exact admission gate. A demoted
+/// candidate still becomes `current` in the accept functions (the search
+/// walks through it), it just can never be reported as an incumbent.
+fn touch_best(worker: &mut Worker, guard: &mut Option<Guard<'_>>, candidate: &Candidate) {
     if candidate.objective() < worker.best.objective() {
+        if let Some(guard) = guard.as_mut() {
+            if !guard.admits(candidate) {
+                return;
+            }
+        }
         worker.best = candidate.clone();
     }
 }
 
 fn accept_tabu(
     worker: &mut Worker,
+    guard: &mut Option<Guard<'_>>,
     moves: &[ftes_opt::CandidateMove],
     candidates: Vec<(usize, Candidate)>,
 ) {
@@ -439,12 +559,16 @@ fn accept_tabu(
     }
     if let Some((move_idx, next)) = chosen {
         worker.tabu_until[moves[move_idx].process().index()] = iteration + worker.spec.tenure;
-        touch_best(worker, &next);
+        touch_best(worker, guard, &next);
         worker.current = next;
     }
 }
 
-fn accept_greedy(worker: &mut Worker, candidates: Vec<(usize, Candidate)>) {
+fn accept_greedy(
+    worker: &mut Worker,
+    guard: &mut Option<Guard<'_>>,
+    candidates: Vec<(usize, Candidate)>,
+) {
     // Same rule as the serial `greedy_descent`: take the best sampled move,
     // and only if it strictly improves the current state.
     let mut best_move: Option<Candidate> = None;
@@ -458,12 +582,16 @@ fn accept_greedy(worker: &mut Worker, candidates: Vec<(usize, Candidate)>) {
         }
     }
     if let Some(next) = best_move {
-        touch_best(worker, &next);
+        touch_best(worker, guard, &next);
         worker.current = next;
     }
 }
 
-fn accept_anneal(worker: &mut Worker, candidates: Vec<(usize, Candidate)>) {
+fn accept_anneal(
+    worker: &mut Worker,
+    guard: &mut Option<Guard<'_>>,
+    candidates: Vec<(usize, Candidate)>,
+) {
     for (_, candidate) in candidates {
         let delta = (candidate.estimate.worst_case_length
             - worker.current.estimate.worst_case_length)
@@ -471,7 +599,7 @@ fn accept_anneal(worker: &mut Worker, candidates: Vec<(usize, Candidate)>) {
         let accept =
             delta <= 0.0 || worker.rng.gen_bool((-delta / worker.temperature).exp().min(1.0));
         if accept {
-            touch_best(worker, &candidate);
+            touch_best(worker, guard, &candidate);
             worker.current = candidate;
         }
     }
@@ -540,6 +668,61 @@ mod tests {
         assert_eq!(serial.archive.signature(), parallel.archive.signature());
         assert_eq!(serial.best.estimate, parallel.best.estimate);
         assert_eq!(serial.best.mapping, parallel.best.mapping);
+    }
+
+    #[test]
+    fn certify_guided_results_do_not_depend_on_thread_count() {
+        let app = generate_application(&GeneratorConfig::new(12, 3), 7).unwrap();
+        let platform = Platform::homogeneous(3, Time::new(8)).unwrap();
+        let run = |threads: usize| {
+            let config =
+                PortfolioConfig { threads, certify_guided: true, ..PortfolioConfig::quick(11) };
+            explore(&app, &platform, 1, &config).unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial.archive.signature(), parallel.archive.signature());
+        assert_eq!(serial.best.estimate, parallel.best.estimate);
+        assert_eq!(serial.best.mapping, parallel.best.mapping);
+        // The admit-cache accounting is part of the deterministic surface:
+        // the pending reservation pins one miss per unique admitted state.
+        assert_eq!(serial.certify, parallel.certify);
+        assert!(
+            serial.certify.misses > 0,
+            "the guided run must actually certify incumbents: {:?}",
+            serial.certify
+        );
+    }
+
+    #[test]
+    fn certify_guided_incumbent_is_exactly_schedulable_or_estimate_refuted() {
+        let app = generate_application(&GeneratorConfig::new(10, 3), 3).unwrap();
+        let platform = Platform::homogeneous(3, Time::new(8)).unwrap();
+        let config = PortfolioConfig { certify_guided: true, ..PortfolioConfig::quick(5) };
+        let result = explore(&app, &platform, 1, &config).unwrap();
+        // The guard admits two classes of best: exact-certified states, and
+        // states the estimate itself already prices past the deadline
+        // (certifying those cannot change their ranking). Either way the
+        // reported incumbent can never be an estimate-optimistic fraud that
+        // a bounded exact run had already refuted.
+        if result.best.estimate.worst_case_length <= app.deadline() {
+            let mut certifier = Certifier::new(
+                &app,
+                &platform,
+                FaultModel::new(1),
+                &Transparency::none(),
+                CertifyConfig::default(),
+            );
+            let verdict = certifier.certify(&result.best.copies, &result.best.policies).unwrap();
+            assert!(verdict.is_certified(), "guided incumbent must certify: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn certify_guided_off_reports_zero_certify_counters() {
+        let (app, platform) = fig3_platform();
+        let result = explore(&app, &platform, 1, &PortfolioConfig::quick(2)).unwrap();
+        assert_eq!(result.certify, CacheStats::default());
     }
 
     #[test]

@@ -40,14 +40,14 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
         "processes,nodes,k,seed,fault_free,worst_case,deadline,schedulable,\
          slack_pct,pareto_size,cache_hits,cache_misses,cache_hit_rate,verified,\
          certified,exact_len,demoted,wall_ms,\
-         evaluations,evaluator_reuse,evals_per_sec\n",
+         evaluations,evaluator_reuse,evals_per_sec,certify_hits,certify_misses\n",
     );
     for p in &outcome.points {
         let exact_len =
             p.certified.exact_len().map_or_else(|| "-".to_string(), |t| t.units().to_string());
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{},{},{},{},{},{},{:.0}",
+            "{},{},{},{},{},{},{},{},{:.2},{},{},{},{:.4},{},{},{},{},{},{},{},{:.0},{},{}",
             p.point.processes,
             p.point.nodes,
             p.point.k,
@@ -69,6 +69,8 @@ pub fn suite_to_csv(outcome: &SuiteOutcome) -> String {
             p.evals.evaluations(),
             p.evals.reused(),
             p.evals_per_sec(),
+            p.certify_cache.hits,
+            p.certify_cache.misses,
         )
         .expect("writing to String cannot fail");
     }
@@ -135,6 +137,15 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
         w.key("entries");
         w.number_usize(p.cache.entries);
         w.end_object();
+        w.key("certify_cache");
+        w.begin_object();
+        w.key("hits");
+        w.number_u64(p.certify_cache.hits);
+        w.key("misses");
+        w.number_u64(p.certify_cache.misses);
+        w.key("entries");
+        w.number_usize(p.certify_cache.entries);
+        w.end_object();
         w.key("evals");
         w.begin_object();
         w.key("constructions");
@@ -182,6 +193,14 @@ pub fn suite_to_json(outcome: &SuiteOutcome) -> String {
     w.number_u64(totals.misses);
     w.key("hit_rate");
     w.number_f64(totals.hit_rate(), 4);
+    w.end_object();
+    let certify_totals = outcome.total_certify_cache();
+    w.key("total_certify_cache");
+    w.begin_object();
+    w.key("hits");
+    w.number_u64(certify_totals.hits);
+    w.key("misses");
+    w.number_u64(certify_totals.misses);
     w.end_object();
     // `evals_per_sec` stays out of the JSON deliberately: it derives from
     // wall clocks, and the `ftes-serve` byte-identity contract wants equal

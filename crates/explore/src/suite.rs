@@ -204,6 +204,9 @@ pub struct PointOutcome {
     pub archive: ParetoArchive,
     /// Estimate-cache counters of the point.
     pub cache: CacheStats,
+    /// Certify-guided admit-cache counters of the point (all zero unless
+    /// [`PortfolioConfig::certify_guided`] is on).
+    pub certify_cache: CacheStats,
     /// Evaluator-kernel counters of the point (constructions, evaluations,
     /// reuse across the per-thread pool).
     pub evals: EvaluatorStats,
@@ -251,6 +254,11 @@ impl SuiteOutcome {
     /// Aggregated cache counters across all points.
     pub fn total_cache(&self) -> CacheStats {
         self.points.iter().fold(CacheStats::default(), |acc, p| acc.merged(p.cache))
+    }
+
+    /// Aggregated certify-guided admit-cache counters across all points.
+    pub fn total_certify_cache(&self) -> CacheStats {
+        self.points.iter().fold(CacheStats::default(), |acc, p| acc.merged(p.certify_cache))
     }
 
     /// Aggregated evaluator-kernel counters across all points.
@@ -422,6 +430,7 @@ fn run_point(
         slack_pct,
         archive: exploration.archive,
         cache: exploration.cache,
+        certify_cache: exploration.certify,
         evals: exploration.evals,
         certified: walk.certified,
         verified: walk.verified,
@@ -672,6 +681,30 @@ mod tests {
         let evals = outcome.total_evals();
         assert!(evals.evaluations() > 0, "points must report kernel work");
         assert!(evals.reused() > 0, "per-thread kernels must be reused within a point");
+    }
+
+    #[test]
+    fn certify_guided_points_report_admit_counters() {
+        let mut config = tiny_suite(1, 1);
+        config.portfolio.certify_guided = true;
+        let outcome = run_suite(&config).unwrap();
+        assert!(
+            outcome.total_certify_cache().misses > 0,
+            "guided points must certify incumbents during the search"
+        );
+        // Guided incumbents were already gated on exact evidence, so the
+        // post-hoc walk never needs to demote past a refuted winner.
+        for p in &outcome.points {
+            assert!(
+                matches!(p.certified, CertifyVerdict::Certified(_)) || p.worst_case > p.deadline,
+                "{}: {:?}",
+                p.point.label(),
+                p.certified
+            );
+        }
+        // The baseline suite reports zero admit-cache traffic.
+        let baseline = run_suite(&tiny_suite(1, 1)).unwrap();
+        assert_eq!(baseline.total_certify_cache(), CacheStats::default());
     }
 
     #[test]

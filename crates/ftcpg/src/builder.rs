@@ -96,18 +96,236 @@ pub fn build_ftcpg(
 ) -> Result<FtCpg, CpgError> {
     policies.validate(fault_model.k())?;
     transparency.validate(app)?;
+    Ok(fresh_builder(app, policies, copies, fault_model.k(), transparency, config).run(0)?.graph)
+}
+
+/// Builds the FT-CPG like [`build_ftcpg`] and additionally returns a
+/// [`CpgAnchor`]: a reusable snapshot of the construction that lets later
+/// configurations differing in only a few processes rebuild incrementally
+/// via [`CpgAnchor::rebuild`].
+///
+/// # Errors
+///
+/// Exactly those of [`build_ftcpg`].
+pub fn build_ftcpg_anchored(
+    app: &Application,
+    policies: &PolicyAssignment,
+    copies: &CopyMapping,
+    fault_model: FaultModel,
+    transparency: &Transparency,
+    config: BuildConfig,
+) -> Result<(FtCpg, CpgAnchor), CpgError> {
+    policies.validate(fault_model.k())?;
+    transparency.validate(app)?;
+    let parts =
+        fresh_builder(app, policies, copies, fault_model.k(), transparency, config).run(0)?;
+    let anchor = CpgAnchor {
+        graph: parts.graph.clone(),
+        copies: copies.clone(),
+        policies: policies.clone(),
+        checkpoints: parts.checkpoints,
+        msg_outputs: parts.msg_outputs,
+        process_variant: parts.process_variant,
+        message_variant: parts.message_variant,
+    };
+    Ok((parts.graph, anchor))
+}
+
+fn fresh_builder<'a>(
+    app: &'a Application,
+    policies: &'a PolicyAssignment,
+    copies: &'a CopyMapping,
+    k: u32,
+    transparency: &'a Transparency,
+    config: BuildConfig,
+) -> Builder<'a> {
     Builder {
         app,
         policies,
         copies,
-        k: fault_model.k(),
+        k,
         transparency,
         config,
-        graph: FtCpg { fault_budget: fault_model.k(), ..FtCpg::default() },
+        graph: FtCpg { fault_budget: k, ..FtCpg::default() },
         process_variant: vec![0; app.process_count()],
         message_variant: vec![0; app.message_count()],
+        msg_outputs: vec![Vec::new(); app.message_count()],
+        checkpoints: Vec::with_capacity(app.process_count()),
     }
-    .run()
+}
+
+/// Reuse accounting of one [`CpgAnchor::rebuild`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebuildStats {
+    /// Topological positions (processes) of the application.
+    pub total_positions: usize,
+    /// Positions restored from the anchor instead of being rebuilt.
+    pub reused_positions: usize,
+    /// FT-CPG nodes restored from the anchor's shared prefix.
+    pub reused_nodes: usize,
+}
+
+/// Per-topological-position construction checkpoint: the graph extents
+/// *before* that position's build step ran.
+#[derive(Debug, Clone, Copy)]
+struct Checkpoint {
+    nodes: usize,
+    edges: usize,
+    joins: usize,
+}
+
+/// A reusable anchor of one FT-CPG construction: the built graph plus the
+/// builder state at every topological position, so a **delta**
+/// configuration — one differing from the anchored `(copies, policies)` in
+/// a few processes — can be rebuilt by restoring the shared prefix and
+/// re-running construction only from the first position a change can
+/// reach.
+///
+/// Dirtiness propagates *backwards* one hop: a message's construction
+/// (during its producer's step) reads the **successor's** policy and
+/// placement to decide internal-vs-bus routing, so the first rebuilt
+/// position is the minimum over every changed process `q` of `pos(q)` and
+/// the positions of `q`'s predecessors. Everything before that position is
+/// bit-identical to the anchor by construction and is restored by
+/// truncating clones (out-edge lists are cut at the checkpoint's edge
+/// count; in-edges of prefix nodes are complete because edges always
+/// target the node created in the same step).
+///
+/// The rebuild contract is **bit-for-bit equality with
+/// [`build_ftcpg`]** — graphs *and* errors — for the same `(app, fault
+/// model, transparency, config)` the anchor was built with;
+/// `tests/certifier_equality.rs` property-tests the contract end to end.
+#[derive(Debug, Clone)]
+pub struct CpgAnchor {
+    graph: FtCpg,
+    copies: CopyMapping,
+    policies: PolicyAssignment,
+    checkpoints: Vec<Checkpoint>,
+    msg_outputs: Vec<Vec<OutputCtx>>,
+    process_variant: Vec<u32>,
+    message_variant: Vec<u32>,
+}
+
+impl CpgAnchor {
+    /// The anchored graph (the FT-CPG of the anchored configuration).
+    pub fn graph(&self) -> &FtCpg {
+        &self.graph
+    }
+
+    /// Rebuilds the FT-CPG for a delta configuration, reusing the prefix
+    /// shared with the anchored one, and re-anchors on the result.
+    ///
+    /// `app`, `fault_model`, `transparency` and `config` must be the ones
+    /// the anchor was built with — only `(copies, policies)` may differ
+    /// (the certifier's per-instance discipline). On error the anchor is
+    /// left unchanged and still valid.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`build_ftcpg`] on the same inputs.
+    pub fn rebuild(
+        &mut self,
+        app: &Application,
+        policies: &PolicyAssignment,
+        copies: &CopyMapping,
+        fault_model: FaultModel,
+        transparency: &Transparency,
+        config: BuildConfig,
+    ) -> Result<(FtCpg, RebuildStats), CpgError> {
+        policies.validate(fault_model.k())?;
+        transparency.validate(app)?;
+        let order = app.topological_order();
+        let n = order.len();
+        let mut pos = vec![0usize; app.process_count()];
+        for (i, &pid) in order.iter().enumerate() {
+            pos[pid.index()] = i;
+        }
+        // First topological position any change can reach: a dirty process
+        // itself, or a predecessor of one (whose message-build step reads
+        // the dirty process's policy/placement).
+        let mut first = n;
+        for (pid, _) in app.processes() {
+            let clean = copies.copies_of(pid) == self.copies.copies_of(pid)
+                && policies.policy(pid) == self.policies.policy(pid);
+            if !clean {
+                first = first.min(pos[pid.index()]);
+                for &(p, _) in app.predecessors(pid) {
+                    first = first.min(pos[p.index()]);
+                }
+            }
+        }
+        if first == n {
+            // The configuration is the anchored one.
+            let stats = RebuildStats {
+                total_positions: n,
+                reused_positions: n,
+                reused_nodes: self.graph.node_count(),
+            };
+            return Ok((self.graph.clone(), stats));
+        }
+        let cp = self.checkpoints[first];
+        let cut_edges = |lists: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            lists
+                .iter()
+                .map(|l| {
+                    // Edge indices per node are appended in increasing
+                    // order; the checkpoint's edge count is the cut.
+                    let keep = l.partition_point(|&e| e < cp.edges);
+                    l[..keep].to_vec()
+                })
+                .collect()
+        };
+        let graph = FtCpg {
+            nodes: self.graph.nodes[..cp.nodes].to_vec(),
+            edges: self.graph.edges[..cp.edges].to_vec(),
+            out_edges: cut_edges(&self.graph.out_edges[..cp.nodes]),
+            in_edges: cut_edges(&self.graph.in_edges[..cp.nodes]),
+            names: self.graph.names[..cp.nodes].to_vec(),
+            joins: self.graph.joins[..cp.joins].to_vec(),
+            fault_budget: fault_model.k(),
+        };
+        // Variant counters and message outputs are touched only during
+        // their owner's (the producer's, for messages) step: prefix values
+        // are final, dirty-region values restart from scratch. Dirty-region
+        // message outputs are assigned before any consumer reads them, so
+        // leaving them empty is safe.
+        let mut process_variant = vec![0u32; app.process_count()];
+        let mut message_variant = vec![0u32; app.message_count()];
+        let mut msg_outputs: Vec<Vec<OutputCtx>> = vec![Vec::new(); app.message_count()];
+        for (pid, _) in app.processes() {
+            if pos[pid.index()] < first {
+                process_variant[pid.index()] = self.process_variant[pid.index()];
+                for &(_, mid) in app.successors(pid) {
+                    message_variant[mid.index()] = self.message_variant[mid.index()];
+                    msg_outputs[mid.index()] = self.msg_outputs[mid.index()].clone();
+                }
+            }
+        }
+        let parts = Builder {
+            app,
+            policies,
+            copies,
+            k: fault_model.k(),
+            transparency,
+            config,
+            graph,
+            process_variant,
+            message_variant,
+            msg_outputs,
+            checkpoints: self.checkpoints[..first].to_vec(),
+        }
+        .run(first)?;
+        let stats =
+            RebuildStats { total_positions: n, reused_positions: first, reused_nodes: cp.nodes };
+        self.graph = parts.graph.clone();
+        self.copies = copies.clone();
+        self.policies = policies.clone();
+        self.checkpoints = parts.checkpoints;
+        self.msg_outputs = parts.msg_outputs;
+        self.process_variant = parts.process_variant;
+        self.message_variant = parts.message_variant;
+        Ok((parts.graph, stats))
+    }
 }
 
 /// One "output becomes available" event: scenario guard, producing node and
@@ -143,32 +361,51 @@ struct Builder<'a> {
     graph: FtCpg,
     process_variant: Vec<u32>,
     message_variant: Vec<u32>,
+    msg_outputs: Vec<Vec<OutputCtx>>,
+    checkpoints: Vec<Checkpoint>,
+}
+
+/// Everything a finished construction run produces: the graph plus the
+/// per-position state a [`CpgAnchor`] snapshots.
+struct BuiltParts {
+    graph: FtCpg,
+    checkpoints: Vec<Checkpoint>,
+    msg_outputs: Vec<Vec<OutputCtx>>,
+    process_variant: Vec<u32>,
+    message_variant: Vec<u32>,
 }
 
 impl Builder<'_> {
-    fn run(mut self) -> Result<FtCpg, CpgError> {
-        let mut msg_outputs: Vec<Vec<OutputCtx>> = vec![Vec::new(); self.app.message_count()];
-        for &pid in self.app.topological_order() {
-            let arrivals = self.arrival_contexts(pid, &msg_outputs)?;
+    fn run(mut self, start: usize) -> Result<BuiltParts, CpgError> {
+        let order = self.app.topological_order();
+        for &pid in &order[start..] {
+            self.checkpoints.push(Checkpoint {
+                nodes: self.graph.nodes.len(),
+                edges: self.graph.edges.len(),
+                joins: self.graph.joins.len(),
+            });
+            let arrivals = self.arrival_contexts(pid)?;
             let outputs = self.build_process(pid, arrivals)?;
             for &(succ, mid) in self.app.successors(pid) {
-                msg_outputs[mid.index()] = self.build_message(pid, succ, mid, &outputs)?;
+                self.msg_outputs[mid.index()] = self.build_message(pid, succ, mid, &outputs)?;
             }
         }
         debug_assert_eq!(self.graph.check_invariants(), Ok(()));
-        Ok(self.graph)
+        Ok(BuiltParts {
+            graph: self.graph,
+            checkpoints: self.checkpoints,
+            msg_outputs: self.msg_outputs,
+            process_variant: self.process_variant,
+            message_variant: self.message_variant,
+        })
     }
 
-    fn arrival_contexts(
-        &mut self,
-        pid: ProcessId,
-        msg_outputs: &[Vec<OutputCtx>],
-    ) -> Result<Vec<ArrivalCtx>, CpgError> {
+    fn arrival_contexts(&self, pid: ProcessId) -> Result<Vec<ArrivalCtx>, CpgError> {
         let mut arrivals = vec![ArrivalCtx { guard: Guard::always(), sources: Vec::new() }];
         for &(_, mid) in self.app.predecessors(pid) {
             let mut next = Vec::new();
             for a in &arrivals {
-                for o in &msg_outputs[mid.index()] {
+                for o in &self.msg_outputs[mid.index()] {
                     if let Some(g) = a.guard.and(&o.guard) {
                         if g.fault_count() <= self.k {
                             let mut sources = a.sources.clone();
@@ -677,6 +914,78 @@ mod tests {
             assert_eq!(cpg.node(id).duration, Time::new(1));
             assert_eq!(cpg.node(id).location, Location::Bus);
         }
+    }
+
+    #[test]
+    fn anchored_rebuild_is_bit_identical_to_fresh_builds() {
+        let (app, arch, transparency) = samples::fig5();
+        let mapping = Mapping::new(&app, &arch, samples::fig5_mapping()).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let k = FaultModel::new(2);
+        let (base, mut anchor) = build_ftcpg_anchored(
+            &app,
+            &policies,
+            &copies,
+            k,
+            &transparency,
+            BuildConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(&base, anchor.graph());
+        // Walk a chain of one-process policy deltas; every rebuild must
+        // equal a from-scratch construction of the same configuration.
+        for step in 0..app.process_count() * 2 {
+            let target = ProcessId::new(step % app.process_count());
+            let mut next = policies.clone();
+            let policy =
+                if step % 2 == 0 { Policy::checkpointing(2, 2) } else { Policy::replication(2) };
+            next.set(target, policy);
+            let next_copies = CopyMapping::from_base(&app, &arch, &mapping, &next).unwrap();
+            let (rebuilt, stats) = anchor
+                .rebuild(&app, &next, &next_copies, k, &transparency, BuildConfig::default())
+                .unwrap();
+            let fresh =
+                build_ftcpg(&app, &next, &next_copies, k, &transparency, BuildConfig::default())
+                    .unwrap();
+            assert_eq!(rebuilt, fresh, "step {step} diverged from the monolithic build");
+            assert_eq!(stats.total_positions, app.process_count());
+            assert!(stats.reused_positions <= stats.total_positions);
+            // Re-anchor back on the base configuration too (the search's
+            // revert move) and re-check.
+            let (back, _) = anchor
+                .rebuild(&app, &policies, &copies, k, &transparency, BuildConfig::default())
+                .unwrap();
+            assert_eq!(back, base, "step {step} revert diverged");
+        }
+    }
+
+    #[test]
+    fn anchored_rebuild_reuses_the_shared_prefix() {
+        // A chain app: dirtying the last process must reuse every earlier
+        // position (minus the one-hop backward reach of its predecessor).
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let policies = PolicyAssignment::uniform_reexecution(&app, 1);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let k = FaultModel::new(1);
+        let t = Transparency::none();
+        let (_, mut anchor) =
+            build_ftcpg_anchored(&app, &policies, &copies, k, &t, BuildConfig::default()).unwrap();
+        let last = *app.topological_order().last().unwrap();
+        let mut next = policies.clone();
+        next.set(last, Policy::checkpointing(1, 2));
+        let next_copies = CopyMapping::from_base(&app, &arch, &mapping, &next).unwrap();
+        let (_, stats) =
+            anchor.rebuild(&app, &next, &next_copies, k, &t, BuildConfig::default()).unwrap();
+        assert!(
+            stats.reused_positions > 0 && stats.reused_nodes > 0,
+            "a trailing delta must reuse a prefix: {stats:?}"
+        );
+        // An unchanged configuration reuses everything.
+        let (_, stats) =
+            anchor.rebuild(&app, &next, &next_copies, k, &t, BuildConfig::default()).unwrap();
+        assert_eq!(stats.reused_positions, stats.total_positions);
     }
 
     #[test]

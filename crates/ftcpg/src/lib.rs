@@ -48,7 +48,7 @@ mod node;
 mod scenario;
 
 pub use analysis::{count_scenarios, cpg_stats, CpgStats};
-pub use builder::{build_ftcpg, BuildConfig};
+pub use builder::{build_ftcpg, build_ftcpg_anchored, BuildConfig, CpgAnchor, RebuildStats};
 pub use copy_mapping::CopyMapping;
 pub use error::CpgError;
 pub use guard::{Guard, Literal};

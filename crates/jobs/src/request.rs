@@ -237,7 +237,9 @@ pub mod limits {
 /// Parses an explore request body: whitespace-separated `key=value`
 /// tokens mirroring the `ftes explore` flags (`grid=paper` or
 /// `processes=N nodes=N k=K`, plus `seeds`, `seed`, `rounds`, `iters`,
-/// `threads`, `point_par`, `verify=true`). Work-scaling parameters are
+/// `threads`, `point_par`, `verify=true`, `certify=false`,
+/// `certify_guided=true` — the latter certifies incumbents *inside* the
+/// search instead of post hoc). Work-scaling parameters are
 /// bounded (see [`limits`]); out-of-range values are a client error, not
 /// a clamp, so cache keys never alias different requested configurations.
 ///
@@ -298,6 +300,13 @@ pub fn parse_explore_request(text: &str) -> Result<SuiteConfig, String> {
                     "true" => true,
                     "false" => false,
                     other => return Err(format!("bad bool `{other}` for certify")),
+                }
+            }
+            "certify_guided" => {
+                portfolio.certify_guided = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("bad bool `{other}` for certify_guided")),
                 }
             }
             other => return Err(format!("unknown explore parameter `{other}`")),
@@ -370,6 +379,7 @@ pub fn canonical_explore_bytes(config: &SuiteConfig) -> Vec<u8> {
         }
     }
     out.push(config.certify as u8);
+    out.push(config.portfolio.certify_guided as u8);
     out
 }
 
@@ -456,6 +466,14 @@ mod tests {
         assert!(config.verify.is_some());
         assert!(config.certify, "certification defaults on");
         assert!(!parse_explore_request("certify=false").unwrap().certify);
+        assert!(
+            !config.portfolio.certify_guided,
+            "certify-guided search defaults off (post-hoc certification)"
+        );
+        assert!(
+            parse_explore_request("certify_guided=true").unwrap().portfolio.certify_guided,
+            "certify_guided=true turns on in-search certification"
+        );
 
         let default = parse_explore_request("").unwrap();
         assert_eq!(default.points.len(), 5, "empty body = the paper grid");
@@ -471,6 +489,7 @@ mod tests {
             "processes=10 nodes=2",
             "verify=maybe",
             "certify=maybe",
+            "certify_guided=maybe",
             "bogus=1",
         ] {
             assert!(parse_explore_request(bad).is_err(), "{bad}");
@@ -521,6 +540,7 @@ mod tests {
             "processes=10 nodes=2 k=1 seeds=2",
             "processes=10 nodes=2 k=1 verify=true",
             "processes=10 nodes=2 k=1 certify=false",
+            "processes=10 nodes=2 k=1 certify_guided=true",
             "grid=paper",
         ] {
             let c = parse_explore_request(different).unwrap();

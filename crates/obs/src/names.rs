@@ -40,6 +40,15 @@ pub const SEARCH_REJECT: &str = "search.reject";
 pub const REPAIR_ROUND: &str = "certify.repair_round";
 /// Certification answered from the verdict memo instead of scheduling.
 pub const CERTIFY_MEMO_HIT: &str = "certify.memo_hit";
+/// An uncached certification rebuilt its FT-CPG incrementally from the
+/// certifier's anchor (prefix restored, only dirty subgraphs rebuilt).
+pub const CERTIFY_INCREMENTAL: &str = "certify.incremental";
+/// A bounded certification refuted early: a placed node already exceeds
+/// the bound, so the remaining scenarios were never scheduled.
+pub const CERTIFY_PRUNE: &str = "certify.prune";
+/// A replica-join worst-case delivery was answered from the fault-scenario
+/// subtree memo instead of re-running the adversarial DP.
+pub const CERTIFY_SUBTREE_HIT: &str = "certify.subtree_hit";
 
 // ---- estimator kernel counters (the delta-evaluate hot path)
 

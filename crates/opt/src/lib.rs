@@ -49,10 +49,13 @@ pub use checkpoint::{
 };
 pub use constructive::constructive_mapping;
 pub use error::OptError;
-pub use repair::{observed_calibration, synthesize_certified, CertifiedSynthesis, RepairConfig};
+pub use repair::{
+    observed_calibration, synthesize_certified, synthesize_certified_mode, CertifiedSynthesis,
+    CertifyMode, RepairConfig,
+};
 pub use search::{
-    apply_move, candidate_policies, sample_move, tabu_search, tabu_search_traced,
-    tabu_search_traced_with, tabu_search_with, CandidateMove, PolicyMoves, SearchConfig,
-    Synthesized,
+    apply_move, candidate_policies, sample_move, tabu_search, tabu_search_guarded_with,
+    tabu_search_traced, tabu_search_traced_with, tabu_search_with, BestGuard, CandidateMove,
+    PolicyMoves, SearchConfig, Synthesized,
 };
 pub use strategy::{synthesize, synthesize_with, Strategy};

@@ -25,8 +25,12 @@
 //! estimate-only regime (the paper's large-scale experiments) — there is
 //! no exact schedule to certify against, and the outcome says so.
 
-use crate::{synthesize_with, OptError, PolicyMoves, SearchConfig, Strategy, Synthesized};
-use ftes_sched::{calibration_milli, CertOutcome, Certifier, SystemEvaluator};
+use crate::{
+    synthesize_with, tabu_search_guarded_with, OptError, PolicyMoves, SearchConfig, Strategy,
+    Synthesized,
+};
+use ftes_ft::PolicyAssignment;
+use ftes_sched::{calibration_milli, BoundedCert, CertOutcome, Certifier, SystemEvaluator};
 
 /// Tunables of the certify-and-repair loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +44,22 @@ impl Default for RepairConfig {
     fn default() -> Self {
         RepairConfig { max_rounds: 2 }
     }
+}
+
+/// When exact certification runs relative to the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CertifyMode {
+    /// Certify the finished incumbent only, repairing refutations by
+    /// calibrated re-search — the classic loop.
+    #[default]
+    PostHoc,
+    /// Certify incumbents *while* the search runs: a candidate whose
+    /// estimate meets the deadline may only displace the search's best
+    /// after an incremental, bounded certification admits it (refuted
+    /// states are demoted during the search, so the returned incumbent is
+    /// already certified and the post-hoc loop usually answers from the
+    /// verdict memo with zero repair rounds).
+    Guided,
 }
 
 /// Result of a certified synthesis: the incumbent plus its exact verdict.
@@ -83,8 +103,34 @@ pub fn synthesize_certified(
     search: SearchConfig,
     repair: RepairConfig,
 ) -> Result<CertifiedSynthesis, OptError> {
+    synthesize_certified_mode(evaluator, certifier, strategy, search, repair, CertifyMode::PostHoc)
+}
+
+/// [`synthesize_certified`] with an explicit [`CertifyMode`]: `PostHoc` is
+/// the classic loop, `Guided` threads an incremental bounded certification
+/// guard through the search itself (see [`CertifyMode::Guided`]).
+///
+/// # Panics
+///
+/// Panics if the certifier and evaluator disagree on the fault budget
+/// (a caller bug, not an input error).
+///
+/// # Errors
+///
+/// Same as [`synthesize_certified`].
+pub fn synthesize_certified_mode(
+    evaluator: &mut SystemEvaluator,
+    certifier: &mut Certifier,
+    strategy: Strategy,
+    search: SearchConfig,
+    repair: RepairConfig,
+    mode: CertifyMode,
+) -> Result<CertifiedSynthesis, OptError> {
     assert_eq!(evaluator.k(), certifier.k(), "certifier built for a different fault budget");
-    let mut incumbent = synthesize_with(evaluator, strategy, search)?;
+    let mut incumbent = match mode {
+        CertifyMode::PostHoc => synthesize_with(evaluator, strategy, search)?,
+        CertifyMode::Guided => synthesize_guided_with(evaluator, certifier, strategy, search)?,
+    };
     // Only MXR explores policies; the fixed-policy strategies repair by
     // remapping alone, mirroring their original search space.
     let policy_moves =
@@ -159,7 +205,99 @@ pub fn synthesize_certified(
         };
         // Re-anchor the evaluator's delta base at the restart state.
         evaluator.evaluate(&incumbent.copies, &incumbent.policies)?;
-        incumbent = crate::tabu_search_with(evaluator, incumbent, policy_moves, cfg)?;
+        incumbent = match mode {
+            CertifyMode::PostHoc => {
+                crate::tabu_search_with(evaluator, incumbent, policy_moves, cfg)?
+            }
+            CertifyMode::Guided => {
+                let deadline = evaluator.app().deadline();
+                tabu_search_guarded_with(
+                    evaluator,
+                    incumbent,
+                    policy_moves,
+                    cfg,
+                    &mut certify_guard(certifier, deadline),
+                )?
+                .0
+            }
+        };
+    }
+}
+
+/// The certify-guided admission guard: candidates whose estimate already
+/// misses the deadline are admitted untested (they rank exactly as the
+/// estimator says; an exact run buys nothing), candidates that *look*
+/// schedulable are incrementally certified against the deadline as an
+/// upper bound — a pruned refutation or an exact deadline miss demotes
+/// them during the search. `OverBudget` (size or work budget) admits: in
+/// the estimate-only regime the guided search degrades to the classic one.
+fn certify_guard(
+    certifier: &mut Certifier,
+    deadline: ftes_model::Time,
+) -> impl FnMut(&Synthesized) -> Result<bool, OptError> + '_ {
+    move |cand: &Synthesized| {
+        if cand.estimate.worst_case_length > deadline {
+            return Ok(true);
+        }
+        match certifier
+            .certify_bounded(&cand.copies, &cand.policies, deadline)
+            .map_err(certify_to_opt_error)?
+        {
+            BoundedCert::Verdict(CertOutcome::Exact { exact_len, deadline_met }) => {
+                certifier.record_estimate(exact_len, cand.estimate.worst_case_length);
+                Ok(deadline_met)
+            }
+            BoundedCert::Verdict(CertOutcome::OverBudget) => Ok(true),
+            BoundedCert::Pruned { .. } => Ok(false),
+        }
+    }
+}
+
+/// The strategy dispatch of [`synthesize_with`], with the certify-guided
+/// guard threaded through each strategy's *final* tabu phase (bootstrap
+/// phases stay unguarded: MXR's MX seed explores plain re-execution
+/// mappings, and SFX's phase 1 optimizes a fault-oblivious `k = 0`
+/// objective the `k`-certifier cannot judge — SFX therefore synthesizes
+/// exactly as post hoc and is guided only in its repair rounds).
+fn synthesize_guided_with(
+    evaluator: &mut SystemEvaluator,
+    certifier: &mut Certifier,
+    strategy: Strategy,
+    config: SearchConfig,
+) -> Result<Synthesized, OptError> {
+    let k = evaluator.k();
+    let deadline = evaluator.app().deadline();
+    match strategy {
+        Strategy::Mxr => {
+            let mx = synthesize_with(evaluator, Strategy::Mx, config)?;
+            Ok(tabu_search_guarded_with(
+                evaluator,
+                mx,
+                PolicyMoves::Full,
+                config,
+                &mut certify_guard(certifier, deadline),
+            )?
+            .0)
+        }
+        Strategy::Mx | Strategy::Mr => {
+            let initial_mapping =
+                crate::constructive_mapping(evaluator.app(), evaluator.platform().architecture())?;
+            let policies = if strategy == Strategy::Mx {
+                PolicyAssignment::uniform_reexecution(evaluator.app(), k)
+            } else {
+                PolicyAssignment::uniform_replication(evaluator.app(), k)
+            };
+            let initial = Synthesized::evaluate_with(evaluator, initial_mapping, policies)?;
+            Ok(tabu_search_guarded_with(
+                evaluator,
+                initial,
+                PolicyMoves::None,
+                config,
+                &mut certify_guard(certifier, deadline),
+            )?
+            .0)
+        }
+        Strategy::Sfx => synthesize_with(evaluator, Strategy::Sfx, config),
     }
 }
 
@@ -276,5 +414,96 @@ mod tests {
     fn observed_calibration_matches_the_sched_helper() {
         assert_eq!(observed_calibration(Time::new(1041), Time::new(441)), 2361);
         assert_eq!(observed_calibration(Time::new(100), Time::new(100)), 1000);
+    }
+
+    fn generated_setup(seed: u64) -> (SystemEvaluator, Certifier) {
+        let app =
+            ftes_gen::generate_application(&ftes_gen::GeneratorConfig::new(10, 3), seed).unwrap();
+        let platform = Platform::homogeneous(3, Time::new(8)).unwrap();
+        let evaluator = SystemEvaluator::new(&app, &platform, 1);
+        let certifier = Certifier::new(
+            &app,
+            &platform,
+            FaultModel::new(1),
+            &Transparency::none(),
+            CertifyConfig::default(),
+        );
+        (evaluator, certifier)
+    }
+
+    #[test]
+    fn guided_mode_certifies_incumbents_during_the_search() {
+        // A generated instance whose deadline the search can meet: improving
+        // candidates look schedulable, so the guard certifies them on
+        // acceptance — incrementally, against the certifier's anchor — and
+        // the final post-hoc check answers from the verdict memo.
+        let (mut evaluator, mut certifier) = generated_setup(0);
+        let cfg = SearchConfig { iterations: 25, neighborhood: 12, ..SearchConfig::default() };
+        let result = synthesize_certified_mode(
+            &mut evaluator,
+            &mut certifier,
+            Strategy::Mxr,
+            cfg,
+            RepairConfig::default(),
+            CertifyMode::Guided,
+        )
+        .unwrap();
+        assert!(result.outcome.is_certified(), "{:?}", result.outcome);
+        assert_eq!(result.repair_rounds, 0, "guided incumbents are already certified");
+        let stats = certifier.stats();
+        assert!(stats.cache_hits > 0, "post-hoc check must hit the memo: {stats:?}");
+        assert!(stats.incremental_builds > 0, "guided runs rebuild from the anchor: {stats:?}");
+        result.best.policies.validate(1).unwrap();
+    }
+
+    #[test]
+    fn guided_mode_is_deterministic() {
+        let cfg = SearchConfig { iterations: 25, neighborhood: 12, ..SearchConfig::default() };
+        let run = || {
+            let (mut evaluator, mut certifier) = generated_setup(3);
+            synthesize_certified_mode(
+                &mut evaluator,
+                &mut certifier,
+                Strategy::Mxr,
+                cfg,
+                RepairConfig::default(),
+                CertifyMode::Guided,
+            )
+            .map(|r| {
+                let s = certifier.stats();
+                // Everything but wall-clock must replay exactly.
+                let counters =
+                    (s.requests, s.cache_hits, s.exact_runs, s.incremental_builds, s.pruned_runs);
+                (r.best.estimate, r.outcome, r.repair_rounds, counters)
+            })
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn post_hoc_mode_matches_the_classic_entry_point() {
+        let (mut evaluator, mut certifier) = fig3_setup(2);
+        let classic = synthesize_certified(
+            &mut evaluator,
+            &mut certifier,
+            Strategy::Mxr,
+            quick(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+        let (mut evaluator, mut certifier) = fig3_setup(2);
+        let explicit = synthesize_certified_mode(
+            &mut evaluator,
+            &mut certifier,
+            Strategy::Mxr,
+            quick(),
+            RepairConfig::default(),
+            CertifyMode::PostHoc,
+        )
+        .unwrap();
+        assert_eq!(classic.best.estimate, explicit.best.estimate);
+        assert_eq!(classic.outcome, explicit.outcome);
+        assert_eq!(classic.repair_rounds, explicit.repair_rounds);
     }
 }

@@ -455,6 +455,33 @@ pub fn tabu_search_traced_with(
     policy_moves: PolicyMoves,
     config: SearchConfig,
 ) -> Result<(Synthesized, Vec<i64>), OptError> {
+    tabu_search_guarded_with(evaluator, initial, policy_moves, config, &mut |_| Ok(true))
+}
+
+/// Admission guard consulted before a candidate may displace the search's
+/// best-so-far state — the certify-guided hook. `Ok(true)` admits the
+/// candidate as the new best; `Ok(false)` demotes it: the walk still
+/// continues from it (it stays the *current* state), but it can never be
+/// returned as the search's answer. The always-admit guard reproduces the
+/// unguarded search bit for bit.
+pub type BestGuard<'a> = &'a mut dyn FnMut(&Synthesized) -> Result<bool, OptError>;
+
+/// [`tabu_search_traced_with`] with an admission guard on best-so-far
+/// updates: certify-guided searches pass a guard that incrementally
+/// certifies the candidate against the deadline and demotes refuted states
+/// *during* the search instead of discovering them post hoc.
+///
+/// # Errors
+///
+/// Propagates evaluation errors and guard failures; the initial state must
+/// be feasible.
+pub fn tabu_search_guarded_with(
+    evaluator: &mut SystemEvaluator,
+    initial: Synthesized,
+    policy_moves: PolicyMoves,
+    config: SearchConfig,
+    guard: BestGuard<'_>,
+) -> Result<(Synthesized, Vec<i64>), OptError> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let n = evaluator.app().process_count();
     let deadline = evaluator.app().deadline();
@@ -493,6 +520,7 @@ pub fn tabu_search_traced_with(
             tabu_until[p.index()] = iter + config.tenure;
             if config.calibrated_objective(&next, deadline)
                 < config.calibrated_objective(&best, deadline)
+                && guard(&next)?
             {
                 best = next.clone();
             }
@@ -580,6 +608,46 @@ mod tests {
         .unwrap();
         let after: Vec<_> = result.policies.iter().map(|(_, p)| p.clone()).collect();
         assert_eq!(before, after, "PolicyMoves::None must not touch policies");
+    }
+
+    #[test]
+    fn guard_admissions_control_the_returned_best() {
+        let (app, platform, initial) = setup(2);
+        let cfg = SearchConfig { iterations: 30, ..SearchConfig::default() };
+        // An always-true guard reproduces the unguarded search bit for bit,
+        // and is consulted once per attempted best displacement.
+        let mut evaluator = SystemEvaluator::new(&app, &platform, 2);
+        let mut calls = 0u32;
+        let (admitted, trace_a) = tabu_search_guarded_with(
+            &mut evaluator,
+            initial.clone(),
+            PolicyMoves::Full,
+            cfg,
+            &mut |_| {
+                calls += 1;
+                Ok(true)
+            },
+        )
+        .unwrap();
+        let (unguarded, trace_b) =
+            tabu_search_traced(&app, &platform, 2, initial.clone(), PolicyMoves::Full, cfg)
+                .unwrap();
+        assert!(calls > 0, "the walk must try to displace the best at least once");
+        assert_eq!(admitted.estimate, unguarded.estimate);
+        assert_eq!(trace_a, trace_b);
+        // An always-false guard demotes every candidate: the best never
+        // moves off the initial state.
+        let mut evaluator = SystemEvaluator::new(&app, &platform, 2);
+        let (demoted, _) = tabu_search_guarded_with(
+            &mut evaluator,
+            initial.clone(),
+            PolicyMoves::Full,
+            cfg,
+            &mut |_| Ok(false),
+        )
+        .unwrap();
+        assert_eq!(demoted.estimate, initial.estimate);
+        assert_eq!(demoted.mapping, initial.mapping);
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //! systematically under-pricing policy mixes on instances where the gap
 //! has already been measured.
 
-use crate::{check_deadlines, schedule_ftcpg, ConditionalSchedule, SchedConfig, SchedError};
+use crate::{
+    check_deadlines, schedule_ftcpg_bounded, BoundedSchedule, ConditionalSchedule, JoinMemo,
+    SchedConfig, SchedError,
+};
 use ftes_ft::PolicyAssignment;
-use ftes_ftcpg::{build_ftcpg, BuildConfig, CopyMapping, CpgError, FtCpg};
+use ftes_ftcpg::{build_ftcpg_anchored, BuildConfig, CopyMapping, CpgAnchor, CpgError, FtCpg};
 use ftes_model::{Application, FaultModel, Time, Transparency};
 use ftes_tdma::Platform;
 // ftes-lint: allow(determinism) reason="canonical-key certification memo; probed per key, never iterated into results"
@@ -92,6 +95,32 @@ impl CertOutcome {
     }
 }
 
+/// Verdict of one *bounded* certification request
+/// ([`Certifier::certify_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedCert {
+    /// The run completed (or was answered from the verdict memo): a full
+    /// [`CertOutcome`] exists.
+    Verdict(CertOutcome),
+    /// The run refuted early: some scenario branch provably finishes after
+    /// the bound, so the full schedule was never computed.
+    Pruned {
+        /// A proven lower bound on the exact schedule length — the end
+        /// time of the first placed node that exceeded the bound (a real
+        /// completion time in a valid partial schedule, so
+        /// `exact_len >= lower_bound > bound`).
+        lower_bound: Time,
+    },
+}
+
+impl BoundedCert {
+    /// `true` when the configuration is exact-certified schedulable
+    /// (a pruned run is a refutation, never a certification).
+    pub fn is_certified(&self) -> bool {
+        matches!(self, BoundedCert::Verdict(v) if v.is_certified())
+    }
+}
+
 /// Error produced during certification (hard failures only — budget and
 /// size overruns are [`CertOutcome::OverBudget`], not errors).
 #[derive(Debug)]
@@ -140,7 +169,8 @@ pub struct CertifierStats {
     pub requests: u64,
     /// Requests answered from the verdict cache.
     pub cache_hits: u64,
-    /// Exact conditional schedules actually computed.
+    /// Exact conditional scheduler invocations (complete or pruned —
+    /// both consume the work budget; they do real scheduling work).
     pub exact_runs: u64,
     /// Requests answered [`CertOutcome::OverBudget`] because the FT-CPG
     /// exceeded the size budget.
@@ -148,6 +178,17 @@ pub struct CertifierStats {
     /// Requests answered [`CertOutcome::OverBudget`] because the work
     /// budget (`max_exact_runs`) was exhausted.
     pub budget_exhausted: u64,
+    /// Uncached requests whose FT-CPG was rebuilt incrementally from the
+    /// certifier's anchor instead of from scratch.
+    pub incremental_builds: u64,
+    /// Bounded certifications that refuted early (bound-and-prune exit)
+    /// instead of scheduling every scenario.
+    pub pruned_runs: u64,
+    /// Replica-join deliveries answered from the fault-scenario subtree
+    /// memo.
+    pub subtree_hits: u64,
+    /// Replica-join deliveries that ran the adversarial DP.
+    pub subtree_misses: u64,
     /// Wall-clock time spent inside certification (graph construction +
     /// exact scheduling).
     pub wall: Duration,
@@ -278,6 +319,21 @@ pub struct Certifier {
     /// budget-exhausted `OverBudget` is *not* cached, so raising the budget
     /// on a fresh certifier re-answers.
     verdicts: HashMap<Vec<u8>, CertOutcome>,
+    /// Refutation evidence from bounded runs: the largest lower bound on
+    /// `exact_len` ever proved for a configuration. A stored bound answers
+    /// any later [`Certifier::certify_bounded`] whose bound it exceeds
+    /// without re-scheduling; it never answers an unbounded [`Certifier::certify`]
+    /// (a pruned run has no exact length).
+    refuted_bounds: HashMap<Vec<u8>, Time>,
+    /// FT-CPG anchor for incremental rebuilds: after the first uncached
+    /// certification, later configurations diff against the anchored
+    /// `(copies, policies)` and rebuild only the dirty suffix.
+    anchor: Option<CpgAnchor>,
+    /// Memoized fault-scenario subtree deliveries, shared across every
+    /// exact run of this certifier (keys are canonical ladder encodings,
+    /// so a policy change on one process invalidates exactly the subtrees
+    /// it touches — their keys change).
+    join_memo: JoinMemo,
     /// Artifacts (FT-CPG + exact schedule) of the most recently scheduled
     /// configuration, so the flow can reuse them for table generation
     /// instead of rebuilding the winner's graph from scratch.
@@ -305,6 +361,9 @@ impl Certifier {
             transparency: transparency.clone(),
             config,
             verdicts: HashMap::new(),
+            refuted_bounds: HashMap::new(),
+            anchor: None,
+            join_memo: JoinMemo::new(),
             last_artifacts: None,
             calibration_milli: 1000,
             stats: CertifierStats::default(),
@@ -355,12 +414,66 @@ impl Certifier {
             ftes_obs::counter(ftes_obs::names::CERTIFY_MEMO_HIT, 1);
             return Ok(verdict);
         }
-        match self.schedule_uncached(&key, copies, policies)? {
-            Some(verdict) => {
+        match self.schedule_uncached(&key, copies, policies, None)? {
+            UncachedResult::Verdict(verdict) => {
                 self.verdicts.insert(key, verdict);
                 Ok(verdict)
             }
-            None => Ok(CertOutcome::OverBudget),
+            UncachedResult::Pruned(_) => unreachable!("unbounded runs never prune"),
+            UncachedResult::Budget => Ok(CertOutcome::OverBudget),
+        }
+    }
+
+    /// Certifies one configuration against an upper bound: identical to
+    /// [`Certifier::certify`] when the exact schedule fits the bound, but
+    /// exits at the first scenario branch that provably exceeds it —
+    /// the bound-and-prune regime that makes refutation cheap enough to
+    /// run inside the search loop (pass the incumbent's deadline as the
+    /// bound; [`BoundedCert::Pruned`] then proves `deadline_met` would be
+    /// `false` without scheduling the remaining scenarios).
+    ///
+    /// Both the verdict memo and previously proven refutation bounds
+    /// answer without re-scheduling; a pruned run records its lower bound
+    /// so the same losing configuration refutes from the memo next time.
+    ///
+    /// # Errors
+    ///
+    /// Hard construction/scheduling failures only, exactly as
+    /// [`Certifier::certify`].
+    pub fn certify_bounded(
+        &mut self,
+        copies: &CopyMapping,
+        policies: &PolicyAssignment,
+        bound: Time,
+    ) -> Result<BoundedCert, CertifyError> {
+        self.stats.requests += 1;
+        let _span = ftes_obs::span(ftes_obs::names::CERTIFY);
+        let key = config_key(&self.app, copies, policies);
+        if let Some(&verdict) = self.verdicts.get(&key) {
+            self.stats.cache_hits += 1;
+            ftes_obs::counter(ftes_obs::names::CERTIFY_MEMO_HIT, 1);
+            return Ok(BoundedCert::Verdict(verdict));
+        }
+        if let Some(&lb) = self.refuted_bounds.get(&key) {
+            if lb > bound {
+                self.stats.cache_hits += 1;
+                ftes_obs::counter(ftes_obs::names::CERTIFY_MEMO_HIT, 1);
+                return Ok(BoundedCert::Pruned { lower_bound: lb });
+            }
+        }
+        match self.schedule_uncached(&key, copies, policies, Some(bound))? {
+            UncachedResult::Verdict(verdict) => {
+                self.verdicts.insert(key, verdict);
+                Ok(BoundedCert::Verdict(verdict))
+            }
+            UncachedResult::Pruned(lower_bound) => {
+                self.stats.pruned_runs += 1;
+                ftes_obs::counter(ftes_obs::names::CERTIFY_PRUNE, 1);
+                let entry = self.refuted_bounds.entry(key).or_insert(lower_bound);
+                *entry = (*entry).max(lower_bound);
+                Ok(BoundedCert::Pruned { lower_bound: *entry })
+            }
+            UncachedResult::Budget => Ok(BoundedCert::Verdict(CertOutcome::OverBudget)),
         }
     }
 
@@ -383,38 +496,60 @@ impl Certifier {
     }
 
     /// Builds graph + schedule, updating counters and the artifact slot.
-    /// `Ok(None)` = work budget exhausted (not cacheable);
-    /// `Ok(Some(OverBudget))` = graph too large (cacheable — a
-    /// configuration's graph size never changes).
+    /// `Budget` = work budget exhausted (not cacheable); a too-large graph
+    /// is `Verdict(OverBudget)` (cacheable — a configuration's graph size
+    /// never changes); `Pruned` = a bounded run refuted early (cached as
+    /// refutation evidence by the caller, never as a verdict).
     fn schedule_uncached(
         &mut self,
         key: &[u8],
         copies: &CopyMapping,
         policies: &PolicyAssignment,
-    ) -> Result<Option<CertOutcome>, CertifyError> {
+        bound: Option<Time>,
+    ) -> Result<UncachedResult, CertifyError> {
         if self.stats.exact_runs >= self.config.max_exact_runs {
             self.stats.budget_exhausted += 1;
-            return Ok(None);
+            return Ok(UncachedResult::Budget);
         }
         // ftes-lint: allow(determinism) reason="exact-run timing feeds CertifyStats diagnostics, never result bytes"
         let started = Instant::now();
         let built = {
             let _span = ftes_obs::span(ftes_obs::names::CPG);
-            build_ftcpg(
-                &self.app,
-                policies,
-                copies,
-                self.fault_model,
-                &self.transparency,
-                self.config.cpg,
-            )
+            match self.anchor.as_mut() {
+                Some(anchor) => {
+                    self.stats.incremental_builds += 1;
+                    ftes_obs::counter(ftes_obs::names::CERTIFY_INCREMENTAL, 1);
+                    anchor
+                        .rebuild(
+                            &self.app,
+                            policies,
+                            copies,
+                            self.fault_model,
+                            &self.transparency,
+                            self.config.cpg,
+                        )
+                        .map(|(cpg, _)| cpg)
+                }
+                None => build_ftcpg_anchored(
+                    &self.app,
+                    policies,
+                    copies,
+                    self.fault_model,
+                    &self.transparency,
+                    self.config.cpg,
+                )
+                .map(|(cpg, anchor)| {
+                    self.anchor = Some(anchor);
+                    cpg
+                }),
+            }
         };
         let cpg = match built {
             Ok(cpg) => cpg,
             Err(CpgError::GraphTooLarge { .. }) => {
                 self.stats.graph_too_large += 1;
                 self.stats.wall += started.elapsed();
-                return Ok(Some(CertOutcome::OverBudget));
+                return Ok(UncachedResult::Verdict(CertOutcome::OverBudget));
             }
             Err(e) => {
                 self.stats.wall += started.elapsed();
@@ -424,10 +559,23 @@ impl Certifier {
         self.stats.exact_runs += 1;
         let scheduled = {
             let _span = ftes_obs::span(ftes_obs::names::SCHEDULE);
-            schedule_ftcpg(&self.app, &cpg, &self.platform, self.config.sched)
+            schedule_ftcpg_bounded(
+                &self.app,
+                &cpg,
+                &self.platform,
+                self.config.sched,
+                bound,
+                Some(&mut self.join_memo),
+            )
         };
+        self.stats.subtree_hits = self.join_memo.hits();
+        self.stats.subtree_misses = self.join_memo.misses();
         let schedule = match scheduled {
-            Ok(s) => s,
+            Ok(BoundedSchedule::Complete(s)) => s,
+            Ok(BoundedSchedule::Exceeded { lower_bound }) => {
+                self.stats.wall += started.elapsed();
+                return Ok(UncachedResult::Pruned(lower_bound));
+            }
             Err(e) => {
                 self.stats.wall += started.elapsed();
                 return Err(e.into());
@@ -437,8 +585,18 @@ impl Certifier {
         let verdict = CertOutcome::Exact { exact_len: schedule.length(), deadline_met };
         self.last_artifacts = Some((key.to_vec(), cpg, schedule));
         self.stats.wall += started.elapsed();
-        Ok(Some(verdict))
+        Ok(UncachedResult::Verdict(verdict))
     }
+}
+
+/// Internal outcome of one uncached scheduling attempt.
+enum UncachedResult {
+    /// A cacheable verdict (exact, or a size-budget `OverBudget`).
+    Verdict(CertOutcome),
+    /// A bounded run refuted early with this proven lower bound.
+    Pruned(Time),
+    /// The work budget is exhausted — answer `OverBudget`, do not cache.
+    Budget,
 }
 
 /// The `exact / estimate` ratio in milli-units, clamped to ≥ 1000 (the
@@ -478,7 +636,8 @@ fn config_key(app: &Application, copies: &CopyMapping, policies: &PolicyAssignme
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimate_schedule_length;
+    use crate::{estimate_schedule_length, schedule_ftcpg};
+    use ftes_ftcpg::build_ftcpg;
     use ftes_model::{samples, Mapping};
 
     fn fig3_instance(k: u32) -> (Application, Platform, CopyMapping, PolicyAssignment) {
@@ -598,6 +757,107 @@ mod tests {
         assert_eq!(c.calibration_milli(), 1500);
         c.record_estimate(Time::new(110), Time::new(100));
         assert_eq!(c.calibration_milli(), 1500, "the factor never decreases");
+    }
+
+    #[test]
+    fn incremental_certification_matches_a_fresh_certifier() {
+        // A warm certifier walked over a chain of one-move deltas rebuilds
+        // from its anchor and schedules against its subtree memo; every
+        // verdict AND artifact must be bit-identical to a cold certifier.
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        let mut warm = certifier(&app, &platform, 2, CertifyConfig::default());
+        // P1 stays replicated in every configuration, so its replica-join
+        // subtree recurs across the walk and must hit the subtree memo;
+        // the delta rotates a second process through policy changes.
+        let deltas = [(1, 0), (2, 1), (3, 0), (4, 1), (1, 1), (2, 0)];
+        for (step, (target, variant)) in deltas.into_iter().enumerate() {
+            let mut policies = PolicyAssignment::uniform_reexecution(&app, 2);
+            policies.set(ftes_model::ProcessId::new(0), ftes_ft::Policy::replication(2));
+            let policy = if variant == 0 {
+                ftes_ft::Policy::checkpointing(2, 2)
+            } else {
+                ftes_ft::Policy::replication(2)
+            };
+            policies.set(ftes_model::ProcessId::new(target), policy);
+            let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+            let mut fresh = certifier(&app, &platform, 2, CertifyConfig::default());
+            let warm_verdict = warm.certify(&copies, &policies).unwrap();
+            let fresh_verdict = fresh.certify(&copies, &policies).unwrap();
+            assert_eq!(warm_verdict, fresh_verdict, "verdict diverged at step {step}");
+            let (warm_cpg, warm_sched) = warm.take_artifacts(&copies, &policies).unwrap();
+            let (fresh_cpg, fresh_sched) = fresh.take_artifacts(&copies, &policies).unwrap();
+            assert_eq!(warm_cpg, fresh_cpg, "FT-CPG diverged at step {step}");
+            assert_eq!(warm_sched, fresh_sched, "schedule diverged at step {step}");
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.incremental_builds, 5, "every run after the first rebuilds the anchor");
+        assert!(stats.subtree_hits > 0, "the delta walk must revisit scenario subtrees");
+    }
+
+    #[test]
+    fn bounded_certification_prunes_and_memoizes_the_refutation() {
+        let (app, platform, copies, policies) = fig3_instance(2);
+        let mut reference = certifier(&app, &platform, 2, CertifyConfig::default());
+        let verdict = reference.certify(&copies, &policies).unwrap();
+        let CertOutcome::Exact { exact_len, .. } = verdict else {
+            panic!("fig3 fits the budget");
+        };
+
+        let mut c = certifier(&app, &platform, 2, CertifyConfig::default());
+        let tight = Time::new(exact_len.units() - 1);
+        let BoundedCert::Pruned { lower_bound } =
+            c.certify_bounded(&copies, &policies, tight).unwrap()
+        else {
+            panic!("a bound below the exact length must refute early");
+        };
+        assert!(lower_bound > tight, "the pruning end time is past the bound");
+        assert!(lower_bound <= exact_len, "a placed end is a valid lower bound");
+        assert_eq!(c.stats().pruned_runs, 1);
+
+        // The refutation evidence answers the same losing request from the
+        // memo — no second scheduler run.
+        let again = c.certify_bounded(&copies, &policies, tight).unwrap();
+        assert_eq!(again, BoundedCert::Pruned { lower_bound });
+        assert_eq!((c.stats().cache_hits, c.stats().pruned_runs), (1, 1));
+
+        // A bound the evidence cannot refute re-schedules and completes
+        // with the reference verdict; from then on the verdict memo rules.
+        let complete = c.certify_bounded(&copies, &policies, exact_len).unwrap();
+        assert_eq!(complete, BoundedCert::Verdict(verdict));
+        assert!(complete.is_certified() || !verdict.is_certified());
+        assert_eq!(c.certify(&copies, &policies).unwrap(), verdict);
+        assert_eq!(c.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn config_keys_are_collision_free_on_adversarial_twins() {
+        // Two distinct states that touch the same scenario subtrees must
+        // never share a key: swapping which process carries the heavy
+        // policy, or trading copy counts between neighbors, all reshuffle
+        // the same totals.
+        let (app, arch) = samples::fig3();
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let mut keys = Vec::new();
+        let n = app.process_count();
+        for target in 0..n {
+            for heavy in [ftes_ft::Policy::checkpointing(2, 2), ftes_ft::Policy::replication(2)] {
+                let mut policies = PolicyAssignment::uniform_reexecution(&app, 2);
+                policies.set(ftes_model::ProcessId::new(target), heavy);
+                let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+                keys.push((target, config_key(&app, &copies, &policies)));
+            }
+        }
+        for (i, (ta, a)) in keys.iter().enumerate() {
+            for (tb, b) in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "states ({ta}, {tb}) collided");
+            }
+        }
+        // Equal configurations keep equal keys (the memo can actually hit).
+        let policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        assert_eq!(config_key(&app, &copies, &policies), config_key(&app, &copies, &policies));
     }
 
     #[test]

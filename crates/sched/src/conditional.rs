@@ -7,7 +7,7 @@
 //! Condition values produced on one node are broadcast on the bus before
 //! any other node may act on them (§5.2's condition broadcast).
 
-use crate::{worst_case_delivery, BusTable, ReplicaLadder, ResourceTable, SchedError};
+use crate::{worst_case_delivery, BusTable, JoinMemo, ReplicaLadder, ResourceTable, SchedError};
 use ftes_ftcpg::{CpgNodeId, CpgNodeKind, FtCpg, Location};
 use ftes_model::{Application, NodeId, Time};
 use ftes_tdma::Platform;
@@ -166,7 +166,56 @@ pub fn schedule_ftcpg(
     platform: &Platform,
     config: SchedConfig,
 ) -> Result<ConditionalSchedule, SchedError> {
-    Scheduler::new(app, cpg, platform, config)?.run()
+    match schedule_ftcpg_bounded(app, cpg, platform, config, None, None)? {
+        BoundedSchedule::Complete(schedule) => Ok(schedule),
+        BoundedSchedule::Exceeded { .. } => unreachable!("no bound was given"),
+    }
+}
+
+/// Result of a bound-carrying scheduler run (see
+/// [`schedule_ftcpg_bounded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedSchedule {
+    /// The schedule completed within the bound (or no bound was given) —
+    /// bit-identical to what [`schedule_ftcpg`] produces for the same
+    /// inputs.
+    Complete(ConditionalSchedule),
+    /// Refutation exit: some placed node already completes after the
+    /// bound. Placements are final once made and the schedule length is
+    /// the maximum completion, so `lower_bound` is a proven lower bound on
+    /// the full schedule's length — the remaining scenario branches were
+    /// never scheduled.
+    Exceeded {
+        /// Largest completion placed before the early exit (`> bound`).
+        lower_bound: Time,
+    },
+}
+
+/// [`schedule_ftcpg`] with bound-and-prune and a fault-scenario subtree
+/// memo, the exact-scheduler half of incremental certification.
+///
+/// `bound` carries the incumbent's deadline: as soon as any placed node
+/// completes after it, the run exits with [`BoundedSchedule::Exceeded`]
+/// instead of scheduling every remaining scenario to completion. Complete
+/// runs are bit-identical to the unbounded scheduler. `memo`, when given,
+/// memoizes replica-join worst-case deliveries across runs (the DP is a
+/// pure function of its canonical subtree key, so memoized results are
+/// bit-identical too).
+///
+/// # Errors
+///
+/// Exactly those of [`schedule_ftcpg`] (an early exit can only *skip*
+/// later failures, never introduce one; callers treating `Exceeded` as
+/// refutation never observe the difference — both refute).
+pub fn schedule_ftcpg_bounded(
+    app: &Application,
+    cpg: &FtCpg,
+    platform: &Platform,
+    config: SchedConfig,
+    bound: Option<Time>,
+    memo: Option<&mut JoinMemo>,
+) -> Result<BoundedSchedule, SchedError> {
+    Scheduler::new(app, cpg, platform, config)?.run(bound, memo)
 }
 
 struct Scheduler<'a> {
@@ -214,7 +263,11 @@ impl<'a> Scheduler<'a> {
         })
     }
 
-    fn run(mut self) -> Result<ConditionalSchedule, SchedError> {
+    fn run(
+        mut self,
+        bound: Option<Time>,
+        mut memo: Option<&mut JoinMemo>,
+    ) -> Result<BoundedSchedule, SchedError> {
         let n = self.cpg.node_count();
         let mut indegree: Vec<usize> =
             (0..n).map(|i| self.cpg.incoming(CpgNodeId::new(i)).count()).collect();
@@ -235,7 +288,17 @@ impl<'a> Scheduler<'a> {
         let mut scheduled = 0usize;
         while let Some((_, _, Reverse(i))) = ready.pop() {
             let id = CpgNodeId::new(i);
-            self.place(id)?;
+            self.place(id, memo.as_deref_mut())?;
+            // Bound-and-prune: placements are final, and the schedule
+            // length is the maximum completion — one completion past the
+            // bound already refutes, whatever the unscheduled scenarios
+            // would add.
+            if let Some(b) = bound {
+                let end = self.end[i];
+                if end > b {
+                    return Ok(BoundedSchedule::Exceeded { lower_bound: end });
+                }
+            }
             scheduled += 1;
             for e in self.cpg.outgoing(id) {
                 let t = e.to.index();
@@ -247,12 +310,12 @@ impl<'a> Scheduler<'a> {
         }
         debug_assert_eq!(scheduled, n, "FT-CPG is acyclic");
         let length = self.end.iter().copied().max().unwrap_or(Time::ZERO);
-        Ok(ConditionalSchedule {
+        Ok(BoundedSchedule::Complete(ConditionalSchedule {
             start: self.start,
             end: self.end,
             broadcasts: self.broadcasts,
             length,
-        })
+        }))
     }
 
     /// Earliest start respecting data dependencies, releases and condition
@@ -296,12 +359,12 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    fn place(&mut self, id: CpgNodeId) -> Result<(), SchedError> {
+    fn place(&mut self, id: CpgNodeId, memo: Option<&mut JoinMemo>) -> Result<(), SchedError> {
         let node = self.cpg.node(id).clone();
         let est = self.earliest_start(id);
         match (&node.kind, node.location) {
             (CpgNodeKind::ReplicaJoin { .. }, _) => {
-                let t = self.join_time(id)?;
+                let t = self.join_time(id, memo)?;
                 self.start[id.index()] = t;
                 self.end[id.index()] = t;
             }
@@ -342,8 +405,10 @@ impl<'a> Scheduler<'a> {
         Ok(())
     }
 
-    /// Worst-case delivery time of a replica join via the adversarial DP.
-    fn join_time(&self, join: CpgNodeId) -> Result<Time, SchedError> {
+    /// Worst-case delivery time of a replica join via the adversarial DP
+    /// (memo-backed when a [`JoinMemo`] is supplied — same value either
+    /// way, the DP is pure).
+    fn join_time(&self, join: CpgNodeId, memo: Option<&mut JoinMemo>) -> Result<Time, SchedError> {
         let (_, chains) = self
             .cpg
             .joins()
@@ -358,7 +423,11 @@ impl<'a> Scheduler<'a> {
                 killable: self.cpg.node(*chain.last().expect("chains are non-empty")).conditional,
             })
             .collect();
-        worst_case_delivery(&ladders, budget).ok_or({
+        let delivery = match memo {
+            Some(memo) => memo.delivery(&ladders, budget),
+            None => worst_case_delivery(&ladders, budget),
+        };
+        delivery.ok_or({
             SchedError::Ft(ftes_ft::FtError::InsufficientPolicy { k: budget, tolerated: 0 })
         })
     }
@@ -640,6 +709,80 @@ mod tests {
         let violations = check_deadlines(&tight, &cpg, &sched);
         assert_eq!(violations.len(), 2);
         assert!(violations.iter().all(|v| v.completion > v.deadline));
+    }
+
+    #[test]
+    fn bounded_runs_complete_bit_identically_and_prune_refutations() {
+        let t = Transparency::none();
+        let (app, cpg, unbounded) = schedule_sample(2, &t);
+        let platform = Platform::homogeneous(2, Time::new(8)).unwrap();
+        // A bound at (or above) the true length completes bit-identically,
+        // with and without a memo.
+        let mut memo = JoinMemo::new();
+        for memo_arg in [None, Some(&mut memo)] {
+            let complete = schedule_ftcpg_bounded(
+                &app,
+                &cpg,
+                &platform,
+                SchedConfig::default(),
+                Some(unbounded.length()),
+                memo_arg,
+            )
+            .unwrap();
+            assert_eq!(complete, BoundedSchedule::Complete(unbounded.clone()));
+        }
+        // A bound below the true length refutes early with a sound lower
+        // bound: some real completion exceeds it, none is overstated.
+        let tight = unbounded.length() - Time::new(1);
+        let exceeded = schedule_ftcpg_bounded(
+            &app,
+            &cpg,
+            &platform,
+            SchedConfig::default(),
+            Some(tight),
+            None,
+        )
+        .unwrap();
+        let BoundedSchedule::Exceeded { lower_bound } = exceeded else {
+            panic!("a sub-length bound must refute");
+        };
+        assert!(lower_bound > tight);
+        assert!(lower_bound <= unbounded.length(), "lower bound must be a real completion");
+    }
+
+    #[test]
+    fn memoized_scheduling_is_bit_identical_across_repeats() {
+        let (app, arch) = samples::fig1_process(3);
+        let mapping = Mapping::cheapest(&app, &arch).unwrap();
+        let mut policies = PolicyAssignment::uniform_reexecution(&app, 2);
+        policies.set(ProcessId::new(0), Policy::replication(2));
+        let copies = CopyMapping::from_base(&app, &arch, &mapping, &policies).unwrap();
+        let cpg = build_ftcpg(
+            &app,
+            &policies,
+            &copies,
+            FaultModel::new(2),
+            &Transparency::none(),
+            BuildConfig::default(),
+        )
+        .unwrap();
+        let platform = Platform::homogeneous(3, Time::new(10)).unwrap();
+        let plain = schedule_ftcpg(&app, &cpg, &platform, SchedConfig::default()).unwrap();
+        let mut memo = JoinMemo::new();
+        for round in 0..3 {
+            let memoized = schedule_ftcpg_bounded(
+                &app,
+                &cpg,
+                &platform,
+                SchedConfig::default(),
+                None,
+                Some(&mut memo),
+            )
+            .unwrap();
+            assert_eq!(memoized, BoundedSchedule::Complete(plain.clone()), "round {round}");
+        }
+        assert_eq!(memo.misses(), 1, "one join computed once");
+        assert_eq!(memo.hits(), 2, "repeat rounds hit the subtree memo");
     }
 
     #[test]

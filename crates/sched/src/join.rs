@@ -14,6 +14,8 @@
 //! `ReplicaJoin` node, and the estimator uses for replication slack.
 
 use ftes_model::Time;
+// ftes-lint: allow(determinism) reason="canonical-key subtree memo; probed per key, never iterated into results"
+use std::collections::HashMap;
 
 /// Completion ladder of one replica: `ladder[f]` is the completion time
 /// after absorbing `f` faults (`f < ladder.len()`), and `killable` tells
@@ -114,6 +116,72 @@ fn explore(ladders: &[ReplicaLadder], budget: u32, current_min: Time) -> Option<
     worst
 }
 
+/// Canonical, collision-free key of one adversarial-delivery subproblem:
+/// the fault budget plus, per replica ladder, its length, every completion
+/// time and the killable flag. Two `(copies, policies)` states whose
+/// scenario subtrees reduce to the same key have provably identical
+/// worst-case deliveries (the DP is a pure function of exactly these
+/// inputs), so the key doubles as the memo's invalidation: any change to a
+/// touched process's policy, placement or copy completion times changes
+/// some ladder entry and thereby the key.
+pub fn subtree_key(ladders: &[ReplicaLadder], budget: u32) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(8 + ladders.iter().map(|l| 8 * l.ladder.len() + 5).sum::<usize>());
+    out.extend_from_slice(&budget.to_le_bytes());
+    for l in ladders {
+        out.extend_from_slice(&(l.ladder.len() as u32).to_le_bytes());
+        for &end in &l.ladder {
+            out.extend_from_slice(&end.units().to_le_bytes());
+        }
+        out.push(u8::from(l.killable));
+    }
+    out
+}
+
+/// Memo of [`worst_case_delivery`] results keyed by [`subtree_key`] — the
+/// fault-scenario subtree cache behind incremental certification. The DP
+/// is exponential in the replica count in the worst case; across the
+/// certifier's delta chains most joins are untouched and resolve to the
+/// same key, so the memo answers them in a hash probe.
+#[derive(Debug, Clone, Default)]
+pub struct JoinMemo {
+    entries: HashMap<Vec<u8>, Option<Time>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl JoinMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        JoinMemo::default()
+    }
+
+    /// Deliveries answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Deliveries that ran the adversarial DP.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Memoized [`worst_case_delivery`] — bit-identical to the plain
+    /// function (the DP is pure; the key is collision-free).
+    pub fn delivery(&mut self, ladders: &[ReplicaLadder], budget: u32) -> Option<Time> {
+        let key = subtree_key(ladders, budget);
+        if let Some(&cached) = self.entries.get(&key) {
+            self.hits += 1;
+            ftes_obs::counter(ftes_obs::names::CERTIFY_SUBTREE_HIT, 1);
+            return cached;
+        }
+        let computed = worst_case_delivery(ladders, budget);
+        self.misses += 1;
+        self.entries.insert(key, computed);
+        computed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +249,51 @@ mod tests {
         // the max.
         let l = vec![ReplicaLadder { ladder: vec![t(100), t(40)], killable: false }];
         assert_eq!(worst_case_delivery(&l, 1), Some(t(100)));
+    }
+
+    #[test]
+    fn subtree_keys_are_collision_free_on_adversarial_shapes() {
+        // Same multiset of completion times, different ladder grouping:
+        // [[1,2],[3]] vs [[1],[2,3]] describe different subtrees and MUST
+        // key apart (flat concatenation without length prefixes collides).
+        let a = vec![
+            ReplicaLadder { ladder: vec![t(1), t(2)], killable: true },
+            ReplicaLadder { ladder: vec![t(3)], killable: true },
+        ];
+        let b = vec![
+            ReplicaLadder { ladder: vec![t(1)], killable: true },
+            ReplicaLadder { ladder: vec![t(2), t(3)], killable: true },
+        ];
+        assert_ne!(subtree_key(&a, 1), subtree_key(&b, 1));
+        // Killable flag and budget are part of the subproblem.
+        let c = vec![ReplicaLadder { ladder: vec![t(1), t(2)], killable: false }];
+        let d = vec![ReplicaLadder { ladder: vec![t(1), t(2)], killable: true }];
+        assert_ne!(subtree_key(&c, 1), subtree_key(&d, 1));
+        assert_ne!(subtree_key(&c, 1), subtree_key(&c, 2));
+        // A killable flag can never be confused with a one-entry ladder of
+        // a zero/one completion (length prefixes self-delimit).
+        let e = vec![
+            ReplicaLadder { ladder: vec![t(1)], killable: true },
+            ReplicaLadder { ladder: vec![t(1)], killable: true },
+        ];
+        let f = vec![ReplicaLadder { ladder: vec![t(1), t(1)], killable: true }];
+        assert_ne!(subtree_key(&e, 0), subtree_key(&f, 0));
+    }
+
+    #[test]
+    fn join_memo_equals_the_plain_dp_and_counts_hits() {
+        let mut memo = JoinMemo::new();
+        let a = vec![plain(50), ReplicaLadder { ladder: vec![t(60), t(120)], killable: true }];
+        let b = vec![plain(50), plain(70), plain(90)];
+        for budget in 0..4 {
+            assert_eq!(memo.delivery(&a, budget), worst_case_delivery(&a, budget));
+            assert_eq!(memo.delivery(&b, budget), worst_case_delivery(&b, budget));
+        }
+        assert_eq!((memo.hits(), memo.misses()), (0, 8));
+        // Revisits hit; non-equivalent subtrees never cross.
+        for budget in 0..4 {
+            assert_eq!(memo.delivery(&a, budget), worst_case_delivery(&a, budget));
+        }
+        assert_eq!((memo.hits(), memo.misses()), (4, 8));
     }
 }

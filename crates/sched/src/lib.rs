@@ -64,15 +64,16 @@ mod resource;
 mod table;
 
 pub use certify::{
-    calibration_milli, CertOutcome, CertificationCounters, Certifier, CertifierStats,
+    calibration_milli, BoundedCert, CertOutcome, CertificationCounters, Certifier, CertifierStats,
     CertifyConfig, CertifyError,
 };
 pub use conditional::{
-    check_deadlines, schedule_ftcpg, Broadcast, ConditionalSchedule, DeadlineViolation, SchedConfig,
+    check_deadlines, schedule_ftcpg, schedule_ftcpg_bounded, BoundedSchedule, Broadcast,
+    ConditionalSchedule, DeadlineViolation, SchedConfig,
 };
 pub use error::SchedError;
 pub use estimate::{estimate_schedule_length, Estimate};
 pub use evaluator::{EvaluatorStats, SystemEvaluator};
-pub use join::{worst_case_delivery, ReplicaLadder};
+pub use join::{subtree_key, worst_case_delivery, JoinMemo, ReplicaLadder};
 pub use resource::{BusTable, Reservation, ResourceTable};
 pub use table::{NodeTable, ScheduleTables, TableEntry, TableRow};
